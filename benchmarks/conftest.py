@@ -1,0 +1,28 @@
+"""Benchmark fixtures: pre-built worlds for the figure and ablation runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.params import DEFAULT, SMALL, TOY
+
+
+def pytest_configure(config):
+    # Figure-shape report tests print tables; show them even on success.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture(scope="session")
+def default_params():
+    """The paper's operating point: |r| = 160, |q| = 512 (PBC type A)."""
+    return DEFAULT
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    return SMALL
+
+
+@pytest.fixture(scope="session")
+def toy_params():
+    return TOY

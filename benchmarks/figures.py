@@ -1,0 +1,21 @@
+"""Thin re-export: the Figure 10 harness lives in repro.sim.figures so the
+CLI (`python -m repro figure 10a`) and the benchmarks share one source."""
+
+from repro.sim.figures import (  # noqa: F401
+    N_VALUES,
+    THRESHOLD_K,
+    FigurePoint,
+    _full_display_rng,
+    measure_point,
+    print_figure,
+    series,
+)
+
+__all__ = [
+    "N_VALUES",
+    "THRESHOLD_K",
+    "FigurePoint",
+    "measure_point",
+    "print_figure",
+    "series",
+]

@@ -1,0 +1,131 @@
+"""Ablation A4: microbenchmarks of every crypto primitive the
+constructions are built from, at the paper's operating point.
+
+These are the costs the figure-level numbers decompose into: one pairing,
+one G0 scalar multiplication, one hash-to-group, Shamir split/reconstruct,
+an AES block, a Keccak block, a keyed answer hash and a BLS sign/verify.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.bls import BlsScheme
+from repro.crypto.field import PrimeField
+from repro.crypto.hash_to_group import hash_to_g0
+from repro.crypto.hashes import sha3_256
+from repro.crypto.mac import keyed_hash
+from repro.crypto.pairing import Pairing
+from repro.crypto.params import DEFAULT
+from repro.crypto.shamir import reconstruct_secret, split_secret
+
+
+@pytest.fixture(scope="module")
+def pairing():
+    return Pairing(DEFAULT)
+
+
+@pytest.fixture(scope="module")
+def g(pairing):
+    return DEFAULT.random_g0()
+
+
+def test_bench_pairing(benchmark, pairing, g):
+    h = DEFAULT.random_g0()
+    result = benchmark(lambda: pairing.pair(g, h))
+    assert not result.is_one()
+
+
+def test_bench_scalar_mult(benchmark, g):
+    scalar = DEFAULT.r // 3
+    result = benchmark(lambda: g * scalar)
+    assert not result.infinity
+
+
+def test_bench_gt_exponentiation(benchmark, pairing, g):
+    base = pairing.pair(g, g)
+    result = benchmark(lambda: pairing.gt_exp(base, DEFAULT.r // 5))
+    assert not result.is_one()
+
+
+def test_bench_hash_to_group(benchmark):
+    counter = iter(range(10**9))
+    result = benchmark(lambda: hash_to_g0(DEFAULT, b"attribute-%d" % next(counter)))
+    assert result.has_order_r()
+
+
+def test_bench_shamir_split(benchmark):
+    field = PrimeField(2**256 - 189, check_prime=False)
+    shares = benchmark(lambda: split_secret(field, 123456789, k=5, n=10))
+    assert len(shares) == 10
+
+
+def test_bench_shamir_reconstruct(benchmark):
+    field = PrimeField(2**256 - 189, check_prime=False)
+    shares = split_secret(field, 123456789, k=5, n=10)
+    result = benchmark(lambda: reconstruct_secret(field, shares[:5], 5))
+    assert int(result) == 123456789
+
+
+def test_bench_aes_block(benchmark):
+    cipher = AES(b"\x01" * 32)
+    block = b"\x02" * 16
+    result = benchmark(lambda: cipher.encrypt_block(block))
+    assert len(result) == 16
+
+
+def test_bench_keccak_1kib(benchmark):
+    data = b"\x03" * 1024
+    result = benchmark(lambda: sha3_256(data).digest())
+    assert len(result) == 32
+
+
+def test_bench_keyed_answer_hash(benchmark):
+    result = benchmark(lambda: keyed_hash(b"twenty-char-answer!!", b"\x04" * 16))
+    assert len(result) == 32
+
+
+def test_bench_bls_sign(benchmark):
+    scheme = BlsScheme(DEFAULT)
+    keys = scheme.keygen()
+    signature = benchmark(lambda: scheme.sign(keys.secret, b"puzzle components"))
+    assert scheme.verify(keys.public, b"puzzle components", signature)
+
+
+def test_bench_bls_verify(benchmark):
+    scheme = BlsScheme(DEFAULT)
+    keys = scheme.keygen()
+    signature = scheme.sign(keys.secret, b"puzzle components")
+    result = benchmark(
+        lambda: scheme.verify(keys.public, b"puzzle components", signature)
+    )
+    assert result
+
+
+def test_bench_secure_channel_handshake(benchmark):
+    """The simulated-HTTPS station-to-station handshake (ECDH + BLS)."""
+    from repro.osn.securechannel import establish_channel
+
+    scheme = BlsScheme(DEFAULT)
+    server_identity = scheme.keygen()
+    client_end, server_end = benchmark.pedantic(
+        lambda: establish_channel(DEFAULT, scheme, server_identity),
+        rounds=3,
+        iterations=1,
+    )
+    assert server_end.receive(client_end.send(b"ping")) == b"ping"
+
+
+def test_bench_secure_channel_record(benchmark):
+    """Per-record protect+open cost on an established channel."""
+    from repro.osn.securechannel import establish_channel
+
+    scheme = BlsScheme(DEFAULT)
+    client_end, server_end = establish_channel(DEFAULT, scheme, scheme.keygen())
+    payload = b"p" * 512
+
+    def roundtrip():
+        return server_end.receive(client_end.send(payload))
+
+    assert benchmark(roundtrip) == payload

@@ -1,0 +1,55 @@
+"""Ablation A7: deployment-scale behaviour.
+
+Runs the system-level simulation driver at growing population sizes and
+reports throughput-style aggregates: shares and grants per run, total
+sharer/receiver cost, bytes moved. Asserts the scale-free invariants —
+zero stranger grants at every size — and that cost grows roughly with
+activity, not super-linearly with population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.driver import SimulationConfig, run_simulation
+
+SIZES = [15, 30, 60]
+
+
+def test_scale_report():
+    print("\n=== Ablation A7 — deployment scale (20 ticks, k=2) ===")
+    print(f"{'users':>6} {'shares':>7} {'grants':>7} {'denied':>7} "
+          f"{'net KB':>8} {'strangers in':>13}")
+    reports = []
+    for size in SIZES:
+        report = run_simulation(
+            SimulationConfig(num_users=size, ticks=20, seed=21)
+        )
+        reports.append(report)
+        print(
+            f"{size:>6} {report.shares:>7} {report.access_granted:>7} "
+            f"{report.access_denied:>7} {report.bytes_transferred/1000:>8.1f} "
+            f"{report.stranger_granted:>13}"
+        )
+
+    for report in reports:
+        assert report.stranger_granted == 0
+        assert report.shares > 0
+        # The friend graph has fixed mean degree, so per-share load is
+        # population-independent: the SP scales with activity, not users.
+        attempts_per_share = report.access_attempts / report.shares
+        assert 2 <= attempts_per_share <= 10
+        # Network cost tracks activity (shares + grants), not population.
+        per_event_bytes = report.bytes_transferred / (
+            report.shares + report.access_granted
+        )
+        assert per_event_bytes < 50_000
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_simulation(benchmark, size):
+    config = SimulationConfig(num_users=size, ticks=10, seed=22)
+    report = benchmark.pedantic(
+        lambda: run_simulation(config), rounds=2, iterations=1
+    )
+    assert report.stranger_granted == 0

@@ -1,0 +1,95 @@
+"""Ablation A8: the cost of the section VI signature countermeasure.
+
+The paper proposes signing URL_O / K_Z / questions to defeat SP tampering
+but never prices it. This ablation measures the sharer-side and
+receiver-side cost of signed puzzles, and compares the two available
+signature schemes (pairing-based BLS vs pairing-free Schnorr) for the
+verification-heavy receiver role.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.construction1 import SharerC1
+from repro.crypto.bls import BlsScheme
+from repro.crypto.params import DEFAULT
+from repro.crypto.schnorr import SchnorrScheme
+from repro.osn.storage import StorageHost
+from repro.osn.workload import PaperWorkload
+
+N, K = 4, 2
+
+
+def test_signing_overhead_report():
+    workload = PaperWorkload(seed=10)
+    context = workload.context(N)
+    message = workload.message()
+
+    # Unsigned vs BLS-signed sharer flow.
+    start = time.perf_counter()
+    SharerC1("plain", StorageHost()).upload(message, context, k=K, n=N)
+    unsigned_ms = (time.perf_counter() - start) * 1e3
+
+    bls = BlsScheme(DEFAULT)
+    start = time.perf_counter()
+    signed_puzzle = SharerC1("signed", StorageHost(), bls=bls).upload(
+        message, context, k=K, n=N
+    )
+    signed_ms = (time.perf_counter() - start) * 1e3
+
+    start = time.perf_counter()
+    assert signed_puzzle.verify_signature(bls)
+    bls_verify_ms = (time.perf_counter() - start) * 1e3
+
+    schnorr = SchnorrScheme(DEFAULT)
+    keys = schnorr.keygen()
+    payload = signed_puzzle.signed_payload()
+    start = time.perf_counter()
+    schnorr_sig = schnorr.sign(keys.secret, payload)
+    schnorr_sign_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    assert schnorr.verify(keys.public, payload, schnorr_sig)
+    schnorr_verify_ms = (time.perf_counter() - start) * 1e3
+
+    print("\n=== Ablation A8 — signature countermeasure cost (160/512) ===")
+    print(f"{'flow':>28} {'ms':>9}")
+    print(f"{'unsigned share':>28} {unsigned_ms:>9.1f}")
+    print(f"{'BLS-signed share':>28} {signed_ms:>9.1f}")
+    print(f"{'BLS verify (receiver)':>28} {bls_verify_ms:>9.1f}")
+    print(f"{'Schnorr sign':>28} {schnorr_sign_ms:>9.1f}")
+    print(f"{'Schnorr verify (receiver)':>28} {schnorr_verify_ms:>9.1f}")
+
+    # Signing costs more than not signing, obviously — pin the ratios that
+    # matter: BLS verification (2 pairings) dwarfs Schnorr's (2 scalar
+    # mults), which is why signature agility is worth having for mobile
+    # receivers.
+    assert signed_ms > unsigned_ms
+    assert bls_verify_ms > 3 * schnorr_verify_ms
+
+
+@pytest.mark.parametrize("scheme_name", ["bls", "schnorr"])
+def test_bench_puzzle_signature_verify(benchmark, scheme_name):
+    workload = PaperWorkload(seed=11)
+    context = workload.context(N)
+    bls = BlsScheme(DEFAULT)
+    puzzle = SharerC1("s", StorageHost(), bls=bls).upload(
+        workload.message(), context, k=K, n=N
+    )
+    payload = puzzle.signed_payload()
+    if scheme_name == "bls":
+        result = benchmark.pedantic(
+            lambda: puzzle.verify_signature(bls), rounds=3, iterations=1
+        )
+    else:
+        schnorr = SchnorrScheme(DEFAULT)
+        keys = schnorr.keygen()
+        signature = schnorr.sign(keys.secret, payload)
+        result = benchmark.pedantic(
+            lambda: schnorr.verify(keys.public, payload, signature),
+            rounds=3,
+            iterations=1,
+        )
+    assert result

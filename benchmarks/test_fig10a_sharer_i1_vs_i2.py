@@ -1,0 +1,78 @@
+"""Figure 10(a): sharer's overhead, Implementation 1 vs 2 on the PC.
+
+Paper findings to reproduce (section VIII):
+* I2's network delay is the worst component by far — each share uploads
+  four CP-ABE files (~600 KB) through cURL.
+* I2's local processing is higher than I1's (CP-ABE vs hashes/XOR).
+* I1's combined delay is extremely low.
+
+The report test regenerates the figure's rows and asserts that shape; the
+benchmark tests measure the real end-to-end sharer flow per N.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figures import N_VALUES, measure_point, print_figure, series
+from repro.apps.clients import SocialPuzzleAppC1, SocialPuzzleAppC2
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.osn.workload import PaperWorkload
+from repro.sim.devices import PC
+
+
+def test_fig10a_report(default_params):
+    """Regenerate Figure 10(a) and check its shape."""
+    i1 = series(1, "sharer", params=default_params)
+    i2 = series(2, "sharer", params=default_params)
+    print_figure("Figure 10(a) — Sharer's Overhead: I1 vs I2 on PC", {"I1": i1, "I2": i2})
+
+    for p1, p2 in zip(i1, i2):
+        # I2 network delay dominates and dwarfs I1's.
+        assert p2.network_ms > 5 * p1.network_ms
+        # I2 local processing exceeds I1's.
+        assert p2.local_ms > p1.local_ms
+        # I1 combined delay stays sub-second ("extremely low").
+        assert p1.total_ms < 1000
+        # In I2 the network component is the dominant share of total cost.
+        assert p2.network_ms > p2.local_ms
+
+    # I2 local processing grows with N (more leaves to encrypt).
+    assert i2[-1].local_ms > i2[0].local_ms
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+def test_bench_sharer_i1(benchmark, n, default_params):
+    """Wall-time of the real I1 sharer flow (crypto + simulated services)."""
+    workload = PaperWorkload(seed=n)
+    context = workload.context(n)
+    message = workload.message()
+
+    def share_once():
+        provider = ServiceProvider()
+        storage = StorageHost()
+        app = SocialPuzzleAppC1(provider, storage)
+        user = provider.register_user("sharer")
+        return app.share(user, message, context, k=1, n=n, device=PC)
+
+    result = benchmark.pedantic(share_once, rounds=3, iterations=1)
+    assert result.puzzle_id >= 1
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+def test_bench_sharer_i2(benchmark, n, default_params):
+    """Wall-time of the real I2 sharer flow (CP-ABE setup + encrypt)."""
+    workload = PaperWorkload(seed=n)
+    context = workload.context(n)
+    message = workload.message()
+
+    def share_once():
+        provider = ServiceProvider()
+        storage = StorageHost()
+        app = SocialPuzzleAppC2(provider, storage, default_params)
+        user = provider.register_user("sharer")
+        return app.share(user, message, context, k=1, n=n, device=PC)
+
+    result = benchmark.pedantic(share_once, rounds=3, iterations=1)
+    assert result.puzzle_id >= 1

@@ -1,0 +1,91 @@
+"""Figure 10(b): receiver's overhead, Implementation 1 vs 2 on the PC.
+
+Paper findings to reproduce:
+* I2's receiver delay is "comparatively lower" than its sharer delay
+  (downloads ride the faster downlink) but still well above I1's.
+* I1's combined receiver delay is extremely low.
+* I2 local processing (Reconstruct + KeyGen + Decrypt) grows with N and
+  exceeds I1's (hashing + XOR + Lagrange).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figures import (
+    N_VALUES,
+    _full_display_rng,
+    measure_point,
+    print_figure,
+    series,
+)
+from repro.apps.clients import SocialPuzzleAppC1, SocialPuzzleAppC2
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.osn.workload import PaperWorkload
+from repro.sim.devices import PC
+
+
+def test_fig10b_report(default_params):
+    """Regenerate Figure 10(b) and check its shape."""
+    i1 = series(1, "receiver", params=default_params)
+    i2 = series(2, "receiver", params=default_params)
+    print_figure(
+        "Figure 10(b) — Receiver's Overhead: I1 vs I2 on PC", {"I1": i1, "I2": i2}
+    )
+
+    sharer_i2 = series(2, "sharer", params=default_params)
+    for p1, p2, s2 in zip(i1, i2, sharer_i2):
+        # I2 still clearly above I1 on the network (the paper shows it
+        # "comparatively lower" than I2's sharer side, yet above I1).
+        assert p2.network_ms > 2 * p1.network_ms
+        # ...but cheaper than I2's own sharer side (downlink beats uplink).
+        assert p2.network_ms < s2.network_ms
+        # I2 local work exceeds I1's.
+        assert p2.local_ms > p1.local_ms
+        # I1 stays extremely low end to end.
+        assert p1.total_ms < 1000
+
+    # I2 receiver local processing grows with N (KeyGen over N attributes).
+    assert i2[-1].local_ms > 1.5 * i2[0].local_ms
+
+
+def _shared_world(construction, n, params):
+    workload = PaperWorkload(seed=n)
+    context = workload.context(n)
+    message = workload.message()
+    provider = ServiceProvider()
+    storage = StorageHost()
+    if construction == 1:
+        app = SocialPuzzleAppC1(provider, storage)
+    else:
+        app = SocialPuzzleAppC2(provider, storage, params)
+    sharer = provider.register_user("sharer")
+    receiver = provider.register_user("receiver")
+    provider.befriend(sharer, receiver)
+    share = app.share(sharer, message, context, k=1, n=n, device=PC)
+    return app, receiver, share, context, message
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+def test_bench_receiver_i1(benchmark, n, default_params):
+    app, receiver, share, context, message = _shared_world(1, n, default_params)
+
+    def access_once():
+        return app.attempt_access(
+            receiver, share.puzzle_id, context, device=PC, rng=_full_display_rng(n, 1)
+        )
+
+    result = benchmark.pedantic(access_once, rounds=3, iterations=1)
+    assert result.plaintext == message
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+def test_bench_receiver_i2(benchmark, n, default_params):
+    app, receiver, share, context, message = _shared_world(2, n, default_params)
+
+    def access_once():
+        return app.attempt_access(receiver, share.puzzle_id, context, device=PC)
+
+    result = benchmark.pedantic(access_once, rounds=3, iterations=1)
+    assert result.plaintext == message

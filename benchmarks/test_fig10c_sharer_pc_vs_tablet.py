@@ -1,0 +1,72 @@
+"""Figure 10(c): sharer's overhead for Implementation 1, PC vs tablet.
+
+Paper findings to reproduce:
+* I1 performs better on the PC than on the Nexus 7 tablet.
+* Overheads are "insignificantly low on both devices".
+* Implementation 2 cannot run on the tablet at all (Linux-only cpabe
+  toolkit) — asserted here as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figures import N_VALUES, print_figure, series
+from repro.apps.clients import SocialPuzzleAppC1, SocialPuzzleAppC2
+from repro.core.errors import PuzzleParameterError
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.osn.workload import PaperWorkload
+from repro.sim.devices import PC, TABLET
+
+
+def test_fig10c_report(default_params):
+    """Regenerate Figure 10(c) and check its shape."""
+    pc = series(1, "sharer", device=PC, params=default_params)
+    tablet = series(1, "sharer", device=TABLET, params=default_params)
+    print_figure(
+        "Figure 10(c) — Sharer's Overhead: PC vs Tablet for I1",
+        {"PC": pc, "Tablet": tablet},
+    )
+
+    for p_pc, p_tab in zip(pc, tablet):
+        # The tablet is slower on both components...
+        assert p_tab.local_ms > p_pc.local_ms
+        assert p_tab.network_ms > p_pc.network_ms
+        # ...but both stay insignificantly low (well under 2 s).
+        assert p_pc.total_ms < 2000
+        assert p_tab.total_ms < 2000
+
+    # Tablet local processing reflects the device's compute scale.
+    ratio = tablet[-1].local_ms / pc[-1].local_ms
+    assert 2 < ratio < 10
+
+
+def test_i2_cannot_run_on_tablet(default_params):
+    """The paper: 'The second implementation could not be benchmarked on
+    the tablet because of its Linux dependency.'"""
+    provider = ServiceProvider()
+    storage = StorageHost()
+    app = SocialPuzzleAppC2(provider, storage, default_params)
+    workload = PaperWorkload(seed=0)
+    user = provider.register_user("sharer")
+    with pytest.raises(PuzzleParameterError):
+        app.share(user, workload.message(), workload.context(2), k=1, device=TABLET)
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+@pytest.mark.parametrize("device", [PC, TABLET], ids=["pc", "tablet"])
+def test_bench_sharer_i1_by_device(benchmark, n, device, default_params):
+    workload = PaperWorkload(seed=n)
+    context = workload.context(n)
+    message = workload.message()
+
+    def share_once():
+        provider = ServiceProvider()
+        storage = StorageHost()
+        app = SocialPuzzleAppC1(provider, storage)
+        user = provider.register_user("sharer")
+        return app.share(user, message, context, k=1, n=n, device=device)
+
+    result = benchmark.pedantic(share_once, rounds=3, iterations=1)
+    assert result.puzzle_id >= 1

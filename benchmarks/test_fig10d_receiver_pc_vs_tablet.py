@@ -1,0 +1,60 @@
+"""Figure 10(d): receiver's overhead for Implementation 1, PC vs tablet.
+
+Same shape expectations as Figure 10(c), for the receiving side: the
+tablet pays more on both components, yet both devices remain fast enough
+that the overhead is insignificant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.figures import N_VALUES, _full_display_rng, print_figure, series
+from repro.apps.clients import SocialPuzzleAppC1
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.osn.workload import PaperWorkload
+from repro.sim.devices import PC, TABLET
+
+
+def test_fig10d_report(default_params):
+    """Regenerate Figure 10(d) and check its shape."""
+    pc = series(1, "receiver", device=PC, params=default_params)
+    tablet = series(1, "receiver", device=TABLET, params=default_params)
+    print_figure(
+        "Figure 10(d) — Receiver's Overhead: PC vs Tablet for I1",
+        {"PC": pc, "Tablet": tablet},
+    )
+
+    for p_pc, p_tab in zip(pc, tablet):
+        assert p_tab.local_ms > p_pc.local_ms
+        assert p_tab.network_ms > p_pc.network_ms
+        assert p_pc.total_ms < 2000
+        assert p_tab.total_ms < 2000
+
+    ratio = tablet[-1].local_ms / pc[-1].local_ms
+    assert 2 < ratio < 10
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+@pytest.mark.parametrize("device", [PC, TABLET], ids=["pc", "tablet"])
+def test_bench_receiver_i1_by_device(benchmark, n, device, default_params):
+    workload = PaperWorkload(seed=n)
+    context = workload.context(n)
+    message = workload.message()
+    provider = ServiceProvider()
+    storage = StorageHost()
+    app = SocialPuzzleAppC1(provider, storage)
+    sharer = provider.register_user("sharer")
+    receiver = provider.register_user("receiver")
+    provider.befriend(sharer, receiver)
+    share = app.share(sharer, message, context, k=1, n=n, device=PC)
+
+    def access_once():
+        return app.attempt_access(
+            receiver, share.puzzle_id, context, device=device,
+            rng=_full_display_rng(n, 1),
+        )
+
+    result = benchmark.pedantic(access_once, rounds=3, iterations=1)
+    assert result.plaintext == message

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Social puzzles on a directed, Twitter-like OSN.
+
+The paper (section I): directed OSNs "that provide only very minimalistic
+access control mechanisms (e.g., Twitter) will benefit even more because
+the context-based access mechanism will add a layer of privacy
+protection."
+
+Here every tweet is public — anyone on the platform can see the puzzle
+post — yet only followers (or anyone!) who actually know the event context
+can open the protected object. The OSN contributes zero confidentiality;
+the puzzle contributes all of it.
+
+Run:  python examples/directed_osn.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.clients import SocialPuzzleAppC1
+from repro.core.context import Context
+from repro.core.errors import AccessDeniedError
+from repro.osn.directed import DirectedServiceProvider
+from repro.osn.storage import StorageHost
+
+
+def main() -> None:
+    twitter = DirectedServiceProvider()
+    storage = StorageHost()
+    app = SocialPuzzleAppC1(twitter, storage)
+
+    journalist = twitter.register_user("journalist")
+    source = twitter.register_user("source")
+    rival = twitter.register_user("rival_outlet")
+    public_user = twitter.register_user("random_reader")
+    twitter.follow(source, journalist)
+    twitter.follow(rival, journalist)
+    twitter.follow(public_user, journalist)
+
+    # Context only the source knows: details of their last meeting.
+    context = Context.from_mapping(
+        {
+            "Which cafe did we meet at last Tuesday?": "the linden room",
+            "What did I order and send back?": "a burnt cortado",
+            "What codeword did we agree on?": "marmalade skies",
+        }
+    )
+    document = b"<encrypted follow-up questions for the source>"
+    share = app.share(
+        journalist, document, context, k=2, audience="public"
+    )
+    print("tweeted:", share.post.content)
+    print(
+        "the tweet is PUBLIC: rival sees it too ->",
+        any(p.post_id == share.post.post_id for p in twitter.feed(rival)),
+    )
+
+    # The source answers from memory (sloppy capitalization included).
+    memory = Context.from_mapping(
+        {
+            "Which cafe did we meet at last Tuesday?": "The LINDEN Room",
+            "What codeword did we agree on?": "marmalade skies",
+        }
+    )
+    result = app.attempt_access(
+        source, share.puzzle_id, memory, rng=random.Random(5)
+    )
+    print("source retrieved:", result.plaintext)
+
+    # The rival outlet sees the post but cannot answer.
+    guess = Context.from_mapping(
+        {"Which cafe did we meet at last Tuesday?": "starbucks"}
+    )
+    try:
+        app.attempt_access(rival, share.puzzle_id, guess, rng=random.Random(5))
+    except AccessDeniedError as exc:
+        print("rival denied:", exc)
+
+    # And the platform itself learned nothing.
+    for pair in context:
+        twitter.audit.assert_never_saw(pair.answer_bytes(), "answer")
+    twitter.audit.assert_never_saw(document, "object")
+    print("audit: the platform never saw an answer or the document")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a full reproduction of "Social Puzzles: Context-Based Access
+Control in Online Social Networks" (Jadliwala, Maiti, Namboodiri; DSN 2014).
+
+Social puzzles gate access to shared OSN content on *knowledge of the
+context* of the content (N question-answer pairs, threshold k) rather
+than on identity, while keeping the service provider and storage host
+blind to both the content and the context (surveillance resistance).
+
+Quick start::
+
+    from repro import SocialPuzzlePlatform, Context
+
+    platform = SocialPuzzlePlatform()
+    alice, bob = platform.join("alice"), platform.join("bob")
+    platform.befriend(alice, bob)
+
+    context = Context.from_mapping({
+        "Where was the party?": "Lake Tahoe",
+        "Who brought the cake?": "Marguerite",
+        "Which song closed the night?": "Wonderwall",
+    })
+    share = platform.share(alice, b"party photos", context, k=2)
+    result = platform.solve(bob, share, context)
+    assert result.plaintext == b"party photos"
+
+Subpackages: :mod:`repro.core` (the two constructions),
+:mod:`repro.crypto` (from-scratch crypto substrate), :mod:`repro.abe`
+(CP-ABE), :mod:`repro.osn` (simulated OSN), :mod:`repro.sim` (devices and
+timing), :mod:`repro.apps` (the Facebook-style applications),
+:mod:`repro.analysis` (executable security analysis).
+"""
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.context import Context, QAPair
+from repro.core.errors import (
+    AccessDeniedError,
+    PuzzleParameterError,
+    SocialPuzzleError,
+    TamperDetectedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SocialPuzzlePlatform",
+    "Context",
+    "QAPair",
+    "SocialPuzzleError",
+    "AccessDeniedError",
+    "PuzzleParameterError",
+    "TamperDetectedError",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Ciphertext-policy attribute-based encryption (BSW07) substrate.
+
+Public surface:
+
+* :class:`repro.abe.access_tree.AccessTree` — monotonic threshold-gate
+  policies (with the relabeling primitive behind Perturb/Reconstruct).
+* :class:`repro.abe.cpabe.CPABE` — Setup / Encrypt / KeyGen / Decrypt /
+  Delegate plus a hybrid KEM-DEM for byte payloads.
+* :mod:`repro.abe.serialize` — wire encodings, used both for persistence
+  and for charging realistic byte counts to the simulated network.
+"""
+
+from repro.abe.access_tree import AccessTree, AttributeLeaf, ThresholdGate
+from repro.abe.policy import PolicySyntaxError, format_policy, parse_policy
+from repro.abe.cpabe import (
+    CPABE,
+    AbeError,
+    Ciphertext,
+    HybridCiphertext,
+    MasterKey,
+    PolicyNotSatisfiedError,
+    PublicKey,
+    SecretKey,
+)
+
+__all__ = [
+    "AccessTree",
+    "AttributeLeaf",
+    "ThresholdGate",
+    "CPABE",
+    "AbeError",
+    "Ciphertext",
+    "HybridCiphertext",
+    "MasterKey",
+    "PolicyNotSatisfiedError",
+    "PublicKey",
+    "SecretKey",
+    "parse_policy",
+    "format_policy",
+    "PolicySyntaxError",
+]

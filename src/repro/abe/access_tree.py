@@ -1,0 +1,213 @@
+"""Monotonic threshold-gate access trees for CP-ABE (paper section III-C).
+
+An access tree encodes a policy: leaves carry attribute strings with an
+implicit threshold of one; internal nodes are ``k``-of-``n`` threshold
+gates over their children. The tree is satisfied by an attribute set iff
+the root is satisfied. AND is ``n``-of-``n``, OR is ``1``-of-``n``.
+
+The social-puzzle Construction 2 uses the special case of a height-1 tree:
+a single ``k``-of-``N`` root whose leaves are (question, answer)
+attributes. The *Perturb* / *Reconstruct* operations of that construction
+are relabelings of the leaves that preserve the tree's shape — supported
+here by :meth:`AccessTree.relabel`, which keeps leaf order (and therefore
+the association with per-leaf ciphertext components) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, Union
+
+__all__ = ["AttributeLeaf", "ThresholdGate", "AccessTree", "Node"]
+
+
+@dataclass(frozen=True)
+class AttributeLeaf:
+    """A leaf node holding one attribute string (threshold of one)."""
+
+    attribute: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attribute, str) or not self.attribute:
+            raise ValueError("leaf attribute must be a non-empty string")
+
+
+@dataclass(frozen=True)
+class ThresholdGate:
+    """An internal ``threshold``-of-``len(children)`` gate."""
+
+    threshold: int
+    children: tuple["Node", ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("threshold gate needs at least one child")
+        if not 1 <= self.threshold <= len(self.children):
+            raise ValueError(
+                "threshold %d out of range for %d children"
+                % (self.threshold, len(self.children))
+            )
+
+
+Node = Union[AttributeLeaf, ThresholdGate]
+
+
+class AccessTree:
+    """An immutable access tree with convenience constructors and queries."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Node):
+        if not isinstance(root, (AttributeLeaf, ThresholdGate)):
+            raise TypeError("root must be an AttributeLeaf or ThresholdGate")
+        object.__setattr__(self, "root", root)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("AccessTree is immutable")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def single(cls, attribute: str) -> "AccessTree":
+        return cls(AttributeLeaf(attribute))
+
+    @classmethod
+    def k_of_n(cls, threshold: int, attributes: Sequence[str]) -> "AccessTree":
+        """The paper's height-1 social-puzzle tree: k-of-N over attributes."""
+        leaves = tuple(AttributeLeaf(a) for a in attributes)
+        return cls(ThresholdGate(threshold, leaves))
+
+    @classmethod
+    def all_of(cls, subtrees: Sequence["AccessTree | str"]) -> "AccessTree":
+        return cls._gate(len(subtrees), subtrees)
+
+    @classmethod
+    def any_of(cls, subtrees: Sequence["AccessTree | str"]) -> "AccessTree":
+        return cls._gate(1, subtrees)
+
+    @classmethod
+    def threshold(
+        cls, k: int, subtrees: Sequence["AccessTree | str"]
+    ) -> "AccessTree":
+        return cls._gate(k, subtrees)
+
+    @classmethod
+    def _gate(cls, k: int, subtrees: Sequence["AccessTree | str"]) -> "AccessTree":
+        children = tuple(
+            sub.root if isinstance(sub, AccessTree) else AttributeLeaf(sub)
+            for sub in subtrees
+        )
+        return cls(ThresholdGate(k, children))
+
+    # -- queries ---------------------------------------------------------------
+
+    def leaves(self) -> list[AttributeLeaf]:
+        """All leaves in deterministic depth-first order.
+
+        Ciphertexts key their per-leaf components by position in this
+        order, so relabeling (which preserves shape) keeps them aligned.
+        """
+        found: list[AttributeLeaf] = []
+
+        def walk(node: Node) -> None:
+            if isinstance(node, AttributeLeaf):
+                found.append(node)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(self.root)
+        return found
+
+    def attributes(self) -> list[str]:
+        return [leaf.attribute for leaf in self.leaves()]
+
+    def satisfied_by(self, attributes: Iterable[str]) -> bool:
+        attribute_set = set(attributes)
+
+        def check(node: Node) -> bool:
+            if isinstance(node, AttributeLeaf):
+                return node.attribute in attribute_set
+            satisfied = sum(1 for child in node.children if check(child))
+            return satisfied >= node.threshold
+
+        return check(self.root)
+
+    def minimal_satisfying_leaves(
+        self, attributes: Iterable[str]
+    ) -> list[int] | None:
+        """Indices (into :meth:`leaves` order) of a minimum-size leaf set
+        that satisfies the tree using only ``attributes``, or None.
+
+        Decryption pairs two group elements per used leaf, so minimizing
+        the leaf count minimizes pairing work.
+        """
+        attribute_set = set(attributes)
+        counter = {"i": 0}
+
+        def solve(node: Node) -> list[int] | None:
+            if isinstance(node, AttributeLeaf):
+                index = counter["i"]
+                counter["i"] += 1
+                return [index] if node.attribute in attribute_set else None
+            child_solutions: list[list[int]] = []
+            for child in node.children:
+                solution = solve(child)
+                if solution is not None:
+                    child_solutions.append(solution)
+            if len(child_solutions) < node.threshold:
+                return None
+            child_solutions.sort(key=len)
+            chosen: list[int] = []
+            for solution in child_solutions[: node.threshold]:
+                chosen.extend(solution)
+            return chosen
+
+        return solve(self.root)
+
+    # -- transformations ----------------------------------------------------------
+
+    def relabel(self, fn: Callable[[str], str]) -> "AccessTree":
+        """A new tree of identical shape with every leaf attribute mapped
+        through ``fn`` — the primitive behind Perturb and Reconstruct."""
+
+        def walk(node: Node) -> Node:
+            if isinstance(node, AttributeLeaf):
+                return AttributeLeaf(fn(node.attribute))
+            return ThresholdGate(
+                node.threshold, tuple(walk(child) for child in node.children)
+            )
+
+        return AccessTree(walk(self.root))
+
+    def same_shape_as(self, other: "AccessTree") -> bool:
+        """True when both trees have identical gate structure (labels may
+        differ) — the invariant Perturb/Reconstruct must preserve."""
+
+        def walk(a: Node, b: Node) -> bool:
+            if isinstance(a, AttributeLeaf) and isinstance(b, AttributeLeaf):
+                return True
+            if isinstance(a, ThresholdGate) and isinstance(b, ThresholdGate):
+                return (
+                    a.threshold == b.threshold
+                    and len(a.children) == len(b.children)
+                    and all(walk(x, y) for x, y in zip(a.children, b.children))
+                )
+            return False
+
+        return walk(self.root, other.root)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AccessTree) and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash(self.root)
+
+    def __repr__(self) -> str:
+        def render(node: Node) -> str:
+            if isinstance(node, AttributeLeaf):
+                return repr(node.attribute)
+            inner = ", ".join(render(child) for child in node.children)
+            return f"{node.threshold}of({inner})"
+
+        return f"AccessTree({render(self.root)})"

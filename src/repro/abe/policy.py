@@ -1,0 +1,201 @@
+"""A policy language for access trees, in the style of the cpabe toolkit.
+
+The paper's Implementation 2 drives Bethencourt's cpabe toolkit, whose
+``cpabe-enc`` accepts textual policies like::
+
+    (admin and marketing) or (2 of (ctx_a, ctx_b, ctx_c))
+
+This module provides the same surface for our CP-ABE: :func:`parse_policy`
+turns a policy string into an :class:`~repro.abe.access_tree.AccessTree`,
+and :func:`format_policy` renders a tree back to canonical text (a
+round-trip tested property).
+
+Grammar (case-insensitive keywords)::
+
+    policy   := or_expr
+    or_expr  := and_expr ( OR and_expr )*
+    and_expr := atom ( AND atom )*
+    atom     := attribute
+              | '(' policy ')'
+              | NUMBER OF '(' policy ( ',' policy )* ')'
+
+Attributes are bare words (letters, digits, ``_:.#|-``) or single-quoted
+strings (which may contain spaces and the social-puzzle separator).
+``k of (...)`` is a threshold gate; AND / OR are n-of-n / 1-of-n gates
+and consecutive operators of the same kind are flattened.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.abe.access_tree import AccessTree, AttributeLeaf, Node, ThresholdGate
+
+__all__ = ["parse_policy", "format_policy", "PolicySyntaxError"]
+
+
+class PolicySyntaxError(ValueError):
+    """Raised on malformed policy strings."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<comma>,) |
+        (?P<quoted>'(?:[^'\\]|\\.)*') |
+        (?P<word>[\w:.#|\x1f-]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "of"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PolicySyntaxError(
+                "unexpected character %r at position %d" % (remainder[0], position)
+            )
+        position = match.end()
+        if match.group("quoted"):
+            raw = match.group("quoted")[1:-1]
+            tokens.append("'" + raw.replace("\\'", "'").replace("\\\\", "\\"))
+        else:
+            tokens.append(match.group(1))
+    if text[position:].strip():
+        raise PolicySyntaxError("trailing garbage: %r" % text[position:])
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise PolicySyntaxError("unexpected end of policy")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise PolicySyntaxError("expected %r, got %r" % (token, got))
+
+    # policy := or_expr
+    def parse(self) -> Node:
+        node = self._or_expr()
+        if self.peek() is not None:
+            raise PolicySyntaxError("unexpected token %r" % self.peek())
+        return node
+
+    def _or_expr(self) -> Node:
+        parts = [self._and_expr()]
+        while self._keyword_ahead("or"):
+            self.take()
+            parts.append(self._and_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return ThresholdGate(1, tuple(parts))
+
+    def _and_expr(self) -> Node:
+        parts = [self._atom()]
+        while self._keyword_ahead("and"):
+            self.take()
+            parts.append(self._atom())
+        if len(parts) == 1:
+            return parts[0]
+        return ThresholdGate(len(parts), tuple(parts))
+
+    def _keyword_ahead(self, keyword: str) -> bool:
+        token = self.peek()
+        return token is not None and token.lower() == keyword
+
+    def _atom(self) -> Node:
+        token = self.peek()
+        if token is None:
+            raise PolicySyntaxError("unexpected end of policy")
+        if token == "(":
+            self.take()
+            node = self._or_expr()
+            self.expect(")")
+            return node
+        if token.isdigit():
+            threshold = int(self.take())
+            if not self._keyword_ahead("of"):
+                # A bare number is a valid attribute name in cpabe; treat
+                # it as a leaf when not followed by OF.
+                return AttributeLeaf(token)
+            self.take()  # OF
+            self.expect("(")
+            children = [self._or_expr()]
+            while self.peek() == ",":
+                self.take()
+                children.append(self._or_expr())
+            self.expect(")")
+            if not 1 <= threshold <= len(children):
+                raise PolicySyntaxError(
+                    "threshold %d out of range for %d alternatives"
+                    % (threshold, len(children))
+                )
+            return ThresholdGate(threshold, tuple(children))
+        token = self.take()
+        if token in (")", ","):
+            raise PolicySyntaxError("unexpected %r" % token)
+        if token.startswith("'"):
+            return AttributeLeaf(token[1:])
+        if token.lower() in _KEYWORDS:
+            raise PolicySyntaxError("keyword %r cannot be an attribute" % token)
+        return AttributeLeaf(token)
+
+
+def parse_policy(text: str) -> AccessTree:
+    """Parse a cpabe-style policy string into an access tree."""
+    if not text.strip():
+        raise PolicySyntaxError("empty policy")
+    return AccessTree(_Parser(_tokenize(text)).parse())
+
+
+_BARE_RE = re.compile(r"^[\w:.#|-]+$")
+
+
+def _quote(attribute: str) -> str:
+    if _BARE_RE.match(attribute) and attribute.lower() not in _KEYWORDS:
+        return attribute
+    return "'" + attribute.replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+def _format_node(node: Node) -> str:
+    if isinstance(node, AttributeLeaf):
+        return _quote(node.attribute)
+    children = [_format_node(child) for child in node.children]
+    if node.threshold == len(node.children) and len(children) > 1:
+        return "(" + " and ".join(children) + ")"
+    if node.threshold == 1 and len(children) > 1:
+        return "(" + " or ".join(children) + ")"
+    if len(children) == 1:
+        return children[0]
+    return "%d of (%s)" % (node.threshold, ", ".join(children))
+
+
+def format_policy(tree: AccessTree) -> str:
+    """Render a tree as canonical policy text (inverse of parse_policy
+    up to parenthesization)."""
+    return _format_node(tree.root)

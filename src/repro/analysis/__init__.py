@@ -1,0 +1,48 @@
+"""Executable security analysis of the paper's section VI scenarios."""
+
+from repro.analysis.relevance import (
+    PolicyRelevance,
+    RelevanceConfig,
+    RelevanceReport,
+    run_relevance_experiment,
+)
+from repro.analysis.scenarios import format_outcomes, run_standard_scenarios
+from repro.analysis.usability import (
+    ClassResult,
+    ParticipantClass,
+    StudyConfig,
+    UserStudyReport,
+    simulate_user_study,
+)
+from repro.analysis.security import (
+    AttackOutcome,
+    collusion_attack_c1,
+    dh_object_tampering_c1,
+    malicious_sp_feedback_collusion_c1,
+    semi_honest_sp_attack_c1,
+    sp_dictionary_attack_c1,
+    sp_dictionary_attack_c2,
+    sp_url_tampering_c1,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "run_standard_scenarios",
+    "format_outcomes",
+    "run_relevance_experiment",
+    "RelevanceConfig",
+    "RelevanceReport",
+    "PolicyRelevance",
+    "simulate_user_study",
+    "StudyConfig",
+    "UserStudyReport",
+    "ClassResult",
+    "ParticipantClass",
+    "semi_honest_sp_attack_c1",
+    "sp_dictionary_attack_c1",
+    "sp_dictionary_attack_c2",
+    "collusion_attack_c1",
+    "malicious_sp_feedback_collusion_c1",
+    "sp_url_tampering_c1",
+    "dh_object_tampering_c1",
+]

@@ -1,0 +1,19 @@
+"""Application layer: the Facebook canvas apps and the platform facade."""
+
+from repro.apps.clients import (
+    PAPER_I2_FILE_SIZES,
+    AccessResult,
+    ShareResult,
+    SocialPuzzleAppC1,
+    SocialPuzzleAppC2,
+)
+from repro.apps.platform import SocialPuzzlePlatform
+
+__all__ = [
+    "SocialPuzzleAppC1",
+    "SocialPuzzleAppC2",
+    "SocialPuzzlePlatform",
+    "ShareResult",
+    "AccessResult",
+    "PAPER_I2_FILE_SIZES",
+]

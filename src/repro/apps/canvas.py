@@ -1,0 +1,138 @@
+"""The Facebook canvas application as a request/response API.
+
+Section VII describes a concrete server component: an HTML form posts the
+puzzle, a MySQL table stores it, a hyperlink leads receivers to an
+interface that fetches the puzzle, accepts hashed answers and redirects to
+the encrypted object. This module models that HTTP surface explicitly —
+a tiny router with typed requests and JSON-serializable responses — so
+integration tests can exercise the *interface* (unknown routes, malformed
+bodies, method checks, status codes) and not just the library calls.
+
+Routes (Construction 1 service):
+
+    POST /puzzles                  body: puzzle bytes (Z_O)      -> 201 {puzzle_id}
+    GET  /puzzles/<id>             -> 200 {questions, puzzle_key, k}
+    POST /puzzles/<id>/answers     body: {question: digest_hex}  -> 200 {shares, url} | 403
+    GET  /health                   -> 200 {status}
+
+The router enforces the same trust boundary as the service: request bodies
+are recorded in the SP audit trail, and nothing the handlers return can
+contain plaintext answers or objects (they never have them).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+
+from repro.core.construction1 import PuzzleAnswers, PuzzleServiceC1
+from repro.core.errors import AccessDeniedError, UnknownPuzzleError
+from repro.core.puzzle import Puzzle
+
+__all__ = ["Request", "Response", "CanvasApiC1"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A minimal HTTP-ish request."""
+
+    method: str
+    path: str
+    body: bytes = b""
+    requester: str = ""
+
+
+@dataclass(frozen=True)
+class Response:
+    """A minimal HTTP-ish response with a JSON body."""
+
+    status: int
+    payload: dict
+
+    def json(self) -> str:
+        return json.dumps({"status": self.status, **self.payload})
+
+
+class CanvasApiC1:
+    """Router exposing a :class:`PuzzleServiceC1` over request objects."""
+
+    def __init__(self, service: PuzzleServiceC1 | None = None):
+        self.service = service if service is not None else PuzzleServiceC1()
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route one request; never raises — errors become status codes."""
+        try:
+            return self._route(request)
+        except UnknownPuzzleError:
+            return Response(404, {"error": "no such puzzle"})
+        except AccessDeniedError as exc:
+            return Response(403, {"error": str(exc)})
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            return Response(400, {"error": "malformed request: %s" % exc})
+
+    def _route(self, request: Request) -> Response:
+        parts = [p for p in request.path.split("/") if p]
+        if parts == ["health"] and request.method == "GET":
+            return Response(200, {"ok": True, "puzzles": self.service.puzzle_count()})
+        if parts == ["puzzles"] and request.method == "POST":
+            return self._create_puzzle(request)
+        if len(parts) == 2 and parts[0] == "puzzles" and request.method == "GET":
+            return self._display(int(parts[1]))
+        if (
+            len(parts) == 3
+            and parts[0] == "puzzles"
+            and parts[2] == "answers"
+            and request.method == "POST"
+        ):
+            return self._verify(int(parts[1]), request)
+        return Response(404, {"error": "no route for %s %s" % (request.method, request.path)})
+
+    # -- handlers -------------------------------------------------------------------
+
+    def _create_puzzle(self, request: Request) -> Response:
+        puzzle = Puzzle.from_bytes(request.body)
+        puzzle_id = self.service.store_puzzle(puzzle)
+        return Response(201, {"puzzle_id": puzzle_id})
+
+    def _display(self, puzzle_id: int) -> Response:
+        displayed = self.service.display_puzzle(puzzle_id)
+        return Response(
+            200,
+            {
+                "puzzle_id": displayed.puzzle_id,
+                "questions": list(displayed.questions),
+                "puzzle_key": base64.b64encode(displayed.puzzle_key).decode(),
+                "k": displayed.k,
+            },
+        )
+
+    def _verify(self, puzzle_id: int, request: Request) -> Response:
+        body = json.loads(request.body.decode())
+        if not isinstance(body, dict) or not body:
+            raise ValueError("answers body must be a non-empty object")
+        digests = {
+            question: bytes.fromhex(digest_hex)
+            for question, digest_hex in body.items()
+        }
+        release = self.service.verify(
+            PuzzleAnswers(puzzle_id=puzzle_id, digests=digests)
+        )
+        return Response(
+            200,
+            {
+                "url": release.url,
+                "k": release.k,
+                "shares": [
+                    {
+                        "question": s.question,
+                        "entry_index": s.entry_index,
+                        "share_x": str(s.share_x),  # 256-bit; JSON-safe as str
+                        "blinded_share": base64.b64encode(s.blinded_share).decode(),
+                    }
+                    for s in release.shares
+                ],
+            },
+        )

@@ -1,0 +1,152 @@
+"""Implementation 2's server component as a request/response API.
+
+Section VII describes it concretely: the Qt client cURLs four files up
+(``details.txt``, ``pub_key``, ``master_key``, ``message.txt.cpabe``); the
+server strips the answer hashes out of details.txt before serving it,
+stores them in a database, verifies hashed answers, and on success "gives
+access to message.txt.cpabe, master key, and pub key files".
+
+Routes:
+
+    POST /uploads                      body: 4-file bundle         -> 201 {puzzle_id}
+    GET  /uploads/<id>/details.txt     -> 200 {questions, threshold}
+    POST /uploads/<id>/answers         body: {question: sha1_hex}  -> 200 {files} | 403
+    GET  /health                       -> 200
+
+The upload bundle uses the shared codec; the ciphertext itself goes to the
+storage host (the DH), matching the paper's logical separation even though
+its prototype co-located them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.abe.serialize import decode_access_tree
+from repro.apps.canvas import Request, Response
+from repro.core.construction2 import C2Upload, PuzzleAnswersC2, PuzzleServiceC2
+from repro.core.errors import AccessDeniedError, UnknownPuzzleError
+from repro.osn.storage import StorageHost
+from repro.util.codec import CodecError, Reader, blob, text
+
+__all__ = ["CanvasApiC2", "encode_upload_bundle", "decode_upload_bundle"]
+
+
+def encode_upload_bundle(
+    tree_perturbed_bytes: bytes,
+    pk_bytes: bytes,
+    mk_bytes: bytes,
+    ciphertext_bytes: bytes,
+    sharer_name: str,
+) -> bytes:
+    """The four-file POST body (details.txt, pub_key, master_key, CT)."""
+    return (
+        text(sharer_name)
+        + blob(tree_perturbed_bytes)
+        + blob(pk_bytes)
+        + blob(mk_bytes)
+        + blob(ciphertext_bytes)
+    )
+
+
+def decode_upload_bundle(data: bytes) -> tuple[str, bytes, bytes, bytes, bytes]:
+    reader = Reader(data)
+    sharer_name = reader.text()
+    tree = reader.blob()
+    pk = reader.blob()
+    mk = reader.blob()
+    ct = reader.blob()
+    reader.done()
+    return sharer_name, tree, pk, mk, ct
+
+
+class CanvasApiC2:
+    """Router exposing a :class:`PuzzleServiceC2` + storage host."""
+
+    def __init__(
+        self,
+        service: PuzzleServiceC2 | None = None,
+        storage: StorageHost | None = None,
+    ):
+        self.service = service if service is not None else PuzzleServiceC2()
+        self.storage = storage if storage is not None else StorageHost()
+
+    def handle(self, request: Request) -> Response:
+        try:
+            return self._route(request)
+        except UnknownPuzzleError:
+            return Response(404, {"error": "no such puzzle"})
+        except AccessDeniedError as exc:
+            return Response(403, {"error": str(exc)})
+        except (ValueError, KeyError, CodecError, json.JSONDecodeError) as exc:
+            return Response(400, {"error": "malformed request: %s" % exc})
+
+    def _route(self, request: Request) -> Response:
+        parts = [p for p in request.path.split("/") if p]
+        if parts == ["health"] and request.method == "GET":
+            return Response(200, {"ok": True, "puzzles": self.service.puzzle_count()})
+        if parts == ["uploads"] and request.method == "POST":
+            return self._create(request)
+        if (
+            len(parts) == 3
+            and parts[0] == "uploads"
+            and parts[2] == "details.txt"
+            and request.method == "GET"
+        ):
+            return self._details(int(parts[1]))
+        if (
+            len(parts) == 3
+            and parts[0] == "uploads"
+            and parts[2] == "answers"
+            and request.method == "POST"
+        ):
+            return self._verify(int(parts[1]), request)
+        return Response(
+            404, {"error": "no route for %s %s" % (request.method, request.path)}
+        )
+
+    def _create(self, request: Request) -> Response:
+        sharer_name, tree_bytes, pk, mk, ct = decode_upload_bundle(request.body)
+        tree = decode_access_tree(tree_bytes)
+        url = self.storage.put(ct)
+        record = C2Upload(
+            puzzle_id=0,
+            tree_perturbed=tree,
+            pk_bytes=pk,
+            mk_bytes=mk,
+            url=url,
+            sharer_name=sharer_name,
+        )
+        puzzle_id = self.service.store_upload(record)
+        return Response(201, {"puzzle_id": puzzle_id})
+
+    def _details(self, puzzle_id: int) -> Response:
+        displayed = self.service.display_puzzle(puzzle_id)
+        return Response(
+            200,
+            {
+                "puzzle_id": displayed.puzzle_id,
+                "questions": list(displayed.questions),
+                "threshold": displayed.threshold,
+            },
+        )
+
+    def _verify(self, puzzle_id: int, request: Request) -> Response:
+        body = json.loads(request.body.decode())
+        if not isinstance(body, dict) or not body:
+            raise ValueError("answers body must be a non-empty object")
+        grant = self.service.verify(
+            PuzzleAnswersC2(puzzle_id=puzzle_id, digests=dict(body))
+        )
+        ciphertext = self.storage.get(grant.url)
+        return Response(
+            200,
+            {
+                "files": {
+                    "message.txt.cpabe": base64.b64encode(ciphertext).decode(),
+                    "master_key": base64.b64encode(grant.mk_bytes).decode(),
+                    "pub_key": base64.b64encode(grant.pk_bytes).decode(),
+                }
+            },
+        )

@@ -1,0 +1,131 @@
+"""A one-stop platform facade tying everything together.
+
+``SocialPuzzlePlatform`` is what the examples (and most tests) use: it
+stands up a simulated OSN provider, a storage host, and both puzzle
+applications, and exposes the end-to-end user journey —
+
+    platform = SocialPuzzlePlatform(params=SMALL)
+    alice = platform.join("alice"); bob = platform.join("bob")
+    platform.befriend(alice, bob)
+    share = platform.share(alice, b"photos!", context, k=2)     # C1
+    result = platform.solve(bob, share, knowledge)               # as bob
+
+mirroring the paper's demo: the sharer fills the HTML form, the app posts
+a hyperlink, friends click it, answer questions, and read the object.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.clients import (
+    AccessResult,
+    SecureTransport,
+    ShareResult,
+    SocialPuzzleAppC1,
+    SocialPuzzleAppC2,
+)
+from repro.core.context import Context
+from repro.crypto.bls import BlsScheme
+from repro.crypto.ec import CurveParams
+from repro.crypto.params import SMALL
+from repro.osn.network import NetworkLink
+from repro.osn.provider import Post, ServiceProvider, User
+from repro.osn.storage import StorageHost
+from repro.sim.devices import PC, DeviceProfile
+
+__all__ = ["SocialPuzzlePlatform"]
+
+
+class SocialPuzzlePlatform:
+    """Simulated OSN + storage + both social-puzzle applications."""
+
+    def __init__(
+        self,
+        params: CurveParams = SMALL,
+        signed_puzzles: bool = False,
+        file_size_model: str = "actual",
+        digestmod_c2: str = "sha1",
+        secure_transport: bool = False,
+    ):
+        self.provider = ServiceProvider()
+        self.storage = StorageHost()
+        self.params = params
+        self.bls = BlsScheme(params) if signed_puzzles else None
+        self.transport = (
+            SecureTransport(params, bls=self.bls) if secure_transport else None
+        )
+        self.app_c1 = SocialPuzzleAppC1(
+            self.provider, self.storage, bls=self.bls, transport=self.transport
+        )
+        self.app_c2 = SocialPuzzleAppC2(
+            self.provider,
+            self.storage,
+            params,
+            digestmod=digestmod_c2,
+            file_size_model=file_size_model,
+            transport=self.transport,
+        )
+
+    # -- membership ---------------------------------------------------------------
+
+    def join(self, name: str, **profile: str) -> User:
+        return self.provider.register_user(name, profile)
+
+    def befriend(self, a: User, b: User) -> None:
+        self.provider.befriend(a, b)
+
+    # -- sharing ------------------------------------------------------------------
+
+    def share(
+        self,
+        user: User,
+        obj: bytes,
+        context: Context,
+        k: int,
+        n: int | None = None,
+        construction: int = 1,
+        device: DeviceProfile = PC,
+        link: NetworkLink | None = None,
+        audience: str = "friends",
+    ) -> ShareResult:
+        app = self._app(construction)
+        return app.share(
+            user, obj, context, k, n=n, device=device, link=link, audience=audience
+        )
+
+    def solve(
+        self,
+        viewer: User,
+        share: ShareResult,
+        knowledge: Context,
+        construction: int = 1,
+        device: DeviceProfile = PC,
+        link: NetworkLink | None = None,
+        rng: random.Random | None = None,
+    ) -> AccessResult:
+        """Attempt to solve a previously shared puzzle as ``viewer``.
+
+        The viewer must be able to see the post (static ACL layer) before
+        the puzzle is even displayed — the paper's two complementary
+        access-control layers.
+        """
+        self.provider.get_post(viewer, share.post.post_id)  # ACL gate
+        app = self._app(construction)
+        if construction == 1:
+            return app.attempt_access(
+                viewer, share.puzzle_id, knowledge, device=device, link=link, rng=rng
+            )
+        return app.attempt_access(
+            viewer, share.puzzle_id, knowledge, device=device, link=link
+        )
+
+    def feed(self, viewer: User) -> list[Post]:
+        return self.provider.feed(viewer)
+
+    def _app(self, construction: int) -> SocialPuzzleAppC1 | SocialPuzzleAppC2:
+        if construction == 1:
+            return self.app_c1
+        if construction == 2:
+            return self.app_c2
+        raise ValueError("construction must be 1 or 2, got %r" % construction)

@@ -1,0 +1,360 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``       — the quickstart flow (share, solve, deny, audit).
+* ``figure``     — regenerate a Figure 10 panel (optionally ``--csv``).
+* ``attacks``    — stage the section VI attack scenarios and print outcomes.
+* ``study``      — run the simulated ISO 9241-11 usability study.
+* ``simulate``   — run the system-level deployment simulation.
+* ``recommend``  — list recommended context questions for an event kind.
+* ``audit``      — strength-audit a context JSON file before sharing.
+* ``share``      — share an object into a persistent world file.
+* ``solve``      — solve a puzzle from a persistent world file.
+
+The CLI only drives the library; all logic lives in the packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.context import Context
+from repro.core.entropy import audit_puzzle_strength
+from repro.core.errors import AccessDeniedError, PuzzleParameterError
+from repro.core.recommend import ContextRecommender
+from repro.crypto.params import get_params
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Social Puzzles (DSN 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the quickstart share/solve flow")
+    demo.add_argument("--params", default="small", help="pairing preset (toy/small/default)")
+    demo.add_argument("--construction", type=int, default=1, choices=(1, 2))
+
+    figure = sub.add_parser("figure", help="regenerate a Figure 10 panel")
+    figure.add_argument("panel", choices=("10a", "10b", "10c", "10d"))
+    figure.add_argument("--params", default="default", help="pairing preset")
+    figure.add_argument(
+        "--file-size-model", default="paper", choices=("paper", "actual")
+    )
+    figure.add_argument("--csv", default=None, help="also write the series to a CSV file")
+
+    sub.add_parser("attacks", help="stage the section VI attack scenarios")
+
+    study = sub.add_parser("study", help="run the simulated usability study")
+    study.add_argument("--participants", type=int, default=30)
+    study.add_argument("--questions", type=int, default=5)
+    study.add_argument("--threshold", type=int, default=2)
+    study.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser(
+        "simulate", help="run the system-level deployment simulation"
+    )
+    simulate.add_argument("--users", type=int, default=40)
+    simulate.add_argument("--ticks", type=int, default=20)
+    simulate.add_argument("--threshold", type=int, default=2)
+    simulate.add_argument("--construction", type=int, default=1, choices=(1, 2))
+    simulate.add_argument("--seed", type=int, default=0)
+
+    recommend = sub.add_parser("recommend", help="suggest context questions")
+    recommend.add_argument("kind", help="event kind (party/trip/meeting/wedding)")
+    recommend.add_argument("--count", type=int, default=None)
+
+    audit = sub.add_parser("audit", help="strength-audit a context JSON file")
+    audit.add_argument("path", help='JSON file: {"k": 2, "context": {"Q?": "A", ...}}')
+
+    share = sub.add_parser(
+        "share", help="share an object into a persistent world file"
+    )
+    share.add_argument("--world", required=True, help="world JSON file (created if absent)")
+    share.add_argument("--sharer", required=True, help="sharer user name")
+    share.add_argument(
+        "--friends", default="", help="comma-separated friend names to (auto-)create"
+    )
+    share.add_argument("--message", required=True, help="object to protect")
+    share.add_argument(
+        "--context", required=True, help='context JSON file {"Q?": "A", ...}'
+    )
+    share.add_argument("-k", "--threshold", type=int, default=2)
+    share.add_argument("--construction", type=int, default=1, choices=(1, 2))
+    share.add_argument("--params", default="toy", help="pairing preset for new worlds")
+
+    solve = sub.add_parser("solve", help="solve a puzzle from a world file")
+    solve.add_argument("--world", required=True)
+    solve.add_argument("--viewer", required=True, help="viewer user name")
+    solve.add_argument("--puzzle", type=int, required=True, help="puzzle id")
+    solve.add_argument(
+        "--answers", required=True, help='answers JSON file {"Q?": "A", ...}'
+    )
+    solve.add_argument("--construction", type=int, default=1, choices=(1, 2))
+    solve.add_argument("--seed", type=int, default=None, help="display-subset seed (C1)")
+
+    return parser
+
+
+def _load_world(path: str, params_name: str) -> "SocialPuzzlePlatform":
+    import os
+
+    from repro.osn.persistence import load_platform
+
+    if os.path.exists(path):
+        return load_platform(path)
+    return SocialPuzzlePlatform(params=get_params(params_name))
+
+
+def _user_by_name(platform: "SocialPuzzlePlatform", name: str, create: bool = False):
+    for account in platform.provider._accounts.values():
+        if account.user.name == name:
+            return account.user
+    if create:
+        return platform.join(name)
+    raise SystemExit(f"error: no user named {name!r} in this world")
+
+
+def _cmd_share(args) -> int:
+    from repro.osn.persistence import save_platform
+
+    platform = _load_world(args.world, args.params)
+    sharer = _user_by_name(platform, args.sharer, create=True)
+    for friend_name in filter(None, args.friends.split(",")):
+        friend = _user_by_name(platform, friend_name.strip(), create=True)
+        if not platform.provider.are_friends(sharer, friend):
+            platform.befriend(sharer, friend)
+    with open(args.context) as handle:
+        context = Context.from_mapping(json.load(handle))
+    share = platform.share(
+        sharer,
+        args.message.encode(),
+        context,
+        k=args.threshold,
+        construction=args.construction,
+    )
+    save_platform(platform, args.world)
+    print(f"shared puzzle #{share.puzzle_id} (construction {args.construction})")
+    print(f"post: {share.post.content}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.osn.persistence import save_platform
+
+    platform = _load_world(args.world, "toy")
+    viewer = _user_by_name(platform, args.viewer)
+    with open(args.answers) as handle:
+        knowledge = Context.from_mapping(json.load(handle))
+    app = platform.app_c1 if args.construction == 1 else platform.app_c2
+    try:
+        if args.construction == 1:
+            rng = random.Random(args.seed) if args.seed is not None else None
+            result = app.attempt_access(viewer, args.puzzle, knowledge, rng=rng)
+        else:
+            result = app.attempt_access(viewer, args.puzzle, knowledge)
+    except AccessDeniedError as exc:
+        print(f"access denied: {exc}", file=sys.stderr)
+        return 1
+    save_platform(platform, args.world)
+    print(result.plaintext.decode(errors="replace"))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    params = get_params(args.params)
+    platform = SocialPuzzlePlatform(params=params)
+    alice = platform.join("alice")
+    bob = platform.join("bob")
+    carol = platform.join("carol")
+    platform.befriend(alice, bob)
+    platform.befriend(alice, carol)
+
+    context = Context.from_mapping(
+        {
+            "Where was the party held?": "Lake Tahoe",
+            "Who brought the cake?": "Marguerite",
+            "Which song closed the night?": "Wonderwall",
+        }
+    )
+    obj = b"party photos"
+    share = platform.share(
+        alice, obj, context, k=2, construction=args.construction
+    )
+    print(f"shared puzzle #{share.puzzle_id} (construction {args.construction})")
+    rng = random.Random(5) if args.construction == 1 else None
+    result = platform.solve(
+        bob, share, context, construction=args.construction, rng=rng
+    )
+    print(f"bob solved it: {result.plaintext!r}")
+    try:
+        wrong = Context.from_mapping({"Where was the party held?": "Las Vegas"})
+        platform.solve(carol, share, wrong, construction=args.construction, rng=rng)
+    except AccessDeniedError as exc:
+        print(f"carol denied: {exc}")
+    for pair in context:
+        platform.provider.audit.assert_never_saw(pair.answer_bytes(), "answer")
+    print("audit: SP never saw a plaintext answer")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.sim.devices import PC, TABLET
+    from repro.sim.figures import print_figure, series
+
+    params = get_params(args.params)
+    model = args.file_size_model
+    if args.panel == "10a":
+        title = "Figure 10(a) — Sharer's Overhead: I1 vs I2 on PC"
+        labelled = {
+            "I1": series(1, "sharer", params=params, file_size_model=model),
+            "I2": series(2, "sharer", params=params, file_size_model=model),
+        }
+    elif args.panel == "10b":
+        title = "Figure 10(b) — Receiver's Overhead: I1 vs I2 on PC"
+        labelled = {
+            "I1": series(1, "receiver", params=params, file_size_model=model),
+            "I2": series(2, "receiver", params=params, file_size_model=model),
+        }
+    elif args.panel == "10c":
+        title = "Figure 10(c) — Sharer's Overhead: PC vs Tablet for I1"
+        labelled = {
+            "PC": series(1, "sharer", device=PC, params=params),
+            "Tablet": series(1, "sharer", device=TABLET, params=params),
+        }
+    else:
+        title = "Figure 10(d) — Receiver's Overhead: PC vs Tablet for I1"
+        labelled = {
+            "PC": series(1, "receiver", device=PC, params=params),
+            "Tablet": series(1, "receiver", device=TABLET, params=params),
+        }
+    print_figure(title, labelled)
+    if args.csv:
+        from repro.sim.metrics import write_csv
+
+        write_csv(labelled, args.csv)
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_attacks(_args) -> int:
+    from repro.analysis.scenarios import format_outcomes, run_standard_scenarios
+
+    print(format_outcomes(run_standard_scenarios()))
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from repro.analysis.usability import StudyConfig, simulate_user_study
+
+    config = StudyConfig(
+        participants_per_class=args.participants,
+        num_questions=args.questions,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    report = simulate_user_study(config)
+    print(
+        f"simulated study: {args.participants} participants/class, "
+        f"N={args.questions}, k={args.threshold}"
+    )
+    print(
+        f"{'class':>16} {'success':>8} {'mean time (s)':>14} "
+        f"{'first-try':>10} {'attempts':>9}"
+    )
+    for row in report.results:
+        print(
+            f"{row.participant_class:>16} {row.success_rate:>8.0%} "
+            f"{row.mean_time_s:>14.1f} {row.first_try_rate:>10.0%} "
+            f"{row.mean_attempts:>9.2f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim.driver import SimulationConfig, run_simulation
+
+    config = SimulationConfig(
+        num_users=args.users,
+        ticks=args.ticks,
+        threshold=args.threshold,
+        construction=args.construction,
+        seed=args.seed,
+    )
+    print(
+        "simulating %d ticks on %d users (construction %d, k=%d)..."
+        % (config.ticks, config.num_users, config.construction, config.threshold)
+    )
+    report = run_simulation(config)
+    for line in report.summary_lines():
+        print(" ", line)
+    return 0 if report.stranger_granted == 0 else 1
+
+
+def _cmd_recommend(args) -> int:
+    recommender = ContextRecommender()
+    try:
+        candidates = recommender.suggest_questions(args.kind, args.count)
+    except PuzzleParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"recommended questions for a {args.kind} (strongest domains first):")
+    for candidate in candidates:
+        print(f"  [{candidate.domain_size:>8} plausible answers] {candidate.question}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    with open(args.path) as handle:
+        payload = json.load(handle)
+    try:
+        context = Context.from_mapping(payload["context"])
+        k = int(payload["k"])
+        report = audit_puzzle_strength(context, k)
+    except (KeyError, ValueError, PuzzleParameterError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"puzzle strength audit (k={k}, N={len(context)}):")
+    for answer in report.answers:
+        marker = "WEAK" if answer.weak else "ok  "
+        print(f"  [{marker}] {answer.entropy_bits:5.1f} bits  {answer.question}")
+    print(f"attack cost (k weakest answers): ~{report.attack_cost_bits:.0f} bits")
+    for note in report.notes:
+        print(f"  note: {note}")
+    if report.acceptable:
+        print("verdict: acceptable")
+        return 0
+    print("verdict: NOT acceptable")
+    for warning in report.warnings:
+        print(f"  warning: {warning}")
+    return 1
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "figure": _cmd_figure,
+    "attacks": _cmd_attacks,
+    "study": _cmd_study,
+    "simulate": _cmd_simulate,
+    "recommend": _cmd_recommend,
+    "audit": _cmd_audit,
+    "share": _cmd_share,
+    "solve": _cmd_solve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

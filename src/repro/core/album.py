@@ -1,0 +1,163 @@
+"""Albums: many objects behind one social puzzle.
+
+The paper's motivating example is "sharing messages or pictures of a past
+social gathering" — usually a whole album, not one file. Rather than one
+puzzle per photo (receivers would answer the same questions repeatedly),
+an album shares ONE polynomial secret M_O: each item is encrypted under a
+per-item key derived from M_O and the item's title, and an encrypted
+*manifest* (the item titles and their DH URLs) sits behind the puzzle's
+URL_O. Solving the puzzle once unlocks the manifest and every item.
+
+Security is unchanged from Construction 1: the DH stores only ciphertexts
+(manifest included), the SP sees only the puzzle, and per-item keys are
+independent hashes of the secret, so a leaked item key reveals neither
+M_O nor sibling keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.construction1 import DisplayedPuzzle, ReceiverC1, ShareRelease, SharerC1
+from repro.core.context import Context
+from repro.core.errors import PuzzleParameterError, TamperDetectedError
+from repro.core.puzzle import Puzzle
+from repro.crypto import gibberish
+from repro.crypto.hashes import sha3_256
+from repro.util.codec import Reader, text, u32
+
+__all__ = ["AlbumManifest", "AlbumSharer", "AlbumReceiver"]
+
+_MANIFEST_LABEL = b"\x00manifest"
+
+
+def _album_key(secret_m: int, label: bytes) -> bytes:
+    """Per-item passphrase: H(M_O || label), domain-separated from the
+    single-object K_O = H(M_O)."""
+    material = secret_m.to_bytes(32, "big") + b"\x1e" + label
+    return sha3_256(material).hexdigest().encode()
+
+
+@dataclass(frozen=True)
+class AlbumManifest:
+    """Titles and storage URLs of an album's items, in upload order."""
+
+    items: tuple[tuple[str, str], ...]  # (title, url)
+
+    def titles(self) -> list[str]:
+        return [title for title, _ in self.items]
+
+    def url_for(self, title: str) -> str:
+        for item_title, url in self.items:
+            if item_title == title:
+                return url
+        raise KeyError("no album item titled %r" % title)
+
+    def to_bytes(self) -> bytes:
+        out = u32(len(self.items))
+        for title, url in self.items:
+            out += text(title) + text(url)
+        return out
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AlbumManifest":
+        reader = Reader(data)
+        count = reader.u32()
+        items = tuple((reader.text(), reader.text()) for _ in range(count))
+        reader.done()
+        return cls(items=items)
+
+
+class AlbumSharer:
+    """Wraps a :class:`SharerC1` to share multi-item albums."""
+
+    def __init__(self, sharer: SharerC1):
+        self.sharer = sharer
+
+    def upload_album(
+        self, items: dict[str, bytes], context: Context, k: int, n: int
+    ) -> Puzzle:
+        """Encrypt every item + a manifest under one puzzle secret.
+
+        ``items`` maps titles to contents; titles must be distinct and
+        non-empty.
+        """
+        if not items:
+            raise PuzzleParameterError("an album needs at least one item")
+        if any(not title.strip() for title in items):
+            raise PuzzleParameterError("album item titles must be non-empty")
+
+        # Share a placeholder first to obtain the puzzle (and its secret):
+        # we need M_O before we can encrypt the items, but M_O only exists
+        # inside upload(). Instead, run the standard upload on the
+        # *manifest* and derive item keys from the same secret — which
+        # requires recovering M_O the way a receiver would. To keep the
+        # dealer honest we replicate upload()'s secret generation here.
+        from repro.crypto.polynomial import Polynomial
+
+        polynomial = Polynomial.random(self.sharer.field, k - 1)
+        secret_m = int(polynomial.constant_term())
+
+        manifest_items = []
+        for title, content in items.items():
+            encrypted = gibberish.encrypt(content, _album_key(secret_m, title.encode()))
+            url = self.sharer.storage.put(encrypted)
+            manifest_items.append((title, url))
+        manifest = AlbumManifest(items=tuple(manifest_items))
+
+        encrypted_manifest = gibberish.encrypt(
+            manifest.to_bytes(), _album_key(secret_m, _MANIFEST_LABEL)
+        )
+        return self.sharer.upload_with_polynomial(
+            encrypted_manifest, context, k, n, polynomial
+        )
+
+
+class AlbumReceiver:
+    """Wraps a :class:`ReceiverC1` to open albums item by item."""
+
+    def __init__(self, receiver: ReceiverC1):
+        self.receiver = receiver
+        self._secret: int | None = None
+        self._manifest: AlbumManifest | None = None
+
+    def open_album(
+        self,
+        release: ShareRelease,
+        displayed: DisplayedPuzzle,
+        knowledge: Context,
+        expected_signature: Puzzle | None = None,
+    ) -> AlbumManifest:
+        """Solve the puzzle once; decrypt and cache the manifest."""
+        self._secret = self.receiver.recover_object_secret(
+            release, displayed, knowledge, expected_signature=expected_signature
+        )
+        encrypted_manifest = self.receiver.storage.get(release.url)
+        try:
+            manifest_bytes = gibberish.decrypt(
+                encrypted_manifest, _album_key(self._secret, _MANIFEST_LABEL)
+            )
+        except ValueError as exc:
+            raise TamperDetectedError(
+                "manifest decryption failed — wrong answers or tampered storage"
+            ) from exc
+        self._manifest = AlbumManifest.from_bytes(manifest_bytes)
+        return self._manifest
+
+    def fetch_item(self, title: str) -> bytes:
+        """Download and decrypt one item (after :meth:`open_album`)."""
+        if self._secret is None or self._manifest is None:
+            raise PuzzleParameterError("open_album must succeed before fetching items")
+        url = self._manifest.url_for(title)
+        encrypted = self.receiver.storage.get(url)
+        try:
+            return gibberish.decrypt(encrypted, _album_key(self._secret, title.encode()))
+        except ValueError as exc:
+            raise TamperDetectedError(
+                "album item decryption failed — tampered storage"
+            ) from exc
+
+    def fetch_all(self) -> dict[str, bytes]:
+        if self._manifest is None:
+            raise PuzzleParameterError("open_album must succeed before fetching items")
+        return {title: self.fetch_item(title) for title in self._manifest.titles()}

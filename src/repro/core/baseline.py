@@ -1,0 +1,85 @@
+"""Baseline schemes the paper argues against.
+
+* :class:`TrivialContextScheme` — the strawman from the introduction: the
+  key is derived from *all* context answers, so a receiver must know the
+  entire context (no threshold flexibility). Useful as a comparison point
+  in benchmarks and as an executable argument for why thresholds matter.
+* :class:`StaticAclScheme` — plain access-control-list sharing as OSNs do
+  natively: the SP holds the plaintext and the list. It trivially offers
+  no surveillance resistance (the SP sees everything), which the
+  benchmark/analysis suites demonstrate against the audit trail.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import Context, normalize_answer
+from repro.core.errors import AccessDeniedError
+from repro.crypto import gibberish
+from repro.crypto.hashes import sha3_256
+from repro.osn.provider import ServiceProvider, User
+from repro.osn.storage import StorageHost
+
+__all__ = ["TrivialContextScheme", "StaticAclScheme"]
+
+
+class TrivialContextScheme:
+    """Encrypt under H(all answers); decrypt requires the full context."""
+
+    # A wrong key occasionally survives CBC unpadding by chance (~2^-8);
+    # the header makes wrong-context failures deterministic.
+    _HEADER = b"TRIVIAL-V1\x1e"
+
+    def __init__(self, storage: StorageHost):
+        self.storage = storage
+
+    @staticmethod
+    def _derive_key(context: Context) -> bytes:
+        material = b"\x1f".join(
+            normalize_answer(pair.answer).encode() for pair in context.pairs
+        )
+        return sha3_256(material).hexdigest().encode()
+
+    def share(self, obj: bytes, context: Context) -> str:
+        """Encrypt ``obj`` under the full context; returns URL_O."""
+        return self.storage.put(
+            gibberish.encrypt(self._HEADER + obj, self._derive_key(context))
+        )
+
+    def access(self, url: str, knowledge: Context) -> bytes:
+        """Succeeds only when ``knowledge`` matches the ENTIRE context,
+        in the same order — the inflexibility the paper criticizes."""
+        encrypted = self.storage.get(url)
+        try:
+            plaintext = gibberish.decrypt(encrypted, self._derive_key(knowledge))
+        except ValueError as exc:
+            raise AccessDeniedError(
+                "trivial scheme requires knowledge of the full context"
+            ) from exc
+        if not plaintext.startswith(self._HEADER):
+            raise AccessDeniedError(
+                "trivial scheme requires knowledge of the full context"
+            )
+        return plaintext[len(self._HEADER):]
+
+
+class StaticAclScheme:
+    """Native OSN sharing: plaintext post restricted to an explicit ACL."""
+
+    def __init__(self, provider: ServiceProvider):
+        self.provider = provider
+
+    def share(self, author: User, obj: bytes, allowed: list[User]) -> int:
+        """Post the object (plaintext!) with a custom audience."""
+        post = self.provider.post(
+            author,
+            obj.decode("utf-8", errors="replace"),
+            audience=[u.user_id for u in allowed],
+        )
+        return post.post_id
+
+    def access(self, viewer: User, post_id: int) -> bytes:
+        try:
+            post = self.provider.get_post(viewer, post_id)
+        except Exception as exc:
+            raise AccessDeniedError("viewer is not on the ACL") from exc
+        return post.content.encode("utf-8")

@@ -1,0 +1,389 @@
+"""Construction 1: context-based access control from Shamir secret sharing
+(paper section V-A).
+
+Five subroutines, split across the three principals exactly as in Fig. 1:
+
+* sharer S            — ``Upload(O, k, n)``
+* service provider SP — ``DisplayPuzzle(Z_O)`` and ``Verify(u, h_1..h_r)``
+* receiver u          — ``AnswerPuzzle(q_1..q_r, K_Z)`` and ``Access(...)``
+
+The sharer draws a random degree-k polynomial P with secret M_O = P(0),
+derives the object key K_O = H(M_O), encrypts O (GibberishAES container,
+as the paper's JavaScript prototype does), stores it on the storage host
+DH, and uploads the puzzle Z_O (questions, keyed answer hashes, blinded
+shares, k, K_Z, URL_O) to the SP. The SP displays a random subset of
+r in [k, n] questions; a receiver returns keyed hashes of her answers; the
+SP releases the blinded shares of correctly answered questions once at
+least k verify; the receiver unblinds k shares, interpolates M_O and
+decrypts.
+
+The SP handles only: questions, keyed hashes, blinded shares, K_Z and
+URL_O — never a plaintext answer or the object. That is the surveillance
+resistance property, and the integration tests assert it against the SP's
+audit trail.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass
+
+from repro.core.context import Context, normalize_answer
+from repro.core.errors import (
+    AccessDeniedError,
+    PuzzleParameterError,
+    TamperDetectedError,
+    UnknownPuzzleError,
+)
+from repro.core.puzzle import Puzzle, PuzzleEntry, blind_share, unblind_share
+from repro.crypto import gibberish
+from repro.crypto.bls import BlsKeyPair, BlsScheme
+from repro.crypto.field import PrimeField
+from repro.crypto.hashes import sha3_256
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.shamir import Share, reconstruct_secret
+from repro.osn.storage import AuditTrail, StorageHost
+from repro.util.codec import blob, text, u32
+
+__all__ = [
+    "C1_FIELD_PRIME",
+    "DisplayedPuzzle",
+    "PuzzleAnswers",
+    "ShareRelease",
+    "SharerC1",
+    "PuzzleServiceC1",
+    "ReceiverC1",
+]
+
+# The finite field F for secrets and shares: the largest 256-bit prime.
+C1_FIELD_PRIME = 2**256 - 189
+
+
+def _object_key(secret_m: int) -> bytes:
+    """K_O = H(M_O): hex passphrase for the GibberishAES container."""
+    return sha3_256(secret_m.to_bytes(32, "big")).hexdigest().encode()
+
+
+@dataclass(frozen=True)
+class DisplayedPuzzle:
+    """What the SP shows a prospective receiver: a permuted random subset
+    of r in [k, n] questions plus the puzzle key K_Z."""
+
+    puzzle_id: int
+    questions: tuple[str, ...]
+    puzzle_key: bytes
+    k: int
+
+    def byte_size(self) -> int:
+        body = u32(self.puzzle_id) + u32(self.k) + blob(self.puzzle_key)
+        for question in self.questions:
+            body += text(question)
+        return len(body)
+
+
+@dataclass(frozen=True)
+class PuzzleAnswers:
+    """A receiver's response: keyed hashes H(a, K_Z) per question."""
+
+    puzzle_id: int
+    digests: dict[str, bytes]  # question -> H(answer, K_Z)
+
+    def byte_size(self) -> int:
+        body = u32(self.puzzle_id)
+        for question, digest in self.digests.items():
+            body += text(question) + blob(digest)
+        return len(body)
+
+
+@dataclass(frozen=True)
+class ReleasedShare:
+    """One <sigma(j), a XOR d> element sent back for a correct answer."""
+
+    question: str
+    entry_index: int
+    share_x: int
+    blinded_share: bytes
+
+
+@dataclass(frozen=True)
+class ShareRelease:
+    """The SP's reply when >= k answers verified: blinded shares of the
+    correctly answered questions plus URL_O."""
+
+    puzzle_id: int
+    k: int
+    url: str
+    shares: tuple[ReleasedShare, ...]
+
+    def byte_size(self) -> int:
+        body = u32(self.puzzle_id) + u32(self.k) + text(self.url)
+        for released in self.shares:
+            body += (
+                text(released.question)
+                + u32(released.entry_index)
+                + blob(released.share_x.to_bytes(32, "big"))
+                + blob(released.blinded_share)
+            )
+        return len(body)
+
+
+class SharerC1:
+    """The sharer role: builds puzzles and uploads encrypted objects."""
+
+    def __init__(
+        self,
+        name: str,
+        storage: StorageHost,
+        bls: BlsScheme | None = None,
+        field_prime: int = C1_FIELD_PRIME,
+    ):
+        self.name = name
+        self.storage = storage
+        self.field = PrimeField(field_prime, check_prime=False)
+        self.bls = bls
+        self.keys: BlsKeyPair | None = bls.keygen() if bls else None
+
+    def upload(self, obj: bytes, context: Context, k: int, n: int) -> Puzzle:
+        """The paper's Upload(O, k, n): encrypt, store, build Z_O.
+
+        ``n`` questions are taken from the context (n <= N) and ``k`` is
+        the knowledge threshold zeta_O.
+        """
+        if not 0 < k <= n:
+            raise PuzzleParameterError("need 0 < k <= n, got k=%d n=%d" % (k, n))
+        polynomial = Polynomial.random(self.field, k - 1)
+        object_key = _object_key(int(polynomial.constant_term()))
+        encrypted = gibberish.encrypt(obj, object_key)
+        return self.upload_with_polynomial(encrypted, context, k, n, polynomial)
+
+    def upload_with_polynomial(
+        self,
+        encrypted_obj: bytes,
+        context: Context,
+        k: int,
+        n: int,
+        polynomial: Polynomial,
+    ) -> Puzzle:
+        """Build and publish Z_O around an already-encrypted object using a
+        caller-supplied sharing polynomial.
+
+        Higher layers (e.g. :mod:`repro.core.album`) use this to derive
+        several object keys from one secret; the polynomial's constant term
+        is M_O and MUST have been generated fresh for this puzzle.
+        """
+        if not 0 < k <= n:
+            raise PuzzleParameterError("need 0 < k <= n, got k=%d n=%d" % (k, n))
+        if n > len(context):
+            raise PuzzleParameterError(
+                "puzzle needs n=%d pairs but context has only %d" % (n, len(context))
+            )
+        degree_ok = polynomial.degree == k - 1 or (
+            polynomial.degree == -1 and k == 1  # zero constant term, k=1
+        )
+        if polynomial.field != self.field or not degree_ok:
+            raise PuzzleParameterError(
+                "sharing polynomial must be over the puzzle field with degree k-1"
+            )
+
+        url = self.storage.put(encrypted_obj)
+        puzzle_key = secrets.token_bytes(16)
+        entries = []
+        used_x: set[int] = set()
+        for index, pair in enumerate(context.pairs[:n]):
+            while True:
+                x = secrets.randbelow(self.field.p - 1) + 1
+                if x not in used_x:
+                    used_x.add(x)
+                    break
+            share = Share(x=x, y=int(polynomial(x)))
+            answer = pair.answer_bytes()
+            entries.append(
+                PuzzleEntry(
+                    question=pair.question,
+                    answer_digest=Puzzle.response_digest(answer, puzzle_key),
+                    share_x=x,
+                    blinded_share=blind_share(
+                        share, self.field, answer, puzzle_key, index
+                    ),
+                )
+            )
+
+        puzzle = Puzzle(
+            entries=tuple(entries),
+            k=k,
+            puzzle_key=puzzle_key,
+            url=url,
+            sharer_name=self.name,
+        )
+        if self.bls and self.keys:
+            puzzle = puzzle.sign(self.bls, self.keys.secret, self.keys.public)
+        return puzzle
+
+
+class PuzzleServiceC1:
+    """The SP-side access-control service: stores puzzles, displays
+    question subsets and verifies hashed answers."""
+
+    def __init__(self, audit: AuditTrail | None = None):
+        self.audit = audit if audit is not None else AuditTrail()
+        self._puzzles: dict[int, Puzzle] = {}
+        self._serial = 0
+
+    def store_puzzle(self, puzzle: Puzzle) -> int:
+        """Accept an uploaded Z_O; returns its post/puzzle identifier."""
+        self.audit.record(puzzle.to_bytes())
+        self._serial += 1
+        self._puzzles[self._serial] = puzzle
+        return self._serial
+
+    def _puzzle(self, puzzle_id: int) -> Puzzle:
+        try:
+            return self._puzzles[puzzle_id]
+        except KeyError:
+            raise UnknownPuzzleError(puzzle_id) from None
+
+    def puzzle_count(self) -> int:
+        return len(self._puzzles)
+
+    def display_puzzle(
+        self, puzzle_id: int, rng: random.Random | None = None
+    ) -> DisplayedPuzzle:
+        """DisplayPuzzle(Z_O): random r in [k, n], permutation sigma."""
+        puzzle = self._puzzle(puzzle_id)
+        rng = rng or random.Random(secrets.randbits(64))
+        r = rng.randint(puzzle.k, puzzle.n)
+        questions = rng.sample(puzzle.questions, r)
+        return DisplayedPuzzle(
+            puzzle_id=puzzle_id,
+            questions=tuple(questions),
+            puzzle_key=puzzle.puzzle_key,
+            k=puzzle.k,
+        )
+
+    def verify(self, answers: PuzzleAnswers) -> ShareRelease:
+        """Verify(u, h_1..h_r): release blinded shares iff >= k hashes match.
+
+        Raises :class:`AccessDeniedError` with no partial information when
+        fewer than k verify (the paper: "SP does not send anything").
+        """
+        puzzle = self._puzzle(answers.puzzle_id)
+        self.audit.record(
+            b"".join(q.encode() + d for q, d in answers.digests.items())
+        )
+        released: list[ReleasedShare] = []
+        for question, digest in answers.digests.items():
+            try:
+                entry = puzzle.entry_for(question)
+            except KeyError:
+                continue
+            if entry.answer_digest == digest:
+                released.append(
+                    ReleasedShare(
+                        question=question,
+                        entry_index=puzzle.entries.index(entry),
+                        share_x=entry.share_x,
+                        blinded_share=entry.blinded_share,
+                    )
+                )
+        if len(released) < puzzle.k:
+            raise AccessDeniedError(
+                "only %d of the required %d answers verified"
+                % (len(released), puzzle.k)
+            )
+        return ShareRelease(
+            puzzle_id=answers.puzzle_id,
+            k=puzzle.k,
+            url=puzzle.url,
+            shares=tuple(released),
+        )
+
+
+class ReceiverC1:
+    """The receiver role: answers puzzles and reconstructs objects."""
+
+    def __init__(
+        self,
+        name: str,
+        storage: StorageHost,
+        bls: BlsScheme | None = None,
+        field_prime: int = C1_FIELD_PRIME,
+    ):
+        self.name = name
+        self.storage = storage
+        self.field = PrimeField(field_prime, check_prime=False)
+        self.bls = bls
+
+    def answer_puzzle(
+        self, displayed: DisplayedPuzzle, knowledge: Context
+    ) -> PuzzleAnswers:
+        """AnswerPuzzle: keyed hashes for every displayed question the
+        receiver believes she can answer."""
+        digests: dict[str, bytes] = {}
+        for question in displayed.questions:
+            if knowledge.knows(question):
+                answer = normalize_answer(knowledge.answer_for(question)).encode()
+                digests[question] = Puzzle.response_digest(
+                    answer, displayed.puzzle_key
+                )
+        return PuzzleAnswers(puzzle_id=displayed.puzzle_id, digests=digests)
+
+    def recover_object_secret(
+        self,
+        release: ShareRelease,
+        displayed: DisplayedPuzzle,
+        knowledge: Context,
+        expected_signature: Puzzle | None = None,
+    ) -> int:
+        """Unblind k released shares and interpolate M_O.
+
+        When the sharer signed the puzzle and the receiver holds the signed
+        copy (e.g. re-fetched out of band), verifying it first detects SP
+        tampering with URL_O / K_Z / questions (section VI-A). Exposed
+        separately from :meth:`access` so higher layers (albums) can derive
+        multiple object keys from one solved puzzle.
+        """
+        if expected_signature is not None:
+            if self.bls is None:
+                raise PuzzleParameterError("no BLS scheme configured for verification")
+            if not expected_signature.verify_signature(self.bls):
+                raise TamperDetectedError("puzzle signature verification failed")
+
+        if len(release.shares) < release.k:
+            raise AccessDeniedError(
+                "release contains %d shares but k=%d" % (len(release.shares), release.k)
+            )
+
+        shares: list[Share] = []
+        for released in release.shares[: release.k]:
+            answer = normalize_answer(knowledge.answer_for(released.question)).encode()
+            shares.append(
+                unblind_share(
+                    released.share_x,
+                    released.blinded_share,
+                    self.field,
+                    answer,
+                    displayed.puzzle_key,
+                    released.entry_index,
+                )
+            )
+        return int(reconstruct_secret(self.field, shares, release.k))
+
+    def access(
+        self,
+        release: ShareRelease,
+        displayed: DisplayedPuzzle,
+        knowledge: Context,
+        expected_signature: Puzzle | None = None,
+    ) -> bytes:
+        """Access: recover M_O, fetch O_{K_O} from the DH and decrypt."""
+        secret_m = self.recover_object_secret(
+            release, displayed, knowledge, expected_signature=expected_signature
+        )
+        encrypted = self.storage.get(release.url)
+        try:
+            return gibberish.decrypt(encrypted, _object_key(secret_m))
+        except ValueError as exc:
+            raise TamperDetectedError(
+                "object decryption failed — wrong answers or tampered storage"
+            ) from exc

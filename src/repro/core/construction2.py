@@ -1,0 +1,431 @@
+"""Construction 2: context-based access control from CP-ABE
+(paper section V-B).
+
+The sharer encrypts the object under a height-1 access tree tau whose root
+is a k-of-N threshold gate and whose leaves carry (question, answer)
+attributes. Two algorithms are new relative to vanilla CP-ABE:
+
+* ``Perturb(tau)``  — replace every leaf's answer with its hash H(a_i),
+  producing tau'. tau' goes to the SP (for answer verification) and is
+  embedded in the ciphertext CT' stored on the DH, so neither service ever
+  holds a plaintext answer.
+* ``Reconstruct(tau')`` — a receiver who knows >= k answers replaces the
+  matching hashes with the real answers, yielding tau^; substituting tau^
+  into CT' gives a decryptable ciphertext.
+
+The receiver then runs the *public* KeyGen(MK, S) with her real answer
+attributes (the paper publishes PK and MK to the whole social network —
+confidentiality rests solely on knowledge of the context, mirroring
+Construction 1) and decrypts.
+
+Notable fidelity point: the paper's prototype could not rewrite the cpabe
+toolkit's ciphertext encoding, so it shipped CT with the *unperturbed*
+tree, sacrificing surveillance resistance "only in the implementation".
+Our serialization is our own, so the full design is implemented; a
+``legacy_unperturbed_ciphertext`` switch reproduces the prototype's
+weakened behaviour for the security-analysis experiments.
+
+Answer hashes default to SHA-1 exactly because the paper's Implementation
+2 uses OpenSSL SHA-1 (``digestmod`` accepts any from-scratch hash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abe.access_tree import AccessTree
+from repro.abe.cpabe import CPABE, HybridCiphertext, MasterKey, PolicyNotSatisfiedError, PublicKey
+from repro.abe.serialize import (
+    decode_hybrid_ciphertext,
+    decode_master_key,
+    decode_public_key,
+    encode_access_tree,
+    encode_hybrid_ciphertext,
+    encode_master_key,
+    encode_public_key,
+)
+from repro.core.context import Context, normalize_answer
+from repro.core.errors import (
+    AccessDeniedError,
+    PuzzleParameterError,
+    TamperDetectedError,
+    UnknownPuzzleError,
+)
+from repro.crypto.ec import CurveParams
+from repro.crypto.hashes import new as new_hash
+from repro.crypto.modes import IntegrityError
+from repro.osn.storage import AuditTrail, StorageHost
+from repro.util.codec import blob, text, u32
+
+__all__ = [
+    "leaf_attribute",
+    "perturbed_attribute",
+    "answer_digest_hex",
+    "perturb_tree",
+    "reconstruct_tree",
+    "SharerC2",
+    "PuzzleServiceC2",
+    "ReceiverC2",
+    "C2Upload",
+    "DisplayedPuzzleC2",
+    "PuzzleAnswersC2",
+    "AccessGrantC2",
+]
+
+# Unit separator: cannot occur in normalized questions/answers.
+_SEP = "\x1f"
+_HASH_PREFIX = "#"
+
+
+def leaf_attribute(question: str, answer: str) -> str:
+    """The real attribute of a leaf: question || answer (normalized)."""
+    return question + _SEP + normalize_answer(answer)
+
+
+def answer_digest_hex(answer: str, digestmod: str = "sha1") -> str:
+    """H(a_i) in hex — what the perturbed tree and the SP's check use."""
+    return new_hash(digestmod, normalize_answer(answer).encode()).hexdigest()
+
+
+def perturbed_attribute(question: str, digest_hex: str) -> str:
+    """A leaf label carrying H(a_i) instead of a_i."""
+    return question + _SEP + _HASH_PREFIX + digest_hex
+
+
+def split_attribute(attribute: str) -> tuple[str, str]:
+    """(question, answer-or-hash-part) of a leaf label."""
+    question, _, rest = attribute.partition(_SEP)
+    if not rest:
+        raise PuzzleParameterError("malformed leaf attribute %r" % attribute)
+    return question, rest
+
+
+def is_perturbed(attribute: str) -> bool:
+    _, rest = split_attribute(attribute)
+    return rest.startswith(_HASH_PREFIX)
+
+
+def perturb_tree(tree: AccessTree, digestmod: str = "sha1") -> AccessTree:
+    """Perturb(tau): hash every leaf's answer part (paper's new algorithm)."""
+
+    def relabel(attribute: str) -> str:
+        question, rest = split_attribute(attribute)
+        if rest.startswith(_HASH_PREFIX):
+            return attribute  # already perturbed — idempotent
+        digest = new_hash(digestmod, rest.encode()).hexdigest()
+        return perturbed_attribute(question, digest)
+
+    return tree.relabel(relabel)
+
+
+def reconstruct_tree(
+    perturbed: AccessTree, knowledge: Context, digestmod: str = "sha1"
+) -> tuple[AccessTree, list[str]]:
+    """Reconstruct(tau'): substitute known answers back for their hashes.
+
+    Returns the (partially) reconstructed tree tau^ plus the list of real
+    attributes that were resolved — the receiver's KeyGen set S. Hashes
+    the receiver cannot invert stay perturbed (and will simply not match
+    any key attribute, exactly as the paper intends).
+    """
+    resolved: list[str] = []
+
+    def relabel(attribute: str) -> str:
+        question, rest = split_attribute(attribute)
+        if not rest.startswith(_HASH_PREFIX):
+            # Already a real attribute (legacy unperturbed ciphertext).
+            # It still only helps a receiver who knows the answer herself.
+            if knowledge.knows(question) and (
+                normalize_answer(knowledge.answer_for(question)) == rest
+            ):
+                resolved.append(attribute)
+            return attribute
+        if not knowledge.knows(question):
+            return attribute
+        candidate = normalize_answer(knowledge.answer_for(question))
+        digest = new_hash(digestmod, candidate.encode()).hexdigest()
+        if _HASH_PREFIX + digest != rest:
+            return attribute  # the receiver's answer is wrong
+        real = question + _SEP + candidate
+        resolved.append(real)
+        return real
+
+    return perturbed.relabel(relabel), resolved
+
+
+@dataclass(frozen=True)
+class C2Upload:
+    """What the sharer ships: tau' + PK + MK to the SP, CT' to the DH.
+
+    ``file_sizes`` records the four-file split of the paper's prototype
+    (details.txt, pub_key, master_key, message.txt.cpabe) for network
+    accounting.
+    """
+
+    puzzle_id: int
+    tree_perturbed: AccessTree
+    pk_bytes: bytes
+    mk_bytes: bytes
+    url: str
+    sharer_name: str
+
+    def file_sizes(self) -> dict[str, int]:
+        return {
+            "details.txt": len(encode_access_tree(self.tree_perturbed)),
+            "pub_key": len(self.pk_bytes),
+            "master_key": len(self.mk_bytes),
+        }
+
+
+@dataclass(frozen=True)
+class DisplayedPuzzleC2:
+    """Questions shown by the SP (from tau')."""
+
+    puzzle_id: int
+    questions: tuple[str, ...]
+    threshold: int
+
+    def byte_size(self) -> int:
+        body = u32(self.puzzle_id) + u32(self.threshold)
+        for question in self.questions:
+            body += text(question)
+        return len(body)
+
+
+@dataclass(frozen=True)
+class PuzzleAnswersC2:
+    """Receiver response: hex answer hashes per question."""
+
+    puzzle_id: int
+    digests: dict[str, str]  # question -> H(answer) hex
+
+    def byte_size(self) -> int:
+        body = u32(self.puzzle_id)
+        for question, digest in self.digests.items():
+            body += text(question) + text(digest)
+        return len(body)
+
+
+@dataclass(frozen=True)
+class AccessGrantC2:
+    """SP reply on success: where the ciphertext lives, plus PK and MK."""
+
+    puzzle_id: int
+    url: str
+    pk_bytes: bytes
+    mk_bytes: bytes
+
+    def byte_size(self) -> int:
+        return len(
+            u32(self.puzzle_id) + text(self.url) + blob(self.pk_bytes) + blob(self.mk_bytes)
+        )
+
+
+class SharerC2:
+    """Sharer role for Construction 2."""
+
+    def __init__(
+        self,
+        name: str,
+        storage: StorageHost,
+        params: CurveParams,
+        digestmod: str = "sha1",
+        legacy_unperturbed_ciphertext: bool = False,
+    ):
+        self.name = name
+        self.storage = storage
+        self.params = params
+        self.digestmod = digestmod
+        self.legacy_unperturbed_ciphertext = legacy_unperturbed_ciphertext
+        self.abe = CPABE(params)
+
+    def build_tree(self, context: Context, k: int, n: int | None = None) -> AccessTree:
+        """The height-1 tree of Fig. 3: root k-of-n over QA attributes."""
+        n = len(context) if n is None else n
+        if not 0 < k <= n:
+            raise PuzzleParameterError("need 0 < k <= n, got k=%d n=%d" % (k, n))
+        if n > len(context):
+            raise PuzzleParameterError(
+                "tree needs n=%d pairs but context has only %d" % (n, len(context))
+            )
+        if (k, n) == (1, 1):
+            # The paper: "CP-ABE does not support (1,1) threshold" — the
+            # toolkit rejects a single-child root, so observations start
+            # at N = 2. We keep the restriction for fidelity.
+            raise PuzzleParameterError("CP-ABE does not support a (1, 1) threshold")
+        attributes = [
+            leaf_attribute(pair.question, pair.answer) for pair in context.pairs[:n]
+        ]
+        return AccessTree.k_of_n(k, attributes)
+
+    def upload(self, obj: bytes, context: Context, k: int, n: int | None = None) -> tuple[C2Upload, bytes]:
+        """Setup + Encrypt + Perturb + store (the paper's height-1 tree).
+
+        Returns the SP-bound record and the ciphertext bytes bound for the
+        DH (already stored; bytes returned for cost accounting).
+        """
+        return self.upload_tree(obj, self.build_tree(context, k, n))
+
+    def upload_tree(self, obj: bytes, tree: AccessTree) -> tuple[C2Upload, bytes]:
+        """Like :meth:`upload` but for an arbitrary QA-policy tree.
+
+        Every leaf must be a (question, answer) attribute built with
+        :func:`leaf_attribute` — nested AND/OR/threshold gates over them
+        are allowed (an extension past the paper's flat puzzles; the
+        generalized Verify evaluates the same tree over hashed answers).
+        """
+        for attribute in tree.attributes():
+            split_attribute(attribute)  # raises on malformed leaves
+        pk, mk = self.abe.setup()
+        ciphertext = self.abe.encrypt_bytes(pk, obj, tree)
+
+        perturbed = perturb_tree(tree, self.digestmod)
+        if not self.legacy_unperturbed_ciphertext:
+            ciphertext = ciphertext.with_tree(perturbed)
+        ct_bytes = encode_hybrid_ciphertext(ciphertext)
+        url = self.storage.put(ct_bytes)
+
+        record = C2Upload(
+            puzzle_id=0,  # assigned by the SP at store time
+            tree_perturbed=perturbed,
+            pk_bytes=encode_public_key(pk),
+            mk_bytes=encode_master_key(self.params, mk),
+            url=url,
+            sharer_name=self.name,
+        )
+        return record, ct_bytes
+
+
+class PuzzleServiceC2:
+    """SP-side service for Construction 2: holds tau', PK, MK and URL_O."""
+
+    def __init__(self, audit: AuditTrail | None = None, digestmod: str = "sha1"):
+        self.audit = audit if audit is not None else AuditTrail()
+        self.digestmod = digestmod
+        self._records: dict[int, C2Upload] = {}
+        self._serial = 0
+
+    def store_upload(self, record: C2Upload) -> int:
+        self.audit.record(encode_access_tree(record.tree_perturbed))
+        self.audit.record(record.pk_bytes)
+        self.audit.record(record.mk_bytes)
+        self.audit.record(record.url.encode())
+        self._serial += 1
+        stored = C2Upload(
+            puzzle_id=self._serial,
+            tree_perturbed=record.tree_perturbed,
+            pk_bytes=record.pk_bytes,
+            mk_bytes=record.mk_bytes,
+            url=record.url,
+            sharer_name=record.sharer_name,
+        )
+        self._records[self._serial] = stored
+        return self._serial
+
+    def _record(self, puzzle_id: int) -> C2Upload:
+        try:
+            return self._records[puzzle_id]
+        except KeyError:
+            raise UnknownPuzzleError(puzzle_id) from None
+
+    def puzzle_count(self) -> int:
+        return len(self._records)
+
+    def display_puzzle(self, puzzle_id: int) -> DisplayedPuzzleC2:
+        record = self._record(puzzle_id)
+        root = record.tree_perturbed.root
+        questions = tuple(
+            split_attribute(attr)[0] for attr in record.tree_perturbed.attributes()
+        )
+        threshold = getattr(root, "threshold", 1)
+        return DisplayedPuzzleC2(
+            puzzle_id=puzzle_id, questions=questions, threshold=threshold
+        )
+
+    def verify(self, answers: PuzzleAnswersC2) -> AccessGrantC2:
+        """Match hashed answers against the hashes embedded in tau'.
+
+        For the paper's height-1 trees this is the threshold count of
+        section V-B; for general trees (nested AND/OR/threshold policies)
+        the SP evaluates satisfiability of tau' over the *matched* leaves —
+        still using only hashes, so surveillance resistance is unchanged.
+        """
+        record = self._record(answers.puzzle_id)
+        self.audit.record(
+            b"".join(q.encode() + d.encode() for q, d in answers.digests.items())
+        )
+        matched_attributes: set[str] = set()
+        matches = 0
+        for attribute in record.tree_perturbed.attributes():
+            question, rest = split_attribute(attribute)
+            if not rest.startswith(_HASH_PREFIX):
+                continue
+            digest = rest[len(_HASH_PREFIX) :]
+            if answers.digests.get(question) == digest:
+                matched_attributes.add(attribute)
+                matches += 1
+        if not record.tree_perturbed.satisfied_by(matched_attributes):
+            threshold = getattr(record.tree_perturbed.root, "threshold", 1)
+            raise AccessDeniedError(
+                "only %d of the required %d answers verified"
+                % (matches, threshold)
+            )
+        return AccessGrantC2(
+            puzzle_id=answers.puzzle_id,
+            url=record.url,
+            pk_bytes=record.pk_bytes,
+            mk_bytes=record.mk_bytes,
+        )
+
+
+class ReceiverC2:
+    """Receiver role: reconstruct the tree, KeyGen with real answers,
+    decrypt."""
+
+    def __init__(
+        self,
+        name: str,
+        storage: StorageHost,
+        params: CurveParams,
+        digestmod: str = "sha1",
+    ):
+        self.name = name
+        self.storage = storage
+        self.params = params
+        self.digestmod = digestmod
+        self.abe = CPABE(params)
+
+    def answer_puzzle(
+        self, displayed: DisplayedPuzzleC2, knowledge: Context
+    ) -> PuzzleAnswersC2:
+        digests: dict[str, str] = {}
+        for question in displayed.questions:
+            if knowledge.knows(question):
+                digests[question] = answer_digest_hex(
+                    knowledge.answer_for(question), self.digestmod
+                )
+        return PuzzleAnswersC2(puzzle_id=displayed.puzzle_id, digests=digests)
+
+    def access(self, grant: AccessGrantC2, knowledge: Context) -> bytes:
+        """Download CT', Reconstruct tau^, KeyGen(MK, S), Decrypt."""
+        ct_bytes = self.storage.get(grant.url)
+        ciphertext: HybridCiphertext = decode_hybrid_ciphertext(self.params, ct_bytes)
+        pk: PublicKey = decode_public_key(self.params, grant.pk_bytes)
+        mk: MasterKey = decode_master_key(self.params, grant.mk_bytes)
+
+        reconstructed, resolved = reconstruct_tree(
+            ciphertext.header.tree, knowledge, self.digestmod
+        )
+        if not resolved:
+            raise AccessDeniedError("no answer hash could be inverted")
+        ciphertext = ciphertext.with_tree(reconstructed)
+
+        secret_key = self.abe.keygen(pk, mk, set(resolved))
+        try:
+            return self.abe.decrypt_bytes(pk, secret_key, ciphertext)
+        except PolicyNotSatisfiedError as exc:
+            raise AccessDeniedError(str(exc)) from exc
+        except IntegrityError as exc:
+            raise TamperDetectedError(
+                "ciphertext body failed its integrity check — tampered storage"
+            ) from exc

@@ -1,0 +1,128 @@
+"""The context model (paper section IV-A).
+
+The context C_O of a shared object O is a set of N key-value
+(question-answer) pairs ``{<q_1, a_1>, ..., <q_N, a_N>}``: each question
+defines a domain and its answer takes a single value from that domain.
+People who took part in the underlying event are presumed to know (some
+of) the answers.
+
+Answers are *normalized* before hashing — receivers type them by hand, so
+"Lake Tahoe ", "lake tahoe" and "LAKE  TAHOE" must verify identically.
+Normalization is part of the protocol contract: sharer and receiver must
+apply the same function, and the hashes the SP stores are hashes of the
+normalized form.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import PuzzleParameterError
+
+__all__ = ["normalize_answer", "QAPair", "Context"]
+
+
+def normalize_answer(answer: str) -> str:
+    """Canonical form of a typed answer: NFKC, casefolded, whitespace
+    collapsed. Questions are NOT normalized (they are display text)."""
+    folded = unicodedata.normalize("NFKC", answer).casefold()
+    return " ".join(folded.split())
+
+
+@dataclass(frozen=True)
+class QAPair:
+    """One context pair <q_i, a_i>."""
+
+    question: str
+    answer: str
+
+    def __post_init__(self) -> None:
+        if not self.question.strip():
+            raise PuzzleParameterError("question must be non-empty")
+        if not normalize_answer(self.answer):
+            raise PuzzleParameterError("answer must be non-empty")
+
+    @property
+    def normalized_answer(self) -> str:
+        return normalize_answer(self.answer)
+
+    def answer_bytes(self) -> bytes:
+        return self.normalized_answer.encode("utf-8")
+
+    def matches(self, candidate: str) -> bool:
+        """Case/whitespace-insensitive answer comparison."""
+        return normalize_answer(candidate) == self.normalized_answer
+
+
+class Context:
+    """An ordered, immutable collection of distinct-question QA pairs."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs: Iterable[QAPair]):
+        collected = tuple(pairs)
+        if not collected:
+            raise PuzzleParameterError("a context needs at least one QA pair")
+        questions = [p.question for p in collected]
+        if len(set(questions)) != len(questions):
+            raise PuzzleParameterError("context questions must be distinct")
+        object.__setattr__(self, "pairs", collected)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Context is immutable")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, str]) -> "Context":
+        return cls(QAPair(q, a) for q, a in mapping.items())
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[QAPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> QAPair:
+        return self.pairs[index]
+
+    @property
+    def questions(self) -> list[str]:
+        return [p.question for p in self.pairs]
+
+    def answer_for(self, question: str) -> str:
+        for pair in self.pairs:
+            if pair.question == question:
+                return pair.answer
+        raise KeyError("no such question: %r" % question)
+
+    def knows(self, question: str) -> bool:
+        return any(p.question == question for p in self.pairs)
+
+    def subset(self, questions: Iterable[str]) -> "Context":
+        """The sub-context restricted to the given questions — models a
+        receiver with partial knowledge of the event."""
+        wanted = list(questions)
+        return Context(QAPair(q, self.answer_for(q)) for q in wanted)
+
+    def take(self, count: int) -> "Context":
+        """The first ``count`` pairs (partial knowledge, prefix form)."""
+        if not 0 < count <= len(self.pairs):
+            raise PuzzleParameterError(
+                "cannot take %d pairs from a context of %d" % (count, len(self.pairs))
+            )
+        return Context(self.pairs[:count])
+
+    def as_mapping(self) -> dict[str, str]:
+        return {p.question: p.answer for p in self.pairs}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Context) and self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash(self.pairs)
+
+    def __repr__(self) -> str:
+        return f"Context({len(self.pairs)} pairs)"

@@ -1,0 +1,98 @@
+"""The client-side answer store — the paper's "local cookie file".
+
+Section VII (Implementation 1): "On receiving the answers to the questions
+from the receiver, a JavaScript subroutine (at the receiver) writes all
+the answers to a local cookie file. ... the receiver first retrieves the
+actual answers from the cookie file."
+
+The prototype stored answers in a *plaintext* browser cookie — a privacy
+hazard on a shared machine. This store keeps the convenience (answer once,
+reuse across the flow and across puzzles about the same event) while
+encrypting at rest: the whole store is one GibberishAES container under a
+user passphrase, so a stolen cookie file is as useless as the DH's blobs.
+
+Contents are per-question answers, shared across puzzles: a user who
+answered "Where was the party held?" once is auto-filled on every later
+puzzle asking the same question (the paper's events "remain the same for
+future similar events").
+"""
+
+from __future__ import annotations
+
+from repro.core.context import Context, QAPair, normalize_answer
+from repro.crypto import gibberish
+from repro.util.codec import Reader, text, u32
+
+__all__ = ["AnswerStore"]
+
+
+class AnswerStore:
+    """An encrypted, file-backed map of question -> answer."""
+
+    def __init__(self, passphrase: bytes):
+        if not passphrase:
+            raise ValueError("the answer store needs a non-empty passphrase")
+        self._passphrase = passphrase
+        self._answers: dict[str, str] = {}
+
+    # -- content ---------------------------------------------------------------
+
+    def remember(self, question: str, answer: str) -> None:
+        if not question.strip():
+            raise ValueError("question must be non-empty")
+        self._answers[question] = normalize_answer(answer)
+
+    def remember_context(self, context: Context) -> None:
+        for pair in context.pairs:
+            self.remember(pair.question, pair.answer)
+
+    def recall(self, question: str) -> str | None:
+        return self._answers.get(question)
+
+    def forget(self, question: str) -> None:
+        self._answers.pop(question, None)
+
+    def forget_all(self) -> None:
+        self._answers.clear()
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def knowledge_for(self, questions: list[str]) -> Context | None:
+        """Auto-fill: the sub-context of remembered answers among the
+        displayed questions (None when nothing matches)."""
+        pairs = [
+            QAPair(question, self._answers[question])
+            for question in questions
+            if question in self._answers
+        ]
+        return Context(pairs) if pairs else None
+
+    # -- persistence -------------------------------------------------------------
+
+    def _encode(self) -> bytes:
+        out = u32(len(self._answers))
+        for question in sorted(self._answers):
+            out += text(question) + text(self._answers[question])
+        return out
+
+    def save(self, path: str) -> None:
+        """Encrypt and write the whole store."""
+        with open(path, "wb") as handle:
+            handle.write(gibberish.encrypt(self._encode(), self._passphrase))
+
+    @classmethod
+    def load(cls, path: str, passphrase: bytes) -> "AnswerStore":
+        """Decrypt and load; raises ValueError on a wrong passphrase or a
+        tampered file."""
+        store = cls(passphrase)
+        with open(path, "rb") as handle:
+            plaintext = gibberish.decrypt(handle.read(), passphrase)
+        reader = Reader(plaintext)
+        count = reader.u32()
+        for _ in range(count):
+            question = reader.text()
+            answer = reader.text()
+            store._answers[question] = answer
+        reader.done()
+        return store

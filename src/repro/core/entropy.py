@@ -1,0 +1,169 @@
+"""Answer-strength auditing for social puzzles.
+
+The section VI analysis (and our executable dictionary attacks in
+:mod:`repro.analysis.security`) shows that the whole design rests on the
+answers not being efficiently guessable: the SP holds K_Z and the keyed
+hashes, so a low-entropy answer is one dictionary away from being cracked,
+and Construction 2's unkeyed hashes are even precomputable.
+
+This module gives sharers the tool the paper's prototype lacked: estimate
+each answer's guessing entropy, model the best-case attacker (who targets
+the k *weakest* answers — that is all a threshold puzzle requires), and
+produce actionable warnings before a puzzle is published.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.context import Context, normalize_answer
+
+__all__ = [
+    "estimate_answer_entropy_bits",
+    "AnswerStrength",
+    "PuzzleStrengthReport",
+    "audit_puzzle_strength",
+]
+
+# Common low-entropy answers (colors, yes/no, weekdays, months...): an
+# attacker's first dictionary. Deliberately small — it models the *shape*
+# of such lists, and callers can pass domain vocabularies explicitly.
+_COMMON_ANSWERS = {
+    "yes", "no", "maybe", "red", "blue", "green", "black", "white", "pink",
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+    "sunday", "january", "february", "march", "april", "may", "june",
+    "july", "august", "september", "october", "november", "december",
+    "pizza", "beer", "wine", "cake", "home", "work", "school", "park",
+    "beach", "one", "two", "three", "1", "2", "3", "0", "true", "false",
+}
+
+# Per-character entropy by character class, in bits (conservative
+# estimates in the spirit of NIST SP 800-63's password guidance).
+_BITS_PER_LOWER = 2.0
+_BITS_PER_DIGIT = 1.5
+_BITS_PER_OTHER = 3.0
+
+
+def estimate_answer_entropy_bits(
+    answer: str, vocabulary_size: int | None = None
+) -> float:
+    """Estimated guessing entropy of one (normalized) answer, in bits.
+
+    When the answer is known to come from a fixed domain (the paper's
+    model: "each key defines a domain" — e.g. one of ~40 plausible party
+    venues), pass ``vocabulary_size``; the entropy is then log2 of that.
+    Otherwise a character-class estimate is used, floored to near zero for
+    answers in the common-answer dictionary.
+    """
+    normalized = normalize_answer(answer)
+    if not normalized:
+        return 0.0
+    if normalized in _COMMON_ANSWERS:
+        return math.log2(len(_COMMON_ANSWERS))
+    bits = 0.0
+    for ch in normalized:
+        if ch.isdigit():
+            bits += _BITS_PER_DIGIT
+        elif ch.isalpha():
+            bits += _BITS_PER_LOWER
+        elif ch != " ":
+            bits += _BITS_PER_OTHER
+    # Multi-word answers repeat per-word structure; damp beyond 24 chars.
+    if len(normalized) > 24:
+        bits = 48.0 + (bits - 48.0) * 0.5
+    if vocabulary_size is not None:
+        # A known answer domain caps the attacker's search space: the
+        # effective entropy is the smaller of the two estimates.
+        if vocabulary_size < 1:
+            raise ValueError("vocabulary_size must be >= 1")
+        bits = min(bits, math.log2(vocabulary_size))
+    return bits
+
+
+@dataclass(frozen=True)
+class AnswerStrength:
+    """Strength estimate for one context pair."""
+
+    question: str
+    entropy_bits: float
+    weak: bool
+
+
+@dataclass(frozen=True)
+class PuzzleStrengthReport:
+    """Strength audit of a full (context, k) puzzle configuration.
+
+    ``warnings`` block publication (the k-weakest attack cost is below the
+    floor); ``notes`` are advisory per-answer observations — a threshold
+    puzzle tolerates individually weak answers as long as the combined
+    cost of the cheapest k stays high.
+    """
+
+    answers: tuple[AnswerStrength, ...]
+    threshold: int
+    attack_cost_bits: float
+    warnings: tuple[str, ...]
+    notes: tuple[str, ...] = ()
+
+    @property
+    def acceptable(self) -> bool:
+        return not self.warnings
+
+
+def audit_puzzle_strength(
+    context: Context,
+    k: int,
+    vocabulary_sizes: dict[str, int] | None = None,
+    weak_threshold_bits: float = 16.0,
+    minimum_attack_bits: float = 40.0,
+) -> PuzzleStrengthReport:
+    """Audit a puzzle before publication.
+
+    The attacker model matches :func:`repro.analysis.security.
+    sp_dictionary_attack_c1`: the adversary needs ANY k correct answers,
+    so the effective attack cost is the sum of the k smallest per-answer
+    entropies (guessing each independently).
+    """
+    if not 0 < k <= len(context):
+        raise ValueError("threshold k=%d out of range for context of %d" % (k, len(context)))
+    vocabulary_sizes = vocabulary_sizes or {}
+
+    strengths = []
+    for pair in context.pairs:
+        bits = estimate_answer_entropy_bits(
+            pair.answer, vocabulary_sizes.get(pair.question)
+        )
+        strengths.append(
+            AnswerStrength(
+                question=pair.question,
+                entropy_bits=bits,
+                weak=bits < weak_threshold_bits,
+            )
+        )
+
+    weakest_k = sorted(s.entropy_bits for s in strengths)[:k]
+    attack_cost = sum(weakest_k)
+
+    notes: list[str] = []
+    for strength in strengths:
+        if strength.weak:
+            notes.append(
+                "answer to %r has only ~%.0f bits of guessing entropy"
+                % (strength.question, strength.entropy_bits)
+            )
+    warnings: list[str] = []
+    if attack_cost < minimum_attack_bits:
+        warnings.append(
+            "the %d weakest answers total ~%.0f bits — below the %.0f-bit "
+            "floor; a dictionary attack by the SP is practical"
+            % (k, attack_cost, minimum_attack_bits)
+        )
+
+    return PuzzleStrengthReport(
+        answers=tuple(strengths),
+        threshold=k,
+        attack_cost_bits=attack_cost,
+        warnings=tuple(warnings),
+        notes=tuple(notes),
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the social-puzzle core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SocialPuzzleError",
+    "PuzzleParameterError",
+    "AccessDeniedError",
+    "TamperDetectedError",
+    "UnknownPuzzleError",
+]
+
+
+class SocialPuzzleError(Exception):
+    """Base class for all social-puzzle failures."""
+
+
+class PuzzleParameterError(SocialPuzzleError, ValueError):
+    """Invalid puzzle parameters (bad k/n, empty context, ...)."""
+
+
+class AccessDeniedError(SocialPuzzleError):
+    """The responder did not demonstrate knowledge of >= k context pairs."""
+
+
+class TamperDetectedError(SocialPuzzleError):
+    """A signature check failed: the SP or DH modified protocol data
+    (the denial-of-service attacks of the paper's section VI)."""
+
+
+class UnknownPuzzleError(SocialPuzzleError, KeyError):
+    """No puzzle with the given identifier exists on the service."""

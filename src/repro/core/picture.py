@@ -1,0 +1,158 @@
+"""Picture-based puzzles (paper section VIII, planned features).
+
+"We also plan to add additional features to our applications, e.g.,
+support for non-textual data, picture-based puzzles ..."
+
+A picture puzzle asks "which of these photos shows where we had dinner?"
+instead of asking the receiver to *type* the place: each question is
+answered by selecting an image. Under the hood this reduces cleanly to
+Construction 1 — the textual "answer" becomes a digest of the correct
+image's canonical bytes — so all security properties carry over, and the
+SP still sees only keyed hashes.
+
+Why it helps usability: selection is typo-free (no normalization hazards)
+and recall of an image is easier than recall of exact wording. Why it
+needs care: the answer space is the *candidate set shown*, so the
+per-question entropy is log2(#candidates) — the strength auditor's
+vocabulary-size hook models exactly this, and :class:`PicturePuzzleBuilder`
+enforces a minimum candidate count.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.core.context import Context, QAPair
+from repro.core.entropy import audit_puzzle_strength
+from repro.core.errors import PuzzleParameterError
+
+__all__ = ["ImageRef", "PictureQuestion", "PicturePuzzleBuilder", "image_answer_token"]
+
+
+def image_answer_token(image_bytes: bytes) -> str:
+    """The canonical textual answer for an image: a hex digest of its
+    content. Selecting the image == knowing the token."""
+    from repro.crypto.hashes import sha3_256
+
+    if not image_bytes:
+        raise PuzzleParameterError("an image must have content")
+    return "img:" + sha3_256(image_bytes).hexdigest()
+
+
+@dataclass(frozen=True)
+class ImageRef:
+    """One candidate image: opaque content plus a display label."""
+
+    label: str
+    content: bytes
+
+    def token(self) -> str:
+        return image_answer_token(self.content)
+
+
+@dataclass(frozen=True)
+class PictureQuestion:
+    """A question answered by picking one of ``candidates``."""
+
+    question: str
+    candidates: tuple[ImageRef, ...]
+    correct_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.correct_index < len(self.candidates):
+            raise PuzzleParameterError("correct_index out of range")
+        tokens = [c.token() for c in self.candidates]
+        if len(set(tokens)) != len(tokens):
+            raise PuzzleParameterError("candidate images must be distinct")
+
+    @property
+    def correct(self) -> ImageRef:
+        return self.candidates[self.correct_index]
+
+    def answer_for_selection(self, index: int) -> str:
+        """The textual answer a client submits after the user clicks
+        candidate ``index``."""
+        return self.candidates[index].token()
+
+
+class PicturePuzzleBuilder:
+    """Builds a Construction-1-compatible context from picture questions."""
+
+    def __init__(self, min_candidates: int = 4):
+        if min_candidates < 2:
+            raise PuzzleParameterError("a picture question needs >= 2 candidates")
+        self.min_candidates = min_candidates
+
+    def make_question(
+        self,
+        question: str,
+        correct: ImageRef,
+        decoys: list[ImageRef],
+        shuffle_seed: int | None = None,
+    ) -> PictureQuestion:
+        """Assemble one picture question with the correct image placed at
+        a random position among the decoys."""
+        if len(decoys) + 1 < self.min_candidates:
+            raise PuzzleParameterError(
+                "need at least %d candidates, got %d"
+                % (self.min_candidates, len(decoys) + 1)
+            )
+        import random
+
+        rng = random.Random(
+            shuffle_seed if shuffle_seed is not None else secrets.randbits(32)
+        )
+        candidates = list(decoys)
+        position = rng.randrange(len(decoys) + 1)
+        candidates.insert(position, correct)
+        return PictureQuestion(
+            question=question,
+            candidates=tuple(candidates),
+            correct_index=position,
+        )
+
+    def build_context(self, questions: list[PictureQuestion]) -> Context:
+        """The C1-compatible context: answers are the correct tokens."""
+        if not questions:
+            raise PuzzleParameterError("a picture puzzle needs at least one question")
+        return Context(
+            QAPair(q.question, q.correct.token()) for q in questions
+        )
+
+    def audit(self, questions: list[PictureQuestion], k: int):
+        """Strength audit with each question's true domain: the candidate
+        count (an attacker just tries every shown image)."""
+        context = self.build_context(questions)
+        vocab = {q.question: len(q.candidates) for q in questions}
+        return audit_puzzle_strength(
+            context,
+            k,
+            vocabulary_sizes=vocab,
+            # Picture selection domains are inherently tiny (one click out
+            # of a handful); the floor reflects "more candidates or more
+            # questions", not passphrase-grade entropy.
+            weak_threshold_bits=2.0,
+            minimum_attack_bits=float(k * 2),
+        )
+
+    @staticmethod
+    def knowledge_from_selections(
+        questions: list[PictureQuestion], selections: dict[str, int]
+    ) -> Context:
+        """What a receiver 'knows' after clicking: question -> token of
+        the image they selected (right or wrong)."""
+        pairs = []
+        for question in questions:
+            if question.question in selections:
+                pairs.append(
+                    QAPair(
+                        question.question,
+                        question.answer_for_selection(
+                            selections[question.question]
+                        ),
+                    )
+                )
+        if not pairs:
+            raise PuzzleParameterError("no selections made")
+        return Context(pairs)

@@ -1,0 +1,216 @@
+"""The social puzzle object Z_O of Construction 1 (paper section V-A).
+
+    Z_O = { <q_1, H(a_1, K_Z), a_1 XOR d_1>, ...,
+            <q_n, H(a_n, K_Z), a_n XOR d_n>,  n, k, K_Z, URL_O }
+
+Each entry binds a question to (i) the keyed hash of its normalized answer
+under the puzzle key K_Z — what the SP matches responses against — and
+(ii) the Shamir share of the object secret, blinded with the answer.
+
+**Blinding detail.** The paper writes ``a_i XOR d_i`` directly; answers and
+shares are different lengths, so (like any real implementation must) we
+XOR the share with a keystream derived from the answer:
+``mask_i = HKDF(ikm=a_i, salt=K_Z, info="blind"||i)``. Anyone who knows
+a_i removes the mask; to anyone who does not, the blinded share is
+indistinguishable from random — the same two properties the paper's
+security analysis uses.
+
+Entries also carry the x-coordinate s_i of the share in the clear. This
+matches the protocol: the SP returns ``<sigma(j), a XOR d>`` pairs, and
+the x-coordinates are random field elements chosen independently of the
+secret, so revealing them leaks nothing (Shamir's secrecy is over the
+y-values).
+
+A puzzle may be *signed* (BLS over every component, section VI's
+countermeasure) so receivers can detect SP tampering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.errors import PuzzleParameterError
+from repro.crypto.bls import BlsScheme
+from repro.crypto.ec import CurveParams, Point
+from repro.crypto.field import PrimeField
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import keyed_hash
+from repro.crypto.shamir import Share
+from repro.util.codec import Reader, blob, text, u32
+
+__all__ = ["PuzzleEntry", "Puzzle", "blind_share", "unblind_share"]
+
+
+def _blind_mask(answer: bytes, puzzle_key: bytes, index: int, length: int) -> bytes:
+    return hkdf(
+        ikm=answer,
+        length=length,
+        salt=puzzle_key,
+        info=b"repro.c1.blind." + index.to_bytes(4, "big"),
+    )
+
+
+def blind_share(
+    share: Share, field: PrimeField, answer: bytes, puzzle_key: bytes, index: int
+) -> bytes:
+    """``a_i XOR d_i``: the share's y-value masked by the answer keystream."""
+    width = field.byte_length
+    y_bytes = share.y.to_bytes(width, "big")
+    mask = _blind_mask(answer, puzzle_key, index, width)
+    return bytes(a ^ b for a, b in zip(y_bytes, mask))
+
+
+def unblind_share(
+    x: int,
+    blinded: bytes,
+    field: PrimeField,
+    answer: bytes,
+    puzzle_key: bytes,
+    index: int,
+) -> Share:
+    """Inverse of :func:`blind_share` for a receiver who knows the answer."""
+    mask = _blind_mask(answer, puzzle_key, index, len(blinded))
+    y = int.from_bytes(bytes(a ^ b for a, b in zip(blinded, mask)), "big")
+    return Share(x=x, y=y % field.p)
+
+
+_SHARE_X_WIDTH = 32  # the C1 field is 256-bit; fixed width keeps wire sizes stable
+
+
+@dataclass(frozen=True)
+class PuzzleEntry:
+    """One puzzle row <q_i, H(a_i, K_Z), s_i, a_i XOR d_i>."""
+
+    question: str
+    answer_digest: bytes
+    share_x: int
+    blinded_share: bytes
+
+    def to_bytes(self) -> bytes:
+        return (
+            text(self.question)
+            + blob(self.answer_digest)
+            + blob(self.share_x.to_bytes(_SHARE_X_WIDTH, "big"))
+            + blob(self.blinded_share)
+        )
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "PuzzleEntry":
+        return cls(
+            question=reader.text(),
+            answer_digest=reader.blob(),
+            share_x=int.from_bytes(reader.blob(), "big"),
+            blinded_share=reader.blob(),
+        )
+
+
+@dataclass(frozen=True)
+class Puzzle:
+    """The complete Z_O uploaded to the service provider."""
+
+    entries: tuple[PuzzleEntry, ...]
+    k: int
+    puzzle_key: bytes
+    url: str
+    sharer_name: str = ""
+    signature: bytes = b""  # BLS point encoding; empty = unsigned
+    signer_public: bytes = b""  # BLS public key point encoding
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise PuzzleParameterError("a puzzle needs at least one entry")
+        if not 0 < self.k <= len(self.entries):
+            raise PuzzleParameterError(
+                "threshold k=%d out of range for n=%d entries"
+                % (self.k, len(self.entries))
+            )
+        questions = [e.question for e in self.entries]
+        if len(set(questions)) != len(questions):
+            raise PuzzleParameterError("puzzle questions must be distinct")
+
+    @property
+    def n(self) -> int:
+        return len(self.entries)
+
+    @property
+    def questions(self) -> list[str]:
+        return [e.question for e in self.entries]
+
+    def entry_for(self, question: str) -> PuzzleEntry:
+        for entry in self.entries:
+            if entry.question == question:
+                return entry
+        raise KeyError("no entry for question %r" % question)
+
+    def verify_response(self, question: str, response_digest: bytes) -> bool:
+        """The SP-side check: does the keyed hash match?"""
+        entry = self.entry_for(question)
+        return entry.answer_digest == response_digest
+
+    @staticmethod
+    def response_digest(answer_normalized: bytes, puzzle_key: bytes) -> bytes:
+        """What a receiver sends: H(a, K_Z)."""
+        return keyed_hash(answer_normalized, puzzle_key)
+
+    # -- signatures (section VI countermeasure) --------------------------------------
+
+    def signed_payload(self) -> bytes:
+        """Every SP-tamperable component, canonically encoded."""
+        out = u32(self.k) + blob(self.puzzle_key) + text(self.url)
+        out += text(self.sharer_name)
+        out += u32(len(self.entries))
+        for entry in self.entries:
+            out += entry.to_bytes()
+        return out
+
+    def sign(self, scheme: BlsScheme, secret: int, public: Point) -> "Puzzle":
+        signature = scheme.sign(secret, self.signed_payload())
+        return replace(
+            self,
+            signature=signature.to_bytes(),
+            signer_public=public.to_bytes(),
+        )
+
+    def verify_signature(self, scheme: BlsScheme) -> bool:
+        """Check the sharer's signature over all components."""
+        if not self.signature or not self.signer_public:
+            return False
+        params: CurveParams = scheme.params
+        try:
+            signature = Point.from_bytes(params, self.signature)
+            public = Point.from_bytes(params, self.signer_public)
+        except ValueError:
+            return False
+        return scheme.verify(public, self.signed_payload(), signature)
+
+    # -- wire encoding ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.signed_payload() + blob(self.signature) + blob(self.signer_public)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Puzzle":
+        reader = Reader(data)
+        k = reader.u32()
+        puzzle_key = reader.blob()
+        url = reader.text()
+        sharer_name = reader.text()
+        count = reader.u32()
+        entries = tuple(PuzzleEntry.read_from(reader) for _ in range(count))
+        signature = reader.blob()
+        signer_public = reader.blob()
+        reader.done()
+        return cls(
+            entries=entries,
+            k=k,
+            puzzle_key=puzzle_key,
+            url=url,
+            sharer_name=sharer_name,
+            signature=signature,
+            signer_public=signer_public,
+        )
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())

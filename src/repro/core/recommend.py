@@ -1,0 +1,147 @@
+"""Automated context recommendation (paper section VIII, planned features).
+
+"We also plan to add additional features to our applications, e.g., ...
+automated client-side context recommendations, to improve its
+ease-of-usage and to enhance user-experience."
+
+:class:`ContextRecommender` implements that feature: given an event kind
+(and optionally a few facts the sharer already typed), it proposes
+candidate question-answer pairs from a curated template bank, scores each
+candidate's answer strength with :mod:`repro.core.entropy`, and assembles
+a publication-ready context of the requested size whose strength audit
+passes. Recommendation is entirely client-side — nothing here talks to
+the SP, preserving surveillance resistance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.context import Context, QAPair
+from repro.core.entropy import audit_puzzle_strength, estimate_answer_entropy_bits
+from repro.core.errors import PuzzleParameterError
+
+__all__ = ["CandidateQuestion", "ContextRecommender"]
+
+# Question templates per event kind. Answers are supplied by the sharer;
+# the `example_domain_size` models how many plausible answers an outside
+# attacker would have to try (the paper's "each key defines a domain").
+_TEMPLATE_BANK: dict[str, list[tuple[str, int]]] = {
+    # Recommended questions are deliberately open-ended compounds ("who +
+    # what + why") precisely so their answer domains are large; a closed
+    # domain like "which conference room" (a few hundred options) is what
+    # this feature steers sharers away from.
+    "party": [
+        ("Where exactly was the party held, down to the room?", 10**7),
+        ("Who brought the cake, and what flavor was it?", 10**8),
+        ("What embarrassing thing happened after midnight?", 10**9),
+        ("Which song did everyone dance to at the end?", 10**6),
+        ("What was written on the banner?", 10**8),
+        ("Who arrived last, and what was their excuse?", 10**8),
+    ],
+    "trip": [
+        ("Which hostel did we stay at, and what was wrong with it?", 10**8),
+        ("What did we rent to get around, and from whom?", 10**8),
+        ("What dish did the group order twice, and where?", 10**7),
+        ("Who lost something important, and what was it?", 10**8),
+        ("What was the name of the guide or driver?", 10**6),
+        ("Which detour did we take that was not on the itinerary?", 10**9),
+    ],
+    "meeting": [
+        ("What is the internal codename of the project?", 10**6),
+        ("What deadline did the team commit to, verbatim?", 10**6),
+        ("Who presented the roadmap, and which slide broke?", 10**8),
+        ("What metric did we agree to track weekly, and why?", 10**7),
+        ("What did the client ask for that made everyone groan?", 10**9),
+    ],
+    "wedding": [
+        ("What was the first dance song, and who chose it?", 10**7),
+        ("Who caught the bouquet, and how?", 10**7),
+        ("What went wrong during the toast?", 10**9),
+        ("What was served as the main course, with which side?", 10**7),
+        ("Where did the couple sneak off to for photos?", 10**7),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class CandidateQuestion:
+    """A recommended question plus the modelled answer-domain size."""
+
+    question: str
+    domain_size: int
+
+
+class ContextRecommender:
+    """Client-side recommendation of strong puzzle contexts."""
+
+    def __init__(self, seed: int | None = None):
+        self._rng = random.Random(seed)
+
+    @staticmethod
+    def event_kinds() -> list[str]:
+        return sorted(_TEMPLATE_BANK)
+
+    def suggest_questions(
+        self, kind: str, count: int | None = None
+    ) -> list[CandidateQuestion]:
+        """Questions for the sharer to answer, strongest domains first."""
+        try:
+            bank = _TEMPLATE_BANK[kind]
+        except KeyError:
+            raise PuzzleParameterError(
+                "unknown event kind %r; choose from %s"
+                % (kind, self.event_kinds())
+            ) from None
+        ranked = sorted(bank, key=lambda item: -item[1])
+        if count is not None:
+            if count < 1:
+                raise PuzzleParameterError("count must be >= 1")
+            ranked = ranked[:count]
+        return [CandidateQuestion(q, size) for q, size in ranked]
+
+    def score_answer(self, answer: str) -> float:
+        """Entropy estimate the UI can surface while the sharer types."""
+        return estimate_answer_entropy_bits(answer)
+
+    def build_context(
+        self,
+        kind: str,
+        answers: dict[str, str],
+        k: int,
+        min_answer_bits: float = 10.0,
+    ) -> Context:
+        """Assemble a context from sharer-provided answers, rejecting
+        configurations whose strength audit fails.
+
+        ``answers`` maps recommended questions to the sharer's answers.
+        Answers weaker than ``min_answer_bits`` are dropped with the
+        remaining set re-audited, so one lazy "yes" cannot sink the
+        whole puzzle.
+        """
+        bank = {c.question: c.domain_size for c in self.suggest_questions(kind)}
+        unknown = set(answers) - set(bank)
+        if unknown:
+            raise PuzzleParameterError(
+                "answers supplied for non-recommended questions: %s"
+                % sorted(unknown)
+            )
+        kept: list[QAPair] = []
+        for question, answer in answers.items():
+            if estimate_answer_entropy_bits(answer) >= min_answer_bits:
+                kept.append(QAPair(question, answer))
+        if len(kept) < k:
+            raise PuzzleParameterError(
+                "only %d answers met the %.0f-bit minimum; threshold k=%d "
+                "is unreachable" % (len(kept), min_answer_bits, k)
+            )
+        context = Context(kept)
+        vocab = {pair.question: bank[pair.question] for pair in kept}
+        report = audit_puzzle_strength(context, k, vocabulary_sizes=vocab)
+        if not report.acceptable:
+            raise PuzzleParameterError(
+                "recommended context failed its strength audit: %s"
+                % "; ".join(report.warnings)
+            )
+        return context

@@ -1,0 +1,84 @@
+"""Online-guessing throttling for the SP-side verifier.
+
+The offline dictionary attack of :mod:`repro.analysis.security` needs the
+puzzle (and K_Z); an *online* guesser needs only the displayed questions —
+it can submit candidate answers to Verify until the threshold clears. The
+paper's semi-honest SP model doesn't address this, but any deployment
+must: :class:`ThrottledPuzzleServiceC1` locks a requester out of a puzzle
+after a bounded number of failed verifications, turning the attack cost
+from "vocabulary size" into "max_failures".
+
+This interacts with the entropy auditor: a puzzle whose k weakest answers
+total ~20 bits is hopeless against an offline adversary (the SP itself)
+but fine against outside users when the SP throttles — which is exactly
+the trust distinction of the paper's section IV model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.construction1 import PuzzleAnswers, PuzzleServiceC1, ShareRelease
+from repro.core.errors import AccessDeniedError, SocialPuzzleError
+
+__all__ = ["ThrottledError", "ThrottledPuzzleServiceC1"]
+
+
+class ThrottledError(SocialPuzzleError):
+    """The requester exhausted their failed-attempt budget for a puzzle."""
+
+
+@dataclass
+class _Budget:
+    failures: int = 0
+    locked: bool = False
+
+
+class ThrottledPuzzleServiceC1(PuzzleServiceC1):
+    """A PuzzleServiceC1 that bounds failed verifications per requester.
+
+    ``max_failures`` — failed Verify calls allowed per (requester, puzzle)
+    before lockout. A successful verification resets the count (a friend
+    who mistyped once isn't punished). Requests without a requester name
+    share the anonymous budget — an anonymous-access deployment would key
+    on a session or network identifier instead.
+    """
+
+    def __init__(self, max_failures: int = 5, **kwargs):
+        super().__init__(**kwargs)
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        self.max_failures = max_failures
+        self._budgets: dict[tuple[int, str], _Budget] = {}
+
+    def _budget(self, puzzle_id: int, requester: str) -> _Budget:
+        return self._budgets.setdefault((puzzle_id, requester), _Budget())
+
+    def verify(
+        self, answers: PuzzleAnswers, requester: str = ""
+    ) -> ShareRelease:
+        budget = self._budget(answers.puzzle_id, requester)
+        if budget.locked:
+            raise ThrottledError(
+                "requester %r is locked out of puzzle %d after %d failures"
+                % (requester, answers.puzzle_id, self.max_failures)
+            )
+        try:
+            release = super().verify(answers)
+        except AccessDeniedError:
+            budget.failures += 1
+            if budget.failures >= self.max_failures:
+                budget.locked = True
+            raise
+        budget.failures = 0
+        return release
+
+    def failures_for(self, puzzle_id: int, requester: str = "") -> int:
+        return self._budget(puzzle_id, requester).failures
+
+    def is_locked(self, puzzle_id: int, requester: str = "") -> bool:
+        return self._budget(puzzle_id, requester).locked
+
+    def unlock(self, puzzle_id: int, requester: str = "") -> None:
+        """Sharer-initiated forgiveness (e.g. after rotating the puzzle)."""
+        self._budgets.pop((puzzle_id, requester), None)

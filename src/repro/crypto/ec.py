@@ -1,0 +1,266 @@
+"""The supersingular (PBC "type A") elliptic curve E: y^2 = x^3 + x.
+
+Over GF(q) with q ≡ 3 (mod 4) this curve is supersingular with exactly
+q + 1 points, embedding degree 2, and admits the distortion map
+phi(x, y) = (-x, i*y) into E(GF(q^2)) — the classical setting for a
+*symmetric* bilinear pairing e: G0 x G0 -> GF(q^2), which is what the
+paper's CP-ABE construction (section III-A/C) assumes.
+
+G0 is the order-r subgroup of E(GF(q)), reached by multiplying random
+curve points by the cofactor h = (q + 1) / r. Scalar multiplication uses
+Jacobian coordinates internally to avoid per-step modular inversions.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.numbers import is_prime, legendre_symbol, modinv, sqrt_mod
+
+__all__ = ["CurveParams", "Point"]
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Parameters of a type-A pairing group.
+
+    ``q``  — base-field prime, q ≡ 3 (mod 4);
+    ``r``  — prime order of G0, with r | q + 1;
+    ``h``  — cofactor, h = (q + 1) / r.
+    """
+
+    q: int
+    r: int
+    h: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.q % 4 != 3:
+            raise ValueError("type-A base prime must satisfy q ≡ 3 (mod 4)")
+        if self.h * self.r != self.q + 1:
+            raise ValueError("cofactor mismatch: h * r != q + 1")
+
+    def validate(self) -> None:
+        """Full (slow) validation including primality checks."""
+        if not is_prime(self.q):
+            raise ValueError("q is not prime")
+        if not is_prime(self.r):
+            raise ValueError("r is not prime")
+
+    # -- point constructors ------------------------------------------------------
+
+    def infinity(self) -> "Point":
+        return Point(self, 0, 0, infinity=True)
+
+    def point(self, x: int, y: int) -> "Point":
+        p = Point(self, x % self.q, y % self.q)
+        if not p.is_on_curve():
+            raise ValueError("(%d, %d) is not on y^2 = x^3 + x" % (x, y))
+        return p
+
+    def lift_x(self, x: int) -> "Point | None":
+        """The curve point with this x (canonical y), or None if x^3+x is a
+        non-residue."""
+        x %= self.q
+        rhs = (x * x * x + x) % self.q
+        if rhs == 0:
+            return Point(self, x, 0)
+        if legendre_symbol(rhs, self.q) != 1:
+            return None
+        y = sqrt_mod(rhs, self.q)
+        if y > self.q - y:
+            y = self.q - y
+        return Point(self, x, y)
+
+    def random_point(self) -> "Point":
+        """Uniformly random point of E(GF(q)) (any order)."""
+        while True:
+            x = secrets.randbelow(self.q)
+            p = self.lift_x(x)
+            if p is not None:
+                if secrets.randbelow(2):
+                    p = -p
+                return p
+
+    def random_g0(self) -> "Point":
+        """Uniformly random point of the prime-order subgroup G0, never O."""
+        while True:
+            p = self.random_point() * self.h
+            if not p.infinity:
+                return p
+
+    def __repr__(self) -> str:
+        return (
+            f"CurveParams(name={self.name!r}, |q|={self.q.bit_length()} bits, "
+            f"|r|={self.r.bit_length()} bits)"
+        )
+
+
+class Point:
+    """An affine point on a type-A curve (or the point at infinity)."""
+
+    __slots__ = ("curve", "x", "y", "infinity")
+
+    def __init__(self, curve: CurveParams, x: int, y: int, infinity: bool = False):
+        object.__setattr__(self, "curve", curve)
+        object.__setattr__(self, "x", 0 if infinity else x % curve.q)
+        object.__setattr__(self, "y", 0 if infinity else y % curve.q)
+        object.__setattr__(self, "infinity", infinity)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    # -- predicates ----------------------------------------------------------------
+
+    def is_on_curve(self) -> bool:
+        if self.infinity:
+            return True
+        q = self.curve.q
+        return (self.y * self.y - (self.x * self.x * self.x + self.x)) % q == 0
+
+    def has_order_r(self) -> bool:
+        """True for points of exact order r (i.e. nontrivial G0 members)."""
+        return not self.infinity and (self * self.curve.r).infinity
+
+    # -- group law -------------------------------------------------------------------
+
+    def __neg__(self) -> "Point":
+        if self.infinity:
+            return self
+        return Point(self.curve, self.x, -self.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.curve is not other.curve and self.curve != other.curve:
+            raise ValueError("points on different curves")
+        if self.infinity:
+            return other
+        if other.infinity:
+            return self
+        q = self.curve.q
+        if self.x == other.x:
+            if (self.y + other.y) % q == 0:
+                return self.curve.infinity()
+            # doubling; curve is y^2 = x^3 + a x with a = 1
+            slope = (3 * self.x * self.x + 1) * modinv(2 * self.y, q) % q
+        else:
+            slope = (other.y - self.y) * modinv(other.x - self.x, q) % q
+        x3 = (slope * slope - self.x - other.x) % q
+        y3 = (slope * (self.x - x3) - self.y) % q
+        return Point(self.curve, x3, y3)
+
+    def __sub__(self, other: "Point") -> "Point":
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "Point":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        return self._scalar_mul(scalar)
+
+    __rmul__ = __mul__
+
+    def _scalar_mul(self, scalar: int) -> "Point":
+        """Double-and-add in Jacobian coordinates (X/Z^2, Y/Z^3)."""
+        if self.infinity:
+            return self
+        if scalar < 0:
+            return (-self)._scalar_mul(-scalar)
+        if scalar == 0:
+            return self.curve.infinity()
+
+        q = self.curve.q
+        # Jacobian doubling/addition for y^2 = x^3 + a x, a = 1.
+        X1, Y1, Z1 = self.x, self.y, 1
+        Xr, Yr, Zr = 0, 1, 0  # point at infinity
+
+        def jdouble(X: int, Y: int, Z: int) -> tuple[int, int, int]:
+            if Z == 0 or Y == 0:
+                return 0, 1, 0
+            YY = Y * Y % q
+            S = 4 * X * YY % q
+            ZZ = Z * Z % q
+            # M = 3 X^2 + a Z^4 with a = 1
+            M = (3 * X * X + ZZ * ZZ) % q
+            X2 = (M * M - 2 * S) % q
+            Y2 = (M * (S - X2) - 8 * YY * YY) % q
+            Z2 = 2 * Y * Z % q
+            return X2, Y2, Z2
+
+        def jadd(
+            X1: int, Y1: int, Z1: int, X2: int, Y2: int, Z2: int
+        ) -> tuple[int, int, int]:
+            if Z1 == 0:
+                return X2, Y2, Z2
+            if Z2 == 0:
+                return X1, Y1, Z1
+            Z1Z1 = Z1 * Z1 % q
+            Z2Z2 = Z2 * Z2 % q
+            U1 = X1 * Z2Z2 % q
+            U2 = X2 * Z1Z1 % q
+            S1 = Y1 * Z2 * Z2Z2 % q
+            S2 = Y2 * Z1 * Z1Z1 % q
+            if U1 == U2:
+                if S1 != S2:
+                    return 0, 1, 0
+                return jdouble(X1, Y1, Z1)
+            H = (U2 - U1) % q
+            HH = H * H % q
+            HHH = H * HH % q
+            Rv = (S2 - S1) % q
+            V = U1 * HH % q
+            X3 = (Rv * Rv - HHH - 2 * V) % q
+            Y3 = (Rv * (V - X3) - S1 * HHH) % q
+            Z3 = Z1 * Z2 * H % q
+            return X3, Y3, Z3
+
+        for bit in bin(scalar)[2:]:
+            Xr, Yr, Zr = jdouble(Xr, Yr, Zr)
+            if bit == "1":
+                Xr, Yr, Zr = jadd(Xr, Yr, Zr, X1, Y1, Z1)
+
+        if Zr == 0:
+            return self.curve.infinity()
+        z_inv = modinv(Zr, q)
+        z_inv2 = z_inv * z_inv % q
+        return Point(self.curve, Xr * z_inv2 % q, Yr * z_inv2 * z_inv % q)
+
+    # -- encoding --------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed encoding: 0x00 for infinity, else 0x04 || x || y."""
+        if self.infinity:
+            return b"\x00"
+        width = (self.curve.q.bit_length() + 7) // 8
+        return b"\x04" + self.x.to_bytes(width, "big") + self.y.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, curve: CurveParams, data: bytes) -> "Point":
+        if data == b"\x00":
+            return curve.infinity()
+        width = (curve.q.bit_length() + 7) // 8
+        if len(data) != 1 + 2 * width or data[0] != 0x04:
+            raise ValueError("malformed point encoding")
+        x = int.from_bytes(data[1 : 1 + width], "big")
+        y = int.from_bytes(data[1 + width :], "big")
+        return curve.point(x, y)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.curve != other.curve:
+            return False
+        if self.infinity or other.infinity:
+            return self.infinity and other.infinity
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.curve.q, self.curve.r, self.infinity, self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.infinity:
+            return "Point(infinity)"
+        return f"Point({self.x}, {self.y})"

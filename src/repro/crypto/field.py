@@ -1,0 +1,197 @@
+"""Prime-field arithmetic GF(p).
+
+A :class:`PrimeField` instance represents the field; :class:`FieldElement`
+instances are immutable values carrying a reference to their field so that
+cross-field operations are rejected loudly instead of producing garbage.
+
+This module backs Shamir's secret sharing (the finite field ``F`` of the
+paper's section III-B) and the base field of the pairing-friendly curve.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Iterator
+
+from repro.crypto.numbers import is_prime, modinv, sqrt_mod
+
+__all__ = ["PrimeField", "FieldElement"]
+
+
+class PrimeField:
+    """The finite field of integers modulo a prime ``p``."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int, check_prime: bool = True):
+        if p < 2:
+            raise ValueError("field modulus must be >= 2, got %d" % p)
+        if check_prime and not is_prime(p):
+            raise ValueError("field modulus %d is not prime" % p)
+        self.p = p
+
+    # -- element constructors -------------------------------------------------
+
+    def __call__(self, value: int) -> "FieldElement":
+        return FieldElement(self, value % self.p)
+
+    def zero(self) -> "FieldElement":
+        return FieldElement(self, 0)
+
+    def one(self) -> "FieldElement":
+        return FieldElement(self, 1)
+
+    def random(self) -> "FieldElement":
+        """Uniformly random field element (cryptographically secure)."""
+        return FieldElement(self, secrets.randbelow(self.p))
+
+    def random_nonzero(self) -> "FieldElement":
+        """Uniformly random element of the multiplicative group."""
+        return FieldElement(self, secrets.randbelow(self.p - 1) + 1)
+
+    def from_bytes(self, data: bytes) -> "FieldElement":
+        """Element from big-endian bytes, reduced modulo ``p``."""
+        return FieldElement(self, int.from_bytes(data, "big") % self.p)
+
+    # -- field metadata --------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return self.p
+
+    @property
+    def byte_length(self) -> int:
+        """Bytes needed to encode any canonical element."""
+        return (self.p.bit_length() + 7) // 8
+
+    def elements(self) -> Iterator["FieldElement"]:
+        """Iterate over all field elements (only sensible for tiny fields)."""
+        for v in range(self.p):
+            yield FieldElement(self, v)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and self.p == other.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.p})"
+
+
+class FieldElement:
+    """An immutable element of a :class:`PrimeField`."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: PrimeField, value: int):
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "value", value % field.p)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FieldElement is immutable")
+
+    # -- coercion helpers ------------------------------------------------------
+
+    def _coerce(self, other: "FieldElement | int") -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other.field != self.field:
+                raise ValueError(
+                    "cannot mix elements of GF(%d) and GF(%d)"
+                    % (self.field.p, other.field.p)
+                )
+            return other
+        if isinstance(other, int):
+            return FieldElement(self.field, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "FieldElement | int") -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.value + o.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "FieldElement | int") -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.value - o.value)
+
+    def __rsub__(self, other: "FieldElement | int") -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, o.value - self.value)
+
+    def __mul__(self, other: "FieldElement | int") -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.value * o.value)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "FieldElement | int") -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return self * o.inverse()
+
+    def __rtruediv__(self, other: "FieldElement | int") -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return o * self.inverse()
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(self.field, -self.value)
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(self.field, pow(self.value, exponent, self.field.p))
+
+    def inverse(self) -> "FieldElement":
+        return FieldElement(self.field, modinv(self.value, self.field.p))
+
+    def sqrt(self) -> "FieldElement":
+        """A square root, raising :class:`ValueError` for non-residues."""
+        return FieldElement(self.field, sqrt_mod(self.value, self.field.p))
+
+    def is_square(self) -> bool:
+        if self.value == 0:
+            return True
+        return pow(self.value, (self.field.p - 1) // 2, self.field.p) == 1
+
+    # -- predicates / conversions ----------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(self.field.byte_length, "big")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return (
+            isinstance(other, FieldElement)
+            and self.field == other.field
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __repr__(self) -> str:
+        return f"FieldElement({self.value} mod {self.field.p})"

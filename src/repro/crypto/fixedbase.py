@@ -1,0 +1,123 @@
+"""Fixed-base scalar multiplication with windowed precomputation.
+
+CP-ABE spends most of its exponentiations on a handful of *fixed* bases —
+the generator g and h = g^beta appear in every leaf component, every key
+component and every KeyGen. For a fixed base, a one-time table of
+window powers turns each scalar multiplication from ~1.5 * log2(r) point
+operations into ~log2(r)/w table additions with NO doublings:
+
+    precompute  B[i][d] = (d * 16^i) * base   for each 4-bit window i
+    multiply    k * base = sum_i B[i][window_i(k)]
+
+For |r| = 160 and w = 4 that is a 40-addition multiply after a 600-entry
+table — about 3x faster here (measured in ablation A9), at ~100 KB of
+table per base. Used opportunistically by CP-ABE via
+:class:`FixedBaseMult`; correctness is equivalence-tested against the
+generic ladder.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ec import Point
+
+__all__ = ["FixedBaseMult"]
+
+
+class FixedBaseMult:
+    """A precomputed multiplier for one fixed point."""
+
+    def __init__(self, base: Point, window_bits: int = 4, max_scalar_bits: int | None = None):
+        if base.infinity:
+            raise ValueError("cannot precompute for the point at infinity")
+        if not 1 <= window_bits <= 8:
+            raise ValueError("window_bits must be in 1..8")
+        self.base = base
+        self.window_bits = window_bits
+        bits = max_scalar_bits or base.curve.r.bit_length()
+        self._windows = (bits + window_bits - 1) // window_bits
+        self._mask = (1 << window_bits) - 1
+
+        # table[i][d] = (d << (w*i)) * base, for d in 1..2^w - 1.
+        table: list[list[Point]] = []
+        window_base = base
+        for _ in range(self._windows):
+            row = [window_base]
+            for _ in range(self._mask - 1):
+                row.append(row[-1] + window_base)
+            table.append(row)
+            # Advance to the next window: multiply by 2^w via doublings.
+            for _ in range(window_bits):
+                window_base = window_base + window_base
+        self._table = table
+
+    def multiply(self, scalar: int) -> Point:
+        """``scalar * base`` via table lookups (scalar reduced mod r).
+
+        Additions accumulate in Jacobian coordinates with *mixed* addition
+        (table entries are affine, Z=1), so the whole multiply costs one
+        modular inversion instead of one per window.
+        """
+        from repro.crypto.numbers import modinv
+
+        scalar %= self.base.curve.r
+        if scalar == 0:
+            return self.base.curve.infinity()
+        q = self.base.curve.q
+
+        # Jacobian accumulator (X, Y, Z); Z == 0 encodes infinity.
+        X1, Y1, Z1 = 0, 1, 0
+        index = 0
+        while scalar and index < self._windows:
+            digit = scalar & self._mask
+            if digit:
+                point = self._table[index][digit - 1]
+                X1, Y1, Z1 = self._mixed_add(X1, Y1, Z1, point.x, point.y, q)
+            scalar >>= self.window_bits
+            index += 1
+        if scalar:
+            # Scalar exceeded the precomputed range (cannot happen once
+            # reduced mod r); fall back for the remainder.
+            extra = self.base * (scalar << (self.window_bits * self._windows))
+            if not extra.infinity:
+                X1, Y1, Z1 = self._mixed_add(X1, Y1, Z1, extra.x, extra.y, q)
+
+        if Z1 == 0:
+            return self.base.curve.infinity()
+        z_inv = modinv(Z1, q)
+        z_inv2 = z_inv * z_inv % q
+        return Point(self.base.curve, X1 * z_inv2 % q, Y1 * z_inv2 * z_inv % q)
+
+    @staticmethod
+    def _mixed_add(
+        X1: int, Y1: int, Z1: int, x2: int, y2: int, q: int
+    ) -> tuple[int, int, int]:
+        """Jacobian (X1,Y1,Z1) + affine (x2,y2) on y^2 = x^3 + x."""
+        if Z1 == 0:
+            return x2, y2, 1
+        Z1Z1 = Z1 * Z1 % q
+        U2 = x2 * Z1Z1 % q
+        S2 = y2 * Z1 * Z1Z1 % q
+        if U2 == X1:
+            if S2 != Y1 % q:
+                return 0, 1, 0  # P + (-P) = O
+            # Doubling (a = 1 curve): M = 3X^2 + Z^4.
+            YY = Y1 * Y1 % q
+            S = 4 * X1 * YY % q
+            M = (3 * X1 * X1 + Z1Z1 * Z1Z1) % q
+            X3 = (M * M - 2 * S) % q
+            Y3 = (M * (S - X3) - 8 * YY * YY) % q
+            Z3 = 2 * Y1 * Z1 % q
+            return X3, Y3, Z3
+        H = (U2 - X1) % q
+        HH = H * H % q
+        HHH = H * HH % q
+        Rv = (S2 - Y1) % q
+        V = X1 * HH % q
+        X3 = (Rv * Rv - HHH - 2 * V) % q
+        Y3 = (Rv * (V - X3) - Y1 * HHH) % q
+        Z3 = Z1 * H % q
+        return X3, Y3, Z3
+
+    def table_size(self) -> int:
+        """Number of precomputed points (memory footprint proxy)."""
+        return sum(len(row) for row in self._table)

@@ -1,0 +1,149 @@
+"""Quadratic extension field GF(q^2) = GF(q)[i] / (i^2 + 1).
+
+Requires q ≡ 3 (mod 4) so that -1 is a quadratic non-residue and the
+polynomial i^2 + 1 is irreducible. This is the target group GT of the
+type-A symmetric pairing: the paper's CP-ABE construction computes
+``e(g, g)^{alpha s}`` in exactly this field.
+
+Elements are ``a + b*i`` with plain-integer coefficients; the class keeps a
+reference to its modulus so cross-field mixing fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.numbers import modinv
+
+__all__ = ["Fq2"]
+
+
+class Fq2:
+    """An immutable element a + b*i of GF(q^2)."""
+
+    __slots__ = ("q", "a", "b")
+
+    def __init__(self, q: int, a: int, b: int = 0):
+        object.__setattr__(self, "q", q)
+        object.__setattr__(self, "a", a % q)
+        object.__setattr__(self, "b", b % q)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Fq2 is immutable")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def one(cls, q: int) -> "Fq2":
+        return cls(q, 1, 0)
+
+    @classmethod
+    def zero(cls, q: int) -> "Fq2":
+        return cls(q, 0, 0)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check(self, other: "Fq2") -> None:
+        if self.q != other.q:
+            raise ValueError("cannot mix GF(%d^2) and GF(%d^2)" % (self.q, other.q))
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Fq2") -> "Fq2":
+        if not isinstance(other, Fq2):
+            return NotImplemented
+        self._check(other)
+        return Fq2(self.q, self.a + other.a, self.b + other.b)
+
+    def __sub__(self, other: "Fq2") -> "Fq2":
+        if not isinstance(other, Fq2):
+            return NotImplemented
+        self._check(other)
+        return Fq2(self.q, self.a - other.a, self.b - other.b)
+
+    def __neg__(self) -> "Fq2":
+        return Fq2(self.q, -self.a, -self.b)
+
+    def __mul__(self, other: "Fq2 | int") -> "Fq2":
+        if isinstance(other, int):
+            return Fq2(self.q, self.a * other, self.b * other)
+        if not isinstance(other, Fq2):
+            return NotImplemented
+        self._check(other)
+        q = self.q
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc)i; Karatsuba on the cross term.
+        ac = self.a * other.a
+        bd = self.b * other.b
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return Fq2(q, ac - bd, cross)
+
+    __rmul__ = __mul__
+
+    def square(self) -> "Fq2":
+        q = self.q
+        # (a + bi)^2 = (a - b)(a + b) + 2ab i
+        return Fq2(q, (self.a - self.b) * (self.a + self.b), 2 * self.a * self.b)
+
+    def inverse(self) -> "Fq2":
+        q = self.q
+        norm = (self.a * self.a + self.b * self.b) % q
+        if norm == 0:
+            raise ZeroDivisionError("0 in GF(q^2) has no inverse")
+        inv_norm = modinv(norm, q)
+        return Fq2(q, self.a * inv_norm, -self.b * inv_norm)
+
+    def __truediv__(self, other: "Fq2") -> "Fq2":
+        if not isinstance(other, Fq2):
+            return NotImplemented
+        return self * other.inverse()
+
+    def conjugate(self) -> "Fq2":
+        """a - b*i, which is also the Frobenius map x -> x^q (q ≡ 3 mod 4)."""
+        return Fq2(self.q, self.a, -self.b)
+
+    def __pow__(self, exponent: int) -> "Fq2":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fq2.one(self.q)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    # -- predicates / conversions -----------------------------------------------
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def to_bytes(self) -> bytes:
+        width = (self.q.bit_length() + 7) // 8
+        return self.a.to_bytes(width, "big") + self.b.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, q: int, data: bytes) -> "Fq2":
+        width = (q.bit_length() + 7) // 8
+        if len(data) != 2 * width:
+            raise ValueError("Fq2 encoding must be %d bytes" % (2 * width))
+        return cls(
+            q,
+            int.from_bytes(data[:width], "big"),
+            int.from_bytes(data[width:], "big"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fq2)
+            and self.q == other.q
+            and self.a == other.a
+            and self.b == other.b
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.q, self.a, self.b))
+
+    def __repr__(self) -> str:
+        return f"Fq2({self.a} + {self.b}i mod {self.q})"

@@ -1,0 +1,53 @@
+"""GibberishAES-compatible passphrase encryption container.
+
+The paper's Implementation 1 encrypts shared objects in the browser with
+GibberishAES, which produces OpenSSL-``enc``-compatible output:
+
+    base64( b"Salted__" || 8-byte salt || AES-256-CBC ciphertext )
+
+with key and IV derived from the passphrase and salt via
+``EVP_BytesToKey``. This module reproduces that container exactly so the
+Construction 1 engine can store objects in the same wire format the paper's
+prototype uploaded to its storage service.
+"""
+
+from __future__ import annotations
+
+import base64
+import secrets
+
+from repro.crypto.kdf import evp_bytes_to_key
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+
+__all__ = ["encrypt", "decrypt", "MAGIC"]
+
+MAGIC = b"Salted__"
+_KEY_LEN = 32  # AES-256
+_IV_LEN = 16
+
+
+def encrypt(plaintext: bytes, passphrase: bytes, salt: bytes | None = None) -> bytes:
+    """Encrypt to the base64 ``Salted__`` container."""
+    if salt is None:
+        salt = secrets.token_bytes(8)
+    if len(salt) != 8:
+        raise ValueError("salt must be 8 bytes, got %d" % len(salt))
+    key, iv = evp_bytes_to_key(passphrase, salt, _KEY_LEN, _IV_LEN)
+    # cbc_encrypt returns iv || ct; the container stores the IV implicitly
+    # (derived from the passphrase), so strip the explicit copy.
+    ciphertext = cbc_encrypt(key, plaintext, iv=iv)[16:]
+    return base64.b64encode(MAGIC + salt + ciphertext)
+
+
+def decrypt(container: bytes, passphrase: bytes) -> bytes:
+    """Decrypt a base64 ``Salted__`` container."""
+    try:
+        raw = base64.b64decode(container, validate=True)
+    except Exception as exc:
+        raise ValueError("container is not valid base64") from exc
+    if len(raw) < len(MAGIC) + 8 + 16 or not raw.startswith(MAGIC):
+        raise ValueError("container is missing the Salted__ header")
+    salt = raw[len(MAGIC) : len(MAGIC) + 8]
+    ciphertext = raw[len(MAGIC) + 8 :]
+    key, iv = evp_bytes_to_key(passphrase, salt, _KEY_LEN, _IV_LEN)
+    return cbc_decrypt(key, iv + ciphertext)

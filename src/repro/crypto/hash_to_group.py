@@ -1,0 +1,51 @@
+"""Hashing arbitrary strings into the pairing group G0.
+
+CP-ABE's ``H: {0,1}* -> G0`` (paper section III-C) maps each attribute
+string to a random-looking group element. Implemented with the classical
+try-and-increment method: derive candidate x-coordinates from
+SHA3-256(domain || counter || data) until one lies on the curve, then clear
+the cofactor to land in the order-r subgroup. Expected ~2 attempts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ec import CurveParams, Point
+from repro.crypto.hashes import sha3_256
+
+__all__ = ["hash_to_g0"]
+
+_DOMAIN = b"repro.hash_to_g0.v1"
+
+
+def _candidate_x(params: CurveParams, data: bytes, counter: int) -> int:
+    width = (params.q.bit_length() + 7) // 8
+    material = b""
+    block_index = 0
+    while len(material) < width:
+        digest = sha3_256(
+            _DOMAIN
+            + counter.to_bytes(4, "big")
+            + block_index.to_bytes(4, "big")
+            + data
+        ).digest()
+        material += digest
+        block_index += 1
+    return int.from_bytes(material[:width], "big") % params.q
+
+
+def hash_to_g0(params: CurveParams, data: bytes) -> Point:
+    """Map ``data`` to a point of order r on the curve (never infinity)."""
+    counter = 0
+    while True:
+        x = _candidate_x(params, data, counter)
+        lifted = params.lift_x(x)
+        if lifted is not None:
+            point = lifted * params.h
+            if not point.infinity:
+                # Derive the sign of y from the hash too, so the map does
+                # not systematically prefer the canonical root.
+                sign_bit = sha3_256(
+                    _DOMAIN + b"sign" + counter.to_bytes(4, "big") + data
+                ).digest()[0] & 1
+                return -point if sign_bit else point
+        counter += 1

@@ -1,0 +1,77 @@
+"""Key derivation functions.
+
+* :func:`hkdf` — RFC 5869 extract-and-expand, the library default for
+  deriving the object key ``K_O = H(M_O)`` with domain separation.
+* :func:`evp_bytes_to_key` — OpenSSL's legacy ``EVP_BytesToKey`` with MD5
+  replaced by a configurable digest; in its SHA-256/one-iteration form it
+  is what GibberishAES (the JavaScript library used by the paper's
+  Implementation 1) uses to turn a passphrase + salt into an AES key + IV.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import hashes
+from repro.crypto.mac import hmac_digest
+
+__all__ = ["hkdf", "hkdf_extract", "hkdf_expand", "evp_bytes_to_key"]
+
+
+def hkdf_extract(salt: bytes, ikm: bytes, digestmod: str = "sha3_256") -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, ikm)."""
+    if not salt:
+        salt = b"\x00" * hashes.new(digestmod).digest_size
+    return hmac_digest(salt, ikm, digestmod)
+
+
+def hkdf_expand(
+    prk: bytes, info: bytes, length: int, digestmod: str = "sha3_256"
+) -> bytes:
+    """HKDF-Expand: OKM of ``length`` bytes."""
+    digest_size = hashes.new(digestmod).digest_size
+    if length > 255 * digest_size:
+        raise ValueError("HKDF output too long: %d bytes" % length)
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_digest(prk, block + info + bytes([counter]), digestmod)
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(
+    ikm: bytes,
+    length: int,
+    salt: bytes = b"",
+    info: bytes = b"",
+    digestmod: str = "sha3_256",
+) -> bytes:
+    """One-shot HKDF (RFC 5869)."""
+    return hkdf_expand(hkdf_extract(salt, ikm, digestmod), info, length, digestmod)
+
+
+def evp_bytes_to_key(
+    passphrase: bytes,
+    salt: bytes,
+    key_len: int,
+    iv_len: int,
+    digestmod: str = "sha256",
+    iterations: int = 1,
+) -> tuple[bytes, bytes]:
+    """OpenSSL ``EVP_BytesToKey`` key/IV derivation.
+
+    D_1 = H(pass || salt); D_i = H(D_{i-1} || pass || salt); key material is
+    the concatenation of the D_i. GibberishAES uses this (with enough
+    rounds to fill key + IV) for its ``Salted__`` container.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    derived = b""
+    block = b""
+    while len(derived) < key_len + iv_len:
+        block = hashes.new(digestmod, block + passphrase + salt).digest()
+        for _ in range(iterations - 1):
+            block = hashes.new(digestmod, block).digest()
+        derived += block
+    return derived[:key_len], derived[key_len : key_len + iv_len]

@@ -1,0 +1,199 @@
+"""Number-theoretic primitives used throughout the crypto substrate.
+
+Everything in this module is implemented from first principles (no
+dependency on ``sympy`` or similar): extended Euclid, modular inverses,
+Miller--Rabin primality testing, deterministic trial division for small
+inputs, Tonelli--Shanks modular square roots, and random prime generation.
+
+These primitives back the prime-field arithmetic (:mod:`repro.crypto.field`),
+the pairing parameter generation (:mod:`repro.crypto.params`) and Shamir's
+secret sharing (:mod:`repro.crypto.shamir`).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "is_prime",
+    "next_prime",
+    "random_prime",
+    "sqrt_mod",
+    "legendre_symbol",
+    "PrimalityError",
+]
+
+# Primes below 100, used for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+    53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+)
+
+# Witness set sufficient for a *deterministic* Miller-Rabin answer for all
+# n < 3,317,044,064,679,887,385,961,981 (Sorenson & Webster, 2015).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+
+class PrimalityError(ValueError):
+    """Raised when a prime was required but the argument is composite."""
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` such that ``a*x + b*y == g == gcd(a, b)``.
+    """
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ZeroDivisionError` when ``gcd(a, m) != 1``.
+    """
+    a %= m
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse modulo %d" % m)
+    g, x, _ = egcd(a, m)
+    if g != 1:
+        raise ZeroDivisionError("%d has no inverse modulo %d (gcd=%d)" % (a, m, g))
+    return x % m
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """Return True when ``a`` witnesses that ``n`` is composite."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, rounds: int = 40) -> bool:
+    """Primality test.
+
+    Deterministic (via a fixed witness set) for ``n`` below ~3.3e24 and
+    probabilistic Miller--Rabin with ``rounds`` random bases above that,
+    giving an error probability below ``4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    if n < _DETERMINISTIC_BOUND:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        witnesses = [secrets.randbelow(n - 3) + 2 for _ in range(rounds)]
+
+    for a in witnesses:
+        if a % n == 0:
+            continue
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_prime(bits: int) -> int:
+    """Random prime of exactly ``bits`` bits (top bit set)."""
+    if bits < 2:
+        raise ValueError("a prime needs at least 2 bits, got %d" % bits)
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Legendre symbol (a/p) for odd prime ``p``: 1, -1 or 0."""
+    a %= p
+    if a == 0:
+        return 0
+    result = pow(a, (p - 1) // 2, p)
+    return -1 if result == p - 1 else result
+
+
+def sqrt_mod(a: int, p: int) -> int:
+    """A square root of ``a`` modulo the odd prime ``p``.
+
+    Uses the fast ``p % 4 == 3`` exponentiation shortcut when possible and
+    Tonelli--Shanks otherwise. Raises :class:`ValueError` when ``a`` is a
+    quadratic non-residue.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if p == 2:
+        return a
+    if legendre_symbol(a, p) != 1:
+        raise ValueError("%d is not a quadratic residue modulo %d" % (a, p))
+
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+
+    # Tonelli-Shanks: write p - 1 = q * 2^s with q odd.
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+
+    # Find a quadratic non-residue z.
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # Find the least i, 0 < i < m, with t^(2^i) == 1.
+        i = 0
+        t2i = t
+        while t2i != 1:
+            t2i = t2i * t2i % p
+            i += 1
+            if i == m:
+                raise ValueError("sqrt_mod failed; %d is not prime?" % p)
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r

@@ -1,0 +1,80 @@
+"""Pairing parameter generation and named presets.
+
+Follows the PBC library's "type A" recipe: pick a prime group order ``r``,
+then search for a cofactor ``h`` (a multiple of 4, so that q ≡ 3 mod 4)
+with ``q = h * r - 1`` prime. The paper's prototype used the cpabe toolkit
+on PBC type-A parameters (|r| = 160, |q| = 512); the presets below bracket
+that working point:
+
+* ``TOY``     — |r| = 32,  |q| = 128: unit tests, exhaustive property checks.
+* ``SMALL``   — |r| = 80,  |q| = 256: fast integration tests.
+* ``DEFAULT`` — |r| = 160, |q| = 512: the paper's operating point, used by
+  the benchmark harness.
+
+Presets were generated once with :func:`generate_type_a_params` and are
+pinned so imports are instant and benchmarks deterministic; a test
+re-validates every pinned preset (primality, q ≡ 3 mod 4, cofactor).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.ec import CurveParams
+from repro.crypto.numbers import is_prime, random_prime
+
+__all__ = ["generate_type_a_params", "get_params", "TOY", "SMALL", "DEFAULT", "PRESETS"]
+
+
+def generate_type_a_params(rbits: int, qbits: int, name: str = "custom") -> CurveParams:
+    """Generate fresh type-A parameters with |r| = rbits and |q| ~= qbits.
+
+    q = h * r - 1 with h ≡ 0 (mod 4) guarantees q ≡ 3 (mod 4) for odd r.
+    """
+    if rbits < 4 or qbits <= rbits + 3:
+        raise ValueError("need qbits comfortably larger than rbits")
+    while True:
+        r = random_prime(rbits)
+        hbits = qbits - rbits
+        # h = 4 * m for random m of the right size.
+        for _ in range(4 * qbits):
+            m = secrets.randbits(hbits - 2) | (1 << (hbits - 3)) if hbits >= 3 else 1
+            h = 4 * m
+            q = h * r - 1
+            if q % 4 == 3 and is_prime(q):
+                return CurveParams(q=q, r=r, h=h, name=name)
+
+
+# Pinned presets (generated with generate_type_a_params; re-validated in tests).
+TOY = CurveParams(
+    name="toy-32-128",
+    r=3343421677,
+    q=248550684269726183658606406295874801127,
+    h=74340214391606991922546659464,
+)
+
+SMALL = CurveParams(
+    name="small-80-256",
+    r=1066069795919421177654727,
+    q=61238536570116751883191138598637191121141245254261012055035544537817572337047,
+    h=57443271354763589081758342326969583075541088886246824,
+)
+
+DEFAULT = CurveParams(
+    name="default-160-512",
+    r=764763699195582645146043654073643696693924853307,
+    q=6353639178285217448038842819567509836696586729338586561027102811591013884901600988546311467195244841915615593877783931457888379821557430678860336003172687,
+    h=8307976941071207071103148290024734996559258480311642317321477800022641290801265492139275020673214653740784,
+)
+
+PRESETS = {"toy": TOY, "small": SMALL, "default": DEFAULT}
+
+
+def get_params(name: str) -> CurveParams:
+    """Look up a named preset ('toy', 'small', 'default')."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown preset %r; choose from %s" % (name, sorted(PRESETS))
+        ) from None

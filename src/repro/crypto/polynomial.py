@@ -1,0 +1,214 @@
+"""Polynomials over prime fields.
+
+Provides the polynomial machinery behind Shamir's secret sharing (paper
+section III-B) and CP-ABE's per-node secret-sharing polynomials (paper
+section III-C): random polynomial generation with a fixed constant term,
+Horner evaluation, and Lagrange interpolation (both full interpolation and
+the "evaluate at zero" shortcut via Lagrange basis coefficients).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.field import FieldElement, PrimeField
+
+__all__ = [
+    "Polynomial",
+    "lagrange_coefficients_at_zero",
+    "lagrange_interpolate_at",
+]
+
+
+class Polynomial:
+    """An immutable polynomial over a :class:`PrimeField`.
+
+    Coefficients are stored lowest-degree first: ``coeffs[i]`` multiplies
+    ``x**i``. Trailing zero coefficients are stripped so that ``degree`` is
+    canonical; the zero polynomial has ``degree == -1``.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: PrimeField, coeffs: Sequence[FieldElement | int]):
+        normalized = [c if isinstance(c, FieldElement) else field(c) for c in coeffs]
+        for c in normalized:
+            if c.field != field:
+                raise ValueError("coefficient from a different field")
+        while normalized and normalized[-1].is_zero():
+            normalized.pop()
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "coeffs", tuple(normalized))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Polynomial is immutable")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        field: PrimeField,
+        degree: int,
+        constant_term: FieldElement | int | None = None,
+    ) -> "Polynomial":
+        """Random polynomial of *exactly* ``degree`` (leading coeff nonzero).
+
+        When ``constant_term`` is given it becomes ``P(0)`` — this is how a
+        Shamir dealer embeds the secret. ``degree == 0`` with a fixed
+        constant term returns the constant polynomial (which is what a
+        threshold of 1 means: every share equals the secret).
+        """
+        if degree < 0:
+            raise ValueError("degree must be >= 0, got %d" % degree)
+        if constant_term is None:
+            c0 = field.random()
+        elif isinstance(constant_term, FieldElement):
+            c0 = constant_term
+        else:
+            c0 = field(constant_term)
+        coeffs: list[FieldElement] = [c0]
+        for _ in range(degree - 1):
+            coeffs.append(field.random())
+        if degree >= 1:
+            coeffs.append(field.random_nonzero())
+        return cls(field, coeffs)
+
+    @classmethod
+    def zero(cls, field: PrimeField) -> "Polynomial":
+        return cls(field, [])
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def constant_term(self) -> FieldElement:
+        if not self.coeffs:
+            return self.field.zero()
+        return self.coeffs[0]
+
+    def __call__(self, x: FieldElement | int) -> FieldElement:
+        """Evaluate via Horner's method."""
+        if isinstance(x, int):
+            x = self.field(x)
+        result = self.field.zero()
+        for coeff in reversed(self.coeffs):
+            result = result * x + coeff
+        return result
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if other.field != self.field:
+            raise ValueError("polynomials over different fields")
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        coeffs = list(a)
+        for i, c in enumerate(b):
+            coeffs[i] = coeffs[i] + c
+        return Polynomial(self.field, coeffs)
+
+    def __mul__(self, other: "Polynomial | FieldElement | int") -> "Polynomial":
+        if isinstance(other, (FieldElement, int)):
+            scalar = other if isinstance(other, FieldElement) else self.field(other)
+            return Polynomial(self.field, [c * scalar for c in self.coeffs])
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if other.field != self.field:
+            raise ValueError("polynomials over different fields")
+        if not self.coeffs or not other.coeffs:
+            return Polynomial.zero(self.field)
+        out = [self.field.zero()] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = out[i + j] + a * b
+        return Polynomial(self.field, out)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.field, [-c for c in self.coeffs])
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (-other)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and self.field == other.field
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __repr__(self) -> str:
+        if not self.coeffs:
+            return "Polynomial(0)"
+        terms = " + ".join(
+            f"{int(c)}*x^{i}" if i else str(int(c))
+            for i, c in enumerate(self.coeffs)
+            if not c.is_zero()
+        )
+        return f"Polynomial({terms} over GF({self.field.p}))"
+
+
+def lagrange_coefficients_at_zero(
+    field: PrimeField, xs: Sequence[FieldElement | int]
+) -> list[FieldElement]:
+    """Lagrange basis coefficients gamma_j evaluated at x = 0.
+
+    Given distinct evaluation points ``xs``, returns the coefficients such
+    that ``P(0) = sum_j gamma_j * P(xs[j])`` for any polynomial ``P`` of
+    degree < len(xs). This is exactly the reconstruction formula of the
+    paper's section III-B:
+
+        gamma_j = prod_{j' != j} s_{j'} / (s_{j'} - s_j)
+    """
+    points = [x if isinstance(x, FieldElement) else field(x) for x in xs]
+    if len({p.value for p in points}) != len(points):
+        raise ValueError("evaluation points must be distinct")
+    if any(p.is_zero() for p in points):
+        raise ValueError("x = 0 must not be an evaluation point")
+    coefficients: list[FieldElement] = []
+    for j, xj in enumerate(points):
+        num = field.one()
+        den = field.one()
+        for j2, xj2 in enumerate(points):
+            if j2 == j:
+                continue
+            num = num * xj2
+            den = den * (xj2 - xj)
+        coefficients.append(num / den)
+    return coefficients
+
+
+def lagrange_interpolate_at(
+    field: PrimeField,
+    points: Sequence[tuple[FieldElement | int, FieldElement | int]],
+    x: FieldElement | int,
+) -> FieldElement:
+    """Evaluate, at ``x``, the unique degree-<len(points) polynomial through
+    ``points`` (a sequence of ``(x_j, y_j)`` pairs with distinct ``x_j``)."""
+    if isinstance(x, int):
+        x = field(x)
+    xs = [p[0] if isinstance(p[0], FieldElement) else field(p[0]) for p in points]
+    ys = [p[1] if isinstance(p[1], FieldElement) else field(p[1]) for p in points]
+    if len({p.value for p in xs}) != len(xs):
+        raise ValueError("interpolation points must have distinct x coordinates")
+    total = field.zero()
+    for j, (xj, yj) in enumerate(zip(xs, ys)):
+        num = field.one()
+        den = field.one()
+        for j2, xj2 in enumerate(xs):
+            if j2 == j:
+                continue
+            num = num * (x - xj2)
+            den = den * (xj - xj2)
+        total = total + yj * num / den
+    return total

@@ -1,0 +1,100 @@
+"""Schnorr signatures over the type-A curve group G0.
+
+BLS (:mod:`repro.crypto.bls`) verification costs two pairings; on mobile
+receivers verifying every puzzle component that adds up. Schnorr
+signatures over the same group verify with two scalar multiplications —
+roughly an order of magnitude cheaper here — at the cost of larger
+signatures (a scalar + a challenge instead of one point).
+
+Scheme (Fiat-Shamir over G0, challenge bound to the public key):
+
+    sk = x in Z_r,  pk = g^x
+    sign(m):  k random in Z_r;  R = g^k;  e = H(R || pk || m) mod r;
+              s = k + e*x mod r;  signature = (e, s)
+    verify:   R' = g^s * pk^(-e);  accept iff H(R' || pk || m) mod r == e
+
+Both schemes implement the same sign/verify interface, so the puzzle
+signing layer can swap them (signature agility).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.ec import CurveParams, Point
+from repro.crypto.hashes import sha3_256
+
+__all__ = ["SchnorrKeyPair", "SchnorrSignature", "SchnorrScheme"]
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    secret: int
+    public: Point
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """(e, s) pair; encodable as two fixed-width scalars."""
+
+    e: int
+    s: int
+
+    def to_bytes(self, params: CurveParams) -> bytes:
+        width = (params.r.bit_length() + 7) // 8
+        return self.e.to_bytes(width, "big") + self.s.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, params: CurveParams, data: bytes) -> "SchnorrSignature":
+        width = (params.r.bit_length() + 7) // 8
+        if len(data) != 2 * width:
+            raise ValueError("Schnorr signature must be %d bytes" % (2 * width))
+        return cls(
+            e=int.from_bytes(data[:width], "big"),
+            s=int.from_bytes(data[width:], "big"),
+        )
+
+
+class SchnorrScheme:
+    """Schnorr signing/verification bound to parameters and a generator."""
+
+    def __init__(self, params: CurveParams, generator: Point | None = None):
+        self.params = params
+        self.generator = generator if generator is not None else params.random_g0()
+        if self.generator.infinity or not self.generator.has_order_r():
+            raise ValueError("generator must have order r")
+
+    def keygen(self) -> SchnorrKeyPair:
+        secret = secrets.randbelow(self.params.r - 1) + 1
+        return SchnorrKeyPair(secret=secret, public=self.generator * secret)
+
+    def _challenge(self, commitment: Point, public: Point, message: bytes) -> int:
+        material = commitment.to_bytes() + public.to_bytes() + message
+        return int.from_bytes(sha3_256(material).digest(), "big") % self.params.r
+
+    def sign(self, secret: int, message: bytes) -> SchnorrSignature:
+        if not 0 < secret < self.params.r:
+            raise ValueError("secret key out of range")
+        public = self.generator * secret
+        while True:
+            nonce = secrets.randbelow(self.params.r - 1) + 1
+            commitment = self.generator * nonce
+            e = self._challenge(commitment, public, message)
+            if e == 0:
+                continue  # degenerate challenge; resample
+            s = (nonce + e * secret) % self.params.r
+            return SchnorrSignature(e=e, s=s)
+
+    def verify(self, public: Point, message: bytes, signature: SchnorrSignature) -> bool:
+        if not 0 < signature.e < self.params.r:
+            return False
+        if not 0 <= signature.s < self.params.r:
+            return False
+        if public.infinity or not public.is_on_curve() or not public.has_order_r():
+            return False
+        # R' = g^s * pk^(-e)
+        commitment = self.generator * signature.s + public * (-signature.e)
+        if commitment.infinity:
+            return False
+        return self._challenge(commitment, public, message) == signature.e

@@ -1,0 +1,148 @@
+"""Shamir's (k, n) threshold secret sharing (paper section III-B).
+
+A dealer splits a secret ``M`` (an element of GF(p)) into ``n`` shares such
+that any ``k`` of them reconstruct ``M`` by Lagrange interpolation at zero,
+while any ``k - 1`` shares are information-theoretically independent of
+``M``.
+
+The paper's Construction 1 uses this with *random* (rather than sequential)
+evaluation points ``s_i``; both styles are supported here. Shares carry
+their evaluation point, mirroring the paper's ``d_i = <s_i, P(s_i)>``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.field import FieldElement, PrimeField
+from repro.crypto.polynomial import Polynomial, lagrange_coefficients_at_zero
+
+__all__ = ["Share", "ShamirDealer", "split_secret", "reconstruct_secret"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share ``<x, P(x)>`` of a Shamir-shared secret."""
+
+    x: int
+    y: int
+
+    def to_bytes(self, field: PrimeField) -> bytes:
+        """Fixed-width big-endian encoding ``x || y``."""
+        width = field.byte_length
+        return self.x.to_bytes(width, "big") + self.y.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, field: PrimeField, data: bytes) -> "Share":
+        width = field.byte_length
+        if len(data) != 2 * width:
+            raise ValueError(
+                "share encoding must be %d bytes, got %d" % (2 * width, len(data))
+            )
+        return cls(
+            x=int.from_bytes(data[:width], "big"),
+            y=int.from_bytes(data[width:], "big"),
+        )
+
+
+class ShamirDealer:
+    """Dealer for a (k, n) sharing over a given prime field."""
+
+    def __init__(self, field: PrimeField, k: int, n: int):
+        if not 0 < k <= n:
+            raise ValueError("need 0 < k <= n, got k=%d n=%d" % (k, n))
+        if n >= field.p:
+            raise ValueError(
+                "n=%d shares need field order > n, got p=%d" % (n, field.p)
+            )
+        self.field = field
+        self.k = k
+        self.n = n
+
+    def split(
+        self,
+        secret: FieldElement | int,
+        xs: Sequence[int] | None = None,
+        random_points: bool = True,
+    ) -> list[Share]:
+        """Produce ``n`` shares of ``secret``.
+
+        ``xs`` fixes the evaluation points explicitly; otherwise they are
+        chosen at random (``random_points=True``, the paper's choice) or
+        sequentially ``1..n`` (Shamir's original description). Points are
+        always nonzero and distinct.
+        """
+        if isinstance(secret, int):
+            secret = self.field(secret)
+        if xs is not None:
+            points = list(xs)
+            if len(points) != self.n:
+                raise ValueError("expected %d evaluation points" % self.n)
+        elif random_points:
+            chosen: set[int] = set()
+            while len(chosen) < self.n:
+                chosen.add(secrets.randbelow(self.field.p - 1) + 1)
+            points = sorted(chosen)
+        else:
+            points = list(range(1, self.n + 1))
+
+        if len(set(points)) != len(points):
+            raise ValueError("evaluation points must be distinct")
+        if any(x % self.field.p == 0 for x in points):
+            raise ValueError("evaluation points must be nonzero mod p")
+
+        # Degree k polynomial in the paper's phrasing = k coefficients
+        # (k - 1 random ones plus the constant term), i.e. mathematical
+        # degree k - 1: any k shares determine it, k - 1 do not.
+        poly = Polynomial.random(self.field, self.k - 1, constant_term=secret)
+        return [Share(x=x, y=int(poly(x))) for x in points]
+
+    def reconstruct(self, shares: Iterable[Share]) -> FieldElement:
+        """Recover the secret from at least ``k`` shares."""
+        return reconstruct_secret(self.field, shares, self.k)
+
+
+def split_secret(
+    field: PrimeField,
+    secret: FieldElement | int,
+    k: int,
+    n: int,
+    xs: Sequence[int] | None = None,
+    random_points: bool = True,
+) -> list[Share]:
+    """Convenience wrapper around :class:`ShamirDealer`."""
+    return ShamirDealer(field, k, n).split(secret, xs=xs, random_points=random_points)
+
+
+def reconstruct_secret(
+    field: PrimeField, shares: Iterable[Share], k: int | None = None
+) -> FieldElement:
+    """Reconstruct ``P(0)`` from shares via Lagrange interpolation at zero.
+
+    When ``k`` is given, exactly the first ``k`` distinct shares are used
+    and fewer than ``k`` raises :class:`ValueError`. Duplicate evaluation
+    points with conflicting y-values also raise.
+    """
+    unique: dict[int, int] = {}
+    for share in shares:
+        x = share.x % field.p
+        if x in unique and unique[x] != share.y % field.p:
+            raise ValueError("conflicting shares for x=%d" % share.x)
+        unique[x] = share.y % field.p
+    items = sorted(unique.items())
+    if k is not None:
+        if len(items) < k:
+            raise ValueError(
+                "need at least %d distinct shares, got %d" % (k, len(items))
+            )
+        items = items[:k]
+    if not items:
+        raise ValueError("cannot reconstruct from zero shares")
+
+    gammas = lagrange_coefficients_at_zero(field, [x for x, _ in items])
+    total = field.zero()
+    for gamma, (_, y) in zip(gammas, items):
+        total = total + gamma * field(y)
+    return total

@@ -1,0 +1,31 @@
+"""Simulated OSN substrate: service provider, storage host, network model
+and synthetic workloads (the paper's Facebook + EC2 + WLAN testbed).
+
+World snapshots live in :mod:`repro.osn.persistence`; it is imported
+lazily (not re-exported here) because it sits above the apps layer.
+"""
+
+from repro.osn.directed import DirectedServiceProvider
+from repro.osn.network import LAN_FAST, NetworkLink, Transfer, WLAN_PC, WLAN_TABLET
+from repro.osn.provider import OsnError, Post, ServiceProvider, User
+from repro.osn.storage import AuditTrail, StorageError, StorageHost
+from repro.osn.workload import PaperWorkload, SocialEvent, WorkloadGenerator
+
+__all__ = [
+    "NetworkLink",
+    "Transfer",
+    "WLAN_PC",
+    "WLAN_TABLET",
+    "LAN_FAST",
+    "ServiceProvider",
+    "DirectedServiceProvider",
+    "User",
+    "Post",
+    "OsnError",
+    "StorageHost",
+    "StorageError",
+    "AuditTrail",
+    "WorkloadGenerator",
+    "PaperWorkload",
+    "SocialEvent",
+]

@@ -1,0 +1,94 @@
+"""Directed (follower-model) OSN variant.
+
+The paper (section I): "OSNs with directed social connections and the
+ones that provide only very minimalistic access control mechanisms (e.g.,
+Twitter) will benefit even more because the context-based access mechanism
+will add a layer of privacy protection."
+
+:class:`DirectedServiceProvider` models that world: `follow` is one-way,
+posts default to **public** (Twitter's "all tweets are public"), and the
+only native audience controls are public/followers. Social puzzles layered
+on top then provide the *only* real confidentiality — which is exactly the
+claim; the tests show a puzzle-protected post is unreadable even to
+followers who lack the context, while a native post is readable by anyone.
+"""
+
+from __future__ import annotations
+
+from repro.osn.provider import OsnError, Post, ServiceProvider, User
+
+__all__ = ["DirectedServiceProvider"]
+
+
+class DirectedServiceProvider(ServiceProvider):
+    """A Twitter-like OSN: one-way follows, public-by-default posts."""
+
+    def __init__(self, name: str = "twitter-sim"):
+        super().__init__(name=name)
+        self._follows: dict[int, set[int]] = {}
+
+    # -- directed edges -----------------------------------------------------------
+
+    def follow(self, follower: User, followee: User) -> None:
+        if follower.user_id == followee.user_id:
+            raise OsnError("users cannot follow themselves")
+        self._account(follower)
+        self._account(followee)
+        self._follows.setdefault(follower.user_id, set()).add(followee.user_id)
+
+    def unfollow(self, follower: User, followee: User) -> None:
+        self._follows.get(follower.user_id, set()).discard(followee.user_id)
+
+    def is_following(self, follower: User, followee: User) -> bool:
+        return followee.user_id in self._follows.get(follower.user_id, set())
+
+    def followers_of(self, user: User) -> list[User]:
+        self._account(user)
+        return [
+            self._accounts[uid].user
+            for uid in sorted(self._follows)
+            if user.user_id in self._follows[uid]
+        ]
+
+    def following_of(self, user: User) -> list[User]:
+        self._account(user)
+        return [
+            self._accounts[uid].user
+            for uid in sorted(self._follows.get(user.user_id, set()))
+        ]
+
+    # -- symmetric API is disabled -----------------------------------------------------
+
+    def befriend(self, a: User, b: User) -> None:
+        raise OsnError(
+            "directed OSNs have no symmetric friendships; use follow()"
+        )
+
+    def are_friends(self, a: User, b: User) -> bool:
+        """Mutual follows are the closest analogue of friendship."""
+        return self.is_following(a, b) and self.is_following(b, a)
+
+    # -- posting: public by default, minimalistic controls -----------------------------
+
+    def post(self, author: User, content: str, audience="public") -> Post:
+        if isinstance(audience, str) and audience not in ("public", "followers"):
+            raise OsnError(
+                "directed OSNs support only 'public' or 'followers' audiences"
+            )
+        if audience == "followers":
+            # Resolve to an explicit id set at post time (protected account).
+            follower_ids = [u.user_id for u in self.followers_of(author)]
+            return super().post(author, content, audience=follower_ids)
+        return super().post(author, content, audience="public")
+
+    def feed(self, viewer: User) -> list[Post]:
+        """Home timeline: posts by followees (plus own), newest first."""
+        self._account(viewer)
+        following = self._follows.get(viewer.user_id, set())
+        visible = [
+            p
+            for p in self._posts.values()
+            if (p.author.user_id in following or p.author.user_id == viewer.user_id)
+            and self.can_view(viewer, p)
+        ]
+        return sorted(visible, key=lambda p: -p.post_id)

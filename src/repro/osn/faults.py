@@ -1,0 +1,67 @@
+"""Fault injection for the storage and provider substrates.
+
+A dependable-systems reproduction should show how the protocols behave
+when the substrate misbehaves *non-maliciously* (the paper's DSN venue
+cares): a Dropbox-style DH can time out, lose writes, or serve stale
+bytes. :class:`FlakyStorageHost` wraps a real host with seeded failure
+modes so tests can assert that every client surfaces a clean, typed error
+instead of corrupting state — and that retries succeed once the fault
+clears.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.osn.storage import StorageError, StorageHost
+
+__all__ = ["TransientStorageError", "FlakyStorageHost"]
+
+
+class TransientStorageError(StorageError):
+    """A retryable storage failure (timeout, 5xx...)."""
+
+
+class FlakyStorageHost(StorageHost):
+    """A storage host with seeded, configurable fault injection.
+
+    ``put_failure_rate`` / ``get_failure_rate`` — probability of raising a
+    :class:`TransientStorageError` per call.
+    ``lost_write_rate`` — probability a put *appears* to succeed but the
+    blob is silently dropped (a much nastier fault; subsequent gets raise
+    the usual missing-URL error).
+    """
+
+    def __init__(
+        self,
+        name: str = "flaky-dh",
+        put_failure_rate: float = 0.0,
+        get_failure_rate: float = 0.0,
+        lost_write_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(name=name)
+        for rate in (put_failure_rate, get_failure_rate, lost_write_rate):
+            if not 0 <= rate <= 1:
+                raise ValueError("failure rates must be in [0, 1]")
+        self.put_failure_rate = put_failure_rate
+        self.get_failure_rate = get_failure_rate
+        self.lost_write_rate = lost_write_rate
+        self._rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def put(self, data: bytes) -> str:
+        if self._rng.random() < self.put_failure_rate:
+            self.faults_injected += 1
+            raise TransientStorageError("injected put failure")
+        url = super().put(data)
+        if self._rng.random() < self.lost_write_rate:
+            self.faults_injected += 1
+            self.delete(url)  # the write never landed
+        return url
+
+    def get(self, url: str) -> bytes:
+        if self._rng.random() < self.get_failure_rate:
+            self.faults_injected += 1
+            raise TransientStorageError("injected get failure")
+        return super().get(url)

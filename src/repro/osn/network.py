@@ -1,0 +1,141 @@
+"""Deterministic network cost model.
+
+The paper's testbed put clients on an 802.11n WLAN (60 Mbps) talking HTTPS
+to an application hosted on Amazon EC2, and its Figure 10 separates
+"network delay (incl. server-side processing)" from local processing.
+Implementation 2's network delay dominates because every share ships four
+CP-ABE files (~600 KB total) through cURL, each with per-request overhead;
+the paper also notes instability "due to the unpredictability of the
+communication network speed".
+
+This module reproduces those effects with an explicit cost model per
+request:
+
+    delay(bytes) = rtt + per_request_overhead + bytes * 8 / direction_bps
+                   [ * (1 + jitter) when a seeded jitter fraction is set ]
+
+The WLAN is 60 Mbps, but the end-to-end path to EC2 is constrained by the
+campus WAN uplink — hence asymmetric uplink/downlink rates. Links are
+deterministic by default so benchmarks are reproducible; seeded jitter
+reproduces the paper's measurement noise. Every transfer is logged so
+experiments can report exactly how many bytes each construction moved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkLink", "Transfer", "WLAN_PC", "WLAN_TABLET", "LAN_FAST"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One request recorded on a link."""
+
+    description: str
+    direction: str  # "up" or "down"
+    num_bytes: int
+    delay_s: float
+
+
+@dataclass
+class NetworkLink:
+    """A client-to-server path with latency and asymmetric bandwidth."""
+
+    name: str
+    rtt_s: float
+    uplink_bps: float
+    downlink_bps: float
+    per_request_overhead_s: float = 0.0
+    jitter_fraction: float = 0.0
+    seed: int | None = None
+    log: list[Transfer] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rtt_s < 0 or self.per_request_overhead_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError("jitter fraction must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def _delay(self, num_bytes: int, bps: float) -> float:
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        base = self.rtt_s + self.per_request_overhead_s + num_bytes * 8 / bps
+        if self.jitter_fraction:
+            base *= 1 + self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return base
+
+    def upload_delay(self, num_bytes: int) -> float:
+        return self._delay(num_bytes, self.uplink_bps)
+
+    def download_delay(self, num_bytes: int) -> float:
+        return self._delay(num_bytes, self.downlink_bps)
+
+    def upload(self, num_bytes: int, description: str = "") -> float:
+        """Charge one upload request; returns and logs its delay."""
+        delay = self.upload_delay(num_bytes)
+        self.log.append(Transfer(description, "up", num_bytes, delay))
+        return delay
+
+    def download(self, num_bytes: int, description: str = "") -> float:
+        """Charge one download request; returns and logs its delay."""
+        delay = self.download_delay(num_bytes)
+        self.log.append(Transfer(description, "down", num_bytes, delay))
+        return delay
+
+    def total_bytes(self) -> int:
+        return sum(t.num_bytes for t in self.log)
+
+    def total_delay(self) -> float:
+        return sum(t.delay_s for t in self.log)
+
+    def reset_log(self) -> None:
+        self.log.clear()
+
+
+def WLAN_PC(seed: int | None = None, jitter: float = 0.0) -> NetworkLink:
+    """The paper's PC: 802.11n WLAN, WAN path to EC2.
+
+    RTT covers the WLAN hop plus the WAN round trip and HTTPS processing.
+    The uplink to EC2 is the bottleneck (campus/ISP upstream), which is
+    what makes Implementation 2's ~600 KB of file uploads expensive.
+    """
+    return NetworkLink(
+        name="wlan-pc-to-ec2",
+        rtt_s=0.045,
+        uplink_bps=2.0e6,
+        downlink_bps=12.0e6,
+        per_request_overhead_s=0.035,
+        jitter_fraction=jitter,
+        seed=seed,
+    )
+
+
+def WLAN_TABLET(seed: int | None = None, jitter: float = 0.0) -> NetworkLink:
+    """The Nexus 7 on the same WLAN: slower radio and TLS handling."""
+    return NetworkLink(
+        name="wlan-tablet-to-ec2",
+        rtt_s=0.060,
+        uplink_bps=1.5e6,
+        downlink_bps=8.0e6,
+        per_request_overhead_s=0.055,
+        jitter_fraction=jitter,
+        seed=seed,
+    )
+
+
+def LAN_FAST(seed: int | None = None, jitter: float = 0.0) -> NetworkLink:
+    """Co-located SP and DH (the paper hosts both on one EC2 server)."""
+    return NetworkLink(
+        name="lan-1gbps",
+        rtt_s=0.0005,
+        uplink_bps=1e9,
+        downlink_bps=1e9,
+        per_request_overhead_s=0.0,
+        jitter_fraction=jitter,
+        seed=seed,
+    )

@@ -1,0 +1,244 @@
+"""An authenticated secure channel — the simulation's "HTTPS".
+
+The paper (section VII): "In order to provide confidentiality and
+authentication, all communications between users and our application on
+Amazon EC2 is carried over HTTPS." Rather than hand-waving that hop, this
+module builds a TLS-like channel from the repository's own primitives:
+
+* **Key agreement** — ephemeral ECDH on the type-A curve (x-coordinate of
+  ``peer_eph * my_eph_secret``), keys derived with HKDF over the full
+  handshake transcript.
+* **Authentication** — a station-to-station handshake: the server (and
+  optionally the client) BLS-signs the transcript, binding the ephemeral
+  keys to long-term identities.
+* **Record layer** — AES-256-CTR with an HMAC-SHA3-256 tag over
+  (direction, sequence number, ciphertext): encrypt-then-MAC with
+  per-direction keys, strictly increasing sequence numbers, so replayed,
+  reordered or tampered records are rejected.
+
+Security note, documented for honesty: on a type-A curve the MOV reduction
+maps ECDH onto the discrete log in GF(q^2), so the channel's strength is
+that of the pairing target group — the same level the whole construction
+already assumes.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.bls import BlsKeyPair, BlsScheme
+from repro.crypto.ec import CurveParams, Point
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import constant_time_compare, hmac_digest
+from repro.crypto.modes import ctr_transform
+
+__all__ = [
+    "ChannelError",
+    "ClientHello",
+    "ServerHello",
+    "ClientFinished",
+    "Record",
+    "ChannelEndpoint",
+    "establish_channel",
+]
+
+_TAG_LEN = 32
+
+
+class ChannelError(Exception):
+    """Handshake or record-layer failure (authentication, replay, tamper)."""
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    client_ephemeral: Point
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    server_ephemeral: Point
+    signature: bytes  # BLS over the transcript, by the server identity
+
+
+@dataclass(frozen=True)
+class ClientFinished:
+    signature: bytes  # BLS over the transcript, by the client identity
+
+
+@dataclass(frozen=True)
+class Record:
+    """One protected message on the wire."""
+
+    sequence: int
+    ciphertext: bytes
+    tag: bytes
+
+
+def _transcript(client_eph: Point, server_eph: Point) -> bytes:
+    return b"repro.sts.v1" + client_eph.to_bytes() + server_eph.to_bytes()
+
+
+def _derive_keys(shared_point: Point, transcript: bytes) -> tuple[bytes, bytes, bytes, bytes]:
+    """(client->server enc, c->s mac, server->client enc, s->c mac)."""
+    if shared_point.infinity:
+        raise ChannelError("degenerate ECDH share")
+    width = (shared_point.curve.q.bit_length() + 7) // 8
+    secret = shared_point.x.to_bytes(width, "big")
+    material = hkdf(secret, 128, salt=transcript, info=b"repro.channel.keys")
+    return material[:32], material[32:64], material[64:96], material[96:128]
+
+
+class _DirectionState:
+    """Sending or receiving half: key pair + sequence tracking."""
+
+    def __init__(self, enc_key: bytes, mac_key: bytes, label: bytes):
+        self.enc_key = enc_key
+        self.mac_key = mac_key
+        self.label = label
+        self.next_sequence = 0
+
+    def _nonce(self, sequence: int) -> bytes:
+        return hkdf(
+            self.label + sequence.to_bytes(8, "big"),
+            16,
+            info=b"repro.channel.nonce",
+        )
+
+    def protect(self, plaintext: bytes) -> Record:
+        sequence = self.next_sequence
+        self.next_sequence += 1
+        ciphertext = ctr_transform(self.enc_key, plaintext, self._nonce(sequence))
+        tag = hmac_digest(
+            self.mac_key,
+            self.label + sequence.to_bytes(8, "big") + ciphertext,
+        )
+        return Record(sequence=sequence, ciphertext=ciphertext, tag=tag)
+
+    def open(self, record: Record) -> bytes:
+        if record.sequence != self.next_sequence:
+            raise ChannelError(
+                "sequence violation: expected %d, got %d (replay or reorder)"
+                % (self.next_sequence, record.sequence)
+            )
+        expected = hmac_digest(
+            self.mac_key,
+            self.label + record.sequence.to_bytes(8, "big") + record.ciphertext,
+        )
+        if not constant_time_compare(record.tag, expected):
+            raise ChannelError("record authentication failed (tampered)")
+        self.next_sequence += 1
+        return ctr_transform(
+            self.enc_key, record.ciphertext, self._nonce(record.sequence)
+        )
+
+
+class ChannelEndpoint:
+    """One side of an established channel."""
+
+    def __init__(self, send_state: _DirectionState, receive_state: _DirectionState):
+        self._send = send_state
+        self._receive = receive_state
+
+    def send(self, plaintext: bytes) -> Record:
+        return self._send.protect(plaintext)
+
+    def receive(self, record: Record) -> bytes:
+        return self._receive.open(record)
+
+
+class ChannelClient:
+    """Client side of the station-to-station handshake."""
+
+    def __init__(
+        self,
+        params: CurveParams,
+        bls: BlsScheme,
+        identity: BlsKeyPair | None = None,
+    ):
+        self.params = params
+        self.bls = bls
+        self.identity = identity
+        self._eph_secret = secrets.randbelow(params.r - 1) + 1
+        self.ephemeral = bls.generator * self._eph_secret
+
+    def hello(self) -> ClientHello:
+        return ClientHello(client_ephemeral=self.ephemeral)
+
+    def finish(
+        self, server_hello: ServerHello, server_identity: Point
+    ) -> tuple[ClientFinished, ChannelEndpoint]:
+        transcript = _transcript(self.ephemeral, server_hello.server_ephemeral)
+        signature = Point.from_bytes(self.params, server_hello.signature)
+        if not self.bls.verify(server_identity, transcript, signature):
+            raise ChannelError("server authentication failed")
+        shared = server_hello.server_ephemeral * self._eph_secret
+        c2s_enc, c2s_mac, s2c_enc, s2c_mac = _derive_keys(shared, transcript)
+        endpoint = ChannelEndpoint(
+            send_state=_DirectionState(c2s_enc, c2s_mac, b"c2s"),
+            receive_state=_DirectionState(s2c_enc, s2c_mac, b"s2c"),
+        )
+        if self.identity is not None:
+            finished_sig = self.bls.sign(
+                self.identity.secret, b"client" + transcript
+            ).to_bytes()
+        else:
+            finished_sig = b""
+        return ClientFinished(signature=finished_sig), endpoint
+
+
+class ChannelServer:
+    """Server side of the handshake."""
+
+    def __init__(self, params: CurveParams, bls: BlsScheme, identity: BlsKeyPair):
+        self.params = params
+        self.bls = bls
+        self.identity = identity
+
+    def respond(self, hello: ClientHello) -> tuple[ServerHello, ChannelEndpoint, bytes]:
+        if hello.client_ephemeral.infinity or not hello.client_ephemeral.has_order_r():
+            raise ChannelError("invalid client ephemeral key")
+        eph_secret = secrets.randbelow(self.params.r - 1) + 1
+        server_ephemeral = self.bls.generator * eph_secret
+        transcript = _transcript(hello.client_ephemeral, server_ephemeral)
+        signature = self.bls.sign(self.identity.secret, transcript)
+        shared = hello.client_ephemeral * eph_secret
+        c2s_enc, c2s_mac, s2c_enc, s2c_mac = _derive_keys(shared, transcript)
+        endpoint = ChannelEndpoint(
+            send_state=_DirectionState(s2c_enc, s2c_mac, b"s2c"),
+            receive_state=_DirectionState(c2s_enc, c2s_mac, b"c2s"),
+        )
+        return (
+            ServerHello(
+                server_ephemeral=server_ephemeral, signature=signature.to_bytes()
+            ),
+            endpoint,
+            transcript,
+        )
+
+    def verify_finished(
+        self, finished: ClientFinished, transcript: bytes, client_identity: Point
+    ) -> None:
+        """Optional mutual authentication check."""
+        if not finished.signature:
+            raise ChannelError("client did not authenticate")
+        signature = Point.from_bytes(self.params, finished.signature)
+        if not self.bls.verify(client_identity, b"client" + transcript, signature):
+            raise ChannelError("client authentication failed")
+
+
+def establish_channel(
+    params: CurveParams,
+    bls: BlsScheme,
+    server_identity: BlsKeyPair,
+    client_identity: BlsKeyPair | None = None,
+) -> tuple[ChannelEndpoint, ChannelEndpoint]:
+    """Run the whole handshake in-process; returns (client, server) ends."""
+    client = ChannelClient(params, bls, identity=client_identity)
+    server = ChannelServer(params, bls, identity=server_identity)
+    hello = client.hello()
+    server_hello, server_end, transcript = server.respond(hello)
+    finished, client_end = client.finish(server_hello, server_identity.public)
+    if client_identity is not None:
+        server.verify_finished(finished, transcript, client_identity.public)
+    return client_end, server_end

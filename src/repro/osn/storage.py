@@ -1,0 +1,90 @@
+"""The storage service DH (paper section IV-A).
+
+A URI-addressed blob store, logically separate from the service provider:
+the paper allows it to be co-located with the SP or hosted by a third party
+such as Dropbox. It stores *encrypted* objects only; everything it sees is
+recorded in an audit trail so tests can prove the surveillance-resistance
+property ("the DH never observed the plaintext object or any context
+answer").
+
+A malicious DH for the section VI-B analysis can tamper with stored blobs
+via :meth:`StorageHost.tamper` — detection is then the receiving client's
+job (signature verification).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["StorageHost", "AuditTrail", "StorageError"]
+
+
+class StorageError(KeyError):
+    """Raised for missing or malformed URLs."""
+
+
+@dataclass
+class AuditTrail:
+    """Everything a (curious) service observed, as raw bytes.
+
+    ``assert_never_saw`` is the executable form of the paper's
+    surveillance-resistance claim: the sensitive value must not appear in
+    any byte string the service handled.
+    """
+
+    observed: list[bytes] = field(default_factory=list)
+
+    def record(self, data: bytes) -> None:
+        self.observed.append(bytes(data))
+
+    def saw(self, needle: bytes) -> bool:
+        if not needle:
+            raise ValueError("empty needle is meaningless")
+        return any(needle in haystack for haystack in self.observed)
+
+    def assert_never_saw(self, needle: bytes, label: str = "secret") -> None:
+        if self.saw(needle):
+            raise AssertionError("service observed the %s in cleartext" % label)
+
+
+class StorageHost:
+    """In-memory DH with URL namespace ``dh://<host>/<serial>``."""
+
+    def __init__(self, name: str = "dh"):
+        self.name = name
+        self.audit = AuditTrail()
+        self._blobs: dict[str, bytes] = {}
+        self._serial = itertools.count(1)
+
+    def put(self, data: bytes) -> str:
+        """Store an encrypted object; returns its public URL_O."""
+        self.audit.record(data)
+        url = f"dh://{self.name}/{next(self._serial)}"
+        self._blobs[url] = bytes(data)
+        return url
+
+    def get(self, url: str) -> bytes:
+        """Public fetch by URL — anyone holding URL_O may download."""
+        try:
+            return self._blobs[url]
+        except KeyError:
+            raise StorageError("no object at %s" % url) from None
+
+    def exists(self, url: str) -> bool:
+        return url in self._blobs
+
+    def delete(self, url: str) -> None:
+        self._blobs.pop(url, None)
+
+    def tamper(self, url: str, new_data: bytes) -> None:
+        """Malicious-DH action for the section VI-B DOS analysis."""
+        if url not in self._blobs:
+            raise StorageError("no object at %s" % url)
+        self._blobs[url] = bytes(new_data)
+
+    def object_count(self) -> int:
+        return len(self._blobs)
+
+    def stored_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())

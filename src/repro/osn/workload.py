@@ -1,0 +1,208 @@
+"""Synthetic workload generation.
+
+The paper's motivating workloads are social events — parties, trips,
+meetings — whose participants share knowledge of the context (location,
+time, activities, participants, preferences; section I). Its measurements
+fix message length at 100 characters, answers at 20 characters and
+questions at 50 characters, with threshold k = 1 and N varying from 2.
+
+This module provides:
+
+* :class:`WorkloadGenerator` — seeded generator of realistic social events
+  with contexts, friend graphs (Watts–Strogatz small-world via networkx),
+  and per-user knowledge distributions (attendees know everything; invitees
+  who missed the event know a random subset; strangers know nothing).
+* :class:`PaperWorkload` — the exact fixed-size workload of section VIII,
+  with questions/answers/messages padded to the paper's lengths.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.context import Context, QAPair
+from repro.osn.provider import ServiceProvider, User
+
+__all__ = ["SocialEvent", "WorkloadGenerator", "PaperWorkload"]
+
+# Question templates per event kind: (question, answer vocabulary).
+_EVENT_KINDS: dict[str, list[tuple[str, list[str]]]] = {
+    "party": [
+        ("Where was the party held?", ["rooftop", "lakehouse", "backyard", "club nine", "warehouse"]),
+        ("Who brought the cake?", ["marguerite", "dmitri", "oksana", "ravi", "celine"]),
+        ("What was the theme?", ["masquerade", "neon", "retro", "tropical", "noir"]),
+        ("Which song closed the night?", ["wonderwall", "mr brightside", "dancing queen", "hey jude"]),
+        ("What flavor was the punch?", ["mango", "hibiscus", "cherry", "ginger"]),
+    ],
+    "trip": [
+        ("Which city did we fly into?", ["lisbon", "osaka", "cusco", "tbilisi", "reykjavik"]),
+        ("What did we rent to get around?", ["scooters", "campervan", "bicycles", "jeep"]),
+        ("Who lost their passport?", ["teodoro", "ingrid", "santiago", "mei"]),
+        ("What dish did everyone order twice?", ["ramen", "ceviche", "khachapuri", "pastel de nata"]),
+        ("Which hostel did we stay at?", ["casa luna", "nest inn", "pilgrims rest", "blue door"]),
+    ],
+    "meeting": [
+        ("Which conference room did we use?", ["aurora", "zephyr", "kepler", "basalt"]),
+        ("What was the codename of the project?", ["falconer", "quicksilver", "redwood", "tidepool"]),
+        ("Who presented the roadmap?", ["the cto", "priya", "johannes", "the intern"]),
+        ("What deadline did we commit to?", ["march 15", "end of q2", "friday the 13th", "new years eve"]),
+        ("Which client was discussed?", ["acme corp", "globex", "initech", "umbrella"]),
+    ],
+    "wedding": [
+        ("Where was the ceremony?", ["vineyard", "botanical garden", "chapel hill", "beachfront"]),
+        ("What was the first dance song?", ["at last", "perfect", "la vie en rose", "stand by me"]),
+        ("Who caught the bouquet?", ["fatima", "lucia", "noor", "greta"]),
+        ("What was served for dinner?", ["salmon", "risotto", "lamb tagine", "paella"]),
+        ("What color were the bridesmaid dresses?", ["sage", "dusty rose", "navy", "champagne"]),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class SocialEvent:
+    """A generated event: its kind, display name and full context C_O."""
+
+    kind: str
+    name: str
+    context: Context
+
+
+class WorkloadGenerator:
+    """Seeded generator of events, knowledge distributions and graphs."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    # -- events and contexts -----------------------------------------------------
+
+    def event(self, num_questions: int, kind: str | None = None) -> SocialEvent:
+        """An event with ``num_questions`` context pairs.
+
+        When a kind's template list is shorter than requested, extra
+        machine-generated pairs are appended (distinct questions).
+        """
+        if num_questions < 1:
+            raise ValueError("an event needs at least one context pair")
+        kind = kind or self.rng.choice(sorted(_EVENT_KINDS))
+        templates = list(_EVENT_KINDS[kind])
+        self.rng.shuffle(templates)
+        pairs: list[QAPair] = []
+        for question, vocabulary in templates[:num_questions]:
+            pairs.append(QAPair(question, self.rng.choice(vocabulary)))
+        extra_index = 0
+        while len(pairs) < num_questions:
+            extra_index += 1
+            pairs.append(
+                QAPair(
+                    f"Detail #{extra_index} only attendees of the {kind} would know?",
+                    self._random_word(8),
+                )
+            )
+        name = f"{kind}-{self.rng.randrange(10**6):06d}"
+        return SocialEvent(kind=kind, name=name, context=Context(pairs))
+
+    def knowledge_subset(self, context: Context, known_count: int) -> Context:
+        """A uniformly random sub-context of ``known_count`` pairs —
+        a receiver with partial knowledge."""
+        if not 0 < known_count <= len(context):
+            raise ValueError(
+                "known_count %d out of range for context of %d"
+                % (known_count, len(context))
+            )
+        questions = self.rng.sample(context.questions, known_count)
+        return context.subset(questions)
+
+    def corrupted_knowledge(self, context: Context, wrong_count: int) -> Context:
+        """Full-size knowledge with ``wrong_count`` answers replaced by
+        wrong values — a receiver who misremembers."""
+        pairs = list(context.pairs)
+        for index in self.rng.sample(range(len(pairs)), wrong_count):
+            pair = pairs[index]
+            pairs[index] = QAPair(pair.question, "wrong-" + self._random_word(6))
+        return Context(pairs)
+
+    def _random_word(self, length: int) -> str:
+        return "".join(self.rng.choices(string.ascii_lowercase, k=length))
+
+    # -- population -----------------------------------------------------------------
+
+    def populate_social_graph(
+        self,
+        provider: ServiceProvider,
+        num_users: int,
+        mean_degree: int = 6,
+        rewire_probability: float = 0.1,
+    ) -> list[User]:
+        """Register users on ``provider`` with a Watts–Strogatz small-world
+        friendship structure (symmetric, like Facebook)."""
+        if num_users < 3:
+            raise ValueError("a social graph needs at least 3 users")
+        k = max(2, min(mean_degree, num_users - 1))
+        if k % 2:
+            k -= 1
+        graph = nx.watts_strogatz_graph(
+            num_users, k, rewire_probability, seed=self.rng.randrange(2**31)
+        )
+        users = [provider.register_user(f"user{i:04d}") for i in range(num_users)]
+        for a, b in graph.edges():
+            provider.befriend(users[a], users[b])
+        return users
+
+    def split_audience(
+        self,
+        context: Context,
+        friends: list[User],
+        attendee_fraction: float = 0.3,
+        invitee_fraction: float = 0.3,
+    ) -> dict[int, Context | None]:
+        """Assign knowledge per friend: attendees know the full context,
+        invitees-who-missed know a random half, the rest know nothing
+        (None) — the R_O / S_T - R_O split of section IV."""
+        assignment: dict[int, Context | None] = {}
+        for friend in friends:
+            roll = self.rng.random()
+            if roll < attendee_fraction:
+                assignment[friend.user_id] = context
+            elif roll < attendee_fraction + invitee_fraction:
+                half = max(1, len(context) // 2)
+                assignment[friend.user_id] = self.knowledge_subset(context, half)
+            else:
+                assignment[friend.user_id] = None
+        return assignment
+
+
+class PaperWorkload:
+    """The exact workload of the paper's section VIII experiments:
+    100-character messages, 50-character questions, 20-character answers,
+    threshold k = 1 (CP-ABE observations start at N = 2)."""
+
+    MESSAGE_LENGTH = 100
+    QUESTION_LENGTH = 50
+    ANSWER_LENGTH = 20
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def _exact_length_text(self, length: int, prefix: str) -> str:
+        body = prefix + "-"
+        alphabet = string.ascii_lowercase + string.digits
+        while len(body) < length:
+            body += self.rng.choice(alphabet)
+        return body[:length]
+
+    def message(self) -> bytes:
+        return self._exact_length_text(self.MESSAGE_LENGTH, "msg").encode()
+
+    def context(self, num_pairs: int) -> Context:
+        pairs = [
+            QAPair(
+                self._exact_length_text(self.QUESTION_LENGTH, f"question-{i}"),
+                self._exact_length_text(self.ANSWER_LENGTH, f"ans-{i}"),
+            )
+            for i in range(num_pairs)
+        ]
+        return Context(pairs)

@@ -1,0 +1,25 @@
+"""Measurement substrate: device cost models, the local/network timing
+split of the paper's Figure 10, and aggregation/CSV export.
+
+The figure harness (:mod:`repro.sim.figures`) and the system-level
+simulation driver (:mod:`repro.sim.driver`) sit above the apps layer and
+are imported explicitly (not re-exported here) to avoid import cycles.
+"""
+
+from repro.sim.devices import PC, TABLET, DeviceProfile, get_device
+from repro.sim.metrics import Summary, figure_series_to_csv, summarize, write_csv
+from repro.sim.timing import CostMeter, CostRecord, TimingBreakdown
+
+__all__ = [
+    "DeviceProfile",
+    "PC",
+    "TABLET",
+    "get_device",
+    "CostMeter",
+    "CostRecord",
+    "TimingBreakdown",
+    "Summary",
+    "summarize",
+    "figure_series_to_csv",
+    "write_csv",
+]

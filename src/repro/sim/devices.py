@@ -1,0 +1,68 @@
+"""Device cost models for the paper's two client platforms.
+
+The paper evaluates on (a) a PC — quad-core 2.5 GHz, 1 GB RAM, Ubuntu
+13.04, Firefox — and (b) a Nexus 7 tablet running Firefox for Android
+(Implementation 1 only; the cpabe toolkit is Linux/x86-only, which is why
+Figure 10(c,d) has no tablet series for Implementation 2 — we keep that
+restriction via :attr:`DeviceProfile.supports_cpabe_toolkit`).
+
+We cannot run on the original hardware, so local processing is *measured*
+by running the real (pure-Python) cryptography and scaled by the device's
+``compute_scale`` — a relative-speed factor. The PC anchors the scale at
+1.0; the tablet factor (~4.5x slower) reflects 2013-era mobile JavaScript
+performance relative to a desktop. Only relative shape is claimed, exactly
+as in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.osn.network import NetworkLink, WLAN_PC, WLAN_TABLET
+
+__all__ = ["DeviceProfile", "PC", "TABLET", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A client platform: compute speed factor + default network path."""
+
+    name: str
+    compute_scale: float
+    supports_cpabe_toolkit: bool
+
+    def default_link(self, seed: int | None = None, jitter: float = 0.0) -> NetworkLink:
+        if self.name.startswith("tablet"):
+            return WLAN_TABLET(seed=seed, jitter=jitter)
+        return WLAN_PC(seed=seed, jitter=jitter)
+
+    def scale(self, measured_seconds: float) -> float:
+        """Convert a measured local computation into modelled device time."""
+        if measured_seconds < 0:
+            raise ValueError("measured time must be non-negative")
+        return measured_seconds * self.compute_scale
+
+
+PC = DeviceProfile(
+    name="pc-quadcore-2.5ghz",
+    compute_scale=1.0,
+    supports_cpabe_toolkit=True,
+)
+
+TABLET = DeviceProfile(
+    name="tablet-nexus7",
+    compute_scale=4.5,
+    supports_cpabe_toolkit=False,
+)
+
+_DEVICES = {"pc": PC, "tablet": TABLET}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device by short name ('pc' or 'tablet')."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown device %r; choose from %s" % (name, sorted(_DEVICES))
+        ) from None

@@ -1,0 +1,180 @@
+"""System-level simulation driver: a day in the life of the deployment.
+
+The paper evaluates single protocol runs; a service operator cares about
+aggregate behaviour — how many puzzles get shared and solved per day, how
+often legitimate friends are denied, what load the SP and DH carry, how
+many bytes the network moves. This driver composes the whole stack
+(workload generator -> platform -> metered flows) into one seeded
+simulation and reports those aggregates.
+
+Simulated day: each tick, a random user shares an event album with
+probability ``share_rate``; every friend then attempts access according to
+their knowledge class (attendee / invitee / stranger — strangers rarely
+bother). Results feed the capstone example and the A7 scale ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.errors import SocialPuzzleError
+from repro.crypto.ec import CurveParams
+from repro.crypto.params import TOY
+from repro.osn.workload import WorkloadGenerator
+
+__all__ = ["SimulationConfig", "SimulationReport", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    num_users: int = 40
+    ticks: int = 30
+    share_probability: float = 0.4
+    questions_per_event: int = 4
+    threshold: int = 2
+    attendee_fraction: float = 0.35
+    invitee_fraction: float = 0.3
+    stranger_attempt_probability: float = 0.2
+    construction: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.construction not in (1, 2):
+            raise ValueError("construction must be 1 or 2")
+        if not 0 < self.threshold <= self.questions_per_event:
+            raise ValueError("threshold out of range")
+
+
+@dataclass
+class SimulationReport:
+    """Aggregates over the simulated period."""
+
+    shares: int = 0
+    access_attempts: int = 0
+    access_granted: int = 0
+    access_denied: int = 0
+    attendee_denied: int = 0  # false negatives: full knowers who failed
+    stranger_granted: int = 0  # false positives: must stay zero
+    sharer_local_s: float = 0.0
+    sharer_network_s: float = 0.0
+    receiver_local_s: float = 0.0
+    receiver_network_s: float = 0.0
+    bytes_transferred: int = 0
+    sp_stored_puzzles: int = 0
+    dh_stored_bytes: int = 0
+    per_tick_shares: list[int] = field(default_factory=list)
+
+    @property
+    def grant_rate(self) -> float:
+        return self.access_granted / self.access_attempts if self.access_attempts else 0.0
+
+    def summary_lines(self) -> list[str]:
+        return [
+            "shares: %d  attempts: %d  granted: %d (%.0f%%)  denied: %d"
+            % (
+                self.shares,
+                self.access_attempts,
+                self.access_granted,
+                100 * self.grant_rate,
+                self.access_denied,
+            ),
+            "false negatives (attendees denied): %d   false positives "
+            "(strangers granted): %d" % (self.attendee_denied, self.stranger_granted),
+            "sharer cost: %.2fs local + %.2fs network;  receiver cost: "
+            "%.2fs local + %.2fs network"
+            % (
+                self.sharer_local_s,
+                self.sharer_network_s,
+                self.receiver_local_s,
+                self.receiver_network_s,
+            ),
+            "network bytes: %d;  SP puzzles: %d;  DH bytes at rest: %d"
+            % (self.bytes_transferred, self.sp_stored_puzzles, self.dh_stored_bytes),
+        ]
+
+
+def run_simulation(
+    config: SimulationConfig = SimulationConfig(),
+    params: CurveParams = TOY,
+) -> SimulationReport:
+    """Run the seeded simulation; deterministic for a given config."""
+    rng = random.Random(config.seed)
+    generator = WorkloadGenerator(seed=config.seed)
+    platform = SocialPuzzlePlatform(params=params)
+    users = generator.populate_social_graph(platform.provider, config.num_users)
+    report = SimulationReport()
+
+    for tick in range(config.ticks):
+        tick_shares = 0
+        if rng.random() >= config.share_probability:
+            report.per_tick_shares.append(0)
+            continue
+        sharer = rng.choice(users)
+        friends = platform.provider.friends_of(sharer)
+        if not friends:
+            report.per_tick_shares.append(0)
+            continue
+
+        event = generator.event(config.questions_per_event)
+        share = platform.share(
+            sharer,
+            b"object-tick-%d" % tick,
+            event.context,
+            k=config.threshold,
+            construction=config.construction,
+        )
+        report.shares += 1
+        tick_shares += 1
+        report.sharer_local_s += share.timing.local_s
+        report.sharer_network_s += share.timing.network_s
+        report.bytes_transferred += share.timing.bytes_transferred()
+
+        knowledge_split = generator.split_audience(
+            event.context,
+            friends,
+            attendee_fraction=config.attendee_fraction,
+            invitee_fraction=config.invitee_fraction,
+        )
+        for friend in friends:
+            knowledge = knowledge_split[friend.user_id]
+            is_attendee = knowledge is event.context
+            if knowledge is None:
+                # A stranger: usually doesn't bother; when they do, they
+                # guess wrong answers.
+                if rng.random() >= config.stranger_attempt_probability:
+                    continue
+                knowledge = generator.corrupted_knowledge(
+                    event.context, len(event.context)
+                )
+            report.access_attempts += 1
+            try:
+                result = platform.solve(
+                    friend,
+                    share,
+                    knowledge,
+                    construction=config.construction,
+                    rng=random.Random(rng.randrange(2**31))
+                    if config.construction == 1
+                    else None,
+                )
+            except SocialPuzzleError:
+                report.access_denied += 1
+                if is_attendee:
+                    report.attendee_denied += 1
+                continue
+            report.access_granted += 1
+            report.receiver_local_s += result.timing.local_s
+            report.receiver_network_s += result.timing.network_s
+            report.bytes_transferred += result.timing.bytes_transferred()
+            if knowledge_split[friend.user_id] is None:
+                report.stranger_granted += 1
+        report.per_tick_shares.append(tick_shares)
+
+    report.sp_stored_puzzles = (
+        platform.app_c1.service.puzzle_count()
+        + platform.app_c2.service.puzzle_count()
+    )
+    report.dh_stored_bytes = platform.storage.stored_bytes()
+    return report

@@ -1,0 +1,111 @@
+"""Aggregation and export of timing measurements.
+
+The figure harness produces one :class:`~repro.sim.timing.TimingBreakdown`
+per protocol run; real evaluations repeat runs and report statistics. This
+module aggregates repeated breakdowns (mean / median / p95 for local,
+network and total components) and exports figure series as CSV so results
+can be plotted outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.timing import TimingBreakdown
+
+__all__ = ["Summary", "summarize", "figure_series_to_csv", "write_csv"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Statistics (seconds) over repeated runs of one measurement."""
+
+    count: int
+    local_mean_s: float
+    local_median_s: float
+    local_p95_s: float
+    network_mean_s: float
+    network_median_s: float
+    network_p95_s: float
+    total_mean_s: float
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "local_mean_s": self.local_mean_s,
+            "local_median_s": self.local_median_s,
+            "local_p95_s": self.local_p95_s,
+            "network_mean_s": self.network_mean_s,
+            "network_median_s": self.network_median_s,
+            "network_p95_s": self.network_p95_s,
+            "total_mean_s": self.total_mean_s,
+        }
+
+
+def _p95(values: Sequence[float]) -> float:
+    if len(values) == 1:
+        return values[0]
+    ordered = sorted(values)
+    rank = 0.95 * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+
+
+def summarize(breakdowns: Iterable[TimingBreakdown]) -> Summary:
+    """Aggregate repeated runs; raises on an empty input."""
+    runs = list(breakdowns)
+    if not runs:
+        raise ValueError("cannot summarize zero runs")
+    locals_ = [b.local_s for b in runs]
+    networks = [b.network_s for b in runs]
+    totals = [b.total_s for b in runs]
+    return Summary(
+        count=len(runs),
+        local_mean_s=statistics.fmean(locals_),
+        local_median_s=statistics.median(locals_),
+        local_p95_s=_p95(locals_),
+        network_mean_s=statistics.fmean(networks),
+        network_median_s=statistics.median(networks),
+        network_p95_s=_p95(networks),
+        total_mean_s=statistics.fmean(totals),
+    )
+
+
+def figure_series_to_csv(labelled_series: dict[str, list]) -> str:
+    """Render Figure-10-style series (label -> [FigurePoint]) as CSV text
+    with columns: n, <label> local_ms, <label> network_ms per label."""
+    if not labelled_series:
+        raise ValueError("no series to export")
+    lengths = {len(points) for points in labelled_series.values()}
+    if len(lengths) != 1:
+        raise ValueError("series must cover the same N values")
+
+    out = io.StringIO()
+    writer = csv.writer(out)
+    header = ["n"]
+    for label in labelled_series:
+        header += [f"{label}_local_ms", f"{label}_network_ms"]
+    writer.writerow(header)
+    count = lengths.pop()
+    first = next(iter(labelled_series.values()))
+    for i in range(count):
+        row: list[object] = [first[i].n]
+        for points in labelled_series.values():
+            point = points[i]
+            if point.n != first[i].n:
+                raise ValueError("series disagree on N values")
+            row += [round(point.local_ms, 3), round(point.network_ms, 3)]
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def write_csv(labelled_series: dict[str, list], path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(figure_series_to_csv(labelled_series))

@@ -1,0 +1,99 @@
+"""Cost metering: the harness behind Figure 10's two-part bars.
+
+A :class:`CostMeter` accumulates, for one protocol role (sharer or
+receiver) on one device:
+
+* **local processing** — wall-clock time of real crypto work measured with
+  ``perf_counter`` inside :meth:`CostMeter.measure`, scaled by the device's
+  relative speed; and
+* **network delay** — modelled request delays charged against a
+  :class:`~repro.osn.network.NetworkLink` via :meth:`charge_upload` /
+  :meth:`charge_download`.
+
+The result is a :class:`TimingBreakdown`, mirroring exactly the local
+processing / network delay split the paper plots.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.osn.network import NetworkLink
+from repro.sim.devices import DeviceProfile
+
+__all__ = ["CostMeter", "TimingBreakdown", "CostRecord"]
+
+
+@dataclass(frozen=True)
+class CostRecord:
+    """One metered step."""
+
+    label: str
+    kind: str  # "local" or "network"
+    seconds: float
+    num_bytes: int = 0
+
+
+@dataclass
+class TimingBreakdown:
+    """Totals for one protocol run, in seconds."""
+
+    local_s: float = 0.0
+    network_s: float = 0.0
+    records: list[CostRecord] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return self.local_s + self.network_s
+
+    def bytes_transferred(self) -> int:
+        return sum(r.num_bytes for r in self.records if r.kind == "network")
+
+    def merged_with(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            local_s=self.local_s + other.local_s,
+            network_s=self.network_s + other.network_s,
+            records=self.records + other.records,
+        )
+
+
+class CostMeter:
+    """Accumulates one role's costs on a given device and link."""
+
+    def __init__(self, device: DeviceProfile, link: NetworkLink):
+        self.device = device
+        self.link = link
+        self.breakdown = TimingBreakdown()
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Measure real compute time for the enclosed block, device-scaled."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = self.device.scale(time.perf_counter() - start)
+            self.breakdown.local_s += elapsed
+            self.breakdown.records.append(CostRecord(label, "local", elapsed))
+
+    def charge_local(self, label: str, seconds: float) -> None:
+        """Charge an already-measured local cost (device-scaled)."""
+        scaled = self.device.scale(seconds)
+        self.breakdown.local_s += scaled
+        self.breakdown.records.append(CostRecord(label, "local", scaled))
+
+    def charge_upload(self, label: str, num_bytes: int) -> None:
+        delay = self.link.upload(num_bytes, label)
+        self.breakdown.network_s += delay
+        self.breakdown.records.append(CostRecord(label, "network", delay, num_bytes))
+
+    def charge_download(self, label: str, num_bytes: int) -> None:
+        delay = self.link.download(num_bytes, label)
+        self.breakdown.network_s += delay
+        self.breakdown.records.append(CostRecord(label, "network", delay, num_bytes))
+
+    def report(self) -> TimingBreakdown:
+        return self.breakdown

@@ -1,0 +1,5 @@
+"""Shared utilities (wire codec)."""
+
+from repro.util.codec import CodecError, Reader, blob, text, u8, u32
+
+__all__ = ["CodecError", "Reader", "blob", "text", "u8", "u32"]

@@ -1,0 +1,74 @@
+"""Tiny length-prefixed binary codec shared by all wire formats.
+
+Artifacts in this system cross trust boundaries (sharer -> SP -> receiver),
+so nothing is pickled; every message has an explicit, checked encoding.
+The codec is deliberately minimal: u8/u32 integers, length-prefixed blobs,
+and UTF-8 strings built on blobs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Reader", "blob", "u8", "u32", "text", "CodecError"]
+
+
+class CodecError(ValueError):
+    """Raised on malformed encodings."""
+
+
+def u8(value: int) -> bytes:
+    if not 0 <= value < 256:
+        raise CodecError("u8 out of range: %d" % value)
+    return bytes([value])
+
+
+def u32(value: int) -> bytes:
+    if not 0 <= value < 2**32:
+        raise CodecError("u32 out of range: %d" % value)
+    return struct.pack(">I", value)
+
+
+def blob(data: bytes) -> bytes:
+    return u32(len(data)) + data
+
+
+def text(value: str) -> bytes:
+    return blob(value.encode("utf-8"))
+
+
+class Reader:
+    """Cursor over a bytes buffer with checked reads."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.offset + n > len(self.data):
+            raise CodecError("truncated encoding")
+        chunk = self.data[self.offset : self.offset + n]
+        self.offset += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError("invalid UTF-8 in encoding") from exc
+
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def done(self) -> None:
+        if self.offset != len(self.data):
+            raise CodecError("trailing bytes in encoding")

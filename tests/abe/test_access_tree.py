@@ -1,0 +1,165 @@
+"""Tests for CP-ABE access trees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abe.access_tree import AccessTree, AttributeLeaf, ThresholdGate
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = AccessTree.single("attr")
+        assert tree.attributes() == ["attr"]
+
+    def test_k_of_n(self):
+        tree = AccessTree.k_of_n(2, ["a", "b", "c"])
+        assert isinstance(tree.root, ThresholdGate)
+        assert tree.root.threshold == 2
+        assert tree.attributes() == ["a", "b", "c"]
+
+    def test_empty_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeLeaf("")
+
+    def test_gate_without_children_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdGate(1, ())
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdGate(0, (AttributeLeaf("a"),))
+        with pytest.raises(ValueError):
+            ThresholdGate(3, (AttributeLeaf("a"), AttributeLeaf("b")))
+
+    def test_bad_root_type_rejected(self):
+        with pytest.raises(TypeError):
+            AccessTree("not a node")  # type: ignore[arg-type]
+
+    def test_and_or_combinators(self):
+        tree = AccessTree.all_of(["a", AccessTree.any_of(["b", "c"])])
+        assert tree.root.threshold == 2
+        assert tree.attributes() == ["a", "b", "c"]
+
+
+class TestSatisfiability:
+    def test_k_of_n_threshold(self):
+        tree = AccessTree.k_of_n(2, ["a", "b", "c", "d"])
+        assert tree.satisfied_by({"a", "b"})
+        assert tree.satisfied_by({"c", "d", "x"})
+        assert not tree.satisfied_by({"a"})
+        assert not tree.satisfied_by(set())
+        assert not tree.satisfied_by({"x", "y"})
+
+    def test_and_gate(self):
+        tree = AccessTree.all_of(["a", "b"])
+        assert tree.satisfied_by({"a", "b"})
+        assert not tree.satisfied_by({"a"})
+
+    def test_or_gate(self):
+        tree = AccessTree.any_of(["a", "b"])
+        assert tree.satisfied_by({"a"})
+        assert tree.satisfied_by({"b"})
+        assert not tree.satisfied_by({"c"})
+
+    def test_nested_policy(self):
+        # (a AND b) OR (2 of c, d, e)
+        tree = AccessTree.any_of(
+            [AccessTree.all_of(["a", "b"]), AccessTree.threshold(2, ["c", "d", "e"])]
+        )
+        assert tree.satisfied_by({"a", "b"})
+        assert tree.satisfied_by({"c", "e"})
+        assert not tree.satisfied_by({"a", "c"})
+
+    def test_duplicate_attributes_count_once_per_leaf(self):
+        tree = AccessTree.k_of_n(2, ["a", "a", "b"])
+        # Both "a" leaves are satisfied by one attribute.
+        assert tree.satisfied_by({"a"})
+
+    @given(
+        st.integers(1, 5),
+        st.sets(st.sampled_from("abcdefgh"), max_size=8),
+    )
+    def test_monotonicity(self, k, attrs):
+        """More attributes can never un-satisfy a tree."""
+        tree = AccessTree.k_of_n(k, list("abcde"))
+        if tree.satisfied_by(attrs):
+            assert tree.satisfied_by(attrs | {"z", "extra"})
+            assert tree.satisfied_by(attrs | set("abcdefgh"))
+
+
+class TestMinimalSatisfyingLeaves:
+    def test_none_when_unsatisfied(self):
+        tree = AccessTree.k_of_n(3, ["a", "b", "c"])
+        assert tree.minimal_satisfying_leaves({"a"}) is None
+
+    def test_exactly_threshold_leaves(self):
+        tree = AccessTree.k_of_n(2, ["a", "b", "c", "d"])
+        chosen = tree.minimal_satisfying_leaves({"a", "b", "c", "d"})
+        assert chosen is not None
+        assert len(chosen) == 2
+
+    def test_indices_refer_to_satisfied_leaves(self):
+        tree = AccessTree.k_of_n(2, ["a", "b", "c", "d"])
+        leaves = tree.leaves()
+        chosen = tree.minimal_satisfying_leaves({"b", "d"})
+        assert chosen is not None
+        assert {leaves[i].attribute for i in chosen} == {"b", "d"}
+
+    def test_nested_minimality(self):
+        # OR(AND(a,b,c), d): knowing everything, the cheap branch wins.
+        tree = AccessTree.any_of([AccessTree.all_of(["a", "b", "c"]), "d"])
+        chosen = tree.minimal_satisfying_leaves({"a", "b", "c", "d"})
+        assert chosen is not None
+        assert len(chosen) == 1
+        assert tree.leaves()[chosen[0]].attribute == "d"
+
+    def test_single_leaf(self):
+        tree = AccessTree.single("a")
+        assert tree.minimal_satisfying_leaves({"a"}) == [0]
+        assert tree.minimal_satisfying_leaves({"b"}) is None
+
+
+class TestRelabel:
+    def test_relabel_preserves_shape(self):
+        tree = AccessTree.any_of(
+            [AccessTree.all_of(["a", "b"]), AccessTree.k_of_n(2, ["c", "d", "e"])]
+        )
+        relabeled = tree.relabel(str.upper)
+        assert relabeled.attributes() == ["A", "B", "C", "D", "E"]
+        assert tree.same_shape_as(relabeled)
+
+    def test_relabel_is_pure(self):
+        tree = AccessTree.k_of_n(1, ["a", "b"])
+        tree.relabel(str.upper)
+        assert tree.attributes() == ["a", "b"]
+
+    def test_same_shape_rejects_different_structure(self):
+        a = AccessTree.k_of_n(1, ["a", "b"])
+        b = AccessTree.k_of_n(2, ["a", "b"])
+        c = AccessTree.k_of_n(1, ["a", "b", "c"])
+        assert not a.same_shape_as(b)
+        assert not a.same_shape_as(c)
+        assert a.same_shape_as(a.relabel(lambda s: s + "!"))
+
+    def test_leaf_order_stable_under_relabel(self):
+        tree = AccessTree.all_of([AccessTree.any_of(["x", "y"]), "z"])
+        relabeled = tree.relabel(lambda s: "p-" + s)
+        assert [l.attribute for l in relabeled.leaves()] == ["p-x", "p-y", "p-z"]
+
+
+class TestEqualityAndRepr:
+    def test_equality(self):
+        assert AccessTree.k_of_n(2, ["a", "b"]) == AccessTree.k_of_n(2, ["a", "b"])
+        assert AccessTree.k_of_n(2, ["a", "b"]) != AccessTree.k_of_n(1, ["a", "b"])
+
+    def test_repr_mentions_structure(self):
+        text = repr(AccessTree.k_of_n(2, ["a", "b", "c"]))
+        assert "2of" in text
+
+    def test_immutability(self):
+        tree = AccessTree.single("a")
+        with pytest.raises(AttributeError):
+            tree.root = AttributeLeaf("b")

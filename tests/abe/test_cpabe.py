@@ -1,0 +1,229 @@
+"""Tests for the BSW07 CP-ABE implementation (toy parameters)."""
+
+from __future__ import annotations
+
+import secrets
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abe.access_tree import AccessTree
+from repro.abe.cpabe import CPABE, AbeError, PolicyNotSatisfiedError
+from repro.crypto.params import TOY
+
+
+@pytest.fixture(scope="module")
+def abe():
+    return CPABE(TOY)
+
+
+@pytest.fixture(scope="module")
+def keys(abe):
+    return abe.setup()
+
+
+class TestSetup:
+    def test_public_key_structure(self, abe, keys):
+        pk, mk = keys
+        assert pk.g.has_order_r()
+        assert pk.h.has_order_r()
+        assert pk.f.has_order_r()
+        assert not pk.e_gg_alpha.is_one()
+        assert 0 < mk.beta < TOY.r
+
+    def test_f_is_g_to_inverse_beta(self, abe, keys):
+        pk, mk = keys
+        assert pk.f * mk.beta == pk.g
+
+    def test_h_is_g_to_beta(self, abe, keys):
+        pk, mk = keys
+        assert pk.g * mk.beta == pk.h
+
+    def test_setups_differ(self, abe):
+        pk1, _ = abe.setup()
+        pk2, _ = abe.setup()
+        assert pk1.g != pk2.g or pk1.h != pk2.h
+
+
+class TestElementRoundTrip:
+    def test_simple_threshold(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        tree = AccessTree.k_of_n(2, ["a", "b", "c"])
+        ct = abe.encrypt_element(pk, message, tree)
+        sk = abe.keygen(pk, mk, {"a", "c"})
+        assert abe.decrypt_element(pk, sk, ct) == message
+
+    def test_single_attribute_policy(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.single("only"))
+        sk = abe.keygen(pk, mk, {"only"})
+        assert abe.decrypt_element(pk, sk, ct) == message
+
+    def test_all_of_policy(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.all_of(["a", "b", "c"]))
+        sk = abe.keygen(pk, mk, {"a", "b", "c"})
+        assert abe.decrypt_element(pk, sk, ct) == message
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_element(pk, abe.keygen(pk, mk, {"a", "b"}), ct)
+
+    def test_nested_policy(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        tree = AccessTree.any_of(
+            [AccessTree.all_of(["dept:eng", "level:senior"]),
+             AccessTree.threshold(2, ["ctx:a", "ctx:b", "ctx:c"])]
+        )
+        ct = abe.encrypt_element(pk, message, tree)
+        via_and = abe.keygen(pk, mk, {"dept:eng", "level:senior"})
+        via_threshold = abe.keygen(pk, mk, {"ctx:a", "ctx:c"})
+        assert abe.decrypt_element(pk, via_and, ct) == message
+        assert abe.decrypt_element(pk, via_threshold, ct) == message
+        mixed = abe.keygen(pk, mk, {"dept:eng", "ctx:b"})
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_element(pk, mixed, ct)
+
+    def test_extra_attributes_harmless(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.k_of_n(1, ["x", "y"]))
+        sk = abe.keygen(pk, mk, {"x", "unrelated", "another"})
+        assert abe.decrypt_element(pk, sk, ct) == message
+
+    @settings(max_examples=8)
+    @given(st.integers(1, 4), st.integers(0, 3))
+    def test_random_thresholds(self, abe, keys, k, extra):
+        pk, mk = keys
+        n = k + extra
+        attrs = ["attr-%d" % i for i in range(n)]
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.k_of_n(k, attrs))
+        sk = abe.keygen(pk, mk, set(attrs[:k]))
+        assert abe.decrypt_element(pk, sk, ct) == message
+        if k > 1:
+            weak = abe.keygen(pk, mk, set(attrs[: k - 1]))
+            with pytest.raises(PolicyNotSatisfiedError):
+                abe.decrypt_element(pk, weak, ct)
+
+
+class TestCollusionResistance:
+    def test_two_keys_cannot_combine(self, abe, keys):
+        """CP-ABE's core guarantee: users cannot pool attributes across
+        separately issued keys (each key has its own blinding r)."""
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.all_of(["a", "b"]))
+        alice = abe.keygen(pk, mk, {"a"})
+        bob = abe.keygen(pk, mk, {"b"})
+        # Frankenstein key: D from alice, components merged.
+        from repro.abe.cpabe import SecretKey
+
+        merged = SecretKey(d=alice.d, components={**alice.components, **bob.components})
+        result_ok = False
+        try:
+            recovered = abe.decrypt_element(pk, merged, ct)
+            result_ok = recovered == message
+        except PolicyNotSatisfiedError:
+            result_ok = False
+        assert not result_ok
+
+
+class TestBytesHybrid:
+    def test_roundtrip(self, abe, keys):
+        pk, mk = keys
+        tree = AccessTree.k_of_n(2, ["q1", "q2", "q3"])
+        payload = b"the full payload " * 20
+        ct = abe.encrypt_bytes(pk, payload, tree)
+        sk = abe.keygen(pk, mk, {"q1", "q3"})
+        assert abe.decrypt_bytes(pk, sk, ct) == payload
+
+    def test_empty_payload(self, abe, keys):
+        pk, mk = keys
+        ct = abe.encrypt_bytes(pk, b"", AccessTree.single("a"))
+        sk = abe.keygen(pk, mk, {"a"})
+        assert abe.decrypt_bytes(pk, sk, ct) == b""
+
+    def test_below_threshold_rejected(self, abe, keys):
+        pk, mk = keys
+        ct = abe.encrypt_bytes(pk, b"secret", AccessTree.k_of_n(2, ["a", "b", "c"]))
+        sk = abe.keygen(pk, mk, {"a"})
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_bytes(pk, sk, ct)
+
+    def test_byte_size_accounts_components(self, abe, keys):
+        pk, mk = keys
+        small = abe.encrypt_bytes(pk, b"x", AccessTree.k_of_n(1, ["a", "b"]))
+        large = abe.encrypt_bytes(pk, b"x", AccessTree.k_of_n(1, ["a", "b", "c", "d"]))
+        assert large.byte_size() > small.byte_size()
+
+
+class TestDelegate:
+    def test_delegate_subset_decrypts(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.k_of_n(2, ["a", "b", "c"]))
+        parent = abe.keygen(pk, mk, {"a", "b", "c"})
+        child = abe.delegate(pk, parent, {"a", "b"})
+        assert abe.decrypt_element(pk, child, ct) == message
+
+    def test_delegate_cannot_add_attributes(self, abe, keys):
+        pk, mk = keys
+        parent = abe.keygen(pk, mk, {"a"})
+        with pytest.raises(AbeError):
+            abe.delegate(pk, parent, {"a", "b"})
+
+    def test_delegated_key_still_threshold_bound(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.k_of_n(2, ["a", "b", "c"]))
+        parent = abe.keygen(pk, mk, {"a", "b", "c"})
+        child = abe.delegate(pk, parent, {"a"})
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_element(pk, child, ct)
+
+    def test_chained_delegation(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        ct = abe.encrypt_element(pk, message, AccessTree.k_of_n(1, ["a", "b"]))
+        k1 = abe.keygen(pk, mk, {"a", "b"})
+        k2 = abe.delegate(pk, k1, {"a", "b"})
+        k3 = abe.delegate(pk, k2, {"a"})
+        assert abe.decrypt_element(pk, k3, ct) == message
+
+
+class TestWithTree:
+    def test_relabeled_tree_swap(self, abe, keys):
+        pk, mk = keys
+        message = abe._random_gt(pk)
+        tree = AccessTree.k_of_n(1, ["a", "b"])
+        ct = abe.encrypt_element(pk, message, tree)
+        renamed = tree.relabel(lambda s: "hash-of-" + s)
+        ct2 = ct.with_tree(renamed)
+        # Original attributes no longer match...
+        sk = abe.keygen(pk, mk, {"a"})
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_element(pk, sk, ct2)
+        # ...but swapping the true tree back restores decryptability.
+        ct3 = ct2.with_tree(tree)
+        assert abe.decrypt_element(pk, sk, ct3) == message
+
+    def test_shape_mismatch_rejected(self, abe, keys):
+        pk, _ = keys
+        ct = abe.encrypt_element(
+            pk, abe._random_gt(pk), AccessTree.k_of_n(1, ["a", "b"])
+        )
+        with pytest.raises(ValueError):
+            ct.with_tree(AccessTree.k_of_n(1, ["a", "b", "c"]))
+
+
+class TestValidation:
+    def test_foreign_message_rejected(self, abe, keys):
+        pk, _ = keys
+        from repro.crypto.fq2 import Fq2
+
+        with pytest.raises(ValueError):
+            abe.encrypt_element(pk, Fq2(7, 1, 1), AccessTree.single("a"))

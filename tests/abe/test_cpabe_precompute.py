@@ -1,0 +1,66 @@
+"""Equivalence tests for CP-ABE's optional fixed-base precomputation.
+
+The optimization must be observationally invisible: ciphertexts and keys
+produced with precomputation on must interoperate with instances that have
+it off, in both directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abe import CPABE, AccessTree, PolicyNotSatisfiedError
+from repro.crypto.params import TOY
+
+TREE = AccessTree.k_of_n(2, ["pa", "pb", "pc"])
+
+
+@pytest.fixture(scope="module")
+def instances():
+    plain = CPABE(TOY)
+    cached = CPABE(TOY, precompute_fixed_bases=True)
+    pk, mk = plain.setup()
+    return plain, cached, pk, mk
+
+
+class TestInterop:
+    def test_cached_encrypt_plain_decrypt(self, instances):
+        plain, cached, pk, mk = instances
+        ct = cached.encrypt_bytes(pk, b"cross-1", TREE)
+        sk = plain.keygen(pk, mk, {"pa", "pc"})
+        assert plain.decrypt_bytes(pk, sk, ct) == b"cross-1"
+
+    def test_plain_encrypt_cached_keygen_decrypt(self, instances):
+        plain, cached, pk, mk = instances
+        ct = plain.encrypt_bytes(pk, b"cross-2", TREE)
+        sk = cached.keygen(pk, mk, {"pb", "pc"})
+        assert cached.decrypt_bytes(pk, sk, ct) == b"cross-2"
+
+    def test_threshold_still_enforced_with_cache(self, instances):
+        _, cached, pk, mk = instances
+        ct = cached.encrypt_bytes(pk, b"cross-3", TREE)
+        weak = cached.keygen(pk, mk, {"pa"})
+        with pytest.raises(PolicyNotSatisfiedError):
+            cached.decrypt_bytes(pk, weak, ct)
+
+    def test_cache_populated_lazily(self, instances):
+        _, cached, pk, mk = instances
+        fresh = CPABE(TOY, precompute_fixed_bases=True)
+        assert len(fresh._fixed_cache) == 0
+        fresh.encrypt_bytes(pk, b"x", TREE)
+        assert len(fresh._fixed_cache) == 2  # tables for g and h
+
+    def test_attribute_point_cache_shared_semantics(self, instances):
+        plain, cached, pk, mk = instances
+        from repro.crypto.hash_to_group import hash_to_g0
+
+        point = cached._attr_point("pa")
+        assert point == hash_to_g0(TOY, b"pa")
+        assert cached._attr_point("pa") == point  # memoized, same value
+
+    def test_delegation_with_cache(self, instances):
+        _, cached, pk, mk = instances
+        ct = cached.encrypt_bytes(pk, b"delegate", TREE)
+        parent = cached.keygen(pk, mk, {"pa", "pb", "pc"})
+        child = cached.delegate(pk, parent, {"pa", "pb"})
+        assert cached.decrypt_bytes(pk, child, ct) == b"delegate"

@@ -1,0 +1,159 @@
+"""Tests for the cpabe-style policy language."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abe.access_tree import AccessTree, AttributeLeaf, ThresholdGate
+from repro.abe.policy import PolicySyntaxError, format_policy, parse_policy
+
+
+class TestParseBasics:
+    def test_single_attribute(self):
+        tree = parse_policy("admin")
+        assert tree == AccessTree.single("admin")
+
+    def test_and(self):
+        tree = parse_policy("a and b")
+        assert tree.root == ThresholdGate(2, (AttributeLeaf("a"), AttributeLeaf("b")))
+
+    def test_or(self):
+        tree = parse_policy("a or b")
+        assert tree.root == ThresholdGate(1, (AttributeLeaf("a"), AttributeLeaf("b")))
+
+    def test_and_flattens(self):
+        tree = parse_policy("a and b and c")
+        assert tree.root.threshold == 3
+        assert len(tree.root.children) == 3
+
+    def test_or_flattens(self):
+        tree = parse_policy("a or b or c or d")
+        assert tree.root.threshold == 1
+        assert len(tree.root.children) == 4
+
+    def test_and_binds_tighter_than_or(self):
+        tree = parse_policy("a and b or c")
+        assert tree.root.threshold == 1  # OR at the top
+        assert isinstance(tree.root.children[0], ThresholdGate)
+        assert tree.root.children[1] == AttributeLeaf("c")
+
+    def test_parentheses_override(self):
+        tree = parse_policy("a and (b or c)")
+        assert tree.root.threshold == 2
+        inner = tree.root.children[1]
+        assert isinstance(inner, ThresholdGate) and inner.threshold == 1
+
+    def test_threshold_gate(self):
+        tree = parse_policy("2 of (a, b, c)")
+        assert tree.root == ThresholdGate(
+            2, (AttributeLeaf("a"), AttributeLeaf("b"), AttributeLeaf("c"))
+        )
+
+    def test_nested_threshold(self):
+        tree = parse_policy("2 of (a and b, c, 1 of (d, e))")
+        assert tree.root.threshold == 2
+        assert len(tree.root.children) == 3
+
+    def test_keywords_case_insensitive(self):
+        assert parse_policy("a AND b") == parse_policy("a and b")
+        assert parse_policy("2 OF (a, b)") == parse_policy("2 of (a, b)")
+
+    def test_quoted_attributes(self):
+        tree = parse_policy("'Where was it?\x1flake tahoe' and plain")
+        assert tree.root.children[0] == AttributeLeaf("Where was it?\x1flake tahoe")
+
+    def test_escaped_quote(self):
+        tree = parse_policy(r"'it\'s here'")
+        assert tree.root == AttributeLeaf("it's here")
+
+    def test_numeric_attribute_without_of(self):
+        tree = parse_policy("42 and a")
+        assert tree.root.children[0] == AttributeLeaf("42")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "a and",
+            "and a",
+            "a or or b",
+            "(a and b",
+            "a and b)",
+            "3 of (a, b)",
+            "0 of (a, b)",
+            "2 of ()",
+            "a , b",
+            "'unterminated",
+            "a ! b",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy(bad)
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "admin",
+            "a and b",
+            "a or b or c",
+            "(a and b) or c",
+            "2 of (a, b, c)",
+            "2 of (a and b, c, d or e)",
+            "'has spaces' and plain",
+        ],
+    )
+    def test_parse_format_parse(self, text):
+        tree = parse_policy(text)
+        rendered = format_policy(tree)
+        assert parse_policy(rendered) == tree
+
+    def test_format_basic_shapes(self):
+        assert format_policy(parse_policy("a and b")) == "(a and b)"
+        assert format_policy(parse_policy("a or b")) == "(a or b)"
+        assert format_policy(parse_policy("2 of (a, b, c)")) == "2 of (a, b, c)"
+
+    def test_quoting_applied_when_needed(self):
+        tree = AccessTree.single("needs quoting here")
+        assert format_policy(tree) == "'needs quoting here'"
+
+    attribute_chars = st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789_:.|-", min_size=1, max_size=8
+    ).filter(lambda s: s.lower() not in ("and", "or", "of"))
+
+    @given(
+        st.recursive(
+            attribute_chars.map(AttributeLeaf),
+            lambda children: st.builds(
+                lambda kids, k: ThresholdGate(max(1, min(k, len(kids))), tuple(kids)),
+                st.lists(children, min_size=2, max_size=4),
+                st.integers(1, 4),
+            ),
+            max_leaves=8,
+        )
+    )
+    def test_random_trees_roundtrip(self, root):
+        tree = AccessTree(root)
+        assert parse_policy(format_policy(tree)) == tree
+
+
+class TestEndToEndWithCpabe:
+    def test_policy_string_encrypts(self, toy_params):
+        from repro.abe.cpabe import CPABE, PolicyNotSatisfiedError
+
+        abe = CPABE(toy_params)
+        pk, mk = abe.setup()
+        tree = parse_policy("(dept:eng and level:senior) or 2 of (c1, c2, c3)")
+        ct = abe.encrypt_bytes(pk, b"policy-driven", tree)
+        good = abe.keygen(pk, mk, {"c1", "c3"})
+        assert abe.decrypt_bytes(pk, good, ct) == b"policy-driven"
+        bad = abe.keygen(pk, mk, {"dept:eng", "c2"})
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_bytes(pk, bad, ct)

@@ -1,0 +1,62 @@
+"""Tests for the content-relevance experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.relevance import (
+    PolicyRelevance,
+    RelevanceConfig,
+    run_relevance_experiment,
+)
+
+
+class TestPolicyRelevance:
+    def test_precision_recall_math(self):
+        policy = PolicyRelevance("x", readable=10, relevant_readable=4, relevant_total=8)
+        assert policy.precision == 0.4
+        assert policy.recall == 0.5
+
+    def test_zero_division_guards(self):
+        empty = PolicyRelevance("x", readable=0, relevant_readable=0, relevant_total=0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_relevance_experiment(
+            RelevanceConfig(num_users=25, num_events=8, seed=11)
+        )
+
+    def test_paper_claim_precision(self, report):
+        """The section I claim: puzzles enforce relevance — precision far
+        above the ACL baseline."""
+        assert report.puzzle.precision > report.acl.precision
+        assert report.puzzle.precision == 1.0  # only context-knowers get in
+        assert report.acl.precision < 0.7
+
+    def test_acl_reads_everything(self, report):
+        """Static ACL recall is perfect — the flip side of zero filtering."""
+        assert report.acl.recall == 1.0
+        assert report.acl.readable >= report.puzzle.readable
+
+    def test_puzzle_recall_reasonable(self, report):
+        """Attendees mostly get in; recall noise and display subsets cost
+        a little."""
+        assert 0.5 <= report.puzzle.recall <= 1.0
+
+    def test_deterministic(self):
+        a = run_relevance_experiment(RelevanceConfig(num_users=15, num_events=4, seed=5))
+        b = run_relevance_experiment(RelevanceConfig(num_users=15, num_events=4, seed=5))
+        assert a == b
+
+    def test_threshold_lowers_recall(self):
+        low = run_relevance_experiment(
+            RelevanceConfig(num_users=20, num_events=6, threshold=1, seed=7)
+        )
+        high = run_relevance_experiment(
+            RelevanceConfig(num_users=20, num_events=6, threshold=4, seed=7)
+        )
+        assert high.puzzle.recall <= low.puzzle.recall

@@ -1,0 +1,31 @@
+"""Tests for the packaged attack battery."""
+
+from __future__ import annotations
+
+from repro.analysis.scenarios import format_outcomes, run_standard_scenarios
+
+
+class TestStandardScenarios:
+    def test_battery_outcomes_pinned(self):
+        """The full battery reproduces the section VI results table."""
+        outcomes = run_standard_scenarios()
+        by_position = [(o.name, o.succeeded) for o in outcomes]
+        assert by_position == [
+            ("semi-honest SP (insufficient context)", False),
+            ("semi-honest SP (knows context)", True),
+            ("SP dictionary attack (C1)", True),
+            ("colluding users (honest SP)", False),
+            ("colluding users (honest SP)", True),
+            ("malicious SP feedback collusion", True),
+            ("SP URL tampering", True),
+            ("SP URL tampering", False),
+            ("DH object tampering", False),
+        ]
+
+    def test_format_outcomes_table(self):
+        outcomes = run_standard_scenarios()
+        table = format_outcomes(outcomes)
+        lines = table.splitlines()
+        assert lines[0].startswith("attack scenario")
+        assert len(lines) == len(outcomes) + 2
+        assert "SUCCEEDED" in table and "failed" in table

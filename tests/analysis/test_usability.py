@@ -1,0 +1,106 @@
+"""Tests for the simulated ISO 9241-11 usability study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.usability import (
+    ATTENDEE,
+    INVITEE,
+    STRANGER,
+    ParticipantClass,
+    StudyConfig,
+    simulate_user_study,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        StudyConfig()
+
+    def test_bad_participants(self):
+        with pytest.raises(ValueError):
+            StudyConfig(participants_per_class=0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            StudyConfig(num_questions=3, threshold=4)
+
+    def test_bad_attempts(self):
+        with pytest.raises(ValueError):
+            StudyConfig(max_attempts=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            ParticipantClass("x", recall_probability=1.5, typo_probability=0)
+
+
+class TestStudyOutcomes:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return simulate_user_study(StudyConfig(participants_per_class=25, seed=3))
+
+    def test_all_classes_reported(self, report):
+        names = {r.participant_class for r in report.results}
+        assert names == {"attendee", "invitee-missed", "stranger"}
+
+    def test_effectiveness_ordering(self, report):
+        """The core usability finding: success tracks event knowledge."""
+        attendee = report.by_class("attendee")
+        invitee = report.by_class("invitee-missed")
+        stranger = report.by_class("stranger")
+        assert attendee.success_rate > invitee.success_rate > stranger.success_rate
+
+    def test_attendees_nearly_always_succeed(self, report):
+        assert report.by_class("attendee").success_rate >= 0.85
+
+    def test_strangers_effectively_locked_out(self, report):
+        assert report.by_class("stranger").success_rate <= 0.1
+
+    def test_efficiency_positive_for_successes(self, report):
+        attendee = report.by_class("attendee")
+        assert attendee.mean_time_s > 0
+        stranger = report.by_class("stranger")
+        if stranger.success_rate == 0:
+            assert stranger.mean_time_s == 0.0
+
+    def test_satisfaction_proxy_bounded(self, report):
+        for row in report.results:
+            assert 0 <= row.first_try_rate <= row.success_rate + 1e-9
+            assert 1 <= row.mean_attempts <= 2
+
+    def test_unknown_class_lookup(self, report):
+        with pytest.raises(KeyError):
+            report.by_class("martian")
+
+
+class TestThresholdTradeoff:
+    def test_higher_threshold_hurts_partial_knowers(self):
+        """Raising k trades stranger exclusion against invitee success —
+        the design decision the study is meant to inform."""
+        low = simulate_user_study(
+            StudyConfig(participants_per_class=30, threshold=1, seed=5)
+        )
+        high = simulate_user_study(
+            StudyConfig(participants_per_class=30, threshold=4, seed=5)
+        )
+        assert (
+            high.by_class("invitee-missed").success_rate
+            <= low.by_class("invitee-missed").success_rate
+        )
+        assert high.by_class("attendee").success_rate >= 0.5
+
+    def test_deterministic_given_seed(self):
+        a = simulate_user_study(StudyConfig(participants_per_class=10, seed=9))
+        b = simulate_user_study(StudyConfig(participants_per_class=10, seed=9))
+        assert a == b
+
+    def test_custom_classes(self):
+        perfect = ParticipantClass("perfect", 1.0, 0.0)
+        clueless = ParticipantClass("clueless", 0.0, 0.0)
+        report = simulate_user_study(
+            StudyConfig(participants_per_class=5, seed=1),
+            classes=(perfect, clueless),
+        )
+        assert report.by_class("perfect").success_rate == 1.0
+        assert report.by_class("clueless").success_rate == 0.0

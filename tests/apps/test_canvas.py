@@ -1,0 +1,139 @@
+"""Tests for the canvas-app request/response API."""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import pytest
+
+from repro.apps.canvas import CanvasApiC1, Request
+from repro.core.construction1 import ReceiverC1, SharerC1
+from repro.core.context import Context, normalize_answer
+from repro.core.puzzle import Puzzle
+from repro.crypto.field import PrimeField
+from repro.crypto.shamir import Share
+from repro.osn.storage import StorageHost
+
+
+@pytest.fixture()
+def api():
+    return CanvasApiC1()
+
+
+@pytest.fixture()
+def uploaded(api, party_context, secret_object):
+    storage = StorageHost()
+    sharer = SharerC1("api-sharer", storage)
+    puzzle = sharer.upload(secret_object, party_context, k=2, n=4)
+    response = api.handle(Request("POST", "/puzzles", puzzle.to_bytes()))
+    assert response.status == 201
+    return storage, puzzle, response.payload["puzzle_id"]
+
+
+class TestRouting:
+    def test_health(self, api):
+        response = api.handle(Request("GET", "/health"))
+        assert response.status == 200
+        assert response.payload["ok"] is True
+
+    def test_unknown_route(self, api):
+        assert api.handle(Request("GET", "/nope")).status == 404
+
+    def test_wrong_method(self, api):
+        assert api.handle(Request("DELETE", "/puzzles")).status == 404
+
+    def test_response_json(self, api):
+        text = api.handle(Request("GET", "/health")).json()
+        parsed = json.loads(text)
+        assert parsed["status"] == 200
+
+
+class TestPuzzleLifecycle:
+    def test_upload_and_display(self, api, uploaded, party_context):
+        _, puzzle, puzzle_id = uploaded
+        response = api.handle(Request("GET", f"/puzzles/{puzzle_id}"))
+        assert response.status == 200
+        assert set(response.payload["questions"]) <= set(party_context.questions)
+        assert response.payload["k"] == 2
+        key = base64.b64decode(response.payload["puzzle_key"])
+        assert key == puzzle.puzzle_key
+
+    def test_display_missing_puzzle(self, api):
+        assert api.handle(Request("GET", "/puzzles/99")).status == 404
+
+    def test_full_flow_through_api(self, api, uploaded, party_context, secret_object):
+        storage, puzzle, puzzle_id = uploaded
+        display = api.handle(Request("GET", f"/puzzles/{puzzle_id}")).payload
+        key = base64.b64decode(display["puzzle_key"])
+
+        digests = {}
+        for question in display["questions"]:
+            answer = normalize_answer(party_context.answer_for(question)).encode()
+            digests[question] = Puzzle.response_digest(answer, key).hex()
+        response = api.handle(
+            Request(
+                "POST",
+                f"/puzzles/{puzzle_id}/answers",
+                json.dumps(digests).encode(),
+            )
+        )
+        assert response.status == 200
+        payload = response.payload
+        assert payload["url"] == puzzle.url
+        assert len(payload["shares"]) >= 2
+
+        # Reconstruct client-side, exactly as the JavaScript would.
+        from repro.core.construction1 import C1_FIELD_PRIME
+        from repro.core.puzzle import unblind_share
+        from repro.crypto import gibberish
+        from repro.crypto.hashes import sha3_256
+        from repro.crypto.shamir import reconstruct_secret
+
+        field = PrimeField(C1_FIELD_PRIME, check_prime=False)
+        shares = []
+        for entry in payload["shares"][: payload["k"]]:
+            answer = normalize_answer(
+                party_context.answer_for(entry["question"])
+            ).encode()
+            shares.append(
+                unblind_share(
+                    int(entry["share_x"]),
+                    base64.b64decode(entry["blinded_share"]),
+                    field,
+                    answer,
+                    key,
+                    entry["entry_index"],
+                )
+            )
+        secret = int(reconstruct_secret(field, shares, payload["k"]))
+        passphrase = sha3_256(secret.to_bytes(32, "big")).hexdigest().encode()
+        assert gibberish.decrypt(storage.get(payload["url"]), passphrase) == secret_object
+
+    def test_wrong_answers_403(self, api, uploaded):
+        _, puzzle, puzzle_id = uploaded
+        digests = {q: "00" * 32 for q in puzzle.questions}
+        response = api.handle(
+            Request("POST", f"/puzzles/{puzzle_id}/answers", json.dumps(digests).encode())
+        )
+        assert response.status == 403
+
+    def test_malformed_puzzle_body_400(self, api):
+        assert api.handle(Request("POST", "/puzzles", b"garbage")).status == 400
+
+    def test_malformed_answers_400(self, api, uploaded):
+        _, _, puzzle_id = uploaded
+        for body in (b"not json", b"[]", b"{}", b'{"q": "nothex"}'):
+            response = api.handle(
+                Request("POST", f"/puzzles/{puzzle_id}/answers", body)
+            )
+            assert response.status == 400, body
+
+    def test_answers_for_missing_puzzle_404(self, api):
+        response = api.handle(
+            Request("POST", "/puzzles/42/answers", json.dumps({"q": "00"}).encode())
+        )
+        assert response.status == 404
+
+    def test_non_integer_puzzle_id_400(self, api):
+        assert api.handle(Request("GET", "/puzzles/abc")).status == 400

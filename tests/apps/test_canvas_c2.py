@@ -1,0 +1,137 @@
+"""Tests for the Implementation 2 canvas API."""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import pytest
+
+from repro.abe.serialize import (
+    decode_hybrid_ciphertext,
+    decode_master_key,
+    decode_public_key,
+    encode_access_tree,
+    encode_hybrid_ciphertext,
+)
+from repro.apps.canvas import Request
+from repro.apps.canvas_c2 import CanvasApiC2, decode_upload_bundle, encode_upload_bundle
+from repro.core.construction2 import ReceiverC2, SharerC2, answer_digest_hex
+from repro.crypto.params import TOY
+from repro.osn.storage import StorageHost
+
+
+@pytest.fixture()
+def api():
+    return CanvasApiC2()
+
+
+def _bundle(party_context, secret_object):
+    """Build the 4-file upload the Qt client would cURL."""
+    scratch = StorageHost()
+    sharer = SharerC2("qt-user", scratch, TOY)
+    record, ct_bytes = sharer.upload(secret_object, party_context, k=2)
+    return encode_upload_bundle(
+        encode_access_tree(record.tree_perturbed),
+        record.pk_bytes,
+        record.mk_bytes,
+        ct_bytes,
+        "qt-user",
+    )
+
+
+@pytest.fixture()
+def uploaded(api, party_context, secret_object):
+    body = _bundle(party_context, secret_object)
+    response = api.handle(Request("POST", "/uploads", body))
+    assert response.status == 201
+    return response.payload["puzzle_id"]
+
+
+class TestBundleCodec:
+    def test_roundtrip(self):
+        bundle = encode_upload_bundle(b"tree", b"pk", b"mk", b"ct", "name")
+        assert decode_upload_bundle(bundle) == ("name", b"tree", b"pk", b"mk", b"ct")
+
+    def test_truncated_rejected(self):
+        bundle = encode_upload_bundle(b"tree", b"pk", b"mk", b"ct", "name")
+        with pytest.raises(Exception):
+            decode_upload_bundle(bundle[:-1])
+
+
+class TestRoutes:
+    def test_health(self, api):
+        assert api.handle(Request("GET", "/health")).status == 200
+
+    def test_unknown_route(self, api):
+        assert api.handle(Request("GET", "/elsewhere")).status == 404
+
+    def test_details(self, api, uploaded, party_context):
+        response = api.handle(Request("GET", f"/uploads/{uploaded}/details.txt"))
+        assert response.status == 200
+        assert response.payload["threshold"] == 2
+        assert list(response.payload["questions"]) == party_context.questions
+
+    def test_details_missing(self, api):
+        assert api.handle(Request("GET", "/uploads/9/details.txt")).status == 404
+
+    def test_malformed_bundle_400(self, api):
+        assert api.handle(Request("POST", "/uploads", b"junk")).status == 400
+
+
+class TestFullFlow:
+    def test_qt_client_flow(self, api, uploaded, party_context, secret_object):
+        details = api.handle(
+            Request("GET", f"/uploads/{uploaded}/details.txt")
+        ).payload
+        digests = {
+            question: answer_digest_hex(party_context.answer_for(question))
+            for question in details["questions"][:2]
+        }
+        response = api.handle(
+            Request(
+                "POST",
+                f"/uploads/{uploaded}/answers",
+                json.dumps(digests).encode(),
+            )
+        )
+        assert response.status == 200
+        files = response.payload["files"]
+        assert set(files) == {"message.txt.cpabe", "master_key", "pub_key"}
+
+        # Decrypt client-side exactly as the Qt application does.
+        ct = decode_hybrid_ciphertext(
+            TOY, base64.b64decode(files["message.txt.cpabe"])
+        )
+        storage = StorageHost()
+        receiver = ReceiverC2("qt-receiver", storage, TOY)
+        from repro.core.construction2 import AccessGrantC2
+
+        url = storage.put(encode_hybrid_ciphertext(ct))
+        grant = AccessGrantC2(
+            puzzle_id=uploaded,
+            url=url,
+            pk_bytes=base64.b64decode(files["pub_key"]),
+            mk_bytes=base64.b64decode(files["master_key"]),
+        )
+        assert receiver.access(grant, party_context.take(2)) == secret_object
+
+    def test_wrong_answers_403(self, api, uploaded, party_context):
+        digests = {q: "00" * 20 for q in party_context.questions}
+        response = api.handle(
+            Request(
+                "POST", f"/uploads/{uploaded}/answers", json.dumps(digests).encode()
+            )
+        )
+        assert response.status == 403
+
+    def test_empty_answers_400(self, api, uploaded):
+        response = api.handle(
+            Request("POST", f"/uploads/{uploaded}/answers", b"{}")
+        )
+        assert response.status == 400
+
+    def test_surveillance_boundary(self, api, uploaded, party_context):
+        """The API's storage host only ever holds ciphertext."""
+        for pair in party_context:
+            api.storage.audit.assert_never_saw(pair.answer_bytes(), "answer")

@@ -1,0 +1,133 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["demo"],
+            ["figure", "10a"],
+            ["attacks"],
+            ["study"],
+            ["recommend", "party"],
+            ["audit", "somefile.json"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_bad_figure_panel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "10z"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--params", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "bob solved it" in out
+        assert "carol denied" in out
+        assert "never saw" in out
+
+    def test_demo_construction_2(self, capsys):
+        assert main(["demo", "--params", "toy", "--construction", "2"]) == 0
+        assert "construction 2" in capsys.readouterr().out
+
+
+class TestStudy:
+    def test_study_table(self, capsys):
+        assert main(["study", "--participants", "5", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "attendee" in out
+        assert "stranger" in out
+        assert "success" in out
+
+
+class TestRecommend:
+    def test_lists_questions(self, capsys):
+        assert main(["recommend", "meeting"]) == 0
+        out = capsys.readouterr().out
+        assert "plausible answers" in out
+        assert "codename" in out
+
+    def test_unknown_kind_errors(self, capsys):
+        assert main(["recommend", "heist"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAudit:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "ctx.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_acceptable_context(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            {
+                "k": 2,
+                "context": {
+                    "q1": "the lighthouse keeper kept seventeen parrots",
+                    "q2": "we missed the last ferry and slept on the quay",
+                },
+            },
+        )
+        assert main(["audit", path]) == 0
+        assert "acceptable" in capsys.readouterr().out
+
+    def test_weak_context_flagged(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"k": 2, "context": {"q1": "yes", "q2": "no"}})
+        assert main(["audit", path]) == 1
+        out = capsys.readouterr().out
+        assert "NOT acceptable" in out
+        assert "WEAK" in out
+
+    def test_malformed_payload(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"context": {"q1": "a"}})
+        assert main(["audit", path]) == 2
+
+
+class TestFigure:
+    def test_figure_10a_toy(self, capsys):
+        """Figure regeneration through the CLI (toy params, actual sizes,
+        so the run stays fast)."""
+        assert main(
+            ["figure", "10a", "--params", "toy", "--file-size-model", "actual"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10(a)" in out
+        assert "I1 local(ms)" in out
+        assert "I2 network(ms)" in out
+
+    def test_figure_10c_toy(self, capsys):
+        assert main(["figure", "10c", "--params", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "Tablet" in out
+
+
+class TestAttacks:
+    def test_attack_table(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "attack scenario" in out
+        assert "SUCCEEDED" in out
+        assert "failed" in out
+
+
+class TestSimulate:
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "--users", "15", "--ticks", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "shares:" in out
+        assert "false positives" in out

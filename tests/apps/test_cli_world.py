@@ -1,0 +1,103 @@
+"""Tests for the persistent-world share/solve CLI commands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CONTEXT = {
+    "Where was the reunion held?": "the botanical greenhouse",
+    "Who gave the surprise speech?": "professor okonkwo",
+    "What dessert ran out first?": "cardamom buns",
+}
+
+
+@pytest.fixture()
+def files(tmp_path):
+    context_path = tmp_path / "ctx.json"
+    context_path.write_text(json.dumps(CONTEXT))
+    answers_path = tmp_path / "ans.json"
+    answers_path.write_text(
+        json.dumps(
+            {
+                "Where was the reunion held?": "The Botanical GREENHOUSE",
+                "Who gave the surprise speech?": "professor okonkwo",
+            }
+        )
+    )
+    world_path = tmp_path / "world.json"
+    return str(world_path), str(context_path), str(answers_path)
+
+
+def _share(world, context, **kw):
+    argv = [
+        "share", "--world", world, "--sharer", "alice",
+        "--friends", "bob,carol", "--message", "reunion photo link",
+        "--context", context, "-k", "2",
+    ]
+    for key, value in kw.items():
+        argv += ["--%s" % key, str(value)]
+    return main(argv)
+
+
+class TestShareSolveAcrossInvocations:
+    def test_full_cycle(self, files, capsys):
+        world, context, answers = files
+        assert _share(world, context) == 0
+        out = capsys.readouterr().out
+        assert "shared puzzle #1" in out
+
+        code = main(
+            ["solve", "--world", world, "--viewer", "bob",
+             "--puzzle", "1", "--answers", answers, "--seed", "5"]
+        )
+        assert code == 0
+        assert "reunion photo link" in capsys.readouterr().out
+
+    def test_wrong_answers_denied(self, files, tmp_path, capsys):
+        world, context, _ = files
+        _share(world, context)
+        capsys.readouterr()
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"Where was the reunion held?": "the gym"}))
+        code = main(
+            ["solve", "--world", world, "--viewer", "carol",
+             "--puzzle", "1", "--answers", str(bad), "--seed", "5"]
+        )
+        assert code == 1
+        assert "denied" in capsys.readouterr().err
+
+    def test_construction_2_cycle(self, files, capsys):
+        world, context, answers = files
+        assert _share(world, context, construction=2) == 0
+        capsys.readouterr()
+        code = main(
+            ["solve", "--world", world, "--viewer", "bob", "--puzzle", "1",
+             "--answers", answers, "--construction", "2"]
+        )
+        assert code == 0
+        assert "reunion photo link" in capsys.readouterr().out
+
+    def test_multiple_shares_accumulate(self, files, capsys):
+        world, context, answers = files
+        _share(world, context)
+        _share(world, context)
+        out = capsys.readouterr().out
+        assert "puzzle #1" in out and "puzzle #2" in out
+        code = main(
+            ["solve", "--world", world, "--viewer", "bob",
+             "--puzzle", "2", "--answers", answers, "--seed", "5"]
+        )
+        assert code == 0
+
+    def test_unknown_viewer_errors(self, files, capsys):
+        world, context, answers = files
+        _share(world, context)
+        with pytest.raises(SystemExit):
+            main(
+                ["solve", "--world", world, "--viewer", "mallory",
+                 "--puzzle", "1", "--answers", answers]
+            )

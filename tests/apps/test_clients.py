@@ -1,0 +1,151 @@
+"""Tests for the metered application clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.clients import (
+    PAPER_I2_FILE_SIZES,
+    SocialPuzzleAppC1,
+    SocialPuzzleAppC2,
+)
+from repro.core.errors import AccessDeniedError, PuzzleParameterError
+from repro.crypto.params import TOY
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.sim.devices import PC, TABLET
+
+
+@pytest.fixture()
+def osn():
+    sp = ServiceProvider()
+    dh = StorageHost()
+    alice = sp.register_user("alice")
+    bob = sp.register_user("bob")
+    sp.befriend(alice, bob)
+    return sp, dh, alice, bob
+
+
+class TestAppC1:
+    def test_share_and_access(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC1(sp, dh)
+        share = app.share(alice, secret_object, party_context, k=2)
+        result = app.attempt_access(bob, share.puzzle_id, party_context)
+        assert result.plaintext == secret_object
+
+    def test_timing_populated(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC1(sp, dh)
+        share = app.share(alice, secret_object, party_context, k=2)
+        assert share.timing.local_s > 0
+        assert share.timing.network_s > 0
+        assert share.timing.bytes_transferred() > 0
+        result = app.attempt_access(bob, share.puzzle_id, party_context)
+        assert result.timing.local_s > 0
+        assert result.timing.network_s > 0
+
+    def test_post_created_with_link_text(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC1(sp, dh)
+        share = app.share(alice, secret_object, party_context, k=2)
+        feed = sp.feed(bob)
+        assert any(p.post_id == share.post.post_id for p in feed)
+        assert "social-puzzle" in share.post.content
+
+    def test_denied_below_threshold(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC1(sp, dh)
+        share = app.share(alice, secret_object, party_context, k=2)
+        with pytest.raises(AccessDeniedError):
+            app.attempt_access(bob, share.puzzle_id, party_context.take(1))
+
+    def test_tablet_device_allowed_and_slower(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC1(sp, dh)
+        # Take the best of three runs per device so a GC pause in one
+        # measured run cannot flip the 4.5x device-scale comparison.
+        pc_local = min(
+            app.share(alice, secret_object, party_context, k=2, device=PC)
+            .timing.local_s
+            for _ in range(3)
+        )
+        tablet_local = min(
+            app.share(alice, secret_object, party_context, k=2, device=TABLET)
+            .timing.local_s
+            for _ in range(3)
+        )
+        assert tablet_local > pc_local
+        # Network costs are modelled, hence deterministic.
+        share_pc = app.share(alice, secret_object, party_context, k=2, device=PC)
+        share_tablet = app.share(alice, secret_object, party_context, k=2, device=TABLET)
+        assert share_tablet.timing.network_s > share_pc.timing.network_s
+
+    def test_service_registered_on_provider(self, osn):
+        sp, dh, _, _ = osn
+        app = SocialPuzzleAppC1(sp, dh)
+        assert sp.service(SocialPuzzleAppC1.SERVICE_NAME) is app.service
+
+
+class TestAppC2:
+    def test_share_and_access(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC2(sp, dh, TOY)
+        share = app.share(alice, secret_object, party_context, k=2)
+        result = app.attempt_access(bob, share.puzzle_id, party_context)
+        assert result.plaintext == secret_object
+
+    def test_tablet_rejected(self, osn, party_context, secret_object):
+        sp, dh, alice, _ = osn
+        app = SocialPuzzleAppC2(sp, dh, TOY)
+        with pytest.raises(PuzzleParameterError):
+            app.share(alice, secret_object, party_context, k=2, device=TABLET)
+
+    def test_four_uploads_logged(self, osn, party_context, secret_object):
+        sp, dh, alice, _ = osn
+        app = SocialPuzzleAppC2(sp, dh, TOY)
+        link = PC.default_link()
+        app.share(alice, secret_object, party_context, k=2, link=link)
+        uploads = [t for t in link.log if t.direction == "up"]
+        # 4 cpabe files + the profile post.
+        assert len(uploads) == 5
+
+    def test_paper_file_size_model(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC2(sp, dh, TOY, file_size_model="paper")
+        share = app.share(alice, secret_object, party_context, k=2)
+        total = sum(PAPER_I2_FILE_SIZES.values())
+        assert share.timing.bytes_transferred() >= total
+        result = app.attempt_access(bob, share.puzzle_id, party_context)
+        assert result.plaintext == secret_object
+
+    def test_actual_model_much_smaller(self, osn, party_context, secret_object):
+        sp, dh, alice, _ = osn
+        app = SocialPuzzleAppC2(sp, dh, TOY, file_size_model="actual")
+        share = app.share(alice, secret_object, party_context, k=2)
+        assert share.timing.bytes_transferred() < 100_000
+
+    def test_invalid_file_size_model(self, osn):
+        sp, dh, _, _ = osn
+        with pytest.raises(ValueError):
+            SocialPuzzleAppC2(sp, dh, TOY, file_size_model="bogus")
+
+    def test_denied_below_threshold(self, osn, party_context, secret_object):
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC2(sp, dh, TOY)
+        share = app.share(alice, secret_object, party_context, k=3)
+        with pytest.raises(AccessDeniedError):
+            app.attempt_access(bob, share.puzzle_id, party_context.take(2))
+
+
+class TestI1VsI2Shape:
+    """The Figure 10(a) precondition at unit scale: with the paper's
+    file footprint, I2's sharer network delay dwarfs I1's."""
+
+    def test_network_delay_ordering(self, osn, party_context, secret_object):
+        sp, dh, alice, _ = osn
+        app1 = SocialPuzzleAppC1(sp, dh)
+        app2 = SocialPuzzleAppC2(sp, dh, TOY, file_size_model="paper")
+        share1 = app1.share(alice, secret_object, party_context, k=2)
+        share2 = app2.share(alice, secret_object, party_context, k=2)
+        assert share2.timing.network_s > 3 * share1.timing.network_s

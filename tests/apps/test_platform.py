@@ -1,0 +1,126 @@
+"""Tests for the SocialPuzzlePlatform facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.context import Context
+from repro.core.errors import AccessDeniedError
+from repro.crypto.params import TOY
+from repro.osn.provider import OsnError
+
+
+@pytest.fixture()
+def platform():
+    return SocialPuzzlePlatform(params=TOY)
+
+
+@pytest.fixture()
+def people(platform):
+    alice = platform.join("alice", city="wichita")
+    bob = platform.join("bob")
+    carol = platform.join("carol")
+    platform.befriend(alice, bob)
+    return alice, bob, carol
+
+
+class TestSharing:
+    @pytest.mark.parametrize("construction", [1, 2])
+    def test_share_solve_roundtrip(
+        self, platform, people, party_context, secret_object, construction
+    ):
+        alice, bob, _ = people
+        share = platform.share(
+            alice, secret_object, party_context, k=2, construction=construction
+        )
+        result = platform.solve(
+            bob, share, party_context, construction=construction
+        )
+        assert result.plaintext == secret_object
+
+    def test_partial_knowledge_with_deterministic_display(
+        self, platform, people, party_context, secret_object
+    ):
+        import random
+
+        alice, bob, _ = people
+        share = platform.share(alice, secret_object, party_context, k=2)
+        knowledge = party_context.take(2)
+        # Find a display subset covering the receiver's two known answers.
+        for seed in range(100):
+            rng = random.Random(seed)
+            probe = rng.randint(2, 4)
+            if probe == 4:
+                result = platform.solve(
+                    bob, share, knowledge, rng=random.Random(seed)
+                )
+                assert result.plaintext == secret_object
+                return
+        pytest.fail("no seed displayed the full question set")
+
+    def test_non_friend_blocked_by_acl(self, platform, people, party_context, secret_object):
+        alice, _, carol = people
+        share = platform.share(alice, secret_object, party_context, k=2)
+        with pytest.raises(OsnError):
+            platform.solve(carol, share, party_context)
+
+    def test_public_audience_reaches_non_friends(
+        self, platform, people, party_context, secret_object
+    ):
+        alice, _, carol = people
+        share = platform.share(
+            alice, secret_object, party_context, k=2, audience="public"
+        )
+        result = platform.solve(carol, share, party_context)
+        assert result.plaintext == secret_object
+
+    def test_friend_without_knowledge_denied(
+        self, platform, people, party_context, secret_object
+    ):
+        alice, bob, _ = people
+        share = platform.share(alice, secret_object, party_context, k=3)
+        with pytest.raises(AccessDeniedError):
+            platform.solve(bob, share, party_context.take(1))
+
+    def test_feed_shows_puzzle_posts(self, platform, people, party_context, secret_object):
+        alice, bob, _ = people
+        share = platform.share(alice, secret_object, party_context, k=2)
+        assert any(p.post_id == share.post.post_id for p in platform.feed(bob))
+
+    def test_invalid_construction(self, platform, people, party_context, secret_object):
+        alice, _, _ = people
+        with pytest.raises(ValueError):
+            platform.share(alice, secret_object, party_context, k=2, construction=3)
+
+
+class TestSignedPlatform:
+    def test_signed_puzzles_flow(self, people_context=None):
+        platform = SocialPuzzlePlatform(params=TOY, signed_puzzles=True)
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        context = Context.from_mapping(
+            {"Where did we meet?": "the roastery", "What did we order?": "cortados"}
+        )
+        share = platform.share(alice, b"memo", context, k=1)
+        result = platform.solve(bob, share, context)
+        assert result.plaintext == b"memo"
+        assert platform.bls is not None
+
+
+class TestSurveillanceAudit:
+    @pytest.mark.parametrize("construction", [1, 2])
+    def test_provider_and_storage_blind(
+        self, platform, people, party_context, secret_object, construction
+    ):
+        alice, bob, _ = people
+        share = platform.share(
+            alice, secret_object, party_context, k=2, construction=construction
+        )
+        platform.solve(bob, share, party_context, construction=construction)
+        for pair in party_context:
+            platform.provider.audit.assert_never_saw(pair.answer_bytes(), "answer")
+            platform.storage.audit.assert_never_saw(pair.answer_bytes(), "answer")
+        platform.provider.audit.assert_never_saw(secret_object, "object")
+        platform.storage.audit.assert_never_saw(secret_object, "object")

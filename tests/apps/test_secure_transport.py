@@ -1,0 +1,106 @@
+"""Tests for the secure-transport integration in the app layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.clients import SecureTransport, SocialPuzzleAppC1
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.crypto.params import TOY
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.sim.devices import PC
+
+
+@pytest.fixture()
+def secure_platform():
+    return SocialPuzzlePlatform(params=TOY, secure_transport=True)
+
+
+class TestSecureTransportCosts:
+    def test_handshake_appears_in_records(self, secure_platform, party_context, secret_object):
+        alice = secure_platform.join("alice")
+        bob = secure_platform.join("bob")
+        secure_platform.befriend(alice, bob)
+        share = secure_platform.share(alice, secret_object, party_context, k=2)
+        labels = [r.label for r in share.timing.records]
+        assert any("handshake" in label for label in labels)
+        assert any("client hello" in label for label in labels)
+
+    def test_secure_flow_costs_more_than_plain(self, party_context, secret_object):
+        plain = SocialPuzzlePlatform(params=TOY)
+        secure = SocialPuzzlePlatform(params=TOY, secure_transport=True)
+        results = {}
+        for label, platform in (("plain", plain), ("secure", secure)):
+            alice = platform.join("alice")
+            bob = platform.join("bob")
+            platform.befriend(alice, bob)
+            share = platform.share(alice, secret_object, party_context, k=2)
+            results[label] = share.timing
+        # Network and byte costs are modelled (deterministic); local time
+        # is measured and noisy, so assert the handshake appears instead
+        # of comparing two independent wall-clock samples.
+        assert results["secure"].network_s > results["plain"].network_s
+        assert (
+            results["secure"].bytes_transferred()
+            > results["plain"].bytes_transferred()
+        )
+
+    def test_functionality_unchanged(self, secure_platform, party_context, secret_object):
+        alice = secure_platform.join("alice")
+        bob = secure_platform.join("bob")
+        secure_platform.befriend(alice, bob)
+        for construction in (1, 2):
+            share = secure_platform.share(
+                alice, secret_object, party_context, k=2, construction=construction
+            )
+            result = secure_platform.solve(
+                bob, share, party_context, construction=construction,
+                rng=random.Random(0) if construction == 1 else None,
+            )
+            assert result.plaintext == secret_object
+
+    def test_per_record_overhead_charged(self, party_context, secret_object):
+        """Each request grows by the record framing (sequence + tag)."""
+        provider_plain, provider_secure = ServiceProvider(), ServiceProvider()
+        storage_plain, storage_secure = StorageHost(), StorageHost()
+        plain_app = SocialPuzzleAppC1(provider_plain, storage_plain)
+        secure_app = SocialPuzzleAppC1(
+            provider_secure, storage_secure, transport=SecureTransport(TOY)
+        )
+        alice_p = provider_plain.register_user("alice")
+        alice_s = provider_secure.register_user("alice")
+        share_p = plain_app.share(alice_p, secret_object, party_context, k=2, device=PC)
+        share_s = secure_app.share(alice_s, secret_object, party_context, k=2, device=PC)
+        plain_uploads = [
+            r for r in share_p.timing.records if r.kind == "network"
+        ]
+        secure_uploads = [
+            r
+            for r in share_s.timing.records
+            if r.kind == "network" and "secure-channel" not in r.label
+        ]
+        assert len(plain_uploads) == len(secure_uploads)
+        # Variable-size payloads (fresh random shares) differ by a byte or
+        # two between independent runs; the fixed-size hyperlink post pins
+        # the exact +40 (seq 8 + tag 32), the rest bound it.
+        post_p = next(r for r in plain_uploads if "hyperlink" in r.label)
+        post_s = next(r for r in secure_uploads if "hyperlink" in r.label)
+        assert post_s.num_bytes == post_p.num_bytes + 40
+        for p, s in zip(plain_uploads, secure_uploads):
+            assert abs(s.num_bytes - (p.num_bytes + 40)) <= 4
+
+
+class TestSecureTransportObject:
+    def test_reusable_across_sessions(self):
+        from repro.sim.devices import PC
+        from repro.sim.timing import CostMeter
+
+        transport = SecureTransport(TOY)
+        meter_a = CostMeter(PC, PC.default_link())
+        meter_b = CostMeter(PC, PC.default_link())
+        assert transport.open_session(meter_a) == 40
+        assert transport.open_session(meter_b) == 40
+        assert meter_a.report().local_s > 0

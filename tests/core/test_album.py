@@ -1,0 +1,151 @@
+"""Tests for multi-object albums behind one puzzle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.album import AlbumManifest, AlbumReceiver, AlbumSharer
+from repro.core.construction1 import PuzzleServiceC1, ReceiverC1, SharerC1
+from repro.core.errors import (
+    AccessDeniedError,
+    PuzzleParameterError,
+    TamperDetectedError,
+)
+from repro.osn.storage import StorageHost
+
+ITEMS = {
+    "sunrise.jpg": b"<jpeg bytes: sunrise over the jetty>",
+    "group-photo.jpg": b"<jpeg bytes: everyone on the deck>",
+    "toast.mp4": b"<mp4 bytes: the toast that went wrong>" * 10,
+}
+
+
+@pytest.fixture()
+def world(party_context):
+    storage = StorageHost()
+    sharer = AlbumSharer(SharerC1("curator", storage))
+    service = PuzzleServiceC1()
+    puzzle = sharer.upload_album(ITEMS, party_context, k=2, n=4)
+    puzzle_id = service.store_puzzle(puzzle)
+    receiver = AlbumReceiver(ReceiverC1("viewer", storage))
+    return storage, service, puzzle, puzzle_id, receiver
+
+
+def _solve(service, receiver, puzzle_id, knowledge, seed=0):
+    displayed = service.display_puzzle(puzzle_id, rng=random.Random(seed))
+    answers = receiver.receiver.answer_puzzle(displayed, knowledge)
+    release = service.verify(answers)
+    return receiver.open_album(release, displayed, knowledge)
+
+
+class TestManifest:
+    def test_roundtrip(self):
+        manifest = AlbumManifest(items=(("a.jpg", "dh://x/1"), ("b.jpg", "dh://x/2")))
+        assert AlbumManifest.from_bytes(manifest.to_bytes()) == manifest
+
+    def test_lookup(self):
+        manifest = AlbumManifest(items=(("a.jpg", "dh://x/1"),))
+        assert manifest.url_for("a.jpg") == "dh://x/1"
+        with pytest.raises(KeyError):
+            manifest.url_for("missing.jpg")
+
+
+class TestAlbumFlow:
+    def test_one_puzzle_unlocks_all_items(self, world, party_context):
+        _, service, _, puzzle_id, receiver = world
+        manifest = _solve(service, receiver, puzzle_id, party_context)
+        assert set(manifest.titles()) == set(ITEMS)
+        assert receiver.fetch_all() == ITEMS
+
+    def test_single_item_fetch(self, world, party_context):
+        _, service, _, puzzle_id, receiver = world
+        _solve(service, receiver, puzzle_id, party_context)
+        assert receiver.fetch_item("toast.mp4") == ITEMS["toast.mp4"]
+
+    def test_fetch_before_open_rejected(self, world):
+        _, _, _, _, receiver = world
+        with pytest.raises(PuzzleParameterError):
+            receiver.fetch_item("sunrise.jpg")
+        with pytest.raises(PuzzleParameterError):
+            receiver.fetch_all()
+
+    def test_below_threshold_denied(self, world, party_context):
+        _, service, _, puzzle_id, receiver = world
+        displayed = service.display_puzzle(puzzle_id, rng=random.Random(0))
+        answers = receiver.receiver.answer_puzzle(displayed, party_context.take(1))
+        with pytest.raises(AccessDeniedError):
+            service.verify(answers)
+
+    def test_each_item_stored_encrypted(self, world):
+        storage, *_ = world
+        for content in ITEMS.values():
+            assert not storage.audit.saw(content)
+
+    def test_item_keys_independent(self, world, party_context):
+        """Decrypting one item with another's key must fail — keys are
+        domain-separated per title."""
+        storage, service, _, puzzle_id, receiver = world
+        manifest = _solve(service, receiver, puzzle_id, party_context)
+        from repro.core.album import _album_key
+        from repro.crypto import gibberish
+
+        blob = storage.get(manifest.url_for("sunrise.jpg"))
+        wrong_key = _album_key(receiver._secret, b"group-photo.jpg")
+        with pytest.raises(ValueError):
+            gibberish.decrypt(blob, wrong_key)
+
+    def test_tampered_item_detected(self, world, party_context):
+        storage, service, _, puzzle_id, receiver = world
+        manifest = _solve(service, receiver, puzzle_id, party_context)
+        storage.tamper(manifest.url_for("sunrise.jpg"), b"garbage")
+        with pytest.raises(TamperDetectedError):
+            receiver.fetch_item("sunrise.jpg")
+
+    def test_tampered_manifest_detected(self, world, party_context):
+        storage, service, puzzle, puzzle_id, receiver = world
+        storage.tamper(puzzle.url, b"garbage")
+        with pytest.raises(TamperDetectedError):
+            _solve(service, receiver, puzzle_id, party_context)
+
+
+class TestValidation:
+    def test_empty_album_rejected(self, party_context):
+        sharer = AlbumSharer(SharerC1("c", StorageHost()))
+        with pytest.raises(PuzzleParameterError):
+            sharer.upload_album({}, party_context, k=2, n=4)
+
+    def test_blank_title_rejected(self, party_context):
+        sharer = AlbumSharer(SharerC1("c", StorageHost()))
+        with pytest.raises(PuzzleParameterError):
+            sharer.upload_album({"  ": b"x"}, party_context, k=2, n=4)
+
+    def test_threshold_one_album(self, party_context):
+        storage = StorageHost()
+        sharer = AlbumSharer(SharerC1("c", storage))
+        service = PuzzleServiceC1()
+        puzzle = sharer.upload_album({"only.txt": b"data"}, party_context, k=1, n=2)
+        puzzle_id = service.store_puzzle(puzzle)
+        receiver = AlbumReceiver(ReceiverC1("v", storage))
+        manifest = _solve(service, receiver, puzzle_id, party_context, seed=1)
+        assert receiver.fetch_item("only.txt") == b"data"
+
+
+class TestUploadWithPolynomial:
+    def test_wrong_degree_rejected(self, party_context):
+        from repro.crypto.polynomial import Polynomial
+
+        sharer = SharerC1("s", StorageHost())
+        wrong = Polynomial.random(sharer.field, 4)  # degree 4, k=2 needs 1
+        with pytest.raises(PuzzleParameterError):
+            sharer.upload_with_polynomial(b"enc", party_context, 2, 4, wrong)
+
+    def test_wrong_field_rejected(self, party_context):
+        from repro.crypto.field import PrimeField
+        from repro.crypto.polynomial import Polynomial
+
+        sharer = SharerC1("s", StorageHost())
+        foreign = Polynomial.random(PrimeField(2**61 - 1), 1)
+        with pytest.raises(PuzzleParameterError):
+            sharer.upload_with_polynomial(b"enc", party_context, 2, 4, foreign)

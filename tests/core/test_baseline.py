@@ -1,0 +1,81 @@
+"""Tests for the baseline schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import StaticAclScheme, TrivialContextScheme
+from repro.core.context import Context, QAPair
+from repro.core.errors import AccessDeniedError
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+
+
+class TestTrivialContextScheme:
+    def test_full_knowledge_succeeds(self, party_context, secret_object):
+        scheme = TrivialContextScheme(StorageHost())
+        url = scheme.share(secret_object, party_context)
+        assert scheme.access(url, party_context) == secret_object
+
+    def test_partial_knowledge_fails(self, party_context, secret_object):
+        """The paper's argument against the trivial scheme: receivers who
+        know most-but-not-all context are locked out."""
+        scheme = TrivialContextScheme(StorageHost())
+        url = scheme.share(secret_object, party_context)
+        with pytest.raises(AccessDeniedError):
+            scheme.access(url, party_context.take(3))
+
+    def test_one_wrong_answer_fails(self, party_context, secret_object):
+        scheme = TrivialContextScheme(StorageHost())
+        url = scheme.share(secret_object, party_context)
+        pairs = list(party_context.pairs)
+        pairs[-1] = QAPair(pairs[-1].question, "misremembered")
+        with pytest.raises(AccessDeniedError):
+            scheme.access(url, Context(pairs))
+
+    def test_normalization_applies(self, party_context, secret_object):
+        scheme = TrivialContextScheme(StorageHost())
+        url = scheme.share(secret_object, party_context)
+        shouty = Context(
+            QAPair(p.question, p.answer.upper()) for p in party_context
+        )
+        assert scheme.access(url, shouty) == secret_object
+
+    def test_object_encrypted_at_rest(self, party_context, secret_object):
+        storage = StorageHost()
+        scheme = TrivialContextScheme(storage)
+        url = scheme.share(secret_object, party_context)
+        assert secret_object not in storage.get(url)
+
+
+class TestStaticAclScheme:
+    def test_acl_member_reads(self):
+        sp = ServiceProvider()
+        alice = sp.register_user("alice")
+        bob = sp.register_user("bob")
+        sp.befriend(alice, bob)
+        scheme = StaticAclScheme(sp)
+        post_id = scheme.share(alice, b"plain post", [bob])
+        assert scheme.access(bob, post_id) == b"plain post"
+
+    def test_non_member_denied(self):
+        sp = ServiceProvider()
+        alice = sp.register_user("alice")
+        bob = sp.register_user("bob")
+        carol = sp.register_user("carol")
+        sp.befriend(alice, bob)
+        sp.befriend(alice, carol)
+        scheme = StaticAclScheme(sp)
+        post_id = scheme.share(alice, b"plain post", [bob])
+        with pytest.raises(AccessDeniedError):
+            scheme.access(carol, post_id)
+
+    def test_no_surveillance_resistance(self):
+        """The executable contrast with social puzzles: the SP's audit
+        trail contains the plaintext."""
+        sp = ServiceProvider()
+        alice = sp.register_user("alice")
+        bob = sp.register_user("bob")
+        sp.befriend(alice, bob)
+        StaticAclScheme(sp).share(alice, b"totally visible to the SP", [bob])
+        assert sp.audit.saw(b"totally visible to the SP")

@@ -1,0 +1,122 @@
+"""Tests for the context model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.context import Context, QAPair, normalize_answer
+from repro.core.errors import PuzzleParameterError
+
+
+class TestNormalization:
+    def test_case_folding(self):
+        assert normalize_answer("Lake Tahoe") == "lake tahoe"
+        assert normalize_answer("LAKE TAHOE") == "lake tahoe"
+
+    def test_whitespace_collapse(self):
+        assert normalize_answer("  lake \t tahoe \n") == "lake tahoe"
+
+    def test_unicode_nfkc(self):
+        # Full-width characters normalize to ASCII under NFKC.
+        assert normalize_answer("Ｌａｋｅ") == "lake"
+
+    def test_german_sharp_s(self):
+        # casefold maps ß -> ss, so receivers typing either form match.
+        assert normalize_answer("Straße") == normalize_answer("STRASSE")
+
+    @given(st.text(min_size=0, max_size=50))
+    def test_idempotent(self, text):
+        once = normalize_answer(text)
+        assert normalize_answer(once) == once
+
+
+class TestQAPair:
+    def test_matches_normalized(self):
+        pair = QAPair("Where?", "Lake Tahoe")
+        assert pair.matches("lake tahoe")
+        assert pair.matches(" LAKE  TAHOE ")
+        assert not pair.matches("lake placid")
+
+    def test_answer_bytes(self):
+        assert QAPair("Q?", "Ans Wer").answer_bytes() == b"ans wer"
+
+    def test_empty_question_rejected(self):
+        with pytest.raises(PuzzleParameterError):
+            QAPair("  ", "answer")
+
+    def test_empty_answer_rejected(self):
+        with pytest.raises(PuzzleParameterError):
+            QAPair("Q?", "   ")
+
+    def test_frozen(self):
+        pair = QAPair("Q?", "a")
+        with pytest.raises(AttributeError):
+            pair.answer = "b"  # type: ignore[misc]
+
+
+class TestContext:
+    def _ctx(self):
+        return Context.from_mapping({"q1": "a1", "q2": "a2", "q3": "a3"})
+
+    def test_from_mapping_preserves_order(self):
+        ctx = self._ctx()
+        assert ctx.questions == ["q1", "q2", "q3"]
+
+    def test_len_iter_getitem(self):
+        ctx = self._ctx()
+        assert len(ctx) == 3
+        assert [p.question for p in ctx] == ["q1", "q2", "q3"]
+        assert ctx[1].answer == "a2"
+
+    def test_answer_for(self):
+        ctx = self._ctx()
+        assert ctx.answer_for("q2") == "a2"
+        with pytest.raises(KeyError):
+            ctx.answer_for("q9")
+
+    def test_knows(self):
+        ctx = self._ctx()
+        assert ctx.knows("q1")
+        assert not ctx.knows("q9")
+
+    def test_subset(self):
+        ctx = self._ctx()
+        sub = ctx.subset(["q3", "q1"])
+        assert sub.questions == ["q3", "q1"]
+        assert sub.answer_for("q1") == "a1"
+
+    def test_subset_unknown_question(self):
+        with pytest.raises(KeyError):
+            self._ctx().subset(["q9"])
+
+    def test_take(self):
+        ctx = self._ctx()
+        assert ctx.take(2).questions == ["q1", "q2"]
+        with pytest.raises(PuzzleParameterError):
+            ctx.take(0)
+        with pytest.raises(PuzzleParameterError):
+            ctx.take(4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PuzzleParameterError):
+            Context([])
+
+    def test_duplicate_questions_rejected(self):
+        with pytest.raises(PuzzleParameterError):
+            Context([QAPair("q", "a"), QAPair("q", "b")])
+
+    def test_as_mapping_roundtrip(self):
+        ctx = self._ctx()
+        assert Context.from_mapping(ctx.as_mapping()) == ctx
+
+    def test_equality_and_hash(self):
+        assert self._ctx() == self._ctx()
+        assert hash(self._ctx()) == hash(self._ctx())
+        assert self._ctx() != Context.from_mapping({"q1": "a1"})
+
+    def test_immutability(self):
+        ctx = self._ctx()
+        with pytest.raises(AttributeError):
+            ctx.pairs = ()

@@ -1,0 +1,119 @@
+"""Tests for answer-strength auditing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.context import Context
+from repro.core.entropy import (
+    audit_puzzle_strength,
+    estimate_answer_entropy_bits,
+)
+
+
+class TestEntropyEstimates:
+    def test_common_answers_are_weak(self):
+        for answer in ("yes", "RED", " Monday ", "pizza"):
+            assert estimate_answer_entropy_bits(answer) < 8
+
+    def test_longer_answers_are_stronger(self):
+        short = estimate_answer_entropy_bits("okapi")
+        longer = estimate_answer_entropy_bits("the okapi at the houston zoo")
+        assert longer > short
+
+    def test_vocabulary_size_overrides(self):
+        assert estimate_answer_entropy_bits("anything", vocabulary_size=1024) == 10.0
+        assert estimate_answer_entropy_bits("anything", vocabulary_size=2) == 1.0
+
+    def test_bad_vocabulary_size(self):
+        with pytest.raises(ValueError):
+            estimate_answer_entropy_bits("x", vocabulary_size=0)
+
+    def test_empty_answer_zero(self):
+        assert estimate_answer_entropy_bits("   ") == 0.0
+
+    def test_digits_cheaper_than_letters(self):
+        assert estimate_answer_entropy_bits("12345678") < estimate_answer_entropy_bits(
+            "stuvwxyz"
+        )
+
+    def test_long_answers_damped(self):
+        thirty = estimate_answer_entropy_bits("q" * 30)
+        sixty = estimate_answer_entropy_bits("q" * 60)
+        assert sixty > thirty
+        assert sixty - thirty < 2.0 * 30  # damped below raw per-char rate
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_non_negative_and_finite(self, answer):
+        bits = estimate_answer_entropy_bits(answer)
+        assert bits >= 0
+        assert math.isfinite(bits)
+
+    def test_normalization_applied(self):
+        assert estimate_answer_entropy_bits("YES") == estimate_answer_entropy_bits(
+            "yes"
+        )
+
+
+class TestPuzzleAudit:
+    def _strong_context(self):
+        return Context.from_mapping(
+            {
+                "q1": "marguerite delacroix brought the hibiscus punch",
+                "q2": "we watched the meteor shower from the jetty",
+                "q3": "teodoro quoted the entire navigation manual",
+            }
+        )
+
+    def _weak_context(self):
+        return Context.from_mapping({"q1": "yes", "q2": "red", "q3": "pizza"})
+
+    def test_strong_context_acceptable(self):
+        report = audit_puzzle_strength(self._strong_context(), k=2)
+        assert report.acceptable
+        assert report.attack_cost_bits > 40
+        assert not any(a.weak for a in report.answers)
+
+    def test_weak_context_flagged(self):
+        report = audit_puzzle_strength(self._weak_context(), k=2)
+        assert not report.acceptable
+        assert all(a.weak for a in report.answers)
+        assert any("dictionary attack" in w for w in report.warnings)
+
+    def test_attack_cost_uses_k_weakest(self):
+        mixed = Context.from_mapping(
+            {
+                "weak": "yes",
+                "strong1": "the lighthouse keeper letters",
+                "strong2": "a flock of seventeen flamingos",
+            }
+        )
+        k1 = audit_puzzle_strength(mixed, k=1)
+        k2 = audit_puzzle_strength(mixed, k=2)
+        assert k1.attack_cost_bits < k2.attack_cost_bits
+        # k=1 cost equals the single weakest answer's entropy.
+        weakest = min(a.entropy_bits for a in k1.answers)
+        assert k1.attack_cost_bits == pytest.approx(weakest)
+
+    def test_vocabulary_sizes_respected(self):
+        context = Context.from_mapping({"q1": "anything goes here today"})
+        report = audit_puzzle_strength(
+            context, k=1, vocabulary_sizes={"q1": 8}
+        )
+        assert report.answers[0].entropy_bits == 3.0
+        assert not report.acceptable
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            audit_puzzle_strength(self._strong_context(), k=0)
+        with pytest.raises(ValueError):
+            audit_puzzle_strength(self._strong_context(), k=4)
+
+    def test_report_is_immutable_record(self):
+        report = audit_puzzle_strength(self._strong_context(), k=1)
+        assert isinstance(report.answers, tuple)
+        assert isinstance(report.warnings, tuple)

@@ -1,0 +1,184 @@
+"""Tests for the puzzle object Z_O and share blinding."""
+
+from __future__ import annotations
+
+import secrets
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import PuzzleParameterError
+from repro.core.puzzle import Puzzle, PuzzleEntry, blind_share, unblind_share
+from repro.crypto.bls import BlsScheme
+from repro.crypto.field import PrimeField
+from repro.crypto.mac import keyed_hash
+from repro.crypto.params import TOY
+from repro.crypto.shamir import Share
+
+F = PrimeField(2**61 - 1)
+
+
+def make_puzzle(n=4, k=2, signed=False):
+    puzzle_key = b"\x11" * 16
+    entries = []
+    for i in range(n):
+        answer = b"answer-%d" % i
+        share = Share(x=i + 1, y=secrets.randbelow(F.p))
+        entries.append(
+            PuzzleEntry(
+                question="question-%d" % i,
+                answer_digest=keyed_hash(answer, puzzle_key),
+                share_x=share.x,
+                blinded_share=blind_share(share, F, answer, puzzle_key, i),
+            )
+        )
+    puzzle = Puzzle(
+        entries=tuple(entries),
+        k=k,
+        puzzle_key=puzzle_key,
+        url="dh://test/1",
+        sharer_name="tester",
+    )
+    if signed:
+        scheme = BlsScheme(TOY)
+        keys = scheme.keygen()
+        return puzzle.sign(scheme, keys.secret, keys.public), scheme
+    return puzzle
+
+
+class TestBlinding:
+    @given(st.integers(0, F.p - 1), st.binary(min_size=1, max_size=30), st.integers(0, 10))
+    def test_roundtrip(self, y, answer, index):
+        key = b"puzzle-key"
+        share = Share(x=5, y=y)
+        blinded = blind_share(share, F, answer, key, index)
+        recovered = unblind_share(5, blinded, F, answer, key, index)
+        assert recovered == share
+
+    def test_wrong_answer_garbles(self):
+        share = Share(x=1, y=12345)
+        blinded = blind_share(share, F, b"right", b"k", 0)
+        wrong = unblind_share(1, blinded, F, b"wrong", b"k", 0)
+        assert wrong != share
+
+    def test_wrong_index_garbles(self):
+        share = Share(x=1, y=12345)
+        blinded = blind_share(share, F, b"ans", b"k", 0)
+        assert unblind_share(1, blinded, F, b"ans", b"k", 1) != share
+
+    def test_wrong_puzzle_key_garbles(self):
+        share = Share(x=1, y=12345)
+        blinded = blind_share(share, F, b"ans", b"k1", 0)
+        assert unblind_share(1, blinded, F, b"ans", b"k2", 0) != share
+
+    def test_blinded_width_is_field_width(self):
+        share = Share(x=1, y=1)
+        assert len(blind_share(share, F, b"a", b"k", 0)) == F.byte_length
+
+
+class TestPuzzleValidation:
+    def test_valid(self):
+        puzzle = make_puzzle()
+        assert puzzle.n == 4
+        assert puzzle.k == 2
+        assert len(puzzle.questions) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(PuzzleParameterError):
+            Puzzle(entries=(), k=1, puzzle_key=b"k", url="u")
+
+    def test_k_out_of_range(self):
+        puzzle = make_puzzle()
+        with pytest.raises(PuzzleParameterError):
+            Puzzle(entries=puzzle.entries, k=5, puzzle_key=b"k", url="u")
+        with pytest.raises(PuzzleParameterError):
+            Puzzle(entries=puzzle.entries, k=0, puzzle_key=b"k", url="u")
+
+    def test_duplicate_questions_rejected(self):
+        entry = make_puzzle().entries[0]
+        with pytest.raises(PuzzleParameterError):
+            Puzzle(entries=(entry, entry), k=1, puzzle_key=b"k", url="u")
+
+    def test_entry_lookup(self):
+        puzzle = make_puzzle()
+        assert puzzle.entry_for("question-2").question == "question-2"
+        with pytest.raises(KeyError):
+            puzzle.entry_for("nope")
+
+
+class TestVerification:
+    def test_verify_response(self):
+        puzzle = make_puzzle()
+        good = Puzzle.response_digest(b"answer-1", puzzle.puzzle_key)
+        bad = Puzzle.response_digest(b"wrong", puzzle.puzzle_key)
+        assert puzzle.verify_response("question-1", good)
+        assert not puzzle.verify_response("question-1", bad)
+
+    def test_digest_is_keyed(self):
+        assert Puzzle.response_digest(b"a", b"k1") != Puzzle.response_digest(b"a", b"k2")
+
+
+class TestWireEncoding:
+    def test_roundtrip(self):
+        puzzle = make_puzzle()
+        assert Puzzle.from_bytes(puzzle.to_bytes()) == puzzle
+
+    def test_roundtrip_signed(self):
+        puzzle, scheme = make_puzzle(signed=True)
+        decoded = Puzzle.from_bytes(puzzle.to_bytes())
+        assert decoded == puzzle
+        assert decoded.verify_signature(scheme)
+
+    def test_byte_size_grows_with_n(self):
+        assert make_puzzle(n=8, k=2).byte_size() > make_puzzle(n=2, k=2).byte_size()
+
+    def test_truncated_rejected(self):
+        data = make_puzzle().to_bytes()
+        with pytest.raises(ValueError):
+            Puzzle.from_bytes(data[:-3])
+
+
+class TestSignatures:
+    def test_unsigned_never_verifies(self):
+        puzzle = make_puzzle()
+        assert not puzzle.verify_signature(BlsScheme(TOY))
+
+    def test_signed_verifies(self):
+        puzzle, scheme = make_puzzle(signed=True)
+        assert puzzle.verify_signature(scheme)
+
+    def test_tampered_url_detected(self):
+        from dataclasses import replace
+
+        puzzle, scheme = make_puzzle(signed=True)
+        tampered = replace(puzzle, url="dh://evil/1")
+        assert not tampered.verify_signature(scheme)
+
+    def test_tampered_key_detected(self):
+        from dataclasses import replace
+
+        puzzle, scheme = make_puzzle(signed=True)
+        tampered = replace(puzzle, puzzle_key=b"\x22" * 16)
+        assert not tampered.verify_signature(scheme)
+
+    def test_tampered_entry_detected(self):
+        from dataclasses import replace
+
+        puzzle, scheme = make_puzzle(signed=True)
+        entries = list(puzzle.entries)
+        entries[0] = PuzzleEntry(
+            question="swapped question?",
+            answer_digest=entries[0].answer_digest,
+            share_x=entries[0].share_x,
+            blinded_share=entries[0].blinded_share,
+        )
+        tampered = replace(puzzle, entries=tuple(entries))
+        assert not tampered.verify_signature(scheme)
+
+    def test_garbage_signature_bytes(self):
+        from dataclasses import replace
+
+        puzzle, scheme = make_puzzle(signed=True)
+        tampered = replace(puzzle, signature=b"\x99" * 10)
+        assert not tampered.verify_signature(scheme)

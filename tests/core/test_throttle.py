@@ -1,0 +1,150 @@
+"""Tests for online-guessing throttling."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.construction1 import ReceiverC1, SharerC1
+from repro.core.context import Context, QAPair
+from repro.core.errors import AccessDeniedError
+from repro.core.throttle import ThrottledError, ThrottledPuzzleServiceC1
+from repro.osn.storage import StorageHost
+
+
+@pytest.fixture()
+def world(party_context, secret_object):
+    storage = StorageHost()
+    sharer = SharerC1("s", storage)
+    service = ThrottledPuzzleServiceC1(max_failures=3)
+    puzzle_id = service.store_puzzle(
+        sharer.upload(secret_object, party_context, k=2, n=4)
+    )
+    receiver = ReceiverC1("r", storage)
+    return storage, service, puzzle_id, receiver
+
+
+def _attempt(service, receiver, puzzle_id, knowledge, requester, seed=0):
+    displayed = service.display_puzzle(puzzle_id, rng=random.Random(seed))
+    answers = receiver.answer_puzzle(displayed, knowledge)
+    return service.verify(answers, requester=requester), displayed
+
+
+class TestThrottling:
+    def test_lockout_after_max_failures(self, world, party_context):
+        _, service, puzzle_id, receiver = world
+        wrong = Context(
+            QAPair(p.question, "wrong-" + p.answer) for p in party_context
+        )
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                _attempt(service, receiver, puzzle_id, wrong, "mallory")
+        with pytest.raises(ThrottledError):
+            _attempt(service, receiver, puzzle_id, wrong, "mallory")
+        assert service.is_locked(puzzle_id, "mallory")
+
+    def test_lockout_blocks_even_correct_answers(self, world, party_context):
+        """Once locked, the budget is spent — knowing the answers later
+        does not help (until the sharer unlocks)."""
+        _, service, puzzle_id, receiver = world
+        wrong = Context(
+            QAPair(p.question, "nope " + p.answer) for p in party_context
+        )
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                _attempt(service, receiver, puzzle_id, wrong, "mallory")
+        with pytest.raises(ThrottledError):
+            _attempt(service, receiver, puzzle_id, party_context, "mallory")
+
+    def test_success_resets_counter(self, world, party_context):
+        _, service, puzzle_id, receiver = world
+        wrong = Context(
+            QAPair(p.question, "oops " + p.answer) for p in party_context
+        )
+        for _ in range(2):
+            with pytest.raises(AccessDeniedError):
+                _attempt(service, receiver, puzzle_id, wrong, "bob")
+        assert service.failures_for(puzzle_id, "bob") == 2
+        _attempt(service, receiver, puzzle_id, party_context, "bob")
+        assert service.failures_for(puzzle_id, "bob") == 0
+
+    def test_budgets_are_per_requester(self, world, party_context):
+        _, service, puzzle_id, receiver = world
+        wrong = Context(
+            QAPair(p.question, "bad " + p.answer) for p in party_context
+        )
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                _attempt(service, receiver, puzzle_id, wrong, "mallory")
+        # Bob is unaffected by mallory's lockout.
+        release, displayed = _attempt(
+            service, receiver, puzzle_id, party_context, "bob"
+        )
+        assert release.url
+
+    def test_budgets_are_per_puzzle(self, world, party_context, secret_object):
+        storage, service, puzzle_id, receiver = world
+        sharer = SharerC1("s2", storage)
+        other_id = service.store_puzzle(
+            sharer.upload(secret_object, party_context, k=2, n=4)
+        )
+        wrong = Context(
+            QAPair(p.question, "bad " + p.answer) for p in party_context
+        )
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                _attempt(service, receiver, puzzle_id, wrong, "mallory")
+        # Same requester, different puzzle: fresh budget.
+        with pytest.raises(AccessDeniedError):
+            _attempt(service, receiver, other_id, wrong, "mallory")
+
+    def test_unlock(self, world, party_context):
+        _, service, puzzle_id, receiver = world
+        wrong = Context(
+            QAPair(p.question, "bad " + p.answer) for p in party_context
+        )
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                _attempt(service, receiver, puzzle_id, wrong, "mallory")
+        service.unlock(puzzle_id, "mallory")
+        assert not service.is_locked(puzzle_id, "mallory")
+        release, _ = _attempt(service, receiver, puzzle_id, party_context, "mallory")
+        assert release.url
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            ThrottledPuzzleServiceC1(max_failures=0)
+
+
+class TestOnlineBruteForceDefeated:
+    def test_vocabulary_attack_exhausts_budget(self, secret_object):
+        """An online guesser with a small per-question vocabulary would
+        eventually hit the right combination — throttling stops it after
+        max_failures tries."""
+        context = Context.from_mapping(
+            {"q1": "zeta", "q2": "omicron"}  # tiny 'memorable' answers
+        )
+        storage = StorageHost()
+        sharer = SharerC1("s", storage)
+        service = ThrottledPuzzleServiceC1(max_failures=4)
+        puzzle_id = service.store_puzzle(sharer.upload(secret_object, context, k=2, n=2))
+        receiver = ReceiverC1("attacker", storage)
+
+        vocabulary = ["alpha", "beta", "gamma", "zeta", "omicron", "sigma"]
+        attempts = 0
+        cracked = False
+        for guess1, guess2 in itertools.product(vocabulary, repeat=2):
+            guess = Context.from_mapping({"q1": guess1, "q2": guess2})
+            attempts += 1
+            try:
+                _attempt(service, receiver, puzzle_id, guess, "attacker", seed=1)
+                cracked = True
+                break
+            except AccessDeniedError:
+                continue
+            except ThrottledError:
+                break
+        assert not cracked
+        assert attempts <= 5  # 4 failures + the throttled attempt

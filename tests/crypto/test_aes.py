@@ -1,0 +1,119 @@
+"""Tests for the from-scratch AES against FIPS-197 vectors and the
+installed `cryptography` package as an independent oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+
+try:
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover
+    HAVE_CRYPTOGRAPHY = False
+
+
+class TestSbox:
+    def test_known_entries(self):
+        """Spot values straight from FIPS-197 figure 7."""
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+            assert SBOX[INV_SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[value] != value for value in range(256))
+
+
+class TestFips197Vectors:
+    def test_aes128_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        cipher = AES(key)
+        assert cipher.encrypt_block(plaintext) == expected
+        assert cipher.decrypt_block(expected) == plaintext
+
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        cipher = AES(key)
+        assert cipher.encrypt_block(plaintext) == expected
+        assert cipher.decrypt_block(expected) == plaintext
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        cipher = AES(key)
+        assert cipher.encrypt_block(plaintext) == expected
+        assert cipher.decrypt_block(expected) == plaintext
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length(self):
+        cipher = AES(b"\x00" * 16)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"\x00" * 15)
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"\x00" * 17)
+
+    def test_round_counts(self):
+        assert AES(b"\x00" * 16).rounds == 10
+        assert AES(b"\x00" * 24).rounds == 12
+        assert AES(b"\x00" * 32).rounds == 14
+
+
+class TestRoundTrips:
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.sampled_from([16, 24, 32]),
+        st.data(),
+    )
+    def test_decrypt_inverts_encrypt(self, block, key_size, data):
+        key = data.draw(st.binary(min_size=key_size, max_size=key_size))
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = b"\x00" * 16
+        assert AES(b"\x01" * 16).encrypt_block(block) != AES(b"\x02" * 16).encrypt_block(block)
+
+
+@pytest.mark.skipif(not HAVE_CRYPTOGRAPHY, reason="cryptography not installed")
+class TestAgainstCryptographyOracle:
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.sampled_from([16, 24, 32]),
+        st.data(),
+    )
+    def test_single_block_ecb(self, block, key_size, data):
+        key = data.draw(st.binary(min_size=key_size, max_size=key_size))
+        reference = Cipher(algorithms.AES(key), modes.ECB()).encryptor()
+        expected = reference.update(block) + reference.finalize()
+        assert AES(key).encrypt_block(block) == expected

@@ -1,0 +1,106 @@
+"""Tests for BLS signatures over the type-A pairing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.bls import BlsScheme
+from repro.crypto.params import TOY
+
+SCHEME = BlsScheme(TOY)
+KEYS = SCHEME.keygen()
+
+
+class TestSignVerify:
+    @given(st.binary(max_size=200))
+    def test_roundtrip(self, message):
+        signature = SCHEME.sign(KEYS.secret, message)
+        assert SCHEME.verify(KEYS.public, message, signature)
+
+    def test_wrong_message_rejected(self):
+        signature = SCHEME.sign(KEYS.secret, b"original")
+        assert not SCHEME.verify(KEYS.public, b"forged", signature)
+
+    def test_wrong_key_rejected(self):
+        other = SCHEME.keygen()
+        signature = SCHEME.sign(KEYS.secret, b"message")
+        assert not SCHEME.verify(other.public, b"message", signature)
+
+    def test_signature_determinism(self):
+        """BLS is deterministic: same key + message -> same signature."""
+        assert SCHEME.sign(KEYS.secret, b"m") == SCHEME.sign(KEYS.secret, b"m")
+
+    def test_tampered_signature_rejected(self):
+        signature = SCHEME.sign(KEYS.secret, b"message")
+        tampered = signature * 2
+        assert not SCHEME.verify(KEYS.public, b"message", tampered)
+
+    def test_infinity_signature_rejected(self):
+        assert not SCHEME.verify(KEYS.public, b"message", TOY.infinity())
+
+    def test_empty_message(self):
+        signature = SCHEME.sign(KEYS.secret, b"")
+        assert SCHEME.verify(KEYS.public, b"", signature)
+
+
+class TestKeygen:
+    def test_keys_are_distinct(self):
+        a, b = SCHEME.keygen(), SCHEME.keygen()
+        assert a.secret != b.secret
+        assert a.public != b.public
+
+    def test_public_matches_secret(self):
+        pair = SCHEME.keygen()
+        assert pair.public == SCHEME.generator * pair.secret
+
+    def test_secret_in_range(self):
+        pair = SCHEME.keygen()
+        assert 0 < pair.secret < TOY.r
+
+    def test_out_of_range_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SCHEME.sign(0, b"m")
+        with pytest.raises(ValueError):
+            SCHEME.sign(TOY.r, b"m")
+
+
+class TestSchemeSetup:
+    def test_fixed_generator_interoperates(self):
+        """Two scheme instances sharing a generator verify each other."""
+        generator = TOY.random_g0()
+        signer = BlsScheme(TOY, generator=generator)
+        verifier = BlsScheme(TOY, generator=generator)
+        pair = signer.keygen()
+        signature = signer.sign(pair.secret, b"cross-instance")
+        assert verifier.verify(pair.public, b"cross-instance", signature)
+
+    def test_infinity_generator_rejected(self):
+        with pytest.raises(ValueError):
+            BlsScheme(TOY, generator=TOY.infinity())
+
+
+class TestSubgroupChecks:
+    def test_non_subgroup_signature_rejected(self):
+        """A curve point OUTSIDE G0 (full-group order, not r) must fail
+        verification rather than reach the pairing."""
+        outside = None
+        for _ in range(100):
+            candidate = TOY.random_point()
+            if not candidate.infinity and not candidate.has_order_r():
+                outside = candidate
+                break
+        assert outside is not None, "could not find a non-G0 point"
+        assert not SCHEME.verify(KEYS.public, b"msg", outside)
+
+    def test_non_subgroup_public_key_rejected(self):
+        outside = None
+        for _ in range(100):
+            candidate = TOY.random_point()
+            if not candidate.infinity and not candidate.has_order_r():
+                outside = candidate
+                break
+        assert outside is not None
+        signature = SCHEME.sign(KEYS.secret, b"msg")
+        assert not SCHEME.verify(outside, b"msg", signature)

@@ -1,0 +1,180 @@
+"""Tests for repro.crypto.ec — the type-A supersingular curve."""
+
+from __future__ import annotations
+
+import secrets
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.ec import CurveParams, Point
+from repro.crypto.params import TOY
+
+
+def random_g0_points(n=4):
+    return [TOY.random_g0() for _ in range(n)]
+
+
+class TestParams:
+    def test_preset_validates(self):
+        TOY.validate()
+
+    def test_cofactor_relation(self):
+        assert TOY.h * TOY.r == TOY.q + 1
+
+    def test_q_mod_4(self):
+        assert TOY.q % 4 == 3
+
+    def test_bad_q_mod_4_rejected(self):
+        with pytest.raises(ValueError):
+            CurveParams(q=13, r=7, h=2)
+
+    def test_cofactor_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CurveParams(q=TOY.q, r=TOY.r, h=TOY.h + 1)
+
+
+class TestPointConstruction:
+    def test_point_on_curve_accepted(self):
+        p = TOY.random_point()
+        assert p.is_on_curve()
+        q = TOY.point(p.x, p.y)
+        assert q == p
+
+    def test_point_off_curve_rejected(self):
+        p = TOY.random_point()
+        with pytest.raises(ValueError):
+            TOY.point(p.x, p.y + 1)
+
+    def test_lift_x_roundtrip(self):
+        p = TOY.random_point()
+        lifted = TOY.lift_x(p.x)
+        assert lifted is not None
+        assert lifted.x == p.x
+        assert lifted.y in (p.y, TOY.q - p.y)
+
+    def test_lift_x_nonresidue_returns_none(self):
+        misses = 0
+        for x in range(200):
+            if TOY.lift_x(x) is None:
+                misses += 1
+        assert misses > 0  # about half of all x are non-residues
+
+    def test_infinity(self):
+        o = TOY.infinity()
+        assert o.infinity
+        assert o.is_on_curve()
+
+
+class TestGroupLaw:
+    def test_identity(self):
+        p = TOY.random_g0()
+        o = TOY.infinity()
+        assert p + o == p
+        assert o + p == p
+        assert o + o == o
+
+    def test_inverse(self):
+        p = TOY.random_g0()
+        assert (p + (-p)).infinity
+        assert p - p == TOY.infinity()
+
+    def test_commutativity(self):
+        a, b = TOY.random_g0(), TOY.random_g0()
+        assert a + b == b + a
+
+    def test_associativity(self):
+        a, b, c = (TOY.random_g0() for _ in range(3))
+        assert (a + b) + c == a + (b + c)
+
+    def test_doubling_matches_addition(self):
+        p = TOY.random_g0()
+        assert p + p == p * 2
+
+    def test_two_torsion_point_doubles_to_infinity(self):
+        # (0, 0) is on y^2 = x^3 + x and is its own negative.
+        p = Point(TOY, 0, 0)
+        assert p.is_on_curve()
+        assert (p + p).infinity
+
+
+class TestScalarMultiplication:
+    @given(st.integers(0, 200))
+    def test_small_scalars_match_repeated_addition(self, k):
+        p = TOY.random_g0()
+        expected = TOY.infinity()
+        for _ in range(k):
+            expected = expected + p
+        assert p * k == expected
+
+    def test_negative_scalar(self):
+        p = TOY.random_g0()
+        assert p * (-3) == -(p * 3)
+
+    def test_distributivity_over_scalars(self):
+        p = TOY.random_g0()
+        a = secrets.randbelow(TOY.r)
+        b = secrets.randbelow(TOY.r)
+        assert p * a + p * b == p * ((a + b) % TOY.r)
+
+    def test_order_r(self):
+        p = TOY.random_g0()
+        assert (p * TOY.r).infinity
+        assert p.has_order_r()
+
+    def test_scalar_mod_r_equivalence(self):
+        p = TOY.random_g0()
+        k = secrets.randbelow(TOY.r)
+        assert p * k == p * (k + TOY.r)
+
+    def test_infinity_times_anything(self):
+        assert (TOY.infinity() * 12345).infinity
+
+    def test_zero_scalar(self):
+        assert (TOY.random_g0() * 0).infinity
+
+
+class TestSubgroup:
+    def test_random_g0_has_order_r(self):
+        for _ in range(5):
+            p = TOY.random_g0()
+            assert not p.infinity
+            assert p.has_order_r()
+
+    def test_random_points_cover_both_signs(self):
+        ys = {TOY.random_point().y < TOY.q // 2 for _ in range(40)}
+        assert ys == {True, False}
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        p = TOY.random_g0()
+        assert Point.from_bytes(TOY, p.to_bytes()) == p
+
+    def test_infinity_roundtrip(self):
+        assert Point.from_bytes(TOY, TOY.infinity().to_bytes()).infinity
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Point.from_bytes(TOY, b"\x05" + b"\x00" * 32)
+
+    def test_off_curve_encoding_rejected(self):
+        p = TOY.random_g0()
+        data = bytearray(p.to_bytes())
+        data[-1] ^= 1
+        with pytest.raises(ValueError):
+            Point.from_bytes(TOY, bytes(data))
+
+
+class TestSafety:
+    def test_cross_curve_addition_rejected(self):
+        from repro.crypto.params import SMALL
+
+        with pytest.raises(ValueError):
+            TOY.random_g0() + SMALL.random_g0()
+
+    def test_immutability(self):
+        p = TOY.random_g0()
+        with pytest.raises(AttributeError):
+            p.x = 0

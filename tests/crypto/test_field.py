@@ -1,0 +1,128 @@
+"""Tests for repro.crypto.field — GF(p) arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.field import FieldElement, PrimeField
+
+P = 1_000_003
+F = PrimeField(P)
+
+elements = st.integers(0, P - 1).map(F)
+nonzero = st.integers(1, P - 1).map(F)
+
+
+class TestConstruction:
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            PrimeField(100)
+
+    def test_prime_check_skippable(self):
+        field = PrimeField(100, check_prime=False)
+        assert field.p == 100
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_call_reduces(self):
+        assert int(F(P + 5)) == 5
+        assert int(F(-1)) == P - 1
+
+    def test_from_bytes(self):
+        assert int(F.from_bytes(b"\x01\x00")) == 256
+
+    def test_byte_length(self):
+        assert F.byte_length == 3
+        assert PrimeField(2, check_prime=False).byte_length == 1
+
+    def test_equality_and_hash(self):
+        assert F == PrimeField(P)
+        assert hash(F) == hash(PrimeField(P))
+        assert F != PrimeField(7)
+
+
+class TestArithmeticAxioms:
+    @given(elements, elements, elements)
+    def test_additive_group(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+        assert a + F.zero() == a
+        assert a + (-a) == F.zero()
+
+    @given(elements, elements, elements)
+    def test_multiplicative_axioms(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+        assert a * F.one() == a
+        assert a * (b + c) == a * b + a * c
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert a * a.inverse() == F.one()
+        assert a / a == F.one()
+
+    @given(elements)
+    def test_int_mixing(self, a):
+        assert a + 1 == a + F.one()
+        assert 2 * a == a + a
+        assert a - 1 == a + F(-1)
+        assert 1 - a == -(a - 1)
+
+    @given(nonzero, st.integers(-20, 20))
+    def test_pow_matches_repeated_multiplication(self, a, e):
+        expected = F.one()
+        base = a if e >= 0 else a.inverse()
+        for _ in range(abs(e)):
+            expected = expected * base
+        assert a**e == expected
+
+
+class TestSqrtAndPredicates:
+    @given(elements)
+    def test_square_then_sqrt(self, a):
+        square = a * a
+        root = square.sqrt()
+        assert root * root == square
+
+    @given(elements)
+    def test_is_square_consistent(self, a):
+        assert (a * a).is_square()
+
+    def test_zero_one_predicates(self):
+        assert F.zero().is_zero()
+        assert not F.one().is_zero()
+        assert bool(F.one())
+        assert not bool(F.zero())
+
+
+class TestSafety:
+    def test_cross_field_mixing_rejected(self):
+        other = PrimeField(7)
+        with pytest.raises(ValueError):
+            F(1) + other(1)
+
+    def test_immutability(self):
+        a = F(5)
+        with pytest.raises(AttributeError):
+            a.value = 6
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            F(1) / F(0)
+
+    @given(elements)
+    def test_bytes_roundtrip(self, a):
+        assert F.from_bytes(a.to_bytes()) == a
+
+    def test_random_in_range(self):
+        for _ in range(50):
+            assert 0 <= int(F.random()) < P
+            assert 0 < int(F.random_nonzero()) < P
+
+    def test_elements_iterator_tiny_field(self):
+        f5 = PrimeField(5)
+        assert [int(x) for x in f5.elements()] == [0, 1, 2, 3, 4]

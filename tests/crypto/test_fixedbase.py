@@ -1,0 +1,93 @@
+"""Tests for fixed-base windowed scalar multiplication."""
+
+from __future__ import annotations
+
+import secrets
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fixedbase import FixedBaseMult
+from repro.crypto.params import TOY
+
+
+@pytest.fixture(scope="module")
+def base():
+    return TOY.random_g0()
+
+
+@pytest.fixture(scope="module")
+def multiplier(base):
+    return FixedBaseMult(base)
+
+
+class TestCorrectness:
+    @settings(max_examples=30)
+    @given(st.integers(0, TOY.r - 1))
+    def test_matches_generic_ladder(self, multiplier, base, scalar):
+        assert multiplier.multiply(scalar) == base * scalar
+
+    def test_zero_scalar(self, multiplier):
+        assert multiplier.multiply(0).infinity
+
+    def test_one(self, multiplier, base):
+        assert multiplier.multiply(1) == base
+
+    def test_order_r(self, multiplier):
+        assert multiplier.multiply(TOY.r).infinity
+
+    def test_reduction_mod_r(self, multiplier, base):
+        k = secrets.randbelow(TOY.r)
+        assert multiplier.multiply(k + TOY.r) == base * k
+
+    def test_negative_handled_by_reduction(self, multiplier, base):
+        assert multiplier.multiply(-1) == base * (TOY.r - 1)
+
+    @pytest.mark.parametrize("window_bits", [1, 2, 3, 5, 8])
+    def test_window_sizes(self, base, window_bits):
+        multiplier = FixedBaseMult(base, window_bits=window_bits)
+        k = secrets.randbelow(TOY.r)
+        assert multiplier.multiply(k) == base * k
+
+    def test_max_scalar_boundary(self, base):
+        multiplier = FixedBaseMult(base)
+        assert multiplier.multiply(TOY.r - 1) == base * (TOY.r - 1)
+
+
+class TestValidation:
+    def test_infinity_base_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseMult(TOY.infinity())
+
+    def test_bad_window_rejected(self, base):
+        with pytest.raises(ValueError):
+            FixedBaseMult(base, window_bits=0)
+        with pytest.raises(ValueError):
+            FixedBaseMult(base, window_bits=9)
+
+    def test_table_size_scales_with_window(self, base):
+        small = FixedBaseMult(base, window_bits=2)
+        large = FixedBaseMult(base, window_bits=4)
+        assert large.table_size() > small.table_size()
+
+
+class TestSpeed:
+    def test_faster_than_generic_on_repeated_use(self, base):
+        """The point of precomputation: amortized multiplies beat the
+        generic ladder once the table exists."""
+        import time
+
+        multiplier = FixedBaseMult(base)
+        scalars = [secrets.randbelow(TOY.r) for _ in range(30)]
+
+        start = time.perf_counter()
+        for k in scalars:
+            multiplier.multiply(k)
+        fixed_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for k in scalars:
+            base * k
+        generic_time = time.perf_counter() - start
+        assert fixed_time < generic_time

@@ -1,0 +1,117 @@
+"""Tests for repro.crypto.fq2 — GF(q^2) arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.fq2 import Fq2
+
+Q = 1_000_003  # prime, and 1000003 % 4 == 3
+
+elements = st.tuples(st.integers(0, Q - 1), st.integers(0, Q - 1)).map(
+    lambda t: Fq2(Q, t[0], t[1])
+)
+nonzero = elements.filter(lambda e: not e.is_zero())
+
+
+class TestFieldAxioms:
+    @given(elements, elements, elements)
+    def test_additive(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+        assert a + Fq2.zero(Q) == a
+        assert a + (-a) == Fq2.zero(Q)
+
+    @given(elements, elements, elements)
+    def test_multiplicative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+        assert a * Fq2.one(Q) == a
+        assert a * (b + c) == a * b + a * c
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert a * a.inverse() == Fq2.one(Q)
+        assert a / a == Fq2.one(Q)
+
+    @given(elements)
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    @given(elements, st.integers(0, 3))
+    def test_int_scalar_mul(self, a, s):
+        expected = Fq2.zero(Q)
+        for _ in range(s):
+            expected = expected + a
+        assert a * s == expected
+
+
+class TestStructure:
+    def test_i_squared_is_minus_one(self):
+        i = Fq2(Q, 0, 1)
+        assert i * i == Fq2(Q, Q - 1, 0)
+
+    @given(elements)
+    def test_conjugate_is_frobenius(self, a):
+        """For q ≡ 3 (mod 4), x^q == conjugate(x)."""
+        assert a**Q == a.conjugate()
+
+    @given(elements)
+    def test_conjugate_involution(self, a):
+        assert a.conjugate().conjugate() == a
+
+    @given(nonzero)
+    def test_norm_in_base_field(self, a):
+        norm = a * a.conjugate()
+        assert norm.b == 0
+
+    @given(nonzero)
+    def test_order_divides_q_squared_minus_1(self, a):
+        assert a ** (Q * Q - 1) == Fq2.one(Q)
+
+
+class TestPow:
+    @given(nonzero, st.integers(-10, 10))
+    def test_pow_matches_repeated(self, a, e):
+        expected = Fq2.one(Q)
+        base = a if e >= 0 else a.inverse()
+        for _ in range(abs(e)):
+            expected = expected * base
+        assert a**e == expected
+
+    def test_pow_zero(self):
+        assert Fq2(Q, 5, 7) ** 0 == Fq2.one(Q)
+
+
+class TestSafetyAndEncoding:
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Fq2.zero(Q).inverse()
+
+    def test_cross_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            Fq2(Q, 1) + Fq2(7, 1)
+
+    def test_immutability(self):
+        a = Fq2(Q, 1, 2)
+        with pytest.raises(AttributeError):
+            a.a = 3
+
+    @given(elements)
+    def test_bytes_roundtrip(self, a):
+        assert Fq2.from_bytes(Q, a.to_bytes()) == a
+
+    def test_bad_byte_length(self):
+        with pytest.raises(ValueError):
+            Fq2.from_bytes(Q, b"\x00")
+
+    def test_predicates(self):
+        assert Fq2.one(Q).is_one()
+        assert Fq2.zero(Q).is_zero()
+        assert not Fq2(Q, 1, 1).is_one()
+
+    @given(elements)
+    def test_hash_consistent(self, a):
+        assert hash(a) == hash(Fq2(Q, a.a, a.b))

@@ -1,0 +1,42 @@
+"""Tests for hashing into G0."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hash_to_group import hash_to_g0
+from repro.crypto.params import TOY
+
+
+class TestHashToG0:
+    def test_deterministic(self):
+        assert hash_to_g0(TOY, b"attribute") == hash_to_g0(TOY, b"attribute")
+
+    def test_distinct_inputs_distinct_points(self):
+        points = {hash_to_g0(TOY, b"attr%d" % i).to_bytes() for i in range(30)}
+        assert len(points) == 30
+
+    def test_never_infinity_and_order_r(self):
+        for i in range(10):
+            point = hash_to_g0(TOY, b"x%d" % i)
+            assert not point.infinity
+            assert point.is_on_curve()
+            assert point.has_order_r()
+
+    @given(st.binary(max_size=100))
+    def test_arbitrary_bytes(self, data):
+        point = hash_to_g0(TOY, data)
+        assert point.has_order_r()
+
+    def test_empty_input(self):
+        assert hash_to_g0(TOY, b"").has_order_r()
+
+    def test_sign_bit_varies(self):
+        """The y-sign must be hash-derived, not always canonical."""
+        low = 0
+        for i in range(40):
+            point = hash_to_g0(TOY, b"sign-test-%d" % i)
+            if point.y < TOY.q - point.y:
+                low += 1
+        assert 0 < low < 40

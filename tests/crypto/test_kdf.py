@@ -1,0 +1,111 @@
+"""Tests for repro.crypto.kdf — HKDF and EVP_BytesToKey."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.kdf import evp_bytes_to_key, hkdf, hkdf_expand, hkdf_extract
+
+
+class TestHkdfRfc5869:
+    def test_case_1(self):
+        """RFC 5869 appendix A.1 (HMAC-SHA-256)."""
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, 42, salt=salt, info=info, digestmod="sha256")
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_2_long(self):
+        """RFC 5869 appendix A.2 — longer inputs/outputs."""
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        okm = hkdf(ikm, 82, salt=salt, info=info, digestmod="sha256")
+        assert okm.hex() == (
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        )
+
+    def test_case_3_empty_salt_info(self):
+        """RFC 5869 appendix A.3 — zero-length salt and info."""
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, 42, digestmod="sha256")
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_extract_then_expand_composition(self):
+        prk = hkdf_extract(b"salt", b"input keying material")
+        okm = hkdf_expand(prk, b"ctx", 64)
+        assert okm == hkdf(b"input keying material", 64, salt=b"salt", info=b"ctx")
+
+    def test_output_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", 255 * 32 + 1)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(1, 128))
+    def test_lengths_and_determinism(self, ikm, length):
+        a = hkdf(ikm, length, info=b"x")
+        b = hkdf(ikm, length, info=b"x")
+        assert a == b
+        assert len(a) == length
+
+    def test_info_separation(self):
+        assert hkdf(b"ikm", 32, info=b"a") != hkdf(b"ikm", 32, info=b"b")
+
+
+class TestEvpBytesToKey:
+    def _reference(self, password, salt, key_len, iv_len, hash_name):
+        """Independent reference implementation via hashlib."""
+        derived = b""
+        block = b""
+        while len(derived) < key_len + iv_len:
+            block = hashlib.new(hash_name, block + password + salt).digest()
+            derived += block
+        return derived[:key_len], derived[key_len : key_len + iv_len]
+
+    @given(
+        st.binary(min_size=1, max_size=40),
+        st.binary(min_size=8, max_size=8),
+    )
+    def test_matches_reference_sha256(self, password, salt):
+        assert evp_bytes_to_key(password, salt, 32, 16, "sha256") == self._reference(
+            password, salt, 32, 16, "sha256"
+        )
+
+    @given(
+        st.binary(min_size=1, max_size=40),
+        st.binary(min_size=8, max_size=8),
+    )
+    def test_matches_reference_sha1(self, password, salt):
+        assert evp_bytes_to_key(password, salt, 16, 16, "sha1") == self._reference(
+            password, salt, 16, 16, "sha1"
+        )
+
+    def test_key_iv_lengths(self):
+        key, iv = evp_bytes_to_key(b"pw", b"saltsalt", 32, 16)
+        assert len(key) == 32 and len(iv) == 16
+
+    def test_salt_changes_output(self):
+        a = evp_bytes_to_key(b"pw", b"saltsal1", 32, 16)
+        b = evp_bytes_to_key(b"pw", b"saltsal2", 32, 16)
+        assert a != b
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            evp_bytes_to_key(b"pw", b"saltsalt", 32, 16, iterations=0)
+
+    def test_multiple_iterations_differ(self):
+        one = evp_bytes_to_key(b"pw", b"saltsalt", 32, 16, iterations=1)
+        two = evp_bytes_to_key(b"pw", b"saltsalt", 32, 16, iterations=2)
+        assert one != two

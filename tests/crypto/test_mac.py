@@ -1,0 +1,107 @@
+"""Tests for repro.crypto.mac — HMAC and the keyed answer hash."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.mac import HMAC, constant_time_compare, hmac_digest, keyed_hash
+
+
+class TestHmacAgainstStdlib:
+    @given(st.binary(max_size=200), st.binary(max_size=500))
+    def test_sha256(self, key, msg):
+        assert (
+            hmac_digest(key, msg, "sha256")
+            == std_hmac.new(key, msg, hashlib.sha256).digest()
+        )
+
+    @given(st.binary(max_size=200), st.binary(max_size=500))
+    def test_sha1(self, key, msg):
+        assert (
+            hmac_digest(key, msg, "sha1")
+            == std_hmac.new(key, msg, hashlib.sha1).digest()
+        )
+
+    @given(st.binary(max_size=200), st.binary(max_size=500))
+    def test_sha3_256(self, key, msg):
+        assert (
+            hmac_digest(key, msg, "sha3_256")
+            == std_hmac.new(key, msg, hashlib.sha3_256).digest()
+        )
+
+    def test_rfc4231_case_1(self):
+        """RFC 4231 test case 1 for HMAC-SHA-256."""
+        key = b"\x0b" * 20
+        msg = b"Hi There"
+        expected = (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+        assert hmac_digest(key, msg, "sha256").hex() == expected
+
+    def test_long_key_hashed_down(self):
+        key = b"k" * 200  # longer than any block size
+        msg = b"data"
+        assert (
+            hmac_digest(key, msg, "sha256")
+            == std_hmac.new(key, msg, hashlib.sha256).digest()
+        )
+
+
+class TestIncremental:
+    def test_update_equals_oneshot(self):
+        mac = HMAC(b"key", digestmod="sha3_256")
+        mac.update(b"part one ")
+        mac.update(b"part two")
+        assert mac.digest() == hmac_digest(b"key", b"part one part two")
+
+    def test_copy_forks(self):
+        mac = HMAC(b"key", b"common-", digestmod="sha256")
+        clone = mac.copy()
+        mac.update(b"a")
+        clone.update(b"b")
+        assert mac.digest() == hmac_digest(b"key", b"common-a", "sha256")
+        assert clone.digest() == hmac_digest(b"key", b"common-b", "sha256")
+
+    def test_hexdigest(self):
+        mac = HMAC(b"key", b"msg")
+        assert mac.hexdigest() == mac.digest().hex()
+
+
+class TestKeyedHash:
+    """The paper's H(a_i, K_Z) construction."""
+
+    def test_deterministic(self):
+        assert keyed_hash(b"lake tahoe", b"puzzlekey") == keyed_hash(
+            b"lake tahoe", b"puzzlekey"
+        )
+
+    def test_key_separation(self):
+        """Same answer under different puzzle keys must differ — this is
+        what prevents cross-puzzle rainbow tables."""
+        assert keyed_hash(b"lake tahoe", b"k1") != keyed_hash(b"lake tahoe", b"k2")
+
+    def test_answer_separation(self):
+        assert keyed_hash(b"a1", b"k") != keyed_hash(b"a2", b"k")
+
+    @given(st.binary(min_size=1, max_size=50), st.binary(min_size=1, max_size=32))
+    def test_digest_length(self, answer, key):
+        assert len(keyed_hash(answer, key)) == 32
+
+
+class TestConstantTimeCompare:
+    def test_equal(self):
+        assert constant_time_compare(b"abc", b"abc")
+
+    def test_unequal_same_length(self):
+        assert not constant_time_compare(b"abc", b"abd")
+
+    def test_unequal_length(self):
+        assert not constant_time_compare(b"abc", b"abcd")
+
+    def test_empty(self):
+        assert constant_time_compare(b"", b"")

@@ -1,0 +1,168 @@
+"""Tests for repro.crypto.modes — CBC, CTR, padding, seal/unseal."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.modes import (
+    IntegrityError,
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    pkcs7_pad,
+    pkcs7_unpad,
+    seal,
+    unseal,
+)
+
+try:
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    HAVE_CRYPTOGRAPHY = True
+except ImportError:  # pragma: no cover
+    HAVE_CRYPTOGRAPHY = False
+
+KEY = bytes(range(32))
+
+
+class TestPkcs7:
+    @given(st.binary(max_size=100))
+    def test_roundtrip(self, data):
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_full_block_added_when_aligned(self):
+        padded = pkcs7_pad(b"\x00" * 16)
+        assert len(padded) == 32
+        assert padded[-16:] == bytes([16]) * 16
+
+    def test_exact_padding_values(self):
+        assert pkcs7_pad(b"a") == b"a" + bytes([15]) * 15
+
+    def test_empty_rejected(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"")
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x01" * 15)
+
+    def test_zero_pad_byte_rejected(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x00" * 16)
+
+    def test_oversized_pad_byte_rejected(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x11" * 16)
+
+    def test_inconsistent_padding_rejected(self):
+        block = b"\x00" * 13 + b"\x01\x02\x03"
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(block)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            pkcs7_pad(b"x", 0)
+
+
+class TestCbc:
+    @given(st.binary(max_size=500))
+    def test_roundtrip(self, plaintext):
+        assert cbc_decrypt(KEY, cbc_encrypt(KEY, plaintext)) == plaintext
+
+    def test_iv_randomized(self):
+        a = cbc_encrypt(KEY, b"same message")
+        b = cbc_encrypt(KEY, b"same message")
+        assert a != b
+        assert cbc_decrypt(KEY, a) == cbc_decrypt(KEY, b)
+
+    def test_explicit_iv_deterministic(self):
+        iv = b"\x01" * 16
+        assert cbc_encrypt(KEY, b"m", iv=iv) == cbc_encrypt(KEY, b"m", iv=iv)
+
+    def test_bad_iv_length(self):
+        with pytest.raises(ValueError):
+            cbc_encrypt(KEY, b"m", iv=b"short")
+
+    def test_truncated_ciphertext_rejected(self):
+        with pytest.raises(ValueError):
+            cbc_decrypt(KEY, b"\x00" * 24)
+
+    def test_wrong_key_fails_or_garbage(self):
+        blob = cbc_encrypt(KEY, b"top secret message here!")
+        other = bytes(reversed(KEY))
+        try:
+            recovered = cbc_decrypt(other, blob)
+        except PaddingError:
+            return
+        assert recovered != b"top secret message here!"
+
+    @pytest.mark.skipif(not HAVE_CRYPTOGRAPHY, reason="cryptography not installed")
+    def test_against_cryptography_oracle(self):
+        iv = bytes(range(16))
+        plaintext = b"sixteen byte msg" * 3
+        ours = cbc_encrypt(KEY, plaintext, iv=iv)
+        reference = Cipher(algorithms.AES(KEY), modes.CBC(iv)).encryptor()
+        padded = plaintext + bytes([16]) * 16  # full pad block
+        expected = reference.update(padded) + reference.finalize()
+        assert ours == iv + expected
+
+
+class TestCtr:
+    @given(st.binary(max_size=500))
+    def test_self_inverse(self, data):
+        nonce = b"\x07" * 16
+        once = ctr_transform(KEY, data, nonce)
+        assert ctr_transform(KEY, once, nonce) == data
+
+    def test_nonce_separation(self):
+        data = b"payload" * 10
+        assert ctr_transform(KEY, data, b"\x01" * 16) != ctr_transform(
+            KEY, data, b"\x02" * 16
+        )
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            ctr_transform(KEY, b"x", b"short")
+
+    def test_counter_wraps_at_128_bits(self):
+        nonce = b"\xff" * 16
+        data = b"\x00" * 48  # forces wraparound across 3 blocks
+        once = ctr_transform(KEY, data, nonce)
+        assert ctr_transform(KEY, once, nonce) == data
+
+    @pytest.mark.skipif(not HAVE_CRYPTOGRAPHY, reason="cryptography not installed")
+    def test_against_cryptography_oracle(self):
+        nonce = bytes(range(16))
+        data = b"stream me please" * 5 + b"tail"
+        reference = Cipher(algorithms.AES(KEY), modes.CTR(nonce)).encryptor()
+        assert ctr_transform(KEY, data, nonce) == reference.update(data) + reference.finalize()
+
+
+class TestSealUnseal:
+    @given(st.binary(max_size=300), st.binary(max_size=50))
+    def test_roundtrip(self, plaintext, ad):
+        assert unseal(KEY, seal(KEY, plaintext, ad), ad) == plaintext
+
+    def test_tampered_ciphertext_detected(self):
+        blob = bytearray(seal(KEY, b"protected"))
+        blob[20] ^= 0x01
+        with pytest.raises(IntegrityError):
+            unseal(KEY, bytes(blob))
+
+    def test_tampered_tag_detected(self):
+        blob = bytearray(seal(KEY, b"protected"))
+        blob[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            unseal(KEY, bytes(blob))
+
+    def test_wrong_associated_data_detected(self):
+        blob = seal(KEY, b"protected", b"context-a")
+        with pytest.raises(IntegrityError):
+            unseal(KEY, blob, b"context-b")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(IntegrityError):
+            unseal(KEY, b"\x00" * 10)

@@ -1,0 +1,144 @@
+"""Tests for repro.crypto.numbers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.numbers import (
+    egcd,
+    is_prime,
+    legendre_symbol,
+    modinv,
+    next_prime,
+    random_prime,
+    sqrt_mod,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 2**61 - 1, 2**89 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 91, 561, 1105, 6601, 8911, 2**61 + 1]  # incl. Carmichael
+
+
+class TestEgcd:
+    @given(st.integers(1, 10**12), st.integers(1, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert g == math.gcd(a, b)
+
+    def test_zero_cases(self):
+        assert egcd(0, 7)[0] == 7
+        assert egcd(7, 0)[0] == 7
+        assert egcd(0, 0)[0] == 0
+
+
+class TestModinv:
+    @given(st.integers(1, 10**6))
+    def test_inverse_property(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = modinv(a, p)
+        assert a * inv % p == 1
+        assert 0 < inv < p
+
+    def test_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            modinv(0, 7)
+
+    def test_non_coprime_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            modinv(6, 9)
+
+    def test_negative_argument_normalized(self):
+        assert (-3) * modinv(-3, 7) % 7 == 1
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    def test_negative_and_small(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_large_prime(self):
+        # 2^521 - 1 is a Mersenne prime.
+        assert is_prime(2**521 - 1)
+        assert not is_prime(2**521 + 1)
+
+    @given(st.integers(4, 10**6))
+    def test_agrees_with_trial_division(self, n):
+        reference = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == reference
+
+
+class TestNextPrime:
+    def test_examples(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(7919) == 7927
+
+    @given(st.integers(0, 10**6))
+    def test_result_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)
+
+
+class TestRandomPrime:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+    def test_bit_length_exact(self, bits):
+        p = random_prime(bits)
+        assert p.bit_length() == bits
+        assert is_prime(p)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            random_prime(1)
+
+
+class TestLegendreAndSqrt:
+    def test_legendre_basics(self):
+        p = 23
+        residues = {pow(x, 2, p) for x in range(1, p)}
+        for a in range(1, p):
+            expected = 1 if a in residues else -1
+            assert legendre_symbol(a, p) == expected
+        assert legendre_symbol(0, p) == 0
+
+    @pytest.mark.parametrize("p", [23, 10007, 1_000_003, 2**61 - 1])
+    def test_sqrt_roundtrip(self, p):
+        for x in range(2, 40):
+            a = x * x % p
+            root = sqrt_mod(a, p)
+            assert root * root % p == a
+
+    def test_sqrt_p_mod_4_eq_1(self):
+        p = 1_000_033  # p % 4 == 1 forces the Tonelli-Shanks path
+        assert p % 4 == 1
+        for x in range(2, 40):
+            a = x * x % p
+            root = sqrt_mod(a, p)
+            assert root * root % p == a
+
+    def test_non_residue_raises(self):
+        p = 23
+        non_residue = next(
+            a for a in range(2, p) if legendre_symbol(a, p) == -1
+        )
+        with pytest.raises(ValueError):
+            sqrt_mod(non_residue, p)
+
+    def test_sqrt_of_zero(self):
+        assert sqrt_mod(0, 23) == 0

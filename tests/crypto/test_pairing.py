@@ -1,0 +1,108 @@
+"""Tests for the symmetric Tate pairing."""
+
+from __future__ import annotations
+
+import secrets
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.fq2 import Fq2
+from repro.crypto.pairing import Pairing
+from repro.crypto.params import SMALL, TOY
+
+PAIRING = Pairing(TOY)
+scalars = st.integers(1, TOY.r - 1)
+
+
+class TestBilinearity:
+    @given(scalars, scalars)
+    def test_exponent_rule(self, a, b):
+        g = TOY.random_g0()
+        h = TOY.random_g0()
+        lhs = PAIRING.pair(g * a, h * b)
+        rhs = PAIRING.gt_exp(PAIRING.pair(g, h), a * b)
+        assert lhs == rhs
+
+    def test_left_linearity(self):
+        g, h = TOY.random_g0(), TOY.random_g0()
+        a = secrets.randbelow(TOY.r - 1) + 1
+        assert PAIRING.pair(g * a, h) == PAIRING.gt_exp(PAIRING.pair(g, h), a)
+
+    def test_right_linearity(self):
+        g, h = TOY.random_g0(), TOY.random_g0()
+        b = secrets.randbelow(TOY.r - 1) + 1
+        assert PAIRING.pair(g, h * b) == PAIRING.gt_exp(PAIRING.pair(g, h), b)
+
+    def test_additivity_in_first_argument(self):
+        g1, g2, h = (TOY.random_g0() for _ in range(3))
+        assert PAIRING.pair(g1 + g2, h) == PAIRING.pair(g1, h) * PAIRING.pair(g2, h)
+
+    def test_additivity_in_second_argument(self):
+        g, h1, h2 = (TOY.random_g0() for _ in range(3))
+        assert PAIRING.pair(g, h1 + h2) == PAIRING.pair(g, h1) * PAIRING.pair(g, h2)
+
+    def test_symmetry(self):
+        """Distortion-map pairings on type-A curves are symmetric."""
+        g, h = TOY.random_g0(), TOY.random_g0()
+        assert PAIRING.pair(g, h) == PAIRING.pair(h, g)
+
+
+class TestNonDegeneracy:
+    def test_generator_pairing_nontrivial(self):
+        g = TOY.random_g0()
+        value = PAIRING.pair(g, g)
+        assert not value.is_one()
+
+    def test_pairing_value_has_order_r(self):
+        g, h = TOY.random_g0(), TOY.random_g0()
+        value = PAIRING.pair(g, h)
+        assert (value**TOY.r).is_one()
+        assert not value.is_one()
+
+    def test_distinct_scalar_pairs_distinct_values(self):
+        g = TOY.random_g0()
+        base = PAIRING.pair(g, g)
+        seen = {PAIRING.gt_exp(base, k).to_bytes() for k in range(1, 30)}
+        assert len(seen) == 29
+
+
+class TestEdgeCases:
+    def test_infinity_arguments(self):
+        g = TOY.random_g0()
+        o = TOY.infinity()
+        assert PAIRING.pair(o, g).is_one()
+        assert PAIRING.pair(g, o).is_one()
+        assert PAIRING.pair(o, o).is_one()
+
+    def test_self_pairing(self):
+        g = TOY.random_g0()
+        assert not PAIRING.pair(g, g).is_one()
+
+    def test_inverse_point(self):
+        g, h = TOY.random_g0(), TOY.random_g0()
+        assert PAIRING.pair(-g, h) == PAIRING.pair(g, h).inverse()
+
+    def test_wrong_curve_rejected(self):
+        with pytest.raises(ValueError):
+            PAIRING.pair(SMALL.random_g0(), TOY.random_g0())
+
+    def test_identity_helper(self):
+        assert PAIRING.identity() == Fq2.one(TOY.q)
+
+    def test_gt_exp_reduces_mod_r(self):
+        g = TOY.random_g0()
+        base = PAIRING.pair(g, g)
+        assert PAIRING.gt_exp(base, 5) == PAIRING.gt_exp(base, 5 + TOY.r)
+
+
+class TestLargerParams:
+    def test_bilinearity_on_small_preset(self):
+        pairing = Pairing(SMALL)
+        g = SMALL.random_g0()
+        h = SMALL.random_g0()
+        a = secrets.randbelow(SMALL.r - 1) + 1
+        b = secrets.randbelow(SMALL.r - 1) + 1
+        assert pairing.pair(g * a, h * b) == pairing.gt_exp(pairing.pair(g, h), a * b)
+        assert not pairing.pair(g, h).is_one()

@@ -1,0 +1,65 @@
+"""Tests for pairing parameter presets and generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.numbers import is_prime
+from repro.crypto.params import (
+    DEFAULT,
+    PRESETS,
+    SMALL,
+    TOY,
+    generate_type_a_params,
+    get_params,
+)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("params", [TOY, SMALL, DEFAULT], ids=lambda p: p.name)
+    def test_preset_is_valid(self, params):
+        params.validate()
+        assert params.q % 4 == 3
+        assert params.h * params.r == params.q + 1
+        assert is_prime(params.q)
+        assert is_prime(params.r)
+
+    def test_bit_sizes(self):
+        assert TOY.r.bit_length() == 32
+        assert SMALL.r.bit_length() == 80
+        assert DEFAULT.r.bit_length() == 160
+        assert 124 <= TOY.q.bit_length() <= 128
+        assert 252 <= SMALL.q.bit_length() <= 256
+        assert 508 <= DEFAULT.q.bit_length() <= 512
+
+    def test_lookup(self):
+        assert get_params("toy") is TOY
+        assert get_params("small") is SMALL
+        assert get_params("default") is DEFAULT
+        assert set(PRESETS) == {"toy", "small", "default"}
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ValueError):
+            get_params("galactic")
+
+
+class TestGeneration:
+    def test_generate_small(self):
+        params = generate_type_a_params(16, 64, name="test")
+        params.validate()
+        assert params.r.bit_length() == 16
+        assert params.name == "test"
+        # Generated parameters actually support the group operations.
+        g = params.random_g0()
+        assert g.has_order_r()
+
+    def test_generated_params_differ(self):
+        a = generate_type_a_params(16, 64)
+        b = generate_type_a_params(16, 64)
+        assert (a.q, a.r) != (b.q, b.r)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_type_a_params(2, 64)
+        with pytest.raises(ValueError):
+            generate_type_a_params(32, 33)

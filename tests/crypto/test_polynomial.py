@@ -1,0 +1,135 @@
+"""Tests for repro.crypto.polynomial."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.field import PrimeField
+from repro.crypto.polynomial import (
+    Polynomial,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at,
+)
+
+P = 1_000_003
+F = PrimeField(P)
+
+coeff_lists = st.lists(st.integers(0, P - 1), min_size=0, max_size=6)
+
+
+class TestBasics:
+    def test_degree_and_trailing_zeros(self):
+        assert Polynomial(F, [1, 2, 0, 0]).degree == 1
+        assert Polynomial(F, []).degree == -1
+        assert Polynomial.zero(F).degree == -1
+
+    def test_constant_term(self):
+        assert int(Polynomial(F, [7, 3]).constant_term()) == 7
+        assert int(Polynomial.zero(F).constant_term()) == 0
+
+    def test_evaluation_horner(self):
+        # p(x) = 3 + 2x + x^2
+        p = Polynomial(F, [3, 2, 1])
+        assert int(p(0)) == 3
+        assert int(p(1)) == 6
+        assert int(p(10)) == 123
+
+    @given(coeff_lists, st.integers(0, P - 1))
+    def test_evaluation_matches_naive(self, coeffs, x):
+        p = Polynomial(F, coeffs)
+        naive = sum(c * pow(x, i, P) for i, c in enumerate(coeffs)) % P
+        assert int(p(x)) == naive
+
+    def test_immutability(self):
+        p = Polynomial(F, [1])
+        with pytest.raises(AttributeError):
+            p.coeffs = ()
+
+    def test_foreign_coefficients_rejected(self):
+        other = PrimeField(7)
+        with pytest.raises(ValueError):
+            Polynomial(F, [other(1)])
+
+
+class TestArithmetic:
+    @given(coeff_lists, coeff_lists, st.integers(0, P - 1))
+    def test_addition_pointwise(self, a, b, x):
+        pa, pb = Polynomial(F, a), Polynomial(F, b)
+        assert (pa + pb)(x) == pa(x) + pb(x)
+
+    @given(coeff_lists, coeff_lists, st.integers(0, P - 1))
+    def test_multiplication_pointwise(self, a, b, x):
+        pa, pb = Polynomial(F, a), Polynomial(F, b)
+        assert (pa * pb)(x) == pa(x) * pb(x)
+
+    @given(coeff_lists, st.integers(0, P - 1), st.integers(0, P - 1))
+    def test_scalar_multiplication(self, a, s, x):
+        p = Polynomial(F, a)
+        assert (p * s)(x) == p(x) * s
+
+    @given(coeff_lists, st.integers(0, P - 1))
+    def test_negation_and_subtraction(self, a, x):
+        p = Polynomial(F, a)
+        assert (p - p).degree == -1
+        assert (-p)(x) == -(p(x))
+
+    def test_zero_product(self):
+        p = Polynomial(F, [1, 2])
+        assert (p * Polynomial.zero(F)).degree == -1
+
+
+class TestRandom:
+    @given(st.integers(0, 8), st.integers(0, P - 1))
+    def test_random_exact_degree_and_constant(self, degree, constant):
+        p = Polynomial.random(F, degree, constant_term=constant)
+        assert p.degree == degree or (degree == 0 and constant == 0 and p.degree == -1)
+        assert int(p.constant_term()) == constant
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.random(F, -1)
+
+    def test_random_polynomials_differ(self):
+        a = Polynomial.random(F, 3)
+        b = Polynomial.random(F, 3)
+        assert a != b  # probability ~p^-4 of collision
+
+
+class TestLagrange:
+    @given(st.integers(1, 6), st.data())
+    def test_coefficients_recover_constant_term(self, k, data):
+        p = Polynomial.random(F, k - 1)
+        xs = data.draw(
+            st.lists(
+                st.integers(1, P - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        gammas = lagrange_coefficients_at_zero(F, xs)
+        total = F.zero()
+        for gamma, x in zip(gammas, xs):
+            total = total + gamma * p(x)
+        assert total == p.constant_term()
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at_zero(F, [1, 1])
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at_zero(F, [0, 1])
+
+    @given(st.integers(1, 5), st.data())
+    def test_interpolate_at_matches_polynomial(self, k, data):
+        p = Polynomial.random(F, k - 1)
+        xs = data.draw(
+            st.lists(st.integers(0, P - 1), min_size=k, max_size=k, unique=True)
+        )
+        points = [(x, p(x)) for x in xs]
+        probe = data.draw(st.integers(0, P - 1))
+        assert lagrange_interpolate_at(F, points, probe) == p(probe)
+
+    def test_interpolate_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate_at(F, [(1, 2), (1, 3)], 0)

@@ -1,0 +1,130 @@
+"""Tests for Schnorr signatures over G0."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.params import TOY
+from repro.crypto.schnorr import SchnorrScheme, SchnorrSignature
+
+SCHEME = SchnorrScheme(TOY)
+KEYS = SCHEME.keygen()
+
+
+class TestSignVerify:
+    @given(st.binary(max_size=200))
+    def test_roundtrip(self, message):
+        signature = SCHEME.sign(KEYS.secret, message)
+        assert SCHEME.verify(KEYS.public, message, signature)
+
+    def test_wrong_message_rejected(self):
+        signature = SCHEME.sign(KEYS.secret, b"original")
+        assert not SCHEME.verify(KEYS.public, b"forged", signature)
+
+    def test_wrong_key_rejected(self):
+        other = SCHEME.keygen()
+        signature = SCHEME.sign(KEYS.secret, b"msg")
+        assert not SCHEME.verify(other.public, b"msg", signature)
+
+    def test_signatures_randomized(self):
+        """Unlike BLS, Schnorr uses a fresh nonce per signature."""
+        a = SCHEME.sign(KEYS.secret, b"msg")
+        b = SCHEME.sign(KEYS.secret, b"msg")
+        assert a != b
+        assert SCHEME.verify(KEYS.public, b"msg", a)
+        assert SCHEME.verify(KEYS.public, b"msg", b)
+
+    def test_tampered_components_rejected(self):
+        signature = SCHEME.sign(KEYS.secret, b"msg")
+        assert not SCHEME.verify(
+            KEYS.public, b"msg", SchnorrSignature(signature.e + 1, signature.s)
+        )
+        assert not SCHEME.verify(
+            KEYS.public, b"msg", SchnorrSignature(signature.e, signature.s + 1)
+        )
+
+    def test_out_of_range_components_rejected(self):
+        signature = SCHEME.sign(KEYS.secret, b"msg")
+        assert not SCHEME.verify(
+            KEYS.public, b"msg", SchnorrSignature(0, signature.s)
+        )
+        assert not SCHEME.verify(
+            KEYS.public, b"msg", SchnorrSignature(TOY.r, signature.s)
+        )
+        assert not SCHEME.verify(
+            KEYS.public, b"msg", SchnorrSignature(signature.e, TOY.r)
+        )
+
+    def test_infinity_public_key_rejected(self):
+        signature = SCHEME.sign(KEYS.secret, b"msg")
+        assert not SCHEME.verify(TOY.infinity(), b"msg", signature)
+
+    def test_bad_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SCHEME.sign(0, b"msg")
+        with pytest.raises(ValueError):
+            SCHEME.sign(TOY.r, b"msg")
+
+
+class TestEncoding:
+    @given(st.binary(max_size=50))
+    def test_bytes_roundtrip(self, message):
+        signature = SCHEME.sign(KEYS.secret, message)
+        decoded = SchnorrSignature.from_bytes(TOY, signature.to_bytes(TOY))
+        assert decoded == signature
+        assert SCHEME.verify(KEYS.public, message, decoded)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            SchnorrSignature.from_bytes(TOY, b"\x00" * 3)
+
+
+class TestSchemeSetup:
+    def test_shared_generator_interoperates(self):
+        generator = TOY.random_g0()
+        signer = SchnorrScheme(TOY, generator=generator)
+        verifier = SchnorrScheme(TOY, generator=generator)
+        pair = signer.keygen()
+        signature = signer.sign(pair.secret, b"cross")
+        assert verifier.verify(pair.public, b"cross", signature)
+
+    def test_infinity_generator_rejected(self):
+        with pytest.raises(ValueError):
+            SchnorrScheme(TOY, generator=TOY.infinity())
+
+    def test_verification_cheaper_than_bls(self):
+        """The stated motivation: Schnorr verify avoids pairings."""
+        from repro.crypto.bls import BlsScheme
+
+        bls = BlsScheme(TOY)
+        bls_keys = bls.keygen()
+        bls_sig = bls.sign(bls_keys.secret, b"benchmark me")
+        schnorr_sig = SCHEME.sign(KEYS.secret, b"benchmark me")
+
+        start = time.perf_counter()
+        for _ in range(5):
+            assert SCHEME.verify(KEYS.public, b"benchmark me", schnorr_sig)
+        schnorr_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(5):
+            assert bls.verify(bls_keys.public, b"benchmark me", bls_sig)
+        bls_time = time.perf_counter() - start
+        assert schnorr_time < bls_time
+
+
+class TestSubgroupChecks:
+    def test_non_subgroup_public_key_rejected(self):
+        outside = None
+        for _ in range(100):
+            candidate = TOY.random_point()
+            if not candidate.infinity and not candidate.has_order_r():
+                outside = candidate
+                break
+        assert outside is not None, "could not find a non-G0 point"
+        signature = SCHEME.sign(KEYS.secret, b"msg")
+        assert not SCHEME.verify(outside, b"msg", signature)

@@ -1,0 +1,101 @@
+"""Information-theoretic secrecy of Shamir's scheme, PROVEN by exhaustive
+enumeration over a tiny field.
+
+The paper's section VI-A argument rests on "the information-theoretic
+security of the Shamir's secret sharing scheme". For GF(p) with small p we
+can verify the exact statement computationally: for fixed evaluation
+points, the distribution of any k-1 share values (over the dealer's random
+coefficients) is IDENTICAL for every secret — so k-1 shares carry zero
+information. We also verify the complement: k shares determine the secret
+uniquely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.crypto.field import PrimeField
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.shamir import Share, reconstruct_secret
+
+P = 11
+F = PrimeField(P)
+
+
+def _share_distribution(secret: int, k: int, xs: tuple[int, ...]) -> Counter:
+    """Exact distribution of the share-value tuple at points ``xs`` over
+    ALL polynomials of degree < k with P(0) = secret."""
+    distribution: Counter = Counter()
+    for coefficients in itertools.product(range(P), repeat=k - 1):
+        poly = Polynomial(F, [secret, *coefficients])
+        values = tuple(int(poly(x)) for x in xs)
+        distribution[values] += 1
+    return distribution
+
+
+class TestPerfectSecrecyByEnumeration:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_k_minus_1_shares_reveal_nothing(self, k):
+        """For every secret, the joint distribution of k-1 share values is
+        the same — exact perfect secrecy, not a statistical test."""
+        xs = tuple(range(1, k))  # k-1 evaluation points
+        reference = _share_distribution(0, k, xs)
+        for secret in range(1, P):
+            assert _share_distribution(secret, k, xs) == reference
+
+    def test_distribution_is_uniform(self):
+        """Stronger: with k-1 points the share tuple is uniform over
+        GF(p)^(k-1)."""
+        k = 3
+        xs = (1, 2)
+        distribution = _share_distribution(5, k, xs)
+        assert len(distribution) == P ** (k - 1)
+        counts = set(distribution.values())
+        assert counts == {1}
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_k_shares_determine_secret_uniquely(self, k):
+        """The flip side: every polynomial is reconstructed exactly by k
+        of its shares."""
+        xs = tuple(range(1, k + 1))
+        for coefficients in itertools.product(range(P), repeat=k):
+            poly = Polynomial(F, list(coefficients))
+            shares = [Share(x, int(poly(x))) for x in xs]
+            assert int(reconstruct_secret(F, shares, k)) == int(poly(0))
+
+    def test_k_shares_from_different_secrets_differ(self):
+        """No two distinct degree<k polynomials agree on k points."""
+        k = 2
+        xs = (1, 2)
+        seen: dict[tuple[int, ...], int] = {}
+        for c0, c1 in itertools.product(range(P), repeat=2):
+            poly = Polynomial(F, [c0, c1])
+            key = tuple(int(poly(x)) for x in xs)
+            assert key not in seen or seen[key] == c0
+            seen[key] = c0
+
+
+class TestBlindingSecrecyByEnumeration:
+    def test_xor_blinding_hides_share_perfectly(self):
+        """The puzzle's blinded share is share XOR mask(answer): over a
+        uniformly random share, the blinded value is uniform regardless of
+        the answer — checked exactly for a 1-byte toy field."""
+        from repro.core.puzzle import blind_share
+        from repro.crypto.shamir import Share as S
+
+        tiny = PrimeField(251)
+        distributions = {}
+        for answer in (b"yes", b"no"):
+            counter: Counter = Counter()
+            for y in range(251):
+                blinded = blind_share(S(1, y), tiny, answer, b"key", 0)
+                counter[blinded] += 1
+            distributions[answer] = counter
+        # Each blinded byte value appears exactly once per answer: the
+        # map share -> blinded is a bijection, so a uniform share gives a
+        # uniform blinded value for ANY answer.
+        for counter in distributions.values():
+            assert set(counter.values()) == {1}

@@ -1,0 +1,165 @@
+"""Whole-system integration tests: a populated OSN, workload-generated
+events, both constructions, and the R_O / S_T - R_O audience split of the
+paper's system model (section IV)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.errors import AccessDeniedError
+from repro.crypto.params import TOY
+from repro.osn.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A 20-user OSN with a sharer, an event, and a knowledge split."""
+    platform = SocialPuzzlePlatform(params=TOY)
+    generator = WorkloadGenerator(seed=42)
+    users = generator.populate_social_graph(platform.provider, 20, mean_degree=6)
+    sharer = users[0]
+    friends = platform.provider.friends_of(sharer)
+    event = generator.event(5, kind="trip")
+    knowledge = generator.split_audience(
+        event.context, friends, attendee_fraction=0.4, invitee_fraction=0.3
+    )
+    return platform, generator, sharer, friends, event, knowledge
+
+
+class TestAudienceSplitC1:
+    def test_attendees_access_others_do_not(self, world):
+        platform, generator, sharer, friends, event, knowledge = world
+        obj = b"trip photo album (full resolution)"
+        share = platform.share(sharer, obj, event.context, k=3, construction=1)
+
+        attendees = [f for f in friends if knowledge[f.user_id] is event.context]
+        strangers = [f for f in friends if knowledge[f.user_id] is None]
+        assert attendees and strangers, "fixture must produce both classes"
+
+        for friend in attendees:
+            result = platform.solve(
+                friend, share, event.context, rng=random.Random(friend.user_id)
+            )
+            assert result.plaintext == obj
+
+        for friend in strangers:
+            with pytest.raises(AccessDeniedError):
+                # A stranger answers nothing (knows no question).
+                platform.app_c1.attempt_access(
+                    friend,
+                    share.puzzle_id,
+                    generator.event(3, kind="meeting").context,  # unrelated knowledge
+                    rng=random.Random(friend.user_id),
+                )
+
+    def test_partial_knowers_depend_on_threshold(self, world):
+        platform, generator, sharer, friends, event, knowledge = world
+        obj = b"second album"
+        # Low threshold: half-knowledge (2 of 5) suffices when k=2 and the
+        # display covers what they know; full-knowledge always suffices.
+        share = platform.share(sharer, obj, event.context, k=2, construction=1)
+        partials = [
+            f for f in friends
+            if knowledge[f.user_id] is not None
+            and knowledge[f.user_id] is not event.context
+        ]
+        assert partials
+        partial = partials[0]
+        partial_knowledge = knowledge[partial.user_id]
+        # Find a display that shows everything so partial knowledge counts.
+        for seed in range(200):
+            rng = random.Random(seed)
+            if rng.randint(2, 5) == 5:
+                result = platform.solve(
+                    partial, share, partial_knowledge, rng=random.Random(seed)
+                )
+                assert result.plaintext == obj
+                break
+        else:
+            pytest.fail("no full display seed found")
+
+
+class TestAudienceSplitC2:
+    def test_threshold_enforced_cryptographically(self, world):
+        platform, generator, sharer, friends, event, knowledge = world
+        obj = b"the venue deposit receipt"
+        share = platform.share(sharer, obj, event.context, k=4, construction=2)
+
+        full_knower = next(
+            f for f in friends if knowledge[f.user_id] is event.context
+        )
+        result = platform.solve(full_knower, share, event.context, construction=2)
+        assert result.plaintext == obj
+
+        half_knower_knowledge = generator.knowledge_subset(event.context, 2)
+        half_knower = friends[0]
+        with pytest.raises(AccessDeniedError):
+            platform.solve(half_knower, share, half_knower_knowledge, construction=2)
+
+
+class TestManyPuzzlesOneService:
+    def test_interleaved_puzzles_stay_isolated(self, world):
+        platform, generator, sharer, friends, _, _ = world
+        events = [generator.event(3, kind=k) for k in ("party", "meeting", "wedding")]
+        objects = [b"obj-party", b"obj-meeting", b"obj-wedding"]
+        shares = [
+            platform.share(sharer, obj, ev.context, k=2, construction=1)
+            for ev, obj in zip(events, objects)
+        ]
+        friend = friends[0]
+        for ev, obj, share in zip(events, objects, shares):
+            result = platform.solve(
+                friend, share, ev.context, rng=random.Random(1)
+            )
+            assert result.plaintext == obj
+        # Knowledge of one event does not open another.
+        with pytest.raises(AccessDeniedError):
+            platform.app_c1.attempt_access(
+                friend, shares[0].puzzle_id, events[1].context,
+                rng=random.Random(1),
+            )
+
+
+class TestSurveillanceAcrossTheBoard:
+    def test_no_service_ever_sees_answers(self, world):
+        platform, generator, sharer, friends, event, _ = world
+        obj = b"audited object"
+        for construction in (1, 2):
+            share = platform.share(
+                sharer, obj, event.context, k=2, construction=construction
+            )
+            platform.solve(
+                friends[0], share, event.context, construction=construction,
+                rng=random.Random(0) if construction == 1 else None,
+            )
+        for pair in event.context:
+            platform.provider.audit.assert_never_saw(pair.answer_bytes(), "answer")
+            platform.storage.audit.assert_never_saw(pair.answer_bytes(), "answer")
+        platform.provider.audit.assert_never_saw(obj, "object")
+        platform.storage.audit.assert_never_saw(obj, "object")
+
+
+class TestScale:
+    def test_fifty_users_share_storm(self):
+        """A small stress run: every user shares one C1 puzzle; a random
+        friend solves each."""
+        platform = SocialPuzzlePlatform(params=TOY)
+        generator = WorkloadGenerator(seed=7)
+        users = generator.populate_social_graph(platform.provider, 50, mean_degree=4)
+        solved = 0
+        for i, user in enumerate(users[:15]):
+            event = generator.event(3)
+            obj = b"object-%d" % i
+            share = platform.share(user, obj, event.context, k=2, construction=1)
+            friends = platform.provider.friends_of(user)
+            if not friends:
+                continue
+            result = platform.solve(
+                friends[0], share, event.context, rng=random.Random(i)
+            )
+            assert result.plaintext == obj
+            solved += 1
+        assert solved >= 10

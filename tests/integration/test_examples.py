@@ -1,0 +1,30 @@
+"""Regression guard: every example script must run cleanly end to end.
+
+Examples are documentation that executes; a refactor that breaks one
+should fail CI, not a reader.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLE_SCRIPTS) >= 7
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "%s produced no output" % script
+    assert "FAIL" not in out

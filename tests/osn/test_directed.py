@@ -1,0 +1,132 @@
+"""Tests for the directed (Twitter-like) OSN variant."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.clients import SocialPuzzleAppC1
+from repro.core.errors import AccessDeniedError
+from repro.osn.directed import DirectedServiceProvider
+from repro.osn.provider import OsnError
+from repro.osn.storage import StorageHost
+
+
+@pytest.fixture()
+def osn():
+    sp = DirectedServiceProvider()
+    alice = sp.register_user("alice")
+    bob = sp.register_user("bob")
+    carol = sp.register_user("carol")
+    return sp, alice, bob, carol
+
+
+class TestFollowGraph:
+    def test_follow_is_one_way(self, osn):
+        sp, alice, bob, _ = osn
+        sp.follow(bob, alice)
+        assert sp.is_following(bob, alice)
+        assert not sp.is_following(alice, bob)
+
+    def test_followers_and_following(self, osn):
+        sp, alice, bob, carol = osn
+        sp.follow(bob, alice)
+        sp.follow(carol, alice)
+        assert [u.name for u in sp.followers_of(alice)] == ["bob", "carol"]
+        assert [u.name for u in sp.following_of(bob)] == ["alice"]
+
+    def test_self_follow_rejected(self, osn):
+        sp, alice, _, _ = osn
+        with pytest.raises(OsnError):
+            sp.follow(alice, alice)
+
+    def test_unfollow(self, osn):
+        sp, alice, bob, _ = osn
+        sp.follow(bob, alice)
+        sp.unfollow(bob, alice)
+        assert not sp.is_following(bob, alice)
+
+    def test_befriend_disabled(self, osn):
+        sp, alice, bob, _ = osn
+        with pytest.raises(OsnError):
+            sp.befriend(alice, bob)
+
+    def test_mutual_follow_is_friendship_analogue(self, osn):
+        sp, alice, bob, _ = osn
+        sp.follow(alice, bob)
+        assert not sp.are_friends(alice, bob)
+        sp.follow(bob, alice)
+        assert sp.are_friends(alice, bob)
+
+
+class TestPosting:
+    def test_public_by_default(self, osn):
+        """Twitter's model: 'all tweets are public (by default)'."""
+        sp, alice, _, carol = osn
+        post = sp.post(alice, "hello world")
+        assert sp.can_view(carol, post)  # even a non-follower
+
+    def test_followers_audience(self, osn):
+        sp, alice, bob, carol = osn
+        sp.follow(bob, alice)
+        post = sp.post(alice, "protected tweet", audience="followers")
+        assert sp.can_view(bob, post)
+        assert not sp.can_view(carol, post)
+
+    def test_custom_acl_rejected(self, osn):
+        sp, alice, bob, _ = osn
+        with pytest.raises(OsnError):
+            sp.post(alice, "x", audience="friends")
+
+    def test_home_timeline_is_followees_only(self, osn):
+        sp, alice, bob, carol = osn
+        sp.follow(bob, alice)
+        sp.post(alice, "from alice")
+        sp.post(carol, "from carol")
+        timeline = sp.feed(bob)
+        assert [p.content for p in timeline] == ["from alice"]
+
+
+class TestPuzzlesOnDirectedOsn:
+    """The paper's claim: minimal-ACL OSNs 'benefit even more'."""
+
+    def test_puzzle_gates_public_posts(self, osn, party_context, secret_object):
+        sp, alice, bob, carol = osn
+        sp.follow(bob, alice)
+        sp.follow(carol, alice)
+        storage = StorageHost()
+        app = SocialPuzzleAppC1(sp, storage)
+        share = app.share(
+            alice, secret_object, party_context, k=2, audience="public"
+        )
+        # Both followers SEE the post (no native privacy)...
+        assert any(p.post_id == share.post.post_id for p in sp.feed(bob))
+        assert any(p.post_id == share.post.post_id for p in sp.feed(carol))
+        # ...but only the one who knows the context reads the object.
+        result = app.attempt_access(
+            bob, share.puzzle_id, party_context, rng=random.Random(5)
+        )
+        assert result.plaintext == secret_object
+        from repro.core.context import Context
+
+        with pytest.raises(AccessDeniedError):
+            app.attempt_access(
+                carol,
+                share.puzzle_id,
+                Context.from_mapping({"Where was the party held?": "no idea"}),
+                rng=random.Random(5),
+            )
+
+    def test_surveillance_resistance_carries_over(
+        self, osn, party_context, secret_object
+    ):
+        sp, alice, bob, _ = osn
+        sp.follow(bob, alice)
+        storage = StorageHost()
+        app = SocialPuzzleAppC1(sp, storage)
+        share = app.share(alice, secret_object, party_context, k=2, audience="public")
+        app.attempt_access(bob, share.puzzle_id, party_context, rng=random.Random(5))
+        for pair in party_context:
+            sp.audit.assert_never_saw(pair.answer_bytes(), "answer")
+        sp.audit.assert_never_saw(secret_object, "object")

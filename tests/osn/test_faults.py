@@ -1,0 +1,99 @@
+"""Tests for fault injection and client behaviour under substrate faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction1 import PuzzleServiceC1, ReceiverC1, SharerC1
+from repro.core.errors import SocialPuzzleError, TamperDetectedError
+from repro.osn.faults import FlakyStorageHost, TransientStorageError
+from repro.osn.storage import StorageError
+
+
+class TestFlakyStorageHost:
+    def test_healthy_by_default(self):
+        dh = FlakyStorageHost()
+        url = dh.put(b"data")
+        assert dh.get(url) == b"data"
+        assert dh.faults_injected == 0
+
+    def test_put_failures_injected(self):
+        dh = FlakyStorageHost(put_failure_rate=1.0)
+        with pytest.raises(TransientStorageError):
+            dh.put(b"data")
+        assert dh.faults_injected == 1
+
+    def test_get_failures_injected(self):
+        dh = FlakyStorageHost(get_failure_rate=1.0)
+        url = StorageError  # placeholder to silence linters
+        healthy = FlakyStorageHost()
+        stored = healthy.put(b"data")
+        with pytest.raises(TransientStorageError):
+            dh.get(stored)
+
+    def test_lost_writes(self):
+        dh = FlakyStorageHost(lost_write_rate=1.0)
+        url = dh.put(b"data")
+        with pytest.raises(StorageError):
+            dh.get(url)
+
+    def test_partial_rates_deterministic(self):
+        a = FlakyStorageHost(put_failure_rate=0.5, seed=42)
+        b = FlakyStorageHost(put_failure_rate=0.5, seed=42)
+        outcomes_a, outcomes_b = [], []
+        for outcomes, dh in ((outcomes_a, a), (outcomes_b, b)):
+            for _ in range(20):
+                try:
+                    dh.put(b"x")
+                    outcomes.append(True)
+                except TransientStorageError:
+                    outcomes.append(False)
+        assert outcomes_a == outcomes_b
+        assert True in outcomes_a and False in outcomes_a
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FlakyStorageHost(put_failure_rate=1.5)
+
+
+class TestProtocolUnderFaults:
+    def test_sharer_surfaces_put_failure(self, party_context, secret_object):
+        dh = FlakyStorageHost(put_failure_rate=1.0)
+        sharer = SharerC1("s", dh)
+        with pytest.raises(TransientStorageError):
+            sharer.upload(secret_object, party_context, k=2, n=4)
+
+    def test_sharer_retry_succeeds_when_fault_clears(
+        self, party_context, secret_object
+    ):
+        # seed chosen so the first put fails and the second succeeds
+        dh = FlakyStorageHost(put_failure_rate=0.5, seed=1)
+        sharer = SharerC1("s", dh)
+        puzzle = None
+        attempts = 0
+        while puzzle is None and attempts < 10:
+            attempts += 1
+            try:
+                puzzle = sharer.upload(secret_object, party_context, k=2, n=4)
+            except TransientStorageError:
+                continue
+        assert puzzle is not None
+        assert dh.faults_injected >= 1
+
+    def test_lost_write_detected_at_access_time(
+        self, party_context, secret_object
+    ):
+        """A silently dropped write surfaces when the receiver fetches —
+        as a missing object, never as wrong plaintext."""
+        import random
+
+        dh = FlakyStorageHost(lost_write_rate=1.0)
+        sharer = SharerC1("s", dh)
+        service = PuzzleServiceC1()
+        puzzle = sharer.upload(secret_object, party_context, k=2, n=4)
+        puzzle_id = service.store_puzzle(puzzle)
+        receiver = ReceiverC1("r", dh)
+        displayed = service.display_puzzle(puzzle_id, rng=random.Random(0))
+        release = service.verify(receiver.answer_puzzle(displayed, party_context))
+        with pytest.raises((StorageError, TamperDetectedError, SocialPuzzleError)):
+            receiver.access(release, displayed, party_context)

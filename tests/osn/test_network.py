@@ -1,0 +1,100 @@
+"""Tests for the network cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.osn.network import LAN_FAST, NetworkLink, WLAN_PC, WLAN_TABLET
+
+
+class TestDelayModel:
+    def test_delay_composition(self):
+        link = NetworkLink("t", rtt_s=0.1, uplink_bps=8e6, downlink_bps=16e6,
+                           per_request_overhead_s=0.05)
+        # 1 MB at 8 Mbps = 1 s up, 0.5 s down, plus 0.15 s fixed.
+        assert link.upload_delay(1_000_000) == pytest.approx(0.1 + 0.05 + 1.0)
+        assert link.download_delay(1_000_000) == pytest.approx(0.1 + 0.05 + 0.5)
+
+    def test_zero_bytes_pays_fixed_cost(self):
+        link = LAN_FAST()
+        assert link.upload_delay(0) == pytest.approx(link.rtt_s)
+
+    def test_delay_monotone_in_bytes(self):
+        link = WLAN_PC()
+        assert link.upload_delay(10) < link.upload_delay(10_000) < link.upload_delay(10_000_000)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            WLAN_PC().upload_delay(-1)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkLink("t", rtt_s=0, uplink_bps=0, downlink_bps=1)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            NetworkLink("t", rtt_s=-1, uplink_bps=1, downlink_bps=1)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ValueError):
+            NetworkLink("t", rtt_s=0, uplink_bps=1, downlink_bps=1, jitter_fraction=1.5)
+
+
+class TestJitter:
+    def test_deterministic_without_jitter(self):
+        link = WLAN_PC()
+        assert link.upload_delay(5000) == link.upload_delay(5000)
+
+    def test_seeded_jitter_reproducible(self):
+        a = WLAN_PC(seed=42, jitter=0.2)
+        b = WLAN_PC(seed=42, jitter=0.2)
+        assert [a.upload_delay(1000) for _ in range(5)] == [
+            b.upload_delay(1000) for _ in range(5)
+        ]
+
+    def test_jitter_varies_and_stays_bounded(self):
+        link = WLAN_PC(seed=7, jitter=0.3)
+        base = WLAN_PC().upload_delay(100_000)
+        samples = [link.upload_delay(100_000) for _ in range(50)]
+        assert len(set(samples)) > 1
+        assert all(0.7 * base <= s <= 1.3 * base for s in samples)
+
+
+class TestLogging:
+    def test_transfers_logged(self):
+        link = WLAN_PC()
+        link.upload(1000, "puzzle")
+        link.download(2000, "object")
+        assert link.total_bytes() == 3000
+        assert len(link.log) == 2
+        assert link.log[0].direction == "up"
+        assert link.log[1].direction == "down"
+        assert link.total_delay() == pytest.approx(
+            link.upload_delay(1000) + link.download_delay(2000)
+        )
+
+    def test_reset_log(self):
+        link = WLAN_PC()
+        link.upload(10, "x")
+        link.reset_log()
+        assert link.total_bytes() == 0
+
+
+class TestProfiles:
+    def test_tablet_slower_than_pc(self):
+        """Fig. 10(c,d) precondition: the tablet path is strictly more
+        expensive for the same transfer."""
+        pc, tablet = WLAN_PC(), WLAN_TABLET()
+        for size in (0, 1_000, 100_000, 600_000):
+            assert tablet.upload_delay(size) > pc.upload_delay(size)
+            assert tablet.download_delay(size) > pc.download_delay(size)
+
+    def test_uplink_slower_than_downlink(self):
+        """The asymmetry that makes I2's uploads dominate."""
+        pc = WLAN_PC()
+        assert pc.upload_delay(600_000) > pc.download_delay(600_000)
+
+    def test_lan_negligible(self):
+        assert LAN_FAST().upload_delay(10_000) < 0.001

@@ -1,0 +1,109 @@
+"""Tests for world snapshots."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.context import Context
+from repro.crypto.params import TOY
+from repro.osn.persistence import (
+    load_platform,
+    restore_platform,
+    save_platform,
+    snapshot_platform,
+)
+
+
+@pytest.fixture()
+def populated(party_context, secret_object):
+    platform = SocialPuzzlePlatform(params=TOY)
+    alice = platform.join("alice", city="wichita")
+    bob = platform.join("bob")
+    platform.befriend(alice, bob)
+    share1 = platform.share(alice, secret_object, party_context, k=2, construction=1)
+    share2 = platform.share(alice, secret_object, party_context, k=2, construction=2)
+    return platform, alice, bob, share1, share2
+
+
+class TestSnapshotRestore:
+    def test_accounts_and_friendships_survive(self, populated):
+        platform, alice, bob, _, _ = populated
+        restored = restore_platform(snapshot_platform(platform))
+        assert restored.provider.user_count() == 2
+        restored_alice = next(
+            a.user for a in restored.provider._accounts.values() if a.user.name == "alice"
+        )
+        assert restored.provider.profile_of(restored_alice)["city"] == "wichita"
+        friends = restored.provider.friends_of(restored_alice)
+        assert [f.name for f in friends] == ["bob"]
+
+    def test_posts_survive(self, populated):
+        platform, alice, bob, share1, _ = populated
+        restored = restore_platform(snapshot_platform(platform))
+        feed = restored.provider.feed(bob)
+        assert any(p.post_id == share1.post.post_id for p in feed)
+
+    def test_c1_puzzle_solvable_after_restore(
+        self, populated, party_context, secret_object
+    ):
+        platform, alice, bob, share1, _ = populated
+        restored = restore_platform(snapshot_platform(platform))
+        result = restored.app_c1.attempt_access(
+            bob, share1.puzzle_id, party_context, rng=random.Random(5)
+        )
+        assert result.plaintext == secret_object
+
+    def test_c2_puzzle_solvable_after_restore(
+        self, populated, party_context, secret_object
+    ):
+        platform, alice, bob, _, share2 = populated
+        restored = restore_platform(snapshot_platform(platform))
+        result = restored.app_c2.attempt_access(bob, share2.puzzle_id, party_context)
+        assert result.plaintext == secret_object
+
+    def test_new_activity_after_restore(self, populated, party_context, secret_object):
+        """Serials continue, so fresh shares get fresh ids/urls."""
+        platform, alice, bob, share1, share2 = populated
+        restored = restore_platform(snapshot_platform(platform))
+        restored_alice = next(
+            a.user for a in restored.provider._accounts.values() if a.user.name == "alice"
+        )
+        share3 = restored.share(
+            restored_alice, secret_object, party_context, k=2, construction=1
+        )
+        assert share3.puzzle_id != share1.puzzle_id
+        assert share3.post.post_id not in (share1.post.post_id, share2.post.post_id)
+
+    def test_snapshot_is_json_serializable(self, populated):
+        platform, *_ = populated
+        json.dumps(snapshot_platform(platform))  # must not raise
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, populated, tmp_path, party_context, secret_object):
+        platform, alice, bob, share1, _ = populated
+        path = str(tmp_path / "world.json")
+        save_platform(platform, path)
+        restored = load_platform(path)
+        result = restored.app_c1.attempt_access(
+            bob, share1.puzzle_id, party_context, rng=random.Random(5)
+        )
+        assert result.plaintext == secret_object
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            restore_platform({"version": 999})
+
+    def test_non_preset_params_rejected(self, party_context):
+        from repro.crypto.params import generate_type_a_params
+
+        custom = generate_type_a_params(16, 64)
+        platform = SocialPuzzlePlatform(params=custom)
+        with pytest.raises(ValueError):
+            snapshot_platform(platform)

@@ -1,0 +1,147 @@
+"""Tests for the simulated OSN service provider."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.osn.provider import OsnError, ServiceProvider
+
+
+@pytest.fixture()
+def sp():
+    return ServiceProvider()
+
+
+@pytest.fixture()
+def trio(sp):
+    return sp.register_user("alice"), sp.register_user("bob"), sp.register_user("carol")
+
+
+class TestAccounts:
+    def test_registration(self, sp):
+        user = sp.register_user("dana", {"city": "wichita"})
+        assert user.name == "dana"
+        assert sp.profile_of(user) == {"city": "wichita"}
+        assert sp.user_count() == 1
+
+    def test_unique_ids(self, sp):
+        a = sp.register_user("x")
+        b = sp.register_user("x")
+        assert a.user_id != b.user_id
+
+    def test_profile_update(self, sp):
+        user = sp.register_user("dana")
+        sp.update_profile(user, status="hiking")
+        assert sp.profile_of(user)["status"] == "hiking"
+
+    def test_profile_copy_returned(self, sp):
+        user = sp.register_user("dana", {"a": "1"})
+        sp.profile_of(user)["a"] = "mutated"
+        assert sp.profile_of(user)["a"] == "1"
+
+    def test_unknown_user_rejected(self, sp):
+        from repro.osn.provider import User
+
+        ghost = User(user_id=999, name="ghost")
+        with pytest.raises(OsnError):
+            sp.friends_of(ghost)
+
+
+class TestFriendship:
+    def test_symmetry(self, sp, trio):
+        alice, bob, _ = trio
+        sp.befriend(alice, bob)
+        assert sp.are_friends(alice, bob)
+        assert sp.are_friends(bob, alice)
+
+    def test_self_friend_rejected(self, sp, trio):
+        alice, _, _ = trio
+        with pytest.raises(OsnError):
+            sp.befriend(alice, alice)
+
+    def test_unfriend(self, sp, trio):
+        alice, bob, _ = trio
+        sp.befriend(alice, bob)
+        sp.unfriend(alice, bob)
+        assert not sp.are_friends(alice, bob)
+        assert not sp.are_friends(bob, alice)
+
+    def test_friends_of_sorted(self, sp, trio):
+        alice, bob, carol = trio
+        sp.befriend(alice, carol)
+        sp.befriend(alice, bob)
+        assert sp.friends_of(alice) == [bob, carol]
+
+    def test_befriend_idempotent(self, sp, trio):
+        alice, bob, _ = trio
+        sp.befriend(alice, bob)
+        sp.befriend(alice, bob)
+        assert len(sp.friends_of(alice)) == 1
+
+
+class TestPostsAndFeeds:
+    def test_friends_audience(self, sp, trio):
+        alice, bob, carol = trio
+        sp.befriend(alice, bob)
+        post = sp.post(alice, "hello friends")
+        assert sp.can_view(bob, post)
+        assert not sp.can_view(carol, post)
+        assert sp.can_view(alice, post)  # author always sees own post
+
+    def test_public_audience(self, sp, trio):
+        alice, _, carol = trio
+        post = sp.post(alice, "hello world", audience="public")
+        assert sp.can_view(carol, post)
+
+    def test_custom_acl(self, sp, trio):
+        alice, bob, carol = trio
+        sp.befriend(alice, bob)
+        sp.befriend(alice, carol)
+        post = sp.post(alice, "only carol", audience=[carol.user_id])
+        assert sp.can_view(carol, post)
+        assert not sp.can_view(bob, post)
+
+    def test_invalid_audience_string(self, sp, trio):
+        alice, _, _ = trio
+        with pytest.raises(OsnError):
+            sp.post(alice, "x", audience="everyone!!!")
+
+    def test_feed_newest_first(self, sp, trio):
+        alice, bob, _ = trio
+        sp.befriend(alice, bob)
+        first = sp.post(alice, "first")
+        second = sp.post(alice, "second")
+        feed = sp.feed(bob)
+        assert [p.post_id for p in feed] == [second.post_id, first.post_id]
+
+    def test_get_post_enforces_acl(self, sp, trio):
+        alice, _, carol = trio
+        post = sp.post(alice, "private")
+        with pytest.raises(OsnError):
+            sp.get_post(carol, post.post_id)
+
+    def test_get_missing_post(self, sp, trio):
+        alice, _, _ = trio
+        with pytest.raises(OsnError):
+            sp.get_post(alice, 999)
+
+    def test_posts_recorded_in_audit(self, sp, trio):
+        alice, _, _ = trio
+        sp.post(alice, "surveilled content")
+        assert sp.audit.saw(b"surveilled content")
+
+
+class TestHostedServices:
+    def test_host_and_lookup(self, sp):
+        service = object()
+        sp.host_service("puzzles", service)
+        assert sp.service("puzzles") is service
+
+    def test_duplicate_rejected(self, sp):
+        sp.host_service("puzzles", object())
+        with pytest.raises(OsnError):
+            sp.host_service("puzzles", object())
+
+    def test_missing_service(self, sp):
+        with pytest.raises(OsnError):
+            sp.service("nope")

@@ -1,0 +1,131 @@
+"""Tests for the BLS-authenticated secure channel (the simulated HTTPS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.bls import BlsScheme
+from repro.crypto.params import TOY
+from repro.osn.securechannel import (
+    ChannelClient,
+    ChannelError,
+    ChannelServer,
+    ClientHello,
+    Record,
+    establish_channel,
+)
+
+
+@pytest.fixture(scope="module")
+def bls():
+    return BlsScheme(TOY)
+
+
+@pytest.fixture(scope="module")
+def server_identity(bls):
+    return bls.keygen()
+
+
+@pytest.fixture()
+def channel(bls, server_identity):
+    return establish_channel(TOY, bls, server_identity)
+
+
+class TestHandshake:
+    def test_establish_and_exchange(self, channel):
+        client, server = channel
+        record = client.send(b"hello over the simulated HTTPS hop")
+        assert server.receive(record) == b"hello over the simulated HTTPS hop"
+        reply = server.send(b"ack")
+        assert client.receive(reply) == b"ack"
+
+    def test_mutual_authentication(self, bls, server_identity):
+        client_identity = bls.keygen()
+        client, server = establish_channel(
+            TOY, bls, server_identity, client_identity=client_identity
+        )
+        assert server.receive(client.send(b"authed")) == b"authed"
+
+    def test_wrong_server_identity_rejected(self, bls, server_identity):
+        impostor = bls.keygen()
+        client = ChannelClient(TOY, bls)
+        server = ChannelServer(TOY, bls, identity=impostor)  # MITM
+        server_hello, _, _ = server.respond(client.hello())
+        with pytest.raises(ChannelError):
+            client.finish(server_hello, server_identity.public)
+
+    def test_unauthenticated_client_rejected_when_required(self, bls, server_identity):
+        client = ChannelClient(TOY, bls)  # no identity
+        server = ChannelServer(TOY, bls, identity=server_identity)
+        server_hello, _, transcript = server.respond(client.hello())
+        finished, _ = client.finish(server_hello, server_identity.public)
+        with pytest.raises(ChannelError):
+            server.verify_finished(finished, transcript, bls.keygen().public)
+
+    def test_invalid_client_ephemeral_rejected(self, bls, server_identity):
+        server = ChannelServer(TOY, bls, identity=server_identity)
+        with pytest.raises(ChannelError):
+            server.respond(ClientHello(client_ephemeral=TOY.infinity()))
+
+    def test_independent_channels_have_independent_keys(self, bls, server_identity):
+        c1, s1 = establish_channel(TOY, bls, server_identity)
+        c2, s2 = establish_channel(TOY, bls, server_identity)
+        record = c1.send(b"same message")
+        other = c2.send(b"same message")
+        assert record.ciphertext != other.ciphertext
+        with pytest.raises(ChannelError):
+            s2.receive(record)  # cross-channel record rejected
+
+
+class TestRecordLayer:
+    def test_empty_and_large_messages(self, channel):
+        client, server = channel
+        assert server.receive(client.send(b"")) == b""
+        big = bytes(range(256)) * 64
+        assert server.receive(client.send(big)) == big
+
+    def test_tampered_ciphertext_rejected(self, channel):
+        client, server = channel
+        record = client.send(b"integrity matters")
+        bad = Record(
+            sequence=record.sequence,
+            ciphertext=bytes([record.ciphertext[0] ^ 1]) + record.ciphertext[1:],
+            tag=record.tag,
+        )
+        with pytest.raises(ChannelError):
+            server.receive(bad)
+
+    def test_tampered_tag_rejected(self, channel):
+        client, server = channel
+        record = client.send(b"integrity matters")
+        bad = Record(record.sequence, record.ciphertext, b"\x00" * len(record.tag))
+        with pytest.raises(ChannelError):
+            server.receive(bad)
+
+    def test_replay_rejected(self, channel):
+        client, server = channel
+        record = client.send(b"once only")
+        assert server.receive(record) == b"once only"
+        with pytest.raises(ChannelError):
+            server.receive(record)
+
+    def test_reorder_rejected(self, channel):
+        client, server = channel
+        first = client.send(b"first")
+        second = client.send(b"second")
+        with pytest.raises(ChannelError):
+            server.receive(second)  # skipped ahead
+
+    def test_directions_are_separated(self, channel):
+        client, server = channel
+        record = client.send(b"to server")
+        # The client cannot accept its own outbound record.
+        with pytest.raises(ChannelError):
+            client.receive(record)
+
+    def test_sequences_progress(self, channel):
+        client, server = channel
+        for i in range(5):
+            record = client.send(b"msg %d" % i)
+            assert record.sequence == i
+            assert server.receive(record) == b"msg %d" % i

@@ -1,0 +1,87 @@
+"""Tests for the storage host DH and audit trails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.osn.storage import AuditTrail, StorageError, StorageHost
+
+
+class TestStorageHost:
+    def test_put_get_roundtrip(self):
+        dh = StorageHost()
+        url = dh.put(b"encrypted blob")
+        assert dh.get(url) == b"encrypted blob"
+
+    def test_urls_unique(self):
+        dh = StorageHost()
+        urls = {dh.put(b"same data") for _ in range(10)}
+        assert len(urls) == 10
+
+    def test_url_namespace(self):
+        dh = StorageHost(name="dropbox-sim")
+        assert dh.put(b"x").startswith("dh://dropbox-sim/")
+
+    def test_missing_url_raises(self):
+        with pytest.raises(StorageError):
+            StorageHost().get("dh://nowhere/1")
+
+    def test_exists_and_delete(self):
+        dh = StorageHost()
+        url = dh.put(b"x")
+        assert dh.exists(url)
+        dh.delete(url)
+        assert not dh.exists(url)
+        with pytest.raises(StorageError):
+            dh.get(url)
+
+    def test_counters(self):
+        dh = StorageHost()
+        dh.put(b"12345")
+        dh.put(b"678")
+        assert dh.object_count() == 2
+        assert dh.stored_bytes() == 8
+
+    def test_tamper(self):
+        dh = StorageHost()
+        url = dh.put(b"original")
+        dh.tamper(url, b"evil")
+        assert dh.get(url) == b"evil"
+
+    def test_tamper_missing_raises(self):
+        with pytest.raises(StorageError):
+            StorageHost().tamper("dh://x/1", b"evil")
+
+    def test_put_copies_data(self):
+        dh = StorageHost()
+        data = bytearray(b"mutable")
+        url = dh.put(bytes(data))
+        data[0] = 0
+        assert dh.get(url) == b"mutable"
+
+
+class TestAuditTrail:
+    def test_records_and_finds(self):
+        audit = AuditTrail()
+        audit.record(b"the SP saw this payload")
+        assert audit.saw(b"payload")
+        assert not audit.saw(b"never sent")
+
+    def test_assert_never_saw(self):
+        audit = AuditTrail()
+        audit.record(b"benign")
+        audit.assert_never_saw(b"secret")
+        with pytest.raises(AssertionError):
+            audit.record(b"contains secret value")
+            audit.assert_never_saw(b"secret")
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(ValueError):
+            AuditTrail().saw(b"")
+
+    def test_storage_records_everything(self):
+        dh = StorageHost()
+        dh.put(b"blob-one")
+        dh.put(b"blob-two")
+        assert dh.audit.saw(b"blob-one")
+        assert dh.audit.saw(b"blob-two")

@@ -1,0 +1,128 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import normalize_answer
+from repro.osn.provider import ServiceProvider
+from repro.osn.workload import PaperWorkload, WorkloadGenerator
+
+
+class TestEvents:
+    def test_event_sizes(self):
+        gen = WorkloadGenerator(seed=1)
+        for n in (1, 3, 5, 9):
+            event = gen.event(n)
+            assert len(event.context) == n
+
+    def test_known_kind(self):
+        gen = WorkloadGenerator(seed=1)
+        event = gen.event(3, kind="party")
+        assert event.kind == "party"
+        assert event.name.startswith("party-")
+
+    def test_questions_distinct(self):
+        gen = WorkloadGenerator(seed=2)
+        event = gen.event(10)
+        questions = event.context.questions
+        assert len(set(questions)) == len(questions)
+
+    def test_deterministic_with_seed(self):
+        a = WorkloadGenerator(seed=9).event(4, kind="trip")
+        b = WorkloadGenerator(seed=9).event(4, kind="trip")
+        assert a.context == b.context
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1).event(4, kind="trip")
+        b = WorkloadGenerator(seed=2).event(4, kind="trip")
+        assert a.context != b.context
+
+    def test_zero_questions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator().event(0)
+
+
+class TestKnowledge:
+    def test_subset_size_and_correctness(self):
+        gen = WorkloadGenerator(seed=3)
+        event = gen.event(6)
+        partial = gen.knowledge_subset(event.context, 3)
+        assert len(partial) == 3
+        for pair in partial.pairs:
+            assert event.context.answer_for(pair.question) == pair.answer
+
+    def test_subset_bounds(self):
+        gen = WorkloadGenerator(seed=3)
+        event = gen.event(3)
+        with pytest.raises(ValueError):
+            gen.knowledge_subset(event.context, 0)
+        with pytest.raises(ValueError):
+            gen.knowledge_subset(event.context, 4)
+
+    def test_corrupted_knowledge(self):
+        gen = WorkloadGenerator(seed=4)
+        event = gen.event(5)
+        corrupted = gen.corrupted_knowledge(event.context, 2)
+        wrong = sum(
+            1
+            for pair in corrupted.pairs
+            if normalize_answer(pair.answer)
+            != normalize_answer(event.context.answer_for(pair.question))
+        )
+        assert wrong == 2
+
+
+class TestSocialGraph:
+    def test_population(self):
+        gen = WorkloadGenerator(seed=5)
+        sp = ServiceProvider()
+        users = gen.populate_social_graph(sp, 20, mean_degree=4)
+        assert len(users) == 20
+        assert sp.user_count() == 20
+        degrees = [len(sp.friends_of(u)) for u in users]
+        assert all(d >= 1 for d in degrees)
+        # Watts-Strogatz keeps mean degree near the requested value.
+        assert 2 <= sum(degrees) / len(degrees) <= 6
+
+    def test_symmetry_everywhere(self):
+        gen = WorkloadGenerator(seed=6)
+        sp = ServiceProvider()
+        users = gen.populate_social_graph(sp, 12)
+        for u in users:
+            for friend in sp.friends_of(u):
+                assert sp.are_friends(friend, u)
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator().populate_social_graph(ServiceProvider(), 2)
+
+    def test_split_audience(self):
+        gen = WorkloadGenerator(seed=7)
+        sp = ServiceProvider()
+        users = gen.populate_social_graph(sp, 30)
+        event = gen.event(4)
+        split = gen.split_audience(event.context, users)
+        assert set(split) == {u.user_id for u in users}
+        fulls = sum(1 for k in split.values() if k is not None and len(k) == 4)
+        nones = sum(1 for k in split.values() if k is None)
+        partials = len(split) - fulls - nones
+        assert fulls and nones and partials  # all three classes appear
+
+
+class TestPaperWorkload:
+    def test_exact_lengths(self):
+        wl = PaperWorkload(seed=1)
+        assert len(wl.message()) == 100
+        ctx = wl.context(5)
+        assert len(ctx) == 5
+        for pair in ctx.pairs:
+            assert len(pair.question) == 50
+            assert len(pair.answer) == 20
+
+    def test_distinct_questions(self):
+        ctx = PaperWorkload(seed=2).context(10)
+        assert len(set(ctx.questions)) == 10
+
+    def test_deterministic(self):
+        assert PaperWorkload(seed=3).message() == PaperWorkload(seed=3).message()

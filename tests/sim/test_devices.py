@@ -1,0 +1,39 @@
+"""Tests for device profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.devices import PC, TABLET, DeviceProfile, get_device
+
+
+class TestProfiles:
+    def test_pc_anchor(self):
+        assert PC.compute_scale == 1.0
+        assert PC.supports_cpabe_toolkit
+
+    def test_tablet_slower(self):
+        assert TABLET.compute_scale > PC.compute_scale
+        assert not TABLET.supports_cpabe_toolkit
+
+    def test_scale(self):
+        assert TABLET.scale(1.0) == TABLET.compute_scale
+        assert PC.scale(0.5) == 0.5
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PC.scale(-0.1)
+
+    def test_default_links(self):
+        assert "tablet" in TABLET.default_link().name
+        assert "pc" in PC.default_link().name
+
+    def test_lookup(self):
+        assert get_device("pc") is PC
+        assert get_device("tablet") is TABLET
+        with pytest.raises(ValueError):
+            get_device("mainframe")
+
+    def test_custom_profile(self):
+        slow = DeviceProfile(name="pc-slow", compute_scale=10.0, supports_cpabe_toolkit=True)
+        assert slow.scale(2.0) == 20.0

@@ -1,0 +1,84 @@
+"""Tests for the system-level simulation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.driver import SimulationConfig, run_simulation
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SimulationConfig()
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(construction=3)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(questions_per_event=3, threshold=4)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_simulation(
+            SimulationConfig(num_users=25, ticks=20, seed=3)
+        )
+
+    def test_activity_happened(self, report):
+        assert report.shares > 0
+        assert report.access_attempts > 0
+        assert report.access_granted > 0
+        assert len(report.per_tick_shares) == 20
+
+    def test_no_false_positives_ever(self, report):
+        """The load-bearing assertion: no stranger ever got in."""
+        assert report.stranger_granted == 0
+
+    def test_denials_happen(self, report):
+        """Partial knowers and strangers are denied at least sometimes."""
+        assert report.access_denied > 0
+
+    def test_costs_accumulate(self, report):
+        assert report.sharer_local_s > 0
+        assert report.sharer_network_s > 0
+        assert report.receiver_local_s > 0
+        assert report.bytes_transferred > 0
+
+    def test_service_state_accounted(self, report):
+        assert report.sp_stored_puzzles == report.shares
+        assert report.dh_stored_bytes > 0
+
+    def test_grant_rate_sane(self, report):
+        assert 0 < report.grant_rate < 1
+
+    def test_summary_lines(self, report):
+        lines = report.summary_lines()
+        assert len(lines) == 4
+        assert "false positives" in lines[1]
+
+    def test_deterministic(self):
+        config = SimulationConfig(num_users=15, ticks=8, seed=9)
+        a = run_simulation(config)
+        b = run_simulation(config)
+        assert a.shares == b.shares
+        assert a.access_granted == b.access_granted
+        assert a.bytes_transferred == b.bytes_transferred
+
+    def test_construction_2_variant(self):
+        report = run_simulation(
+            SimulationConfig(num_users=12, ticks=6, construction=2, seed=4)
+        )
+        assert report.stranger_granted == 0
+        assert report.shares >= 1
+
+    def test_higher_threshold_lowers_grant_rate(self):
+        low = run_simulation(
+            SimulationConfig(num_users=20, ticks=15, threshold=1, seed=6)
+        )
+        high = run_simulation(
+            SimulationConfig(num_users=20, ticks=15, threshold=4, seed=6)
+        )
+        assert high.grant_rate <= low.grant_rate

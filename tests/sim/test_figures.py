@@ -1,0 +1,64 @@
+"""Tests for the Figure 10 measurement harness (toy params for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.params import TOY
+from repro.sim.devices import PC, TABLET
+from repro.sim.figures import FigurePoint, measure_point, print_figure, series
+
+
+class TestMeasurePoint:
+    def test_sharer_point_populated(self):
+        point = measure_point(1, "sharer", 3, params=TOY, file_size_model="actual")
+        assert point.n == 3
+        assert point.local_ms > 0
+        assert point.network_ms > 0
+        assert point.total_ms == pytest.approx(point.local_ms + point.network_ms)
+
+    def test_receiver_point_populated(self):
+        point = measure_point(1, "receiver", 3, params=TOY, file_size_model="actual")
+        assert point.local_ms > 0 and point.network_ms > 0
+
+    def test_construction_2(self):
+        point = measure_point(2, "receiver", 2, params=TOY, file_size_model="actual")
+        assert point.local_ms > 0
+
+    def test_bad_role(self):
+        with pytest.raises(ValueError):
+            measure_point(1, "observer", 2, params=TOY)
+
+    def test_paper_model_inflates_network(self):
+        actual = measure_point(2, "sharer", 2, params=TOY, file_size_model="actual")
+        paper = measure_point(2, "sharer", 2, params=TOY, file_size_model="paper")
+        assert paper.network_ms > 3 * actual.network_ms
+
+    def test_tablet_slower(self):
+        pc = measure_point(1, "sharer", 3, device=PC, params=TOY)
+        tablet = measure_point(1, "sharer", 3, device=TABLET, params=TOY)
+        assert tablet.local_ms > pc.local_ms
+        assert tablet.network_ms > pc.network_ms
+
+
+class TestSeries:
+    def test_series_covers_n_values(self):
+        points = series(1, "sharer", params=TOY, n_values=[2, 3], file_size_model="actual")
+        assert [p.n for p in points] == [2, 3]
+
+
+class TestPrintFigure:
+    def test_prints_rows(self, capsys):
+        points = [FigurePoint(2, 1.0, 2.0), FigurePoint(4, 3.0, 4.0)]
+        print_figure("Test Figure", {"A": points, "B": points})
+        out = capsys.readouterr().out
+        assert "Test Figure" in out
+        assert "A local(ms)" in out
+        assert out.count("\n") >= 4
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(AssertionError):
+            print_figure(
+                "bad",
+                {"A": [FigurePoint(2, 1, 1)], "B": [FigurePoint(2, 1, 1), FigurePoint(4, 1, 1)]},
+            )

@@ -1,0 +1,86 @@
+"""Tests for measurement aggregation and CSV export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.figures import FigurePoint
+from repro.sim.metrics import figure_series_to_csv, summarize, write_csv
+from repro.sim.timing import TimingBreakdown
+
+
+def _breakdown(local, network):
+    return TimingBreakdown(local_s=local, network_s=network)
+
+
+class TestSummarize:
+    def test_single_run(self):
+        summary = summarize([_breakdown(1.0, 2.0)])
+        assert summary.count == 1
+        assert summary.local_mean_s == 1.0
+        assert summary.network_p95_s == 2.0
+        assert summary.total_mean_s == 3.0
+
+    def test_statistics(self):
+        runs = [_breakdown(x, 2 * x) for x in (1.0, 2.0, 3.0, 4.0)]
+        summary = summarize(runs)
+        assert summary.count == 4
+        assert summary.local_mean_s == 2.5
+        assert summary.local_median_s == 2.5
+        assert summary.network_mean_s == 5.0
+        assert 3.0 <= summary.local_p95_s <= 4.0
+
+    def test_p95_tracks_tail(self):
+        runs = [_breakdown(1.0, 1.0)] * 19 + [_breakdown(100.0, 1.0)]
+        summary = summarize(runs)
+        assert summary.local_p95_s > summary.local_median_s
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row(self):
+        row = summarize([_breakdown(1, 1)]).as_row()
+        assert row["count"] == 1
+        assert set(row) == {
+            "count", "local_mean_s", "local_median_s", "local_p95_s",
+            "network_mean_s", "network_median_s", "network_p95_s",
+            "total_mean_s",
+        }
+
+
+class TestCsvExport:
+    def _series(self):
+        return {
+            "I1": [FigurePoint(2, 1.5, 10.0), FigurePoint(4, 2.5, 11.0)],
+            "I2": [FigurePoint(2, 20.0, 100.0), FigurePoint(4, 30.0, 100.0)],
+        }
+
+    def test_header_and_rows(self):
+        text = figure_series_to_csv(self._series())
+        lines = text.strip().splitlines()
+        assert lines[0] == "n,I1_local_ms,I1_network_ms,I2_local_ms,I2_network_ms"
+        assert lines[1] == "2,1.5,10.0,20.0,100.0"
+        assert lines[2] == "4,2.5,11.0,30.0,100.0"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            figure_series_to_csv({})
+
+    def test_mismatched_lengths_rejected(self):
+        bad = {"A": [FigurePoint(2, 1, 1)], "B": []}
+        with pytest.raises(ValueError):
+            figure_series_to_csv(bad)
+
+    def test_mismatched_n_rejected(self):
+        bad = {
+            "A": [FigurePoint(2, 1, 1)],
+            "B": [FigurePoint(3, 1, 1)],
+        }
+        with pytest.raises(ValueError):
+            figure_series_to_csv(bad)
+
+    def test_write_csv_file(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        write_csv(self._series(), str(path))
+        assert path.read_text().startswith("n,I1_local_ms")

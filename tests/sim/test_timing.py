@@ -1,0 +1,72 @@
+"""Tests for the cost meter and timing breakdowns."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.osn.network import WLAN_PC
+from repro.sim.devices import PC, TABLET
+from repro.sim.timing import CostMeter, TimingBreakdown
+
+
+class TestCostMeter:
+    def test_measure_accumulates_local(self):
+        meter = CostMeter(PC, WLAN_PC())
+        with meter.measure("spin"):
+            time.sleep(0.01)
+        report = meter.report()
+        assert report.local_s >= 0.01
+        assert report.network_s == 0
+        assert report.records[0].label == "spin"
+        assert report.records[0].kind == "local"
+
+    def test_device_scaling(self):
+        pc_meter = CostMeter(PC, WLAN_PC())
+        tablet_meter = CostMeter(TABLET, WLAN_PC())
+        pc_meter.charge_local("work", 0.1)
+        tablet_meter.charge_local("work", 0.1)
+        assert tablet_meter.report().local_s == pytest.approx(
+            pc_meter.report().local_s * TABLET.compute_scale
+        )
+
+    def test_network_charges(self):
+        link = WLAN_PC()
+        meter = CostMeter(PC, link)
+        meter.charge_upload("puzzle", 1000)
+        meter.charge_download("object", 5000)
+        report = meter.report()
+        assert report.network_s == pytest.approx(
+            link.upload_delay(1000) + link.download_delay(5000)
+        )
+        assert report.bytes_transferred() == 6000
+        assert len(link.log) == 2
+
+    def test_measure_records_on_exception(self):
+        meter = CostMeter(PC, WLAN_PC())
+        with pytest.raises(RuntimeError):
+            with meter.measure("failing"):
+                raise RuntimeError("boom")
+        assert len(meter.report().records) == 1
+
+    def test_total(self):
+        meter = CostMeter(PC, WLAN_PC())
+        meter.charge_local("a", 0.2)
+        meter.charge_upload("b", 0)
+        report = meter.report()
+        assert report.total_s == pytest.approx(report.local_s + report.network_s)
+
+
+class TestTimingBreakdown:
+    def test_merge(self):
+        a = TimingBreakdown(local_s=1.0, network_s=2.0)
+        b = TimingBreakdown(local_s=0.5, network_s=0.25)
+        merged = a.merged_with(b)
+        assert merged.local_s == 1.5
+        assert merged.network_s == 2.25
+
+    def test_empty_defaults(self):
+        fresh = TimingBreakdown()
+        assert fresh.total_s == 0
+        assert fresh.bytes_transferred() == 0
