@@ -22,13 +22,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from typing import Callable, TypeVar
+
 from repro.core.construction1 import (
     DisplayedPuzzle,
     PuzzleServiceC1,
     ReceiverC1,
     SharerC1,
 )
-from repro.core.throttle import ThrottledPuzzleServiceC1
 from repro.core.construction2 import (
     DisplayedPuzzleC2,
     PuzzleServiceC2,
@@ -36,11 +37,18 @@ from repro.core.construction2 import (
     SharerC2,
 )
 from repro.core.context import Context
-from repro.core.errors import AccessDeniedError, PuzzleParameterError
+from repro.core.errors import (
+    AccessDeniedError,
+    PuzzleParameterError,
+    ShareFailedError,
+    SocialPuzzleError,
+)
+from repro.core.throttle import ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2
 from repro.crypto.bls import BlsScheme
 from repro.crypto.ec import CurveParams
 from repro.osn.network import NetworkLink
 from repro.osn.provider import Post, ServiceProvider, User
+from repro.osn.resilience import RetryPolicy
 from repro.osn.securechannel import ChannelClient, ChannelServer
 from repro.osn.storage import StorageHost
 from repro.sim.devices import PC, DeviceProfile
@@ -54,6 +62,15 @@ __all__ = [
     "SocialPuzzleAppC2",
     "PAPER_I2_FILE_SIZES",
 ]
+
+_T = TypeVar("_T")
+
+
+def _unwrap(service: object) -> object:
+    """Peel fault-injection / resilience proxies off a wrapped service."""
+    while hasattr(service, "wrapped"):
+        service = service.wrapped  # type: ignore[attr-defined]
+    return service
 
 # Per-record framing added by the secure channel: sequence number + HMAC tag.
 _RECORD_OVERHEAD = 8 + 32
@@ -135,11 +152,13 @@ class SocialPuzzleAppC1:
         bls: BlsScheme | None = None,
         transport: SecureTransport | None = None,
         throttle_max_failures: int | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.provider = provider
         self.storage = storage
         self.bls = bls
         self.transport = transport
+        self.retry = retry
         if throttle_max_failures is not None:
             self.service: PuzzleServiceC1 = ThrottledPuzzleServiceC1(
                 max_failures=throttle_max_failures, audit=provider.audit
@@ -153,6 +172,20 @@ class SocialPuzzleAppC1:
         if user.user_id not in self._sharers:
             self._sharers[user.user_id] = SharerC1(user.name, self.storage, bls=self.bls)
         return self._sharers[user.user_id]
+
+    def _call(self, label: str, fn: Callable[[], _T]) -> _T:
+        """Route an SP-bound request through the retry policy, if any."""
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn, label)
+
+    def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
+        """Undo a partially published share: puzzle registration first
+        (so no live registration ever points at a deleted blob), then the
+        blob itself."""
+        if puzzle_id is not None:
+            self.service.remove_puzzle(puzzle_id)
+        self.storage.delete(url)
 
     def share(
         self,
@@ -174,18 +207,35 @@ class SocialPuzzleAppC1:
         with meter.measure("sharer crypto (secret, shares, hashes, AES)"):
             puzzle = sharer.upload(obj, context, k, n)
 
-        encrypted_size = len(self.storage.get(puzzle.url))
-        meter.charge_upload("store encrypted object on DH", encrypted_size + overhead)
-        meter.charge_upload("upload puzzle Z_O to SP", puzzle.byte_size() + overhead)
+        # The encrypted blob is on the DH now. From here on the share is
+        # atomic: any failure before the profile post lands rolls back
+        # every published artifact and raises a typed error.
+        puzzle_id: int | None = None
+        try:
+            encrypted_size = len(self.storage.get(puzzle.url))
+            meter.charge_upload(
+                "store encrypted object on DH", encrypted_size + overhead
+            )
+            meter.charge_upload("upload puzzle Z_O to SP", puzzle.byte_size() + overhead)
 
-        puzzle_id = self.service.store_puzzle(puzzle)
-        post = self.provider.post(
-            user,
-            f"[social-puzzle] {user.name} shared a protected object — "
-            f"solve puzzle #{puzzle_id} to view.",
-            audience=audience,
-        )
-        meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+            puzzle_id = self._call(
+                "sp.store_puzzle", lambda: self.service.store_puzzle(puzzle)
+            )
+            post = self._call(
+                "sp.post",
+                lambda: self.provider.post(
+                    user,
+                    f"[social-puzzle] {user.name} shared a protected object — "
+                    f"solve puzzle #{puzzle_id} to view.",
+                    audience=audience,
+                ),
+            )
+            meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+        except Exception as exc:
+            self._rollback_share(puzzle.url, puzzle_id)
+            if isinstance(exc, SocialPuzzleError):
+                raise
+            raise ShareFailedError("share rolled back: %s" % exc) from exc
         return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
 
     def attempt_access(
@@ -202,7 +252,9 @@ class SocialPuzzleAppC1:
         overhead = self.transport.open_session(meter) if self.transport else 0
         receiver = ReceiverC1(viewer.name, self.storage, bls=self.bls)
 
-        displayed: DisplayedPuzzle = self.service.display_puzzle(puzzle_id, rng=rng)
+        displayed: DisplayedPuzzle = self._call(
+            "sp.display_puzzle", lambda: self.service.display_puzzle(puzzle_id, rng=rng)
+        )
         meter.charge_download(
             "fetch puzzle page (questions)", displayed.byte_size() + overhead
         )
@@ -211,10 +263,14 @@ class SocialPuzzleAppC1:
             answers = receiver.answer_puzzle(displayed, knowledge)
         meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
 
-        if isinstance(self.service, ThrottledPuzzleServiceC1):
-            release = self.service.verify(answers, requester=viewer.name)
+        if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC1):
+            release = self._call(
+                "sp.verify",
+                lambda: self.service.verify(answers, requester=viewer.name),
+            )
         else:
-            release = self.service.verify(answers)  # raises AccessDeniedError
+            # raises AccessDeniedError (a permanent error — never retried)
+            release = self._call("sp.verify", lambda: self.service.verify(answers))
         meter.charge_download(
             "receive released shares + URL", release.byte_size() + overhead
         )
@@ -240,6 +296,8 @@ class SocialPuzzleAppC2:
         file_size_model: str = "actual",
         legacy_unperturbed_ciphertext: bool = False,
         transport: SecureTransport | None = None,
+        throttle_max_failures: int | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if file_size_model not in ("actual", "paper"):
             raise ValueError("file_size_model must be 'actual' or 'paper'")
@@ -250,8 +308,28 @@ class SocialPuzzleAppC2:
         self.digestmod = digestmod
         self.file_size_model = file_size_model
         self.legacy_unperturbed_ciphertext = legacy_unperturbed_ciphertext
-        self.service = PuzzleServiceC2(audit=provider.audit, digestmod=digestmod)
+        self.retry = retry
+        if throttle_max_failures is not None:
+            self.service: PuzzleServiceC2 = ThrottledPuzzleServiceC2(
+                max_failures=throttle_max_failures,
+                audit=provider.audit,
+                digestmod=digestmod,
+            )
+        else:
+            self.service = PuzzleServiceC2(audit=provider.audit, digestmod=digestmod)
         provider.host_service(self.SERVICE_NAME, self.service)
+
+    def _call(self, label: str, fn: Callable[[], _T]) -> _T:
+        """Route an SP-bound request through the retry policy, if any."""
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn, label)
+
+    def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
+        """Undo a partially published share (registration, then blob)."""
+        if puzzle_id is not None:
+            self.service.remove_upload(puzzle_id)
+        self.storage.delete(url)
 
     def _check_device(self, device: DeviceProfile) -> None:
         if not device.supports_cpabe_toolkit:
@@ -290,32 +368,45 @@ class SocialPuzzleAppC2:
         with meter.measure("sharer crypto (cpabe setup, encrypt, perturb)"):
             record, ct_bytes = sharer.upload(obj, context, k, n)
 
-        # Four cURL uploads, as in the prototype.
-        sizes = record.file_sizes()
-        meter.charge_upload(
-            "upload details.txt",
-            self._file_size("details.txt", sizes["details.txt"]) + overhead,
-        )
-        meter.charge_upload(
-            "upload pub_key", self._file_size("pub_key", sizes["pub_key"]) + overhead
-        )
-        meter.charge_upload(
-            "upload master_key",
-            self._file_size("master_key", sizes["master_key"]) + overhead,
-        )
-        meter.charge_upload(
-            "upload message.txt.cpabe",
-            self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
-        )
+        # The ciphertext is on the DH now; publish fully or roll back.
+        puzzle_id: int | None = None
+        try:
+            # Four cURL uploads, as in the prototype.
+            sizes = record.file_sizes()
+            meter.charge_upload(
+                "upload details.txt",
+                self._file_size("details.txt", sizes["details.txt"]) + overhead,
+            )
+            meter.charge_upload(
+                "upload pub_key", self._file_size("pub_key", sizes["pub_key"]) + overhead
+            )
+            meter.charge_upload(
+                "upload master_key",
+                self._file_size("master_key", sizes["master_key"]) + overhead,
+            )
+            meter.charge_upload(
+                "upload message.txt.cpabe",
+                self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
+            )
 
-        puzzle_id = self.service.store_upload(record)
-        post = self.provider.post(
-            user,
-            f"[social-puzzle] {user.name} shared a protected object — "
-            f"solve puzzle #{puzzle_id} to view.",
-            audience=audience,
-        )
-        meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+            puzzle_id = self._call(
+                "sp.store_upload", lambda: self.service.store_upload(record)
+            )
+            post = self._call(
+                "sp.post",
+                lambda: self.provider.post(
+                    user,
+                    f"[social-puzzle] {user.name} shared a protected object — "
+                    f"solve puzzle #{puzzle_id} to view.",
+                    audience=audience,
+                ),
+            )
+            meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+        except Exception as exc:
+            self._rollback_share(record.url, puzzle_id)
+            if isinstance(exc, SocialPuzzleError):
+                raise
+            raise ShareFailedError("share rolled back: %s" % exc) from exc
         return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
 
     def attempt_access(
@@ -333,7 +424,9 @@ class SocialPuzzleAppC2:
             viewer.name, self.storage, self.params, digestmod=self.digestmod
         )
 
-        displayed: DisplayedPuzzleC2 = self.service.display_puzzle(puzzle_id)
+        displayed: DisplayedPuzzleC2 = self._call(
+            "sp.display_puzzle", lambda: self.service.display_puzzle(puzzle_id)
+        )
         meter.charge_download(
             "download details.txt (questions)",
             self._file_size("details.txt", displayed.byte_size()) + overhead,
@@ -343,7 +436,14 @@ class SocialPuzzleAppC2:
             answers = receiver.answer_puzzle(displayed, knowledge)
         meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
 
-        grant = self.service.verify(answers)  # raises AccessDeniedError
+        if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC2):
+            grant = self._call(
+                "sp.verify",
+                lambda: self.service.verify(answers, requester=viewer.name),
+            )
+        else:
+            # raises AccessDeniedError (a permanent error — never retried)
+            grant = self._call("sp.verify", lambda: self.service.verify(answers))
 
         ct_size = len(self.storage.get(grant.url))
         meter.charge_download(

@@ -31,6 +31,7 @@ from repro.crypto.ec import CurveParams
 from repro.crypto.params import SMALL
 from repro.osn.network import NetworkLink
 from repro.osn.provider import Post, ServiceProvider, User
+from repro.osn.resilience import CircuitBreaker, ResilientStorageClient, RetryPolicy
 from repro.osn.storage import StorageHost
 from repro.sim.devices import PC, DeviceProfile
 
@@ -38,7 +39,18 @@ __all__ = ["SocialPuzzlePlatform"]
 
 
 class SocialPuzzlePlatform:
-    """Simulated OSN + storage + both social-puzzle applications."""
+    """Simulated OSN + storage + both social-puzzle applications.
+
+    Resilience wiring: pass ``provider`` / ``storage`` to substitute
+    fault-injecting substrates (:mod:`repro.osn.faults`), and a
+    ``retry_policy`` (plus optional ``circuit_breaker``) to make every
+    client journey retry transient faults. With a retry policy the
+    storage host is wrapped in a
+    :class:`~repro.osn.resilience.ResilientStorageClient` shared by both
+    applications, and SP-bound requests (store / post / display / verify
+    / post-ACL reads) run under the same policy. Backoff advances the
+    policy's simulated clock — never wall time.
+    """
 
     def __init__(
         self,
@@ -47,16 +59,33 @@ class SocialPuzzlePlatform:
         file_size_model: str = "actual",
         digestmod_c2: str = "sha1",
         secure_transport: bool = False,
+        provider: ServiceProvider | None = None,
+        storage: StorageHost | None = None,
+        retry_policy: RetryPolicy | None = None,
+        circuit_breaker: CircuitBreaker | None = None,
+        throttle_max_failures: int | None = None,
     ):
-        self.provider = ServiceProvider()
-        self.storage = StorageHost()
+        self.provider = provider if provider is not None else ServiceProvider()
+        base_storage = storage if storage is not None else StorageHost()
+        self.retry = retry_policy
+        if retry_policy is not None or circuit_breaker is not None:
+            self.storage: StorageHost = ResilientStorageClient(
+                base_storage, retry=retry_policy, breaker=circuit_breaker
+            )
+        else:
+            self.storage = base_storage
         self.params = params
         self.bls = BlsScheme(params) if signed_puzzles else None
         self.transport = (
             SecureTransport(params, bls=self.bls) if secure_transport else None
         )
         self.app_c1 = SocialPuzzleAppC1(
-            self.provider, self.storage, bls=self.bls, transport=self.transport
+            self.provider,
+            self.storage,
+            bls=self.bls,
+            transport=self.transport,
+            throttle_max_failures=throttle_max_failures,
+            retry=retry_policy,
         )
         self.app_c2 = SocialPuzzleAppC2(
             self.provider,
@@ -65,6 +94,8 @@ class SocialPuzzlePlatform:
             digestmod=digestmod_c2,
             file_size_model=file_size_model,
             transport=self.transport,
+            throttle_max_failures=throttle_max_failures,
+            retry=retry_policy,
         )
 
     # -- membership ---------------------------------------------------------------
@@ -110,7 +141,13 @@ class SocialPuzzlePlatform:
         the puzzle is even displayed — the paper's two complementary
         access-control layers.
         """
-        self.provider.get_post(viewer, share.post.post_id)  # ACL gate
+        if self.retry is not None:  # ACL gate, retried under transient SP faults
+            self.retry.call(
+                lambda: self.provider.get_post(viewer, share.post.post_id),
+                "sp.get_post",
+            )
+        else:
+            self.provider.get_post(viewer, share.post.post_id)  # ACL gate
         app = self._app(construction)
         if construction == 1:
             return app.attempt_access(

@@ -246,6 +246,12 @@ class PuzzleServiceC1:
     def puzzle_count(self) -> int:
         return len(self._puzzles)
 
+    def remove_puzzle(self, puzzle_id: int) -> bool:
+        """Unregister a puzzle (sharer retraction or publish rollback);
+        returns whether anything was removed. Identifiers are never
+        reused, so a rolled-back registration leaves no trace."""
+        return self._puzzles.pop(puzzle_id, None) is not None
+
     def display_puzzle(
         self, puzzle_id: int, rng: random.Random | None = None
     ) -> DisplayedPuzzle:

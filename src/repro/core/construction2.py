@@ -331,6 +331,11 @@ class PuzzleServiceC2:
     def puzzle_count(self) -> int:
         return len(self._records)
 
+    def remove_upload(self, puzzle_id: int) -> bool:
+        """Unregister an upload (sharer retraction or publish rollback);
+        returns whether anything was removed."""
+        return self._records.pop(puzzle_id, None) is not None
+
     def display_puzzle(self, puzzle_id: int) -> DisplayedPuzzleC2:
         record = self._record(puzzle_id)
         root = record.tree_perturbed.root

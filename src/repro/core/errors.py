@@ -8,6 +8,11 @@ __all__ = [
     "AccessDeniedError",
     "TamperDetectedError",
     "UnknownPuzzleError",
+    "TransientServiceError",
+    "TransientProviderError",
+    "TransientNetworkError",
+    "CircuitOpenError",
+    "ShareFailedError",
 ]
 
 
@@ -30,3 +35,34 @@ class TamperDetectedError(SocialPuzzleError):
 
 class UnknownPuzzleError(SocialPuzzleError, KeyError):
     """No puzzle with the given identifier exists on the service."""
+
+
+class TransientServiceError(SocialPuzzleError):
+    """Base class for *retryable* substrate failures (timeouts, 5xx...).
+
+    The resilience layer (:mod:`repro.osn.resilience`) retries anything
+    that is-a ``TransientServiceError``; every other exception is treated
+    as permanent and surfaces on the first attempt.
+    """
+
+
+class TransientProviderError(TransientServiceError):
+    """The service provider SP timed out or dropped a request."""
+
+
+class TransientNetworkError(TransientServiceError):
+    """The client-to-server network path dropped a request."""
+
+
+class CircuitOpenError(SocialPuzzleError):
+    """A circuit breaker is open: the dependency is failing fast, the
+    call was rejected without being attempted."""
+
+
+class ShareFailedError(SocialPuzzleError):
+    """A share operation failed and was rolled back.
+
+    The atomicity guarantee of ``SocialPuzzleAppC1/C2.share``: when this
+    is raised, the storage host holds no orphaned blob and the SP holds
+    neither a puzzle registration nor a profile post for the attempt.
+    """

@@ -1,12 +1,17 @@
-"""Online-guessing throttling for the SP-side verifier.
+"""Online-guessing throttling for the SP-side verifiers.
 
 The offline dictionary attack of :mod:`repro.analysis.security` needs the
 puzzle (and K_Z); an *online* guesser needs only the displayed questions —
 it can submit candidate answers to Verify until the threshold clears. The
 paper's semi-honest SP model doesn't address this, but any deployment
-must: :class:`ThrottledPuzzleServiceC1` locks a requester out of a puzzle
-after a bounded number of failed verifications, turning the attack cost
-from "vocabulary size" into "max_failures".
+must: the throttled services lock a requester out of a puzzle after a
+bounded number of failed verifications, turning the attack cost from
+"vocabulary size" into "max_failures".
+
+Both constructions share the same lockout policy, extracted into
+:class:`GuessThrottle`: per-(puzzle, requester) failed-attempt budgets,
+reset on success, with sharer-initiated forgiveness. Construction 1 and 2
+verifiers differ only in what "verify" means.
 
 This interacts with the entropy auditor: a puzzle whose k weakest answers
 total ~20 bits is hopeless against an offline adversary (the SP itself)
@@ -19,9 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.construction1 import PuzzleAnswers, PuzzleServiceC1, ShareRelease
+from repro.core.construction2 import AccessGrantC2, PuzzleAnswersC2, PuzzleServiceC2
 from repro.core.errors import AccessDeniedError, SocialPuzzleError
 
-__all__ = ["ThrottledError", "ThrottledPuzzleServiceC1"]
+__all__ = [
+    "ThrottledError",
+    "GuessThrottle",
+    "ThrottledPuzzleServiceC1",
+    "ThrottledPuzzleServiceC2",
+]
 
 
 class ThrottledError(SocialPuzzleError):
@@ -34,8 +45,8 @@ class _Budget:
     locked: bool = False
 
 
-class ThrottledPuzzleServiceC1(PuzzleServiceC1):
-    """A PuzzleServiceC1 that bounds failed verifications per requester.
+class GuessThrottle:
+    """Per-(puzzle, requester) failed-verification budgets.
 
     ``max_failures`` — failed Verify calls allowed per (requester, puzzle)
     before lockout. A successful verification resets the count (a friend
@@ -44,8 +55,7 @@ class ThrottledPuzzleServiceC1(PuzzleServiceC1):
     on a session or network identifier instead.
     """
 
-    def __init__(self, max_failures: int = 5, **kwargs):
-        super().__init__(**kwargs)
+    def __init__(self, max_failures: int = 5):
         if max_failures < 1:
             raise ValueError("max_failures must be >= 1")
         self.max_failures = max_failures
@@ -54,24 +64,22 @@ class ThrottledPuzzleServiceC1(PuzzleServiceC1):
     def _budget(self, puzzle_id: int, requester: str) -> _Budget:
         return self._budgets.setdefault((puzzle_id, requester), _Budget())
 
-    def verify(
-        self, answers: PuzzleAnswers, requester: str = ""
-    ) -> ShareRelease:
-        budget = self._budget(answers.puzzle_id, requester)
-        if budget.locked:
+    def check(self, puzzle_id: int, requester: str) -> None:
+        """Gate a verification attempt; raises once locked out."""
+        if self._budget(puzzle_id, requester).locked:
             raise ThrottledError(
                 "requester %r is locked out of puzzle %d after %d failures"
-                % (requester, answers.puzzle_id, self.max_failures)
+                % (requester, puzzle_id, self.max_failures)
             )
-        try:
-            release = super().verify(answers)
-        except AccessDeniedError:
-            budget.failures += 1
-            if budget.failures >= self.max_failures:
-                budget.locked = True
-            raise
-        budget.failures = 0
-        return release
+
+    def record_failure(self, puzzle_id: int, requester: str) -> None:
+        budget = self._budget(puzzle_id, requester)
+        budget.failures += 1
+        if budget.failures >= self.max_failures:
+            budget.locked = True
+
+    def record_success(self, puzzle_id: int, requester: str) -> None:
+        self._budget(puzzle_id, requester).failures = 0
 
     def failures_for(self, puzzle_id: int, requester: str = "") -> int:
         return self._budget(puzzle_id, requester).failures
@@ -82,3 +90,58 @@ class ThrottledPuzzleServiceC1(PuzzleServiceC1):
     def unlock(self, puzzle_id: int, requester: str = "") -> None:
         """Sharer-initiated forgiveness (e.g. after rotating the puzzle)."""
         self._budgets.pop((puzzle_id, requester), None)
+
+
+class _ThrottleMixin:
+    """Shared glue: delegate budget bookkeeping to a GuessThrottle."""
+
+    throttle: GuessThrottle
+
+    @property
+    def max_failures(self) -> int:
+        return self.throttle.max_failures
+
+    def failures_for(self, puzzle_id: int, requester: str = "") -> int:
+        return self.throttle.failures_for(puzzle_id, requester)
+
+    def is_locked(self, puzzle_id: int, requester: str = "") -> bool:
+        return self.throttle.is_locked(puzzle_id, requester)
+
+    def unlock(self, puzzle_id: int, requester: str = "") -> None:
+        self.throttle.unlock(puzzle_id, requester)
+
+
+class ThrottledPuzzleServiceC1(_ThrottleMixin, PuzzleServiceC1):
+    """A PuzzleServiceC1 that bounds failed verifications per requester."""
+
+    def __init__(self, max_failures: int = 5, **kwargs):
+        super().__init__(**kwargs)
+        self.throttle = GuessThrottle(max_failures)
+
+    def verify(self, answers: PuzzleAnswers, requester: str = "") -> ShareRelease:
+        self.throttle.check(answers.puzzle_id, requester)
+        try:
+            release = super().verify(answers)
+        except AccessDeniedError:
+            self.throttle.record_failure(answers.puzzle_id, requester)
+            raise
+        self.throttle.record_success(answers.puzzle_id, requester)
+        return release
+
+
+class ThrottledPuzzleServiceC2(_ThrottleMixin, PuzzleServiceC2):
+    """A PuzzleServiceC2 that bounds failed verifications per requester."""
+
+    def __init__(self, max_failures: int = 5, **kwargs):
+        super().__init__(**kwargs)
+        self.throttle = GuessThrottle(max_failures)
+
+    def verify(self, answers: PuzzleAnswersC2, requester: str = "") -> AccessGrantC2:
+        self.throttle.check(answers.puzzle_id, requester)
+        try:
+            grant = super().verify(answers)
+        except AccessDeniedError:
+            self.throttle.record_failure(answers.puzzle_id, requester)
+            raise
+        self.throttle.record_success(answers.puzzle_id, requester)
+        return grant

@@ -1,25 +1,51 @@
-"""Fault injection for the storage and provider substrates.
+"""Fault injection for the storage, provider and network substrates.
 
 A dependable-systems reproduction should show how the protocols behave
 when the substrate misbehaves *non-maliciously* (the paper's DSN venue
 cares): a Dropbox-style DH can time out, lose writes, or serve stale
-bytes. :class:`FlakyStorageHost` wraps a real host with seeded failure
-modes so tests can assert that every client surfaces a clean, typed error
-instead of corrupting state — and that retries succeed once the fault
-clears.
+bytes; the SP can drop a publish or a verify; the network path can lose
+requests outright. Each injector here wraps a real component with seeded
+failure modes so tests can assert that every client surfaces a clean,
+typed error instead of corrupting state — and that retries succeed once
+the fault clears.
+
+Faults are injected *before* the wrapped operation mutates anything
+(a request dropped on the way to the server), except for
+``lost_write_rate``, which deliberately models the nastier
+acknowledged-then-dropped write. That discipline is what makes the
+injected faults safely retryable.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
+from repro.core.errors import (
+    TransientNetworkError,
+    TransientProviderError,
+    TransientServiceError,
+)
+from repro.osn.network import NetworkLink, Transfer
+from repro.osn.provider import Post, ServiceProvider, User
 from repro.osn.storage import StorageError, StorageHost
 
-__all__ = ["TransientStorageError", "FlakyStorageHost"]
+__all__ = [
+    "TransientStorageError",
+    "FlakyStorageHost",
+    "FlakyServiceProvider",
+    "FlakyPuzzleService",
+    "LossyNetworkLink",
+]
 
 
-class TransientStorageError(StorageError):
-    """A retryable storage failure (timeout, 5xx...)."""
+class TransientStorageError(StorageError, TransientServiceError):
+    """A retryable storage failure (timeout, 5xx...).
+
+    Subclasses ``StorageError`` so storage-layer callers keep working,
+    and ``TransientServiceError`` so the resilience layer classifies it
+    as retryable.
+    """
 
 
 class FlakyStorageHost(StorageHost):
@@ -65,3 +91,143 @@ class FlakyStorageHost(StorageHost):
             self.faults_injected += 1
             raise TransientStorageError("injected get failure")
         return super().get(url)
+
+
+class FlakyServiceProvider(ServiceProvider):
+    """A service provider with seeded transient faults on the post path.
+
+    ``post_failure_rate`` — probability that publishing the hyperlink
+    post times out (before anything is stored).
+    ``read_failure_rate`` — probability that fetching a post times out.
+    """
+
+    def __init__(
+        self,
+        name: str = "flaky-sp",
+        post_failure_rate: float = 0.0,
+        read_failure_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(name=name)
+        for rate in (post_failure_rate, read_failure_rate):
+            if not 0 <= rate <= 1:
+                raise ValueError("failure rates must be in [0, 1]")
+        self.post_failure_rate = post_failure_rate
+        self.read_failure_rate = read_failure_rate
+        self._rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def post(self, author, content, audience="friends") -> Post:
+        if self._rng.random() < self.post_failure_rate:
+            self.faults_injected += 1
+            raise TransientProviderError("injected post-publish failure")
+        return super().post(author, content, audience=audience)
+
+    def get_post(self, viewer: User, post_id: int) -> Post:
+        if self._rng.random() < self.read_failure_rate:
+            self.faults_injected += 1
+            raise TransientProviderError("injected post-read failure")
+        return super().get_post(viewer, post_id)
+
+
+class FlakyPuzzleService:
+    """A fault-injecting proxy around a C1 or C2 puzzle service.
+
+    ``store_failure_rate`` — transient failure publishing Z_O to the SP
+    (``store_puzzle``/``store_upload``), injected before anything is
+    stored so a retry cannot double-register.
+    ``verify_failure_rate`` — transient failure on the Verify endpoint.
+    ``stale_display_rate`` — ``display_puzzle`` returns a previously
+    served (cached, possibly stale) response instead of a fresh one, the
+    classic eventually-consistent read.
+
+    Everything not intercepted forwards to ``wrapped``, so snapshots,
+    audit-trail assertions and throttling helpers see through the proxy.
+    """
+
+    def __init__(
+        self,
+        wrapped,
+        store_failure_rate: float = 0.0,
+        verify_failure_rate: float = 0.0,
+        stale_display_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        for rate in (store_failure_rate, verify_failure_rate, stale_display_rate):
+            if not 0 <= rate <= 1:
+                raise ValueError("failure rates must be in [0, 1]")
+        self.wrapped = wrapped
+        self.store_failure_rate = store_failure_rate
+        self.verify_failure_rate = verify_failure_rate
+        self.stale_display_rate = stale_display_rate
+        self._rng = random.Random(seed)
+        self._display_cache: dict[int, object] = {}
+        self.faults_injected = 0
+
+    def _maybe_fail(self, rate: float, what: str) -> None:
+        if self._rng.random() < rate:
+            self.faults_injected += 1
+            raise TransientProviderError("injected %s failure" % what)
+
+    def store_puzzle(self, puzzle) -> int:
+        self._maybe_fail(self.store_failure_rate, "puzzle-store")
+        return self.wrapped.store_puzzle(puzzle)
+
+    def store_upload(self, record) -> int:
+        self._maybe_fail(self.store_failure_rate, "puzzle-store")
+        return self.wrapped.store_upload(record)
+
+    def display_puzzle(self, puzzle_id: int, **kwargs):
+        cached = self._display_cache.get(puzzle_id)
+        if cached is not None and self._rng.random() < self.stale_display_rate:
+            self.faults_injected += 1
+            return cached
+        displayed = self.wrapped.display_puzzle(puzzle_id, **kwargs)
+        self._display_cache[puzzle_id] = displayed
+        return displayed
+
+    def verify(self, answers, **kwargs):
+        self._maybe_fail(self.verify_failure_rate, "verify")
+        return self.wrapped.verify(answers, **kwargs)
+
+    def __getattr__(self, name: str):
+        return getattr(self.wrapped, name)
+
+
+@dataclass
+class LossyNetworkLink(NetworkLink):
+    """A network path that drops a seeded fraction of requests.
+
+    A dropped request costs a full ``timeout_s`` (charged to the link log
+    like any transfer, so timing accounting reflects the stall) and then
+    raises :class:`~repro.core.errors.TransientNetworkError`.
+    """
+
+    drop_rate: float = 0.0
+    timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.drop_rate <= 1:
+            raise ValueError("drop rate must be in [0, 1]")
+        if self.timeout_s < 0:
+            raise ValueError("timeout must be non-negative")
+        self.drops = 0
+
+    def _maybe_drop(self, num_bytes: int, description: str, direction: str) -> None:
+        if self._rng.random() < self.drop_rate:
+            self.drops += 1
+            self.log.append(
+                Transfer(description or "dropped request", direction, num_bytes, self.timeout_s)
+            )
+            raise TransientNetworkError(
+                "request %r dropped by lossy link" % (description or direction)
+            )
+
+    def upload(self, num_bytes: int, description: str = "") -> float:
+        self._maybe_drop(num_bytes, description, "up")
+        return super().upload(num_bytes, description)
+
+    def download(self, num_bytes: int, description: str = "") -> float:
+        self._maybe_drop(num_bytes, description, "down")
+        return super().download(num_bytes, description)

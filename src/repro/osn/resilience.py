@@ -1,0 +1,313 @@
+"""Client-side resilience: retries, circuit breaking, safe storage access.
+
+The paper's system model assumes an honest-but-curious SP and a
+Dropbox-style DH — but says nothing about either being *available*. A
+deployment serving millions of users must survive timeouts, lost writes
+and stale reads without ever corrupting protocol state. This module is
+the client-side answer, mirroring what real encrypted-OSN middlemen ship:
+
+* :class:`RetryPolicy` — bounded exponential backoff with seeded jitter.
+  Backoff waits run against a :class:`~repro.sim.timing.SimClock`, never
+  wall time, so chaos sweeps are instant and exactly reproducible.
+* :class:`CircuitBreaker` — classic closed -> open -> half-open breaker;
+  while open, calls fail fast with a typed
+  :class:`~repro.core.errors.CircuitOpenError` instead of hammering a
+  dead dependency.
+* :class:`ResilientStorageClient` — wraps any
+  :class:`~repro.osn.storage.StorageHost` and classifies faults the way
+  the fault model defines them: ``TransientStorageError`` is retryable,
+  plain ``StorageError`` (missing URL, malformed request) is permanent.
+  Optional read-after-write verification turns silently *lost* writes
+  into retryable faults.
+
+Everything reports into :class:`~repro.sim.metrics.ResilienceMetrics`
+so experiments can count retries and breaker transitions per fault rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.core.errors import CircuitOpenError, TransientServiceError
+from repro.osn.storage import StorageError, StorageHost
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.timing import SimClock
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ResilientStorageClient"]
+
+T = TypeVar("T")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """The default retryability classifier.
+
+    ``TransientServiceError`` covers provider/network faults; the storage
+    fault taxonomy is separate (``TransientStorageError`` is-a
+    ``StorageError`` for backwards compatibility *and* is-a
+    ``TransientServiceError`` via :mod:`repro.osn.faults`).
+    """
+    return isinstance(exc, TransientServiceError)
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter on a simulated clock.
+
+    Attempt ``i`` (0-based) failing transiently costs a backoff of
+    ``min(base * multiplier**i, max_delay) * (1 + jitter)`` simulated
+    seconds, where jitter is drawn uniformly from
+    ``[-jitter_fraction, +jitter_fraction]`` by a seeded RNG. After
+    ``max_attempts`` total attempts the last transient error is re-raised
+    (it is already a typed error, so callers still see a clean failure).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter_fraction: float = 0.1
+    seed: int = 0
+    clock: SimClock | None = None
+    metrics: ResilienceMetrics | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError("jitter fraction must be in [0, 1)")
+        if self.clock is None:
+            self.clock = SimClock()
+        self._rng = random.Random(self.seed)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff after 0-based ``attempt`` failed, jitter included."""
+        base = min(
+            self.base_delay_s * self.multiplier**attempt, self.max_delay_s
+        )
+        if self.jitter_fraction:
+            base *= 1 + self._rng.uniform(
+                -self.jitter_fraction, self.jitter_fraction
+            )
+        return base
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        label: str = "operation",
+        retryable: Callable[[BaseException], bool] = is_transient,
+    ) -> T:
+        """Run ``fn`` with retries; permanent errors surface immediately.
+
+        :class:`~repro.core.errors.CircuitOpenError` is never retried
+        here — the breaker's own cooldown governs when the dependency may
+        be probed again, and busy-waiting on it would defeat its purpose.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except CircuitOpenError:
+                raise
+            except Exception as exc:
+                if not retryable(exc):
+                    raise
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    if self.metrics is not None:
+                        self.metrics.record_giveup(label)
+                    raise
+                backoff = self.backoff_s(attempt - 1)
+                if self.metrics is not None:
+                    self.metrics.record_retry(label, backoff)
+                assert self.clock is not None
+                self.clock.sleep(backoff)
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open breaker over a simulated clock.
+
+    ``failure_threshold`` consecutive failures trip the breaker open;
+    while open every call is rejected with
+    :class:`~repro.core.errors.CircuitOpenError`. After
+    ``reset_timeout_s`` simulated seconds the breaker lets one trial call
+    through (half-open): success closes it, failure re-opens it and
+    restarts the cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: SimClock | None = None,
+        metrics: ResilienceMetrics | None = None,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock if clock is not None else SimClock()
+        self.metrics = metrics
+        self.name = name
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_s = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed open-state cooldown."""
+        if (
+            self._state == self.OPEN
+            and self.clock.now() - self._opened_at_s >= self.reset_timeout_s
+        ):
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        if self.metrics is not None:
+            self.metrics.record_transition(
+                self.name, self._state, new_state, self.clock.now()
+            )
+        self._state = new_state
+        if new_state == self.OPEN:
+            self._opened_at_s = self.clock.now()
+        elif new_state == self.CLOSED:
+            self._consecutive_failures = 0
+
+    def allow(self) -> None:
+        """Gate a call; raises :class:`CircuitOpenError` while open."""
+        if self.state == self.OPEN:
+            raise CircuitOpenError(
+                "%s is open after %d consecutive failures; retry after "
+                "%.3fs of cooldown"
+                % (self.name, self._consecutive_failures, self.reset_timeout_s)
+            )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state == self.HALF_OPEN:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._state == self.HALF_OPEN:
+            self._transition(self.OPEN)
+        elif (
+            self._state == self.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(self.OPEN)
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` under the breaker, recording the outcome."""
+        self.allow()
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+class ResilientStorageClient:
+    """A retrying, circuit-broken view of a :class:`StorageHost`.
+
+    Drop-in for any code that takes a ``StorageHost`` (clients duck-type
+    the storage argument): ``put``/``get``/``exists``/``delete`` retry
+    retryable faults under the policy, optionally behind a breaker.
+    ``verify_writes`` re-reads existence after every put so a silently
+    *lost* write (the nastiest DH fault) is caught and retried instead of
+    surfacing much later as a missing object at access time.
+
+    Everything else (``audit``, counters, ``tamper``...) forwards to the
+    wrapped host, so audit-trail assertions and snapshots see through the
+    wrapper.
+    """
+
+    def __init__(
+        self,
+        host: StorageHost,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        verify_writes: bool = True,
+    ):
+        self.host = host
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker
+        self.verify_writes = verify_writes
+
+    # ``wrapped`` is the conventional unwrap attribute shared with the
+    # fault-injecting proxies in :mod:`repro.osn.faults`.
+    @property
+    def wrapped(self) -> StorageHost:
+        return self.host
+
+    def _guarded(self, fn: Callable[[], T]) -> Callable[[], T]:
+        if self.breaker is None:
+            return fn
+        breaker = self.breaker
+        return lambda: breaker.call(fn)
+
+    @staticmethod
+    def _storage_retryable(exc: BaseException) -> bool:
+        # TransientStorageError is retryable; any other StorageError
+        # (missing URL, malformed request) is a permanent condition that
+        # retrying cannot fix.
+        if isinstance(exc, TransientServiceError):
+            return True
+        return False
+
+    def put(self, data: bytes) -> str:
+        def attempt() -> str:
+            url = self.host.put(data)
+            if self.verify_writes and not self.host.exists(url):
+                # Import here keeps storage-layer modules import-cycle free.
+                from repro.osn.faults import TransientStorageError
+
+                raise TransientStorageError(
+                    "read-after-write check failed: write to %s was lost" % url
+                )
+            return url
+
+        return self.retry.call(
+            self._guarded(attempt), "storage.put", self._storage_retryable
+        )
+
+    def get(self, url: str) -> bytes:
+        return self.retry.call(
+            self._guarded(lambda: self.host.get(url)),
+            "storage.get",
+            self._storage_retryable,
+        )
+
+    def exists(self, url: str) -> bool:
+        return self.retry.call(
+            self._guarded(lambda: self.host.exists(url)),
+            "storage.exists",
+            self._storage_retryable,
+        )
+
+    def delete(self, url: str) -> bool:
+        return self.retry.call(
+            self._guarded(lambda: self.host.delete(url)),
+            "storage.delete",
+            self._storage_retryable,
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self.host, name)

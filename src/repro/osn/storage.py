@@ -74,8 +74,14 @@ class StorageHost:
     def exists(self, url: str) -> bool:
         return url in self._blobs
 
-    def delete(self, url: str) -> None:
-        self._blobs.pop(url, None)
+    def delete(self, url: str) -> bool:
+        """Remove a blob; returns whether anything was actually deleted.
+
+        Unlike :meth:`get`, an unknown URL is not an error — deletion is
+        idempotent — but the caller learns whether the cleanup found the
+        blob, which the atomic-share rollback path depends on.
+        """
+        return self._blobs.pop(url, None) is not None
 
     def tamper(self, url: str, new_data: bytes) -> None:
         """Malicious-DH action for the section VI-B DOS analysis."""

@@ -12,12 +12,69 @@ from __future__ import annotations
 import csv
 import io
 import statistics
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.sim.timing import TimingBreakdown
 
-__all__ = ["Summary", "summarize", "figure_series_to_csv", "write_csv"]
+__all__ = [
+    "Summary",
+    "summarize",
+    "figure_series_to_csv",
+    "write_csv",
+    "ResilienceMetrics",
+    "BreakerTransition",
+]
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One circuit-breaker state change, stamped with simulated time."""
+
+    breaker: str
+    old_state: str
+    new_state: str
+    at_s: float
+
+
+@dataclass
+class ResilienceMetrics:
+    """Observability hooks for the resilience layer.
+
+    The retry policy and circuit breaker report here so experiments can
+    ask "how many retries did this fault rate cost?" and chaos tests can
+    assert the breaker actually cycled closed -> open -> half-open.
+    """
+
+    retries: Counter = field(default_factory=Counter)  # label -> retry count
+    giveups: Counter = field(default_factory=Counter)  # label -> exhausted budgets
+    backoff_s: float = 0.0
+    transitions: list[BreakerTransition] = field(default_factory=list)
+
+    def record_retry(self, label: str, backoff_s: float = 0.0) -> None:
+        self.retries[label] += 1
+        self.backoff_s += backoff_s
+
+    def record_giveup(self, label: str) -> None:
+        self.giveups[label] += 1
+
+    def record_transition(
+        self, breaker: str, old_state: str, new_state: str, at_s: float
+    ) -> None:
+        self.transitions.append(
+            BreakerTransition(breaker, old_state, new_state, at_s)
+        )
+
+    def retry_count(self, label: str | None = None) -> int:
+        if label is not None:
+            return self.retries[label]
+        return sum(self.retries.values())
+
+    def transition_count(self, new_state: str | None = None) -> int:
+        if new_state is None:
+            return len(self.transitions)
+        return sum(1 for t in self.transitions if t.new_state == new_state)
 
 
 @dataclass(frozen=True)

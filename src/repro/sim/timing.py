@@ -24,7 +24,43 @@ from typing import Iterator
 from repro.osn.network import NetworkLink
 from repro.sim.devices import DeviceProfile
 
-__all__ = ["CostMeter", "TimingBreakdown", "CostRecord"]
+__all__ = ["CostMeter", "TimingBreakdown", "CostRecord", "SimClock"]
+
+
+class SimClock:
+    """A deterministic simulated clock.
+
+    The resilience layer (:mod:`repro.osn.resilience`) schedules retry
+    backoff and circuit-breaker cooldowns against this clock instead of
+    wall time: ``sleep`` advances simulated time instantly, so chaos
+    tests sweep thousands of retries in milliseconds and stay exactly
+    reproducible. ``slept_s`` separates time spent waiting from time
+    merely observed, for metrics.
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        if start_s < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_s = start_s
+        self.slept_s = 0.0
+
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now_s
+
+    def sleep(self, seconds: float) -> None:
+        """Advance simulated time (a zero-cost stand-in for a real sleep)."""
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now_s += seconds
+        self.slept_s += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Advance time without counting it as backoff sleep (e.g. the
+        passage of simulated request time between operations)."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now_s += seconds
 
 
 @dataclass(frozen=True)

@@ -149,3 +149,138 @@ class TestI1VsI2Shape:
         share1 = app1.share(alice, secret_object, party_context, k=2)
         share2 = app2.share(alice, secret_object, party_context, k=2)
         assert share2.timing.network_s > 3 * share1.timing.network_s
+
+
+class TestAtomicShare:
+    """share() must fully publish or leave DH and SP exactly as found."""
+
+    def _pre_state(self, sp, dh, app):
+        return (
+            dh.object_count(),
+            len(sp._posts),
+            app.service.puzzle_count()
+            if hasattr(app.service, "puzzle_count")
+            else None,
+        )
+
+    def test_c1_post_failure_rolls_back_everything(
+        self, osn, party_context, secret_object
+    ):
+        from repro.core.errors import TransientProviderError
+        from repro.osn.faults import FlakyServiceProvider
+
+        sp = FlakyServiceProvider(post_failure_rate=1.0)
+        dh = StorageHost()
+        alice = sp.register_user("alice")
+        app = SocialPuzzleAppC1(sp, dh)
+        with pytest.raises(TransientProviderError):
+            app.share(alice, secret_object, party_context, k=2)
+        assert dh.object_count() == 0  # no orphaned blob
+        assert len(sp._posts) == 0  # no half-published post
+        assert app.service.puzzle_count() == 0  # no dangling registration
+
+    def test_c1_store_failure_rolls_back_blob(self, party_context, secret_object):
+        from repro.core.errors import TransientProviderError
+        from repro.osn.faults import FlakyPuzzleService
+
+        sp = ServiceProvider()
+        dh = StorageHost()
+        alice = sp.register_user("alice")
+        app = SocialPuzzleAppC1(sp, dh)
+        app.service = FlakyPuzzleService(app.service, store_failure_rate=1.0)
+        with pytest.raises(TransientProviderError):
+            app.share(alice, secret_object, party_context, k=2)
+        assert dh.object_count() == 0
+        assert len(sp._posts) == 0
+        assert app.service.puzzle_count() == 0
+
+    def test_c1_mid_publish_fault_restores_exact_pre_call_state(
+        self, party_context, secret_object
+    ):
+        """The acceptance-criterion test: a successful share, then a
+        failing one — the failing share leaves the DH blob set and the SP
+        post/puzzle sets exactly as the pre-call snapshot."""
+        from repro.core.errors import TransientProviderError
+        from repro.osn.faults import FlakyServiceProvider
+
+        sp = FlakyServiceProvider(post_failure_rate=0.0)
+        dh = StorageHost()
+        alice = sp.register_user("alice")
+        app = SocialPuzzleAppC1(sp, dh)
+        app.share(alice, secret_object, party_context, k=2)
+
+        blobs_before = dict(dh._blobs)
+        posts_before = dict(sp._posts)
+        puzzles_before = dict(app.service._puzzles)
+
+        sp.post_failure_rate = 1.0
+        with pytest.raises(TransientProviderError):
+            app.share(alice, secret_object, party_context, k=2)
+
+        assert dh._blobs == blobs_before
+        assert sp._posts == posts_before
+        assert app.service._puzzles == puzzles_before
+
+    def test_c2_post_failure_rolls_back_everything(
+        self, party_context, secret_object
+    ):
+        from repro.core.errors import TransientProviderError
+        from repro.osn.faults import FlakyServiceProvider
+
+        sp = FlakyServiceProvider(post_failure_rate=1.0)
+        dh = StorageHost()
+        alice = sp.register_user("alice")
+        app = SocialPuzzleAppC2(sp, dh, TOY)
+        with pytest.raises(TransientProviderError):
+            app.share(alice, secret_object, party_context, k=2)
+        assert dh.object_count() == 0
+        assert len(sp._posts) == 0
+        assert app.service.puzzle_count() == 0
+
+    def test_untyped_failures_surface_as_share_failed(
+        self, osn, party_context, secret_object
+    ):
+        """A non-SocialPuzzleError mid-publish (here: a hosted-service
+        bug) still rolls back and comes out typed."""
+        from repro.core.errors import ShareFailedError
+
+        sp, dh, alice, bob = osn
+        app = SocialPuzzleAppC1(sp, dh)
+
+        class Exploding:
+            def __init__(self, wrapped):
+                self.wrapped = wrapped
+
+            def store_puzzle(self, puzzle):
+                raise RuntimeError("disk full")
+
+            def __getattr__(self, name):
+                return getattr(self.wrapped, name)
+
+        app.service = Exploding(app.service)
+        with pytest.raises(ShareFailedError):
+            app.share(alice, secret_object, party_context, k=2)
+        assert dh.object_count() == 0
+        assert len(sp._posts) == 0
+
+    def test_share_retries_transient_publish_faults(
+        self, party_context, secret_object
+    ):
+        """With a retry policy wired in, a partially-failing SP does not
+        surface at all — the share just succeeds."""
+        from repro.osn.faults import FlakyServiceProvider
+        from repro.osn.resilience import RetryPolicy
+        from repro.sim.metrics import ResilienceMetrics
+
+        metrics = ResilienceMetrics()
+        sp = FlakyServiceProvider(post_failure_rate=0.5, seed=3)
+        dh = StorageHost()
+        alice = sp.register_user("alice")
+        app = SocialPuzzleAppC1(
+            sp, dh, retry=RetryPolicy(max_attempts=8, metrics=metrics)
+        )
+        for _ in range(6):
+            app.share(alice, secret_object, party_context, k=2)
+        assert len(sp._posts) == 6
+        assert dh.object_count() == 6
+        assert metrics.retry_count("sp.post") > 0

@@ -148,3 +148,92 @@ class TestOnlineBruteForceDefeated:
                 break
         assert not cracked
         assert attempts <= 5  # 4 failures + the throttled attempt
+
+
+class TestThrottledC2:
+    @pytest.fixture()
+    def c2_world(self, party_context, secret_object):
+        from repro.core.construction2 import ReceiverC2, SharerC2
+        from repro.core.throttle import ThrottledPuzzleServiceC2
+        from repro.crypto.params import TOY
+
+        storage = StorageHost()
+        sharer = SharerC2("s", storage, TOY)
+        service = ThrottledPuzzleServiceC2(max_failures=3)
+        record, _ = sharer.upload(secret_object, party_context, k=2)
+        puzzle_id = service.store_upload(record)
+        receiver = ReceiverC2("r", storage, TOY)
+        return service, puzzle_id, receiver
+
+    def _attempt_c2(self, service, receiver, puzzle_id, knowledge, requester):
+        displayed = service.display_puzzle(puzzle_id)
+        answers = receiver.answer_puzzle(displayed, knowledge)
+        return service.verify(answers, requester=requester)
+
+    def test_c2_responder_locked_out(self, c2_world, party_context):
+        service, puzzle_id, receiver = c2_world
+        wrong = Context(
+            QAPair(p.question, "wrong-" + p.answer) for p in party_context
+        )
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                self._attempt_c2(service, receiver, puzzle_id, wrong, "mallory")
+        with pytest.raises(ThrottledError):
+            self._attempt_c2(service, receiver, puzzle_id, wrong, "mallory")
+        assert service.is_locked(puzzle_id, "mallory")
+
+    def test_c2_success_resets_and_budgets_are_per_requester(
+        self, c2_world, party_context
+    ):
+        service, puzzle_id, receiver = c2_world
+        wrong = Context(
+            QAPair(p.question, "nope-" + p.answer) for p in party_context
+        )
+        for _ in range(2):
+            with pytest.raises(AccessDeniedError):
+                self._attempt_c2(service, receiver, puzzle_id, wrong, "bob")
+        grant = self._attempt_c2(service, receiver, puzzle_id, party_context, "bob")
+        assert grant.url
+        assert service.failures_for(puzzle_id, "bob") == 0
+
+    def test_both_constructions_share_the_lockout_logic(self):
+        from repro.core.throttle import (
+            GuessThrottle,
+            ThrottledPuzzleServiceC2,
+        )
+
+        c1 = ThrottledPuzzleServiceC1(max_failures=2)
+        c2 = ThrottledPuzzleServiceC2(max_failures=2)
+        assert isinstance(c1.throttle, GuessThrottle)
+        assert isinstance(c2.throttle, GuessThrottle)
+        assert c1.max_failures == c2.max_failures == 2
+
+
+class TestGuessThrottle:
+    def test_budget_lifecycle(self):
+        from repro.core.throttle import GuessThrottle
+
+        throttle = GuessThrottle(max_failures=2)
+        throttle.check(1, "eve")
+        throttle.record_failure(1, "eve")
+        assert throttle.failures_for(1, "eve") == 1
+        throttle.record_failure(1, "eve")
+        assert throttle.is_locked(1, "eve")
+        with pytest.raises(ThrottledError):
+            throttle.check(1, "eve")
+        throttle.unlock(1, "eve")
+        throttle.check(1, "eve")
+
+    def test_success_resets(self):
+        from repro.core.throttle import GuessThrottle
+
+        throttle = GuessThrottle(max_failures=3)
+        throttle.record_failure(7, "u")
+        throttle.record_success(7, "u")
+        assert throttle.failures_for(7, "u") == 0
+
+    def test_bad_config(self):
+        from repro.core.throttle import GuessThrottle
+
+        with pytest.raises(ValueError):
+            GuessThrottle(max_failures=0)

@@ -8,7 +8,6 @@ import random
 import pytest
 
 from repro.apps.platform import SocialPuzzlePlatform
-from repro.core.context import Context
 from repro.crypto.params import TOY
 from repro.osn.persistence import (
     load_platform,
@@ -107,3 +106,72 @@ class TestValidation:
         platform = SocialPuzzlePlatform(params=custom)
         with pytest.raises(ValueError):
             snapshot_platform(platform)
+
+
+class TestCrashRecoveryUnderFaults:
+    """The robustness story: a journey interrupted between share and
+    solve survives a snapshot/restore cycle — even when the share itself
+    had to fight through injected substrate faults."""
+
+    def test_solve_completes_after_mid_journey_restore(
+        self, party_context, secret_object
+    ):
+        from repro.osn.faults import FlakyServiceProvider, FlakyStorageHost
+        from repro.osn.resilience import RetryPolicy
+
+        platform = SocialPuzzlePlatform(
+            params=TOY,
+            storage=FlakyStorageHost(
+                put_failure_rate=0.3, get_failure_rate=0.3, lost_write_rate=0.1,
+                seed=21,
+            ),
+            provider=FlakyServiceProvider(post_failure_rate=0.3, seed=22),
+            retry_policy=RetryPolicy(max_attempts=10, seed=23),
+        )
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        share = platform.share(alice, secret_object, party_context, k=2)
+
+        # Crash here: the world is serialized with the share published but
+        # not yet solved, then restored onto healthy substrates.
+        restored = restore_platform(snapshot_platform(platform))
+        result = restored.solve(bob, share, party_context, rng=random.Random(4))
+        assert result.plaintext == secret_object
+
+    def test_c2_solve_completes_after_restore(self, party_context, secret_object):
+        from repro.osn.faults import FlakyStorageHost
+        from repro.osn.resilience import RetryPolicy
+
+        platform = SocialPuzzlePlatform(
+            params=TOY,
+            storage=FlakyStorageHost(put_failure_rate=0.4, seed=31),
+            retry_policy=RetryPolicy(max_attempts=10, seed=32),
+        )
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        share = platform.share(
+            alice, secret_object, party_context, k=2, construction=2
+        )
+        restored = restore_platform(snapshot_platform(platform))
+        result = restored.solve(bob, share, party_context, construction=2)
+        assert result.plaintext == secret_object
+
+    def test_failed_share_leaves_no_trace_in_snapshot(
+        self, party_context, secret_object
+    ):
+        """A rolled-back share must not leak partial state into a
+        snapshot taken afterwards."""
+        from repro.core.errors import SocialPuzzleError
+        from repro.osn.faults import FlakyServiceProvider
+
+        provider = FlakyServiceProvider(post_failure_rate=1.0)
+        platform = SocialPuzzlePlatform(params=TOY, provider=provider)
+        alice = platform.join("alice")
+        with pytest.raises(SocialPuzzleError):
+            platform.share(alice, secret_object, party_context, k=2)
+        snapshot = snapshot_platform(platform)
+        assert snapshot["blobs"] == {}
+        assert snapshot["posts"] == []
+        assert snapshot["c1_puzzles"] == {}

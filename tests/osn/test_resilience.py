@@ -1,0 +1,250 @@
+"""Tests for the resilience layer: retries, breaker, storage client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    CircuitOpenError,
+    SocialPuzzleError,
+    TransientProviderError,
+)
+from repro.osn.faults import FlakyStorageHost, TransientStorageError
+from repro.osn.resilience import CircuitBreaker, ResilientStorageClient, RetryPolicy
+from repro.osn.storage import StorageError, StorageHost
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.timing import SimClock
+
+
+class TestRetryPolicy:
+    def test_succeeds_without_faults(self):
+        policy = RetryPolicy()
+        assert policy.call(lambda: 42) == 42
+
+    def test_retries_transient_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientProviderError("boom")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4)
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_exhausted_budget_reraises_typed_error(self):
+        def always_fails():
+            raise TransientProviderError("still down")
+
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(TransientProviderError):
+            policy.call(always_fails)
+
+    def test_permanent_errors_surface_immediately(self):
+        attempts = []
+
+        def permanent():
+            attempts.append(1)
+            raise ValueError("bad request")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(ValueError):
+            policy.call(permanent)
+        assert len(attempts) == 1
+
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter_fraction=0.0
+        )
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.4)
+        assert policy.backoff_s(3) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(jitter_fraction=0.5, seed=7)
+        b = RetryPolicy(jitter_fraction=0.5, seed=7)
+        delays_a = [a.backoff_s(i) for i in range(10)]
+        delays_b = [b.backoff_s(i) for i in range(10)]
+        assert delays_a == delays_b
+        for i, delay in enumerate(delays_a):
+            nominal = min(0.05 * 2**i, 2.0)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+    def test_backoff_advances_sim_clock_only(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=3, clock=clock, jitter_fraction=0.0)
+
+        def always_fails():
+            raise TransientProviderError("down")
+
+        with pytest.raises(TransientProviderError):
+            policy.call(always_fails)
+        # two backoffs: base + base*multiplier
+        assert clock.slept_s == pytest.approx(0.05 + 0.1)
+
+    def test_metrics_recorded(self):
+        metrics = ResilienceMetrics()
+        policy = RetryPolicy(max_attempts=3, metrics=metrics)
+        with pytest.raises(TransientProviderError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(TransientProviderError("x")), "op"
+            )
+        assert metrics.retry_count("op") == 2
+        assert metrics.giveups["op"] == 1
+        assert metrics.backoff_s > 0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.0)
+
+
+class TestCircuitBreaker:
+    def _failing(self):
+        raise TransientProviderError("down")
+
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=SimClock())
+        for _ in range(3):
+            with pytest.raises(TransientProviderError):
+                breaker.call(self._failing)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+    def test_half_open_after_cooldown_then_closes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout_s=10.0, clock=clock
+        )
+        for _ in range(2):
+            with pytest.raises(TransientProviderError):
+                breaker.call(self._failing)
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.call(lambda: "trial") == "trial"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout_s=5.0, clock=clock
+        )
+        for _ in range(2):
+            with pytest.raises(TransientProviderError):
+                breaker.call(self._failing)
+        clock.advance(5.0)
+        with pytest.raises(TransientProviderError):
+            breaker.call(self._failing)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "still open")
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            with pytest.raises(TransientProviderError):
+                breaker.call(self._failing)
+        breaker.call(lambda: "fine")
+        for _ in range(2):
+            with pytest.raises(TransientProviderError):
+                breaker.call(self._failing)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_transitions_recorded_in_metrics(self):
+        clock = SimClock()
+        metrics = ResilienceMetrics()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=clock, metrics=metrics,
+            name="dh-breaker",
+        )
+        with pytest.raises(TransientProviderError):
+            breaker.call(self._failing)
+        clock.advance(1.0)
+        breaker.call(lambda: "recovered")
+        states = [(t.old_state, t.new_state) for t in metrics.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert all(t.breaker == "dh-breaker" for t in metrics.transitions)
+
+    def test_circuit_open_error_is_typed(self):
+        assert issubclass(CircuitOpenError, SocialPuzzleError)
+
+
+class TestResilientStorageClient:
+    def test_put_get_roundtrip_through_wrapper(self):
+        client = ResilientStorageClient(StorageHost())
+        url = client.put(b"blob")
+        assert client.get(url) == b"blob"
+        assert client.exists(url)
+        assert client.delete(url) is True
+        assert client.delete(url) is False
+
+    def test_transient_put_faults_retried(self):
+        host = FlakyStorageHost(put_failure_rate=0.5, seed=3)
+        client = ResilientStorageClient(host, retry=RetryPolicy(max_attempts=10))
+        urls = [client.put(b"x") for _ in range(10)]
+        assert all(client.get(url) == b"x" for url in urls)
+        assert host.faults_injected > 0
+
+    def test_lost_writes_detected_and_retried(self):
+        # Every other write is lost; read-after-write verification turns
+        # the loss into a retryable fault, so puts still succeed.
+        host = FlakyStorageHost(lost_write_rate=0.5, seed=5)
+        client = ResilientStorageClient(host, retry=RetryPolicy(max_attempts=20))
+        url = client.put(b"precious")
+        assert host.get(url) == b"precious"
+
+    def test_missing_url_is_permanent(self):
+        metrics = ResilienceMetrics()
+        client = ResilientStorageClient(
+            StorageHost(), retry=RetryPolicy(max_attempts=5, metrics=metrics)
+        )
+        with pytest.raises(StorageError):
+            client.get("dh://nowhere/1")
+        assert metrics.retry_count() == 0  # no retry on a permanent error
+
+    def test_exhausted_retries_reraise_transient_error(self):
+        host = FlakyStorageHost(get_failure_rate=1.0)
+        stored = StorageHost()
+        client = ResilientStorageClient(host, retry=RetryPolicy(max_attempts=3))
+        url = stored.put(b"x")  # host never stores anything itself here
+        with pytest.raises(TransientStorageError):
+            client.get(url)
+        assert host.faults_injected == 3
+
+    def test_breaker_trips_and_fails_fast(self):
+        clock = SimClock()
+        host = FlakyStorageHost(get_failure_rate=1.0)
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=60.0, clock=clock)
+        client = ResilientStorageClient(
+            host,
+            retry=RetryPolicy(max_attempts=5, clock=clock),
+            breaker=breaker,
+        )
+        with pytest.raises((TransientStorageError, CircuitOpenError)):
+            client.get("dh://flaky-dh/1")
+        assert breaker.state == CircuitBreaker.OPEN
+        faults_before = host.faults_injected
+        with pytest.raises(CircuitOpenError):
+            client.get("dh://flaky-dh/1")
+        assert host.faults_injected == faults_before  # rejected, not attempted
+
+    def test_audit_and_counters_forwarded(self):
+        host = StorageHost(name="real-dh")
+        client = ResilientStorageClient(host)
+        client.put(b"observed bytes")
+        assert client.audit.saw(b"observed bytes")
+        assert client.object_count() == 1
+        assert client.name == "real-dh"
+        assert client.wrapped is host

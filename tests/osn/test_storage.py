@@ -30,10 +30,20 @@ class TestStorageHost:
         dh = StorageHost()
         url = dh.put(b"x")
         assert dh.exists(url)
-        dh.delete(url)
+        assert dh.delete(url) is True
         assert not dh.exists(url)
         with pytest.raises(StorageError):
             dh.get(url)
+
+    def test_delete_reports_whether_blob_existed(self):
+        """Unlike get, delete is idempotent — but it must tell the caller
+        whether the cleanup actually removed anything (the atomic-share
+        rollback path depends on this)."""
+        dh = StorageHost()
+        url = dh.put(b"x")
+        assert dh.delete(url) is True
+        assert dh.delete(url) is False
+        assert dh.delete("dh://nowhere/99") is False
 
     def test_counters(self):
         dh = StorageHost()

@@ -70,3 +70,34 @@ class TestTimingBreakdown:
         fresh = TimingBreakdown()
         assert fresh.total_s == 0
         assert fresh.bytes_transferred() == 0
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        from repro.sim.timing import SimClock
+
+        clock = SimClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        assert clock.slept_s == 0.0
+
+    def test_sleep_counts_separately(self):
+        from repro.sim.timing import SimClock
+
+        clock = SimClock(start_s=10.0)
+        clock.sleep(2.0)
+        clock.advance(3.0)
+        assert clock.now() == 15.0
+        assert clock.slept_s == 2.0
+
+    def test_rejects_negative_durations(self):
+        from repro.sim.timing import SimClock
+
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            SimClock(start_s=-5)
