@@ -35,6 +35,7 @@ from repro.crypto.modes import seal, unseal
 from repro.crypto.fixedbase import FixedBaseMult
 from repro.crypto.pairing import Pairing
 from repro.crypto.polynomial import Polynomial
+from repro.obs.profile import profiled
 
 __all__ = [
     "PublicKey",
@@ -171,6 +172,7 @@ class CPABE:
 
     # -- Setup -------------------------------------------------------------------
 
+    @profiled(name="cpabe.setup")
     def setup(self) -> tuple[PublicKey, MasterKey]:
         r = self.params.r
         g = self.params.random_g0()
@@ -189,6 +191,7 @@ class CPABE:
 
     # -- Encrypt -----------------------------------------------------------------
 
+    @profiled(name="cpabe.encrypt")
     def encrypt_element(
         self, pk: PublicKey, message: Fq2, tree: AccessTree
     ) -> Ciphertext:
@@ -230,6 +233,7 @@ class CPABE:
 
     # -- KeyGen ------------------------------------------------------------------
 
+    @profiled(name="cpabe.keygen")
     def keygen(self, pk: PublicKey, mk: MasterKey, attributes: set[str] | list[str]) -> SecretKey:
         order = self.params.r
         r_blind = secrets.randbelow(order)
@@ -270,6 +274,7 @@ class CPABE:
 
     # -- Decrypt -----------------------------------------------------------------
 
+    @profiled(name="cpabe.decrypt")
     def decrypt_element(self, pk: PublicKey, sk: SecretKey, ct: Ciphertext) -> Fq2:
         """Recover the GT message, or raise :class:`PolicyNotSatisfiedError`."""
         chosen = ct.tree.minimal_satisfying_leaves(sk.attributes)

@@ -20,8 +20,8 @@ local-processing / network-delay split that the paper's Figure 10 plots:
 from __future__ import annotations
 
 import random
+from contextlib import ExitStack
 from dataclasses import dataclass
-
 from typing import Callable, TypeVar
 
 from repro.core.construction1 import (
@@ -46,6 +46,9 @@ from repro.core.errors import (
 from repro.core.throttle import ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2
 from repro.crypto.bls import BlsScheme
 from repro.crypto.ec import CurveParams
+from repro.obs import Observability
+from repro.obs.events import Label
+from repro.obs.runtime import emit_event, maybe_span, use as use_observer
 from repro.osn.network import NetworkLink
 from repro.osn.provider import Post, ServiceProvider, User
 from repro.osn.resilience import RetryPolicy
@@ -71,6 +74,18 @@ def _unwrap(service: object) -> object:
     while hasattr(service, "wrapped"):
         service = service.wrapped  # type: ignore[attr-defined]
     return service
+
+
+def _enter_journey(obs: Observability | None, scope: ExitStack, name: str, **attributes):
+    """Open a root span for one user journey, activating ``obs`` so every
+    instrumentation point underneath (substrate spans, retry events,
+    profiled crypto) reports into the same hub. Returns the root span, or
+    ``None`` when the app is uninstrumented."""
+    if obs is None:
+        return None
+    scope.enter_context(use_observer(obs))
+    return scope.enter_context(obs.span(name, **attributes))
+
 
 # Per-record framing added by the secure channel: sequence number + HMAC tag.
 _RECORD_OVERHEAD = 8 + 32
@@ -153,12 +168,14 @@ class SocialPuzzleAppC1:
         transport: SecureTransport | None = None,
         throttle_max_failures: int | None = None,
         retry: RetryPolicy | None = None,
+        obs: Observability | None = None,
     ):
         self.provider = provider
         self.storage = storage
         self.bls = bls
         self.transport = transport
         self.retry = retry
+        self.obs = obs
         if throttle_max_failures is not None:
             self.service: PuzzleServiceC1 = ThrottledPuzzleServiceC1(
                 max_failures=throttle_max_failures, audit=provider.audit
@@ -174,15 +191,24 @@ class SocialPuzzleAppC1:
         return self._sharers[user.user_id]
 
     def _call(self, label: str, fn: Callable[[], _T]) -> _T:
-        """Route an SP-bound request through the retry policy, if any."""
-        if self.retry is None:
-            return fn()
-        return self.retry.call(fn, label)
+        """Route an SP-bound request through the retry policy, if any,
+        under a span named after the request label — so retries and
+        backoff show up inside the span that paid for them."""
+        with maybe_span(label):
+            if self.retry is None:
+                return fn()
+            return self.retry.call(fn, label)
 
     def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
         """Undo a partially published share: puzzle registration first
         (so no live registration ever points at a deleted blob), then the
         blob itself."""
+        emit_event(
+            "share.rollback",
+            construction=1,
+            url=Label(url),
+            puzzle_id=puzzle_id if puzzle_id is not None else -1,
+        )
         if puzzle_id is not None:
             self.service.remove_puzzle(puzzle_id)
         self.storage.delete(url)
@@ -200,43 +226,51 @@ class SocialPuzzleAppC1:
     ) -> ShareResult:
         """The sharer flow: client-side crypto, upload, hyperlink post."""
         n = len(context) if n is None else n
-        meter = _meter(device, link)
-        overhead = self.transport.open_session(meter) if self.transport else 0
-        sharer = self._sharer_for(user)
+        with ExitStack() as scope:
+            root = _enter_journey(self.obs, scope, "c1.share", k=k, n=n)
+            meter = _meter(device, link)
+            overhead = self.transport.open_session(meter) if self.transport else 0
+            sharer = self._sharer_for(user)
 
-        with meter.measure("sharer crypto (secret, shares, hashes, AES)"):
-            puzzle = sharer.upload(obj, context, k, n)
+            with maybe_span("sharer.crypto"), meter.measure(
+                "sharer crypto (secret, shares, hashes, AES)"
+            ):
+                puzzle = sharer.upload(obj, context, k, n)
 
-        # The encrypted blob is on the DH now. From here on the share is
-        # atomic: any failure before the profile post lands rolls back
-        # every published artifact and raises a typed error.
-        puzzle_id: int | None = None
-        try:
-            encrypted_size = len(self.storage.get(puzzle.url))
-            meter.charge_upload(
-                "store encrypted object on DH", encrypted_size + overhead
-            )
-            meter.charge_upload("upload puzzle Z_O to SP", puzzle.byte_size() + overhead)
+            # The encrypted blob is on the DH now. From here on the share is
+            # atomic: any failure before the profile post lands rolls back
+            # every published artifact and raises a typed error.
+            puzzle_id: int | None = None
+            try:
+                encrypted_size = len(self.storage.get(puzzle.url))
+                meter.charge_upload(
+                    "store encrypted object on DH", encrypted_size + overhead
+                )
+                meter.charge_upload(
+                    "upload puzzle Z_O to SP", puzzle.byte_size() + overhead
+                )
 
-            puzzle_id = self._call(
-                "sp.store_puzzle", lambda: self.service.store_puzzle(puzzle)
-            )
-            post = self._call(
-                "sp.post",
-                lambda: self.provider.post(
-                    user,
-                    f"[social-puzzle] {user.name} shared a protected object — "
-                    f"solve puzzle #{puzzle_id} to view.",
-                    audience=audience,
-                ),
-            )
-            meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
-        except Exception as exc:
-            self._rollback_share(puzzle.url, puzzle_id)
-            if isinstance(exc, SocialPuzzleError):
-                raise
-            raise ShareFailedError("share rolled back: %s" % exc) from exc
-        return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
+                puzzle_id = self._call(
+                    "sp.store_puzzle", lambda: self.service.store_puzzle(puzzle)
+                )
+                post = self._call(
+                    "sp.post",
+                    lambda: self.provider.post(
+                        user,
+                        f"[social-puzzle] {user.name} shared a protected object — "
+                        f"solve puzzle #{puzzle_id} to view.",
+                        audience=audience,
+                    ),
+                )
+                meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+            except Exception as exc:
+                self._rollback_share(puzzle.url, puzzle_id)
+                if isinstance(exc, SocialPuzzleError):
+                    raise
+                raise ShareFailedError("share rolled back: %s" % exc) from exc
+            if root is not None:
+                root.set("puzzle_id", puzzle_id)
+            return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
 
     def attempt_access(
         self,
@@ -248,38 +282,45 @@ class SocialPuzzleAppC1:
         rng: random.Random | None = None,
     ) -> AccessResult:
         """The receiver flow; raises AccessDeniedError below threshold."""
-        meter = _meter(device, link)
-        overhead = self.transport.open_session(meter) if self.transport else 0
-        receiver = ReceiverC1(viewer.name, self.storage, bls=self.bls)
+        with ExitStack() as scope:
+            _enter_journey(self.obs, scope, "c1.access", puzzle_id=puzzle_id)
+            meter = _meter(device, link)
+            overhead = self.transport.open_session(meter) if self.transport else 0
+            receiver = ReceiverC1(viewer.name, self.storage, bls=self.bls)
 
-        displayed: DisplayedPuzzle = self._call(
-            "sp.display_puzzle", lambda: self.service.display_puzzle(puzzle_id, rng=rng)
-        )
-        meter.charge_download(
-            "fetch puzzle page (questions)", displayed.byte_size() + overhead
-        )
-
-        with meter.measure("receiver crypto (hash answers)"):
-            answers = receiver.answer_puzzle(displayed, knowledge)
-        meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
-
-        if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC1):
-            release = self._call(
-                "sp.verify",
-                lambda: self.service.verify(answers, requester=viewer.name),
+            displayed: DisplayedPuzzle = self._call(
+                "sp.display_puzzle",
+                lambda: self.service.display_puzzle(puzzle_id, rng=rng),
             )
-        else:
-            # raises AccessDeniedError (a permanent error — never retried)
-            release = self._call("sp.verify", lambda: self.service.verify(answers))
-        meter.charge_download(
-            "receive released shares + URL", release.byte_size() + overhead
-        )
+            meter.charge_download(
+                "fetch puzzle page (questions)", displayed.byte_size() + overhead
+            )
 
-        encrypted_size = len(self.storage.get(release.url))
-        meter.charge_download("download encrypted object", encrypted_size + overhead)
-        with meter.measure("receiver crypto (unblind, interpolate, AES)"):
-            plaintext = receiver.access(release, displayed, knowledge)
-        return AccessResult(plaintext=plaintext, timing=meter.report())
+            with maybe_span("receiver.answer"), meter.measure(
+                "receiver crypto (hash answers)"
+            ):
+                answers = receiver.answer_puzzle(displayed, knowledge)
+            meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
+
+            if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC1):
+                release = self._call(
+                    "sp.verify",
+                    lambda: self.service.verify(answers, requester=viewer.name),
+                )
+            else:
+                # raises AccessDeniedError (a permanent error — never retried)
+                release = self._call("sp.verify", lambda: self.service.verify(answers))
+            meter.charge_download(
+                "receive released shares + URL", release.byte_size() + overhead
+            )
+
+            encrypted_size = len(self.storage.get(release.url))
+            meter.charge_download("download encrypted object", encrypted_size + overhead)
+            with maybe_span("receiver.recover"), meter.measure(
+                "receiver crypto (unblind, interpolate, AES)"
+            ):
+                plaintext = receiver.access(release, displayed, knowledge)
+            return AccessResult(plaintext=plaintext, timing=meter.report())
 
 
 class SocialPuzzleAppC2:
@@ -298,6 +339,7 @@ class SocialPuzzleAppC2:
         transport: SecureTransport | None = None,
         throttle_max_failures: int | None = None,
         retry: RetryPolicy | None = None,
+        obs: Observability | None = None,
     ):
         if file_size_model not in ("actual", "paper"):
             raise ValueError("file_size_model must be 'actual' or 'paper'")
@@ -309,6 +351,7 @@ class SocialPuzzleAppC2:
         self.file_size_model = file_size_model
         self.legacy_unperturbed_ciphertext = legacy_unperturbed_ciphertext
         self.retry = retry
+        self.obs = obs
         if throttle_max_failures is not None:
             self.service: PuzzleServiceC2 = ThrottledPuzzleServiceC2(
                 max_failures=throttle_max_failures,
@@ -320,13 +363,21 @@ class SocialPuzzleAppC2:
         provider.host_service(self.SERVICE_NAME, self.service)
 
     def _call(self, label: str, fn: Callable[[], _T]) -> _T:
-        """Route an SP-bound request through the retry policy, if any."""
-        if self.retry is None:
-            return fn()
-        return self.retry.call(fn, label)
+        """Route an SP-bound request through the retry policy, if any,
+        under a span named after the request label."""
+        with maybe_span(label):
+            if self.retry is None:
+                return fn()
+            return self.retry.call(fn, label)
 
     def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
         """Undo a partially published share (registration, then blob)."""
+        emit_event(
+            "share.rollback",
+            construction=2,
+            url=Label(url),
+            puzzle_id=puzzle_id if puzzle_id is not None else -1,
+        )
         if puzzle_id is not None:
             self.service.remove_upload(puzzle_id)
         self.storage.delete(url)
@@ -355,59 +406,66 @@ class SocialPuzzleAppC2:
         audience: str = "friends",
     ) -> ShareResult:
         self._check_device(device)
-        meter = _meter(device, link)
-        overhead = self.transport.open_session(meter) if self.transport else 0
-        sharer = SharerC2(
-            user.name,
-            self.storage,
-            self.params,
-            digestmod=self.digestmod,
-            legacy_unperturbed_ciphertext=self.legacy_unperturbed_ciphertext,
-        )
-
-        with meter.measure("sharer crypto (cpabe setup, encrypt, perturb)"):
-            record, ct_bytes = sharer.upload(obj, context, k, n)
-
-        # The ciphertext is on the DH now; publish fully or roll back.
-        puzzle_id: int | None = None
-        try:
-            # Four cURL uploads, as in the prototype.
-            sizes = record.file_sizes()
-            meter.charge_upload(
-                "upload details.txt",
-                self._file_size("details.txt", sizes["details.txt"]) + overhead,
-            )
-            meter.charge_upload(
-                "upload pub_key", self._file_size("pub_key", sizes["pub_key"]) + overhead
-            )
-            meter.charge_upload(
-                "upload master_key",
-                self._file_size("master_key", sizes["master_key"]) + overhead,
-            )
-            meter.charge_upload(
-                "upload message.txt.cpabe",
-                self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
+        with ExitStack() as scope:
+            root = _enter_journey(self.obs, scope, "c2.share", k=k)
+            meter = _meter(device, link)
+            overhead = self.transport.open_session(meter) if self.transport else 0
+            sharer = SharerC2(
+                user.name,
+                self.storage,
+                self.params,
+                digestmod=self.digestmod,
+                legacy_unperturbed_ciphertext=self.legacy_unperturbed_ciphertext,
             )
 
-            puzzle_id = self._call(
-                "sp.store_upload", lambda: self.service.store_upload(record)
-            )
-            post = self._call(
-                "sp.post",
-                lambda: self.provider.post(
-                    user,
-                    f"[social-puzzle] {user.name} shared a protected object — "
-                    f"solve puzzle #{puzzle_id} to view.",
-                    audience=audience,
-                ),
-            )
-            meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
-        except Exception as exc:
-            self._rollback_share(record.url, puzzle_id)
-            if isinstance(exc, SocialPuzzleError):
-                raise
-            raise ShareFailedError("share rolled back: %s" % exc) from exc
-        return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
+            with maybe_span("sharer.crypto"), meter.measure(
+                "sharer crypto (cpabe setup, encrypt, perturb)"
+            ):
+                record, ct_bytes = sharer.upload(obj, context, k, n)
+
+            # The ciphertext is on the DH now; publish fully or roll back.
+            puzzle_id: int | None = None
+            try:
+                # Four cURL uploads, as in the prototype.
+                sizes = record.file_sizes()
+                meter.charge_upload(
+                    "upload details.txt",
+                    self._file_size("details.txt", sizes["details.txt"]) + overhead,
+                )
+                meter.charge_upload(
+                    "upload pub_key",
+                    self._file_size("pub_key", sizes["pub_key"]) + overhead,
+                )
+                meter.charge_upload(
+                    "upload master_key",
+                    self._file_size("master_key", sizes["master_key"]) + overhead,
+                )
+                meter.charge_upload(
+                    "upload message.txt.cpabe",
+                    self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
+                )
+
+                puzzle_id = self._call(
+                    "sp.store_upload", lambda: self.service.store_upload(record)
+                )
+                post = self._call(
+                    "sp.post",
+                    lambda: self.provider.post(
+                        user,
+                        f"[social-puzzle] {user.name} shared a protected object — "
+                        f"solve puzzle #{puzzle_id} to view.",
+                        audience=audience,
+                    ),
+                )
+                meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+            except Exception as exc:
+                self._rollback_share(record.url, puzzle_id)
+                if isinstance(exc, SocialPuzzleError):
+                    raise
+                raise ShareFailedError("share rolled back: %s" % exc) from exc
+            if root is not None:
+                root.set("puzzle_id", puzzle_id)
+            return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
 
     def attempt_access(
         self,
@@ -418,47 +476,53 @@ class SocialPuzzleAppC2:
         link: NetworkLink | None = None,
     ) -> AccessResult:
         self._check_device(device)
-        meter = _meter(device, link)
-        overhead = self.transport.open_session(meter) if self.transport else 0
-        receiver = ReceiverC2(
-            viewer.name, self.storage, self.params, digestmod=self.digestmod
-        )
-
-        displayed: DisplayedPuzzleC2 = self._call(
-            "sp.display_puzzle", lambda: self.service.display_puzzle(puzzle_id)
-        )
-        meter.charge_download(
-            "download details.txt (questions)",
-            self._file_size("details.txt", displayed.byte_size()) + overhead,
-        )
-
-        with meter.measure("receiver crypto (hash answers)"):
-            answers = receiver.answer_puzzle(displayed, knowledge)
-        meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
-
-        if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC2):
-            grant = self._call(
-                "sp.verify",
-                lambda: self.service.verify(answers, requester=viewer.name),
+        with ExitStack() as scope:
+            _enter_journey(self.obs, scope, "c2.access", puzzle_id=puzzle_id)
+            meter = _meter(device, link)
+            overhead = self.transport.open_session(meter) if self.transport else 0
+            receiver = ReceiverC2(
+                viewer.name, self.storage, self.params, digestmod=self.digestmod
             )
-        else:
-            # raises AccessDeniedError (a permanent error — never retried)
-            grant = self._call("sp.verify", lambda: self.service.verify(answers))
 
-        ct_size = len(self.storage.get(grant.url))
-        meter.charge_download(
-            "download message.txt.cpabe",
-            self._file_size("message.txt.cpabe", ct_size) + overhead,
-        )
-        meter.charge_download(
-            "download master_key",
-            self._file_size("master_key", len(grant.mk_bytes)) + overhead,
-        )
-        meter.charge_download(
-            "download pub_key",
-            self._file_size("pub_key", len(grant.pk_bytes)) + overhead,
-        )
+            displayed: DisplayedPuzzleC2 = self._call(
+                "sp.display_puzzle", lambda: self.service.display_puzzle(puzzle_id)
+            )
+            meter.charge_download(
+                "download details.txt (questions)",
+                self._file_size("details.txt", displayed.byte_size()) + overhead,
+            )
 
-        with meter.measure("receiver crypto (reconstruct, keygen, decrypt)"):
-            plaintext = receiver.access(grant, knowledge)
-        return AccessResult(plaintext=plaintext, timing=meter.report())
+            with maybe_span("receiver.answer"), meter.measure(
+                "receiver crypto (hash answers)"
+            ):
+                answers = receiver.answer_puzzle(displayed, knowledge)
+            meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
+
+            if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC2):
+                grant = self._call(
+                    "sp.verify",
+                    lambda: self.service.verify(answers, requester=viewer.name),
+                )
+            else:
+                # raises AccessDeniedError (a permanent error — never retried)
+                grant = self._call("sp.verify", lambda: self.service.verify(answers))
+
+            ct_size = len(self.storage.get(grant.url))
+            meter.charge_download(
+                "download message.txt.cpabe",
+                self._file_size("message.txt.cpabe", ct_size) + overhead,
+            )
+            meter.charge_download(
+                "download master_key",
+                self._file_size("master_key", len(grant.mk_bytes)) + overhead,
+            )
+            meter.charge_download(
+                "download pub_key",
+                self._file_size("pub_key", len(grant.pk_bytes)) + overhead,
+            )
+
+            with maybe_span("receiver.recover"), meter.measure(
+                "receiver crypto (reconstruct, keygen, decrypt)"
+            ):
+                plaintext = receiver.access(grant, knowledge)
+            return AccessResult(plaintext=plaintext, timing=meter.report())

@@ -29,6 +29,8 @@ from repro.core.context import Context
 from repro.crypto.bls import BlsScheme
 from repro.crypto.ec import CurveParams
 from repro.crypto.params import SMALL
+from repro.obs import Observability
+from repro.obs.runtime import use as use_observer
 from repro.osn.network import NetworkLink
 from repro.osn.provider import Post, ServiceProvider, User
 from repro.osn.resilience import CircuitBreaker, ResilientStorageClient, RetryPolicy
@@ -64,7 +66,9 @@ class SocialPuzzlePlatform:
         retry_policy: RetryPolicy | None = None,
         circuit_breaker: CircuitBreaker | None = None,
         throttle_max_failures: int | None = None,
+        observability: Observability | None = None,
     ):
+        self.obs = observability
         self.provider = provider if provider is not None else ServiceProvider()
         base_storage = storage if storage is not None else StorageHost()
         self.retry = retry_policy
@@ -86,6 +90,7 @@ class SocialPuzzlePlatform:
             transport=self.transport,
             throttle_max_failures=throttle_max_failures,
             retry=retry_policy,
+            obs=observability,
         )
         self.app_c2 = SocialPuzzleAppC2(
             self.provider,
@@ -96,6 +101,7 @@ class SocialPuzzlePlatform:
             transport=self.transport,
             throttle_max_failures=throttle_max_failures,
             retry=retry_policy,
+            obs=observability,
         )
 
     # -- membership ---------------------------------------------------------------
@@ -141,13 +147,7 @@ class SocialPuzzlePlatform:
         the puzzle is even displayed — the paper's two complementary
         access-control layers.
         """
-        if self.retry is not None:  # ACL gate, retried under transient SP faults
-            self.retry.call(
-                lambda: self.provider.get_post(viewer, share.post.post_id),
-                "sp.get_post",
-            )
-        else:
-            self.provider.get_post(viewer, share.post.post_id)  # ACL gate
+        self._acl_gate(viewer, share)
         app = self._app(construction)
         if construction == 1:
             return app.attempt_access(
@@ -156,6 +156,29 @@ class SocialPuzzlePlatform:
         return app.attempt_access(
             viewer, share.puzzle_id, knowledge, device=device, link=link
         )
+
+    def _acl_gate(self, viewer: User, share: ShareResult) -> None:
+        """Check the static ACL layer: the viewer must see the post before
+        the puzzle is displayed. Retried under transient SP faults when a
+        retry policy is wired; observed under ``acl.get_post`` when the
+        platform carries an :class:`~repro.obs.Observability` hub."""
+
+        def gate() -> None:
+            if self.retry is not None:
+                self.retry.call(
+                    lambda: self.provider.get_post(viewer, share.post.post_id),
+                    "sp.get_post",
+                )
+            else:
+                self.provider.get_post(viewer, share.post.post_id)
+
+        if self.obs is None:
+            gate()
+            return
+        with use_observer(self.obs), self.obs.span(
+            "acl.get_post", post_id=share.post.post_id
+        ):
+            gate()
 
     def feed(self, viewer: User) -> list[Post]:
         return self.provider.feed(viewer)

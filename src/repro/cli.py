@@ -11,6 +11,8 @@ Commands:
 * ``audit``      — strength-audit a context JSON file before sharing.
 * ``share``      — share an object into a persistent world file.
 * ``solve``      — solve a puzzle from a persistent world file.
+* ``trace``      — run seeded journeys and print their closed span trees.
+* ``stats``      — run seeded journeys and print the metrics registry.
 
 The CLI only drives the library; all logic lives in the packages.
 """
@@ -100,6 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--construction", type=int, default=1, choices=(1, 2))
     solve.add_argument("--seed", type=int, default=None, help="display-subset seed (C1)")
+
+    for name, help_text, default_journeys in (
+        ("trace", "run seeded journeys and print their span trees", 1),
+        ("stats", "run seeded journeys and print the metrics registry", 3),
+    ):
+        observed = sub.add_parser(name, help=help_text)
+        observed.add_argument("--construction", type=int, default=1, choices=(1, 2))
+        observed.add_argument(
+            "--journeys", type=int, default=default_journeys,
+            help="number of share+solve journeys to run",
+        )
+        observed.add_argument("--seed", type=int, default=0)
+        observed.add_argument(
+            "--fault-rate", type=float, default=0.0,
+            help="transient-fault probability per substrate call (wires retries)",
+        )
+        observed.add_argument("--params", default="small", help="pairing preset")
 
     return parser
 
@@ -338,6 +357,99 @@ def _cmd_audit(args) -> int:
     return 1
 
 
+def _observed_journeys(args):
+    """Run seeded share+solve journeys under an Observability hub.
+
+    Returns ``(obs, completed, failed)``. With ``--fault-rate`` the
+    platform runs on flaky substrates behind a retry policy, so the
+    traces and metrics show retries, backoff and (possibly) give-ups.
+    """
+    from repro.core.errors import SocialPuzzleError
+    from repro.obs import Observability
+    from repro.osn.resilience import RetryPolicy
+    from repro.sim.metrics import ResilienceMetrics
+    from repro.sim.timing import SimClock
+
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    substrates = {}
+    if args.fault_rate > 0:
+        from repro.osn.faults import FlakyServiceProvider, FlakyStorageHost
+
+        substrates["provider"] = FlakyServiceProvider(
+            post_failure_rate=args.fault_rate,
+            read_failure_rate=args.fault_rate,
+            seed=args.seed,
+        )
+        substrates["storage"] = FlakyStorageHost(
+            put_failure_rate=args.fault_rate,
+            get_failure_rate=args.fault_rate,
+            seed=args.seed + 1,
+        )
+    retry = RetryPolicy(
+        clock=clock, seed=args.seed, metrics=ResilienceMetrics(registry=obs.registry)
+    )
+    platform = SocialPuzzlePlatform(
+        params=get_params(args.params),
+        retry_policy=retry,
+        observability=obs,
+        **substrates,
+    )
+    alice = platform.join("alice")
+    bob = platform.join("bob")
+    platform.befriend(alice, bob)
+    context = Context.from_mapping(
+        {
+            "Where was the party held?": "Lake Tahoe",
+            "Who brought the cake?": "Marguerite",
+            "Which song closed the night?": "Wonderwall",
+        }
+    )
+    completed = failed = 0
+    for i in range(args.journeys):
+        rng = random.Random(args.seed + i) if args.construction == 1 else None
+        try:
+            share = platform.share(
+                alice,
+                b"party photos #%d" % i,
+                context,
+                k=2,
+                construction=args.construction,
+            )
+            platform.solve(
+                bob, share, context, construction=args.construction, rng=rng
+            )
+            completed += 1
+        except SocialPuzzleError:
+            failed += 1
+    return obs, completed, failed
+
+
+def _cmd_trace(args) -> int:
+    obs, completed, failed = _observed_journeys(args)
+    obs.tracer.assert_quiescent()  # every journey left a *closed* tree
+    for root in obs.tracer.finished:
+        print(obs.tracer.format_tree(root))
+        print()
+    print(
+        f"{completed} journey(s) completed, {failed} failed "
+        f"(construction {args.construction}); "
+        f"{len(obs.tracer.finished)} closed traces, all quiescent"
+    )
+    return 0 if failed == 0 else 1
+
+
+def _cmd_stats(args) -> int:
+    obs, completed, failed = _observed_journeys(args)
+    print(obs.registry.render())
+    print(
+        f"\n{completed} journey(s) completed, {failed} failed "
+        f"(construction {args.construction}); "
+        f"{len(obs.events.serialized())} events, {obs.events.dropped} dropped"
+    )
+    return 0 if failed == 0 else 1
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "figure": _cmd_figure,
@@ -348,6 +460,8 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "share": _cmd_share,
     "solve": _cmd_solve,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 

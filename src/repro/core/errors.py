@@ -1,4 +1,49 @@
-"""Exception hierarchy for the social-puzzle core."""
+"""Exception hierarchy for the social-puzzle core.
+
+Error taxonomy
+==============
+
+Every failure the repository raises on purpose is-a
+:class:`SocialPuzzleError`, and falls into one of three classes that
+determine how callers (and the resilience layer) react:
+
+**Permanent protocol errors** — the request itself is wrong or denied;
+retrying is useless and the resilience layer surfaces them on the first
+attempt:
+
+======================== ====================================================
+:class:`PuzzleParameterError` malformed share parameters (bad k/n, empty
+                              context); also ``ValueError``
+:class:`AccessDeniedError`    fewer than k correct answers at Verify
+:class:`TamperDetectedError`  a BLS signature check failed — the SP/DH
+                              modified protocol data (section VI attacks)
+:class:`UnknownPuzzleError`   no such puzzle id; also ``KeyError``
+======================== ====================================================
+
+**Transient substrate errors** — the environment hiccuped; the request may
+well succeed if replayed. Anything that is-a
+:class:`TransientServiceError` is retried by
+:class:`~repro.osn.resilience.RetryPolicy`:
+
+============================ ================================================
+:class:`TransientProviderError` the SP timed out / dropped the request
+:class:`TransientNetworkError`  the client-to-server path dropped it
+============================ ================================================
+
+**Resilience-layer outcomes** — raised by the machinery itself, never by
+the protocol:
+
+========================= ===================================================
+:class:`CircuitOpenError`  breaker open: failed fast, nothing was attempted
+:class:`ShareFailedError`  a share was rolled back atomically (no orphaned
+                           blob, registration, or post remains)
+========================= ===================================================
+
+One deliberate outlier: ``ThrottledError`` (an online guesser exhausted
+their failed-attempt budget) lives next to its policy in
+:mod:`repro.core.throttle`, but is still a :class:`SocialPuzzleError` and
+still permanent — lockouts are cleared by the sharer, not by retrying.
+"""
 
 from __future__ import annotations
 

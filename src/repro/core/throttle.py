@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.core.construction1 import PuzzleAnswers, PuzzleServiceC1, ShareRelease
 from repro.core.construction2 import AccessGrantC2, PuzzleAnswersC2, PuzzleServiceC2
 from repro.core.errors import AccessDeniedError, SocialPuzzleError
+from repro.obs.runtime import count, emit_event
 
 __all__ = [
     "ThrottledError",
@@ -73,18 +74,37 @@ class GuessThrottle:
             )
 
     def record_failure(self, puzzle_id: int, requester: str) -> None:
+        """Charge one failed verification against the requester's budget.
+
+        Locks the (puzzle, requester) pair once ``max_failures`` is
+        reached; the lockout is observable as a ``throttle.lockout``
+        event (the requester name is redacted by the event log — it is
+        personal data, not an operational label).
+        """
         budget = self._budget(puzzle_id, requester)
         budget.failures += 1
+        count("core.throttle.failures")
         if budget.failures >= self.max_failures:
             budget.locked = True
+            count("core.throttle.lockouts")
+            emit_event(
+                "throttle.lockout",
+                puzzle_id=puzzle_id,
+                requester=requester,
+                failures=budget.failures,
+            )
 
     def record_success(self, puzzle_id: int, requester: str) -> None:
+        """Reset the failure count — a verified friend isn't punished for
+        an earlier typo. Does not clear an existing lockout."""
         self._budget(puzzle_id, requester).failures = 0
 
     def failures_for(self, puzzle_id: int, requester: str = "") -> int:
+        """Current failed-attempt count for the (puzzle, requester) pair."""
         return self._budget(puzzle_id, requester).failures
 
     def is_locked(self, puzzle_id: int, requester: str = "") -> bool:
+        """Whether the pair has exhausted its budget and is locked out."""
         return self._budget(puzzle_id, requester).locked
 
     def unlock(self, puzzle_id: int, requester: str = "") -> None:
@@ -119,6 +139,9 @@ class ThrottledPuzzleServiceC1(_ThrottleMixin, PuzzleServiceC1):
         self.throttle = GuessThrottle(max_failures)
 
     def verify(self, answers: PuzzleAnswers, requester: str = "") -> ShareRelease:
+        """Gate, verify, and account: raises :class:`ThrottledError` once
+        the requester is locked out, charges a failure on
+        :class:`~repro.core.errors.AccessDeniedError`, resets on success."""
         self.throttle.check(answers.puzzle_id, requester)
         try:
             release = super().verify(answers)
@@ -137,6 +160,8 @@ class ThrottledPuzzleServiceC2(_ThrottleMixin, PuzzleServiceC2):
         self.throttle = GuessThrottle(max_failures)
 
     def verify(self, answers: PuzzleAnswersC2, requester: str = "") -> AccessGrantC2:
+        """Same lockout contract as the C1 verifier, returning the C2
+        access grant (URL + master key + public key) on success."""
         self.throttle.check(answers.puzzle_id, requester)
         try:
             grant = super().verify(answers)

@@ -18,6 +18,7 @@ import secrets
 
 from repro.crypto.kdf import evp_bytes_to_key
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.obs.profile import profiled
 
 __all__ = ["encrypt", "decrypt", "MAGIC"]
 
@@ -26,6 +27,7 @@ _KEY_LEN = 32  # AES-256
 _IV_LEN = 16
 
 
+@profiled(name="gibberish.encrypt")
 def encrypt(plaintext: bytes, passphrase: bytes, salt: bytes | None = None) -> bytes:
     """Encrypt to the base64 ``Salted__`` container."""
     if salt is None:
@@ -39,6 +41,7 @@ def encrypt(plaintext: bytes, passphrase: bytes, salt: bytes | None = None) -> b
     return base64.b64encode(MAGIC + salt + ciphertext)
 
 
+@profiled(name="gibberish.decrypt")
 def decrypt(container: bytes, passphrase: bytes) -> bytes:
     """Decrypt a base64 ``Salted__`` container."""
     try:

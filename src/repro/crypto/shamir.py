@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 
 from repro.crypto.field import FieldElement, PrimeField
 from repro.crypto.polynomial import Polynomial, lagrange_coefficients_at_zero
+from repro.obs.profile import profiled
 
 __all__ = ["Share", "ShamirDealer", "split_secret", "reconstruct_secret"]
 
@@ -116,6 +117,7 @@ def split_secret(
     return ShamirDealer(field, k, n).split(secret, xs=xs, random_points=random_points)
 
 
+@profiled(name="shamir.reconstruct")
 def reconstruct_secret(
     field: PrimeField, shares: Iterable[Share], k: int | None = None
 ) -> FieldElement:

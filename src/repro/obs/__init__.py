@@ -1,0 +1,145 @@
+"""repro.obs — zero-dependency observability for the social-puzzle stack.
+
+Four pieces, one hub:
+
+* :class:`~repro.obs.trace.Tracer` — request-scoped span trees with
+  parent/child IDs, timed on both the simulated clock and wall time;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  bounded-memory latency histograms (p50/p95/p99);
+* :class:`~repro.obs.events.EventLog` — structured events that redact
+  answers, keys and free-form strings *by construction*;
+* :func:`~repro.obs.profile.profiled` — wall-cost attribution from
+  crypto hot paths into the innermost open span.
+
+:class:`Observability` bundles the four around one clock. Activate a hub
+for a request (``with obs.activate(): ...``) and every instrumentation
+point in the stack — apps, constructions, OSN substrate, resilience
+layer — reports into it; leave it inactive and the same call sites cost
+one list lookup each. The design rationale (and why this is hand-rolled
+rather than an OpenTelemetry dependency) is in docs/OBSERVABILITY.md.
+
+Quick taste::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    with obs.activate():
+        with obs.span("demo.request", k=2):
+            obs.count("demo.handled")
+    print(obs.tracer.format_tree(obs.tracer.finished[-1], timings=False))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.events import Event, EventLog, Label, redact_value
+from repro.obs.metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from repro.obs.profile import profiled
+from repro.obs.runtime import (
+    count,
+    current,
+    emit_event,
+    maybe_span,
+    observe,
+    set_gauge,
+    use,
+)
+from repro.obs.trace import Span, SpanError, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "SpanError",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "EventLog",
+    "Event",
+    "Label",
+    "redact_value",
+    "profiled",
+    "current",
+    "use",
+    "count",
+    "observe",
+    "set_gauge",
+    "emit_event",
+    "maybe_span",
+]
+
+
+class Observability:
+    """One clock, one tracer, one registry, one event log.
+
+    ``clock`` defaults to a fresh :class:`~repro.sim.timing.SimClock`;
+    pass the clock the resilience layer uses so span windows, event
+    timestamps and backoff accounting all share a timeline. Memory is
+    bounded everywhere (``max_events`` events, ``max_traces`` retained
+    root spans, fixed histogram buckets), so a hub can stay attached to
+    a long simulation without becoming a leak.
+    """
+
+    def __init__(self, clock=None, max_events: int = 4096, max_traces: int = 1024):
+        if clock is None:
+            # Deferred import: the sim layer imports the OSN substrate,
+            # which imports repro.obs.runtime — importing SimClock at
+            # module scope here would close that cycle.
+            from repro.sim.timing import SimClock
+
+            clock = SimClock()
+        self.clock = clock
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=clock, registry=self.registry, max_finished=max_traces)
+        self.events = EventLog(clock=clock, max_events=max_events)
+
+    # -- convenience pass-throughs --------------------------------------------
+
+    def span(self, name: str, **attributes: object):
+        return self.tracer.span(name, **attributes)
+
+    def emit(self, name: str, **fields: object) -> Event:
+        return self.events.emit(name, **fields)
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        self.registry.counter(name).add(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+
+    @contextmanager
+    def activate(self) -> Iterator["Observability"]:
+        """Make this hub the :func:`current` one for the enclosed block."""
+        with use(self):
+            yield self
+
+    # -- trace hygiene ---------------------------------------------------------
+
+    def assert_trace_hygiene(self, *secrets: bytes | str) -> None:
+        """The chaos-harness contract, as one call.
+
+        Asserts (1) the tracer is quiescent — no span left open, every
+        retained trace closed root-to-leaf — and (2) none of ``secrets``
+        appears in any serialized event or span tree.
+        """
+        import json
+
+        self.tracer.assert_quiescent()
+        blobs = self.events.serialized()
+        blobs += [json.dumps(root.to_dict()) for root in self.tracer.finished]
+        for secret in secrets:
+            text = (
+                secret.decode("utf-8", errors="replace")
+                if isinstance(secret, (bytes, bytearray))
+                else secret
+            )
+            if not text:
+                continue
+            for blob in blobs:
+                if text in blob:
+                    raise AssertionError(
+                        "observability output leaked a secret: %s" % blob
+                    )

@@ -1,0 +1,173 @@
+"""Audit-safe structured event log: redaction *by construction*.
+
+The paper's whole point is that the SP and DH never see a context answer
+or a plaintext object — an observability layer that casually serialized
+those into log lines would undo the protocol. This log makes that class
+of leak impossible at the type level rather than by reviewer diligence:
+
+* ``bytes`` values are **always** fingerprinted. There is no opt-out:
+  keys, ciphertexts, answers and plaintexts can never reach a log line
+  in the clear, no matter what a future call site passes.
+* Free-form ``str`` values are fingerprinted **by default**. Only
+  operational identifiers explicitly wrapped in :class:`Label` (state
+  names, retry labels, ``dh://`` URLs — strings the instrumentation
+  author asserts carry no user data) pass through verbatim.
+* Field *names* containing a sensitive marker (``answer``, ``key``,
+  ``secret``, ``plaintext``, ...) are fingerprinted regardless of value
+  type — even a ``Label`` cannot launder them.
+* Numbers, booleans and ``None`` pass through (counts, sizes, ids).
+
+Fingerprints are truncated SHA3-256 over a **per-process random salt**
+plus the value. The salt defeats offline dictionary matching: without
+it, a curious log reader could hash candidate answers and compare. With
+it, fingerprints still correlate *within* one run (same value, same
+fingerprint — useful for debugging) but reveal nothing across runs.
+
+The log itself is a bounded deque, so long simulations cannot leak
+memory through their own telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.hashes import sha3_256
+
+__all__ = ["Label", "Event", "EventLog", "redact_value", "SENSITIVE_MARKERS"]
+
+#: Field-name substrings that force redaction of the value, whatever it is.
+SENSITIVE_MARKERS = (
+    "answer",
+    "secret",
+    "key",
+    "plaintext",
+    "passphrase",
+    "password",
+    "token",
+)
+
+# One salt per process: fingerprints are stable within a run (so equal
+# values correlate in the log) but useless for offline dictionary attacks.
+_SALT = secrets.token_bytes(16)
+
+
+class Label(str):
+    """An explicitly-safe operational string (state name, metric label...).
+
+    Wrapping a string in ``Label`` is the *only* way to get it into an
+    event or span attribute verbatim. The wrap is an assertion by the
+    instrumentation author that the string is operational vocabulary,
+    not user data — which makes every pass-through string greppable in
+    review (``grep -rn 'Label('``).
+    """
+
+    __slots__ = ()
+
+
+def _fingerprint(data: bytes, kind: str, length: int) -> str:
+    digest = sha3_256(_SALT + data).hexdigest()[:12]
+    return "<redacted %s#%s len=%d>" % (kind, digest, length)
+
+
+def redact_value(key: str, value: object) -> object:
+    """Map one field to its loggable form. Total: never raises on type.
+
+    The rules, in priority order:
+
+    1. sensitive field name  -> fingerprint, no exceptions;
+    2. ``bytes``             -> fingerprint (no opt-out);
+    3. ``Label``             -> verbatim;
+    4. ``str``               -> fingerprint (default-deny);
+    5. bool/int/float/None   -> verbatim;
+    6. anything else         -> fingerprint of its ``repr``.
+    """
+    lowered = key.lower()
+    sensitive = any(marker in lowered for marker in SENSITIVE_MARKERS)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return _fingerprint(raw, "bytes", len(raw))
+    if isinstance(value, Label):
+        if sensitive:
+            encoded = str(value).encode()
+            return _fingerprint(encoded, "str", len(encoded))
+        return str(value)
+    if isinstance(value, str):
+        encoded = value.encode()
+        return _fingerprint(encoded, "str", len(encoded))
+    if value is None or isinstance(value, (bool, int, float)):
+        if sensitive and not isinstance(value, bool) and value is not None:
+            # A "key_share" integer is still key material.
+            encoded = repr(value).encode()
+            return _fingerprint(encoded, "num", len(encoded))
+        return value
+    encoded = repr(value).encode()
+    return _fingerprint(encoded, "obj", len(encoded))
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record; ``fields`` are already redacted."""
+
+    at_s: float
+    name: str
+    fields: tuple[tuple[str, object], ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {"at_s": self.at_s, "event": self.name, "fields": dict(self.fields)}
+
+    def serialize(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class EventLog:
+    """A bounded, clock-stamped log of redacted events."""
+
+    def __init__(self, clock=None, max_events: int = 4096):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.clock = clock
+        self.max_events = max_events
+        self._events: deque[Event] = deque(maxlen=max_events)
+        self.dropped = 0  # how many old events the bound evicted
+
+    def emit(self, name: str, **fields: object) -> Event:
+        """Record an event; every field value is redacted on entry."""
+        redacted = tuple(
+            (key, redact_value(key, value)) for key, value in fields.items()
+        )
+        at_s = self.clock.now() if self.clock is not None else 0.0
+        event = Event(at_s=at_s, name=name, fields=redacted)
+        if len(self._events) == self.max_events:
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def named(self, name: str) -> list[Event]:
+        return [e for e in self._events if e.name == name]
+
+    def serialized(self) -> list[str]:
+        """One JSON line per event — what an exporter would ship."""
+        return [event.serialize() for event in self._events]
+
+    def assert_never_contains(self, needle: str | bytes, label: str = "secret") -> None:
+        """The executable redaction guarantee, mirroring
+        :meth:`repro.osn.storage.AuditTrail.assert_never_saw`: the
+        sensitive value must not appear in any serialized event."""
+        text = needle.decode("utf-8", errors="replace") if isinstance(
+            needle, (bytes, bytearray)
+        ) else needle
+        for line in self.serialized():
+            if text and text in line:
+                raise AssertionError(
+                    "event log leaked the %s in cleartext: %s" % (label, line)
+                )

@@ -1,0 +1,277 @@
+"""The metrics registry: counters, gauges, bounded-memory histograms.
+
+Zero dependencies, bounded memory by construction:
+
+* :class:`Counter` — a monotonically increasing number (int or float).
+* :class:`Gauge` — a last-write-wins level (queue depths, open spans).
+* :class:`LatencyHistogram` — a fixed geometric bucket ladder. Memory is
+  O(number of buckets) regardless of how many observations land, which
+  is what lets the chaos harness record hundreds of thousands of
+  latencies without the accounting itself becoming the bottleneck.
+  Quantiles (p50/p95/p99) are estimated by linear interpolation inside
+  the covering bucket; observations beyond the last bound land in an
+  overflow bucket and quantiles falling there are reported as the exact
+  observed maximum (never silently clamped).
+
+A :class:`MetricsRegistry` is a get-or-create namespace of the three.
+Naming convention (see docs/OBSERVABILITY.md): dotted lowercase paths,
+``<layer>.<component>.<measurement>``, units as a ``_s`` / ``.bytes``
+suffix — e.g. ``osn.storage.put.bytes``, ``resilience.backoff_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "DEFAULT_BOUNDS",
+]
+
+# Geometric ladder: 1 µs ... ~33.6 s in powers of two, 26 bounds.
+# Observations above the last bound go to the overflow bucket.
+DEFAULT_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(26))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    value: float = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.add(amount)
+
+    def add(self, amount: int | float) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins level; tracks its high-water mark too."""
+
+    value: float = 0.0
+    high_water: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with p50/p95/p99 estimation.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one extra
+    overflow bucket catches everything beyond the last bound. Exact
+    ``count`` / ``total`` / ``min`` / ``max`` are tracked alongside, so
+    the mean is exact even though quantiles are bucket-estimates.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS):
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latencies are non-negative")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        # Binary search over the (small, fixed) bound ladder.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo  # == len(bounds) means overflow
+
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last bucket bound."""
+        return self._counts[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets."""
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == len(self.bounds):
+                    # Overflow: the honest answer is the observed maximum.
+                    assert self.max is not None
+                    return self.max
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                # Linear interpolation within the covering bucket.
+                into_bucket = rank - (cumulative - bucket_count)
+                fraction = into_bucket / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                # Never report outside the observed range.
+                assert self.max is not None and self.min is not None
+                return min(max(estimate, self.min), self.max)
+        raise AssertionError("unreachable: rank <= count")  # pragma: no cover
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max if self.max is not None else 0.0,
+            "overflow": self.overflow,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """A get-or-create namespace of counters, gauges and histograms.
+
+    One name belongs to exactly one instrument kind: asking for
+    ``counter("x")`` after ``histogram("x")`` is a programming error and
+    raises, rather than silently shadowing.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self.counters,
+            "gauge": self.gauges,
+            "histogram": self.histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    "metric %r is already a %s, cannot reuse as a %s"
+                    % (name, other_kind, kind)
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self._check_unique(name, "counter")
+            self.counters[name] = Counter()
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self._check_unique(name, "gauge")
+            self.gauges[name] = Gauge()
+        return self.gauges[name]
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS
+    ) -> LatencyHistogram:
+        if name not in self.histograms:
+            self._check_unique(name, "histogram")
+            self.histograms[name] = LatencyHistogram(bounds)
+        return self.histograms[name]
+
+    def counter_total(self, prefix: str) -> float:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(
+            c.value for n, c in self.counters.items() if n.startswith(prefix)
+        )
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """``{suffix: value}`` for counters named ``<prefix><suffix>``."""
+        return {
+            n[len(prefix):]: c.value
+            for n, c in self.counters.items()
+            if n.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-data view of everything, for serialization and tests."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "high_water": g.high_water}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A human-readable snapshot (the body of ``repro stats``)."""
+        lines: list[str] = []
+        if self.counters:
+            lines.append("counters:")
+            for name, counter in sorted(self.counters.items()):
+                value = counter.value
+                shown = "%d" % value if value == int(value) else "%.6g" % value
+                lines.append("  %-46s %s" % (name, shown))
+        if self.gauges:
+            lines.append("gauges:")
+            for name, gauge in sorted(self.gauges.items()):
+                lines.append(
+                    "  %-46s %.6g (high-water %.6g)"
+                    % (name, gauge.value, gauge.high_water)
+                )
+        if self.histograms:
+            lines.append(
+                "histograms:%42s%9s%9s%9s%9s"
+                % ("count", "mean", "p50", "p95", "p99")
+            )
+            for name, hist in sorted(self.histograms.items()):
+                lines.append(
+                    "  %-44s%8d%9.2f%9.2f%9.2f%9.2f"
+                    % (
+                        name,
+                        hist.count,
+                        hist.mean * 1e3,
+                        hist.p50 * 1e3,
+                        hist.p95 * 1e3,
+                        hist.p99 * 1e3,
+                    )
+                )
+            lines.append("  (histogram columns in milliseconds)")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,74 @@
+"""Profiling hooks: ``@profiled`` wall-cost attribution for hot paths.
+
+Decorating a function with :func:`profiled` makes every call, *while an
+observability hub is active*, record its wall time into the hub's
+registry (histogram ``profile.<name>``) and charge it to the innermost
+open span (:meth:`~repro.obs.trace.Span.charge`). A trace then shows not
+just "receiver crypto took 12 ms" but *which primitives* inside that
+span the time went to — the per-span cost attribution that feeds the
+``benchmarks/`` attribution report.
+
+When no hub is active the wrapper is a single ``current()`` check on top
+of the call — cheap enough to leave on the CP-ABE and AES container
+entry points permanently, which is the intent: decorate coarse crypto
+entry points (an encrypt, a KeyGen), not field operations inside loops.
+
+Nested profiled calls each charge the same span under their own name;
+the outer figure includes the inner one, so attribution tables should
+either pick one altitude or report the nesting explicitly (the
+benchmark report does the former).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, TypeVar, overload
+
+from repro.obs.runtime import current
+
+__all__ = ["profiled"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+@overload
+def profiled(fn: _F) -> _F: ...
+
+
+@overload
+def profiled(*, name: str) -> Callable[[_F], _F]: ...
+
+
+def profiled(fn=None, *, name: str | None = None):
+    """Attribute a function's wall time to the active span and registry.
+
+    Usable bare (``@profiled``) or with an explicit metric name
+    (``@profiled(name="cpabe.encrypt")``); the default name is the
+    function's qualified name.
+    """
+
+    def decorate(func):
+        label = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            obs = current()
+            if obs is None:
+                return func(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                obs.registry.histogram("profile." + label).observe(elapsed)
+                span = obs.tracer.current()
+                if span is not None:
+                    span.charge(label, elapsed)
+
+        wrapper.__profiled_name__ = label
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

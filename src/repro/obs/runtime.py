@@ -1,0 +1,102 @@
+"""The active-observer registry: how instrumentation finds its sinks.
+
+Instrumentation points are scattered across layers that must not depend
+on each other (the storage host cannot import the apps layer, the
+network model cannot import the platform). They all meet here instead:
+an :class:`~repro.obs.Observability` hub is *activated* for the duration
+of a request (``with obs.activate(): ...``), and every instrumented call
+site asks :func:`current` for the active hub. When none is active every
+helper is a no-op costing one list lookup, so uninstrumented runs —
+benchmarks included — pay essentially nothing.
+
+This module is deliberately import-free (standard library only): it is
+imported from the lowest layers (``osn.storage``, ``osn.network``) and
+must never create an import cycle with them.
+
+Design note: a plain module-level stack rather than a ``contextvars``
+context — the simulation is single-threaded by design (the paper's
+clients are browser sessions, simulated sequentially), and a stack keeps
+activation semantics trivially debuggable. Revisit if the driver ever
+grows real concurrency.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs import Observability
+    from repro.obs.trace import Span
+
+__all__ = [
+    "current",
+    "use",
+    "count",
+    "observe",
+    "set_gauge",
+    "emit_event",
+    "maybe_span",
+]
+
+_ACTIVE: list["Observability"] = []
+
+
+def current() -> "Observability | None":
+    """The innermost activated observability hub, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use(obs: "Observability") -> Iterator["Observability"]:
+    """Activate ``obs`` for the enclosed block (re-entrant, stack-like)."""
+    _ACTIVE.append(obs)
+    try:
+        yield obs
+    finally:
+        popped = _ACTIVE.pop()
+        assert popped is obs, "observability activation stack corrupted"
+
+
+def count(name: str, amount: int | float = 1) -> None:
+    """Increment counter ``name`` on the active hub; no-op when inactive."""
+    obs = current()
+    if obs is not None:
+        obs.registry.counter(name).add(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name``; no-op when inactive."""
+    obs = current()
+    if obs is not None:
+        obs.registry.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name``; no-op when inactive."""
+    obs = current()
+    if obs is not None:
+        obs.registry.gauge(name).set(value)
+
+
+def emit_event(name: str, **fields: object) -> None:
+    """Append a structured (redacted) event; no-op when inactive."""
+    obs = current()
+    if obs is not None:
+        obs.events.emit(name, **fields)
+
+
+@contextmanager
+def maybe_span(name: str, **attributes: object) -> Iterator["Span | None"]:
+    """Open a child span on the active tracer, or yield ``None``.
+
+    The workhorse of substrate instrumentation: one line at the call
+    site, zero cost when observability is off, and a correctly-parented
+    span (closed even on exceptions) when it is on.
+    """
+    obs = current()
+    if obs is None:
+        yield None
+        return
+    with obs.tracer.span(name, **attributes) as span:
+        yield span

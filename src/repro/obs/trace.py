@@ -1,0 +1,264 @@
+"""Span trees: request-scoped tracing on the simulated clock.
+
+A :class:`Span` is one named unit of work with a parent, attributes and
+two time axes:
+
+* **simulated time** (``start_s`` / ``end_s``) from the hub's
+  :class:`~repro.sim.timing.SimClock` — where retry backoff and breaker
+  cooldowns live, so a trace shows *when* in the simulation things
+  happened;
+* **wall time** (``wall_s``) from ``perf_counter`` — the real cost of
+  the crypto underneath, which is what ``repro trace`` prints per span
+  and what the profiling hooks attribute against.
+
+The :class:`Tracer` maintains the open-span stack, parents new spans
+under the innermost open one, and keeps a bounded deque of finished
+root spans. Span attributes go through the same redaction rules as
+event fields (:func:`repro.obs.events.redact_value`): raw bytes and
+free-form strings can never appear in a dumped trace.
+
+Lifecycle is strict: closing a span twice, or closing a parent while a
+child is still open, raises :class:`SpanError` — a trace that lies about
+completeness is worse than no trace, so malformed instrumentation fails
+loudly in tests instead of producing plausible-looking output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.events import redact_value
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "SpanError", "Tracer"]
+
+
+class SpanError(RuntimeError):
+    """Span lifecycle misuse: double close, out-of-order close."""
+
+
+class Span:
+    """One node of a trace tree."""
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        parent_id: int | None,
+        start_s: float,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.wall_s: float | None = None
+        self._wall_start = time.perf_counter()
+        self.status = "open"
+        self.error: str | None = None
+        self.attributes: dict[str, object] = {}
+        self.costs: dict[str, float] = {}  # profiled sub-costs, seconds
+        self.children: list["Span"] = []
+
+    # -- attributes and cost attribution -------------------------------------
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute; the value is redacted on entry."""
+        self.attributes[key] = redact_value(key, value)
+
+    def charge(self, cost_name: str, seconds: float) -> None:
+        """Attribute ``seconds`` of profiled work to this span."""
+        self.costs[cost_name] = self.costs.get(cost_name, 0.0) + seconds
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.status != "open"
+
+    def close(self, end_s: float, error: str | None = None) -> None:
+        if self.closed:
+            raise SpanError("span %r (#%d) closed twice" % (self.name, self.span_id))
+        open_children = [c.name for c in self.children if not c.closed]
+        if open_children:
+            raise SpanError(
+                "span %r closed while children still open: %s"
+                % (self.name, ", ".join(open_children))
+            )
+        self.end_s = end_s
+        self.wall_s = time.perf_counter() - self._wall_start
+        if error is None:
+            self.status = "ok"
+        else:
+            self.status = "error"
+            self.error = error
+
+    # -- introspection ---------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first over this span and every descendant."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def assert_complete(self) -> None:
+        """Raise if any span in this tree is still open."""
+        open_spans = [s.name for s in self.walk() if not s.closed]
+        if open_spans:
+            raise AssertionError(
+                "incomplete trace: open spans %s" % ", ".join(open_spans)
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-data form (already redaction-clean, see :meth:`set`)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "status": self.status,
+            "error": self.error,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "wall_s": self.wall_s,
+            "attributes": dict(self.attributes),
+            "costs": dict(self.costs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Creates, nests and retains spans.
+
+    ``clock`` is anything with a ``now() -> float`` (a
+    :class:`~repro.sim.timing.SimClock` in practice); ``registry``, when
+    given, receives a ``span.<name>`` latency observation and a
+    ``trace.spans`` count for every finished span, which is how span
+    timings flow into ``repro stats`` and the benchmarks.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        registry: MetricsRegistry | None = None,
+        max_finished: int = 1024,
+    ):
+        self.clock = clock
+        self.registry = registry
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def start(self, name: str, **attributes: object) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span_id = next(self._ids)
+        span = Span(
+            name=name,
+            span_id=span_id,
+            trace_id=parent.trace_id if parent else span_id,
+            parent_id=parent.span_id if parent else None,
+            start_s=self._now(),
+        )
+        for key, value in attributes.items():
+            span.set(key, value)
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, error: BaseException | None = None) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise SpanError(
+                "span %r is not the innermost open span" % span.name
+            )
+        span.close(
+            self._now(),
+            error=None if error is None else "%s: %s" % (type(error).__name__, error),
+        )
+        self._stack.pop()
+        if self.registry is not None:
+            self.registry.counter("trace.spans").increment()
+            assert span.wall_s is not None
+            self.registry.histogram("span." + span.name).observe(span.wall_s)
+        if span.parent_id is None:
+            self.finished.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child span for the enclosed block; closes on exit,
+        marking the span errored (and re-raising) on exception."""
+        span = self.start(name, **attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            self.finish(span, error=exc)
+            raise
+        else:
+            self.finish(span)
+
+    # -- introspection ---------------------------------------------------------
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def assert_quiescent(self) -> None:
+        """Raise unless every started span has been closed."""
+        if self._stack:
+            raise AssertionError(
+                "tracer not quiescent: open spans %s"
+                % ", ".join(s.name for s in self._stack)
+            )
+        for root in self.finished:
+            root.assert_complete()
+
+    # -- rendering -------------------------------------------------------------
+
+    def format_tree(self, root: Span, timings: bool = True) -> str:
+        """Render one trace as an indented tree.
+
+        With ``timings`` (the default) each line carries the span's wall
+        cost in milliseconds and any profiled sub-costs; without, the
+        output is fully deterministic (used by the doc examples).
+        """
+        lines: list[str] = []
+
+        def visit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+            connector = "" if is_root else ("`-- " if is_last else "|-- ")
+            parts = ["%s[%s]" % (span.name, span.status)]
+            if timings and span.wall_s is not None:
+                parts.append("%.2fms" % (span.wall_s * 1e3))
+            if span.error:
+                parts.append("error=%s" % span.error)
+            for key, value in span.attributes.items():
+                parts.append("%s=%s" % (key, value))
+            if timings and span.costs:
+                costed = " ".join(
+                    "%s=%.2fms" % (n, s * 1e3)
+                    for n, s in sorted(span.costs.items())
+                )
+                parts.append("(profile: %s)" % costed)
+            lines.append(prefix + connector + " ".join(parts))
+            child_prefix = prefix if is_root else prefix + ("    " if is_last else "|   ")
+            for index, child in enumerate(span.children):
+                visit(child, child_prefix, index == len(span.children) - 1, False)
+
+        visit(root, "", True, True)
+        return "\n".join(lines)

@@ -26,6 +26,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.obs.runtime import count, observe
+
 __all__ = ["NetworkLink", "Transfer", "WLAN_PC", "WLAN_TABLET", "LAN_FAST"]
 
 
@@ -79,12 +81,18 @@ class NetworkLink:
         """Charge one upload request; returns and logs its delay."""
         delay = self.upload_delay(num_bytes)
         self.log.append(Transfer(description, "up", num_bytes, delay))
+        count("osn.network.up.requests")
+        count("osn.network.up.bytes", num_bytes)
+        observe("osn.network.up.delay_s", delay)
         return delay
 
     def download(self, num_bytes: int, description: str = "") -> float:
         """Charge one download request; returns and logs its delay."""
         delay = self.download_delay(num_bytes)
         self.log.append(Transfer(description, "down", num_bytes, delay))
+        count("osn.network.down.requests")
+        count("osn.network.down.bytes", num_bytes)
+        observe("osn.network.down.delay_s", delay)
         return delay
 
     def total_bytes(self) -> int:

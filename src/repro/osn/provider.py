@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs.runtime import count, maybe_span
 from repro.osn.storage import AuditTrail
 
 __all__ = ["User", "Post", "ServiceProvider", "OsnError"]
@@ -122,22 +123,26 @@ class ServiceProvider:
         content: str,
         audience: str | Iterable[int] = "friends",
     ) -> Post:
-        self._account(author)
-        self.audit.record(content.encode())
-        if isinstance(audience, str):
-            if audience not in ("friends", "public"):
-                raise OsnError("audience must be 'friends', 'public' or a set of ids")
-            resolved: str | frozenset[int] = audience
-        else:
-            resolved = frozenset(audience)
-        item = Post(
-            post_id=next(self._post_serial),
-            author=author,
-            content=content,
-            audience=resolved,
-        )
-        self._posts[item.post_id] = item
-        return item
+        with maybe_span("sp.post.publish", author_id=author.user_id):
+            self._account(author)
+            self.audit.record(content.encode())
+            if isinstance(audience, str):
+                if audience not in ("friends", "public"):
+                    raise OsnError(
+                        "audience must be 'friends', 'public' or a set of ids"
+                    )
+                resolved: str | frozenset[int] = audience
+            else:
+                resolved = frozenset(audience)
+            item = Post(
+                post_id=next(self._post_serial),
+                author=author,
+                content=content,
+                audience=resolved,
+            )
+            self._posts[item.post_id] = item
+            count("osn.provider.posts")
+            return item
 
     def can_view(self, viewer: User, post: Post) -> bool:
         """Static ACL check — the paper's 'additional layer of privacy
@@ -157,8 +162,10 @@ class ServiceProvider:
         return sorted(visible, key=lambda p: -p.post_id)
 
     def get_post(self, viewer: User, post_id: int) -> Post:
+        count("osn.provider.post_reads")
         post = self._posts.get(post_id)
         if post is None or not self.can_view(viewer, post):
+            count("osn.provider.post_reads.denied")
             raise OsnError("post %d not visible to %s" % (post_id, viewer))
         return post
 

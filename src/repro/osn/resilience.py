@@ -22,6 +22,11 @@ the client-side answer, mirroring what real encrypted-OSN middlemen ship:
 
 Everything reports into :class:`~repro.sim.metrics.ResilienceMetrics`
 so experiments can count retries and breaker transitions per fault rate.
+When an :class:`~repro.obs.Observability` hub is active, every retry,
+giveup and breaker transition additionally lands in its structured
+event log (``retry.backoff`` / ``retry.giveup`` /
+``breaker.transition`` events), so ``repro trace`` output explains
+*why* a span took as long as it did.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from dataclasses import dataclass
 from typing import Callable, TypeVar
 
 from repro.core.errors import CircuitOpenError, TransientServiceError
+from repro.obs.events import Label
+from repro.obs.runtime import emit_event
 from repro.osn.storage import StorageError, StorageHost
 from repro.sim.metrics import ResilienceMetrics
 from repro.sim.timing import SimClock
@@ -121,10 +128,23 @@ class RetryPolicy:
                 if attempt >= self.max_attempts:
                     if self.metrics is not None:
                         self.metrics.record_giveup(label)
+                    emit_event(
+                        "retry.giveup",
+                        label=Label(label),
+                        attempts=attempt,
+                        error=Label(type(exc).__name__),
+                    )
                     raise
                 backoff = self.backoff_s(attempt - 1)
                 if self.metrics is not None:
                     self.metrics.record_retry(label, backoff)
+                emit_event(
+                    "retry.backoff",
+                    label=Label(label),
+                    attempt=attempt,
+                    backoff_s=backoff,
+                    error=Label(type(exc).__name__),
+                )
                 assert self.clock is not None
                 self.clock.sleep(backoff)
 
@@ -176,12 +196,22 @@ class CircuitBreaker:
         return self._state
 
     def _transition(self, new_state: str) -> None:
+        """Move to ``new_state``, reporting to metrics and the active
+        observability hub; entering OPEN stamps the cooldown start and
+        entering CLOSED clears the failure streak."""
         if new_state == self._state:
             return
         if self.metrics is not None:
             self.metrics.record_transition(
                 self.name, self._state, new_state, self.clock.now()
             )
+        emit_event(
+            "breaker.transition",
+            breaker=Label(self.name),
+            old_state=Label(self._state),
+            new_state=Label(new_state),
+            failures=self._consecutive_failures,
+        )
         self._state = new_state
         if new_state == self.OPEN:
             self._opened_at_s = self.clock.now()
@@ -198,11 +228,18 @@ class CircuitBreaker:
             )
 
     def record_success(self) -> None:
+        """Report a successful call: clears the consecutive-failure
+        streak, and closes the breaker if this was the half-open trial
+        call succeeding."""
         self._consecutive_failures = 0
         if self._state == self.HALF_OPEN:
             self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
+        """Report a failed call: a half-open trial failure re-opens the
+        breaker immediately; a closed-state failure counts toward the
+        ``failure_threshold`` streak and trips the breaker open when the
+        streak reaches it."""
         self._consecutive_failures += 1
         if self._state == self.HALF_OPEN:
             self._transition(self.OPEN)
@@ -258,6 +295,10 @@ class ResilientStorageClient:
         return self.host
 
     def _guarded(self, fn: Callable[[], T]) -> Callable[[], T]:
+        """Wrap ``fn`` under the breaker (if any): the breaker gates and
+        scores each *individual attempt*, while the retry policy outside
+        it spaces the attempts — so a run of transient faults can trip
+        the breaker mid-retry-loop and fail the remaining attempts fast."""
         if self.breaker is None:
             return fn
         breaker = self.breaker
@@ -273,6 +314,11 @@ class ResilientStorageClient:
         return False
 
     def put(self, data: bytes) -> str:
+        """Store ``data``, retrying transient faults; with
+        ``verify_writes`` a write the host acknowledged but lost is
+        detected by an existence re-read and retried like any other
+        transient fault."""
+
         def attempt() -> str:
             url = self.host.put(data)
             if self.verify_writes and not self.host.exists(url):
@@ -289,6 +335,9 @@ class ResilientStorageClient:
         )
 
     def get(self, url: str) -> bytes:
+        """Fetch a blob, retrying transient faults; a missing URL is a
+        permanent :class:`~repro.osn.storage.StorageError` and surfaces
+        on the first attempt."""
         return self.retry.call(
             self._guarded(lambda: self.host.get(url)),
             "storage.get",
@@ -296,6 +345,8 @@ class ResilientStorageClient:
         )
 
     def exists(self, url: str) -> bool:
+        """Existence probe with the same retry/breaker treatment as
+        :meth:`get`."""
         return self.retry.call(
             self._guarded(lambda: self.host.exists(url)),
             "storage.exists",
@@ -303,6 +354,8 @@ class ResilientStorageClient:
         )
 
     def delete(self, url: str) -> bool:
+        """Idempotent delete under retry; returns whether a blob was
+        actually removed (the atomic-share rollback path reads this)."""
         return self.retry.call(
             self._guarded(lambda: self.host.delete(url)),
             "storage.delete",
@@ -310,4 +363,6 @@ class ResilientStorageClient:
         )
 
     def __getattr__(self, name: str):
+        """Forward everything else (``audit``, counters, ``tamper``...)
+        to the wrapped host so assertions see through the wrapper."""
         return getattr(self.host, name)

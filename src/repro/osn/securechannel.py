@@ -32,6 +32,7 @@ from repro.crypto.ec import CurveParams, Point
 from repro.crypto.kdf import hkdf
 from repro.crypto.mac import constant_time_compare, hmac_digest
 from repro.crypto.modes import ctr_transform
+from repro.obs.runtime import count
 
 __all__ = [
     "ChannelError",
@@ -106,6 +107,7 @@ class _DirectionState:
         )
 
     def protect(self, plaintext: bytes) -> Record:
+        count("osn.securechannel.records.sealed")
         sequence = self.next_sequence
         self.next_sequence += 1
         ciphertext = ctr_transform(self.enc_key, plaintext, self._nonce(sequence))
@@ -116,7 +118,9 @@ class _DirectionState:
         return Record(sequence=sequence, ciphertext=ciphertext, tag=tag)
 
     def open(self, record: Record) -> bytes:
+        count("osn.securechannel.records.opened")
         if record.sequence != self.next_sequence:
+            count("osn.securechannel.records.rejected")
             raise ChannelError(
                 "sequence violation: expected %d, got %d (replay or reorder)"
                 % (self.next_sequence, record.sequence)
@@ -126,6 +130,7 @@ class _DirectionState:
             self.label + record.sequence.to_bytes(8, "big") + record.ciphertext,
         )
         if not constant_time_compare(record.tag, expected):
+            count("osn.securechannel.records.rejected")
             raise ChannelError("record authentication failed (tampered)")
         self.next_sequence += 1
         return ctr_transform(
@@ -196,7 +201,9 @@ class ChannelServer:
         self.identity = identity
 
     def respond(self, hello: ClientHello) -> tuple[ServerHello, ChannelEndpoint, bytes]:
+        count("osn.securechannel.handshakes")
         if hello.client_ephemeral.infinity or not hello.client_ephemeral.has_order_r():
+            count("osn.securechannel.handshakes.rejected")
             raise ChannelError("invalid client ephemeral key")
         eph_secret = secrets.randbelow(self.params.r - 1) + 1
         server_ephemeral = self.bls.generator * eph_secret

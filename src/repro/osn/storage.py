@@ -17,6 +17,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.obs.runtime import count, maybe_span
+
 __all__ = ["StorageHost", "AuditTrail", "StorageError"]
 
 
@@ -59,19 +61,27 @@ class StorageHost:
 
     def put(self, data: bytes) -> str:
         """Store an encrypted object; returns its public URL_O."""
-        self.audit.record(data)
-        url = f"dh://{self.name}/{next(self._serial)}"
-        self._blobs[url] = bytes(data)
-        return url
+        with maybe_span("storage.put", num_bytes=len(data)):
+            self.audit.record(data)
+            url = f"dh://{self.name}/{next(self._serial)}"
+            self._blobs[url] = bytes(data)
+            count("osn.storage.put.calls")
+            count("osn.storage.put.bytes", len(data))
+            return url
 
     def get(self, url: str) -> bytes:
         """Public fetch by URL — anyone holding URL_O may download."""
-        try:
-            return self._blobs[url]
-        except KeyError:
-            raise StorageError("no object at %s" % url) from None
+        with maybe_span("storage.get"):
+            try:
+                blob = self._blobs[url]
+            except KeyError:
+                raise StorageError("no object at %s" % url) from None
+            count("osn.storage.get.calls")
+            count("osn.storage.get.bytes", len(blob))
+            return blob
 
     def exists(self, url: str) -> bool:
+        count("osn.storage.exists.calls")
         return url in self._blobs
 
     def delete(self, url: str) -> bool:
@@ -81,6 +91,7 @@ class StorageHost:
         idempotent — but the caller learns whether the cleanup found the
         blob, which the atomic-share rollback path depends on.
         """
+        count("osn.storage.delete.calls")
         return self._blobs.pop(url, None) is not None
 
     def tamper(self, url: str, new_data: bytes) -> None:

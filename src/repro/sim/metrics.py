@@ -13,9 +13,10 @@ import csv
 import io
 import statistics
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.timing import TimingBreakdown
 
 __all__ = [
@@ -38,26 +39,37 @@ class BreakerTransition:
     at_s: float
 
 
-@dataclass
 class ResilienceMetrics:
-    """Observability hooks for the resilience layer.
+    """Resilience-layer accounting, backed by a shared metrics registry.
 
     The retry policy and circuit breaker report here so experiments can
     ask "how many retries did this fault rate cost?" and chaos tests can
     assert the breaker actually cycled closed -> open -> half-open.
+
+    Counts live in a :class:`~repro.obs.metrics.MetricsRegistry` under
+    the ``resilience.`` namespace (``resilience.retry.<label>``,
+    ``resilience.giveup.<label>``, ``resilience.backoff_s``,
+    ``resilience.breaker.to.<state>``, plus a ``resilience.backoff``
+    latency histogram) — pass the registry of the platform's
+    :class:`~repro.obs.Observability` hub and every ``repro stats`` dump
+    includes them alongside span timings. The pre-observability query
+    API (``retry_count`` / ``transitions`` / ``backoff_s`` / the
+    Counter-style ``retries`` and ``giveups`` views) is preserved.
     """
 
-    retries: Counter = field(default_factory=Counter)  # label -> retry count
-    giveups: Counter = field(default_factory=Counter)  # label -> exhausted budgets
-    backoff_s: float = 0.0
-    transitions: list[BreakerTransition] = field(default_factory=list)
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Chronological breaker transitions; bounded only by breaker
+        #: activity (state changes, not calls), so inherently small.
+        self.transitions: list[BreakerTransition] = []
 
     def record_retry(self, label: str, backoff_s: float = 0.0) -> None:
-        self.retries[label] += 1
-        self.backoff_s += backoff_s
+        self.registry.counter("resilience.retry." + label).increment()
+        self.registry.counter("resilience.backoff_s").add(backoff_s)
+        self.registry.histogram("resilience.backoff").observe(backoff_s)
 
     def record_giveup(self, label: str) -> None:
-        self.giveups[label] += 1
+        self.registry.counter("resilience.giveup." + label).increment()
 
     def record_transition(
         self, breaker: str, old_state: str, new_state: str, at_s: float
@@ -65,11 +77,43 @@ class ResilienceMetrics:
         self.transitions.append(
             BreakerTransition(breaker, old_state, new_state, at_s)
         )
+        self.registry.counter("resilience.breaker.to." + new_state).increment()
+
+    # -- query API (compatible with the pre-registry implementation) -----------
+
+    @property
+    def retries(self) -> Counter:
+        """Counter view: retry count per operation label."""
+        return Counter(
+            {
+                label: int(value)
+                for label, value in self.registry.counters_with_prefix(
+                    "resilience.retry."
+                ).items()
+            }
+        )
+
+    @property
+    def giveups(self) -> Counter:
+        """Counter view: exhausted retry budgets per operation label."""
+        return Counter(
+            {
+                label: int(value)
+                for label, value in self.registry.counters_with_prefix(
+                    "resilience.giveup."
+                ).items()
+            }
+        )
+
+    @property
+    def backoff_s(self) -> float:
+        """Total simulated seconds spent in retry backoff."""
+        return self.registry.counter("resilience.backoff_s").value
 
     def retry_count(self, label: str | None = None) -> int:
         if label is not None:
             return self.retries[label]
-        return sum(self.retries.values())
+        return int(self.registry.counter_total("resilience.retry."))
 
     def transition_count(self, new_state: str | None = None) -> int:
         if new_state is None:

@@ -13,7 +13,11 @@ invariants the resilience layer promises:
    successful shares;
 3. the SP and DH audit trails never see a plaintext object or a context
    answer, even mid-fault;
-4. with fault rates < 1 and retries, every journey eventually succeeds.
+4. with fault rates < 1 and retries, every journey eventually succeeds;
+5. observability is total and leak-free: every journey — including every
+   failed attempt — leaves a *closed* span tree (no dangling spans), and
+   no serialized trace or event contains a shared object or a context
+   answer.
 
 All backoff runs on the simulated clock, so the whole sweep finishes in
 seconds of wall time while covering minutes of simulated waiting.
@@ -28,6 +32,7 @@ import pytest
 from repro.apps.platform import SocialPuzzlePlatform
 from repro.core.errors import SocialPuzzleError
 from repro.crypto.params import TOY
+from repro.obs import Observability
 from repro.osn.faults import (
     FlakyPuzzleService,
     FlakyServiceProvider,
@@ -53,7 +58,8 @@ MAX_JOURNEY_ATTEMPTS = 30
 
 def _build_world(config: dict, seed: int, with_breaker: bool = False):
     clock = SimClock()
-    metrics = ResilienceMetrics()
+    obs = Observability(clock=clock)
+    metrics = ResilienceMetrics(registry=obs.registry)
     storage = FlakyStorageHost(
         put_failure_rate=config["put"],
         get_failure_rate=config["get"],
@@ -78,6 +84,7 @@ def _build_world(config: dict, seed: int, with_breaker: bool = False):
         provider=provider,
         retry_policy=retry,
         circuit_breaker=breaker,
+        observability=obs,
     )
     for app in (platform.app_c1, platform.app_c2):
         app.service = FlakyPuzzleService(
@@ -87,7 +94,7 @@ def _build_world(config: dict, seed: int, with_breaker: bool = False):
             stale_display_rate=config["stale"],
             seed=seed + 3,
         )
-    return platform, storage, provider, clock, metrics
+    return platform, storage, provider, clock, metrics, obs
 
 
 def _assert_consistent(storage, provider, service, published: int) -> None:
@@ -167,6 +174,17 @@ def platform_context():
     )
 
 
+def _assert_observability_hygiene(obs, objects) -> None:
+    """Invariant 5: every retained trace is closed root-to-leaf, and no
+    span attribute or event field leaked an object or a context answer."""
+    secrets = list(objects)
+    secrets += [pair.answer_bytes() for pair in platform_context().pairs]
+    obs.assert_trace_hygiene(*secrets)
+    assert len(obs.tracer.finished) > 0, "journeys ran but produced no traces"
+    for root in obs.tracer.finished:
+        root.assert_complete()
+
+
 def _assert_surveillance_resistance(storage, provider, objects) -> None:
     """Invariant 3: no plaintext object or answer in any audit trail."""
     for obj in objects:
@@ -182,7 +200,7 @@ class TestChaosC1:
     @pytest.mark.parametrize("config_index", range(len(FAULT_CONFIGS)))
     def test_journeys_survive_mixed_fault_rates(self, config_index):
         config = FAULT_CONFIGS[config_index]
-        platform, storage, provider, clock, metrics = _build_world(
+        platform, storage, provider, clock, metrics, obs = _build_world(
             config, seed=100 + config_index
         )
         objects = _run_journeys(
@@ -196,12 +214,13 @@ class TestChaosC1:
         )
         assert len(objects) == C1_JOURNEYS_PER_CONFIG
         _assert_surveillance_resistance(storage, provider, objects)
+        _assert_observability_hygiene(obs, objects)
         if any(rate > 0 for rate in config.values()):
             assert metrics.retry_count() > 0, "faults injected but never retried"
 
     def test_breaker_cycles_under_sustained_faults(self):
         config = FAULT_CONFIGS[4]
-        platform, storage, provider, clock, metrics = _build_world(
+        platform, storage, provider, clock, metrics, obs = _build_world(
             config, seed=500, with_breaker=True
         )
         objects = _run_journeys(
@@ -209,6 +228,7 @@ class TestChaosC1:
             construction=1, journeys=10, seed=500,
         )
         assert len(objects) == 10
+        _assert_observability_hygiene(obs, objects)
         # The breaker must have actually cycled: tripped open at least
         # once, and recovered (half-open) so journeys kept succeeding.
         assert metrics.transition_count("open") >= 1
@@ -216,7 +236,9 @@ class TestChaosC1:
 
     def test_chaos_sweep_advanced_simulated_time_only(self):
         config = FAULT_CONFIGS[2]
-        platform, storage, provider, clock, metrics = _build_world(config, seed=900)
+        platform, storage, provider, clock, metrics, _obs = _build_world(
+            config, seed=900
+        )
         _run_journeys(
             platform, storage, provider, clock,
             construction=1, journeys=5, seed=900,
@@ -230,7 +252,7 @@ class TestChaosC2:
     @pytest.mark.parametrize("config_index", [1, 2])
     def test_journeys_survive_mixed_fault_rates(self, config_index):
         config = FAULT_CONFIGS[config_index]
-        platform, storage, provider, clock, metrics = _build_world(
+        platform, storage, provider, clock, metrics, obs = _build_world(
             config, seed=700 + config_index
         )
         objects = _run_journeys(
@@ -244,6 +266,7 @@ class TestChaosC2:
         )
         assert len(objects) == C2_JOURNEYS_PER_CONFIG
         _assert_surveillance_resistance(storage, provider, objects)
+        _assert_observability_hygiene(obs, objects)
         assert metrics.retry_count() > 0
 
 

@@ -1,0 +1,91 @@
+"""Redaction-by-construction: the event log must be unable to leak
+answers, keys or plaintext, whatever a call site passes it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import Event, EventLog, Label, redact_value
+
+
+class TestRedactValue:
+    def test_bytes_are_always_fingerprinted(self):
+        redacted = redact_value("blob", b"party photos")
+        assert "party photos" not in str(redacted)
+        assert str(redacted).startswith("<redacted bytes#")
+        assert "len=12" in str(redacted)
+
+    def test_free_form_str_is_fingerprinted_by_default(self):
+        redacted = redact_value("who", "alice")
+        assert "alice" not in str(redacted)
+
+    def test_label_passes_through_verbatim(self):
+        assert redact_value("state", Label("half-open")) == "half-open"
+
+    def test_sensitive_field_name_overrides_label(self):
+        redacted = redact_value("master_key", Label("Wonderwall"))
+        assert "Wonderwall" not in str(redacted)
+
+    def test_sensitive_field_name_redacts_numbers(self):
+        redacted = redact_value("key_share", 123456789)
+        assert "123456789" not in str(redacted)
+
+    def test_counts_sizes_and_flags_pass_through(self):
+        assert redact_value("num_bytes", 600_000) == 600_000
+        assert redact_value("ok", True) is True
+        assert redact_value("puzzle_id", None) is None
+
+    def test_equal_values_share_a_fingerprint_within_a_run(self):
+        assert redact_value("a", b"Ljubljana") == redact_value("b", b"Ljubljana")
+        assert redact_value("a", b"Ljubljana") != redact_value("a", b"Carcassonne")
+
+    def test_arbitrary_objects_are_fingerprinted(self):
+        class Holder:
+            def __repr__(self):
+                return "Holder(answer='Ljubljana')"
+
+        redacted = redact_value("holder", Holder())
+        assert "Ljubljana" not in str(redacted)
+
+
+class TestEventLog:
+    def test_answer_bearing_payload_never_serializes_in_clear(self):
+        log = EventLog()
+        log.emit(
+            "verify.attempt",
+            puzzle_id=7,
+            answer="Ljubljana",
+            answer_hash=b"\x01\x02Ljubljana",
+            requester="bob",
+        )
+        for secret in ("Ljubljana", "bob"):
+            log.assert_never_contains(secret)
+        (line,) = log.serialized()
+        assert '"puzzle_id": 7' in line
+
+    def test_assert_never_contains_catches_a_leak(self):
+        log = EventLog()
+        log.emit("oops", state=Label("Ljubljana"))  # mislabelled user data
+        with pytest.raises(AssertionError, match="leaked"):
+            log.assert_never_contains("Ljubljana")
+
+    def test_bounded_deque_drops_oldest_and_counts(self):
+        log = EventLog(max_events=3)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [dict(e.fields)["i"] for e in log] == [2, 3, 4]
+
+    def test_named_filters(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert len(log.named("a")) == 2
+
+    def test_events_are_frozen_records(self):
+        event = EventLog().emit("x", n=1)
+        assert isinstance(event, Event)
+        with pytest.raises(AttributeError):
+            event.name = "y"

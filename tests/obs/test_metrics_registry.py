@@ -1,0 +1,101 @@
+"""Edge cases for the metrics registry: histogram bounds, overflow,
+quantiles, and name/kind uniqueness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BOUNDS, LatencyHistogram, MetricsRegistry
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").increment()
+        registry.counter("requests").add(2)
+        assert registry.counter("requests").value == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("requests").add(-1)
+
+    def test_gauge_tracks_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("open_spans")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.high_water == 3
+
+    def test_prefix_queries(self):
+        registry = MetricsRegistry()
+        registry.counter("retry.a").add(2)
+        registry.counter("retry.b").add(3)
+        registry.counter("other").add(7)
+        assert registry.counter_total("retry.") == 5
+        assert registry.counters_with_prefix("retry.") == {"a": 2, "b": 3}
+
+
+class TestHistogramBounds:
+    def test_observation_beyond_last_bound_lands_in_overflow(self):
+        histogram = LatencyHistogram()
+        top = DEFAULT_BOUNDS[-1]
+        histogram.observe(top * 2)
+        assert histogram.count == 1
+        assert histogram.overflow == 1
+
+    def test_overflow_does_not_grow_memory(self):
+        """The bounded-memory guarantee: bucket storage is fixed no matter
+        how many wild outliers arrive."""
+        histogram = LatencyHistogram()
+        before = len(histogram._counts)
+        for i in range(10_000):
+            histogram.observe(DEFAULT_BOUNDS[-1] * (2 + i))
+        assert len(histogram._counts) == before
+        assert histogram.overflow == 10_000
+
+    def test_overflow_quantile_reports_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(DEFAULT_BOUNDS[-1] * 3)
+        histogram.observe(DEFAULT_BOUNDS[-1] * 5)
+        assert histogram.quantile(0.99) == histogram.max
+
+    def test_quantiles_are_ordered_and_bracketed(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.observe(i / 1000.0)
+        assert histogram.min <= histogram.p50 <= histogram.p95 <= histogram.p99
+        assert histogram.p99 <= histogram.max
+
+    def test_empty_histogram_quantile_is_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_negative_observation_rejected(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.observe(-0.001)
+
+
+class TestRegistryNamespace:
+    def test_same_name_different_kind_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_and_render_cover_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(4)
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(0.004)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == 4
+        assert snapshot["gauges"]["g"]["value"] == 2
+        assert snapshot["histograms"]["h"]["count"] == 1
+        rendered = registry.render()
+        for name in ("c", "g", "h"):
+            assert name in rendered

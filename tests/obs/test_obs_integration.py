@@ -1,0 +1,150 @@
+"""Cross-layer observability: spans, events and metrics lining up across
+the retry policy, the circuit breaker, and a full platform journey."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.context import Context
+from repro.core.errors import CircuitOpenError, TransientProviderError
+from repro.crypto.params import TOY
+from repro.obs import Observability
+from repro.osn.resilience import CircuitBreaker, RetryPolicy
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.timing import SimClock
+
+
+def _context() -> Context:
+    return Context.from_mapping(
+        {
+            "Where was the party held?": "Lake Tahoe",
+            "Who brought the cake?": "Marguerite",
+            "Which song closed the night?": "Wonderwall",
+        }
+    )
+
+
+class TestRetryBreakerTracing:
+    def test_nested_span_survives_retries_that_trip_the_breaker(self):
+        """One request span wraps a retried call that exhausts the breaker:
+        the span closes errored (CircuitOpenError), backoff events parent
+        to nothing but carry labels, and the transition shows in both the
+        metrics facade and the event log."""
+        clock = SimClock()
+        obs = Observability(clock=clock)
+        metrics = ResilienceMetrics(registry=obs.registry)
+        retry = RetryPolicy(max_attempts=6, clock=clock, metrics=metrics, seed=1)
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=10.0, clock=clock,
+            metrics=metrics, name="sp-breaker",
+        )
+
+        def always_fails():
+            return breaker.call(_raise_transient)
+
+        with obs.activate():
+            with pytest.raises(CircuitOpenError):
+                with obs.span("journey", attempt=1):
+                    retry.call(always_fails, "sp.fragile")
+
+        obs.tracer.assert_quiescent()
+        root = obs.tracer.finished[-1]
+        assert root.status == "error"
+        assert "CircuitOpenError" in root.error
+
+        # Breaker tripped after 3 consecutive failures, observed everywhere.
+        assert metrics.transition_count("open") == 1
+        transitions = obs.events.named("breaker.transition")
+        assert len(transitions) == 1
+        assert dict(transitions[0].fields)["new_state"] == "open"
+
+        # Three failures, three backoff events (the third fires after the
+        # failure that trips the breaker; attempt 4 is then rejected by
+        # the open breaker without a retry).
+        backoffs = obs.events.named("retry.backoff")
+        assert len(backoffs) == 3
+        assert dict(backoffs[0].fields)["label"] == "sp.fragile"
+        assert metrics.retry_count("sp.fragile") == 3
+        assert clock.slept_s == pytest.approx(metrics.backoff_s)
+
+    def test_giveup_is_an_event_too(self):
+        clock = SimClock()
+        obs = Observability(clock=clock)
+        retry = RetryPolicy(max_attempts=3, clock=clock, seed=2)
+        with obs.activate():
+            with pytest.raises(TransientProviderError):
+                retry.call(_raise_transient, "sp.post")
+        (giveup,) = obs.events.named("retry.giveup")
+        fields = dict(giveup.fields)
+        assert fields["label"] == "sp.post"
+        assert fields["attempts"] == 3
+        assert fields["error"] == "TransientProviderError"
+
+
+def _raise_transient():
+    raise TransientProviderError("injected")
+
+
+class TestPlatformJourneyTraces:
+    def test_c1_share_and_access_produce_closed_redacted_trees(self):
+        clock = SimClock()
+        obs = Observability(clock=clock)
+        platform = SocialPuzzlePlatform(params=TOY, observability=obs)
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        context = _context()
+
+        share = platform.share(alice, b"party photos", context, k=2)
+        platform.solve(bob, share, context, rng=random.Random(5))
+
+        obs.tracer.assert_quiescent()
+        roots = list(obs.tracer.finished)
+        names = [root.name for root in roots]
+        assert names == ["c1.share", "acl.get_post", "c1.access"]
+
+        share_root, _, access_root = roots
+        share_children = [child.name for child in share_root.children]
+        assert share_children[0] == "sharer.crypto"
+        assert "sp.store_puzzle" in share_children
+        assert "sp.post" in share_children
+        access_children = [child.name for child in access_root.children]
+        for expected in (
+            "sp.display_puzzle", "receiver.answer", "sp.verify", "receiver.recover",
+        ):
+            assert expected in access_children
+
+        # Redaction holds on the real journey: object and answers never
+        # appear in any serialized trace or event.
+        secrets = [b"party photos"] + [p.answer_bytes() for p in context.pairs]
+        obs.assert_trace_hygiene(*secrets)
+
+    def test_profiled_crypto_charges_the_journey_spans(self):
+        obs = Observability()
+        platform = SocialPuzzlePlatform(params=TOY, observability=obs)
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        context = _context()
+        share = platform.share(alice, b"obj", context, k=2)
+        platform.solve(bob, share, context, rng=random.Random(5))
+
+        share_root = next(
+            r for r in obs.tracer.finished if r.name == "c1.share"
+        )
+        sharer_crypto = share_root.children[0]
+        assert "gibberish.encrypt" in sharer_crypto.costs
+        assert obs.registry.histogram("profile.gibberish.encrypt").count >= 1
+
+    def test_uninstrumented_platform_records_nothing(self):
+        platform = SocialPuzzlePlatform(params=TOY)
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        context = _context()
+        share = platform.share(alice, b"obj", context, k=2)
+        result = platform.solve(bob, share, context, rng=random.Random(5))
+        assert result.plaintext == b"obj"

@@ -1,0 +1,75 @@
+"""The @profiled decorator: inert without a hub, attributing with one."""
+
+from __future__ import annotations
+
+from repro.obs import Observability
+from repro.obs.profile import profiled
+from repro.obs.runtime import current
+
+
+@profiled
+def _bare_work(x: int) -> int:
+    return x * 2
+
+
+@profiled(name="custom.label")
+def _named_work() -> str:
+    return "done"
+
+
+class TestInactive:
+    def test_no_hub_means_plain_call(self):
+        assert current() is None
+        assert _bare_work(21) == 42
+        assert _named_work() == "done"
+
+    def test_wrapper_preserves_identity(self):
+        assert _bare_work.__name__ == "_bare_work"
+        assert _bare_work.__profiled_name__ == "_bare_work"
+        assert _named_work.__profiled_name__ == "custom.label"
+
+
+class TestActive:
+    def test_records_histogram_under_label(self):
+        obs = Observability()
+        with obs.activate():
+            _named_work()
+            _named_work()
+        histogram = obs.registry.histogram("profile.custom.label")
+        assert histogram.count == 2
+
+    def test_charges_the_innermost_open_span(self):
+        obs = Observability()
+        with obs.activate():
+            with obs.span("outer"):
+                with obs.span("inner") as inner:
+                    _bare_work(1)
+                    _bare_work(2)
+        assert "_bare_work" in inner.costs
+        assert inner.costs["_bare_work"] >= 0.0
+        outer = obs.tracer.finished[-1]
+        assert outer.costs == {}  # charged to the innermost span only
+
+    def test_exceptions_still_attribute_cost(self):
+        @profiled(name="boom")
+        def explode():
+            raise RuntimeError("boom")
+
+        obs = Observability()
+        with obs.activate():
+            try:
+                with obs.span("root"):
+                    explode()
+            except RuntimeError:
+                pass
+        assert obs.registry.histogram("profile.boom").count == 1
+        root = obs.tracer.finished[-1]
+        assert root.status == "error"
+        assert "boom" in root.costs
+
+    def test_spanless_profiled_call_still_hits_registry(self):
+        obs = Observability()
+        with obs.activate():
+            _named_work()
+        assert obs.registry.histogram("profile.custom.label").count == 1
+        assert len(obs.tracer.finished) == 0

@@ -1,0 +1,118 @@
+"""Span lifecycle edge cases: double close, out-of-order close, error
+propagation, nesting, rendering and quiescence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanError, Tracer
+from repro.sim.timing import SimClock
+
+
+def _tracer(**kwargs) -> Tracer:
+    return Tracer(clock=SimClock(), **kwargs)
+
+
+class TestSpanLifecycle:
+    def test_span_closed_twice_raises(self):
+        tracer = _tracer()
+        span = tracer.start("work")
+        tracer.finish(span)
+        with pytest.raises(SpanError, match="closed twice"):
+            span.close(1.0)
+
+    def test_finishing_a_non_innermost_span_raises(self):
+        tracer = _tracer()
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        with pytest.raises(SpanError, match="innermost"):
+            tracer.finish(outer)
+
+    def test_closing_a_parent_with_open_children_raises(self):
+        tracer = _tracer()
+        parent = tracer.start("parent")
+        tracer.start("child")
+        with pytest.raises(SpanError, match="children still open"):
+            parent.close(1.0)
+
+    def test_exception_marks_span_errored_and_reraises(self):
+        tracer = _tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("journey"):
+                raise ValueError("boom")
+        root = tracer.finished[-1]
+        assert root.status == "error"
+        assert "ValueError" in root.error
+        tracer.assert_quiescent()
+
+    def test_parenting_and_trace_ids(self):
+        tracer = _tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert {s.trace_id for s in root.walk()} == {root.trace_id}
+        assert root.span_count() == 3
+        root.assert_complete()
+
+    def test_simulated_time_window(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("wait") as span:
+            clock.sleep(2.5)
+        assert span.end_s - span.start_s == pytest.approx(2.5)
+
+
+class TestTracerAccounting:
+    def test_finished_spans_feed_the_registry(self):
+        registry = MetricsRegistry()
+        tracer = _tracer(registry=registry)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert registry.counter("trace.spans").value == 2
+        assert registry.histogram("span.root").count == 1
+        assert registry.histogram("span.child").count == 1
+
+    def test_finished_roots_are_bounded(self):
+        tracer = _tracer(max_finished=3)
+        for i in range(10):
+            with tracer.span("r%d" % i):
+                pass
+        assert len(tracer.finished) == 3
+        assert [root.name for root in tracer.finished] == ["r7", "r8", "r9"]
+
+    def test_assert_quiescent_flags_open_spans(self):
+        tracer = _tracer()
+        tracer.start("dangling")
+        with pytest.raises(AssertionError, match="dangling"):
+            tracer.assert_quiescent()
+
+
+class TestRendering:
+    def test_format_tree_is_deterministic_without_timings(self):
+        tracer = _tracer()
+        with tracer.span("root"):
+            with tracer.span("first"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("second"):
+                pass
+        rendered = tracer.format_tree(tracer.finished[-1], timings=False)
+        assert rendered == (
+            "root[ok]\n"
+            "|-- first[ok]\n"
+            "|   `-- leaf[ok]\n"
+            "`-- second[ok]"
+        )
+
+    def test_format_tree_redacts_attributes(self):
+        tracer = _tracer()
+        with tracer.span("root", who="alice", k=2):
+            pass
+        rendered = tracer.format_tree(tracer.finished[-1])
+        assert "alice" not in rendered
+        assert "k=2" in rendered

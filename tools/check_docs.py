@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Check that intra-repo Markdown links resolve. Zero dependencies.
+
+Scans every tracked ``*.md`` file (or the paths given on the command
+line) for inline links and images, and verifies that links into the
+repository point at files that exist — including ``#anchor`` fragments,
+which must match a heading in the target file (GitHub slug rules,
+simplified). External links (``http(s)://``, ``mailto:``) are skipped:
+CI must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link, ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) links and ![alt](target) images. Reference-style
+# links are rare in this repo; add them here if they ever appear.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug, close enough for ASCII headings."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(1)))
+    return anchors
+
+
+def _iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    for lineno, target in _iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-file anchor
+            resolved = path
+        else:
+            resolved = (path.parent / base).resolve()
+            try:
+                resolved.relative_to(root)
+            except ValueError:
+                errors.append(
+                    "%s:%d: link escapes the repository: %s"
+                    % (path, lineno, target)
+                )
+                continue
+            if not resolved.exists():
+                errors.append(
+                    "%s:%d: broken link target: %s" % (path, lineno, target)
+                )
+                continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                errors.append(
+                    "%s:%d: missing anchor #%s in %s"
+                    % (path, lineno, fragment, resolved.name)
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        skip_parts = {".git", ".venv", "node_modules", "__pycache__"}
+        files = sorted(
+            p for p in root.rglob("*.md")
+            if not skip_parts & set(p.relative_to(root).parts)
+        )
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        "checked %d markdown file(s): %s"
+        % (len(files), "%d broken link(s)" % len(errors) if errors else "ok")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
