@@ -155,10 +155,140 @@ def _meter(device: DeviceProfile, link: NetworkLink | None) -> CostMeter:
     return CostMeter(device, link if link is not None else device.default_link())
 
 
-class SocialPuzzleAppC1:
+class _PuzzleAppBase:
+    """Orchestration shared by both prototype applications.
+
+    The two implementations differ in cryptography and in what they ship
+    to the SP, but the surrounding machinery — routing SP-bound requests
+    through the retry policy under a span, the atomic publish/rollback
+    dance, the throttle-aware Verify submission, device checks and the
+    file-size model — is identical, so it lives here exactly once.
+    """
+
+    SERVICE_NAME = "social-puzzle"
+    construction = 0
+    requires_cpabe_toolkit = False
+
+    def __init__(
+        self,
+        provider: ServiceProvider,
+        storage: StorageHost,
+        service,
+        transport: SecureTransport | None = None,
+        retry: RetryPolicy | None = None,
+        obs: Observability | None = None,
+        file_size_model: str = "actual",
+    ):
+        if file_size_model not in ("actual", "paper"):
+            raise ValueError("file_size_model must be 'actual' or 'paper'")
+        self.provider = provider
+        self.storage = storage
+        self.transport = transport
+        self.retry = retry
+        self.obs = obs
+        self.file_size_model = file_size_model
+        self.service = service
+        provider.host_service(self.SERVICE_NAME, service)
+
+    # -- SP request routing ------------------------------------------------------
+
+    def _call(self, label: str, fn: Callable[[], _T]) -> _T:
+        """Route an SP-bound request through the retry policy, if any,
+        under a span named after the request label — so retries and
+        backoff show up inside the span that paid for them."""
+        with maybe_span(label):
+            if self.retry is None:
+                return fn()
+            return self.retry.call(fn, label)
+
+    def _submit_answers(self, viewer: User, answers):
+        """Verify, passing the requester identity only when the service
+        actually throttles per requester (the paper's guess budgets).
+        Raises AccessDeniedError — permanent, never retried — below k."""
+        if isinstance(
+            _unwrap(self.service),
+            (ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2),
+        ):
+            return self._call(
+                "sp.verify",
+                lambda: self.service.verify(answers, requester=viewer.name),
+            )
+        return self._call("sp.verify", lambda: self.service.verify(answers))
+
+    # -- atomic publish ----------------------------------------------------------
+
+    def _remove_registration(self, puzzle_id: int) -> bool:
+        raise NotImplementedError
+
+    def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
+        """Undo a partially published share: puzzle registration first
+        (so no live registration ever points at a deleted blob), then the
+        blob itself."""
+        emit_event(
+            "share.rollback",
+            construction=self.construction,
+            url=Label(url),
+            puzzle_id=puzzle_id if puzzle_id is not None else -1,
+        )
+        if puzzle_id is not None:
+            self._remove_registration(puzzle_id)
+        self.storage.delete(url)
+
+    def _post_text(self, user: User, puzzle_id: int) -> str:
+        return (
+            f"[social-puzzle] {user.name} shared a protected object — "
+            f"solve puzzle #{puzzle_id} to view."
+        )
+
+    def _publish_atomically(
+        self,
+        user: User,
+        url: str,
+        audience: str,
+        meter: CostMeter,
+        overhead: int,
+        store: Callable[[], int],
+    ) -> tuple[int, Post]:
+        """Run the publish steps (uploads + registration + profile post)
+        atomically: any failure rolls back every published artifact and
+        surfaces as a typed error."""
+        puzzle_id: int | None = None
+        try:
+            puzzle_id = store()
+            post = self._call(
+                "sp.post",
+                lambda: self.provider.post(
+                    user, self._post_text(user, puzzle_id), audience=audience
+                ),
+            )
+            meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
+        except Exception as exc:
+            self._rollback_share(url, puzzle_id)
+            if isinstance(exc, SocialPuzzleError):
+                raise
+            raise ShareFailedError("share rolled back: %s" % exc) from exc
+        return puzzle_id, post
+
+    # -- device / sizing models --------------------------------------------------
+
+    def _check_device(self, device: DeviceProfile) -> None:
+        if self.requires_cpabe_toolkit and not device.supports_cpabe_toolkit:
+            raise PuzzleParameterError(
+                "the cpabe toolkit is Linux/x86 only — Implementation 2 "
+                "cannot run on %s (paper section VIII)" % device.name
+            )
+
+    def _file_size(self, filename: str, actual: int) -> int:
+        if self.file_size_model == "paper":
+            return PAPER_I2_FILE_SIZES[filename]
+        return actual
+
+
+class SocialPuzzleAppC1(_PuzzleAppBase):
     """Implementation 1: browser JavaScript + Shamir puzzles."""
 
     SERVICE_NAME = "social-puzzle-c1"
+    construction = 1
 
     def __init__(
         self,
@@ -170,19 +300,16 @@ class SocialPuzzleAppC1:
         retry: RetryPolicy | None = None,
         obs: Observability | None = None,
     ):
-        self.provider = provider
-        self.storage = storage
         self.bls = bls
-        self.transport = transport
-        self.retry = retry
-        self.obs = obs
         if throttle_max_failures is not None:
-            self.service: PuzzleServiceC1 = ThrottledPuzzleServiceC1(
+            service: PuzzleServiceC1 = ThrottledPuzzleServiceC1(
                 max_failures=throttle_max_failures, audit=provider.audit
             )
         else:
-            self.service = PuzzleServiceC1(audit=provider.audit)
-        provider.host_service(self.SERVICE_NAME, self.service)
+            service = PuzzleServiceC1(audit=provider.audit)
+        super().__init__(
+            provider, storage, service, transport=transport, retry=retry, obs=obs
+        )
         self._sharers: dict[int, SharerC1] = {}
 
     def _sharer_for(self, user: User) -> SharerC1:
@@ -190,28 +317,8 @@ class SocialPuzzleAppC1:
             self._sharers[user.user_id] = SharerC1(user.name, self.storage, bls=self.bls)
         return self._sharers[user.user_id]
 
-    def _call(self, label: str, fn: Callable[[], _T]) -> _T:
-        """Route an SP-bound request through the retry policy, if any,
-        under a span named after the request label — so retries and
-        backoff show up inside the span that paid for them."""
-        with maybe_span(label):
-            if self.retry is None:
-                return fn()
-            return self.retry.call(fn, label)
-
-    def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
-        """Undo a partially published share: puzzle registration first
-        (so no live registration ever points at a deleted blob), then the
-        blob itself."""
-        emit_event(
-            "share.rollback",
-            construction=1,
-            url=Label(url),
-            puzzle_id=puzzle_id if puzzle_id is not None else -1,
-        )
-        if puzzle_id is not None:
-            self.service.remove_puzzle(puzzle_id)
-        self.storage.delete(url)
+    def _remove_registration(self, puzzle_id: int) -> bool:
+        return self.service.remove_puzzle(puzzle_id)
 
     def share(
         self,
@@ -240,8 +347,7 @@ class SocialPuzzleAppC1:
             # The encrypted blob is on the DH now. From here on the share is
             # atomic: any failure before the profile post lands rolls back
             # every published artifact and raises a typed error.
-            puzzle_id: int | None = None
-            try:
+            def store() -> int:
                 encrypted_size = len(self.storage.get(puzzle.url))
                 meter.charge_upload(
                     "store encrypted object on DH", encrypted_size + overhead
@@ -249,25 +355,13 @@ class SocialPuzzleAppC1:
                 meter.charge_upload(
                     "upload puzzle Z_O to SP", puzzle.byte_size() + overhead
                 )
-
-                puzzle_id = self._call(
+                return self._call(
                     "sp.store_puzzle", lambda: self.service.store_puzzle(puzzle)
                 )
-                post = self._call(
-                    "sp.post",
-                    lambda: self.provider.post(
-                        user,
-                        f"[social-puzzle] {user.name} shared a protected object — "
-                        f"solve puzzle #{puzzle_id} to view.",
-                        audience=audience,
-                    ),
-                )
-                meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
-            except Exception as exc:
-                self._rollback_share(puzzle.url, puzzle_id)
-                if isinstance(exc, SocialPuzzleError):
-                    raise
-                raise ShareFailedError("share rolled back: %s" % exc) from exc
+
+            puzzle_id, post = self._publish_atomically(
+                user, puzzle.url, audience, meter, overhead, store
+            )
             if root is not None:
                 root.set("puzzle_id", puzzle_id)
             return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
@@ -302,14 +396,7 @@ class SocialPuzzleAppC1:
                 answers = receiver.answer_puzzle(displayed, knowledge)
             meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
 
-            if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC1):
-                release = self._call(
-                    "sp.verify",
-                    lambda: self.service.verify(answers, requester=viewer.name),
-                )
-            else:
-                # raises AccessDeniedError (a permanent error — never retried)
-                release = self._call("sp.verify", lambda: self.service.verify(answers))
+            release = self._submit_answers(viewer, answers)
             meter.charge_download(
                 "receive released shares + URL", release.byte_size() + overhead
             )
@@ -323,10 +410,12 @@ class SocialPuzzleAppC1:
             return AccessResult(plaintext=plaintext, timing=meter.report())
 
 
-class SocialPuzzleAppC2:
+class SocialPuzzleAppC2(_PuzzleAppBase):
     """Implementation 2: Qt client + cpabe toolkit (here: our CP-ABE)."""
 
     SERVICE_NAME = "social-puzzle-c2"
+    construction = 2
+    requires_cpabe_toolkit = True
 
     def __init__(
         self,
@@ -341,58 +430,29 @@ class SocialPuzzleAppC2:
         retry: RetryPolicy | None = None,
         obs: Observability | None = None,
     ):
-        if file_size_model not in ("actual", "paper"):
-            raise ValueError("file_size_model must be 'actual' or 'paper'")
-        self.transport = transport
-        self.provider = provider
-        self.storage = storage
         self.params = params
         self.digestmod = digestmod
-        self.file_size_model = file_size_model
         self.legacy_unperturbed_ciphertext = legacy_unperturbed_ciphertext
-        self.retry = retry
-        self.obs = obs
         if throttle_max_failures is not None:
-            self.service: PuzzleServiceC2 = ThrottledPuzzleServiceC2(
+            service: PuzzleServiceC2 = ThrottledPuzzleServiceC2(
                 max_failures=throttle_max_failures,
                 audit=provider.audit,
                 digestmod=digestmod,
             )
         else:
-            self.service = PuzzleServiceC2(audit=provider.audit, digestmod=digestmod)
-        provider.host_service(self.SERVICE_NAME, self.service)
-
-    def _call(self, label: str, fn: Callable[[], _T]) -> _T:
-        """Route an SP-bound request through the retry policy, if any,
-        under a span named after the request label."""
-        with maybe_span(label):
-            if self.retry is None:
-                return fn()
-            return self.retry.call(fn, label)
-
-    def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
-        """Undo a partially published share (registration, then blob)."""
-        emit_event(
-            "share.rollback",
-            construction=2,
-            url=Label(url),
-            puzzle_id=puzzle_id if puzzle_id is not None else -1,
+            service = PuzzleServiceC2(audit=provider.audit, digestmod=digestmod)
+        super().__init__(
+            provider,
+            storage,
+            service,
+            transport=transport,
+            retry=retry,
+            obs=obs,
+            file_size_model=file_size_model,
         )
-        if puzzle_id is not None:
-            self.service.remove_upload(puzzle_id)
-        self.storage.delete(url)
 
-    def _check_device(self, device: DeviceProfile) -> None:
-        if not device.supports_cpabe_toolkit:
-            raise PuzzleParameterError(
-                "the cpabe toolkit is Linux/x86 only — Implementation 2 "
-                "cannot run on %s (paper section VIII)" % device.name
-            )
-
-    def _file_size(self, filename: str, actual: int) -> int:
-        if self.file_size_model == "paper":
-            return PAPER_I2_FILE_SIZES[filename]
-        return actual
+    def _remove_registration(self, puzzle_id: int) -> bool:
+        return self.service.remove_upload(puzzle_id)
 
     def share(
         self,
@@ -424,8 +484,7 @@ class SocialPuzzleAppC2:
                 record, ct_bytes = sharer.upload(obj, context, k, n)
 
             # The ciphertext is on the DH now; publish fully or roll back.
-            puzzle_id: int | None = None
-            try:
+            def store() -> int:
                 # Four cURL uploads, as in the prototype.
                 sizes = record.file_sizes()
                 meter.charge_upload(
@@ -444,25 +503,13 @@ class SocialPuzzleAppC2:
                     "upload message.txt.cpabe",
                     self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
                 )
-
-                puzzle_id = self._call(
+                return self._call(
                     "sp.store_upload", lambda: self.service.store_upload(record)
                 )
-                post = self._call(
-                    "sp.post",
-                    lambda: self.provider.post(
-                        user,
-                        f"[social-puzzle] {user.name} shared a protected object — "
-                        f"solve puzzle #{puzzle_id} to view.",
-                        audience=audience,
-                    ),
-                )
-                meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
-            except Exception as exc:
-                self._rollback_share(record.url, puzzle_id)
-                if isinstance(exc, SocialPuzzleError):
-                    raise
-                raise ShareFailedError("share rolled back: %s" % exc) from exc
+
+            puzzle_id, post = self._publish_atomically(
+                user, record.url, audience, meter, overhead, store
+            )
             if root is not None:
                 root.set("puzzle_id", puzzle_id)
             return ShareResult(post=post, puzzle_id=puzzle_id, timing=meter.report())
@@ -498,14 +545,7 @@ class SocialPuzzleAppC2:
                 answers = receiver.answer_puzzle(displayed, knowledge)
             meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
 
-            if isinstance(_unwrap(self.service), ThrottledPuzzleServiceC2):
-                grant = self._call(
-                    "sp.verify",
-                    lambda: self.service.verify(answers, requester=viewer.name),
-                )
-            else:
-                # raises AccessDeniedError (a permanent error — never retried)
-                grant = self._call("sp.verify", lambda: self.service.verify(answers))
+            grant = self._submit_answers(viewer, answers)
 
             ct_size = len(self.storage.get(grant.url))
             meter.charge_download(
