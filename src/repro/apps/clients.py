@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from typing import Callable
 
 from repro.core.construction1 import (
     DisplayedPuzzle,
@@ -54,6 +54,9 @@ from repro.osn.provider import Post, ServiceProvider, User
 from repro.osn.resilience import RetryPolicy
 from repro.osn.securechannel import ChannelClient, ChannelServer
 from repro.osn.storage import StorageHost
+from repro.proto.bus import MessageBus
+from repro.proto.client import ProtocolClient
+from repro.proto.engine import PuzzleProtocolEngine
 from repro.sim.devices import PC, DeviceProfile
 from repro.sim.timing import CostMeter, TimingBreakdown
 
@@ -65,15 +68,6 @@ __all__ = [
     "SocialPuzzleAppC2",
     "PAPER_I2_FILE_SIZES",
 ]
-
-_T = TypeVar("_T")
-
-
-def _unwrap(service: object) -> object:
-    """Peel fault-injection / resilience proxies off a wrapped service."""
-    while hasattr(service, "wrapped"):
-        service = service.wrapped  # type: ignore[attr-defined]
-    return service
 
 
 def _enter_journey(obs: Observability | None, scope: ExitStack, name: str, **attributes):
@@ -159,10 +153,18 @@ class _PuzzleAppBase:
     """Orchestration shared by both prototype applications.
 
     The two implementations differ in cryptography and in what they ship
-    to the SP, but the surrounding machinery — routing SP-bound requests
-    through the retry policy under a span, the atomic publish/rollback
-    dance, the throttle-aware Verify submission, device checks and the
-    file-size model — is identical, so it lives here exactly once.
+    to the SP, but the surrounding machinery — serializing SP-bound
+    requests onto the message bus (where spans, retries and the audit
+    trail attach), the atomic publish/rollback dance, device checks and
+    the file-size model — is identical, so it lives here exactly once.
+
+    Every SP interaction travels as a wire frame through a
+    :class:`~repro.proto.client.ProtocolClient` over a
+    :class:`~repro.proto.bus.MessageBus` into the
+    :class:`~repro.proto.engine.PuzzleProtocolEngine`; apps hold no
+    direct reference into the puzzle state machines. Pass ``engine`` /
+    ``bus`` to share one protocol plane between apps (the platform
+    does); standalone apps build their own.
     """
 
     SERVICE_NAME = "social-puzzle"
@@ -178,6 +180,8 @@ class _PuzzleAppBase:
         retry: RetryPolicy | None = None,
         obs: Observability | None = None,
         file_size_model: str = "actual",
+        engine: PuzzleProtocolEngine | None = None,
+        bus: MessageBus | None = None,
     ):
         if file_size_model not in ("actual", "paper"):
             raise ValueError("file_size_model must be 'actual' or 'paper'")
@@ -187,38 +191,36 @@ class _PuzzleAppBase:
         self.retry = retry
         self.obs = obs
         self.file_size_model = file_size_model
+        self._engine = (
+            engine if engine is not None else PuzzleProtocolEngine(provider, storage)
+        )
+        self.bus = (
+            bus if bus is not None else MessageBus(self._engine, audit=provider.audit)
+        )
+        self.client = ProtocolClient(self.bus, retry=retry)
         self.service = service
         provider.host_service(self.SERVICE_NAME, service)
 
-    # -- SP request routing ------------------------------------------------------
+    # -- the construction backend ------------------------------------------------
 
-    def _call(self, label: str, fn: Callable[[], _T]) -> _T:
-        """Route an SP-bound request through the retry policy, if any,
-        under a span named after the request label — so retries and
-        backoff show up inside the span that paid for them."""
-        with maybe_span(label):
-            if self.retry is None:
-                return fn()
-            return self.retry.call(fn, label)
+    @property
+    def service(self):
+        """The puzzle service backing this app's construction."""
+        return self._service
 
-    def _submit_answers(self, viewer: User, answers):
-        """Verify, passing the requester identity only when the service
-        actually throttles per requester (the paper's guess budgets).
-        Raises AccessDeniedError — permanent, never retried — below k."""
-        if isinstance(
-            _unwrap(self.service),
-            (ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2),
-        ):
-            return self._call(
-                "sp.verify",
-                lambda: self.service.verify(answers, requester=viewer.name),
-            )
-        return self._call("sp.verify", lambda: self.service.verify(answers))
+    @service.setter
+    def service(self, value) -> None:
+        """Swapping the service re-registers the engine backend, so
+        fault-injecting proxies wrapped around a live service (the chaos
+        harness does this) take effect on the wire path immediately."""
+        self._service = value
+        if self.construction in (1, 2):
+            self._engine.register_backend(self.construction, value)
 
     # -- atomic publish ----------------------------------------------------------
 
     def _remove_registration(self, puzzle_id: int) -> bool:
-        raise NotImplementedError
+        return self.client.retract(self.construction, puzzle_id)
 
     def _rollback_share(self, url: str, puzzle_id: int | None) -> None:
         """Undo a partially published share: puzzle registration first
@@ -255,11 +257,8 @@ class _PuzzleAppBase:
         puzzle_id: int | None = None
         try:
             puzzle_id = store()
-            post = self._call(
-                "sp.post",
-                lambda: self.provider.post(
-                    user, self._post_text(user, puzzle_id), audience=audience
-                ),
+            post = self.client.publish_post(
+                user, self._post_text(user, puzzle_id), audience=audience
             )
             meter.charge_upload("post hyperlink on profile", _POST_BYTES + overhead)
         except Exception as exc:
@@ -299,6 +298,8 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
         throttle_max_failures: int | None = None,
         retry: RetryPolicy | None = None,
         obs: Observability | None = None,
+        engine: PuzzleProtocolEngine | None = None,
+        bus: MessageBus | None = None,
     ):
         self.bls = bls
         if throttle_max_failures is not None:
@@ -308,7 +309,14 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
         else:
             service = PuzzleServiceC1(audit=provider.audit)
         super().__init__(
-            provider, storage, service, transport=transport, retry=retry, obs=obs
+            provider,
+            storage,
+            service,
+            transport=transport,
+            retry=retry,
+            obs=obs,
+            engine=engine,
+            bus=bus,
         )
         self._sharers: dict[int, SharerC1] = {}
 
@@ -316,9 +324,6 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
         if user.user_id not in self._sharers:
             self._sharers[user.user_id] = SharerC1(user.name, self.storage, bls=self.bls)
         return self._sharers[user.user_id]
-
-    def _remove_registration(self, puzzle_id: int) -> bool:
-        return self.service.remove_puzzle(puzzle_id)
 
     def share(
         self,
@@ -355,9 +360,7 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
                 meter.charge_upload(
                     "upload puzzle Z_O to SP", puzzle.byte_size() + overhead
                 )
-                return self._call(
-                    "sp.store_puzzle", lambda: self.service.store_puzzle(puzzle)
-                )
+                return self.client.store_puzzle(puzzle)
 
             puzzle_id, post = self._publish_atomically(
                 user, puzzle.url, audience, meter, overhead, store
@@ -382,9 +385,8 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
             overhead = self.transport.open_session(meter) if self.transport else 0
             receiver = ReceiverC1(viewer.name, self.storage, bls=self.bls)
 
-            displayed: DisplayedPuzzle = self._call(
-                "sp.display_puzzle",
-                lambda: self.service.display_puzzle(puzzle_id, rng=rng),
+            displayed: DisplayedPuzzle = self.client.display_puzzle_c1(
+                puzzle_id, rng=rng
             )
             meter.charge_download(
                 "fetch puzzle page (questions)", displayed.byte_size() + overhead
@@ -396,7 +398,7 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
                 answers = receiver.answer_puzzle(displayed, knowledge)
             meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
 
-            release = self._submit_answers(viewer, answers)
+            release = self.client.submit_answers_c1(answers, viewer.name)
             meter.charge_download(
                 "receive released shares + URL", release.byte_size() + overhead
             )
@@ -429,6 +431,8 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
         throttle_max_failures: int | None = None,
         retry: RetryPolicy | None = None,
         obs: Observability | None = None,
+        engine: PuzzleProtocolEngine | None = None,
+        bus: MessageBus | None = None,
     ):
         self.params = params
         self.digestmod = digestmod
@@ -449,10 +453,9 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
             retry=retry,
             obs=obs,
             file_size_model=file_size_model,
+            engine=engine,
+            bus=bus,
         )
-
-    def _remove_registration(self, puzzle_id: int) -> bool:
-        return self.service.remove_upload(puzzle_id)
 
     def share(
         self,
@@ -503,9 +506,7 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
                     "upload message.txt.cpabe",
                     self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
                 )
-                return self._call(
-                    "sp.store_upload", lambda: self.service.store_upload(record)
-                )
+                return self.client.store_upload(record)
 
             puzzle_id, post = self._publish_atomically(
                 user, record.url, audience, meter, overhead, store
@@ -531,9 +532,7 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
                 viewer.name, self.storage, self.params, digestmod=self.digestmod
             )
 
-            displayed: DisplayedPuzzleC2 = self._call(
-                "sp.display_puzzle", lambda: self.service.display_puzzle(puzzle_id)
-            )
+            displayed: DisplayedPuzzleC2 = self.client.display_puzzle_c2(puzzle_id)
             meter.charge_download(
                 "download details.txt (questions)",
                 self._file_size("details.txt", displayed.byte_size()) + overhead,
@@ -545,7 +544,7 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
                 answers = receiver.answer_puzzle(displayed, knowledge)
             meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
 
-            grant = self._submit_answers(viewer, answers)
+            grant = self.client.submit_answers_c2(answers, viewer.name)
 
             ct_size = len(self.storage.get(grant.url))
             meter.charge_download(

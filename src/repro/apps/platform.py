@@ -35,6 +35,9 @@ from repro.osn.network import NetworkLink
 from repro.osn.provider import Post, ServiceProvider, User
 from repro.osn.resilience import CircuitBreaker, ResilientStorageClient, RetryPolicy
 from repro.osn.storage import StorageHost
+from repro.proto.bus import MessageBus
+from repro.proto.client import ProtocolClient
+from repro.proto.engine import PuzzleProtocolEngine
 from repro.sim.devices import PC, DeviceProfile
 
 __all__ = ["SocialPuzzlePlatform"]
@@ -83,6 +86,13 @@ class SocialPuzzlePlatform:
         self.transport = (
             SecureTransport(params, bls=self.bls) if secure_transport else None
         )
+        # One protocol plane for the whole platform: both apps and the
+        # ACL gate speak to the SP through the same engine and bus, so a
+        # transport wrapper (or a chaos fault injector) on the bus sees
+        # every SP-bound frame.
+        self.engine = PuzzleProtocolEngine(self.provider, self.storage)
+        self.bus = MessageBus(self.engine, audit=self.provider.audit)
+        self._client = ProtocolClient(self.bus, retry=retry_policy)
         self.app_c1 = SocialPuzzleAppC1(
             self.provider,
             self.storage,
@@ -91,6 +101,8 @@ class SocialPuzzlePlatform:
             throttle_max_failures=throttle_max_failures,
             retry=retry_policy,
             obs=observability,
+            engine=self.engine,
+            bus=self.bus,
         )
         self.app_c2 = SocialPuzzleAppC2(
             self.provider,
@@ -102,6 +114,8 @@ class SocialPuzzlePlatform:
             throttle_max_failures=throttle_max_failures,
             retry=retry_policy,
             obs=observability,
+            engine=self.engine,
+            bus=self.bus,
         )
 
     # -- membership ---------------------------------------------------------------
@@ -159,18 +173,13 @@ class SocialPuzzlePlatform:
 
     def _acl_gate(self, viewer: User, share: ShareResult) -> None:
         """Check the static ACL layer: the viewer must see the post before
-        the puzzle is displayed. Retried under transient SP faults when a
-        retry policy is wired; observed under ``acl.get_post`` when the
+        the puzzle is displayed. The read travels the wire like every
+        other SP interaction (retried under ``sp.get_post`` when a retry
+        policy is wired); observed under ``acl.get_post`` when the
         platform carries an :class:`~repro.obs.Observability` hub."""
 
         def gate() -> None:
-            if self.retry is not None:
-                self.retry.call(
-                    lambda: self.provider.get_post(viewer, share.post.post_id),
-                    "sp.get_post",
-                )
-            else:
-                self.provider.get_post(viewer, share.post.post_id)
+            self._client.get_post(viewer, share.post.post_id)
 
         if self.obs is None:
             gate()

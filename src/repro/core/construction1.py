@@ -44,7 +44,7 @@ from repro.crypto.hashes import sha3_256
 from repro.crypto.polynomial import Polynomial
 from repro.crypto.shamir import Share, reconstruct_secret
 from repro.osn.storage import AuditTrail, StorageHost
-from repro.util.codec import blob, text, u32
+from repro.util.codec import Reader, blob, text, u32
 
 __all__ = [
     "C1_FIELD_PRIME",
@@ -75,11 +75,30 @@ class DisplayedPuzzle:
     puzzle_key: bytes
     k: int
 
-    def byte_size(self) -> int:
+    def to_bytes(self) -> bytes:
         body = u32(self.puzzle_id) + u32(self.k) + blob(self.puzzle_key)
         for question in self.questions:
             body += text(question)
-        return len(body)
+        return body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DisplayedPuzzle":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        k = reader.u32()
+        puzzle_key = reader.blob()
+        questions = []
+        while reader.remaining():
+            questions.append(reader.text())
+        return cls(
+            puzzle_id=puzzle_id,
+            questions=tuple(questions),
+            puzzle_key=puzzle_key,
+            k=k,
+        )
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 @dataclass(frozen=True)
@@ -89,11 +108,24 @@ class PuzzleAnswers:
     puzzle_id: int
     digests: dict[str, bytes]  # question -> H(answer, K_Z)
 
-    def byte_size(self) -> int:
+    def to_bytes(self) -> bytes:
         body = u32(self.puzzle_id)
         for question, digest in self.digests.items():
             body += text(question) + blob(digest)
-        return len(body)
+        return body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PuzzleAnswers":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        digests: dict[str, bytes] = {}
+        while reader.remaining():
+            question = reader.text()
+            digests[question] = reader.blob()
+        return cls(puzzle_id=puzzle_id, digests=digests)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 @dataclass(frozen=True)
@@ -116,7 +148,7 @@ class ShareRelease:
     url: str
     shares: tuple[ReleasedShare, ...]
 
-    def byte_size(self) -> int:
+    def to_bytes(self) -> bytes:
         body = u32(self.puzzle_id) + u32(self.k) + text(self.url)
         for released in self.shares:
             body += (
@@ -125,7 +157,28 @@ class ShareRelease:
                 + blob(released.share_x.to_bytes(32, "big"))
                 + blob(released.blinded_share)
             )
-        return len(body)
+        return body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShareRelease":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        k = reader.u32()
+        url = reader.text()
+        shares = []
+        while reader.remaining():
+            shares.append(
+                ReleasedShare(
+                    question=reader.text(),
+                    entry_index=reader.u32(),
+                    share_x=int.from_bytes(reader.blob(), "big"),
+                    blinded_share=reader.blob(),
+                )
+            )
+        return cls(puzzle_id=puzzle_id, k=k, url=url, shares=tuple(shares))
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 class SharerC1:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.abe.access_tree import AccessTree
 from repro.abe.cpabe import CPABE, HybridCiphertext, MasterKey, PolicyNotSatisfiedError, PublicKey
 from repro.abe.serialize import (
+    decode_access_tree,
     decode_hybrid_ciphertext,
     decode_master_key,
     decode_public_key,
@@ -55,7 +56,7 @@ from repro.crypto.ec import CurveParams
 from repro.crypto.hashes import new as new_hash
 from repro.crypto.modes import IntegrityError
 from repro.osn.storage import AuditTrail, StorageHost
-from repro.util.codec import blob, text, u32
+from repro.util.codec import Reader, blob, text, u32
 
 __all__ = [
     "leaf_attribute",
@@ -176,6 +177,35 @@ class C2Upload:
             "master_key": len(self.mk_bytes),
         }
 
+    def to_bytes(self) -> bytes:
+        return (
+            u32(self.puzzle_id)
+            + blob(encode_access_tree(self.tree_perturbed))
+            + blob(self.pk_bytes)
+            + blob(self.mk_bytes)
+            + text(self.url)
+            + text(self.sharer_name)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "C2Upload":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        tree = decode_access_tree(reader.blob())
+        pk_bytes = reader.blob()
+        mk_bytes = reader.blob()
+        url = reader.text()
+        sharer_name = reader.text()
+        reader.done()
+        return cls(
+            puzzle_id=puzzle_id,
+            tree_perturbed=tree,
+            pk_bytes=pk_bytes,
+            mk_bytes=mk_bytes,
+            url=url,
+            sharer_name=sharer_name,
+        )
+
 
 @dataclass(frozen=True)
 class DisplayedPuzzleC2:
@@ -185,11 +215,26 @@ class DisplayedPuzzleC2:
     questions: tuple[str, ...]
     threshold: int
 
-    def byte_size(self) -> int:
+    def to_bytes(self) -> bytes:
         body = u32(self.puzzle_id) + u32(self.threshold)
         for question in self.questions:
             body += text(question)
-        return len(body)
+        return body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DisplayedPuzzleC2":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        threshold = reader.u32()
+        questions = []
+        while reader.remaining():
+            questions.append(reader.text())
+        return cls(
+            puzzle_id=puzzle_id, questions=tuple(questions), threshold=threshold
+        )
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 @dataclass(frozen=True)
@@ -199,11 +244,24 @@ class PuzzleAnswersC2:
     puzzle_id: int
     digests: dict[str, str]  # question -> H(answer) hex
 
-    def byte_size(self) -> int:
+    def to_bytes(self) -> bytes:
         body = u32(self.puzzle_id)
         for question, digest in self.digests.items():
             body += text(question) + text(digest)
-        return len(body)
+        return body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PuzzleAnswersC2":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        digests: dict[str, str] = {}
+        while reader.remaining():
+            question = reader.text()
+            digests[question] = reader.text()
+        return cls(puzzle_id=puzzle_id, digests=digests)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 @dataclass(frozen=True)
@@ -215,10 +273,25 @@ class AccessGrantC2:
     pk_bytes: bytes
     mk_bytes: bytes
 
-    def byte_size(self) -> int:
-        return len(
+    def to_bytes(self) -> bytes:
+        return (
             u32(self.puzzle_id) + text(self.url) + blob(self.pk_bytes) + blob(self.mk_bytes)
         )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AccessGrantC2":
+        reader = Reader(data)
+        puzzle_id = reader.u32()
+        url = reader.text()
+        pk_bytes = reader.blob()
+        mk_bytes = reader.blob()
+        reader.done()
+        return cls(
+            puzzle_id=puzzle_id, url=url, pk_bytes=pk_bytes, mk_bytes=mk_bytes
+        )
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 class SharerC2:

@@ -29,11 +29,16 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "DEFAULT_BOUNDS",
+    "BYTE_BOUNDS",
 ]
 
 # Geometric ladder: 1 µs ... ~33.6 s in powers of two, 26 bounds.
 # Observations above the last bound go to the overflow bucket.
 DEFAULT_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(26))
+
+# For size histograms (e.g. ``proto.msg_bytes``): 16 B ... 16 MiB in
+# powers of two, 21 bounds.
+BYTE_BOUNDS: tuple[float, ...] = tuple(float(16 * 2**i) for i in range(21))
 
 
 @dataclass

@@ -65,11 +65,21 @@ def count(name: str, amount: int | float = 1) -> None:
         obs.registry.counter(name).add(amount)
 
 
-def observe(name: str, value: float) -> None:
-    """Record ``value`` into histogram ``name``; no-op when inactive."""
+def observe(
+    name: str, value: float, bounds: tuple[float, ...] | None = None
+) -> None:
+    """Record ``value`` into histogram ``name``; no-op when inactive.
+
+    ``bounds`` selects the bucket boundaries if this call creates the
+    histogram (e.g. byte-sized rather than latency-sized buckets); an
+    existing histogram keeps the bounds it was created with.
+    """
     obs = current()
     if obs is not None:
-        obs.registry.histogram(name).observe(value)
+        if bounds is None:
+            obs.registry.histogram(name).observe(value)
+        else:
+            obs.registry.histogram(name, bounds).observe(value)
 
 
 def set_gauge(name: str, value: float) -> None:

@@ -35,6 +35,7 @@ __all__ = [
     "FlakyStorageHost",
     "FlakyServiceProvider",
     "FlakyPuzzleService",
+    "CorruptingDispatcher",
     "LossyNetworkLink",
 ]
 
@@ -192,6 +193,71 @@ class FlakyPuzzleService:
 
     def __getattr__(self, name: str):
         return getattr(self.wrapped, name)
+
+
+class CorruptingDispatcher:
+    """A wire path that corrupts serialized protocol frames in flight.
+
+    Wraps any ``dispatch(bytes) -> bytes`` frontend (the protocol
+    engine, a substrate frontend, or another wrapper — attach it as a
+    ``MessageBus`` dispatcher to fault the whole protocol plane). Three
+    seeded failure modes, applied independently to requests and replies:
+
+    ``flip_rate`` — one random bit flipped somewhere in the frame;
+    ``truncate_rate`` — the frame cut short at a random point;
+    ``drop_rate`` — the frame never arrives: the request times out and
+    raises :class:`~repro.core.errors.TransientNetworkError` client-side.
+
+    Because every frame carries a CRC-32 trailer
+    (:mod:`repro.proto.envelope`), a flipped or truncated *request*
+    surfaces server-side as a transient ``bad-message`` error reply and a
+    mangled *reply* fails decoding client-side — both re-raise as
+    :class:`~repro.core.errors.TransientNetworkError`, so the existing
+    retry taxonomy absorbs wire corruption with no new error paths and,
+    critically, no silently corrupted payload ever reaches a handler.
+    """
+
+    def __init__(
+        self,
+        wrapped,
+        flip_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        for rate in (flip_rate, truncate_rate, drop_rate):
+            if not 0 <= rate <= 1:
+                raise ValueError("failure rates must be in [0, 1]")
+        self.wrapped = wrapped
+        self.flip_rate = flip_rate
+        self.truncate_rate = truncate_rate
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def _mangle(self, frame: bytes) -> bytes:
+        """Apply at most one corruption mode to one direction's frame."""
+        roll = self._rng.random()
+        if roll < self.drop_rate:
+            self.faults_injected += 1
+            raise TransientNetworkError("frame dropped in transit")
+        roll -= self.drop_rate
+        if roll < self.flip_rate and frame:
+            self.faults_injected += 1
+            position = self._rng.randrange(len(frame))
+            mangled = bytearray(frame)
+            mangled[position] ^= 1 << self._rng.randrange(8)
+            return bytes(mangled)
+        roll -= self.flip_rate
+        if roll < self.truncate_rate and frame:
+            self.faults_injected += 1
+            return frame[: self._rng.randrange(len(frame))]
+        return frame
+
+    def dispatch(self, request: bytes) -> bytes:
+        inner = self.wrapped
+        target = inner.dispatch if hasattr(inner, "dispatch") else inner
+        return self._mangle(target(self._mangle(request)))
 
 
 @dataclass

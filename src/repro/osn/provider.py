@@ -71,6 +71,7 @@ class ServiceProvider:
         self._user_serial = itertools.count(1)
         self._post_serial = itertools.count(1)
         self._services: dict[str, object] = {}
+        self._frontend = None
 
     # -- accounts -----------------------------------------------------------------
 
@@ -182,3 +183,18 @@ class ServiceProvider:
             return self._services[name]
         except KeyError:
             raise OsnError("no hosted service %r" % name) from None
+
+    # -- wire face ----------------------------------------------------------------
+
+    def dispatch(self, request: bytes) -> bytes:
+        """Serve one serialized post/read request (see :mod:`repro.proto`).
+
+        The frontend is created lazily — and the import is local — so the
+        substrate layer carries no import-time dependency on the protocol
+        layer (which depends back on this module for ``User``/``Post``).
+        """
+        if self._frontend is None:
+            from repro.proto.frontends import ProviderFrontend
+
+            self._frontend = ProviderFrontend(self)
+        return self._frontend.dispatch(request)

@@ -27,12 +27,14 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 
+from repro.core.errors import TransientNetworkError
 from repro.crypto.bls import BlsKeyPair, BlsScheme
 from repro.crypto.ec import CurveParams, Point
 from repro.crypto.kdf import hkdf
 from repro.crypto.mac import constant_time_compare, hmac_digest
 from repro.crypto.modes import ctr_transform
 from repro.obs.runtime import count
+from repro.util.codec import CodecError, Reader, blob
 
 __all__ = [
     "ChannelError",
@@ -41,6 +43,7 @@ __all__ = [
     "ClientFinished",
     "Record",
     "ChannelEndpoint",
+    "SecureDispatcher",
     "establish_channel",
 ]
 
@@ -74,6 +77,21 @@ class Record:
     sequence: int
     ciphertext: bytes
     tag: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.sequence.to_bytes(8, "big") + blob(self.ciphertext) + self.tag
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Record":
+        reader = Reader(data)
+        sequence = int.from_bytes(reader.take(8), "big")
+        ciphertext = reader.blob()
+        tag = reader.take(_TAG_LEN)
+        reader.done()
+        return cls(sequence=sequence, ciphertext=ciphertext, tag=tag)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
 
 
 def _transcript(client_eph: Point, server_eph: Point) -> bytes:
@@ -249,3 +267,47 @@ def establish_channel(
     if client_identity is not None:
         server.verify_finished(finished, transcript, client_identity.public)
     return client_end, server_end
+
+
+class SecureDispatcher:
+    """A ``dispatch(bytes) -> bytes`` hop carried over the record layer.
+
+    Wraps any dispatch frontend (engine, frontend, or another wrapper):
+    every request frame is sealed by the client end, serialized as a
+    :class:`Record`, opened by the server end, served, and the reply
+    travels back the same way. A record that fails authentication,
+    replay-protection, or record framing surfaces as
+    :class:`~repro.core.errors.TransientNetworkError`, keeping the
+    channel's failures inside the existing retry taxonomy.
+    """
+
+    def __init__(
+        self,
+        wrapped,
+        client_end: ChannelEndpoint,
+        server_end: ChannelEndpoint,
+    ):
+        self.wrapped = wrapped
+        self.client_end = client_end
+        self.server_end = server_end
+
+    @classmethod
+    def establish(cls, wrapped, params: CurveParams, bls: BlsScheme | None = None):
+        """Handshake a fresh channel pair around ``wrapped``."""
+        bls = bls if bls is not None else BlsScheme(params)
+        client_end, server_end = establish_channel(params, bls, bls.keygen())
+        return cls(wrapped, client_end, server_end)
+
+    def dispatch(self, request: bytes) -> bytes:
+        inner = self.wrapped
+        target = inner.dispatch if hasattr(inner, "dispatch") else inner
+        try:
+            sealed = self.client_end.send(request).to_bytes()
+            plain_request = self.server_end.receive(Record.from_bytes(sealed))
+            reply = target(plain_request)
+            sealed_reply = self.server_end.send(reply).to_bytes()
+            return self.client_end.receive(Record.from_bytes(sealed_reply))
+        except (ChannelError, CodecError) as exc:
+            raise TransientNetworkError(
+                "secure channel failure: %s" % exc
+            ) from exc

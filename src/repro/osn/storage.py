@@ -58,6 +58,17 @@ class StorageHost:
         self.audit = AuditTrail()
         self._blobs: dict[str, bytes] = {}
         self._serial = itertools.count(1)
+        self._frontend = None
+
+    def dispatch(self, request: bytes) -> bytes:
+        """Serve one serialized put/get/exists/delete request (see
+        :mod:`repro.proto`). Lazily built with a local import so the
+        substrate stays import-time independent of the protocol layer."""
+        if self._frontend is None:
+            from repro.proto.frontends import StorageFrontend
+
+            self._frontend = StorageFrontend(self)
+        return self._frontend.dispatch(request)
 
     def put(self, data: bytes) -> str:
         """Store an encrypted object; returns its public URL_O."""

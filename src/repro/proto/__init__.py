@@ -1,0 +1,40 @@
+"""repro.proto — the wire-protocol layer.
+
+Every SP interaction in both constructions is a typed, byte-serializable
+message: the client encodes a request, a :class:`MessageBus` carries the
+frame to a ``dispatch(bytes) -> bytes`` frontend, and the
+:class:`PuzzleProtocolEngine` runs the share/access state machines once
+for both construction backends. See ``docs/PROTOCOLS.md`` ("Wire
+format") for the message tables.
+
+Layering: ``envelope`` (framing) -> ``messages`` (typed codecs) ->
+``engine``/``frontends`` (server side) -> ``bus`` (transport seam) ->
+``client`` (typed stubs + retry/span integration).
+"""
+
+from repro.proto.bus import MessageBus, wire_summary
+from repro.proto.client import ProtocolClient, RemoteServiceError
+from repro.proto.engine import PuzzleProtocolEngine
+from repro.proto.envelope import (
+    ENVELOPE_OVERHEAD,
+    WIRE_VERSION,
+    WireFormatError,
+    open_envelope,
+    seal,
+)
+from repro.proto.messages import decode_message, encode_message
+
+__all__ = [
+    "ENVELOPE_OVERHEAD",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "open_envelope",
+    "seal",
+    "decode_message",
+    "encode_message",
+    "PuzzleProtocolEngine",
+    "MessageBus",
+    "wire_summary",
+    "ProtocolClient",
+    "RemoteServiceError",
+]

@@ -1,0 +1,75 @@
+"""The message bus: the one seam every wire frame crosses.
+
+A :class:`MessageBus` carries serialized requests to a
+``dispatch(bytes) -> bytes`` target and serialized replies back. Because
+every frame crosses this one choke point, the cross-cutting concerns
+attach here exactly once:
+
+* observability — a ``bus.dispatch`` span per round trip, request
+  counters and a byte-size histogram (``proto.msg_bytes``);
+* surveillance audit — every frame the SP-side handles is recorded into
+  an :class:`~repro.osn.storage.AuditTrail`, making the paper's
+  "curious SP" claim checkable against the *actual wire bytes*;
+* network modelling — an optional :class:`~repro.osn.network.NetworkLink`
+  charges per-frame transfer costs.
+
+The link is ``None`` by default: protocol-step transfer costs are
+modelled by the apps' :class:`~repro.sim.timing.CostMeter` (the paper's
+Figure 10 breakdown), and charging the bus too would double-count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.metrics import BYTE_BOUNDS
+from repro.obs.runtime import count, maybe_span, observe
+from repro.proto.envelope import peek_type
+from repro.proto.messages import message_name
+
+__all__ = ["MessageBus", "wire_summary"]
+
+
+def wire_summary(data: bytes) -> str:
+    """A human-readable one-liner for a frame: type name + size."""
+    return "%s (%d bytes)" % (message_name(peek_type(data)), len(data))
+
+
+class MessageBus:
+    """Carries frames between a protocol client and a dispatch frontend."""
+
+    def __init__(
+        self,
+        dispatcher,
+        audit=None,
+        link=None,
+    ):
+        self.dispatcher = dispatcher
+        self.audit = audit
+        self.link = link
+
+    @property
+    def _target(self) -> Callable[[bytes], bytes]:
+        inner = self.dispatcher
+        return inner.dispatch if hasattr(inner, "dispatch") else inner
+
+    def dispatch(self, request: bytes) -> bytes:
+        """One round trip: request frame in, reply frame out."""
+        with maybe_span(
+            "bus.dispatch",
+            msg=message_name(peek_type(request)),
+            num_bytes=len(request),
+        ):
+            count("proto.requests")
+            observe("proto.msg_bytes", len(request), BYTE_BOUNDS)
+            if self.audit is not None:
+                self.audit.record(request)
+            if self.link is not None:
+                self.link.upload(len(request), wire_summary(request))
+            reply = self._target(request)
+            observe("proto.msg_bytes", len(reply), BYTE_BOUNDS)
+            if self.audit is not None:
+                self.audit.record(reply)
+            if self.link is not None:
+                self.link.download(len(reply), wire_summary(reply))
+            return reply

@@ -1,0 +1,184 @@
+"""Typed client stubs over the message bus.
+
+A :class:`ProtocolClient` turns method calls into wire frames and reply
+frames back into domain objects. Each round trip runs under the same
+span label and retry policy the apps used before the wire existed
+(``sp.store_puzzle``, ``sp.verify``, ...), so traces, retry metrics and
+backoff behaviour are indistinguishable from the pre-protocol layering —
+only the transport changed.
+
+Failure mapping is the inverse of
+:meth:`~repro.proto.messages.ErrorReply.from_exception`: taxonomy-coded
+errors re-raise as their original exception classes (keeping the
+transient/permanent retry classification), a reply frame that cannot be
+decoded raises :class:`~repro.core.errors.TransientNetworkError`, and an
+unrecognized remote failure raises :class:`RemoteServiceError` — a plain
+``RuntimeError`` and deliberately *not* a ``SocialPuzzleError``, so the
+atomic-share path wraps it in ``ShareFailedError`` exactly as it would a
+local untyped bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.construction1 import DisplayedPuzzle, Puzzle, PuzzleAnswers, ShareRelease
+from repro.core.construction2 import (
+    AccessGrantC2,
+    C2Upload,
+    DisplayedPuzzleC2,
+    PuzzleAnswersC2,
+)
+from repro.core.errors import TransientNetworkError
+from repro.obs.runtime import maybe_span
+from repro.osn.provider import Post, User
+from repro.proto.messages import (
+    AnswerSubmission,
+    DisplayPuzzleRequest,
+    ErrorReply,
+    FetchPostRequest,
+    Message,
+    PublishPostRequest,
+    RetractPuzzleRequest,
+    StoragePutRequest,
+    StorageDeleteRequest,
+    StorageExistsRequest,
+    StorageGetRequest,
+    StorePuzzleRequest,
+    StoreUploadRequest,
+    decode_message,
+    encode_message,
+)
+from repro.util.codec import CodecError
+
+__all__ = ["ProtocolClient", "RemoteServiceError"]
+
+
+class RemoteServiceError(RuntimeError):
+    """An unrecognized failure reported by the remote side."""
+
+
+class ProtocolClient:
+    """Encode, dispatch, decode — with spans and retries per request."""
+
+    def __init__(self, bus, retry=None):
+        self.bus = bus
+        self.retry = retry
+
+    # -- the round trip ----------------------------------------------------------
+
+    def _roundtrip(self, label: str, message: Message) -> Message:
+        request = encode_message(message)
+
+        def exchange() -> Message:
+            raw = self.bus.dispatch(request)
+            try:
+                reply = decode_message(raw)
+            except CodecError as exc:
+                raise TransientNetworkError(
+                    "reply frame corrupted in transit: %s" % exc
+                ) from exc
+            if isinstance(reply, ErrorReply):
+                raise reply.to_exception()
+            return reply
+
+        with maybe_span(label):
+            if self.retry is None:
+                return exchange()
+            return self.retry.call(exchange, label)
+
+    # -- puzzle protocol ---------------------------------------------------------
+
+    def store_puzzle(self, puzzle: Puzzle) -> int:
+        reply = self._roundtrip("sp.store_puzzle", StorePuzzleRequest(puzzle=puzzle))
+        return reply.puzzle_id
+
+    def store_upload(self, record: C2Upload) -> int:
+        reply = self._roundtrip("sp.store_upload", StoreUploadRequest(record=record))
+        return reply.puzzle_id
+
+    def display_puzzle_c1(
+        self, puzzle_id: int, rng: random.Random | None = None
+    ) -> DisplayedPuzzle:
+        reply = self._roundtrip(
+            "sp.display_puzzle",
+            DisplayPuzzleRequest(
+                construction=1,
+                puzzle_id=puzzle_id,
+                rng_state=rng.getstate() if rng is not None else None,
+            ),
+        )
+        return reply.displayed
+
+    def display_puzzle_c2(self, puzzle_id: int) -> DisplayedPuzzleC2:
+        reply = self._roundtrip(
+            "sp.display_puzzle",
+            DisplayPuzzleRequest(construction=2, puzzle_id=puzzle_id),
+        )
+        return reply.displayed
+
+    def submit_answers_c1(
+        self, answers: PuzzleAnswers, requester: str
+    ) -> ShareRelease:
+        reply = self._roundtrip(
+            "sp.verify",
+            AnswerSubmission(
+                construction=1,
+                puzzle_id=answers.puzzle_id,
+                requester=requester,
+                digests=dict(answers.digests),
+            ),
+        )
+        return reply.release
+
+    def submit_answers_c2(
+        self, answers: PuzzleAnswersC2, requester: str
+    ) -> AccessGrantC2:
+        reply = self._roundtrip(
+            "sp.verify",
+            AnswerSubmission(
+                construction=2,
+                puzzle_id=answers.puzzle_id,
+                requester=requester,
+                digests={
+                    q: d.encode("ascii") for q, d in answers.digests.items()
+                },
+            ),
+        )
+        return reply.grant
+
+    def retract(self, construction: int, puzzle_id: int) -> bool:
+        reply = self._roundtrip(
+            "sp.retract",
+            RetractPuzzleRequest(construction=construction, puzzle_id=puzzle_id),
+        )
+        return reply.removed
+
+    # -- OSN substrate -----------------------------------------------------------
+
+    def publish_post(
+        self, author: User, content: str, audience: str | frozenset[int] = "friends"
+    ) -> Post:
+        reply = self._roundtrip(
+            "sp.post",
+            PublishPostRequest(author=author, content=content, audience=audience),
+        )
+        return reply.post
+
+    def get_post(self, viewer: User, post_id: int) -> Post:
+        reply = self._roundtrip(
+            "sp.get_post", FetchPostRequest(viewer=viewer, post_id=post_id)
+        )
+        return reply.post
+
+    def storage_put(self, data: bytes) -> str:
+        return self._roundtrip("dh.put", StoragePutRequest(data=data)).url
+
+    def storage_get(self, url: str) -> bytes:
+        return self._roundtrip("dh.get", StorageGetRequest(url=url)).data
+
+    def storage_exists(self, url: str) -> bool:
+        return self._roundtrip("dh.exists", StorageExistsRequest(url=url)).value
+
+    def storage_delete(self, url: str) -> bool:
+        return self._roundtrip("dh.delete", StorageDeleteRequest(url=url)).value

@@ -1,0 +1,139 @@
+"""The unified puzzle protocol engine.
+
+One server-side state machine for both constructions: store -> display
+-> verify -> release/grant, plus retraction, the profile post and the
+static-ACL read. The construction-specific behaviour lives entirely in
+the registered *backend* (a ``PuzzleServiceC1`` for Shamir, a
+``PuzzleServiceC2`` for CP-ABE, or any fault-injecting/throttling proxy
+around one); the engine owns the message routing, the throttle-aware
+requester plumbing and the error mapping — exactly once.
+
+``dispatch(bytes) -> bytes`` is the only entry point. Everything a
+client can do to a puzzle travels through it as a serialized message, so
+sharding, batching or moving the SP out of process later is a transport
+change, not a protocol change.
+"""
+
+from __future__ import annotations
+
+from repro.core.throttle import ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2
+from repro.proto.frontends import ProviderFrontend, StorageFrontend, serve
+from repro.proto.messages import (
+    AnswerSubmission,
+    DisplayPuzzleRequest,
+    DisplayReplyC1,
+    DisplayReplyC2,
+    FetchPostRequest,
+    GrantReply,
+    Message,
+    PublishPostRequest,
+    ReleaseReply,
+    RetractPuzzleRequest,
+    RetractReply,
+    StorePuzzleRequest,
+    StoreReply,
+    StoreUploadRequest,
+    rng_from_state,
+)
+
+__all__ = ["PuzzleProtocolEngine"]
+
+
+def _unwrap(service: object) -> object:
+    """Peel fault-injection / resilience proxies off a wrapped service."""
+    while hasattr(service, "wrapped"):
+        service = service.wrapped  # type: ignore[attr-defined]
+    return service
+
+
+class PuzzleProtocolEngine:
+    """Owns the share/access state machines over construction backends."""
+
+    def __init__(self, provider, storage):
+        self.provider = provider
+        self.storage = storage
+        self._backends: dict[int, object] = {}
+        self._provider_frontend = ProviderFrontend(provider)
+        self._storage_frontend = StorageFrontend(storage)
+
+    # -- backend registry --------------------------------------------------------
+
+    def register_backend(self, construction: int, service: object) -> None:
+        """Attach (or replace) the service handling one construction.
+
+        Re-registration is deliberate: tests and the chaos harness wrap a
+        live service in fault-injecting proxies after construction.
+        """
+        if construction not in (1, 2):
+            raise ValueError("construction must be 1 or 2, got %r" % construction)
+        self._backends[construction] = service
+
+    def backend(self, construction: int):
+        try:
+            return self._backends[construction]
+        except KeyError:
+            raise RuntimeError(
+                "no backend registered for construction %d" % construction
+            ) from None
+
+    # -- the dispatch frontend ---------------------------------------------------
+
+    def dispatch(self, request: bytes) -> bytes:
+        """Serve one serialized request; never raises across the wire."""
+        return serve(request, self.handle)
+
+    def handle(self, message: Message) -> Message:
+        if isinstance(message, StorePuzzleRequest):
+            return StoreReply(
+                puzzle_id=self.backend(1).store_puzzle(message.puzzle)
+            )
+        if isinstance(message, StoreUploadRequest):
+            return StoreReply(
+                puzzle_id=self.backend(2).store_upload(message.record)
+            )
+        if isinstance(message, DisplayPuzzleRequest):
+            return self._display(message)
+        if isinstance(message, AnswerSubmission):
+            return self._verify(message)
+        if isinstance(message, RetractPuzzleRequest):
+            return self._retract(message)
+        # Substrate-bound messages route to the owning frontend, so one
+        # bus serves the SP's whole surface.
+        if isinstance(message, (PublishPostRequest, FetchPostRequest)):
+            return self._provider_frontend.handle(message)
+        return self._storage_frontend.handle(message)
+
+    # -- puzzle state machine ----------------------------------------------------
+
+    def _display(self, message: DisplayPuzzleRequest) -> Message:
+        backend = self.backend(message.construction)
+        if message.construction == 1:
+            rng = rng_from_state(message.rng_state)
+            displayed = backend.display_puzzle(message.puzzle_id, rng=rng)
+            return DisplayReplyC1(displayed=displayed)
+        return DisplayReplyC2(displayed=backend.display_puzzle(message.puzzle_id))
+
+    def _verify(self, message: AnswerSubmission) -> Message:
+        backend = self.backend(message.construction)
+        throttled = isinstance(
+            _unwrap(backend), (ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2)
+        )
+        if message.construction == 1:
+            answers = message.to_answers_c1()
+            if throttled:
+                release = backend.verify(answers, requester=message.requester)
+            else:
+                release = backend.verify(answers)
+            return ReleaseReply(release=release)
+        answers = message.to_answers_c2()
+        if throttled:
+            grant = backend.verify(answers, requester=message.requester)
+        else:
+            grant = backend.verify(answers)
+        return GrantReply(grant=grant)
+
+    def _retract(self, message: RetractPuzzleRequest) -> Message:
+        backend = self.backend(message.construction)
+        if message.construction == 1:
+            return RetractReply(removed=backend.remove_puzzle(message.puzzle_id))
+        return RetractReply(removed=backend.remove_upload(message.puzzle_id))

@@ -1,0 +1,78 @@
+"""Versioned wire envelope for every protocol message.
+
+Frame layout (all integers big-endian, built on :mod:`repro.util.codec`):
+
+    +-------+---------+----------+-----------------+----------+
+    | magic | version | msg type | body (u32-len)  | crc32    |
+    | "SPW" | u8      | u8       | 4 + N bytes     | u32      |
+    +-------+---------+----------+-----------------+----------+
+
+The trailing CRC-32 covers everything before it, so a bit flip or a
+truncation anywhere in the frame is detected at decode time and surfaces
+as a :class:`WireFormatError` — the engine answers those with a
+*transient* ``bad-message`` error, because a corrupted frame is exactly
+the kind of fault a resend fixes. The checksum is an integrity hint
+against mundane corruption, not an authenticator; authenticated framing
+is the secure channel's job (:mod:`repro.osn.securechannel`).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.util.codec import CodecError, Reader, blob, u8, u32
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "ENVELOPE_OVERHEAD",
+    "WireFormatError",
+    "seal",
+    "open_envelope",
+    "peek_type",
+]
+
+MAGIC = b"SPW"
+WIRE_VERSION = 1
+
+# magic(3) + version(1) + type(1) + body length prefix(4) + crc32(4).
+ENVELOPE_OVERHEAD = len(MAGIC) + 1 + 1 + 4 + 4
+
+
+class WireFormatError(CodecError):
+    """A frame failed envelope validation (magic, version, checksum...)."""
+
+
+def seal(msg_type: int, body: bytes) -> bytes:
+    """Wrap a message body in a versioned, checksummed frame."""
+    frame = MAGIC + u8(WIRE_VERSION) + u8(msg_type) + blob(body)
+    return frame + u32(zlib.crc32(frame))
+
+
+def open_envelope(data: bytes) -> tuple[int, bytes]:
+    """Validate a frame; returns ``(msg_type, body)`` or raises
+    :class:`WireFormatError` on any malformation."""
+    reader = Reader(data)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise WireFormatError("bad magic — not a social-puzzle wire frame")
+    version = reader.u8()
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            "unsupported wire version %d (this build speaks %d)"
+            % (version, WIRE_VERSION)
+        )
+    msg_type = reader.u8()
+    body = reader.blob()
+    checksum = reader.u32()
+    reader.done()
+    if zlib.crc32(data[:-4]) != checksum:
+        raise WireFormatError("checksum mismatch — frame corrupted in transit")
+    return msg_type, body
+
+
+def peek_type(data: bytes) -> int | None:
+    """Best-effort read of the frame's message type without validating
+    the body — for labels and traces only, never for dispatch."""
+    if len(data) < len(MAGIC) + 2 or data[: len(MAGIC)] != MAGIC:
+        return None
+    return data[len(MAGIC) + 1]

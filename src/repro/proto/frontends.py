@@ -1,0 +1,110 @@
+"""Serve loops and per-substrate message frontends.
+
+:func:`serve` is the one place a serialized request becomes a serialized
+reply: decode, handle, and map *every* failure onto the wire — a frame
+that cannot be decoded answers with a transient ``bad-message`` error
+(resending an uncorrupted copy may well succeed), and handler exceptions
+become :class:`~repro.proto.messages.ErrorReply` with their taxonomy
+code. A dispatch frontend therefore never raises; bad input costs the
+caller one round trip, not the server its loop.
+
+``ProviderFrontend`` and ``StorageFrontend`` give the OSN substrates
+their ``dispatch(bytes) -> bytes`` face; the puzzle state machines live
+in :class:`~repro.proto.engine.PuzzleProtocolEngine`, which routes
+substrate-bound messages here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.runtime import count
+from repro.proto.messages import (
+    ErrorReply,
+    FetchPostRequest,
+    Message,
+    PostReply,
+    PublishPostRequest,
+    StorageBoolReply,
+    StorageDeleteRequest,
+    StorageExistsRequest,
+    StorageGetReply,
+    StorageGetRequest,
+    StoragePutReply,
+    StoragePutRequest,
+    decode_message,
+    encode_message,
+)
+from repro.util.codec import CodecError
+
+__all__ = ["serve", "ProviderFrontend", "StorageFrontend"]
+
+
+def serve(request: bytes, handler: Callable[[Message], Message]) -> bytes:
+    """Decode -> handle -> encode, never raising across the wire."""
+    try:
+        message = decode_message(request)
+    except CodecError as exc:
+        count("proto.bad_message")
+        reply: Message = ErrorReply(
+            code="bad-message", message=str(exc), transient=True
+        )
+    else:
+        try:
+            reply = handler(message)
+        except Exception as exc:
+            count("proto.error_replies")
+            reply = ErrorReply.from_exception(exc)
+    return encode_message(reply)
+
+
+class _UnroutableError(TypeError):
+    """A message type this frontend does not serve (maps to 'internal')."""
+
+
+class ProviderFrontend:
+    """Wire face of a :class:`~repro.osn.provider.ServiceProvider`:
+    profile posts and static-ACL reads."""
+
+    def __init__(self, provider):
+        self.provider = provider
+
+    def handle(self, message: Message) -> Message:
+        if isinstance(message, PublishPostRequest):
+            post = self.provider.post(
+                message.author, message.content, audience=message.audience
+            )
+            return PostReply(post=post)
+        if isinstance(message, FetchPostRequest):
+            return PostReply(
+                post=self.provider.get_post(message.viewer, message.post_id)
+            )
+        raise _UnroutableError(
+            "provider frontend cannot serve %s" % type(message).__name__
+        )
+
+    def dispatch(self, request: bytes) -> bytes:
+        return serve(request, self.handle)
+
+
+class StorageFrontend:
+    """Wire face of a :class:`~repro.osn.storage.StorageHost` (DH)."""
+
+    def __init__(self, storage):
+        self.storage = storage
+
+    def handle(self, message: Message) -> Message:
+        if isinstance(message, StoragePutRequest):
+            return StoragePutReply(url=self.storage.put(message.data))
+        if isinstance(message, StorageGetRequest):
+            return StorageGetReply(data=self.storage.get(message.url))
+        if isinstance(message, StorageExistsRequest):
+            return StorageBoolReply(value=self.storage.exists(message.url))
+        if isinstance(message, StorageDeleteRequest):
+            return StorageBoolReply(value=self.storage.delete(message.url))
+        raise _UnroutableError(
+            "storage frontend cannot serve %s" % type(message).__name__
+        )
+
+    def dispatch(self, request: bytes) -> bytes:
+        return serve(request, self.handle)

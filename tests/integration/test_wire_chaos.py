@@ -1,0 +1,194 @@
+"""Wire chaos: corrupting serialized frames between client and engine.
+
+The chaos sweep in ``test_chaos.py`` faults the *substrates* (storage,
+provider, puzzle service). This harness faults the *wire itself*: a
+:class:`~repro.osn.faults.CorruptingDispatcher` wrapped around the
+platform's protocol engine flips bits, truncates frames, and drops them
+outright — on requests and replies alike. The invariants:
+
+1. corruption is always *detected* — the envelope CRC turns a flipped or
+   truncated frame into a typed transient error (``bad-message`` on the
+   server, a decode failure on the client), never a silently corrupted
+   payload: every delivered object decrypts to exactly what was shared;
+2. every journey still ends in clean success or a typed
+   ``SocialPuzzleError``, and with fault rates < 1 plus retries, every
+   journey eventually succeeds;
+3. audit trails never see a plaintext object or context answer, even
+   with frames mangled mid-flight;
+4. every journey leaves a closed span tree with no secret leakage.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.core.context import Context
+from repro.core.errors import SocialPuzzleError
+from repro.crypto.params import TOY
+from repro.obs import Observability
+from repro.osn.faults import CorruptingDispatcher
+from repro.osn.resilience import RetryPolicy
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.timing import SimClock
+
+WIRE_CONFIGS = [
+    dict(flip=0.0, truncate=0.0, drop=0.0),  # control
+    dict(flip=0.15, truncate=0.0, drop=0.0),
+    dict(flip=0.0, truncate=0.15, drop=0.0),
+    dict(flip=0.0, truncate=0.0, drop=0.15),
+    dict(flip=0.1, truncate=0.1, drop=0.1),
+]
+MAX_JOURNEY_ATTEMPTS = 30
+
+
+def _context() -> Context:
+    return Context.from_mapping(
+        {
+            "Where was the regatta?": "Trogir",
+            "Who capsized the dinghy?": "Evangelina",
+            "What did the skipper lose?": "A compass",
+        }
+    )
+
+
+def _build_world(config: dict, seed: int):
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    metrics = ResilienceMetrics(registry=obs.registry)
+    retry = RetryPolicy(max_attempts=8, clock=clock, metrics=metrics, seed=seed)
+    platform = SocialPuzzlePlatform(
+        params=TOY, retry_policy=retry, observability=obs
+    )
+    injector = CorruptingDispatcher(
+        platform.engine,
+        flip_rate=config["flip"],
+        truncate_rate=config["truncate"],
+        drop_rate=config["drop"],
+        seed=seed + 1,
+    )
+    platform.bus.dispatcher = injector
+    return platform, injector, clock, metrics, obs
+
+
+def _run_journeys(platform, clock, construction, journeys, seed):
+    alice = platform.join("wire-sharer-%d" % seed)
+    bob = platform.join("wire-reader-%d" % seed)
+    platform.befriend(alice, bob)
+    context = _context()
+    objects = []
+
+    for journey in range(journeys):
+        obj = ("wire chaos secret #%d/%d" % (seed, journey)).encode()
+
+        share = None
+        for _ in range(MAX_JOURNEY_ATTEMPTS):
+            try:
+                share = platform.share(
+                    alice, obj, context, k=2, construction=construction
+                )
+            except SocialPuzzleError:
+                clock.advance(5.0)
+                continue
+            except BaseException as exc:  # pragma: no cover - invariant 2
+                pytest.fail("untyped exception from share: %r" % exc)
+            break
+        assert share is not None, "share never succeeded despite fault rate < 1"
+
+        result = None
+        for attempt in range(MAX_JOURNEY_ATTEMPTS):
+            try:
+                result = platform.solve(
+                    bob,
+                    share,
+                    context,
+                    construction=construction,
+                    rng=random.Random(seed * 1000 + journey * 31 + attempt)
+                    if construction == 1
+                    else None,
+                )
+            except SocialPuzzleError:
+                clock.advance(5.0)
+                continue
+            except BaseException as exc:  # pragma: no cover - invariant 2
+                pytest.fail("untyped exception from solve: %r" % exc)
+            break
+        assert result is not None, "solve never succeeded despite fault rate < 1"
+        # Invariant 1: detected-or-delivered, never silently corrupted.
+        assert result.plaintext == obj
+        objects.append(obj)
+
+    return objects
+
+
+def _assert_surveillance_resistance(platform, objects) -> None:
+    for obj in objects:
+        platform.provider.audit.assert_never_saw(obj, "shared object")
+    for pair in _context().pairs:
+        platform.provider.audit.assert_never_saw(
+            pair.answer_bytes(), "context answer"
+        )
+
+
+class TestWireChaosC1:
+    @pytest.mark.parametrize("config_index", range(len(WIRE_CONFIGS)))
+    def test_journeys_survive_frame_corruption(self, config_index):
+        config = WIRE_CONFIGS[config_index]
+        platform, injector, clock, metrics, obs = _build_world(
+            config, seed=40 + config_index
+        )
+        objects = _run_journeys(
+            platform, clock, construction=1, journeys=12, seed=40 + config_index
+        )
+        assert len(objects) == 12
+        _assert_surveillance_resistance(platform, objects)
+        secrets = list(objects) + [p.answer_bytes() for p in _context().pairs]
+        obs.assert_trace_hygiene(*secrets)
+        for root in obs.tracer.finished:
+            root.assert_complete()
+        if any(rate > 0 for rate in config.values()):
+            assert injector.faults_injected > 0, "fault rates set but none injected"
+            assert metrics.retry_count() > 0, "corruption injected but never retried"
+
+
+class TestWireChaosC2:
+    def test_journeys_survive_frame_corruption(self):
+        platform, injector, clock, metrics, _obs = _build_world(
+            WIRE_CONFIGS[4], seed=80
+        )
+        objects = _run_journeys(
+            platform, clock, construction=2, journeys=4, seed=80
+        )
+        assert len(objects) == 4
+        _assert_surveillance_resistance(platform, objects)
+        assert injector.faults_injected > 0
+
+
+class TestCorruptionTaxonomy:
+    def test_mangled_frames_surface_as_transient_errors(self):
+        """Without a retry policy, wire corruption raises the transient
+        network error directly — the taxonomy the retry layer feeds on."""
+        from repro.core.errors import TransientNetworkError
+
+        platform = SocialPuzzlePlatform(params=TOY)
+        alice = platform.join("a")
+        bob = platform.join("b")
+        platform.befriend(alice, bob)
+        platform.bus.dispatcher = CorruptingDispatcher(
+            platform.engine, flip_rate=1.0, seed=3
+        )
+        with pytest.raises(TransientNetworkError):
+            platform.share(alice, b"obj", _context(), k=2)
+
+    def test_dropped_frames_surface_as_transient_errors(self):
+        from repro.core.errors import TransientNetworkError
+
+        platform = SocialPuzzlePlatform(params=TOY)
+        alice = platform.join("a")
+        platform.bus.dispatcher = CorruptingDispatcher(
+            platform.engine, drop_rate=1.0, seed=3
+        )
+        with pytest.raises(TransientNetworkError):
+            platform.share(alice, b"obj", _context(), k=2)

@@ -1,0 +1,135 @@
+"""The message bus and the typed client: observability, audit, faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TransientNetworkError
+from repro.obs import Observability
+from repro.obs.runtime import use as use_observer
+from repro.osn.network import NetworkLink
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.proto.bus import MessageBus, wire_summary
+from repro.proto.client import ProtocolClient, RemoteServiceError
+from repro.proto.engine import PuzzleProtocolEngine
+from repro.proto.envelope import seal
+from repro.proto.messages import (
+    StoragePutRequest,
+    encode_message,
+)
+
+
+@pytest.fixture()
+def world():
+    provider = ServiceProvider()
+    storage = StorageHost()
+    engine = PuzzleProtocolEngine(provider, storage)
+    bus = MessageBus(engine, audit=provider.audit)
+    return provider, storage, engine, bus
+
+
+class TestBus:
+    def test_round_trip_through_engine(self, world):
+        provider, storage, engine, bus = world
+        client = ProtocolClient(bus)
+        url = client.storage_put(b"bus blob")
+        assert storage.get(url) == b"bus blob"
+
+    def test_every_frame_lands_in_the_audit_trail(self, world):
+        provider, storage, engine, bus = world
+        client = ProtocolClient(bus)
+        before = len(provider.audit.observed)
+        client.storage_put(b"audited")
+        # One request frame + one reply frame.
+        assert len(provider.audit.observed) == before + 2
+        request_frame = encode_message(StoragePutRequest(data=b"audited"))
+        assert request_frame in provider.audit.observed
+
+    def test_metrics_count_requests_and_sizes(self, world):
+        provider, storage, engine, bus = world
+        client = ProtocolClient(bus)
+        obs = Observability()
+        with use_observer(obs):
+            client.storage_put(b"metered")
+            client.storage_exists("dh://dh/1")
+        assert obs.registry.counter("proto.requests").value == 2
+        histogram = obs.registry.histogram("proto.msg_bytes")
+        assert histogram.count == 4  # two requests, two replies
+        # Byte-scaled buckets, not the seconds-scaled default ladder.
+        assert histogram.bounds[0] >= 1
+
+    def test_optional_link_charges_per_frame(self, world):
+        provider, storage, engine, _ = world
+        link = NetworkLink(name="wan", rtt_s=0.01, uplink_bps=1e6, downlink_bps=1e6)
+        bus = MessageBus(engine, link=link)
+        ProtocolClient(bus).storage_put(b"linked")
+        directions = [t.direction for t in link.log]
+        assert directions == ["up", "down"]
+
+    def test_plain_callable_dispatcher(self):
+        echoes = []
+
+        def echo(frame: bytes) -> bytes:
+            echoes.append(frame)
+            return frame
+
+        bus = MessageBus(echo)
+        assert bus.dispatch(b"frame") == b"frame"
+        assert echoes == [b"frame"]
+
+    def test_wire_summary(self):
+        frame = encode_message(StoragePutRequest(data=b"x"))
+        summary = wire_summary(frame)
+        assert "StoragePutRequest" in summary
+        assert str(len(frame)) in summary
+        assert wire_summary(b"junk") == "invalid (4 bytes)"
+
+
+class TestClientFailureMapping:
+    def test_corrupted_reply_raises_transient_network(self, world):
+        provider, storage, engine, _ = world
+
+        def corrupting(frame: bytes) -> bytes:
+            reply = engine.dispatch(frame)
+            return reply[:-1]  # truncate the checksum
+
+        client = ProtocolClient(MessageBus(corrupting))
+        with pytest.raises(TransientNetworkError, match="corrupted"):
+            client.storage_put(b"x")
+
+    def test_unknown_remote_failure_raises_remote_service_error(self, world):
+        provider, storage, engine, _ = world
+
+        class Exploding:
+            def put(self, data):
+                raise RuntimeError("disk full")
+
+        engine._storage_frontend.storage = Exploding()
+        client = ProtocolClient(MessageBus(engine))
+        with pytest.raises(RemoteServiceError, match="disk full"):
+            client.storage_put(b"x")
+
+    def test_unknown_reply_type_is_rejected(self):
+        client = ProtocolClient(MessageBus(lambda frame: seal(0xEE, b"")))
+        with pytest.raises(TransientNetworkError):
+            client.storage_put(b"x")
+
+    def test_retry_policy_reissues_transient_failures(self, world):
+        from repro.osn.resilience import RetryPolicy
+        from repro.sim.timing import SimClock
+
+        provider, storage, engine, _ = world
+        attempts = []
+
+        def flaky(frame: bytes) -> bytes:
+            attempts.append(frame)
+            if len(attempts) < 3:
+                return seal(0x08, b"")[:-2]  # mangled reply, twice
+            return engine.dispatch(frame)
+
+        retry = RetryPolicy(clock=SimClock(), max_attempts=5)
+        client = ProtocolClient(MessageBus(flaky), retry=retry)
+        url = client.storage_put(b"eventually")
+        assert storage.get(url) == b"eventually"
+        assert len(attempts) == 3

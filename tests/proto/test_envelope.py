@@ -1,0 +1,94 @@
+"""Envelope framing: round trips, and every malformation rejected."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.proto.envelope import (
+    ENVELOPE_OVERHEAD,
+    MAGIC,
+    WIRE_VERSION,
+    WireFormatError,
+    open_envelope,
+    peek_type,
+    seal,
+)
+from repro.util.codec import CodecError
+
+
+class TestSealOpen:
+    def test_round_trip(self):
+        frame = seal(0x42, b"hello body")
+        assert open_envelope(frame) == (0x42, b"hello body")
+
+    def test_empty_body_round_trip(self):
+        assert open_envelope(seal(0x01, b"")) == (0x01, b"")
+
+    def test_overhead_is_exact(self):
+        body = b"x" * 137
+        assert len(seal(0x05, body)) == len(body) + ENVELOPE_OVERHEAD
+
+    @given(msg_type=st.integers(0, 255), body=st.binary(max_size=512))
+    def test_round_trip_property(self, msg_type, body):
+        assert open_envelope(seal(msg_type, body)) == (msg_type, body)
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        frame = bytearray(seal(1, b"payload"))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireFormatError, match="magic"):
+            open_envelope(bytes(frame))
+
+    def test_wrong_version(self):
+        frame = bytearray(seal(1, b"payload"))
+        frame[len(MAGIC)] = WIRE_VERSION + 1
+        with pytest.raises(WireFormatError, match="version"):
+            open_envelope(bytes(frame))
+
+    def test_truncation_at_every_length(self):
+        frame = seal(7, b"some message body")
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                open_envelope(frame[:cut])
+
+    def test_every_single_bit_flip_detected(self):
+        frame = seal(7, b"bits")
+        for byte_index in range(len(frame)):
+            for bit in range(8):
+                mangled = bytearray(frame)
+                mangled[byte_index] ^= 1 << bit
+                with pytest.raises(CodecError):
+                    open_envelope(bytes(mangled))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            open_envelope(seal(1, b"payload") + b"\x00")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            open_envelope(b"not a frame at all")
+
+    @given(junk=st.binary(max_size=64))
+    def test_arbitrary_junk_never_decodes_silently(self, junk):
+        # Either it raises, or (vanishingly unlikely) it is a valid frame;
+        # it must never return garbage without the checksum matching.
+        try:
+            msg_type, body = open_envelope(junk)
+        except CodecError:
+            return
+        assert seal(msg_type, body) == junk
+
+
+class TestPeek:
+    def test_peek_reads_type(self):
+        assert peek_type(seal(0x41, b"abc")) == 0x41
+
+    def test_peek_tolerates_garbage(self):
+        assert peek_type(b"junk") is None
+        assert peek_type(b"") is None
+
+    def test_peek_tolerates_truncation_after_type(self):
+        frame = seal(0x41, b"abc")
+        assert peek_type(frame[: len(MAGIC) + 2]) == 0x41

@@ -1,0 +1,99 @@
+"""Golden wire vectors: the serialized format is a compatibility contract.
+
+Each ``.bin`` file under ``vectors/`` is a canonical frame. The test
+decodes every vector into the expected message and re-encodes it to the
+identical bytes — so an accidental change to the envelope, a field
+order, or an integer width fails here with the file name of the message
+that moved, before it silently breaks persisted or recorded traffic.
+
+Regenerating (only after a deliberate, version-bumped format change):
+
+    PYTHONPATH=src:tests python -c \
+        "from proto.test_vectors import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.osn.provider import Post, User
+from repro.proto.messages import (
+    AnswerSubmission,
+    DisplayPuzzleRequest,
+    ErrorReply,
+    FetchPostRequest,
+    PostReply,
+    PublishPostRequest,
+    RetractPuzzleRequest,
+    RetractReply,
+    StorageGetReply,
+    StoragePutRequest,
+    StoreReply,
+    decode_message,
+    encode_message,
+)
+
+VECTOR_DIR = Path(__file__).parent / "vectors"
+
+# Every vector is built from fixed values only — no RNG, no clocks.
+GOLDEN = {
+    "store_reply": StoreReply(puzzle_id=7),
+    "display_request_c2": DisplayPuzzleRequest(construction=2, puzzle_id=41),
+    "answer_submission": AnswerSubmission(
+        construction=1,
+        puzzle_id=3,
+        requester="bob",
+        digests={
+            "Where was the party held?": bytes(range(32)),
+            "Who brought the cake?": bytes(range(32, 64)),
+        },
+    ),
+    "retract_request": RetractPuzzleRequest(construction=1, puzzle_id=9),
+    "retract_reply": RetractReply(removed=True),
+    "publish_post_friends": PublishPostRequest(
+        author=User(user_id=1, name="alice"),
+        content="solve puzzle #7 to view.",
+        audience="friends",
+    ),
+    "publish_post_custom": PublishPostRequest(
+        author=User(user_id=1, name="alice"),
+        content="restricted",
+        audience=frozenset({2, 5, 8}),
+    ),
+    "fetch_post": FetchPostRequest(viewer=User(user_id=2, name="bob"), post_id=7),
+    "post_reply": PostReply(
+        post=Post(
+            post_id=7,
+            author=User(user_id=1, name="alice"),
+            content="solve puzzle #7 to view.",
+            audience="friends",
+        )
+    ),
+    "storage_put": StoragePutRequest(data=b"\x00\x01\xfe\xff encrypted blob"),
+    "storage_get_reply": StorageGetReply(data=b"ciphertext bytes"),
+    "error_reply": ErrorReply(
+        code="transient-provider", message="injected post-publish failure",
+        transient=True,
+    ),
+}
+
+
+def regenerate() -> None:
+    VECTOR_DIR.mkdir(exist_ok=True)
+    for name, message in GOLDEN.items():
+        (VECTOR_DIR / ("%s.bin" % name)).write_bytes(encode_message(message))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_vector_round_trip(name):
+    frame = (VECTOR_DIR / ("%s.bin" % name)).read_bytes()
+    message = GOLDEN[name]
+    assert decode_message(frame) == message, name
+    assert encode_message(message) == frame, name
+
+
+def test_no_orphan_vectors():
+    on_disk = {p.stem for p in VECTOR_DIR.glob("*.bin")}
+    assert on_disk == set(GOLDEN)
