@@ -1,0 +1,122 @@
+"""Quorum latency regression: the cluster vs. a single-host DH.
+
+Under `LAN_FAST`, a quorum operation fans out to `replication` replicas
+in parallel and completes with the quorum-th fastest transfer, so its
+modelled latency must stay a *small multiple* of one single-host
+transfer — never `replication` serial transfers — while physical
+storage grows by exactly the replication factor. Prints the measured
+put/get latency table and pins both properties, so a regression that
+accidentally serializes the fan-out (or double-charges payloads) fails
+here before it skews any figure.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.cluster import StorageCluster
+from repro.cluster.cluster import REPLICA_RPC_OVERHEAD
+from repro.osn.network import LAN_FAST
+from repro.sim.timing import SimClock
+
+PAYLOAD_SIZES = [256, 4 * 1024, 64 * 1024, 512 * 1024]
+ROUNDS = 20
+JITTER = 0.2
+REPLICATION = 3
+
+
+def _cluster_latencies(size: int):
+    """Per-op simulated latencies for quorum puts and gets of `size`."""
+    clock = SimClock()
+    cluster = StorageCluster(
+        num_nodes=5,
+        replication=REPLICATION,
+        clock=clock,
+        link=LAN_FAST(seed=13, jitter=JITTER),
+    )
+    puts, gets, urls = [], [], []
+    for _ in range(ROUNDS):
+        before = clock.now()
+        urls.append(cluster.put(b"\xab" * size))
+        puts.append(clock.now() - before)
+    for url in urls:
+        before = clock.now()
+        cluster.get(url)
+        gets.append(clock.now() - before)
+    return puts, gets, cluster
+
+
+def _single_host_latencies(size: int):
+    """The baseline: one transfer of `size` + RPC overhead per op."""
+    link = LAN_FAST(seed=13, jitter=JITTER)
+    puts = [
+        link.upload(size + REPLICA_RPC_OVERHEAD, "baseline put")
+        for _ in range(ROUNDS)
+    ]
+    gets = [
+        link.download(size + REPLICA_RPC_OVERHEAD, "baseline get")
+        for _ in range(ROUNDS)
+    ]
+    return puts, gets
+
+
+class TestQuorumLatency:
+    def test_quorum_costs_a_bounded_factor_over_single_host(self):
+        print()
+        print(
+            "%10s  %12s  %12s  %7s  %12s  %12s  %7s"
+            % (
+                "size",
+                "put 1-host",
+                "put quorum",
+                "ratio",
+                "get 1-host",
+                "get quorum",
+                "ratio",
+            )
+        )
+        for size in PAYLOAD_SIZES:
+            cluster_puts, cluster_gets, _ = _cluster_latencies(size)
+            single_puts, single_gets = _single_host_latencies(size)
+            put_ratio = statistics.median(cluster_puts) / statistics.median(
+                single_puts
+            )
+            get_ratio = statistics.median(cluster_gets) / statistics.median(
+                single_gets
+            )
+            print(
+                "%9dB  %10.3fms  %10.3fms  %6.2fx  %10.3fms  %10.3fms  %6.2fx"
+                % (
+                    size,
+                    statistics.median(single_puts) * 1e3,
+                    statistics.median(cluster_puts) * 1e3,
+                    put_ratio,
+                    statistics.median(single_gets) * 1e3,
+                    statistics.median(cluster_gets) * 1e3,
+                    get_ratio,
+                )
+            )
+            # Parallel fan-out: the quorum latency is the W-th (R-th)
+            # fastest of `replication` jittered transfers — bounded well
+            # below `replication` serial transfers, and at least one
+            # transfer's worth.
+            assert 0.5 <= put_ratio < REPLICATION, put_ratio
+            assert 0.5 <= get_ratio < REPLICATION, get_ratio
+
+    def test_write_amplification_is_exactly_the_replication_factor(self):
+        size = 4 * 1024
+        _, _, cluster = _cluster_latencies(size)
+        assert cluster.stored_bytes() == ROUNDS * size * REPLICATION
+
+    def test_quorum_histograms_match_operation_count(self):
+        from repro.obs import Observability
+        from repro.obs.runtime import use as use_observer
+
+        obs = Observability()
+        with use_observer(obs):
+            _cluster_latencies(1024)
+        put_h = obs.registry.histograms["cluster.put.quorum_latency_s"]
+        get_h = obs.registry.histograms["cluster.get.quorum_latency_s"]
+        assert put_h.count == ROUNDS
+        assert get_h.count == ROUNDS
+        assert put_h.max is not None and put_h.max > 0

@@ -55,6 +55,14 @@ class SocialPuzzlePlatform:
     applications, and SP-bound requests (store / post / display / verify
     / post-ACL reads) run under the same policy. Backoff advances the
     policy's simulated clock — never wall time.
+
+    Storage plane: ``cluster_nodes=N`` backs the DH with an N-node
+    :class:`~repro.cluster.cluster.StorageCluster` (quorum reads/writes,
+    read repair, hinted handoff) instead of a single ``StorageHost``;
+    passing a ready-made cluster as ``storage`` works too — anything
+    with a ``ring`` attribute gets the cluster wire frontend. The
+    platform's ``cluster`` attribute exposes the cluster (or ``None``)
+    for chaos control: ``platform.cluster.crash("dhc-n2")``.
     """
 
     def __init__(
@@ -70,10 +78,18 @@ class SocialPuzzlePlatform:
         circuit_breaker: CircuitBreaker | None = None,
         throttle_max_failures: int | None = None,
         observability: Observability | None = None,
+        cluster_nodes: int | None = None,
     ):
         self.obs = observability
         self.provider = provider if provider is not None else ServiceProvider()
+        if cluster_nodes is not None and storage is not None:
+            raise ValueError("pass either storage or cluster_nodes, not both")
+        if cluster_nodes is not None:
+            from repro.cluster import StorageCluster
+
+            storage = StorageCluster(num_nodes=cluster_nodes)
         base_storage = storage if storage is not None else StorageHost()
+        self.cluster = base_storage if hasattr(base_storage, "ring") else None
         self.retry = retry_policy
         if retry_policy is not None or circuit_breaker is not None:
             self.storage: StorageHost = ResilientStorageClient(
@@ -90,7 +106,14 @@ class SocialPuzzlePlatform:
         # ACL gate speak to the SP through the same engine and bus, so a
         # transport wrapper (or a chaos fault injector) on the bus sees
         # every SP-bound frame.
-        self.engine = PuzzleProtocolEngine(self.provider, self.storage)
+        storage_frontend = None
+        if self.cluster is not None:
+            from repro.cluster import ClusterStorageFrontend
+
+            storage_frontend = ClusterStorageFrontend(self.storage)
+        self.engine = PuzzleProtocolEngine(
+            self.provider, self.storage, storage_frontend=storage_frontend
+        )
         self.bus = MessageBus(self.engine, audit=self.provider.audit)
         self._client = ProtocolClient(self.bus, retry=retry_policy)
         self.app_c1 = SocialPuzzleAppC1(

@@ -119,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="transient-fault probability per substrate call (wires retries)",
         )
         observed.add_argument("--params", default="small", help="pairing preset")
+        observed.add_argument(
+            "--cluster-nodes", type=int, default=None, metavar="N",
+            help="back the DH with an N-node quorum storage cluster "
+            "(cluster.* metrics appear in the output)",
+        )
 
     return parser
 
@@ -373,6 +378,7 @@ def _observed_journeys(args):
     clock = SimClock()
     obs = Observability(clock=clock)
     substrates = {}
+    cluster_nodes = getattr(args, "cluster_nodes", None)
     if args.fault_rate > 0:
         from repro.osn.faults import FlakyServiceProvider, FlakyStorageHost
 
@@ -381,10 +387,24 @@ def _observed_journeys(args):
             read_failure_rate=args.fault_rate,
             seed=args.seed,
         )
-        substrates["storage"] = FlakyStorageHost(
-            put_failure_rate=args.fault_rate,
-            get_failure_rate=args.fault_rate,
-            seed=args.seed + 1,
+        if cluster_nodes is None:
+            substrates["storage"] = FlakyStorageHost(
+                put_failure_rate=args.fault_rate,
+                get_failure_rate=args.fault_rate,
+                seed=args.seed + 1,
+            )
+    if cluster_nodes is not None:
+        from repro.cluster import StorageCluster, flaky_node_factory
+
+        factory = None
+        if args.fault_rate > 0:
+            factory = flaky_node_factory(
+                store_failure_rate=args.fault_rate,
+                fetch_failure_rate=args.fault_rate,
+                seed=args.seed + 1,
+            )
+        substrates["storage"] = StorageCluster(
+            num_nodes=cluster_nodes, clock=clock, node_factory=factory
         )
     retry = RetryPolicy(
         clock=clock, seed=args.seed, metrics=ResilienceMetrics(registry=obs.registry)

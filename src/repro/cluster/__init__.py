@@ -1,0 +1,44 @@
+"""``repro.cluster`` — the sharded, replicated data-host plane.
+
+The paper's DH is "logically separate from the SP — possibly a third
+party such as Dropbox" (section IV-A). This package grows that single
+logical host into a cluster of mutually-untrusted storage nodes with
+Dynamo-style mechanics, while presenting the exact single-host
+``put/get/exists/delete/tamper`` surface the rest of the system (apps,
+wire protocol, resilience layer) already speaks:
+
+* :class:`~repro.cluster.ring.HashRing` — consistent hashing with
+  virtual nodes; deterministic placement and incremental rebalancing.
+* :class:`~repro.cluster.node.ClusterNode` — the unit of failure and of
+  audit: versioned replicas, crash/recover, hint holding, and a
+  per-node :class:`~repro.osn.storage.AuditTrail`.
+* :class:`~repro.cluster.cluster.StorageCluster` — the coordinator:
+  W/R quorum writes and reads, read repair, hinted handoff, tombstoned
+  deletes, join/decommission rebalancing, quorum-latency accounting.
+* :class:`~repro.cluster.frontend.ClusterStorageFrontend` — the wire
+  face, speaking the same envelope and message types as a single host.
+* :mod:`repro.cluster.faults` — seeded flaky nodes for the chaos
+  harness.
+
+Everything runs on the repository's simulated substrate — ``SimClock``,
+``NetworkLink`` cost model, seeded RNGs — so cluster chaos journeys are
+exactly reproducible.
+"""
+
+from repro.cluster.cluster import ClusterAuditView, StorageCluster
+from repro.cluster.faults import FlakyClusterNode, flaky_node_factory
+from repro.cluster.frontend import ClusterStorageFrontend
+from repro.cluster.node import ClusterNode, NodeDownError, VersionedBlob
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "HashRing",
+    "ClusterNode",
+    "NodeDownError",
+    "VersionedBlob",
+    "StorageCluster",
+    "ClusterAuditView",
+    "ClusterStorageFrontend",
+    "FlakyClusterNode",
+    "flaky_node_factory",
+]

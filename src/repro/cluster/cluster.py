@@ -1,0 +1,521 @@
+"""The replicated DH: quorum reads/writes over a consistent-hash ring.
+
+:class:`StorageCluster` presents the exact ``put/get/exists/delete/
+tamper`` surface of a single :class:`~repro.osn.storage.StorageHost`,
+but backs it with ``num_nodes`` mutually-untrusted
+:class:`~repro.cluster.node.ClusterNode` members:
+
+* **placement** — every URL lands on a consistent-hash ring
+  (:class:`~repro.cluster.ring.HashRing`); its ``replication`` natural
+  replicas are the first distinct nodes clockwise of its token;
+* **quorum writes** — a put is acknowledged once ``write_quorum``
+  replicas hold the versioned blob; with a natural replica down, the
+  write slides to the next live node on the ring as a *hinted handoff*
+  (sloppy quorum), so availability degrades only when fewer than
+  ``write_quorum`` nodes are alive in the whole cluster;
+* **quorum reads** — a get consults ``read_quorum`` live nodes in ring
+  order and returns the winning replica (highest version, then most
+  votes, then first responder); **read repair** pushes the winner back
+  onto every stale, missing or divergent replica it saw;
+* **deletes** — tombstones, so a replica that missed the delete cannot
+  resurrect the object;
+* **membership** — :meth:`join_node` / :meth:`decommission_node`
+  recompute the ring and move exactly the keys whose preference lists
+  changed, deterministically.
+
+The coordinator is client-side routing logic (a Dynamo-style smart
+client): it never stores object bytes itself, and every byte a member
+node handles — natural replica, hint holder, or repair target — lands
+in that node's own audit trail, keeping the paper's per-host
+surveillance-resistance claim checkable node by node.
+
+Requiring ``read_quorum + write_quorum > replication`` makes a read
+quorum always intersect the latest write quorum, which is what lets the
+version comparison (rather than wall clocks) decide freshness.
+
+Timing is modelled, never real: with a ``link``, each replica transfer
+is charged to the :class:`~repro.osn.network.NetworkLink` and the
+*quorum latency* — the delay of the slowest transfer inside the quorum,
+since replicas are contacted in parallel — is recorded as a histogram
+and advanced on the ``clock``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cluster.node import ClusterNode, VersionedBlob
+from repro.cluster.ring import HashRing
+from repro.obs.runtime import count, maybe_span, observe
+from repro.osn.faults import TransientStorageError
+from repro.osn.network import NetworkLink
+from repro.osn.storage import StorageError
+from repro.sim.timing import SimClock
+
+__all__ = ["StorageCluster", "ClusterAuditView", "REPLICA_RPC_OVERHEAD"]
+
+# Per-replica RPC framing (mirrors the wire envelope's fixed cost): what
+# a replica transfer costs on the link beyond the payload itself.
+REPLICA_RPC_OVERHEAD = 13
+
+# Latency-shaped histogram bounds for quorum latencies (seconds).
+_LATENCY_BOUNDS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+class ClusterAuditView:
+    """The union of every member node's audit trail.
+
+    ``assert_never_saw`` checks each node *individually*, naming the
+    offender — the property must hold per host, not just in aggregate.
+    """
+
+    def __init__(self, cluster: "StorageCluster"):
+        self._cluster = cluster
+
+    def saw(self, needle: bytes) -> bool:
+        return any(n.audit.saw(needle) for n in self._cluster.nodes)
+
+    def assert_never_saw(self, needle: bytes, label: str = "secret") -> None:
+        for node in self._cluster.nodes:
+            node.audit.assert_never_saw(needle, "%s (node %s)" % (label, node.name))
+
+
+class StorageCluster:
+    """A sharded, replicated drop-in for a single ``StorageHost``."""
+
+    def __init__(
+        self,
+        num_nodes: int = 5,
+        replication: int | None = None,
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
+        name: str = "dhc",
+        vnodes: int = 64,
+        clock: SimClock | None = None,
+        link: NetworkLink | None = None,
+        node_factory=None,
+        max_audit_entries: int | None = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        # Unset knobs derive from cluster size: 3-way replication where
+        # the membership allows it, majority quorums over the replicas.
+        if replication is None:
+            replication = min(3, num_nodes)
+        if write_quorum is None:
+            write_quorum = replication // 2 + 1
+        if read_quorum is None:
+            read_quorum = replication // 2 + 1
+        if not 1 <= replication <= num_nodes:
+            raise ValueError(
+                "replication must be in [1, num_nodes], got %d over %d nodes"
+                % (replication, num_nodes)
+            )
+        if not 1 <= write_quorum <= replication:
+            raise ValueError("write quorum must be in [1, replication]")
+        if not 1 <= read_quorum <= replication:
+            raise ValueError("read quorum must be in [1, replication]")
+        if read_quorum + write_quorum <= replication:
+            raise ValueError(
+                "need R + W > replication for quorum intersection "
+                "(got R=%d, W=%d, replication=%d)"
+                % (read_quorum, write_quorum, replication)
+            )
+        self.name = name
+        self.replication = replication
+        self.write_quorum = write_quorum
+        self.read_quorum = read_quorum
+        self.clock = clock
+        self.link = link
+        if node_factory is None:
+            def node_factory(node_name: str) -> ClusterNode:
+                return ClusterNode(node_name, max_audit_entries=max_audit_entries)
+        self._node_factory = node_factory
+        self._nodes: dict[str, ClusterNode] = {}
+        self.ring = HashRing(vnodes=vnodes)
+        for index in range(num_nodes):
+            self._admit("%s-n%d" % (name, index))
+        self._serial = itertools.count(1)
+        self._versions = itertools.count(1)
+        self.audit = ClusterAuditView(self)
+        self._frontend = None
+
+    def _admit(self, node_name: str) -> ClusterNode:
+        node = self._node_factory(node_name)
+        self._nodes[node_name] = node
+        self.ring.add(node_name)
+        return node
+
+    # -- membership & introspection ----------------------------------------------
+
+    @property
+    def nodes(self) -> list[ClusterNode]:
+        """Member nodes, sorted by name."""
+        return [self._nodes[n] for n in sorted(self._nodes)]
+
+    def node(self, name: str) -> ClusterNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ValueError("no cluster node named %r" % name) from None
+
+    def live_nodes(self) -> list[ClusterNode]:
+        return [n for n in self.nodes if n.up]
+
+    def replica_nodes(self, url: str) -> list[ClusterNode]:
+        """The natural replica set for ``url``, in ring order."""
+        return [
+            self._nodes[n]
+            for n in self.ring.preference_list(url, self.replication)
+        ]
+
+    # -- failure control ---------------------------------------------------------
+
+    def crash(self, node_name: str) -> None:
+        self.node(node_name).crash()
+        count("cluster.crashes")
+
+    def recover(self, node_name: str) -> int:
+        """Bring a node back and replay every hint held for it elsewhere.
+
+        Returns the number of hinted replicas delivered home.
+        """
+        target = self.node(node_name)
+        target.recover()
+        replayed = 0
+        for holder in self.live_nodes():
+            if holder is target:
+                continue
+            for key, blob in holder.take_hints(node_name):
+                target.store(key, blob)
+                replayed += 1
+        count("cluster.hinted_handoff.replayed", replayed)
+        return replayed
+
+    # -- the StorageHost surface -------------------------------------------------
+
+    def put(self, data: bytes) -> str:
+        """Store an encrypted object on ``write_quorum`` replicas;
+        returns its public URL_O. Raises a retryable
+        :class:`~repro.osn.faults.TransientStorageError` when the quorum
+        is unreachable."""
+        with maybe_span("cluster.put", num_bytes=len(data)):
+            url = "dh://%s/%d" % (self.name, next(self._serial))
+            blob = VersionedBlob(next(self._versions), bytes(data))
+            acks, delays = self._replicate(url, blob)
+            if acks < self.write_quorum:
+                raise TransientStorageError(
+                    "write quorum unreachable for %s: %d/%d replicas stored"
+                    % (url, acks, self.write_quorum)
+                )
+            count("cluster.put.calls")
+            count("cluster.put.bytes", len(data))
+            self._charge_quorum("cluster.put.quorum_latency_s", delays, self.write_quorum)
+            return url
+
+    def get(self, url: str) -> bytes:
+        """Quorum read: the winning replica's bytes, after read repair.
+
+        A URL no live replica knows is a permanent
+        :class:`~repro.osn.storage.StorageError`; an unreachable read
+        quorum is a transient one.
+        """
+        with maybe_span("cluster.get"):
+            winner, delays = self._quorum_read(url, charge_payload=True)
+            if winner is None or winner.tombstone:
+                raise StorageError("no object at %s" % url)
+            count("cluster.get.calls")
+            count("cluster.get.bytes", len(winner.data))
+            self._charge_quorum("cluster.get.quorum_latency_s", delays, self.read_quorum)
+            return winner.data
+
+    def exists(self, url: str) -> bool:
+        with maybe_span("cluster.exists"):
+            count("cluster.exists.calls")
+            winner, delays = self._quorum_read(url, charge_payload=False)
+            self._charge_quorum("cluster.get.quorum_latency_s", delays, self.read_quorum)
+            return winner is not None and not winner.tombstone
+
+    def delete(self, url: str) -> bool:
+        """Idempotent quorum delete via tombstone; returns whether a live
+        object was found to delete (the atomic-share rollback reads
+        this). A replica that was down for the delete learns of it from
+        the tombstone during read repair or hint replay."""
+        with maybe_span("cluster.delete"):
+            count("cluster.delete.calls")
+            winner, _ = self._quorum_read(url, charge_payload=False)
+            if winner is None:
+                return False
+            existed = not winner.tombstone
+            tombstone = VersionedBlob(next(self._versions), None)
+            acks, delays = self._replicate(url, tombstone)
+            if acks < self.write_quorum:
+                raise TransientStorageError(
+                    "write quorum unreachable deleting %s: %d/%d tombstones stored"
+                    % (url, acks, self.write_quorum)
+                )
+            self._charge_quorum(
+                "cluster.put.quorum_latency_s", delays, self.write_quorum
+            )
+            return existed
+
+    def tamper(self, url: str, new_data: bytes, replicas: int | None = None) -> None:
+        """Malicious-DH action: corrupt up to ``replicas`` replicas in
+        place (all of them by default, matching the single-host
+        semantics; ``replicas=1`` models a single rogue node whose
+        divergence read repair must heal)."""
+        tampered = 0
+        for node_name in self.ring.walk(url):
+            if replicas is not None and tampered >= replicas:
+                break
+            node = self._nodes[node_name]
+            if node.has_value(url):
+                node.tamper(url, new_data)
+                tampered += 1
+        if tampered == 0:
+            raise StorageError("no object at %s" % url)
+
+    def object_count(self) -> int:
+        """Distinct live logical objects across the cluster (a key whose
+        newest replica is a tombstone is deleted, whatever stale copies
+        linger)."""
+        best: dict[str, VersionedBlob] = {}
+        for node in self.nodes:
+            for key in node.keys():
+                blob = node.replica(key)
+                current = best.get(key)
+                if current is None or blob.version > current.version:
+                    best[key] = blob
+        return sum(1 for blob in best.values() if not blob.tombstone)
+
+    def stored_bytes(self) -> int:
+        """Physical bytes across all replicas (capacity, not logical size)."""
+        return sum(node.stored_bytes() for node in self.nodes)
+
+    def dispatch(self, request: bytes) -> bytes:
+        """Serve one serialized storage request (see :mod:`repro.proto`)
+        through the cluster's wire face."""
+        if self._frontend is None:
+            from repro.cluster.frontend import ClusterStorageFrontend
+
+            self._frontend = ClusterStorageFrontend(self)
+        return self._frontend.dispatch(request)
+
+    # -- replication & quorum internals --------------------------------------------
+
+    def _replicate(self, url: str, blob: VersionedBlob) -> tuple[int, list[float]]:
+        """Write ``blob`` toward the natural replicas, sliding each
+        unreachable target to the next live ring node as a hinted
+        handoff. Returns (acks, per-replica link delays)."""
+        natural = self.ring.preference_list(url, self.replication)
+        stand_ins = (
+            n for n in self.ring.walk(url)
+            if n not in natural and self._nodes[n].up
+        )
+        acks = 0
+        delays: list[float] = []
+        for target in natural:
+            stored_on = None
+            node = self._nodes[target]
+            if node.up:
+                try:
+                    node.store(url, blob)
+                    stored_on = node
+                except TransientStorageError:
+                    stored_on = None
+            if stored_on is None:
+                for holder_name in stand_ins:
+                    holder = self._nodes[holder_name]
+                    try:
+                        holder.store(url, blob, hint_for=target)
+                    except TransientStorageError:
+                        continue
+                    stored_on = holder
+                    count("cluster.hinted_handoff.stored")
+                    break
+            if stored_on is not None:
+                acks += 1
+                if self.link is not None:
+                    size = len(blob.data) if blob.data is not None else 0
+                    delays.append(
+                        self.link.upload(
+                            size + REPLICA_RPC_OVERHEAD,
+                            "replicate %s -> %s" % (url, stored_on.name),
+                        )
+                    )
+        return acks, delays
+
+    def _quorum_read(
+        self, url: str, charge_payload: bool
+    ) -> tuple[VersionedBlob | None, list[float]]:
+        """Consult ``read_quorum`` live nodes in ring order; pick the
+        winner by (version, votes, first responder) and repair every
+        divergent, stale or missing replica consulted. Returns
+        ``(winner-or-None, per-replica link delays)``.
+
+        When every quorum reply is empty the walk keeps extending to the
+        remaining live nodes before concluding the object is gone: a
+        sloppy write that slid past faulting natural replicas may have
+        landed wholly on stand-ins, and only an exhausted walk separates
+        "misplaced" from "missing". Read repair then re-homes whatever
+        the long walk found."""
+        replies: list[tuple[ClusterNode, VersionedBlob | None]] = []
+        delays: list[float] = []
+        unreachable = 0
+        for node_name in self.ring.walk(url):
+            if len(replies) >= self.read_quorum and any(
+                blob is not None for _, blob in replies
+            ):
+                break
+            node = self._nodes[node_name]
+            if not node.up:
+                unreachable += 1
+                continue
+            try:
+                blob = node.fetch(url)
+            except TransientStorageError:
+                unreachable += 1
+                continue
+            replies.append((node, blob))
+            if self.link is not None:
+                size = (
+                    len(blob.data)
+                    if charge_payload and blob is not None and blob.data is not None
+                    else 0
+                )
+                delays.append(
+                    self.link.download(
+                        size + REPLICA_RPC_OVERHEAD,
+                        "read %s <- %s" % (url, node.name),
+                    )
+                )
+        if len(replies) < self.read_quorum:
+            raise TransientStorageError(
+                "read quorum unreachable for %s: %d/%d replies"
+                % (url, len(replies), self.read_quorum)
+            )
+        winner = self._winner(replies)
+        if winner is None and unreachable:
+            # Every consulted replica was empty but some node never
+            # answered (down or faulted): the object may live exactly
+            # there, so "missing" is unproven — fail retryably rather
+            # than report a permanent absence.
+            raise TransientStorageError(
+                "inconclusive read for %s: no replica found, %d nodes unreachable"
+                % (url, unreachable)
+            )
+        if winner is not None:
+            self._read_repair(url, winner, replies)
+        return winner, delays
+
+    @staticmethod
+    def _winner(
+        replies: list[tuple[ClusterNode, VersionedBlob | None]],
+    ) -> VersionedBlob | None:
+        """Highest version wins; among equal versions (a tampered
+        replica diverges *in value*), the most-voted value wins, then
+        the earliest responder — all deterministic."""
+        groups: dict[tuple[int, bytes | None], list[int]] = {}
+        for index, (_, blob) in enumerate(replies):
+            if blob is not None:
+                groups.setdefault((blob.version, blob.data), []).append(index)
+        if not groups:
+            return None
+        best = max(
+            groups.items(), key=lambda item: (item[0][0], len(item[1]), -min(item[1]))
+        )
+        version, data = best[0]
+        return VersionedBlob(version, data)
+
+    def _read_repair(
+        self,
+        url: str,
+        winner: VersionedBlob,
+        replies: list[tuple[ClusterNode, VersionedBlob | None]],
+    ) -> None:
+        for node, blob in replies:
+            if blob is not None and blob == winner:
+                continue
+            if node.store(url, winner, force=True):
+                count("cluster.read_repair.repairs")
+
+    def _charge_quorum(self, metric: str, delays: list[float], quorum: int) -> None:
+        """Record the quorum latency: replicas are contacted in
+        parallel, so the operation completes with the ``quorum``-th
+        fastest reply."""
+        if self.link is None or len(delays) < quorum:
+            return
+        latency = sorted(delays)[quorum - 1]
+        observe(metric, latency, _LATENCY_BOUNDS)
+        if self.clock is not None:
+            self.clock.advance(latency)
+
+    # -- membership changes ------------------------------------------------------
+
+    def join_node(self, node_name: str | None = None) -> ClusterNode:
+        """Add a node and move exactly the keys whose preference lists
+        now include it (deterministic incremental rebalance)."""
+        if node_name is None:
+            node_name = "%s-n%d" % (self.name, len(self._nodes))
+        if node_name in self._nodes:
+            raise ValueError("node %r already in the cluster" % node_name)
+        with maybe_span("cluster.rebalance", joining=node_name):
+            node = self._admit(node_name)
+            moved = self._rebalance()
+            count("cluster.rebalance.moved", moved)
+            return node
+
+    def decommission_node(self, node_name: str) -> int:
+        """Remove a node, first re-homing every key it was a natural
+        replica for. Returns the number of replicas moved. Refuses to
+        drop below the replication factor."""
+        node = self.node(node_name)
+        if len(self._nodes) - 1 < self.replication:
+            raise ValueError(
+                "cannot decommission %s: %d nodes cannot hold %d replicas"
+                % (node_name, len(self._nodes) - 1, self.replication)
+            )
+        with maybe_span("cluster.rebalance", leaving=node_name):
+            self.ring.remove(node_name)
+            moved = self._rebalance()
+            count("cluster.rebalance.moved", moved)
+            del self._nodes[node_name]
+            node.crash()  # any straggling reference sees a dead node
+            return moved
+
+    def _rebalance(self) -> int:
+        """Re-home replicas onto each key's current natural nodes.
+
+        Copies the highest-version replica of every key onto natural
+        nodes missing it, then drops replicas from live nodes that are
+        neither natural homes nor hint holders. Down nodes are left
+        untouched — read repair and hint replay reconcile them later.
+        """
+        latest: dict[str, VersionedBlob] = {}
+        for node in self.nodes:
+            if not node.up:
+                continue
+            for key in node.keys():
+                blob = node.replica(key)
+                current = latest.get(key)
+                if current is None or blob.version > current.version:
+                    latest[key] = blob
+        moved = 0
+        for key in sorted(latest):
+            blob = latest[key]
+            natural = set(self.ring.preference_list(key, self.replication))
+            for name in natural:
+                target = self._nodes[name]
+                if target.up and target.replica(key) is None:
+                    target.store(key, blob)
+                    moved += 1
+            for node in self.nodes:
+                if node.name in natural or not node.up:
+                    continue
+                if node.name not in self.ring:
+                    continue
+                if key in node.hinted:
+                    continue  # held for a crashed peer; replay owns it
+                if node.replica(key) is not None:
+                    node.discard(key)
+        return moved

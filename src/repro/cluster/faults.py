@@ -1,0 +1,91 @@
+"""Seeded fault injection for the storage cluster.
+
+The chaos harness needs the same discipline the single-host injectors
+follow (:mod:`repro.osn.faults`): every fault is drawn from a seeded
+RNG, injected *before* the wrapped operation mutates anything, and
+surfaces as the typed transient error the resilience taxonomy already
+classifies — so a faulted cluster journey is exactly reproducible and
+every failure is retryable by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.node import ClusterNode, VersionedBlob
+from repro.cluster.ring import ring_hash
+from repro.osn.faults import TransientStorageError
+
+__all__ = ["FlakyClusterNode", "flaky_node_factory"]
+
+
+class FlakyClusterNode(ClusterNode):
+    """A cluster node with seeded transient store/fetch failures.
+
+    A failed store never lands the replica (the coordinator slides the
+    write to a stand-in, exactly as it would for a crashed node); a
+    failed fetch makes the coordinator consult the next replica in ring
+    order — quorum reads tolerate it for free.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store_failure_rate: float = 0.0,
+        fetch_failure_rate: float = 0.0,
+        seed: int = 0,
+        max_audit_entries: int | None = None,
+    ):
+        super().__init__(name, max_audit_entries=max_audit_entries)
+        for rate in (store_failure_rate, fetch_failure_rate):
+            if not 0 <= rate <= 1:
+                raise ValueError("failure rates must be in [0, 1]")
+        self.store_failure_rate = store_failure_rate
+        self.fetch_failure_rate = fetch_failure_rate
+        self._rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def store(
+        self,
+        key: str,
+        blob: VersionedBlob,
+        hint_for: str | None = None,
+        force: bool = False,
+    ) -> bool:
+        if self.up and self._rng.random() < self.store_failure_rate:
+            self.faults_injected += 1
+            raise TransientStorageError(
+                "injected store failure on %s" % self.name
+            )
+        return super().store(key, blob, hint_for=hint_for, force=force)
+
+    def fetch(self, key: str) -> VersionedBlob | None:
+        if self.up and self._rng.random() < self.fetch_failure_rate:
+            self.faults_injected += 1
+            raise TransientStorageError(
+                "injected fetch failure on %s" % self.name
+            )
+        return super().fetch(key)
+
+
+def flaky_node_factory(
+    store_failure_rate: float = 0.0,
+    fetch_failure_rate: float = 0.0,
+    seed: int = 0,
+    max_audit_entries: int | None = None,
+):
+    """A ``node_factory`` for :class:`~repro.cluster.cluster.StorageCluster`
+    building seeded flaky nodes; each node's RNG is derived from the base
+    seed and its name, so membership order cannot perturb the fault
+    sequence."""
+
+    def factory(name: str) -> FlakyClusterNode:
+        return FlakyClusterNode(
+            name,
+            store_failure_rate=store_failure_rate,
+            fetch_failure_rate=fetch_failure_rate,
+            seed=seed ^ (ring_hash(name) & 0x7FFFFFFF),
+            max_audit_entries=max_audit_entries,
+        )
+
+    return factory

@@ -1,0 +1,33 @@
+"""The cluster's wire face: the PR-3 envelope over quorum storage.
+
+A :class:`ClusterStorageFrontend` serves exactly the four storage
+messages a single-host :class:`~repro.proto.frontends.StorageFrontend`
+serves — same envelope, same message types, same
+:class:`~repro.proto.messages.ErrorReply` taxonomy — so a
+:class:`~repro.proto.client.ProtocolClient` or
+:class:`~repro.osn.resilience.ResilientStorageClient` cannot tell (and
+must not care) whether the DH behind the bus is one host or a quorum
+cluster. Cluster-induced failures surface through the existing codes:
+an unreachable quorum is a retryable ``transient-storage`` error, a
+genuinely unknown URL a permanent ``storage`` one.
+"""
+
+from __future__ import annotations
+
+from repro.obs.runtime import count
+from repro.proto.frontends import StorageFrontend
+from repro.proto.messages import Message
+
+__all__ = ["ClusterStorageFrontend"]
+
+
+class ClusterStorageFrontend(StorageFrontend):
+    """Wire face of a :class:`~repro.cluster.cluster.StorageCluster`."""
+
+    def __init__(self, cluster):
+        super().__init__(cluster)
+        self.cluster = cluster
+
+    def handle(self, message: Message) -> Message:
+        count("cluster.frontend.requests")
+        return super().handle(message)

@@ -1,0 +1,171 @@
+"""One storage node of the replicated DH cluster.
+
+A :class:`ClusterNode` is the unit of failure and the unit of audit: it
+holds versioned replicas for the portion of the ring it owns, can crash
+and recover, and records every byte it handles in its *own*
+:class:`~repro.osn.storage.AuditTrail` — the paper's surveillance-
+resistance property must hold for each cluster member individually,
+because the nodes are mutually untrusted (a hint holder is every bit as
+curious as a natural replica).
+
+Replicas are :class:`VersionedBlob` records: the coordinator stamps a
+monotonically increasing version on every logical write, which is what
+lets read repair order divergent replicas and lets tombstones win over
+the values they deleted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.runtime import count
+from repro.osn.faults import TransientStorageError
+from repro.osn.storage import AuditTrail, StorageError
+
+__all__ = ["VersionedBlob", "ClusterNode", "NodeDownError"]
+
+
+class NodeDownError(TransientStorageError):
+    """The node is crashed/partitioned: transient, the quorum routes on."""
+
+
+@dataclass(frozen=True)
+class VersionedBlob:
+    """One replica: coordinator-stamped version + payload.
+
+    ``data is None`` marks a tombstone — the versioned record of a
+    delete, kept so a replica that missed the delete cannot resurrect
+    the object during read repair.
+    """
+
+    version: int
+    data: bytes | None
+
+    @property
+    def tombstone(self) -> bool:
+        return self.data is None
+
+
+class ClusterNode:
+    """A crashable key -> :class:`VersionedBlob` store with its own audit.
+
+    ``hinted`` maps keys this node holds *on behalf of* a crashed peer
+    (sloppy-quorum writes) to that peer's name; the coordinator replays
+    and clears them when the peer recovers.
+    """
+
+    def __init__(self, name: str, max_audit_entries: int | None = None):
+        self.name = name
+        self.audit = AuditTrail(max_entries=max_audit_entries)
+        self.up = True
+        self.hinted: dict[str, str] = {}
+        self._blobs: dict[str, VersionedBlob] = {}
+        self.stores = 0
+        self.fetches = 0
+
+    # -- failure control ---------------------------------------------------------
+
+    def crash(self) -> None:
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+
+    def _require_up(self, verb: str) -> None:
+        if not self.up:
+            raise NodeDownError("node %s is down (%s)" % (self.name, verb))
+
+    # -- replica operations ------------------------------------------------------
+
+    def store(
+        self,
+        key: str,
+        blob: VersionedBlob,
+        hint_for: str | None = None,
+        force: bool = False,
+    ) -> bool:
+        """Accept a replica; an older version never overwrites a newer one.
+
+        ``hint_for`` marks a sloppy-quorum write held for a crashed peer.
+        ``force`` lets read repair replace an *equal-version* replica
+        whose bytes diverge (tampering); even forced, a strictly newer
+        local version is never rolled back. Returns whether the replica
+        changed. The bytes are audited either way: a hint holder
+        observes exactly what a natural replica would.
+        """
+        self._require_up("store")
+        current = self._blobs.get(key)
+        if current is not None:
+            if force:
+                if current.version > blob.version or current == blob:
+                    return False
+            elif current.version >= blob.version:
+                return False
+        if blob.data is not None:
+            self.audit.record(blob.data)
+        self._blobs[key] = blob
+        if hint_for is not None:
+            self.hinted[key] = hint_for
+        self.stores += 1
+        count("cluster.node.store")
+        count("cluster.node.%s.stores" % self.name)
+        return True
+
+    def fetch(self, key: str) -> VersionedBlob | None:
+        """The replica for ``key``, or ``None`` when this node has none."""
+        self._require_up("fetch")
+        self.fetches += 1
+        count("cluster.node.fetch")
+        count("cluster.node.%s.fetches" % self.name)
+        return self._blobs.get(key)
+
+    def discard(self, key: str) -> None:
+        """Drop a replica outright (handoff completion, rebalance moves,
+        or a simulated disk loss in tests) — not a logical delete, which
+        is a tombstone written through :meth:`store`."""
+        self._blobs.pop(key, None)
+        self.hinted.pop(key, None)
+
+    def take_hints(self, target: str) -> list[tuple[str, VersionedBlob]]:
+        """Remove and return every hinted replica held for ``target``."""
+        keys = [k for k, holder_for in self.hinted.items() if holder_for == target]
+        taken: list[tuple[str, VersionedBlob]] = []
+        for key in keys:
+            blob = self._blobs.get(key)
+            if blob is not None:
+                taken.append((key, blob))
+            self.discard(key)
+        return taken
+
+    # -- malicious-DH surface ----------------------------------------------------
+
+    def tamper(self, key: str, new_data: bytes) -> None:
+        """Section VI-B malicious action: swap the payload in place,
+        keeping the version — exactly the divergence read repair must
+        detect by value, not by version."""
+        current = self._blobs.get(key)
+        if current is None or current.tombstone:
+            raise StorageError("node %s holds no object at %s" % (self.name, key))
+        self._blobs[key] = VersionedBlob(current.version, bytes(new_data))
+
+    # -- accounting --------------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        return sorted(self._blobs)
+
+    def has_value(self, key: str) -> bool:
+        """Whether this node holds a live (non-tombstone) replica,
+        regardless of up/down state — test/rebalance introspection, not
+        a quorum read."""
+        blob = self._blobs.get(key)
+        return blob is not None and not blob.tombstone
+
+    def replica(self, key: str) -> VersionedBlob | None:
+        """Direct replica peek for tests and rebalancing (no up check)."""
+        return self._blobs.get(key)
+
+    def object_count(self) -> int:
+        return sum(1 for b in self._blobs.values() if not b.tombstone)
+
+    def stored_bytes(self) -> int:
+        return sum(len(b.data) for b in self._blobs.values() if b.data is not None)

@@ -1,0 +1,118 @@
+"""Consistent-hash ring with virtual nodes.
+
+The cluster places every object URL on a fixed 64-bit hash ring. Each
+physical node owns ``vnodes`` evenly-scattered tokens (virtual nodes),
+so load spreads statistically even with a handful of hosts and a
+join/leave only moves the keys adjacent to the arriving/departing
+tokens — the property that makes rebalancing incremental instead of a
+full reshuffle.
+
+Everything here is deterministic: tokens are SHA-256 prefixes of
+``"<node>#<vnode>"`` labels, so the same membership always yields the
+same ring, the same preference lists, and therefore byte-identical
+chaos journeys under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+__all__ = ["HashRing", "ring_hash"]
+
+
+def ring_hash(label: str) -> int:
+    """A point on the 64-bit ring for ``label`` (stable across runs)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Maps keys to an ordered walk over distinct nodes.
+
+    ``preference_list(key, n)`` returns the first ``n`` distinct nodes
+    clockwise from the key's ring position — the natural home for the
+    key's ``n`` replicas. ``walk(key)`` extends the same order over the
+    whole membership, which is what sloppy quorums use to find stand-in
+    nodes when a natural replica is down.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        self._tokens: list[int] = []
+        self._owners: dict[int, str] = {}
+        for name in nodes:
+            self.add(name)
+
+    @property
+    def members(self) -> list[str]:
+        """Current membership, sorted by name (not ring position)."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def add(self, name: str) -> None:
+        """Join ``name``: insert its virtual-node tokens into the ring."""
+        if name in self._members:
+            raise ValueError("node %r is already on the ring" % name)
+        self._members.add(name)
+        for index in range(self.vnodes):
+            token = ring_hash("%s#%d" % (name, index))
+            if token in self._owners:  # pragma: no cover - 2^-64 per pair
+                raise ValueError("token collision on %r" % name)
+            bisect.insort(self._tokens, token)
+            self._owners[token] = name
+
+    def remove(self, name: str) -> None:
+        """Leave ``name``: drop its tokens; neighbours absorb its keys."""
+        if name not in self._members:
+            raise ValueError("node %r is not on the ring" % name)
+        self._members.discard(name)
+        dead = [t for t, owner in self._owners.items() if owner == name]
+        for token in dead:
+            del self._owners[token]
+            self._tokens.remove(token)
+
+    def walk(self, key: str) -> Iterator[str]:
+        """All distinct nodes in ring order, starting at ``key``'s token."""
+        if not self._tokens:
+            return
+        seen: set[str] = set()
+        start = bisect.bisect_right(self._tokens, ring_hash(key))
+        for offset in range(len(self._tokens)):
+            token = self._tokens[(start + offset) % len(self._tokens)]
+            owner = self._owners[token]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+                if len(seen) == len(self._members):
+                    return
+
+    def preference_list(self, key: str, n: int) -> list[str]:
+        """The first ``n`` distinct nodes clockwise from ``key``.
+
+        Raises when the membership cannot supply ``n`` distinct nodes —
+        a misconfiguration (replication factor above cluster size), not
+        a runtime fault.
+        """
+        if n < 1:
+            raise ValueError("preference list length must be >= 1")
+        if n > len(self._members):
+            raise ValueError(
+                "cannot pick %d distinct nodes from a %d-node ring"
+                % (n, len(self._members))
+            )
+        nodes: list[str] = []
+        for owner in self.walk(key):
+            nodes.append(owner)
+            if len(nodes) == n:
+                break
+        return nodes

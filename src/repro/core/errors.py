@@ -18,6 +18,9 @@ attempt:
 :class:`TamperDetectedError`  a BLS signature check failed — the SP/DH
                               modified protocol data (section VI attacks)
 :class:`UnknownPuzzleError`   no such puzzle id; also ``KeyError``
+:class:`UnroutableMessageError` a well-formed wire message sent to a
+                              frontend that does not serve its type;
+                              also ``TypeError``
 ======================== ====================================================
 
 **Transient substrate errors** — the environment hiccuped; the request may
@@ -53,6 +56,7 @@ __all__ = [
     "AccessDeniedError",
     "TamperDetectedError",
     "UnknownPuzzleError",
+    "UnroutableMessageError",
     "TransientServiceError",
     "TransientProviderError",
     "TransientNetworkError",
@@ -80,6 +84,13 @@ class TamperDetectedError(SocialPuzzleError):
 
 class UnknownPuzzleError(SocialPuzzleError, KeyError):
     """No puzzle with the given identifier exists on the service."""
+
+
+class UnroutableMessageError(SocialPuzzleError, TypeError):
+    """A well-formed message reached a frontend that does not serve its
+    type (e.g. a puzzle request dispatched to a bare storage host).
+    Permanent: the caller is talking to the wrong endpoint, and resending
+    the same frame cannot succeed."""
 
 
 class TransientServiceError(SocialPuzzleError):

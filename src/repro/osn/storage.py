@@ -33,12 +33,30 @@ class AuditTrail:
     ``assert_never_saw`` is the executable form of the paper's
     surveillance-resistance claim: the sensitive value must not appear in
     any byte string the service handled.
+
+    ``max_entries`` turns the trail into a ring buffer: once the cap is
+    reached, recording a new frame evicts the oldest and bumps
+    ``dropped``. The default stays unbounded because the security tests'
+    never-saw assertions are only sound over a complete trail; bound it
+    for million-operation cluster runs where the trail is operational
+    telemetry, not evidence.
     """
 
     observed: list[bytes] = field(default_factory=list)
+    max_entries: int | None = None
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
 
     def record(self, data: bytes) -> None:
         self.observed.append(bytes(data))
+        if self.max_entries is not None and len(self.observed) > self.max_entries:
+            overflow = len(self.observed) - self.max_entries
+            del self.observed[:overflow]
+            self.dropped += overflow
+            count("osn.audit.dropped", overflow)
 
     def saw(self, needle: bytes) -> bool:
         if not needle:
@@ -53,9 +71,9 @@ class AuditTrail:
 class StorageHost:
     """In-memory DH with URL namespace ``dh://<host>/<serial>``."""
 
-    def __init__(self, name: str = "dh"):
+    def __init__(self, name: str = "dh", max_audit_entries: int | None = None):
         self.name = name
-        self.audit = AuditTrail()
+        self.audit = AuditTrail(max_entries=max_audit_entries)
         self._blobs: dict[str, bytes] = {}
         self._serial = itertools.count(1)
         self._frontend = None

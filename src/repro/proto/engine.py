@@ -49,12 +49,19 @@ def _unwrap(service: object) -> object:
 class PuzzleProtocolEngine:
     """Owns the share/access state machines over construction backends."""
 
-    def __init__(self, provider, storage):
+    def __init__(self, provider, storage, storage_frontend=None):
         self.provider = provider
         self.storage = storage
         self._backends: dict[int, object] = {}
         self._provider_frontend = ProviderFrontend(provider)
-        self._storage_frontend = StorageFrontend(storage)
+        # A caller may substitute the storage wire face (e.g. a
+        # ClusterStorageFrontend when the DH is a quorum cluster); the
+        # message surface must stay identical either way.
+        self._storage_frontend = (
+            storage_frontend
+            if storage_frontend is not None
+            else StorageFrontend(storage)
+        )
 
     # -- backend registry --------------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.errors import UnroutableMessageError
 from repro.obs.runtime import count
 from repro.proto.messages import (
     ErrorReply,
@@ -58,10 +59,6 @@ def serve(request: bytes, handler: Callable[[Message], Message]) -> bytes:
     return encode_message(reply)
 
 
-class _UnroutableError(TypeError):
-    """A message type this frontend does not serve (maps to 'internal')."""
-
-
 class ProviderFrontend:
     """Wire face of a :class:`~repro.osn.provider.ServiceProvider`:
     profile posts and static-ACL reads."""
@@ -79,7 +76,7 @@ class ProviderFrontend:
             return PostReply(
                 post=self.provider.get_post(message.viewer, message.post_id)
             )
-        raise _UnroutableError(
+        raise UnroutableMessageError(
             "provider frontend cannot serve %s" % type(message).__name__
         )
 
@@ -102,7 +99,7 @@ class StorageFrontend:
             return StorageBoolReply(value=self.storage.exists(message.url))
         if isinstance(message, StorageDeleteRequest):
             return StorageBoolReply(value=self.storage.delete(message.url))
-        raise _UnroutableError(
+        raise UnroutableMessageError(
             "storage frontend cannot serve %s" % type(message).__name__
         )
 

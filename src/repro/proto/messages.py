@@ -34,6 +34,7 @@ from repro.core.errors import (
     TransientProviderError,
     TransientServiceError,
     UnknownPuzzleError,
+    UnroutableMessageError,
 )
 from repro.core.puzzle import Puzzle
 from repro.core.throttle import ThrottledError
@@ -647,6 +648,7 @@ def _error_registry() -> list[tuple[str, type[BaseException]]]:
         ("access-denied", AccessDeniedError),
         ("tamper-detected", TamperDetectedError),
         ("unknown-puzzle", UnknownPuzzleError),
+        ("unroutable", UnroutableMessageError),
         ("puzzle-parameter", PuzzleParameterError),
         ("share-failed", ShareFailedError),
         ("circuit-open", CircuitOpenError),

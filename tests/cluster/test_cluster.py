@@ -1,0 +1,307 @@
+"""The quorum cluster: replication, sloppy quorums, repair, membership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import FlakyClusterNode, StorageCluster, flaky_node_factory
+from repro.obs import Observability
+from repro.obs.runtime import use as use_observer
+from repro.osn.faults import TransientStorageError
+from repro.osn.network import LAN_FAST
+from repro.osn.storage import StorageError
+from repro.sim.timing import SimClock
+
+
+def replicas_of(cluster, url):
+    """Every (node, blob) pair physically holding a replica of url."""
+    return [
+        (node, node.replica(url))
+        for node in cluster.nodes
+        if node.replica(url) is not None
+    ]
+
+
+class TestConfiguration:
+    def test_defaults_derive_from_size(self):
+        five = StorageCluster(num_nodes=5)
+        assert (five.replication, five.write_quorum, five.read_quorum) == (3, 2, 2)
+        one = StorageCluster(num_nodes=1)
+        assert (one.replication, one.write_quorum, one.read_quorum) == (1, 1, 1)
+
+    def test_quorum_intersection_enforced(self):
+        with pytest.raises(ValueError):
+            StorageCluster(num_nodes=5, replication=3, write_quorum=1, read_quorum=1)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            StorageCluster(num_nodes=0)
+        with pytest.raises(ValueError):
+            StorageCluster(num_nodes=2, replication=3)
+        with pytest.raises(ValueError):
+            StorageCluster(num_nodes=3, replication=2, write_quorum=3)
+
+    def test_node_naming_and_lookup(self):
+        cluster = StorageCluster(num_nodes=3, name="dh")
+        assert [n.name for n in cluster.nodes] == ["dh-n0", "dh-n1", "dh-n2"]
+        assert cluster.node("dh-n1").name == "dh-n1"
+        with pytest.raises(ValueError):
+            cluster.node("dh-n9")
+
+
+class TestStorageSurface:
+    def test_put_get_roundtrip_and_namespace(self):
+        cluster = StorageCluster(num_nodes=5, name="dhc")
+        url = cluster.put(b"encrypted blob")
+        assert url.startswith("dh://dhc/")
+        assert cluster.get(url) == b"encrypted blob"
+
+    def test_urls_unique(self):
+        cluster = StorageCluster(num_nodes=5)
+        assert len({cluster.put(b"same") for _ in range(10)}) == 10
+
+    def test_replication_factor_is_physical(self):
+        cluster = StorageCluster(num_nodes=5, replication=3)
+        url = cluster.put(b"blob")
+        held = replicas_of(cluster, url)
+        assert len(held) == 3
+        natural = {n.name for n in cluster.replica_nodes(url)}
+        assert {node.name for node, _ in held} == natural
+
+    def test_missing_url_raises_permanent(self):
+        cluster = StorageCluster(num_nodes=3)
+        with pytest.raises(StorageError):
+            cluster.get("dh://dhc/999")
+        assert not cluster.exists("dh://dhc/999")
+
+    def test_counters(self):
+        cluster = StorageCluster(num_nodes=5, replication=3)
+        cluster.put(b"12345")
+        cluster.put(b"678")
+        assert cluster.object_count() == 2
+        # Physical capacity: every byte is held replication times.
+        assert cluster.stored_bytes() == 8 * 3
+
+    def test_delete_tombstones(self):
+        cluster = StorageCluster(num_nodes=5)
+        url = cluster.put(b"x")
+        assert cluster.exists(url)
+        assert cluster.delete(url) is True
+        assert cluster.delete(url) is False
+        assert cluster.delete("dh://dhc/999") is False
+        assert not cluster.exists(url)
+        with pytest.raises(StorageError):
+            cluster.get(url)
+        assert cluster.object_count() == 0
+
+
+class TestQuorumAvailability:
+    def test_survives_any_n_minus_w_crashes(self):
+        # The tentpole availability claim, exhaustively: with W=2 of 5
+        # nodes, any 3 nodes may be down and the surface still works.
+        import itertools
+
+        names = [n.name for n in StorageCluster(num_nodes=5).nodes]
+        for down in itertools.combinations(names, 3):
+            cluster = StorageCluster(num_nodes=5)
+            for name in down:
+                cluster.crash(name)
+            url = cluster.put(b"survives " + "+".join(down).encode())
+            assert cluster.get(url) == b"survives " + "+".join(down).encode()
+            assert cluster.delete(url) is True
+
+    def test_too_many_crashes_fail_transiently(self):
+        cluster = StorageCluster(num_nodes=5, write_quorum=2, read_quorum=2)
+        url = cluster.put(b"x")
+        for node in cluster.nodes[:4]:
+            cluster.crash(node.name)
+        with pytest.raises(TransientStorageError):
+            cluster.put(b"y")
+        with pytest.raises(TransientStorageError):
+            cluster.get(url)
+
+    def test_sloppy_quorum_hints_and_replay(self):
+        cluster = StorageCluster(num_nodes=5, replication=3)
+        url = "dh://probe/1"
+        natural = cluster.ring.preference_list(url, 3)
+        # Crash one natural replica, then find the URL the cluster
+        # actually assigns that lands on the same preference list.
+        cluster.crash(natural[0])
+        stored = None
+        for _ in range(50):
+            candidate = cluster.put(b"hinted blob")
+            if cluster.ring.preference_list(candidate, 3)[0] == natural[0]:
+                stored = candidate
+                break
+        assert stored is not None, "no URL landed on the crashed primary"
+        holders = {
+            node.name: node.hinted
+            for node in cluster.nodes
+            if stored in node.hinted
+        }
+        assert holders, "sloppy write left no hint"
+        assert all(h[stored] == natural[0] for h in holders.values())
+
+        replayed = cluster.recover(natural[0])
+        assert replayed >= 1
+        home = cluster.node(natural[0])
+        assert home.replica(stored) is not None
+        # The hint is gone from every holder.
+        assert all(stored not in node.hinted for node in cluster.nodes)
+
+    def test_recovered_replica_learns_delete_from_tombstone(self):
+        cluster = StorageCluster(num_nodes=5, read_quorum=3, write_quorum=3)
+        url = cluster.put(b"short lived")
+        victim = cluster.replica_nodes(url)[0]
+        cluster.crash(victim.name)
+        assert cluster.delete(url) is True
+        cluster.recover(victim.name)
+        # The recovered node holds a stale live replica or a hinted
+        # tombstone; either way the quorum must refuse resurrection.
+        with pytest.raises(StorageError):
+            cluster.get(url)
+        assert not cluster.exists(url)
+
+
+class TestReadRepair:
+    def test_single_tampered_replica_is_outvoted_and_healed(self):
+        cluster = StorageCluster(num_nodes=5, read_quorum=3, write_quorum=3)
+        url = cluster.put(b"the truth")
+        cluster.tamper(url, b"evil bits", replicas=1)
+        assert cluster.get(url) == b"the truth"
+        for node, blob in replicas_of(cluster, url):
+            assert blob.data == b"the truth", node.name
+
+    def test_stale_replica_catches_up_on_read(self):
+        cluster = StorageCluster(num_nodes=5, read_quorum=3, write_quorum=3)
+        url = cluster.put(b"v1")
+        lagging = cluster.replica_nodes(url)[0]
+        lagging.discard(url)  # simulated disk loss
+        assert cluster.get(url) == b"v1"
+        assert lagging.replica(url) is not None
+
+    def test_tamper_all_replicas_matches_single_host_semantics(self):
+        # Section VI-B's malicious DH: when every replica lies, the
+        # cluster serves the lie — integrity is the crypto layer's job.
+        cluster = StorageCluster(num_nodes=5)
+        url = cluster.put(b"original")
+        cluster.tamper(url, b"evil")
+        assert cluster.get(url) == b"evil"
+
+    def test_tamper_missing_raises(self):
+        with pytest.raises(StorageError):
+            StorageCluster(num_nodes=3).tamper("dh://dhc/9", b"evil")
+
+
+class TestMembershipChanges:
+    def test_join_rehomes_keys_onto_the_new_node(self):
+        cluster = StorageCluster(num_nodes=4)
+        payloads = {cluster.put(b"blob %d" % i): b"blob %d" % i for i in range(40)}
+        joined = cluster.join_node()
+        assert joined.name == "dhc-n4"
+        for url, expected in payloads.items():
+            assert cluster.get(url) == expected
+            natural = {n.name for n in cluster.replica_nodes(url)}
+            held = {node.name for node, _ in replicas_of(cluster, url)}
+            assert held == natural
+        # The new node actually owns part of the ring.
+        assert joined.object_count() > 0
+
+    def test_decommission_rehomes_before_leaving(self):
+        cluster = StorageCluster(num_nodes=5)
+        payloads = {cluster.put(b"obj %d" % i): b"obj %d" % i for i in range(40)}
+        cluster.decommission_node("dhc-n2")
+        assert "dhc-n2" not in [n.name for n in cluster.nodes]
+        for url, expected in payloads.items():
+            assert cluster.get(url) == expected
+            assert len(replicas_of(cluster, url)) == cluster.replication
+
+    def test_decommission_refuses_to_break_replication(self):
+        cluster = StorageCluster(num_nodes=3, replication=3)
+        with pytest.raises(ValueError):
+            cluster.decommission_node("dhc-n0")
+
+    def test_join_duplicate_name_rejected(self):
+        cluster = StorageCluster(num_nodes=3)
+        with pytest.raises(ValueError):
+            cluster.join_node("dhc-n1")
+
+
+class TestAuditView:
+    def test_union_view_and_per_node_blame(self):
+        cluster = StorageCluster(num_nodes=3)
+        cluster.put(b"ciphertext bytes")
+        assert cluster.audit.saw(b"ciphertext bytes")
+        cluster.audit.assert_never_saw(b"the plaintext")
+        cluster.node("dhc-n1").audit.record(b"leaked plaintext")
+        with pytest.raises(AssertionError) as excinfo:
+            cluster.audit.assert_never_saw(b"plaintext")
+        assert "dhc-n1" in str(excinfo.value)
+
+
+class TestCostModel:
+    def test_quorum_latency_advances_the_clock(self):
+        clock = SimClock()
+        cluster = StorageCluster(num_nodes=5, clock=clock, link=LAN_FAST())
+        url = cluster.put(b"timed blob")
+        after_put = clock.now()
+        assert after_put > 0.0
+        cluster.get(url)
+        assert clock.now() > after_put
+
+    def test_quorum_latency_histograms_recorded(self):
+        obs = Observability()
+        cluster = StorageCluster(num_nodes=5, link=LAN_FAST())
+        with use_observer(obs):
+            url = cluster.put(b"observed blob")
+            cluster.get(url)
+        registry = obs.registry
+        assert registry.histograms["cluster.put.quorum_latency_s"].count == 1
+        assert registry.histograms["cluster.get.quorum_latency_s"].count == 1
+        assert registry.counters["cluster.put.calls"].value == 1
+        assert registry.counters["cluster.node.store"].value == cluster.replication
+
+    def test_parallel_fanout_charges_quorum_not_sum(self):
+        # The operation completes with the W-th fastest replica, so the
+        # charged latency must be one transfer's worth, not replication
+        # transfers' worth.
+        link = LAN_FAST()
+        solo = link.upload_delay(len(b"timed blob") + 13)
+        clock = SimClock()
+        cluster = StorageCluster(num_nodes=5, clock=clock, link=LAN_FAST())
+        cluster.put(b"timed blob")
+        assert clock.now() == pytest.approx(solo, rel=0.01)
+
+
+class TestSeededFaults:
+    def test_flaky_nodes_are_deterministic(self):
+        def build():
+            return StorageCluster(
+                num_nodes=5,
+                node_factory=flaky_node_factory(
+                    store_failure_rate=0.3, fetch_failure_rate=0.3, seed=99
+                ),
+            )
+
+        def journey(cluster):
+            log = []
+            for i in range(30):
+                try:
+                    url = cluster.put(b"blob %d" % i)
+                    log.append(("put", url))
+                    log.append(("get", cluster.get(url)))
+                except TransientStorageError as exc:
+                    log.append(("fail", str(exc)))
+            return log
+
+        assert journey(build()) == journey(build())
+
+    def test_flaky_nodes_fail_transiently_only(self):
+        cluster = StorageCluster(
+            num_nodes=5,
+            node_factory=flaky_node_factory(store_failure_rate=0.9, seed=7),
+        )
+        assert all(isinstance(n, FlakyClusterNode) for n in cluster.nodes)
+        with pytest.raises(TransientStorageError):
+            for _ in range(20):
+                cluster.put(b"doomed")

@@ -1,0 +1,100 @@
+"""The cluster's wire face: indistinguishable from a single-host DH."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterStorageFrontend, StorageCluster, flaky_node_factory
+from repro.core.errors import UnroutableMessageError
+from repro.obs import Observability
+from repro.obs.runtime import use as use_observer
+from repro.osn.resilience import ResilientStorageClient, RetryPolicy
+from repro.osn.storage import StorageError
+from repro.proto.bus import MessageBus
+from repro.proto.client import ProtocolClient
+from repro.proto.messages import (
+    ErrorReply,
+    StorageBoolReply,
+    StorageDeleteRequest,
+    StorageExistsRequest,
+    RetractPuzzleRequest,
+    StorageGetRequest,
+    StoragePutRequest,
+    decode_message,
+    encode_message,
+)
+from repro.sim.timing import SimClock
+
+
+def roundtrip(dispatcher, message):
+    return decode_message(dispatcher.dispatch(encode_message(message)))
+
+
+class TestWireSurface:
+    def test_put_get_exists_delete_over_the_wire(self):
+        cluster = StorageCluster(num_nodes=5)
+        put = roundtrip(cluster, StoragePutRequest(data=b"wire blob"))
+        assert put.url.startswith("dh://dhc/")
+        got = roundtrip(cluster, StorageGetRequest(url=put.url))
+        assert got.data == b"wire blob"
+        assert roundtrip(
+            cluster, StorageExistsRequest(url=put.url)
+        ) == StorageBoolReply(value=True)
+        assert roundtrip(
+            cluster, StorageDeleteRequest(url=put.url)
+        ) == StorageBoolReply(value=True)
+        gone = roundtrip(cluster, StorageGetRequest(url=put.url))
+        assert isinstance(gone, ErrorReply)
+        assert gone.code == "storage"
+        assert not gone.transient
+
+    def test_quorum_loss_surfaces_as_transient_storage(self):
+        cluster = StorageCluster(num_nodes=5)
+        for node in cluster.nodes[:4]:
+            cluster.crash(node.name)
+        reply = roundtrip(cluster, StoragePutRequest(data=b"x"))
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "transient-storage"
+        assert reply.transient
+
+    def test_foreign_message_is_unroutable(self):
+        cluster = StorageCluster(num_nodes=3)
+        reply = roundtrip(cluster, RetractPuzzleRequest(construction=1, puzzle_id=1))
+        assert isinstance(reply, ErrorReply)
+        assert reply.code == "unroutable"
+        assert isinstance(reply.to_exception(), UnroutableMessageError)
+
+    def test_requests_counted(self):
+        obs = Observability()
+        frontend = ClusterStorageFrontend(StorageCluster(num_nodes=3))
+        with use_observer(obs):
+            roundtrip(frontend, StoragePutRequest(data=b"counted"))
+        assert obs.registry.counters["cluster.frontend.requests"].value == 1
+
+
+class TestClientsOnTop:
+    def test_protocol_client_storage_calls(self):
+        cluster = StorageCluster(num_nodes=5)
+        client = ProtocolClient(MessageBus(cluster))
+        url = client.storage_put(b"via client")
+        assert client.storage_get(url) == b"via client"
+        assert client.storage_exists(url)
+        assert client.storage_delete(url)
+        with pytest.raises(StorageError):
+            client.storage_get(url)
+
+    def test_resilient_client_retries_flaky_cluster(self):
+        clock = SimClock()
+        cluster = StorageCluster(
+            num_nodes=5,
+            node_factory=flaky_node_factory(
+                store_failure_rate=0.4, fetch_failure_rate=0.4, seed=11
+            ),
+        )
+        client = ResilientStorageClient(
+            cluster, retry=RetryPolicy(max_attempts=10, clock=clock, seed=3)
+        )
+        for i in range(20):
+            payload = b"resilient %d" % i
+            url = client.put(payload)
+            assert client.get(url) == payload

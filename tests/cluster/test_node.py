@@ -1,0 +1,135 @@
+"""One cluster node: versioned replicas, crashes, hints, per-node audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import ClusterNode, NodeDownError, VersionedBlob
+from repro.osn.faults import TransientStorageError
+from repro.osn.storage import StorageError
+
+
+class TestVersionedBlob:
+    def test_tombstone_is_the_none_payload(self):
+        assert VersionedBlob(3, None).tombstone
+        assert not VersionedBlob(3, b"x").tombstone
+
+
+class TestStoreOrdering:
+    def test_roundtrip(self):
+        node = ClusterNode("n0")
+        assert node.store("k", VersionedBlob(1, b"v1"))
+        assert node.fetch("k") == VersionedBlob(1, b"v1")
+        assert node.fetch("missing") is None
+
+    def test_newer_version_wins(self):
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(1, b"old"))
+        assert node.store("k", VersionedBlob(2, b"new"))
+        assert node.fetch("k") == VersionedBlob(2, b"new")
+
+    def test_older_or_equal_version_refused(self):
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(2, b"new"))
+        assert not node.store("k", VersionedBlob(1, b"stale"))
+        assert not node.store("k", VersionedBlob(2, b"divergent"))
+        assert node.fetch("k") == VersionedBlob(2, b"new")
+
+    def test_force_replaces_equal_version_divergence(self):
+        # Read repair's case: a tampered replica diverges at the *same*
+        # version, so repair must be able to overwrite it by value.
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(2, b"tampered"))
+        assert node.store("k", VersionedBlob(2, b"true"), force=True)
+        assert node.fetch("k") == VersionedBlob(2, b"true")
+
+    def test_force_never_rolls_back_newer(self):
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(3, b"newest"))
+        assert not node.store("k", VersionedBlob(2, b"old"), force=True)
+        assert node.fetch("k") == VersionedBlob(3, b"newest")
+
+    def test_force_identical_replica_is_a_no_op(self):
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(2, b"v"))
+        assert not node.store("k", VersionedBlob(2, b"v"), force=True)
+
+
+class TestFailureControl:
+    def test_down_node_refuses_transiently(self):
+        node = ClusterNode("n0")
+        node.crash()
+        with pytest.raises(NodeDownError):
+            node.store("k", VersionedBlob(1, b"v"))
+        with pytest.raises(NodeDownError):
+            node.fetch("k")
+        # The quorum layer retries/routes on: the error must be transient.
+        assert issubclass(NodeDownError, TransientStorageError)
+
+    def test_recover_restores_service(self):
+        node = ClusterNode("n0")
+        node.crash()
+        node.recover()
+        assert node.store("k", VersionedBlob(1, b"v"))
+        assert node.fetch("k") == VersionedBlob(1, b"v")
+
+
+class TestHints:
+    def test_take_hints_returns_and_clears(self):
+        node = ClusterNode("holder")
+        node.store("k1", VersionedBlob(1, b"a"), hint_for="n3")
+        node.store("k2", VersionedBlob(2, b"b"), hint_for="n3")
+        node.store("k3", VersionedBlob(3, b"c"), hint_for="n4")
+        taken = dict(node.take_hints("n3"))
+        assert taken == {"k1": VersionedBlob(1, b"a"), "k2": VersionedBlob(2, b"b")}
+        assert node.fetch("k1") is None and node.fetch("k2") is None
+        assert node.hinted == {"k3": "n4"}
+        assert node.take_hints("n3") == []
+
+    def test_hint_holder_audits_like_a_natural_replica(self):
+        node = ClusterNode("holder")
+        node.store("k", VersionedBlob(1, b"hinted payload"), hint_for="n3")
+        assert node.audit.saw(b"hinted payload")
+
+
+class TestTamper:
+    def test_tamper_keeps_version(self):
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(4, b"true"))
+        node.tamper("k", b"evil")
+        assert node.fetch("k") == VersionedBlob(4, b"evil")
+
+    def test_tamper_missing_or_tombstone_raises(self):
+        node = ClusterNode("n0")
+        with pytest.raises(StorageError):
+            node.tamper("k", b"evil")
+        node.store("k", VersionedBlob(1, None))
+        with pytest.raises(StorageError):
+            node.tamper("k", b"evil")
+
+
+class TestAccounting:
+    def test_counts_and_bytes_skip_tombstones(self):
+        node = ClusterNode("n0")
+        node.store("a", VersionedBlob(1, b"12345"))
+        node.store("b", VersionedBlob(2, b"678"))
+        node.store("c", VersionedBlob(3, None))
+        assert node.keys() == ["a", "b", "c"]
+        assert node.object_count() == 2
+        assert node.stored_bytes() == 8
+        assert node.has_value("a") and not node.has_value("c")
+
+    def test_discard_is_physical_not_logical(self):
+        node = ClusterNode("n0")
+        node.store("k", VersionedBlob(1, b"v"), hint_for="n3")
+        node.discard("k")
+        assert node.fetch("k") is None
+        assert node.hinted == {}
+
+    def test_audit_bound_passes_through(self):
+        node = ClusterNode("n0", max_audit_entries=2)
+        for version in range(1, 5):
+            node.store("k%d" % version, VersionedBlob(version, b"blob%d" % version))
+        assert node.audit.dropped == 2
+        assert not node.audit.saw(b"blob1")
+        assert node.audit.saw(b"blob4")

@@ -1,0 +1,109 @@
+"""The consistent-hash ring: determinism, balance, minimal disruption."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cluster.ring import HashRing, ring_hash
+
+NODES = ["n0", "n1", "n2", "n3", "n4"]
+KEYS = ["dh://dhc/%d" % i for i in range(1, 201)]
+
+
+class TestRingHash:
+    def test_matches_sha256_prefix(self):
+        digest = hashlib.sha256(b"dh://dhc/7").digest()
+        assert ring_hash("dh://dhc/7") == int.from_bytes(digest[:8], "big")
+
+    def test_stable_across_instances(self):
+        # Unlike builtin hash(), the ring hash must not depend on
+        # PYTHONHASHSEED — chaos seeds reproduce across processes.
+        assert ring_hash("dhc-n0") == ring_hash("dhc-n0")
+        assert ring_hash("dhc-n0") != ring_hash("dhc-n1")
+
+
+class TestMembership:
+    def test_add_remove_contains(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "b" in ring and len(ring) == 2
+        ring.add("c")
+        assert ring.members == ["a", "b", "c"]
+        ring.remove("b")
+        assert "b" not in ring and len(ring) == 2
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"]).remove("b")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestPlacement:
+    def test_walk_covers_all_nodes_once(self):
+        ring = HashRing(NODES)
+        walked = list(ring.walk("some key"))
+        assert sorted(walked) == sorted(NODES)
+        assert len(walked) == len(set(walked))
+
+    def test_preference_list_prefixes_walk(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:20]:
+            walked = list(ring.walk(key))
+            for n in range(1, len(NODES) + 1):
+                assert ring.preference_list(key, n) == walked[:n]
+
+    def test_preference_list_validates_n(self):
+        ring = HashRing(NODES)
+        with pytest.raises(ValueError):
+            ring.preference_list("k", 0)
+        with pytest.raises(ValueError):
+            ring.preference_list("k", len(NODES) + 1)
+
+    def test_same_membership_same_placement(self):
+        # Build order must not matter: the ring is a pure function of
+        # the membership set.
+        one = HashRing(NODES)
+        other = HashRing(reversed(NODES))
+        for key in KEYS:
+            assert one.preference_list(key, 3) == other.preference_list(key, 3)
+
+    def test_empty_ring_walk_is_empty(self):
+        assert list(HashRing().walk("k")) == []
+
+    def test_load_spreads_over_all_nodes(self):
+        ring = HashRing(NODES)
+        primaries = [ring.preference_list(key, 1)[0] for key in KEYS]
+        counts = {n: primaries.count(n) for n in NODES}
+        # 200 keys over 5 nodes with 64 vnodes each: nobody starves and
+        # nobody hoards (statistical balance, deterministic given SHA-256).
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) < len(KEYS) // 2
+
+    def test_minimal_disruption_on_leave(self):
+        ring = HashRing(NODES)
+        before = {key: ring.preference_list(key, 1)[0] for key in KEYS}
+        ring.remove("n2")
+        after = {key: ring.preference_list(key, 1)[0] for key in KEYS}
+        for key in KEYS:
+            if before[key] != "n2":
+                # Only keys owned by the leaver move (the consistent-
+                # hashing property that makes rebalances incremental).
+                assert after[key] == before[key]
+
+    def test_minimal_disruption_on_join(self):
+        ring = HashRing(NODES)
+        before = {key: ring.preference_list(key, 1)[0] for key in KEYS}
+        ring.add("n5")
+        after = {key: ring.preference_list(key, 1)[0] for key in KEYS}
+        moved = [key for key in KEYS if after[key] != before[key]]
+        assert all(after[key] == "n5" for key in moved)
+        assert len(moved) < len(KEYS)

@@ -1,0 +1,260 @@
+"""Cluster chaos: quorum availability, repair convergence, per-node audit.
+
+The tentpole's three proofs, as seeded end-to-end journeys on
+:class:`SocialPuzzlePlatform` backed by a 5-node quorum cluster:
+
+1. **availability** — share→access succeeds for both constructions with
+   *any* ``N − W`` of the N cluster nodes crashed (every combination is
+   tried for C1; CP-ABE journeys sweep a rotating subset);
+2. **convergence** — read repair restores a tampered or lost replica,
+   and hinted handoff + recovery reconciles a node that missed writes
+   during a partition;
+3. **surveillance resistance, per node** — every individual cluster
+   member's :class:`~repro.osn.storage.AuditTrail` (natural replicas,
+   hint holders and repair targets alike) never sees a plaintext object
+   or a context answer — the nodes are mutually untrusted, so the
+   aggregate view is not enough.
+
+Everything is seeded and clocked on :class:`SimClock`; a failure
+reproduces byte-identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.apps.platform import SocialPuzzlePlatform
+from repro.cluster import StorageCluster, flaky_node_factory
+from repro.core.context import Context
+from repro.crypto.params import TOY
+from repro.osn.faults import TransientStorageError
+from repro.osn.resilience import RetryPolicy
+from repro.sim.timing import SimClock
+
+NUM_NODES = 5
+
+CONTEXT = Context.from_mapping(
+    {
+        "Where did the cluster meet?": "Aveiro",
+        "Who brought the quince jam?": "Marisol",
+        "What broke during dessert?": "The projector",
+        "Which song closed the night?": "Fado nocturne",
+    }
+)
+
+
+def crashable(cluster):
+    """All ways to crash N - W nodes (the availability envelope)."""
+    names = [node.name for node in cluster.nodes]
+    return list(itertools.combinations(names, NUM_NODES - cluster.write_quorum))
+
+
+def build_platform(**cluster_kwargs):
+    cluster = StorageCluster(num_nodes=NUM_NODES, **cluster_kwargs)
+    platform = SocialPuzzlePlatform(params=TOY, storage=cluster)
+    alice = platform.join("alice")
+    bob = platform.join("bob")
+    platform.befriend(alice, bob)
+    return platform, cluster, alice, bob
+
+
+def cluster_keys(cluster):
+    return {key for node in cluster.nodes for key in node.keys()}
+
+
+def share_tracking_url(platform, cluster, user, secret, **kwargs):
+    """Run a share and return (share, blob URL) by diffing cluster keys."""
+    before = cluster_keys(cluster)
+    share = platform.share(user, secret, CONTEXT, k=2, **kwargs)
+    new = cluster_keys(cluster) - before
+    assert len(new) == 1, "share stored %d blobs, expected 1" % len(new)
+    return share, new.pop()
+
+
+def assert_per_node_surveillance(cluster, *objects):
+    """Proof (3): each member individually never saw a secret."""
+    for obj in objects:
+        cluster.audit.assert_never_saw(obj, "shared object")
+    for pair in CONTEXT.pairs:
+        cluster.audit.assert_never_saw(pair.answer_bytes(), "context answer")
+    for node in cluster.nodes:
+        for obj in objects:
+            node.audit.assert_never_saw(obj, "shared object (node %s)" % node.name)
+
+
+class TestQuorumAvailabilityC1:
+    def test_share_access_survives_every_n_minus_w_crash_combo(self):
+        combos = crashable(StorageCluster(num_nodes=NUM_NODES))
+        assert len(combos) == 10  # C(5, 3): the whole envelope, not a sample
+        for index, down in enumerate(combos):
+            platform, cluster, alice, bob = build_platform()
+            secret = b"c1 secret %d" % index
+            for name in down:
+                cluster.crash(name)
+            share = platform.share(alice, secret, CONTEXT, k=2, construction=1)
+            result = platform.solve(bob, share, CONTEXT, construction=1)
+            assert result.plaintext == secret, "combo %r failed" % (down,)
+            assert_per_node_surveillance(cluster, secret)
+
+    def test_crash_after_share_readable_or_honestly_transient(self):
+        # The object was replicated onto its natural nodes while all
+        # were up. Any crash combo leaving one replica alive must still
+        # serve it; a combo burying *every* replica must fail with a
+        # retryable error (the object is on dead nodes, not gone) —
+        # never a permanent not-found, never silent corruption.
+        served = buried = 0
+        for down in crashable(StorageCluster(num_nodes=NUM_NODES)):
+            platform, cluster, alice, bob = build_platform()
+            share, url = share_tracking_url(
+                platform, cluster, alice, b"written before"
+            )
+            natural = {n.name for n in cluster.replica_nodes(url)}
+            for name in down:
+                cluster.crash(name)
+            if natural <= set(down):
+                with pytest.raises(TransientStorageError):
+                    platform.solve(bob, share, CONTEXT)
+                buried += 1
+            else:
+                result = platform.solve(bob, share, CONTEXT)
+                assert result.plaintext == b"written before"
+                served += 1
+        assert served > 0 and buried > 0  # both regimes actually exercised
+
+
+class TestQuorumAvailabilityC2:
+    @pytest.mark.parametrize("combo_index", [0, 4, 9])
+    def test_share_access_with_n_minus_w_down(self, combo_index):
+        down = crashable(StorageCluster(num_nodes=NUM_NODES))[combo_index]
+        platform, cluster, alice, bob = build_platform()
+        for name in down:
+            cluster.crash(name)
+        secret = b"c2 secret %d" % combo_index
+        share = platform.share(alice, secret, CONTEXT, k=2, construction=2)
+        result = platform.solve(bob, share, CONTEXT, construction=2)
+        assert result.plaintext == secret
+        assert_per_node_surveillance(cluster, secret)
+
+
+class TestRepairConvergence:
+    def test_read_repair_heals_a_tampered_replica_mid_journey(self):
+        # R = replication: the read sees all three replicas, outvotes
+        # the rogue one 2:1, and the journey still decrypts.
+        platform, cluster, alice, bob = build_platform(
+            read_quorum=3, write_quorum=3
+        )
+        secret = b"tamper target"
+        share, url = share_tracking_url(platform, cluster, alice, secret)
+        cluster.tamper(url, b"\x00" * 48, replicas=1)
+        result = platform.solve(bob, share, CONTEXT)
+        assert result.plaintext == secret
+        # Convergence: after the repairing read, every replica agrees.
+        blobs = {
+            node.replica(url).data
+            for node in cluster.nodes
+            if node.replica(url) is not None
+        }
+        assert len(blobs) == 1
+        assert_per_node_surveillance(cluster, secret)
+
+    def test_read_repair_restores_a_lost_replica(self):
+        platform, cluster, alice, bob = build_platform(
+            read_quorum=3, write_quorum=3
+        )
+        share, url = share_tracking_url(platform, cluster, alice, b"lost and found")
+        victim = cluster.replica_nodes(url)[0]
+        victim.discard(url)  # simulated disk loss
+        result = platform.solve(bob, share, CONTEXT)
+        assert result.plaintext == b"lost and found"
+        assert victim.replica(url) is not None
+
+    def test_partitioned_node_reconciles_on_recovery(self):
+        # A node down during the share misses the write; hinted handoff
+        # holds its replica elsewhere and recovery replays it home.
+        platform, cluster, alice, bob = build_platform()
+        victim = cluster.nodes[0]
+        cluster.crash(victim.name)
+        shares = []
+        for i in range(12):
+            share, url = share_tracking_url(
+                platform, cluster, alice, b"partition blob %d" % i
+            )
+            shares.append((share, url))
+        missed = [
+            (share, url)
+            for share, url in shares
+            if victim.name
+            in cluster.ring.preference_list(url, cluster.replication)
+        ]
+        assert missed, "no share landed on the partitioned node's range"
+        cluster.recover(victim.name)
+        for _, url in missed:
+            assert victim.replica(url) is not None, url
+        # Hint holders gave the replicas up; nobody keeps stray hints.
+        assert all(not node.hinted for node in cluster.nodes)
+        for share, _ in shares:
+            platform.solve(bob, share, CONTEXT)
+        assert_per_node_surveillance(
+            cluster, *[b"partition blob %d" % i for i in range(12)]
+        )
+
+
+class TestSeededClusterChaos:
+    def test_flaky_nodes_with_retries_always_succeed(self):
+        clock = SimClock()
+        cluster = StorageCluster(
+            num_nodes=NUM_NODES,
+            clock=clock,
+            node_factory=flaky_node_factory(
+                store_failure_rate=0.25, fetch_failure_rate=0.25, seed=424
+            ),
+        )
+        platform = SocialPuzzlePlatform(
+            params=TOY,
+            storage=cluster,
+            retry_policy=RetryPolicy(max_attempts=10, clock=clock, seed=7),
+        )
+        alice = platform.join("alice")
+        bob = platform.join("bob")
+        platform.befriend(alice, bob)
+        secrets = []
+        for i in range(15):
+            secret = b"chaos object %d" % i
+            share = platform.share(alice, secret, CONTEXT, k=2)
+            result = platform.solve(bob, share, CONTEXT)
+            assert result.plaintext == secret
+            secrets.append(secret)
+        injected = sum(node.faults_injected for node in cluster.nodes)
+        assert injected > 0, "chaos config injected no faults"
+        assert_per_node_surveillance(cluster, *secrets)
+
+    def test_chaos_is_reproducible(self):
+        def run():
+            clock = SimClock()
+            cluster = StorageCluster(
+                num_nodes=NUM_NODES,
+                clock=clock,
+                node_factory=flaky_node_factory(
+                    store_failure_rate=0.3, fetch_failure_rate=0.3, seed=77
+                ),
+            )
+            platform = SocialPuzzlePlatform(
+                params=TOY,
+                storage=cluster,
+                retry_policy=RetryPolicy(max_attempts=10, clock=clock, seed=5),
+            )
+            alice = platform.join("alice")
+            bob = platform.join("bob")
+            platform.befriend(alice, bob)
+            for i in range(5):
+                share = platform.share(alice, b"rep %d" % i, CONTEXT, k=2)
+                platform.solve(bob, share, CONTEXT)
+            return (
+                clock.now(),
+                [node.faults_injected for node in cluster.nodes],
+                [node.stores for node in cluster.nodes],
+            )
+
+        assert run() == run()

@@ -95,3 +95,43 @@ class TestAuditTrail:
         dh.put(b"blob-two")
         assert dh.audit.saw(b"blob-one")
         assert dh.audit.saw(b"blob-two")
+
+
+class TestAuditTrailBound:
+    def test_unbounded_by_default(self):
+        audit = AuditTrail()
+        for i in range(1000):
+            audit.record(b"frame %d" % i)
+        assert len(audit.observed) == 1000
+        assert audit.dropped == 0
+
+    def test_ring_buffer_drops_oldest_first(self):
+        audit = AuditTrail(max_entries=3)
+        for i in range(5):
+            audit.record(b"frame %d" % i)
+        assert audit.observed == [b"frame 2", b"frame 3", b"frame 4"]
+        assert audit.dropped == 2
+        assert audit.saw(b"frame 4")
+        assert not audit.saw(b"frame 0")
+
+    def test_bound_of_one_keeps_the_latest(self):
+        audit = AuditTrail(max_entries=1)
+        audit.record(b"first")
+        audit.record(b"second")
+        assert audit.observed == [b"second"]
+        assert audit.dropped == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AuditTrail(max_entries=0)
+        with pytest.raises(ValueError):
+            AuditTrail(max_entries=-5)
+
+    def test_bounded_storage_host_survives_many_operations(self):
+        dh = StorageHost(max_audit_entries=8)
+        for i in range(100):
+            dh.put(b"payload %d" % i)
+        assert len(dh.audit.observed) == 8
+        assert dh.audit.dropped == 92
+        # The recent window still supports the surveillance assertion.
+        dh.audit.assert_never_saw(b"a plaintext secret")

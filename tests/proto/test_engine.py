@@ -259,4 +259,5 @@ class TestSubstrateDispatchFaces:
             provider.dispatch(encode_message(StoragePutRequest(data=b"x")))
         )
         assert isinstance(reply, ErrorReply)
-        assert reply.code == "internal"
+        assert reply.code == "unroutable"
+        assert not reply.transient
