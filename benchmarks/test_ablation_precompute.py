@@ -61,6 +61,24 @@ def test_precompute_report():
     assert plain.decrypt_bytes(pk, sk, ct) == b"cross-check"
 
 
+def test_precompute_composes_with_fused_decrypt():
+    """Fixed-base tables (sharer side) and the merged-Miller fused
+    decrypt (receiver side) are independent optimizations; a ciphertext
+    built with precomputation must decrypt identically through both the
+    fused and the recursive path, with the fused path still paying its
+    single final exponentiation."""
+    abe = CPABE(DEFAULT, precompute_fixed_bases=True)
+    pk, mk = abe.setup()
+    message = abe._random_gt(pk)
+    ct = abe.encrypt_element(pk, message, TREE)
+    sk = abe.keygen(pk, mk, {"ctx-0", "ctx-1"})
+
+    abe.pairing.reset_op_counts()
+    assert abe.decrypt_element(pk, sk, ct) == message
+    assert abe.pairing.op_counts["final_exps"] == 1
+    assert abe.decrypt_element(pk, sk, ct, fused=False) == message
+
+
 def test_bench_raw_fixed_base(benchmark):
     g = DEFAULT.random_g0()
     multiplier = FixedBaseMult(g)

@@ -34,7 +34,7 @@ from repro.crypto.kdf import hkdf
 from repro.crypto.modes import seal, unseal
 from repro.crypto.fixedbase import FixedBaseMult
 from repro.crypto.pairing import Pairing
-from repro.crypto.polynomial import Polynomial
+from repro.crypto.polynomial import Polynomial, lagrange_coefficients_at_zero
 from repro.obs.profile import profiled
 
 __all__ = [
@@ -150,6 +150,9 @@ class CPABE:
         # hash_to_g0 is deterministic and dominated by cofactor clearing;
         # memoize attribute points (recur across Encrypt/KeyGen calls).
         self._attr_point_cache: dict[str, Point] = {}
+        # e(g, g) per generator: Setup and every KEM encapsulation
+        # exponentiate the same fixed pairing, so pay the Miller loop once.
+        self._gt_base_cache: dict[bytes, Fq2] = {}
 
     def _mult(self, base: Point, scalar: int) -> Point:
         """Scalar-multiply a recurring public base, via the table cache
@@ -170,6 +173,15 @@ class CPABE:
             self._attr_point_cache[attribute] = point
         return point
 
+    def _pair_gg(self, g: Point) -> Fq2:
+        """e(g, g), memoized per generator."""
+        key = g.to_bytes()
+        element = self._gt_base_cache.get(key)
+        if element is None:
+            element = self.pairing.pair(g, g)
+            self._gt_base_cache[key] = element
+        return element
+
     # -- Setup -------------------------------------------------------------------
 
     @profiled(name="cpabe.setup")
@@ -184,7 +196,7 @@ class CPABE:
             g=g,
             h=g * beta,
             f=g * beta_inv,
-            e_gg_alpha=self.pairing.gt_exp(self.pairing.pair(g, g), alpha),
+            e_gg_alpha=self.pairing.gt_exp(self._pair_gg(g), alpha),
         )
         mk = MasterKey(beta=beta, g_alpha=g * alpha)
         return pk, mk
@@ -275,19 +287,97 @@ class CPABE:
     # -- Decrypt -----------------------------------------------------------------
 
     @profiled(name="cpabe.decrypt")
-    def decrypt_element(self, pk: PublicKey, sk: SecretKey, ct: Ciphertext) -> Fq2:
-        """Recover the GT message, or raise :class:`PolicyNotSatisfiedError`."""
+    def decrypt_element(
+        self, pk: PublicKey, sk: SecretKey, ct: Ciphertext, fused: bool = True
+    ) -> Fq2:
+        """Recover the GT message, or raise :class:`PolicyNotSatisfiedError`.
+
+        The default *fused* path flattens the DecryptNode recursion into a
+        single multi-pairing: every satisfied leaf contributes its
+        (D_j, C_y) / (D'_j, C'_y) pair weighted by the product of Lagrange
+        coefficients along its root path, the blinding term e(C, D) joins
+        with exponent -1, and :meth:`Pairing.pair_product` evaluates the
+        whole product with ONE final exponentiation instead of the naive
+        2k+1. ``fused=False`` runs the textbook recursion — kept as the
+        verification baseline for the equivalence tests and benchmarks.
+        """
         chosen = ct.tree.minimal_satisfying_leaves(sk.attributes)
         if chosen is None:
             raise PolicyNotSatisfiedError(
                 "key attributes do not satisfy the ciphertext policy"
             )
-        a = self._decrypt_node(pk, sk, ct, ct.tree.root, 0, set(chosen))[1]
-        if a is None:
+        if not fused:
+            a = self._decrypt_node(pk, sk, ct, ct.tree.root, 0, set(chosen))[1]
+            if a is None:
+                raise PolicyNotSatisfiedError(
+                    "decryption failed despite satisfiability"
+                )
+            # A = e(g,g)^(r s); e(C, D) = e(g,g)^(s (alpha + r)).
+            e_c_d = self.pairing.pair(ct.c, sk.d)
+            return ct.c_tilde * (e_c_d * a.inverse()).inverse()
+        terms = self._gather_terms(sk, ct, ct.tree.root, 0, set(chosen))[1]
+        if terms is None:
             raise PolicyNotSatisfiedError("decryption failed despite satisfiability")
-        # A = e(g,g)^(r s); e(C, D) = e(g,g)^(s (alpha + r)).
-        e_c_d = self.pairing.pair(ct.c, sk.d)
-        return ct.c_tilde * (e_c_d * a.inverse()).inverse()
+        # M = C~ * A / e(C, D), all under one final exponentiation.
+        pairs: list[tuple[Point, Point, int]] = []
+        for d_j, c_y, d_j_prime, c_y_prime, weight in terms:
+            pairs.append((d_j, c_y, weight))
+            pairs.append((d_j_prime, c_y_prime, -weight))
+        pairs.append((ct.c, sk.d, -1))
+        return ct.c_tilde * self.pairing.pair_product(pairs)
+
+    def _gather_terms(
+        self,
+        sk: SecretKey,
+        ct: Ciphertext,
+        node: Node,
+        leaf_cursor: int,
+        chosen_leaves: set[int],
+    ) -> tuple[int, list[tuple[Point, Point, Point, Point, int]] | None]:
+        """Flatten DecryptNode into per-leaf pairing terms.
+
+        Returns (next_leaf_cursor, terms) where each term is
+        (D_j, C_y, D'_j, C'_y, weight): the leaf's key/ciphertext points
+        and the mod-r product of the Lagrange coefficients on its path, so
+
+            A = prod_y [ e(D_j, C_y) * e(D'_j, C'_y)^-1 ] ^ weight_y.
+
+        Mirrors :meth:`_decrypt_node` exactly (same first-`threshold`
+        child selection) but defers every pairing to the caller.
+        """
+        if isinstance(node, AttributeLeaf):
+            index = leaf_cursor
+            cursor = leaf_cursor + 1
+            if index not in chosen_leaves:
+                return cursor, None
+            pair_components = sk.components.get(node.attribute)
+            if pair_components is None:
+                return cursor, None
+            d_j, d_j_prime = pair_components
+            return cursor, [
+                (d_j, ct.leaf_c[index], d_j_prime, ct.leaf_c_prime[index], 1)
+            ]
+
+        child_terms: list[tuple[int, list[tuple[Point, Point, Point, Point, int]]]] = []
+        cursor = leaf_cursor
+        for child_index, child in enumerate(node.children, start=1):
+            cursor, terms = self._gather_terms(sk, ct, child, cursor, chosen_leaves)
+            if terms is not None:
+                child_terms.append((child_index, terms))
+        if len(child_terms) < node.threshold:
+            return cursor, None
+        selected = child_terms[: node.threshold]
+        indices = [i for i, _ in selected]
+        coefficients = lagrange_coefficients_at_zero(self.zr, indices)
+        order = self.params.r
+        combined: list[tuple[Point, Point, Point, Point, int]] = []
+        for coefficient, (_, terms) in zip(coefficients, selected):
+            scale = int(coefficient)
+            for d_j, c_y, d_j_prime, c_y_prime, weight in terms:
+                combined.append(
+                    (d_j, c_y, d_j_prime, c_y_prime, weight * scale % order)
+                )
+        return cursor, combined
 
     def _decrypt_node(
         self,
@@ -335,15 +425,14 @@ class CPABE:
         return cursor, result
 
     def _lagrange_at_zero(self, i: int, indices: list[int]) -> int:
-        """Delta_{i,S}(0) over Z_r for integer index set ``indices``."""
-        order = self.params.r
-        numerator, denominator = 1, 1
-        for j in indices:
-            if j == i:
-                continue
-            numerator = numerator * (-j) % order
-            denominator = denominator * (i - j) % order
-        return numerator * pow(denominator, -1, order) % order
+        """Delta_{i,S}(0) over Z_r for integer index set ``indices``.
+
+        Backed by the shared (batch-inverted, memoized) coefficient cache
+        in :func:`repro.crypto.polynomial.lagrange_coefficients_at_zero`,
+        so CP-ABE and Shamir reconstruction reuse the same vectors.
+        """
+        coefficients = lagrange_coefficients_at_zero(self.zr, indices)
+        return int(coefficients[indices.index(i)])
 
     # -- Hybrid KEM-DEM ------------------------------------------------------------
 
@@ -368,4 +457,4 @@ class CPABE:
     def _random_gt(self, pk: PublicKey) -> Fq2:
         """A random element of the order-r subgroup GT = <e(g, g)>."""
         exponent = secrets.randbelow(self.params.r - 1) + 1
-        return self.pairing.gt_exp(self.pairing.pair(pk.g, pk.g), exponent)
+        return self.pairing.gt_exp(self._pair_gg(pk.g), exponent)

@@ -57,6 +57,7 @@ from repro.osn.storage import StorageHost
 from repro.proto.bus import MessageBus
 from repro.proto.client import ProtocolClient
 from repro.proto.engine import PuzzleProtocolEngine
+from repro.proto.frontends import StorageFrontend
 from repro.sim.devices import PC, DeviceProfile
 from repro.sim.timing import CostMeter, TimingBreakdown
 
@@ -128,6 +129,32 @@ PAPER_I2_FILE_SIZES = {
 _POST_BYTES = 256  # the hyperlink post placed on the sharer's profile
 
 
+class _PrefetchedStorage:
+    """A storage view that answers known URLs from memory.
+
+    The batched access flows fetch the encrypted object over the DH wire
+    plane (one :class:`~repro.proto.messages.BatchRequest` round trip)
+    *before* handing control to the receiver; this view lets the
+    receiver's own ``storage.get`` consume that already-transferred blob
+    instead of paying a second fetch. Everything else forwards to the
+    real storage.
+    """
+
+    def __init__(self, storage):
+        self._storage = storage
+        self._blobs: dict[str, bytes] = {}
+
+    def preload(self, url: str, data: bytes) -> None:
+        self._blobs[url] = data
+
+    def get(self, url: str) -> bytes:
+        data = self._blobs.get(url)
+        return data if data is not None else self._storage.get(url)
+
+    def __getattr__(self, name: str):
+        return getattr(self._storage, name)
+
+
 @dataclass(frozen=True)
 class ShareResult:
     """Outcome of a share operation."""
@@ -182,6 +209,7 @@ class _PuzzleAppBase:
         file_size_model: str = "actual",
         engine: PuzzleProtocolEngine | None = None,
         bus: MessageBus | None = None,
+        dh_bus: MessageBus | None = None,
     ):
         if file_size_model not in ("actual", "paper"):
             raise ValueError("file_size_model must be 'actual' or 'paper'")
@@ -198,8 +226,39 @@ class _PuzzleAppBase:
             bus if bus is not None else MessageBus(self._engine, audit=provider.audit)
         )
         self.client = ProtocolClient(self.bus, retry=retry)
+        self._dh_bus = dh_bus
+        self._dh_client: ProtocolClient | None = None
         self.service = service
         provider.host_service(self.SERVICE_NAME, service)
+
+    # -- the DH wire plane -------------------------------------------------------
+
+    @property
+    def dh_bus(self) -> MessageBus:
+        """The data-host wire plane, built lazily when first needed.
+
+        Deliberately a *separate* bus from the SP plane, with no audit
+        trail attached: DH traffic is exactly what the curious SP must
+        not see. A quorum cluster gets its batching frontend so member
+        gets fan across the ring; a plain host gets the generic storage
+        frontend.
+        """
+        if self._dh_bus is None:
+            if hasattr(self.storage, "ring"):
+                from repro.cluster import ClusterStorageFrontend
+
+                frontend: StorageFrontend = ClusterStorageFrontend(self.storage)
+            else:
+                frontend = StorageFrontend(self.storage)
+            self._dh_bus = MessageBus(frontend)
+        return self._dh_bus
+
+    @property
+    def dh_client(self) -> ProtocolClient:
+        """Typed client over :attr:`dh_bus` (batched share fetches)."""
+        if self._dh_client is None:
+            self._dh_client = ProtocolClient(self.dh_bus, retry=self.retry)
+        return self._dh_client
 
     # -- the construction backend ------------------------------------------------
 
@@ -300,6 +359,7 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
         obs: Observability | None = None,
         engine: PuzzleProtocolEngine | None = None,
         bus: MessageBus | None = None,
+        dh_bus: MessageBus | None = None,
     ):
         self.bls = bls
         if throttle_max_failures is not None:
@@ -317,6 +377,7 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
             obs=obs,
             engine=engine,
             bus=bus,
+            dh_bus=dh_bus,
         )
         self._sharers: dict[int, SharerC1] = {}
 
@@ -411,6 +472,60 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
                 plaintext = receiver.access(release, displayed, knowledge)
             return AccessResult(plaintext=plaintext, timing=meter.report())
 
+    def attempt_access_batched(
+        self,
+        viewer: User,
+        puzzle_id: int,
+        knowledge: Context,
+        device: DeviceProfile = PC,
+        link: NetworkLink | None = None,
+        rng: random.Random | None = None,
+    ) -> AccessResult:
+        """The receiver flow with one round trip per plane after display.
+
+        Where :meth:`attempt_access` pays a round trip per protocol step,
+        this flow submits the answers as one SP-plane
+        :class:`~repro.proto.messages.BatchRequest` and fetches the
+        released object over the DH plane as another — the metered
+        transfers (and the cryptography) are identical, only the
+        round-trip count changes.
+        """
+        with ExitStack() as scope:
+            _enter_journey(self.obs, scope, "c1.access_batched", puzzle_id=puzzle_id)
+            meter = _meter(device, link)
+            overhead = self.transport.open_session(meter) if self.transport else 0
+            prefetched = _PrefetchedStorage(self.storage)
+            receiver = ReceiverC1(viewer.name, prefetched, bls=self.bls)
+
+            displayed: DisplayedPuzzle = self.client.display_puzzle_c1(
+                puzzle_id, rng=rng
+            )
+            meter.charge_download(
+                "fetch puzzle page (questions)", displayed.byte_size() + overhead
+            )
+
+            with maybe_span("receiver.answer"), meter.measure(
+                "receiver crypto (hash answers)"
+            ):
+                answers = receiver.answer_puzzle(displayed, knowledge)
+            meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
+
+            (release,) = self.client.submit_answers_c1_batched(
+                [answers], viewer.name
+            )
+            meter.charge_download(
+                "receive released shares + URL", release.byte_size() + overhead
+            )
+
+            (encrypted,) = self.dh_client.storage_get_many([release.url])
+            prefetched.preload(release.url, encrypted)
+            meter.charge_download("download encrypted object", len(encrypted) + overhead)
+            with maybe_span("receiver.recover"), meter.measure(
+                "receiver crypto (unblind, interpolate, AES)"
+            ):
+                plaintext = receiver.access(release, displayed, knowledge)
+            return AccessResult(plaintext=plaintext, timing=meter.report())
+
 
 class SocialPuzzleAppC2(_PuzzleAppBase):
     """Implementation 2: Qt client + cpabe toolkit (here: our CP-ABE)."""
@@ -433,6 +548,7 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
         obs: Observability | None = None,
         engine: PuzzleProtocolEngine | None = None,
         bus: MessageBus | None = None,
+        dh_bus: MessageBus | None = None,
     ):
         self.params = params
         self.digestmod = digestmod
@@ -455,6 +571,7 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
             file_size_model=file_size_model,
             engine=engine,
             bus=bus,
+            dh_bus=dh_bus,
         )
 
     def share(
@@ -550,6 +667,61 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
             meter.charge_download(
                 "download message.txt.cpabe",
                 self._file_size("message.txt.cpabe", ct_size) + overhead,
+            )
+            meter.charge_download(
+                "download master_key",
+                self._file_size("master_key", len(grant.mk_bytes)) + overhead,
+            )
+            meter.charge_download(
+                "download pub_key",
+                self._file_size("pub_key", len(grant.pk_bytes)) + overhead,
+            )
+
+            with maybe_span("receiver.recover"), meter.measure(
+                "receiver crypto (reconstruct, keygen, decrypt)"
+            ):
+                plaintext = receiver.access(grant, knowledge)
+            return AccessResult(plaintext=plaintext, timing=meter.report())
+
+    def attempt_access_batched(
+        self,
+        viewer: User,
+        puzzle_id: int,
+        knowledge: Context,
+        device: DeviceProfile = PC,
+        link: NetworkLink | None = None,
+    ) -> AccessResult:
+        """The receiver flow with one round trip per plane after display;
+        see :meth:`SocialPuzzleAppC1.attempt_access_batched`."""
+        self._check_device(device)
+        with ExitStack() as scope:
+            _enter_journey(self.obs, scope, "c2.access_batched", puzzle_id=puzzle_id)
+            meter = _meter(device, link)
+            overhead = self.transport.open_session(meter) if self.transport else 0
+            prefetched = _PrefetchedStorage(self.storage)
+            receiver = ReceiverC2(
+                viewer.name, prefetched, self.params, digestmod=self.digestmod
+            )
+
+            displayed: DisplayedPuzzleC2 = self.client.display_puzzle_c2(puzzle_id)
+            meter.charge_download(
+                "download details.txt (questions)",
+                self._file_size("details.txt", displayed.byte_size()) + overhead,
+            )
+
+            with maybe_span("receiver.answer"), meter.measure(
+                "receiver crypto (hash answers)"
+            ):
+                answers = receiver.answer_puzzle(displayed, knowledge)
+            meter.charge_upload("submit hashed answers", answers.byte_size() + overhead)
+
+            (grant,) = self.client.submit_answers_c2_batched([answers], viewer.name)
+
+            (ct_bytes,) = self.dh_client.storage_get_many([grant.url])
+            prefetched.preload(grant.url, ct_bytes)
+            meter.charge_download(
+                "download message.txt.cpabe",
+                self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
             )
             meter.charge_download(
                 "download master_key",

@@ -229,6 +229,55 @@ class StorageCluster:
             self._charge_quorum("cluster.get.quorum_latency_s", delays, self.read_quorum)
             return winner.data
 
+    def get_many(self, urls: "list[str] | tuple[str, ...]") -> list:
+        """Batched quorum reads: one link charge per *node*, not per key.
+
+        Each key still runs its full quorum consultation (winner pick,
+        read repair, the long walk for misplaced objects), but the link
+        transfers are aggregated per consulted node — modelling one RPC
+        to each node carrying all of its replica payloads — and the
+        batch completes with the slowest node, since nodes answer in
+        parallel. Per-key failures come back *in place* as exception
+        objects (the same :class:`~repro.osn.storage.StorageError` /
+        :class:`~repro.osn.faults.TransientStorageError` taxonomy), so
+        one missing key cannot fail its siblings.
+        """
+        with maybe_span("cluster.get_many", num_keys=len(urls)):
+            results: list = []
+            per_node_bytes: dict[str, int] = {}
+            for url in urls:
+                consulted: list[tuple[str, int]] = []
+                try:
+                    winner, _ = self._quorum_read(
+                        url, charge_payload=True, charge_link=False,
+                        consulted=consulted,
+                    )
+                    if winner is None or winner.tombstone:
+                        raise StorageError("no object at %s" % url)
+                except (TransientStorageError, StorageError) as exc:
+                    results.append(exc)
+                else:
+                    results.append(winner.data)
+                    count("cluster.get.calls")
+                    count("cluster.get.bytes", len(winner.data))
+                # Replicas consulted before a failure still moved bytes.
+                for node_name, size in consulted:
+                    per_node_bytes[node_name] = per_node_bytes.get(node_name, 0) + size
+            count("cluster.get.batches")
+            if self.link is not None and per_node_bytes:
+                delays = [
+                    self.link.download(
+                        total + REPLICA_RPC_OVERHEAD,
+                        "batched read (%d keys) <- %s" % (len(urls), node_name),
+                    )
+                    for node_name, total in sorted(per_node_bytes.items())
+                ]
+                latency = max(delays)
+                observe("cluster.get.batch_latency_s", latency, _LATENCY_BOUNDS)
+                if self.clock is not None:
+                    self.clock.advance(latency)
+            return results
+
     def exists(self, url: str) -> bool:
         with maybe_span("cluster.exists"):
             count("cluster.exists.calls")
@@ -346,7 +395,11 @@ class StorageCluster:
         return acks, delays
 
     def _quorum_read(
-        self, url: str, charge_payload: bool
+        self,
+        url: str,
+        charge_payload: bool,
+        charge_link: bool = True,
+        consulted: "list[tuple[str, int]] | None" = None,
     ) -> tuple[VersionedBlob | None, list[float]]:
         """Consult ``read_quorum`` live nodes in ring order; pick the
         winner by (version, votes, first responder) and repair every
@@ -383,12 +436,17 @@ class StorageCluster:
                     if charge_payload and blob is not None and blob.data is not None
                     else 0
                 )
-                delays.append(
-                    self.link.download(
-                        size + REPLICA_RPC_OVERHEAD,
-                        "read %s <- %s" % (url, node.name),
+                if charge_link:
+                    delays.append(
+                        self.link.download(
+                            size + REPLICA_RPC_OVERHEAD,
+                            "read %s <- %s" % (url, node.name),
+                        )
                     )
-                )
+                if consulted is not None:
+                    # Batched callers (get_many) aggregate and charge per
+                    # node instead of per replica transfer.
+                    consulted.append((node.name, size))
         if len(replies) < self.read_quorum:
             raise TransientStorageError(
                 "read quorum unreachable for %s: %d/%d replies"

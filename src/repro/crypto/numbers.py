@@ -17,6 +17,7 @@ import secrets
 __all__ = [
     "egcd",
     "modinv",
+    "batch_modinv",
     "is_prime",
     "next_prime",
     "random_prime",
@@ -69,6 +70,38 @@ def modinv(a: int, m: int) -> int:
     if g != 1:
         raise ZeroDivisionError("%d has no inverse modulo %d (gcd=%d)" % (a, m, g))
     return x % m
+
+
+def batch_modinv(values: "list[int] | tuple[int, ...]", m: int) -> list[int]:
+    """Inverses of all ``values`` modulo ``m`` via Montgomery's trick.
+
+    One :func:`modinv` plus ``3(n-1)`` multiplications instead of ``n``
+    extended-Euclid runs — the workhorse behind merged Miller loops and
+    batched Lagrange coefficients, where the per-element ``egcd`` would
+    otherwise dominate the hot path.
+
+    Element-wise equivalent to ``[modinv(v, m) for v in values]``: raises
+    :class:`ZeroDivisionError` if any element is not invertible.
+    """
+    reduced = [v % m for v in values]
+    if not reduced:
+        return []
+    prefix = [0] * len(reduced)
+    acc = 1
+    for i, v in enumerate(reduced):
+        if v == 0:
+            raise ZeroDivisionError("0 has no inverse modulo %d (element %d)" % (m, i))
+        acc = acc * v % m
+        prefix[i] = acc
+    # One egcd for the whole batch; non-coprime elements surface here with
+    # the same error type the scalar path raises.
+    inv = modinv(acc, m)
+    out = [0] * len(reduced)
+    for i in range(len(reduced) - 1, 0, -1):
+        out[i] = prefix[i - 1] * inv % m
+        inv = inv * reduced[i] % m
+    out[0] = inv
+    return out
 
 
 def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:

@@ -10,15 +10,40 @@ tangent/chord line values.
 
 This realizes the bilinear map e: G0 x G0 -> G2 of the paper's
 section III-A with G0 = G1 (symmetric pairing, as required by CP-ABE).
+
+Beyond the single :meth:`Pairing.pair`, the engine exposes the batched
+hot-path primitives that CP-ABE decryption is built on:
+
+* :meth:`Pairing.pair_product` — Π ê(P_i, Q_i)^{e_i} with **one** final
+  exponentiation for the whole product. All Miller loops share the same
+  bit sequence (the group order r), so they run in lockstep with a single
+  squaring chain per exponent group and *one* Montgomery batch inversion
+  per loop iteration instead of one egcd per pair per iteration. Inverted
+  factors use the conjugation trick: r | q + 1 means q ≡ -1 (mod r), so
+  FE(conj(m)) = FE(m)^q = FE(m)^(-1) — conjugating a Miller value before
+  the final exponentiation inverts the pairing after it, and conjugating
+  a line value a + b·i is just negating b.
+* :meth:`Pairing.gt_multi_exp` — Straus/Shamir simultaneous
+  exponentiation in GT (shared squaring chain, windowed subset-product
+  tables), for Lagrange-weighted leaf recombination.
+
+``op_counts`` tracks Miller loops / final exponentiations / products so
+benchmarks can assert the 2k+1 -> 1 final-exponentiation collapse.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 from repro.crypto.ec import CurveParams, Point
 from repro.crypto.fq2 import Fq2
-from repro.crypto.numbers import modinv
+from repro.crypto.numbers import batch_modinv, modinv
 
 __all__ = ["Pairing"]
+
+# Straus multi-exp processes bases in chunks of this size; each chunk
+# precomputes 2^_STRAUS_CHUNK - 1 subset products.
+_STRAUS_CHUNK = 4
 
 
 class Pairing:
@@ -32,6 +57,29 @@ class Pairing:
         # The (q - 1) part is the cheap Frobenius-based "easy" exponent.
         self._hard_exponent = (self.q + 1) // self.r
         self._r_bits = bin(params.r)[2:]
+        # Operation counters for benchmarks and attribution tests. Keys:
+        #   pairings        — public pair() calls
+        #   pair_products   — public pair_product() calls
+        #   miller_loops    — merged lockstep loop executions (1 per
+        #                     pair() and 1 per pair_product(), however
+        #                     many pairs it folds)
+        #   miller_states   — individual (P, Q) Miller states advanced
+        #   final_exps      — hard final exponentiations
+        #   gt_multi_exps   — public gt_multi_exp() calls
+        self.op_counts: dict[str, int] = {}
+        self.reset_op_counts()
+
+    def reset_op_counts(self) -> None:
+        """Zero all operation counters."""
+        for key in (
+            "pairings",
+            "pair_products",
+            "miller_loops",
+            "miller_states",
+            "final_exps",
+            "gt_multi_exps",
+        ):
+            self.op_counts[key] = 0
 
     # -- public API ----------------------------------------------------------------
 
@@ -40,10 +88,55 @@ class Pairing:
         argument is the point at infinity."""
         if p.curve != self.params or q_point.curve != self.params:
             raise ValueError("points do not belong to this pairing's curve")
+        self.op_counts["pairings"] += 1
         if p.infinity or q_point.infinity:
             return Fq2.one(self.q)
         f = self._miller_loop(p, q_point)
         return self._final_exponentiation(f)
+
+    def pair_product(
+        self,
+        pairs: Iterable[tuple[Point, Point] | tuple[Point, Point, int]],
+    ) -> Fq2:
+        """Π ê(P_i, Q_i)^{e_i} with a single shared final exponentiation.
+
+        ``pairs`` yields ``(P, Q)`` (exponent 1) or ``(P, Q, e)`` entries;
+        exponents are reduced modulo r, and exponents above r/2 are folded
+        to ``(r - e, conjugate)`` so a numerator/denominator leaf pair
+        ``(P, Q, +w), (P', Q', -w)`` merges into one lockstep Miller loop.
+        Entries with a zero exponent or an infinity point contribute the
+        identity (and are skipped). An empty product returns the identity
+        without touching the final exponentiation.
+        """
+        # Group surviving entries by folded exponent so each group shares
+        # one Miller squaring chain: |group| states, one f accumulator.
+        groups: dict[int, list[tuple[Point, Point, int]]] = {}
+        for entry in pairs:
+            if len(entry) == 2:
+                p, q_point = entry
+                exponent = 1
+            else:
+                p, q_point, exponent = entry
+            if p.curve != self.params or q_point.curve != self.params:
+                raise ValueError("points do not belong to this pairing's curve")
+            exponent %= self.r
+            if exponent == 0 or p.infinity or q_point.infinity:
+                continue
+            sign = 1
+            if 2 * exponent > self.r:
+                exponent, sign = self.r - exponent, -1
+            groups.setdefault(exponent, []).append((p, q_point, sign))
+
+        self.op_counts["pair_products"] += 1
+        if not groups:
+            return Fq2.one(self.q)
+        exponents = sorted(groups)
+        miller_values = self._merged_miller([groups[e] for e in exponents])
+        if len(miller_values) == 1 and exponents[0] == 1:
+            combined = miller_values[0]
+        else:
+            combined = self._multi_exp(miller_values, exponents)
+        return self._final_exponentiation(combined)
 
     def identity(self) -> Fq2:
         """The identity of the target group GT."""
@@ -53,7 +146,70 @@ class Pairing:
         """Exponentiation in GT with the exponent reduced modulo r."""
         return element ** (exponent % self.r)
 
+    def gt_multi_exp(self, bases: Sequence[Fq2], exponents: Sequence[int]) -> Fq2:
+        """Π bases[i]^exponents[i] for elements of GT (the order-r
+        subgroup), via Straus/Shamir simultaneous exponentiation.
+
+        Equivalent to folding :meth:`gt_exp` over the pairs, but shares
+        one squaring chain across all bases. Exponents are reduced modulo
+        r; exponents above r/2 are rewritten as ``conj(base)^(r - e)``
+        (conjugation inverts order-r elements), which keeps every scalar
+        short. Bases must lie in GT — for general Fq2 elements use
+        :meth:`gt_exp`.
+        """
+        if len(bases) != len(exponents):
+            raise ValueError(
+                "got %d bases but %d exponents" % (len(bases), len(exponents))
+            )
+        work_bases: list[Fq2] = []
+        work_exponents: list[int] = []
+        for base, exponent in zip(bases, exponents):
+            if base.q != self.q:
+                raise ValueError("base is not a GT element for these parameters")
+            exponent %= self.r
+            if exponent == 0:
+                continue
+            if 2 * exponent > self.r:
+                base, exponent = base.conjugate(), self.r - exponent
+            work_bases.append(base)
+            work_exponents.append(exponent)
+        self.op_counts["gt_multi_exps"] += 1
+        if not work_bases:
+            return Fq2.one(self.q)
+        return self._multi_exp(work_bases, work_exponents)
+
     # -- internals ------------------------------------------------------------------
+
+    def _multi_exp(self, bases: list[Fq2], exponents: list[int]) -> Fq2:
+        """Straus simultaneous exponentiation (positive exponents only).
+
+        Bases are chunked; each chunk precomputes all subset products, and
+        a single square chain over the longest exponent interleaves the
+        chunk lookups.
+        """
+        one = Fq2.one(self.q)
+        chunks: list[tuple[list[Fq2], list[int]]] = []
+        for start in range(0, len(bases), _STRAUS_CHUNK):
+            chunk_bases = bases[start : start + _STRAUS_CHUNK]
+            table = [one] * (1 << len(chunk_bases))
+            for j, base in enumerate(chunk_bases):
+                bit = 1 << j
+                table[bit] = base
+                for mask in range(1, bit):
+                    table[bit | mask] = base * table[mask]
+            chunks.append((table, exponents[start : start + _STRAUS_CHUNK]))
+
+        acc = one
+        for position in range(max(e.bit_length() for e in exponents) - 1, -1, -1):
+            acc = acc.square()
+            for table, chunk_exponents in chunks:
+                mask = 0
+                for j, exponent in enumerate(chunk_exponents):
+                    if (exponent >> position) & 1:
+                        mask |= 1 << j
+                if mask:
+                    acc = acc * table[mask]
+        return acc
 
     def _miller_loop(self, p: Point, q_point: Point) -> Fq2:
         """Accumulate line functions f_{r,P} evaluated at phi(Q).
@@ -70,6 +226,8 @@ class Pairing:
         # Current multiple T = (tx, ty) of P, tracked in affine coordinates.
         tx, ty = p.x, p.y
         f = Fq2.one(mod)
+        self.op_counts["miller_loops"] += 1
+        self.op_counts["miller_states"] += 1
 
         def line_value(slope: int, px: int, py: int) -> Fq2:
             # Line through (px, py) with given slope, evaluated at phi(Q):
@@ -104,11 +262,98 @@ class Pairing:
                 tx = x3
         return f
 
+    def _merged_miller(
+        self, groups: list[list[tuple[Point, Point, int]]]
+    ) -> list[Fq2]:
+        """Run every Miller loop in lockstep; return one value per group.
+
+        Each group gets its own accumulator (so groups can carry different
+        outer exponents) but all states across all groups share the loop:
+        every iteration performs ONE batch inversion over all pending
+        slope denominators instead of one egcd per state. A ``sign`` of -1
+        on a state conjugates its contribution by negating the imaginary
+        part of every line value — equivalent to inverting the pairing
+        after the final exponentiation.
+        """
+        mod = self.q
+        # Mutable state per pair: [tx, ty, px, py, xq, yq, group, done].
+        states: list[list[int]] = []
+        for group_index, entries in enumerate(groups):
+            for p, q_point, sign in entries:
+                xq = (-q_point.x) % mod
+                yq = q_point.y % mod if sign >= 0 else (-q_point.y) % mod
+                states.append([p.x, p.y, p.x, p.y, xq, yq, group_index, 0])
+        self.op_counts["miller_loops"] += 1
+        self.op_counts["miller_states"] += len(states)
+
+        accumulators = [Fq2.one(mod)] * len(groups)
+        for bit in self._r_bits[1:]:
+            alive = [s for s in states if not s[7]]
+            # Doubling step for every live state, slopes batch-inverted.
+            inverses = batch_modinv([2 * s[1] % mod for s in alive], mod)
+            line_products: list[Fq2 | None] = [None] * len(groups)
+            for state, inverse in zip(alive, inverses):
+                tx, ty = state[0], state[1]
+                slope = (3 * tx * tx + 1) * inverse % mod
+                real = (-(slope * (state[4] - tx) + ty)) % mod
+                line = Fq2(mod, real, state[5])
+                group_index = state[6]
+                previous = line_products[group_index]
+                line_products[group_index] = line if previous is None else previous * line
+                x3 = (slope * slope - 2 * tx) % mod
+                state[1] = (slope * (tx - x3) - ty) % mod
+                state[0] = x3
+            for group_index, product in enumerate(line_products):
+                squared = accumulators[group_index].square()
+                accumulators[group_index] = (
+                    squared if product is None else squared * product
+                )
+
+            if bit == "1":
+                # Addition step. Vertical chords (T == -P) drop out under
+                # the final exponentiation; such a state is done (its T is
+                # O, which only happens at the end of the loop).
+                adding: list[list[int]] = []
+                denominators: list[int] = []
+                for state in alive:
+                    tx, ty, px, py = state[0], state[1], state[2], state[3]
+                    if tx == px:
+                        if (ty + py) % mod == 0:
+                            state[7] = 1
+                            continue
+                        denominators.append(2 * ty % mod)
+                    else:
+                        denominators.append((px - tx) % mod)
+                    adding.append(state)
+                inverses = batch_modinv(denominators, mod)
+                line_products = [None] * len(groups)
+                for state, inverse in zip(adding, inverses):
+                    tx, ty, px, py = state[0], state[1], state[2], state[3]
+                    if tx == px:  # T == P: tangent
+                        slope = (3 * tx * tx + 1) * inverse % mod
+                    else:
+                        slope = (py - ty) * inverse % mod
+                    real = (-(slope * (state[4] - tx) + ty)) % mod
+                    line = Fq2(mod, real, state[5])
+                    group_index = state[6]
+                    previous = line_products[group_index]
+                    line_products[group_index] = (
+                        line if previous is None else previous * line
+                    )
+                    x3 = (slope * slope - tx - px) % mod
+                    state[1] = (slope * (tx - x3) - ty) % mod
+                    state[0] = x3
+                for group_index, product in enumerate(line_products):
+                    if product is not None:
+                        accumulators[group_index] = accumulators[group_index] * product
+        return accumulators
+
     def _final_exponentiation(self, f: Fq2) -> Fq2:
         """f^((q^2 - 1) / r) = (conj(f) / f)^((q + 1) / r)."""
         if f.is_zero():
             # Can only happen if phi(Q) hit a line zero, i.e. Q in <P>'s
             # image — impossible for independent subgroups, but fail safe.
             raise ArithmeticError("degenerate Miller value")
+        self.op_counts["final_exps"] += 1
         easy = f.conjugate() * f.inverse()  # f^(q - 1)
         return easy ** self._hard_exponent

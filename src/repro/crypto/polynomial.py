@@ -9,15 +9,27 @@ the "evaluate at zero" shortcut via Lagrange basis coefficients).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Sequence
 
 from repro.crypto.field import FieldElement, PrimeField
+from repro.crypto.numbers import batch_modinv
 
 __all__ = [
     "Polynomial",
     "lagrange_coefficients_at_zero",
     "lagrange_interpolate_at",
 ]
+
+# Bounded LRU for Lagrange-at-zero coefficient vectors, keyed by
+# (field modulus, evaluation points). Threshold reconstructions reuse a
+# tiny set of index tuples — Shamir uses share x-coordinates, CP-ABE uses
+# child indices 1..n — so this cache turns the O(n^2) + inversion work
+# into a dict hit on every decrypt after the first.
+_LAGRANGE_CACHE: "OrderedDict[tuple[int, tuple[int, ...]], tuple[int, ...]]" = (
+    OrderedDict()
+)
+_LAGRANGE_CACHE_MAX = 4096
 
 
 class Polynomial:
@@ -159,7 +171,7 @@ class Polynomial:
 
 
 def lagrange_coefficients_at_zero(
-    field: PrimeField, xs: Sequence[FieldElement | int]
+    field: PrimeField, xs: Sequence[FieldElement | int], use_cache: bool = True
 ) -> list[FieldElement]:
     """Lagrange basis coefficients gamma_j evaluated at x = 0.
 
@@ -169,23 +181,51 @@ def lagrange_coefficients_at_zero(
     paper's section III-B:
 
         gamma_j = prod_{j' != j} s_{j'} / (s_{j'} - s_j)
+
+    All n denominators are inverted with one Montgomery batch inversion
+    (one egcd instead of n), and the resulting vector is memoized in a
+    bounded cache keyed by ``(field.p, tuple(points))`` — both Shamir
+    reconstruction and CP-ABE's threshold-gate recombination hit the same
+    handful of index sets over and over. Pass ``use_cache=False`` to force
+    a fresh computation (the equivalence tests pin both paths equal).
     """
-    points = [x if isinstance(x, FieldElement) else field(x) for x in xs]
-    if len({p.value for p in points}) != len(points):
+    for x in xs:
+        if isinstance(x, FieldElement) and x.field != field:
+            raise ValueError("evaluation point from a different field")
+    points = [int(x) % field.p for x in xs]
+    if len(set(points)) != len(points):
         raise ValueError("evaluation points must be distinct")
-    if any(p.is_zero() for p in points):
+    if any(p == 0 for p in points):
         raise ValueError("x = 0 must not be an evaluation point")
-    coefficients: list[FieldElement] = []
+
+    key = (field.p, tuple(points))
+    if use_cache:
+        cached = _LAGRANGE_CACHE.get(key)
+        if cached is not None:
+            _LAGRANGE_CACHE.move_to_end(key)
+            return [field(c) for c in cached]
+
+    p = field.p
+    numerators: list[int] = []
+    denominators: list[int] = []
     for j, xj in enumerate(points):
-        num = field.one()
-        den = field.one()
+        num = 1
+        den = 1
         for j2, xj2 in enumerate(points):
             if j2 == j:
                 continue
-            num = num * xj2
-            den = den * (xj2 - xj)
-        coefficients.append(num / den)
-    return coefficients
+            num = num * xj2 % p
+            den = den * (xj2 - xj) % p
+        numerators.append(num)
+        denominators.append(den)
+    inverses = batch_modinv(denominators, p)
+    values = tuple(n * inv % p for n, inv in zip(numerators, inverses))
+
+    if use_cache:
+        _LAGRANGE_CACHE[key] = values
+        if len(_LAGRANGE_CACHE) > _LAGRANGE_CACHE_MAX:
+            _LAGRANGE_CACHE.popitem(last=False)
+    return [field(c) for c in values]
 
 
 def lagrange_interpolate_at(

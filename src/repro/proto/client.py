@@ -34,6 +34,8 @@ from repro.obs.runtime import maybe_span
 from repro.osn.provider import Post, User
 from repro.proto.messages import (
     AnswerSubmission,
+    BatchReply,
+    BatchRequest,
     DisplayPuzzleRequest,
     ErrorReply,
     FetchPostRequest,
@@ -86,6 +88,101 @@ class ProtocolClient:
             if self.retry is None:
                 return exchange()
             return self.retry.call(exchange, label)
+
+    # -- batched round trips -----------------------------------------------------
+
+    def call_batch(
+        self,
+        label: str,
+        messages: "list[Message] | tuple[Message, ...]",
+        return_exceptions: bool = False,
+    ) -> list:
+        """Submit every message in ONE BatchRequest round trip.
+
+        Returns the decoded member replies in request order. A failed
+        member decodes to its taxonomy exception: with
+        ``return_exceptions=True`` it is returned *in place* (so callers
+        can act on partial success), otherwise the first member failure
+        raises — after the whole batch executed server-side either way.
+        The retry policy wraps only whole-batch transport failures;
+        per-member errors are never retried here, since their siblings
+        already committed.
+        """
+        reply = self._roundtrip(label, BatchRequest.of(*messages))
+        if not isinstance(reply, BatchReply):
+            raise RemoteServiceError(
+                "expected BatchReply, got %s" % type(reply).__name__
+            )
+        if len(reply.frames) != len(messages):
+            raise RemoteServiceError(
+                "batch reply carries %d members for %d requests"
+                % (len(reply.frames), len(messages))
+            )
+        results: list = []
+        first_error: BaseException | None = None
+        for frame in reply.frames:
+            member: object
+            try:
+                decoded = decode_message(frame)
+            except CodecError as exc:
+                member = TransientNetworkError(
+                    "batch member corrupted in transit: %s" % exc
+                )
+            else:
+                if isinstance(decoded, ErrorReply):
+                    member = decoded.to_exception()
+                else:
+                    member = decoded
+            if first_error is None and isinstance(member, BaseException):
+                first_error = member
+            results.append(member)
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
+    def storage_get_many(
+        self, urls: "list[str] | tuple[str, ...]", return_exceptions: bool = False
+    ) -> list:
+        """Fetch every URL in one round trip; see :meth:`call_batch` for
+        the per-member failure contract."""
+        replies = self.call_batch(
+            "dh.get_many",
+            [StorageGetRequest(url=url) for url in urls],
+            return_exceptions=return_exceptions,
+        )
+        return [
+            reply.data if isinstance(reply, Message) else reply for reply in replies
+        ]
+
+    def submit_answers_c1_batched(
+        self, answers_list: "list[PuzzleAnswers]", requester: str
+    ) -> list[ShareRelease]:
+        """Verify several C1 answer sets in one SP-plane round trip."""
+        submissions = [
+            AnswerSubmission(
+                construction=1,
+                puzzle_id=answers.puzzle_id,
+                requester=requester,
+                digests=dict(answers.digests),
+            )
+            for answers in answers_list
+        ]
+        return [reply.release for reply in self.call_batch("sp.verify", submissions)]
+
+    def submit_answers_c2_batched(
+        self, answers_list: "list[PuzzleAnswersC2]", requester: str
+    ) -> list[AccessGrantC2]:
+        """Verify several C2 answer sets in one SP-plane round trip."""
+        submissions = [
+            AnswerSubmission(
+                construction=2,
+                puzzle_id=answers.puzzle_id,
+                requester=requester,
+                digests={q: d.encode("ascii") for q, d in answers.digests.items()},
+            )
+            for answers in answers_list
+        ]
+        return [reply.grant for reply in self.call_batch("sp.verify", submissions)]
 
     # -- puzzle protocol ---------------------------------------------------------
 

@@ -17,9 +17,11 @@ change, not a protocol change.
 from __future__ import annotations
 
 from repro.core.throttle import ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2
-from repro.proto.frontends import ProviderFrontend, StorageFrontend, serve
+from repro.proto.envelope import peek_type
+from repro.proto.frontends import ProviderFrontend, StorageFrontend, serve, serve_batch
 from repro.proto.messages import (
     AnswerSubmission,
+    BatchRequest,
     DisplayPuzzleRequest,
     DisplayReplyC1,
     DisplayReplyC2,
@@ -30,6 +32,10 @@ from repro.proto.messages import (
     ReleaseReply,
     RetractPuzzleRequest,
     RetractReply,
+    StorageDeleteRequest,
+    StorageExistsRequest,
+    StorageGetRequest,
+    StoragePutRequest,
     StorePuzzleRequest,
     StoreReply,
     StoreUploadRequest,
@@ -37,6 +43,18 @@ from repro.proto.messages import (
 )
 
 __all__ = ["PuzzleProtocolEngine"]
+
+# Frame types a pure-storage batch is made of; such a batch hands over to
+# the storage frontend wholesale so a cluster can fan it out per node.
+_STORAGE_FRAME_TYPES = frozenset(
+    cls.TYPE
+    for cls in (
+        StoragePutRequest,
+        StorageGetRequest,
+        StorageExistsRequest,
+        StorageDeleteRequest,
+    )
+)
 
 
 def _unwrap(service: object) -> object:
@@ -90,6 +108,8 @@ class PuzzleProtocolEngine:
         return serve(request, self.handle)
 
     def handle(self, message: Message) -> Message:
+        if isinstance(message, BatchRequest):
+            return self._handle_batch(message)
         if isinstance(message, StorePuzzleRequest):
             return StoreReply(
                 puzzle_id=self.backend(1).store_puzzle(message.puzzle)
@@ -109,6 +129,22 @@ class PuzzleProtocolEngine:
         if isinstance(message, (PublishPostRequest, FetchPostRequest)):
             return self._provider_frontend.handle(message)
         return self._storage_frontend.handle(message)
+
+    def _handle_batch(self, batch: BatchRequest) -> Message:
+        """Execute a batch with per-member isolation.
+
+        A batch made purely of storage frames is handed to the storage
+        frontend wholesale, so a quorum-cluster frontend can fan the
+        member gets across its nodes and charge the link once per node;
+        mixed batches run member-by-member through the engine's own
+        routing. Either way one bad member answers with its own
+        :class:`~repro.proto.messages.ErrorReply` while the rest succeed.
+        """
+        if batch.frames and all(
+            peek_type(frame) in _STORAGE_FRAME_TYPES for frame in batch.frames
+        ):
+            return self._storage_frontend.handle(batch)
+        return serve_batch(batch, self.handle)
 
     # -- puzzle state machine ----------------------------------------------------
 

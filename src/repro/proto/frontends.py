@@ -21,6 +21,8 @@ from typing import Callable
 from repro.core.errors import UnroutableMessageError
 from repro.obs.runtime import count
 from repro.proto.messages import (
+    BatchReply,
+    BatchRequest,
     ErrorReply,
     FetchPostRequest,
     Message,
@@ -38,7 +40,7 @@ from repro.proto.messages import (
 )
 from repro.util.codec import CodecError
 
-__all__ = ["serve", "ProviderFrontend", "StorageFrontend"]
+__all__ = ["serve", "serve_batch", "ProviderFrontend", "StorageFrontend"]
 
 
 def serve(request: bytes, handler: Callable[[Message], Message]) -> bytes:
@@ -59,6 +61,30 @@ def serve(request: bytes, handler: Callable[[Message], Message]) -> bytes:
     return encode_message(reply)
 
 
+def serve_batch(
+    batch: BatchRequest, handler: Callable[[Message], Message]
+) -> BatchReply:
+    """Execute every member frame through :func:`serve`, in order.
+
+    Member isolation is the contract: a malformed or failing member
+    produces its own :class:`~repro.proto.messages.ErrorReply` frame in
+    its reply slot while its siblings execute normally. Nested batches
+    are refused per member with an ``unroutable`` error rather than
+    recursing.
+    """
+
+    def member_handler(message: Message) -> Message:
+        if isinstance(message, BatchRequest):
+            raise UnroutableMessageError("batch members cannot be batches")
+        return handler(message)
+
+    count("proto.batch.requests")
+    count("proto.batch.members", len(batch.frames))
+    return BatchReply(
+        frames=tuple(serve(frame, member_handler) for frame in batch.frames)
+    )
+
+
 class ProviderFrontend:
     """Wire face of a :class:`~repro.osn.provider.ServiceProvider`:
     profile posts and static-ACL reads."""
@@ -67,6 +93,8 @@ class ProviderFrontend:
         self.provider = provider
 
     def handle(self, message: Message) -> Message:
+        if isinstance(message, BatchRequest):
+            return serve_batch(message, self.handle)
         if isinstance(message, PublishPostRequest):
             post = self.provider.post(
                 message.author, message.content, audience=message.audience
@@ -91,6 +119,8 @@ class StorageFrontend:
         self.storage = storage
 
     def handle(self, message: Message) -> Message:
+        if isinstance(message, BatchRequest):
+            return serve_batch(message, self.handle)
         if isinstance(message, StoragePutRequest):
             return StoragePutReply(url=self.storage.put(message.data))
         if isinstance(message, StorageGetRequest):

@@ -60,6 +60,8 @@ __all__ = [
     "StorageGetRequest",
     "StorageExistsRequest",
     "StorageDeleteRequest",
+    "BatchRequest",
+    "BatchReply",
     "StoreReply",
     "DisplayReplyC1",
     "DisplayReplyC2",
@@ -463,6 +465,75 @@ class StorageDeleteRequest(Message):
         url = reader.text()
         reader.done()
         return cls(url=url)
+
+
+# -- batching ----------------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class BatchRequest(Message):
+    """N member requests in one round trip.
+
+    Members ride as *fully enveloped frames* (each its own sealed
+    message), decoded one by one at execution time: a corrupted member
+    yields its own per-member ``bad-message`` :class:`ErrorReply` while
+    its siblings execute normally — the same isolation :func:`~repro.proto.frontends.serve`
+    gives a lone frame. Batches cannot nest; a batch member that is
+    itself a batch is answered with an ``unroutable`` error.
+    """
+
+    TYPE = 0x20
+    frames: tuple[bytes, ...]
+
+    def encode_body(self) -> bytes:
+        body = u32(len(self.frames))
+        for frame in self.frames:
+            body += blob(frame)
+        return body
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "BatchRequest":
+        reader = Reader(body)
+        frames = tuple(reader.blob() for _ in range(reader.u32()))
+        reader.done()
+        return cls(frames=frames)
+
+    @classmethod
+    def of(cls, *messages: Message) -> "BatchRequest":
+        """Seal each message into its member frame."""
+        for message in messages:
+            if isinstance(message, BatchRequest):
+                raise ValueError("batch members cannot be batches")
+        return cls(frames=tuple(encode_message(m) for m in messages))
+
+
+@_register
+@dataclass(frozen=True)
+class BatchReply(Message):
+    """Member replies, one enveloped frame per request, in request
+    order. Failed members carry an :class:`ErrorReply` frame in their
+    slot; success and failure coexist in one reply."""
+
+    TYPE = 0x60
+    frames: tuple[bytes, ...]
+
+    def encode_body(self) -> bytes:
+        body = u32(len(self.frames))
+        for frame in self.frames:
+            body += blob(frame)
+        return body
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "BatchReply":
+        reader = Reader(body)
+        frames = tuple(reader.blob() for _ in range(reader.u32()))
+        reader.done()
+        return cls(frames=frames)
+
+    @classmethod
+    def of(cls, *messages: Message) -> "BatchReply":
+        return cls(frames=tuple(encode_message(m) for m in messages))
 
 
 # -- replies -----------------------------------------------------------------

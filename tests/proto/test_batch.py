@@ -1,0 +1,285 @@
+"""Batch envelopes: one round trip, per-member isolation.
+
+The batching contract has three load-bearing properties, each tested
+here at the layer that owns it:
+
+* **envelope** — ``BatchRequest``/``BatchReply`` round-trip their member
+  frames verbatim, and nesting is refused at construction *and* at
+  serve time (a hand-crafted nested frame still gets a per-member
+  ``unroutable`` error rather than recursion);
+* **member isolation** — a malformed or failing member answers with its
+  own :class:`~repro.proto.messages.ErrorReply` while every sibling
+  commits;
+* **fan-out economics** — a pure-storage batch against a quorum cluster
+  charges the network link once per consulted *node*, not once per key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterStorageFrontend, StorageCluster
+from repro.core.construction1 import PuzzleServiceC1
+from repro.osn.network import LAN_FAST
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageError, StorageHost
+from repro.proto.bus import MessageBus
+from repro.proto.client import ProtocolClient, RemoteServiceError
+from repro.proto.engine import PuzzleProtocolEngine
+from repro.proto.frontends import StorageFrontend, serve_batch
+from repro.proto.messages import (
+    BatchReply,
+    BatchRequest,
+    DisplayPuzzleRequest,
+    ErrorReply,
+    StorageBoolReply,
+    StorageExistsRequest,
+    StorageGetReply,
+    StorageGetRequest,
+    StoragePutReply,
+    StoragePutRequest,
+    decode_message,
+    encode_message,
+)
+
+
+def decode_members(reply: BatchReply):
+    return [decode_message(frame) for frame in reply.frames]
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        batch = BatchRequest.of(
+            StorageGetRequest(url="dh://1"), StoragePutRequest(data=b"x")
+        )
+        assert decode_message(encode_message(batch)) == batch
+        reply = BatchReply.of(StorageGetReply(data=b"y"))
+        assert decode_message(encode_message(reply)) == reply
+
+    def test_empty_batch_round_trips(self):
+        batch = BatchRequest(frames=())
+        assert decode_message(encode_message(batch)) == batch
+
+    def test_of_refuses_nested_batches(self):
+        inner = BatchRequest.of(StorageGetRequest(url="dh://1"))
+        with pytest.raises(ValueError):
+            BatchRequest.of(inner)
+
+    def test_members_are_enveloped_frames(self):
+        member = StorageGetRequest(url="dh://1")
+        batch = BatchRequest.of(member)
+        assert decode_message(batch.frames[0]) == member
+
+
+class TestServeBatch:
+    def test_member_isolation_under_a_failing_handler(self):
+        def handler(message):
+            if isinstance(message, StorageGetRequest):
+                raise StorageError("no object at %s" % message.url)
+            return StorageBoolReply(value=True)
+
+        batch = BatchRequest.of(
+            StorageExistsRequest(url="dh://ok"),
+            StorageGetRequest(url="dh://missing"),
+            StorageExistsRequest(url="dh://also-ok"),
+        )
+        ok1, err, ok2 = decode_members(serve_batch(batch, handler))
+        assert ok1 == StorageBoolReply(value=True)
+        assert ok2 == StorageBoolReply(value=True)
+        assert isinstance(err, ErrorReply) and err.code == "storage"
+
+    def test_malformed_member_answers_bad_message(self):
+        batch = BatchRequest(
+            frames=(
+                encode_message(StorageExistsRequest(url="dh://ok")),
+                b"garbage, not a frame",
+            )
+        )
+        ok, bad = decode_members(
+            serve_batch(batch, lambda m: StorageBoolReply(value=True))
+        )
+        assert ok == StorageBoolReply(value=True)
+        assert isinstance(bad, ErrorReply)
+        assert bad.code == "bad-message" and bad.transient
+
+    def test_nested_batch_member_is_unroutable(self):
+        nested = BatchRequest(
+            frames=(
+                encode_message(
+                    BatchRequest.of(StorageExistsRequest(url="dh://1"))
+                ),
+            )
+        )
+        (err,) = decode_members(
+            serve_batch(nested, lambda m: StorageBoolReply(value=True))
+        )
+        assert isinstance(err, ErrorReply) and err.code == "unroutable"
+
+
+@pytest.fixture()
+def engine_world():
+    provider = ServiceProvider()
+    storage = StorageHost()
+    engine = PuzzleProtocolEngine(provider, storage)
+    engine.register_backend(1, PuzzleServiceC1(audit=provider.audit))
+    return provider, storage, engine
+
+
+class TestEngineBatches:
+    def test_mixed_batch_routes_per_member(self, engine_world):
+        provider, storage, engine = engine_world
+        url = storage.put(b"blob")
+        batch = BatchRequest.of(
+            StorageGetRequest(url=url),
+            DisplayPuzzleRequest(construction=1, puzzle_id=999),
+        )
+        reply = decode_message(engine.dispatch(encode_message(batch)))
+        got, missing = decode_members(reply)
+        assert got == StorageGetReply(data=b"blob")
+        assert isinstance(missing, ErrorReply)
+
+    def test_pure_storage_batch_hands_to_storage_frontend(self, engine_world):
+        provider, storage, engine = engine_world
+
+        class Recording(StorageFrontend):
+            batches = 0
+
+            def handle(self, message):
+                if isinstance(message, BatchRequest):
+                    Recording.batches += 1
+                return super().handle(message)
+
+        engine._storage_frontend = Recording(storage)
+        batch = BatchRequest.of(
+            StoragePutRequest(data=b"a"), StoragePutRequest(data=b"b")
+        )
+        reply = decode_message(engine.dispatch(encode_message(batch)))
+        assert Recording.batches == 1
+        members = decode_members(reply)
+        assert all(isinstance(m, StoragePutReply) for m in members)
+
+
+class TestClientBatch:
+    def _client(self, storage=None):
+        storage = storage if storage is not None else StorageHost()
+        bus = MessageBus(StorageFrontend(storage))
+        return storage, ProtocolClient(bus)
+
+    def test_call_batch_preserves_order(self):
+        storage, client = self._client()
+        urls = [storage.put(b"blob %d" % i) for i in range(4)]
+        replies = client.call_batch(
+            "dh.get_many", [StorageGetRequest(url=url) for url in urls]
+        )
+        assert [r.data for r in replies] == [b"blob %d" % i for i in range(4)]
+
+    def test_member_failure_raises_after_siblings_commit(self):
+        storage, client = self._client()
+        put_ok = StoragePutRequest(data=b"will commit")
+        with pytest.raises(StorageError):
+            client.call_batch(
+                "dh.get_many",
+                [StorageGetRequest(url="dh://missing"), put_ok],
+            )
+        # The sibling put committed server-side despite the raise.
+        assert storage.exists("dh://dh/1")
+
+    def test_return_exceptions_yields_members_in_place(self):
+        storage, client = self._client()
+        url = storage.put(b"present")
+        good, bad = client.storage_get_many(
+            [url, "dh://missing"], return_exceptions=True
+        )
+        assert good == b"present"
+        assert isinstance(bad, StorageError)
+
+    def test_storage_get_many_happy_path(self):
+        storage, client = self._client()
+        urls = [storage.put(b"x" * (i + 1)) for i in range(3)]
+        assert client.storage_get_many(urls) == [b"x", b"xx", b"xxx"]
+
+    def test_non_batch_reply_rejected(self):
+        class WrongReply:
+            def dispatch(self, request):
+                return encode_message(StorageBoolReply(value=True))
+
+        client = ProtocolClient(MessageBus(WrongReply()))
+        with pytest.raises(RemoteServiceError):
+            client.call_batch("dh.get_many", [StorageGetRequest(url="dh://1")])
+
+
+class TestClusterBatches:
+    def test_batched_gets_charge_link_per_node_not_per_key(self):
+        link = LAN_FAST()
+        cluster = StorageCluster(num_nodes=3, link=link)
+        frontend = ClusterStorageFrontend(cluster)
+        urls = [cluster.put(b"blob %d" % i) for i in range(6)]
+
+        del link.log[:]
+        for url in urls:
+            cluster.get(url)
+        per_key_downloads = sum(1 for t in link.log if t.direction == "down")
+
+        del link.log[:]
+        batch = BatchRequest.of(*[StorageGetRequest(url=u) for u in urls])
+        reply = decode_message(frontend.dispatch(encode_message(batch)))
+        members = decode_members(reply)
+        assert [m.data for m in members] == [b"blob %d" % i for i in range(6)]
+        batched_downloads = sum(1 for t in link.log if t.direction == "down")
+
+        assert batched_downloads <= len(cluster.nodes)
+        assert batched_downloads < per_key_downloads
+
+    def test_per_member_errors_with_siblings_succeeding(self):
+        cluster = StorageCluster(num_nodes=3)
+        frontend = ClusterStorageFrontend(cluster)
+        url = cluster.put(b"present")
+        batch = BatchRequest(
+            frames=(
+                encode_message(StorageGetRequest(url=url)),
+                encode_message(StorageGetRequest(url="dh://dhc/missing")),
+                b"corrupt member",
+            )
+        )
+        reply = decode_message(frontend.dispatch(encode_message(batch)))
+        got, missing, corrupt = decode_members(reply)
+        assert got == StorageGetReply(data=b"present")
+        assert isinstance(missing, ErrorReply) and missing.code == "storage"
+        assert isinstance(corrupt, ErrorReply) and corrupt.code == "bad-message"
+
+    def test_fallback_when_store_cannot_batch(self):
+        class NoBatchStore:
+            def __init__(self):
+                self._host = StorageHost()
+
+            def put(self, data):
+                return self._host.put(data)
+
+            def get(self, url):
+                return self._host.get(url)
+
+            def exists(self, url):
+                return self._host.exists(url)
+
+            def delete(self, url):
+                return self._host.delete(url)
+
+        store = NoBatchStore()
+        frontend = ClusterStorageFrontend(store)
+        url = store.put(b"blob")
+        batch = BatchRequest.of(StorageGetRequest(url=url))
+        reply = decode_message(frontend.dispatch(encode_message(batch)))
+        (member,) = decode_members(reply)
+        assert member == StorageGetReply(data=b"blob")
+
+    def test_nested_batch_member_refused(self):
+        cluster = StorageCluster(num_nodes=3)
+        frontend = ClusterStorageFrontend(cluster)
+        batch = BatchRequest(
+            frames=(
+                encode_message(BatchRequest.of(StorageGetRequest(url="dh://1"))),
+            )
+        )
+        reply = decode_message(frontend.dispatch(encode_message(batch)))
+        (err,) = decode_members(reply)
+        assert isinstance(err, ErrorReply) and err.code == "unroutable"

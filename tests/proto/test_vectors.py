@@ -21,6 +21,8 @@ import pytest
 from repro.osn.provider import Post, User
 from repro.proto.messages import (
     AnswerSubmission,
+    BatchReply,
+    BatchRequest,
     DisplayPuzzleRequest,
     ErrorReply,
     FetchPostRequest,
@@ -29,6 +31,7 @@ from repro.proto.messages import (
     RetractPuzzleRequest,
     RetractReply,
     StorageGetReply,
+    StorageGetRequest,
     StoragePutRequest,
     StoreReply,
     decode_message,
@@ -76,6 +79,20 @@ GOLDEN = {
     "error_reply": ErrorReply(
         code="transient-provider", message="injected post-publish failure",
         transient=True,
+    ),
+    # Batch envelopes carry fully-enveloped member frames, so their
+    # vectors pin down the nested framing too.
+    "batch_request": BatchRequest.of(
+        StorageGetRequest(url="dh://0000000000000001"),
+        StorageGetRequest(url="dh://0000000000000002"),
+    ),
+    "batch_reply": BatchReply.of(
+        StorageGetReply(data=b"ciphertext bytes"),
+        ErrorReply(
+            code="storage",
+            message="no object at dh://0000000000000002",
+            transient=False,
+        ),
     ),
 }
 
