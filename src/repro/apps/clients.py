@@ -228,6 +228,13 @@ class _PuzzleAppBase:
         self.client = ProtocolClient(self.bus, retry=retry)
         self._dh_bus = dh_bus
         self._dh_client: ProtocolClient | None = None
+        # The retract-saga write-ahead log: puzzle_id -> (phase, url).
+        # ``recover_retracts`` re-drives whatever a crash left here.
+        self._pending_retracts: dict[int, tuple[str, str]] = {}
+        # Chaos-test seam: called with the saga phase just reached
+        # ("prepared" / "blob-deleted" / "committed"); raising from it
+        # simulates the client dying between phases.
+        self.retract_crash_hook: Callable[[str], None] | None = None
         self.service = service
         provider.host_service(self.SERVICE_NAME, service)
 
@@ -294,6 +301,81 @@ class _PuzzleAppBase:
         if puzzle_id is not None:
             self._remove_registration(puzzle_id)
         self.storage.delete(url)
+
+    # -- the two-phase retract saga ----------------------------------------------
+
+    def _saga_checkpoint(self, phase: str) -> None:
+        if self.retract_crash_hook is not None:
+            self.retract_crash_hook(phase)
+
+    def retract_share(self, puzzle_id: int) -> bool:
+        """Retract a published share atomically across both planes.
+
+        The one-shot retract (``client.retract``) deletes the SP
+        registration and leaves the DH blob to the caller; this saga
+        extends the atomic-share contract to retraction: **no live
+        registration may ever point at a deleted blob, and no retracted
+        share may leave either artifact behind.** Three phases:
+
+        1. *prepare* (SP): the registration moves into the retracting
+           set — display/verify stop serving it — and yields URL_O;
+        2. *delete* (DH): the blob is tombstoned under the usual
+           retry/quorum machinery; a failure here **aborts**, restoring
+           the registration unchanged, and re-raises;
+        3. *commit* (SP): the prepared registration is discarded.
+
+        Every phase transition is journaled in ``_pending_retracts``;
+        :meth:`recover_retracts` re-drives interrupted sagas forward
+        (both remaining steps are idempotent), so a crash between any
+        two phases leaves no orphaned registration and no orphaned blob
+        once recovery runs. Returns whether a registration was removed.
+        """
+        with maybe_span(
+            "retract.saga", construction=self.construction, puzzle_id=puzzle_id
+        ):
+            url = self.client.retract_prepare(self.construction, puzzle_id)
+            self._pending_retracts[puzzle_id] = ("prepared", url)
+            emit_event(
+                "retract.prepared", puzzle_id=puzzle_id, url=Label(url)
+            )
+            self._saga_checkpoint("prepared")
+            try:
+                self.storage.delete(url)
+            except Exception:
+                # The DH plane refused: roll the SP plane back so the
+                # share stays fully live, then surface the failure.
+                self.client.retract_abort(self.construction, puzzle_id)
+                self._pending_retracts.pop(puzzle_id, None)
+                emit_event("retract.aborted", puzzle_id=puzzle_id)
+                raise
+            self._pending_retracts[puzzle_id] = ("blob-deleted", url)
+            self._saga_checkpoint("blob-deleted")
+            removed = self.client.retract_commit(self.construction, puzzle_id)
+            self._pending_retracts.pop(puzzle_id, None)
+            emit_event("retract.committed", puzzle_id=puzzle_id)
+            self._saga_checkpoint("committed")
+            return removed
+
+    def recover_retracts(self) -> int:
+        """Re-drive every journaled retract saga to completion.
+
+        Once a retract was *prepared* the sharer's intent is recorded
+        and recovery always rolls forward: re-delete the blob if the
+        crash may have preceded the delete (tombstones make this
+        idempotent), then commit. Returns the number of sagas completed.
+        """
+        completed = 0
+        for puzzle_id in sorted(self._pending_retracts):
+            phase, url = self._pending_retracts[puzzle_id]
+            if phase == "prepared":
+                self.storage.delete(url)
+            self.client.retract_commit(self.construction, puzzle_id)
+            del self._pending_retracts[puzzle_id]
+            emit_event(
+                "retract.recovered", puzzle_id=puzzle_id, phase=Label(phase)
+            )
+            completed += 1
+        return completed
 
     def _post_text(self, user: User, puzzle_id: int) -> str:
         return (

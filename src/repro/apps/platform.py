@@ -80,6 +80,7 @@ class SocialPuzzlePlatform:
         throttle_max_failures: int | None = None,
         observability: Observability | None = None,
         cluster_nodes: int | None = None,
+        degraded_reads: bool = False,
     ):
         self.obs = observability
         self.provider = provider if provider is not None else ServiceProvider()
@@ -94,7 +95,10 @@ class SocialPuzzlePlatform:
         self.retry = retry_policy
         if retry_policy is not None or circuit_breaker is not None:
             self.storage: StorageHost = ResilientStorageClient(
-                base_storage, retry=retry_policy, breaker=circuit_breaker
+                base_storage,
+                retry=retry_policy,
+                breaker=circuit_breaker,
+                degraded_reads=degraded_reads,
             )
         else:
             self.storage = base_storage
@@ -111,7 +115,9 @@ class SocialPuzzlePlatform:
         if self.cluster is not None:
             from repro.cluster import ClusterStorageFrontend
 
-            storage_frontend = ClusterStorageFrontend(self.storage)
+            storage_frontend = ClusterStorageFrontend(
+                self.storage, degraded_reads=degraded_reads
+            )
         self.engine = PuzzleProtocolEngine(
             self.provider, self.storage, storage_frontend=storage_frontend
         )
@@ -229,6 +235,18 @@ class SocialPuzzlePlatform:
         return app.attempt_access_batched(
             viewer, share.puzzle_id, knowledge, device=device, link=link
         )
+
+    def retract(
+        self, user: User, share: ShareResult, construction: int = 1
+    ) -> bool:
+        """Retract ``share`` atomically across the SP and DH planes via
+        the two-phase saga (see ``_PuzzleAppBase.retract_share``)."""
+        del user  # the sharer's device does the work; kept for symmetry
+        return self._app(construction).retract_share(share.puzzle_id)
+
+    def recover_retracts(self, construction: int = 1) -> int:
+        """Roll forward retract sagas interrupted by a crash."""
+        return self._app(construction).recover_retracts()
 
     def _acl_gate(self, viewer: User, share: ShareResult) -> None:
         """Check the static ACL layer: the viewer must see the post before

@@ -362,6 +362,36 @@ def _cmd_audit(args) -> int:
     return 1
 
 
+def format_self_healing(registry) -> str:
+    """One-line summary of the cluster's self-healing counters.
+
+    Reads the registry without creating instruments, so a run that never
+    healed anything reports zeros rather than minting empty counters.
+
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("cluster.anti_entropy.keys_repaired").add(3)
+    >>> format_self_healing(registry)
+    'self-healing: anti-entropy rounds=0 repaired=3 bytes=0 | degraded reads=0 | hints dropped=0'
+    """
+
+    def value(name: str) -> int:
+        counter = registry.counters.get(name)
+        return int(counter.value) if counter is not None else 0
+
+    return (
+        "self-healing: anti-entropy rounds=%d repaired=%d bytes=%d"
+        " | degraded reads=%d | hints dropped=%d"
+        % (
+            value("cluster.anti_entropy.rounds"),
+            value("cluster.anti_entropy.keys_repaired"),
+            value("cluster.anti_entropy.bytes_exchanged"),
+            value("cluster.degraded_reads"),
+            value("cluster.hinted_handoff.dropped"),
+        )
+    )
+
+
 def _observed_journeys(args):
     """Run seeded share+solve journeys under an Observability hub.
 
@@ -442,6 +472,14 @@ def _observed_journeys(args):
             completed += 1
         except SocialPuzzleError:
             failed += 1
+    if cluster_nodes is not None:
+        # Close out the run the way a real deployment's background task
+        # would: one anti-entropy sweep so divergence the journeys left
+        # behind (flaky stores, shed hints) heals before we report.
+        from repro.obs.runtime import use as use_observer
+
+        with use_observer(obs):
+            substrates["storage"].run_anti_entropy()
     return obs, completed, failed
 
 
@@ -462,6 +500,9 @@ def _cmd_trace(args) -> int:
 def _cmd_stats(args) -> int:
     obs, completed, failed = _observed_journeys(args)
     print(obs.registry.render())
+    if getattr(args, "cluster_nodes", None) is not None:
+        print()
+        print(format_self_healing(obs.registry))
     print(
         f"\n{completed} journey(s) completed, {failed} failed "
         f"(construction {args.construction}); "

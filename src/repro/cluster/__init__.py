@@ -17,6 +17,9 @@ wire protocol, resilience layer) already speaks:
   deletes, join/decommission rebalancing, quorum-latency accounting.
 * :class:`~repro.cluster.frontend.ClusterStorageFrontend` — the wire
   face, speaking the same envelope and message types as a single host.
+* :mod:`repro.cluster.anti_entropy` — Merkle-tree background sync: the
+  self-healing backstop that converges cold divergence (missed hints,
+  shed hints, recovered crashes) without any client read.
 * :mod:`repro.cluster.faults` — seeded flaky nodes for the chaos
   harness.
 
@@ -25,6 +28,7 @@ Everything runs on the repository's simulated substrate — ``SimClock``,
 exactly reproducible.
 """
 
+from repro.cluster.anti_entropy import AntiEntropySynchronizer, MerkleTree
 from repro.cluster.cluster import ClusterAuditView, StorageCluster
 from repro.cluster.faults import FlakyClusterNode, flaky_node_factory
 from repro.cluster.frontend import ClusterStorageFrontend
@@ -39,6 +43,8 @@ __all__ = [
     "StorageCluster",
     "ClusterAuditView",
     "ClusterStorageFrontend",
+    "MerkleTree",
+    "AntiEntropySynchronizer",
     "FlakyClusterNode",
     "flaky_node_factory",
 ]

@@ -1,0 +1,331 @@
+"""Merkle anti-entropy: background convergence for the DH cluster.
+
+Read repair only heals keys somebody reads, and hinted handoff only
+heals what a holder still remembers. Everything else — hints shed under
+pressure, replicas lost while a node was down, writes that slid wholly
+onto stand-ins — is *cold divergence*, and this module is the backstop
+that heals it without any client read.
+
+The mechanism is the classic Dynamo/Cassandra one:
+
+* each node summarizes its replicas as a :class:`MerkleTree` over
+  fixed ring-position buckets — SHA-256 over the sorted ``(key,
+  version)`` pairs in each bucket, folded upward with a configurable
+  ``fanout`` — so two nodes can compare entire key ranges by exchanging
+  a handful of digests;
+* :class:`AntiEntropySynchronizer` runs pairwise sync rounds over the
+  live members: roots first, then only the branches that disagree, then
+  the entry lists of the divergent leaf buckets. Only keys whose
+  ``(key, version)`` actually differ move as repairs, newest version
+  winning (a tombstone is just the newest version of a delete, so
+  deletes propagate too);
+* repairs flow through :meth:`ClusterNode.store`, so every repaired
+  byte lands in the receiving node's own audit trail and is recorded as
+  a per-node ``anti-entropy`` event — background traffic stays visible
+  to the surveillance-resistance checks.
+
+Digest and repair traffic is charged to the cluster's
+:class:`~repro.osn.network.NetworkLink` and accounted in
+``cluster.anti_entropy.{rounds,keys_repaired,bytes_exchanged}``.
+Scheduling is simulated time only: give the cluster an
+``anti_entropy_interval_s`` and every storage operation first lets the
+synchronizer catch up with the :class:`~repro.sim.timing.SimClock`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import ring_hash
+from repro.obs.runtime import count, emit_event, maybe_span
+from repro.osn.faults import TransientStorageError
+
+__all__ = ["MerkleTree", "AntiEntropySynchronizer", "DIGEST_BYTES"]
+
+# SHA-256 digests travel the wire at full width.
+DIGEST_BYTES = 32
+
+# Per-entry wire cost when a divergent leaf exchanges its (key, version)
+# list: the version rides as 8 bytes next to the key text.
+_ENTRY_VERSION_BYTES = 8
+
+_RING_SPAN = 1 << 64  # ring_hash() tokens live in [0, 2^64)
+
+
+def _bucket_of(key: str, buckets: int) -> int:
+    """The fixed ring-position bucket ``key`` falls into: both sides of
+    a sync derive identical tree shapes from identical boundaries."""
+    return ring_hash(key) * buckets // _RING_SPAN
+
+
+class MerkleTree:
+    """A fixed-shape Merkle summary of ``(key, version)`` entries.
+
+    Leaves are ``buckets`` equal slices of the hash ring; a leaf digest
+    is SHA-256 over its sorted ``(key, version)`` pairs, and interior
+    nodes fold ``fanout`` children at a time. Because the bucket
+    boundaries are fixed, two trees built from different replica sets
+    are structurally identical and can be diffed level by level,
+    descending only into subtrees whose digests disagree.
+    """
+
+    def __init__(
+        self,
+        entries: "dict[str, int] | list[tuple[str, int]]",
+        buckets: int = 64,
+        fanout: int = 4,
+    ):
+        if buckets < 1:
+            raise ValueError("a Merkle tree needs at least one bucket")
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.buckets = buckets
+        self.fanout = fanout
+        pairs = entries.items() if isinstance(entries, dict) else entries
+        self._bucket_entries: list[list[tuple[str, int]]] = [
+            [] for _ in range(buckets)
+        ]
+        for key, version in pairs:
+            self._bucket_entries[_bucket_of(key, buckets)].append((key, version))
+        for bucket in self._bucket_entries:
+            bucket.sort()
+        # levels[0] = leaf digests, levels[-1] = [root]
+        self.levels: list[list[bytes]] = [
+            [self._leaf_digest(bucket) for bucket in self._bucket_entries]
+        ]
+        while len(self.levels[-1]) > 1:
+            below = self.levels[-1]
+            self.levels.append(
+                [
+                    self._node_digest(below[i : i + fanout])
+                    for i in range(0, len(below), fanout)
+                ]
+            )
+
+    @staticmethod
+    def _leaf_digest(entries: list[tuple[str, int]]) -> bytes:
+        h = hashlib.sha256(b"leaf")
+        for key, version in entries:
+            h.update(key.encode("utf-8"))
+            h.update(version.to_bytes(_ENTRY_VERSION_BYTES, "big"))
+        return h.digest()
+
+    @staticmethod
+    def _node_digest(children: list[bytes]) -> bytes:
+        h = hashlib.sha256(b"node")
+        for child in children:
+            h.update(child)
+        return h.digest()
+
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    def bucket_entries(self, index: int) -> list[tuple[str, int]]:
+        return list(self._bucket_entries[index])
+
+    def diff(self, other: "MerkleTree") -> tuple[list[int], int]:
+        """Divergent leaf-bucket indices, plus the number of digests a
+        real exchange would have shipped (both directions counted by the
+        caller). Descends root -> branches, touching only subtrees whose
+        digests disagree."""
+        if self.buckets != other.buckets or self.fanout != other.fanout:
+            raise ValueError("cannot diff trees with different shapes")
+        digests_compared = 1  # the roots
+        if self.root == other.root:
+            return [], digests_compared
+        # Walk down level by level; at each level expand only the
+        # children of nodes that disagreed above.
+        suspect = [0]
+        for level in range(len(self.levels) - 2, -1, -1):
+            expanded: list[int] = []
+            for parent in suspect:
+                start = parent * self.fanout
+                end = min(start + self.fanout, len(self.levels[level]))
+                for child in range(start, end):
+                    digests_compared += 1
+                    if self.levels[level][child] != other.levels[level][child]:
+                        expanded.append(child)
+            suspect = expanded
+            if not suspect:
+                return [], digests_compared
+        return suspect, digests_compared
+
+
+class AntiEntropySynchronizer:
+    """Pairwise Merkle sync rounds over a :class:`StorageCluster`.
+
+    One *round* syncs one pair of live nodes; :meth:`run_sweep` rounds
+    every live pair once, and :meth:`run_until_converged` sweeps until a
+    full sweep repairs nothing — the bounded-round convergence the
+    chaos suite asserts. ``tick`` is the SimClock scheduler hook: the
+    cluster calls it at the top of every storage operation, and a sweep
+    actually runs only when ``interval_s`` simulated seconds have
+    passed since the last one.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        buckets: int = 64,
+        fanout: int = 4,
+        interval_s: "float | None" = None,
+    ):
+        self.cluster = cluster
+        self.buckets = buckets
+        self.fanout = fanout
+        self.interval_s = interval_s
+        self.rounds = 0
+        self.keys_repaired = 0
+        self.bytes_exchanged = 0
+        self.sweeps = 0
+        self._last_sweep_s = 0.0
+        self._ticking = False
+
+    # -- scheduling --------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Run a sweep if the simulated interval has elapsed; returns
+        keys repaired (0 when scheduling is off or it is not time yet)."""
+        clock = self.cluster.clock
+        if self.interval_s is None or clock is None or self._ticking:
+            return 0
+        if clock.now() - self._last_sweep_s < self.interval_s:
+            return 0
+        # A sweep flushes pending degraded-read repairs through quorum
+        # reads; the guard keeps that from re-entering the scheduler.
+        self._ticking = True
+        try:
+            self._last_sweep_s = clock.now()
+            return self.run_sweep()
+        finally:
+            self._ticking = False
+
+    # -- sync rounds -------------------------------------------------------------
+
+    def _tree_for(self, node: ClusterNode, universe: set[str]) -> MerkleTree:
+        entries = []
+        for key in universe:
+            blob = node.replica(key)
+            if blob is not None:
+                entries.append((key, blob.version))
+        return MerkleTree(entries, buckets=self.buckets, fanout=self.fanout)
+
+    def _pair_universe(self, a: ClusterNode, b: ClusterNode) -> set[str]:
+        """Keys this pair must agree on: anything either side holds that
+        the *other* side is a natural replica for. A stand-in holding a
+        shed hint pushes the key home through exactly this rule."""
+        ring = self.cluster.ring
+        replication = self.cluster.replication
+        universe: set[str] = set()
+        for holder, peer in ((a, b), (b, a)):
+            for key in holder.keys():
+                if peer.name in ring.preference_list(key, replication):
+                    universe.add(key)
+        return universe
+
+    def sync_pair(self, a: ClusterNode, b: ClusterNode) -> int:
+        """One sync round between two live nodes; returns keys repaired."""
+        with maybe_span("cluster.anti_entropy.round", pair="%s|%s" % (a.name, b.name)):
+            self.rounds += 1
+            count("cluster.anti_entropy.rounds")
+            universe = self._pair_universe(a, b)
+            tree_a = self._tree_for(a, universe)
+            tree_b = self._tree_for(b, universe)
+            divergent, digests = tree_a.diff(tree_b)
+            # Both directions ship their digests.
+            digest_bytes = 2 * digests * DIGEST_BYTES
+            repaired = 0
+            repair_bytes = 0
+            for bucket in divergent:
+                entries_a = dict(tree_a.bucket_entries(bucket))
+                entries_b = dict(tree_b.bucket_entries(bucket))
+                for key, version in list(entries_a.items()) + list(
+                    entries_b.items()
+                ):
+                    digest_bytes += len(key.encode("utf-8")) + _ENTRY_VERSION_BYTES
+                for key in sorted(set(entries_a) | set(entries_b)):
+                    if entries_a.get(key) == entries_b.get(key):
+                        continue
+                    repaired_now, moved = self._repair(a, b, key)
+                    repaired += repaired_now
+                    repair_bytes += moved
+            self._account(a, b, digest_bytes, repair_bytes, repaired)
+            return repaired
+
+    def _repair(self, a: ClusterNode, b: ClusterNode, key: str) -> tuple[int, int]:
+        """Push the newer replica of ``key`` at the stale side; a side
+        only *receives* a copy if it is a natural replica for the key."""
+        blob_a = a.replica(key)
+        blob_b = b.replica(key)
+        if blob_a is None and blob_b is None:  # pragma: no cover - diff artifact
+            return 0, 0
+        if blob_b is None or (blob_a is not None and blob_a.version > blob_b.version):
+            source, target, blob = a, b, blob_a
+        else:
+            source, target, blob = b, a, blob_b
+        naturals = self.cluster.ring.preference_list(key, self.cluster.replication)
+        if target.name not in naturals:
+            return 0, 0
+        assert blob is not None
+        try:
+            changed = target.store(key, blob, reason="anti-entropy")
+        except TransientStorageError:
+            return 0, 0  # a flaky/unreachable target; the next round retries
+        if not changed:
+            return 0, 0
+        self.keys_repaired += 1
+        count("cluster.anti_entropy.keys_repaired")
+        emit_event(
+            "anti_entropy.repair",
+            source=source.name,
+            target=target.name,
+            version=blob.version,
+        )
+        size = len(blob.data) if blob.data is not None else 0
+        return 1, size
+
+    def _account(
+        self,
+        a: ClusterNode,
+        b: ClusterNode,
+        digest_bytes: int,
+        repair_bytes: int,
+        repaired: int,
+    ) -> None:
+        total = digest_bytes + repair_bytes
+        self.bytes_exchanged += total
+        count("cluster.anti_entropy.bytes_exchanged", total)
+        link = self.cluster.link
+        if link is not None and total:
+            delay = link.download(
+                total, "anti-entropy %s <-> %s (%d repairs)" % (a.name, b.name, repaired)
+            )
+            if self.cluster.clock is not None:
+                self.cluster.clock.advance(delay)
+
+    def run_sweep(self) -> int:
+        """Sync every live pair once (plus hint expiry and the pending
+        degraded-read repair queue); returns keys repaired."""
+        self.sweeps += 1
+        self.cluster.expire_hints()
+        repaired = 0
+        live = self.cluster.live_nodes()
+        for i, a in enumerate(live):
+            for b in live[i + 1 :]:
+                repaired += self.sync_pair(a, b)
+        repaired += self.cluster.flush_pending_repairs()
+        return repaired
+
+    def run_until_converged(self, max_sweeps: int = 8) -> int:
+        """Sweep until a full sweep repairs nothing; returns the number
+        of sweeps that did work. Raises if ``max_sweeps`` is not enough
+        — convergence is supposed to be bounded, so a runaway loop is a
+        bug, not a retry case."""
+        for sweep in range(max_sweeps):
+            if self.run_sweep() == 0:
+                return sweep
+        raise RuntimeError(
+            "anti-entropy did not converge within %d sweeps" % max_sweeps
+        )

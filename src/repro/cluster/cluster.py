@@ -44,9 +44,10 @@ from __future__ import annotations
 
 import itertools
 
+from repro.cluster.anti_entropy import AntiEntropySynchronizer
 from repro.cluster.node import ClusterNode, VersionedBlob
 from repro.cluster.ring import HashRing
-from repro.obs.runtime import count, maybe_span, observe
+from repro.obs.runtime import count, emit_event, maybe_span, observe
 from repro.osn.faults import TransientStorageError
 from repro.osn.network import NetworkLink
 from repro.osn.storage import StorageError
@@ -95,9 +96,18 @@ class StorageCluster:
         link: NetworkLink | None = None,
         node_factory=None,
         max_audit_entries: int | None = None,
+        max_hints_per_node: int | None = None,
+        hint_ttl_s: float | None = None,
+        anti_entropy_interval_s: float | None = None,
+        anti_entropy_buckets: int = 64,
+        anti_entropy_fanout: int = 4,
     ):
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if max_hints_per_node is not None and max_hints_per_node < 0:
+            raise ValueError("max_hints_per_node must be >= 0")
+        if hint_ttl_s is not None and hint_ttl_s < 0:
+            raise ValueError("hint_ttl_s must be >= 0")
         # Unset knobs derive from cluster size: 3-way replication where
         # the membership allows it, majority quorums over the replicas.
         if replication is None:
@@ -139,6 +149,18 @@ class StorageCluster:
         self._versions = itertools.count(1)
         self.audit = ClusterAuditView(self)
         self._frontend = None
+        self.max_hints_per_node = max_hints_per_node
+        self.hint_ttl_s = hint_ttl_s
+        self.anti_entropy = AntiEntropySynchronizer(
+            self,
+            buckets=anti_entropy_buckets,
+            fanout=anti_entropy_fanout,
+            interval_s=anti_entropy_interval_s,
+        )
+        # Degraded (R=1) reads flagged for async read repair; the next
+        # flush or anti-entropy sweep re-reads them at full quorum.
+        self._pending_repairs: set[str] = set()
+        self.degraded_read_count = 0
 
     def _admit(self, node_name: str) -> ClusterNode:
         node = self._node_factory(node_name)
@@ -199,6 +221,7 @@ class StorageCluster:
         returns its public URL_O. Raises a retryable
         :class:`~repro.osn.faults.TransientStorageError` when the quorum
         is unreachable."""
+        self.anti_entropy.tick()
         with maybe_span("cluster.put", num_bytes=len(data)):
             url = "dh://%s/%d" % (self.name, next(self._serial))
             blob = VersionedBlob(next(self._versions), bytes(data))
@@ -220,6 +243,7 @@ class StorageCluster:
         :class:`~repro.osn.storage.StorageError`; an unreachable read
         quorum is a transient one.
         """
+        self.anti_entropy.tick()
         with maybe_span("cluster.get"):
             winner, delays = self._quorum_read(url, charge_payload=True)
             if winner is None or winner.tombstone:
@@ -242,6 +266,7 @@ class StorageCluster:
         :class:`~repro.osn.faults.TransientStorageError` taxonomy), so
         one missing key cannot fail its siblings.
         """
+        self.anti_entropy.tick()
         with maybe_span("cluster.get_many", num_keys=len(urls)):
             results: list = []
             per_node_bytes: dict[str, int] = {}
@@ -279,6 +304,7 @@ class StorageCluster:
             return results
 
     def exists(self, url: str) -> bool:
+        self.anti_entropy.tick()
         with maybe_span("cluster.exists"):
             count("cluster.exists.calls")
             winner, delays = self._quorum_read(url, charge_payload=False)
@@ -290,6 +316,7 @@ class StorageCluster:
         object was found to delete (the atomic-share rollback reads
         this). A replica that was down for the delete learns of it from
         the tombstone during read repair or hint replay."""
+        self.anti_entropy.tick()
         with maybe_span("cluster.delete"):
             count("cluster.delete.calls")
             winner, _ = self._quorum_read(url, charge_payload=False)
@@ -350,6 +377,147 @@ class StorageCluster:
             self._frontend = ClusterStorageFrontend(self)
         return self._frontend.dispatch(request)
 
+    # -- self-healing surface ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _shed_hints(self, holder: ClusterNode) -> int:
+        """Enforce the per-holder hint cap, dropping oldest-first; the
+        write quorum already acknowledged these replicas, so shedding is
+        only safe because anti-entropy re-homes the data later."""
+        if self.max_hints_per_node is None:
+            return 0
+        dropped = 0
+        for key in holder.oldest_hints():
+            if len(holder.hinted) <= self.max_hints_per_node:
+                break
+            if holder.drop_hint(key):
+                dropped += 1
+                count("cluster.hinted_handoff.dropped")
+                emit_event("hint.dropped", holder=holder.name, reason="cap")
+        return dropped
+
+    def expire_hints(self) -> int:
+        """Drop hints older than ``hint_ttl_s`` (SimClock age) on every
+        live holder; returns the number shed."""
+        if self.hint_ttl_s is None:
+            return 0
+        now = self._now()
+        dropped = 0
+        for holder in self.live_nodes():
+            for key in holder.oldest_hints():
+                if now - holder.hint_stored_at.get(key, 0.0) < self.hint_ttl_s:
+                    break  # oldest-first: the rest are younger still
+                if holder.drop_hint(key):
+                    dropped += 1
+                    count("cluster.hinted_handoff.dropped")
+                    emit_event("hint.dropped", holder=holder.name, reason="ttl")
+        return dropped
+
+    def get_degraded(self, url: str) -> bytes:
+        """Availability-over-consistency fallback: an R=1 read serving
+        the first live replica found, *without* quorum confirmation.
+
+        The result is tagged stale-risk (``cluster.degraded_reads``) and
+        the URL is queued for async read repair, which the next
+        :meth:`flush_pending_repairs` or anti-entropy sweep runs at full
+        quorum. Raises the usual transient error when no live replica
+        holds the object but some node is unreachable — absence stays
+        unproven — and a permanent one when every live node answered
+        empty."""
+        with maybe_span("cluster.degraded_read"):
+            unreachable = 0
+            for node_name in self.ring.walk(url):
+                node = self._nodes[node_name]
+                if not node.up:
+                    unreachable += 1
+                    continue
+                try:
+                    blob = node.fetch(url)
+                except TransientStorageError:
+                    unreachable += 1
+                    continue
+                if blob is None:
+                    continue
+                if blob.tombstone:
+                    raise StorageError("no object at %s" % url)
+                self.degraded_read_count += 1
+                count("cluster.degraded_reads")
+                emit_event("cluster.degraded_read", node=node.name)
+                self._pending_repairs.add(url)
+                if self.link is not None:
+                    delay = self.link.download(
+                        len(blob.data) + REPLICA_RPC_OVERHEAD,
+                        "degraded read %s <- %s" % (url, node.name),
+                    )
+                    observe("cluster.get.quorum_latency_s", delay, _LATENCY_BOUNDS)
+                    if self.clock is not None:
+                        self.clock.advance(delay)
+                return blob.data
+            if unreachable:
+                raise TransientStorageError(
+                    "degraded read found no live replica for %s (%d unreachable)"
+                    % (url, unreachable)
+                )
+            raise StorageError("no object at %s" % url)
+
+    def flush_pending_repairs(self) -> int:
+        """Run the queued degraded-read repairs at full quorum; URLs
+        whose quorum is still unreachable stay queued. Returns the
+        number flushed."""
+        flushed = 0
+        for url in sorted(self._pending_repairs):
+            try:
+                self._quorum_read(url, charge_payload=False, charge_link=False)
+            except TransientStorageError:
+                continue
+            except StorageError:
+                pass  # permanently gone: nothing left to repair
+            self._pending_repairs.discard(url)
+            flushed += 1
+        if flushed:
+            count("cluster.read_repair.async_flushed", flushed)
+        return flushed
+
+    def run_anti_entropy(self) -> int:
+        """One full anti-entropy sweep (hint expiry, every live pair,
+        pending-repair flush); returns keys repaired."""
+        return self.anti_entropy.run_sweep()
+
+    def divergent_keys(self) -> dict[str, dict[str, int | None]]:
+        """Keys whose live *natural* replicas disagree with the newest
+        live version — the convergence invariant is exactly that this is
+        empty after bounded anti-entropy sweeps. Maps each divergent key
+        to the stale replicas' ``{node: version-or-None}``."""
+        live = self.live_nodes()
+        out: dict[str, dict[str, int | None]] = {}
+        for key in sorted({key for node in live for key in node.keys()}):
+            versions = [
+                node.replica(key).version
+                for node in live
+                if node.replica(key) is not None
+            ]
+            if not versions:
+                continue
+            newest = max(versions)
+            stale = {
+                node.name: (
+                    node.replica(key).version
+                    if node.replica(key) is not None
+                    else None
+                )
+                for node in self.replica_nodes(key)
+                if node.up
+                and (
+                    node.replica(key) is None
+                    or node.replica(key).version != newest
+                )
+            }
+            if stale:
+                out[key] = stale
+        return out
+
     # -- replication & quorum internals --------------------------------------------
 
     def _replicate(self, url: str, blob: VersionedBlob) -> tuple[int, list[float]]:
@@ -376,11 +544,12 @@ class StorageCluster:
                 for holder_name in stand_ins:
                     holder = self._nodes[holder_name]
                     try:
-                        holder.store(url, blob, hint_for=target)
+                        holder.store(url, blob, hint_for=target, now=self._now())
                     except TransientStorageError:
                         continue
                     stored_on = holder
                     count("cluster.hinted_handoff.stored")
+                    self._shed_hints(holder)
                     break
             if stored_on is not None:
                 acks += 1

@@ -51,13 +51,17 @@ class FlakyClusterNode(ClusterNode):
         blob: VersionedBlob,
         hint_for: str | None = None,
         force: bool = False,
+        now: float = 0.0,
+        reason: str | None = None,
     ) -> bool:
         if self.up and self._rng.random() < self.store_failure_rate:
             self.faults_injected += 1
             raise TransientStorageError(
                 "injected store failure on %s" % self.name
             )
-        return super().store(key, blob, hint_for=hint_for, force=force)
+        return super().store(
+            key, blob, hint_for=hint_for, force=force, now=now, reason=reason
+        )
 
     def fetch(self, key: str) -> VersionedBlob | None:
         if self.up and self._rng.random() < self.fetch_failure_rate:

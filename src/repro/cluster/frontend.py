@@ -24,8 +24,9 @@ key or an unreachable quorum each answer with their own per-member
 
 from __future__ import annotations
 
-from repro.core.errors import UnroutableMessageError
+from repro.core.errors import CircuitOpenError, UnroutableMessageError
 from repro.obs.runtime import count
+from repro.osn.faults import TransientStorageError
 from repro.proto.frontends import StorageFrontend, serve_batch
 from repro.proto.messages import (
     BatchReply,
@@ -43,16 +44,38 @@ __all__ = ["ClusterStorageFrontend"]
 
 
 class ClusterStorageFrontend(StorageFrontend):
-    """Wire face of a :class:`~repro.cluster.cluster.StorageCluster`."""
+    """Wire face of a :class:`~repro.cluster.cluster.StorageCluster`.
 
-    def __init__(self, cluster):
+    With ``degraded_reads=True`` a get whose quorum is unreachable (or
+    whose resilience wrapper fails fast with an open circuit) falls back
+    to the cluster's R=1 :meth:`~repro.cluster.cluster.StorageCluster.
+    get_degraded` instead of surfacing the transient error — trading
+    bounded staleness for availability, with the stale-risk serve
+    counted under ``cluster.degraded_reads`` and queued for async read
+    repair. Off by default: quorum semantics stay the contract unless a
+    deployment opts into the trade.
+    """
+
+    def __init__(self, cluster, degraded_reads: bool = False):
         super().__init__(cluster)
         self.cluster = cluster
+        self.degraded_reads = degraded_reads
+
+    def _degraded_get(self, url: str) -> bytes:
+        # ``cluster`` may be a resilient wrapper; getattr sees through it
+        # (and deliberately bypasses its breaker — this is the one path
+        # allowed to keep serving while the breaker cools down).
+        return self.cluster.get_degraded(url)
 
     def handle(self, message: Message) -> Message:
         count("cluster.frontend.requests")
         if isinstance(message, BatchRequest):
             return self._handle_batch(message)
+        if self.degraded_reads and isinstance(message, StorageGetRequest):
+            try:
+                return super().handle(message)
+            except (TransientStorageError, CircuitOpenError):
+                return StorageGetReply(data=self._degraded_get(message.url))
         return super().handle(message)
 
     def _handle_batch(self, batch: BatchRequest) -> Message:
@@ -85,6 +108,14 @@ class ClusterStorageFrontend(StorageFrontend):
         if get_indices:
             results = get_many([decoded[index].url for index in get_indices])
             for index, result in zip(get_indices, results):
+                if isinstance(result, Exception):
+                    if self.degraded_reads and isinstance(
+                        result, (TransientStorageError, CircuitOpenError)
+                    ):
+                        try:
+                            result = self._degraded_get(decoded[index].url)
+                        except Exception as exc:
+                            result = exc
                 if isinstance(result, Exception):
                     count("proto.error_replies")
                     reply_frames[index] = encode_message(

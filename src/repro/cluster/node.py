@@ -59,9 +59,14 @@ class ClusterNode:
         self.audit = AuditTrail(max_entries=max_audit_entries)
         self.up = True
         self.hinted: dict[str, str] = {}
+        self.hint_stored_at: dict[str, float] = {}
         self._blobs: dict[str, VersionedBlob] = {}
         self.stores = 0
         self.fetches = 0
+        # Per-node background-traffic log: (kind, key) tuples for hint
+        # drops and anti-entropy repairs, so the surveillance tests can
+        # account for every byte a member handled off the client path.
+        self.events: list[tuple[str, str]] = []
 
     # -- failure control ---------------------------------------------------------
 
@@ -83,15 +88,20 @@ class ClusterNode:
         blob: VersionedBlob,
         hint_for: str | None = None,
         force: bool = False,
+        now: float = 0.0,
+        reason: str | None = None,
     ) -> bool:
         """Accept a replica; an older version never overwrites a newer one.
 
-        ``hint_for`` marks a sloppy-quorum write held for a crashed peer.
-        ``force`` lets read repair replace an *equal-version* replica
-        whose bytes diverge (tampering); even forced, a strictly newer
-        local version is never rolled back. Returns whether the replica
-        changed. The bytes are audited either way: a hint holder
-        observes exactly what a natural replica would.
+        ``hint_for`` marks a sloppy-quorum write held for a crashed peer,
+        stamped with the coordinator's simulated ``now`` so hint TTLs can
+        age it out. ``force`` lets read repair replace an *equal-version*
+        replica whose bytes diverge (tampering); even forced, a strictly
+        newer local version is never rolled back. ``reason`` tags
+        background writes (e.g. ``"anti-entropy"``) in the node's own
+        event log. Returns whether the replica changed. The bytes are
+        audited either way: a hint holder observes exactly what a
+        natural replica would.
         """
         self._require_up("store")
         current = self._blobs.get(key)
@@ -106,10 +116,19 @@ class ClusterNode:
         self._blobs[key] = blob
         if hint_for is not None:
             self.hinted[key] = hint_for
+            self.hint_stored_at[key] = now
+        if reason is not None:
+            self.record_event(reason, key)
         self.stores += 1
         count("cluster.node.store")
         count("cluster.node.%s.stores" % self.name)
         return True
+
+    def record_event(self, kind: str, key: str) -> None:
+        """Log a background action against this node by name, so hint
+        drops and anti-entropy repairs stay attributable per member."""
+        self.events.append((kind, key))
+        count("cluster.node.%s.events" % self.name)
 
     def fetch(self, key: str) -> VersionedBlob | None:
         """The replica for ``key``, or ``None`` when this node has none."""
@@ -125,6 +144,23 @@ class ClusterNode:
         is a tombstone written through :meth:`store`."""
         self._blobs.pop(key, None)
         self.hinted.pop(key, None)
+        self.hint_stored_at.pop(key, None)
+
+    def drop_hint(self, key: str) -> bool:
+        """Shed one hinted replica (TTL expiry or volume cap), recording
+        a per-node ``hint-drop`` event. Returns whether a hint was held.
+        Anti-entropy is the backstop that re-homes the dropped data."""
+        if key not in self.hinted:
+            return False
+        self.record_event("hint-drop", key)
+        self.discard(key)
+        return True
+
+    def oldest_hints(self) -> list[str]:
+        """Hinted keys oldest-first (then by key, for determinism)."""
+        return sorted(
+            self.hinted, key=lambda key: (self.hint_stored_at.get(key, 0.0), key)
+        )
 
     def take_hints(self, target: str) -> list[tuple[str, VersionedBlob]]:
         """Remove and return every hinted replica held for ``target``."""

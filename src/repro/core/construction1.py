@@ -281,6 +281,7 @@ class PuzzleServiceC1:
     def __init__(self, audit: AuditTrail | None = None):
         self.audit = audit if audit is not None else AuditTrail()
         self._puzzles: dict[int, Puzzle] = {}
+        self._retracting: dict[int, Puzzle] = {}
         self._serial = 0
 
     def store_puzzle(self, puzzle: Puzzle) -> int:
@@ -303,7 +304,41 @@ class PuzzleServiceC1:
         """Unregister a puzzle (sharer retraction or publish rollback);
         returns whether anything was removed. Identifiers are never
         reused, so a rolled-back registration leaves no trace."""
-        return self._puzzles.pop(puzzle_id, None) is not None
+        prepared = self._retracting.pop(puzzle_id, None) is not None
+        return self._puzzles.pop(puzzle_id, None) is not None or prepared
+
+    # -- the two-phase retract saga ----------------------------------------------
+
+    def prepare_retract(self, puzzle_id: int) -> str:
+        """Saga phase 1: move the registration into the retracting set —
+        display/verify stop serving it immediately — and return its
+        URL_O so the DH plane can delete the blob. Idempotent: re-
+        preparing an already-prepared puzzle returns the same URL.
+        Unknown ids raise :class:`UnknownPuzzleError`."""
+        if puzzle_id in self._retracting:
+            return self._retracting[puzzle_id].url
+        puzzle = self._puzzle(puzzle_id)
+        self._retracting[puzzle_id] = puzzle
+        del self._puzzles[puzzle_id]
+        return puzzle.url
+
+    def commit_retract(self, puzzle_id: int) -> bool:
+        """Saga phase 2: discard the prepared registration for good;
+        returns whether a prepared retract existed (idempotent)."""
+        return self._retracting.pop(puzzle_id, None) is not None
+
+    def abort_retract(self, puzzle_id: int) -> bool:
+        """Saga rollback: restore a prepared registration, exactly as it
+        was before the prepare; returns whether one was pending."""
+        puzzle = self._retracting.pop(puzzle_id, None)
+        if puzzle is None:
+            return False
+        self._puzzles[puzzle_id] = puzzle
+        return True
+
+    def pending_retracts(self) -> list[int]:
+        """Prepared-but-uncommitted retracts (recovery introspection)."""
+        return sorted(self._retracting)
 
     def display_puzzle(
         self, puzzle_id: int, rng: random.Random | None = None

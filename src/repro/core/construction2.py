@@ -376,6 +376,7 @@ class PuzzleServiceC2:
         self.audit = audit if audit is not None else AuditTrail()
         self.digestmod = digestmod
         self._records: dict[int, C2Upload] = {}
+        self._retracting: dict[int, C2Upload] = {}
         self._serial = 0
 
     def store_upload(self, record: C2Upload) -> int:
@@ -407,7 +408,40 @@ class PuzzleServiceC2:
     def remove_upload(self, puzzle_id: int) -> bool:
         """Unregister an upload (sharer retraction or publish rollback);
         returns whether anything was removed."""
-        return self._records.pop(puzzle_id, None) is not None
+        prepared = self._retracting.pop(puzzle_id, None) is not None
+        return self._records.pop(puzzle_id, None) is not None or prepared
+
+    # -- the two-phase retract saga ----------------------------------------------
+
+    def prepare_retract(self, puzzle_id: int) -> str:
+        """Saga phase 1: move the record into the retracting set —
+        display/verify stop serving it immediately — and return its
+        URL_O so the DH plane can delete the blob. Idempotent per
+        puzzle; unknown ids raise :class:`UnknownPuzzleError`."""
+        if puzzle_id in self._retracting:
+            return self._retracting[puzzle_id].url
+        record = self._record(puzzle_id)
+        self._retracting[puzzle_id] = record
+        del self._records[puzzle_id]
+        return record.url
+
+    def commit_retract(self, puzzle_id: int) -> bool:
+        """Saga phase 2: discard the prepared record for good; returns
+        whether a prepared retract existed (idempotent)."""
+        return self._retracting.pop(puzzle_id, None) is not None
+
+    def abort_retract(self, puzzle_id: int) -> bool:
+        """Saga rollback: restore a prepared record unchanged; returns
+        whether one was pending."""
+        record = self._retracting.pop(puzzle_id, None)
+        if record is None:
+            return False
+        self._records[puzzle_id] = record
+        return True
+
+    def pending_retracts(self) -> list[int]:
+        """Prepared-but-uncommitted retracts (recovery introspection)."""
+        return sorted(self._retracting)
 
     def display_puzzle(self, puzzle_id: int) -> DisplayedPuzzleC2:
         record = self._record(puzzle_id)

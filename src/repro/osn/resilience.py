@@ -37,7 +37,7 @@ from typing import Callable, TypeVar
 
 from repro.core.errors import CircuitOpenError, TransientServiceError
 from repro.obs.events import Label
-from repro.obs.runtime import emit_event
+from repro.obs.runtime import count, emit_event
 from repro.osn.storage import StorageError, StorageHost
 from repro.sim.metrics import ResilienceMetrics
 from repro.sim.timing import SimClock
@@ -282,11 +282,15 @@ class ResilientStorageClient:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         verify_writes: bool = True,
+        degraded_reads: bool = False,
     ):
         self.host = host
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker
         self.verify_writes = verify_writes
+        self.degraded_reads = degraded_reads
+        # Reads served with stale risk through the degraded fallback.
+        self.stale_risk_reads = 0
 
     # ``wrapped`` is the conventional unwrap attribute shared with the
     # fault-injecting proxies in :mod:`repro.osn.faults`.
@@ -337,12 +341,36 @@ class ResilientStorageClient:
     def get(self, url: str) -> bytes:
         """Fetch a blob, retrying transient faults; a missing URL is a
         permanent :class:`~repro.osn.storage.StorageError` and surfaces
-        on the first attempt."""
-        return self.retry.call(
-            self._guarded(lambda: self.host.get(url)),
-            "storage.get",
-            self._storage_retryable,
-        )
+        on the first attempt.
+
+        With ``degraded_reads`` and a host exposing ``get_degraded``
+        (the quorum cluster does), an open circuit or an exhausted
+        transient retry budget falls back to one R=1 read instead of
+        failing: availability over consistency, with the serve counted
+        as stale-risk (``stale_risk_reads``,
+        ``resilience.degraded_reads``) and the host queueing the URL for
+        async read repair. The fallback deliberately bypasses the
+        breaker — it is the one path allowed to keep serving while the
+        breaker cools down."""
+        try:
+            return self.retry.call(
+                self._guarded(lambda: self.host.get(url)),
+                "storage.get",
+                self._storage_retryable,
+            )
+        except (CircuitOpenError, TransientServiceError) as exc:
+            fallback = getattr(self.host, "get_degraded", None)
+            if not self.degraded_reads or fallback is None:
+                raise
+            data = fallback(url)
+            self.stale_risk_reads += 1
+            count("resilience.degraded_reads")
+            emit_event(
+                "storage.degraded_read",
+                url=Label(url),
+                cause=Label(type(exc).__name__),
+            )
+            return data
 
     def exists(self, url: str) -> bool:
         """Existence probe with the same retry/breaker treatment as

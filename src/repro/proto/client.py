@@ -41,6 +41,9 @@ from repro.proto.messages import (
     FetchPostRequest,
     Message,
     PublishPostRequest,
+    RetractAbortRequest,
+    RetractCommitRequest,
+    RetractPrepareRequest,
     RetractPuzzleRequest,
     StoragePutRequest,
     StorageDeleteRequest,
@@ -248,6 +251,30 @@ class ProtocolClient:
         reply = self._roundtrip(
             "sp.retract",
             RetractPuzzleRequest(construction=construction, puzzle_id=puzzle_id),
+        )
+        return reply.removed
+
+    # -- the two-phase retract saga ----------------------------------------------
+
+    def retract_prepare(self, construction: int, puzzle_id: int) -> str:
+        """Saga phase 1: hide the registration; returns its URL_O."""
+        reply = self._roundtrip(
+            "sp.retract_prepare",
+            RetractPrepareRequest(construction=construction, puzzle_id=puzzle_id),
+        )
+        return reply.url
+
+    def retract_commit(self, construction: int, puzzle_id: int) -> bool:
+        reply = self._roundtrip(
+            "sp.retract_commit",
+            RetractCommitRequest(construction=construction, puzzle_id=puzzle_id),
+        )
+        return reply.removed
+
+    def retract_abort(self, construction: int, puzzle_id: int) -> bool:
+        reply = self._roundtrip(
+            "sp.retract_abort",
+            RetractAbortRequest(construction=construction, puzzle_id=puzzle_id),
         )
         return reply.removed
 

@@ -30,6 +30,10 @@ from repro.proto.messages import (
     Message,
     PublishPostRequest,
     ReleaseReply,
+    RetractAbortRequest,
+    RetractCommitRequest,
+    RetractPrepareReply,
+    RetractPrepareRequest,
     RetractPuzzleRequest,
     RetractReply,
     StorageDeleteRequest,
@@ -124,6 +128,11 @@ class PuzzleProtocolEngine:
             return self._verify(message)
         if isinstance(message, RetractPuzzleRequest):
             return self._retract(message)
+        if isinstance(
+            message,
+            (RetractPrepareRequest, RetractCommitRequest, RetractAbortRequest),
+        ):
+            return self._retract_saga(message)
         # Substrate-bound messages route to the owning frontend, so one
         # bus serves the SP's whole surface.
         if isinstance(message, (PublishPostRequest, FetchPostRequest)):
@@ -180,3 +189,14 @@ class PuzzleProtocolEngine:
         if message.construction == 1:
             return RetractReply(removed=backend.remove_puzzle(message.puzzle_id))
         return RetractReply(removed=backend.remove_upload(message.puzzle_id))
+
+    def _retract_saga(self, message: Message) -> Message:
+        """The two-phase retract verbs; both backends implement the same
+        ``prepare_retract`` / ``commit_retract`` / ``abort_retract``
+        surface, so routing is construction-agnostic."""
+        backend = self.backend(message.construction)
+        if isinstance(message, RetractPrepareRequest):
+            return RetractPrepareReply(url=backend.prepare_retract(message.puzzle_id))
+        if isinstance(message, RetractCommitRequest):
+            return RetractReply(removed=backend.commit_retract(message.puzzle_id))
+        return RetractReply(removed=backend.abort_retract(message.puzzle_id))

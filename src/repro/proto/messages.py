@@ -54,6 +54,9 @@ __all__ = [
     "DisplayPuzzleRequest",
     "AnswerSubmission",
     "RetractPuzzleRequest",
+    "RetractPrepareRequest",
+    "RetractCommitRequest",
+    "RetractAbortRequest",
     "PublishPostRequest",
     "FetchPostRequest",
     "StoragePutRequest",
@@ -68,6 +71,7 @@ __all__ = [
     "ReleaseReply",
     "GrantReply",
     "RetractReply",
+    "RetractPrepareReply",
     "PostReply",
     "StoragePutReply",
     "StorageGetReply",
@@ -344,6 +348,75 @@ class RetractPuzzleRequest(Message):
 
     @classmethod
     def decode_body(cls, body: bytes) -> "RetractPuzzleRequest":
+        reader = Reader(body)
+        construction = reader.u8()
+        puzzle_id = reader.u32()
+        reader.done()
+        return cls(construction=construction, puzzle_id=puzzle_id)
+
+
+@_register
+@dataclass(frozen=True)
+class RetractPrepareRequest(Message):
+    """Retract saga phase 1: hide the registration, learn URL_O.
+
+    A prepared registration stops serving display/verify immediately but
+    is restorable by :class:`RetractAbortRequest` until the commit —
+    the cross-plane contract: no live registration ever points at a
+    blob the DH plane has already deleted.
+    """
+
+    TYPE = 0x0C
+    construction: int
+    puzzle_id: int
+
+    def encode_body(self) -> bytes:
+        return u8(self.construction) + u32(self.puzzle_id)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RetractPrepareRequest":
+        reader = Reader(body)
+        construction = reader.u8()
+        puzzle_id = reader.u32()
+        reader.done()
+        return cls(construction=construction, puzzle_id=puzzle_id)
+
+
+@_register
+@dataclass(frozen=True)
+class RetractCommitRequest(Message):
+    """Retract saga phase 2: discard the prepared registration for good."""
+
+    TYPE = 0x0D
+    construction: int
+    puzzle_id: int
+
+    def encode_body(self) -> bytes:
+        return u8(self.construction) + u32(self.puzzle_id)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RetractCommitRequest":
+        reader = Reader(body)
+        construction = reader.u8()
+        puzzle_id = reader.u32()
+        reader.done()
+        return cls(construction=construction, puzzle_id=puzzle_id)
+
+
+@_register
+@dataclass(frozen=True)
+class RetractAbortRequest(Message):
+    """Retract saga rollback: restore a prepared registration."""
+
+    TYPE = 0x0E
+    construction: int
+    puzzle_id: int
+
+    def encode_body(self) -> bytes:
+        return u8(self.construction) + u32(self.puzzle_id)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RetractAbortRequest":
         reader = Reader(body)
         construction = reader.u8()
         puzzle_id = reader.u32()
@@ -633,6 +706,26 @@ class RetractReply(Message):
         removed = bool(reader.u8())
         reader.done()
         return cls(removed=removed)
+
+
+@_register
+@dataclass(frozen=True)
+class RetractPrepareReply(Message):
+    """The prepared registration's URL_O — what the DH plane must delete
+    before the saga may commit."""
+
+    TYPE = 0x4A
+    url: str
+
+    def encode_body(self) -> bytes:
+        return text(self.url)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RetractPrepareReply":
+        reader = Reader(body)
+        url = reader.text()
+        reader.done()
+        return cls(url=url)
 
 
 @_register

@@ -131,3 +131,29 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "shares:" in out
         assert "false positives" in out
+
+
+class TestStats:
+    def test_cluster_run_prints_self_healing_line(self, capsys):
+        assert main(
+            ["stats", "--journeys", "1", "--params", "toy", "--cluster-nodes", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "self-healing:" in out
+        assert "anti-entropy rounds=" in out
+        assert "hints dropped=" in out
+
+    def test_single_host_run_omits_self_healing_line(self, capsys):
+        assert main(["stats", "--journeys", "1", "--params", "toy"]) == 0
+        assert "self-healing:" not in capsys.readouterr().out
+
+    def test_cli_doctests_pass(self):
+        # The format_self_healing example doubles as the CI doctest; run
+        # it here too so a drift fails tier-1, not just the docs job.
+        import doctest
+
+        import repro.cli
+
+        result = doctest.testmod(repro.cli)
+        assert result.failed == 0
+        assert result.attempted >= 1

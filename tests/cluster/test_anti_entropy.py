@@ -1,0 +1,351 @@
+"""Self-healing: Merkle anti-entropy, hint shedding, degraded reads.
+
+The convergence invariant asserted throughout: after seeded crashes and
+hint loss, a bounded number of anti-entropy sweeps drives every live
+natural replica to an identical ``(key, version)`` set —
+``cluster.divergent_keys() == {}`` — without any client read.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MerkleTree, StorageCluster
+from repro.cluster.anti_entropy import _bucket_of
+from repro.obs import Observability
+from repro.obs.runtime import use as use_observer
+from repro.osn.faults import TransientStorageError
+from repro.osn.network import LAN_FAST
+from repro.osn.resilience import CircuitBreaker, ResilientStorageClient, RetryPolicy
+from repro.osn.storage import StorageError
+from repro.sim.timing import SimClock
+
+
+class TestMerkleTree:
+    def test_identical_entries_identical_roots(self):
+        entries = {"dh://c/%d" % i: i + 1 for i in range(20)}
+        a = MerkleTree(entries)
+        b = MerkleTree(list(entries.items()))
+        assert a.root == b.root
+        divergent, digests = a.diff(b)
+        assert divergent == []
+        assert digests == 1  # equal roots: nothing below is exchanged
+
+    def test_single_divergence_locates_the_bucket(self):
+        entries = {"dh://c/%d" % i: 1 for i in range(50)}
+        changed = dict(entries)
+        changed["dh://c/7"] = 2
+        a = MerkleTree(entries, buckets=64, fanout=4)
+        b = MerkleTree(changed, buckets=64, fanout=4)
+        divergent, digests = a.diff(b)
+        assert divergent == [_bucket_of("dh://c/7", 64)]
+        # The walk prunes: far fewer digests than one per bucket.
+        assert digests < 64
+
+    def test_missing_key_diverges(self):
+        a = MerkleTree({"dh://c/1": 1, "dh://c/2": 1})
+        b = MerkleTree({"dh://c/1": 1})
+        divergent, _ = a.diff(b)
+        assert divergent == [_bucket_of("dh://c/2", a.buckets)]
+
+    def test_fanout_changes_shape_not_root_meaning(self):
+        entries = {"dh://c/%d" % i: i for i in range(30)}
+        wide = MerkleTree(entries, buckets=16, fanout=16)
+        assert len(wide.levels) == 2  # 16 leaves fold straight to a root
+        deep = MerkleTree(entries, buckets=16, fanout=2)
+        assert len(deep.levels) == 5
+        same = MerkleTree(entries, buckets=16, fanout=2)
+        assert deep.diff(same) == ([], 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree({}, buckets=8).diff(MerkleTree({}, buckets=16))
+        with pytest.raises(ValueError):
+            MerkleTree({}, fanout=2).diff(MerkleTree({}, fanout=4))
+        with pytest.raises(ValueError):
+            MerkleTree({}, buckets=0)
+        with pytest.raises(ValueError):
+            MerkleTree({}, fanout=1)
+
+    def test_bucket_entries_sorted(self):
+        tree = MerkleTree({"dh://c/b": 2, "dh://c/a": 1})
+        collected = []
+        for index in range(tree.buckets):
+            collected.extend(tree.bucket_entries(index))
+        assert sorted(collected) == [("dh://c/a", 1), ("dh://c/b", 2)]
+
+
+def cold_divergence(cluster):
+    """Write while one natural replica is down, with hints saturated
+    away, so nothing but anti-entropy can re-home the data."""
+    url = cluster.put(b"payload")
+    victim = cluster.replica_nodes(url)[0]
+    victim.crash()
+    cluster.delete(url)  # tombstone misses the victim
+    fresh = cluster.put(b"fresh payload")
+    victim.recover()
+    return url, fresh, victim
+
+
+class TestAntiEntropyConvergence:
+    def test_heals_missed_write_without_client_reads(self):
+        cluster = StorageCluster(num_nodes=5, max_hints_per_node=0)
+        url = cluster.put(b"secret bytes")
+        victim = cluster.replica_nodes(url)[0]
+        victim.crash()
+        # Overwrite via delete+reput pattern is not needed: just wipe the
+        # victim's replica to model a disk loss, then bring it back.
+        victim.recover()
+        victim.discard(url)
+        assert not victim.has_value(url)
+        assert cluster.divergent_keys() != {}
+        get_calls_before = cluster.anti_entropy.rounds
+        repaired = cluster.run_anti_entropy()
+        assert repaired >= 1
+        assert cluster.anti_entropy.rounds > get_calls_before
+        assert victim.has_value(url)
+        assert cluster.divergent_keys() == {}
+
+    def test_shed_hint_rehomed_from_stand_in(self):
+        # With the hint cap at zero every sloppy write's hint is dropped
+        # immediately; only the stand-in's plain replica and anti-entropy
+        # can bring the victim back in sync.
+        cluster = StorageCluster(num_nodes=5, max_hints_per_node=0)
+        probe = cluster.put(b"probe")
+        victim = cluster.replica_nodes(probe)[0]
+        victim.crash()
+        url = cluster.put(b"written around the crash")
+        assert all(not node.hinted for node in cluster.nodes)
+        victim.recover()
+        assert cluster.recover(victim.name) == 0  # nothing hinted to replay
+        if victim in cluster.replica_nodes(url):
+            assert not victim.has_value(url)
+            cluster.anti_entropy.run_until_converged()
+            assert victim.has_value(url)
+        assert cluster.divergent_keys() == {}
+
+    def test_tombstone_propagates_as_newest_version(self):
+        cluster = StorageCluster(num_nodes=5, max_hints_per_node=0)
+        url, _, victim = cold_divergence(cluster)
+        assert victim.replica(url) is not None
+        assert not victim.replica(url).tombstone  # missed the delete
+        cluster.anti_entropy.run_until_converged()
+        assert victim.replica(url).tombstone
+        with pytest.raises(StorageError):
+            cluster.get(url)
+
+    def test_run_until_converged_is_bounded(self):
+        cluster = StorageCluster(num_nodes=5, max_hints_per_node=0)
+        for i in range(8):
+            url = cluster.put(b"object %d" % i)
+            node = cluster.replica_nodes(url)[i % 3]
+            node.discard(url)
+        assert cluster.anti_entropy.run_until_converged(max_sweeps=4) >= 1
+        assert cluster.divergent_keys() == {}
+        # A converged cluster converges in zero working sweeps.
+        assert cluster.anti_entropy.run_until_converged() == 0
+
+    def test_metrics_and_link_accounting(self):
+        clock = SimClock()
+        obs = Observability(clock=clock)
+        cluster = StorageCluster(
+            num_nodes=3, clock=clock, link=LAN_FAST(seed=13, jitter=0.2)
+        )
+        with use_observer(obs):
+            url = cluster.put(b"x" * 256)
+            cluster.replica_nodes(url)[0].discard(url)
+            before = clock.now()
+            repaired = cluster.run_anti_entropy()
+        assert repaired == 1
+        sync = cluster.anti_entropy
+        assert sync.rounds == 3  # every live pair of the 3 nodes
+        assert sync.keys_repaired == 1
+        assert sync.bytes_exchanged > 256  # digests + the repaired blob
+        counters = obs.registry.counters
+        assert counters["cluster.anti_entropy.rounds"].value == 3
+        assert counters["cluster.anti_entropy.keys_repaired"].value == 1
+        assert counters["cluster.anti_entropy.bytes_exchanged"].value == (
+            sync.bytes_exchanged
+        )
+        assert clock.now() > before  # digest traffic took simulated time
+
+    def test_repairs_are_audited_per_node(self):
+        cluster = StorageCluster(num_nodes=3)
+        url = cluster.put(b"auditable payload")
+        victim = cluster.replica_nodes(url)[0]
+        victim.discard(url)
+        victim.audit = type(victim.audit)()  # forget the original write
+        cluster.run_anti_entropy()
+        assert victim.has_value(url)
+        assert victim.audit.saw(b"auditable payload")
+        assert ("anti-entropy", url) in victim.events
+
+
+class TestScheduling:
+    def test_tick_runs_on_interval_only(self):
+        clock = SimClock()
+        cluster = StorageCluster(
+            num_nodes=3, clock=clock, anti_entropy_interval_s=60.0
+        )
+        url = cluster.put(b"scheduled")
+        cluster.replica_nodes(url)[0].discard(url)
+        baseline = cluster.anti_entropy.sweeps
+        cluster.get(url)  # interval not yet elapsed: no sweep
+        assert cluster.anti_entropy.sweeps == baseline
+        clock.advance(61.0)
+        cluster.get(url)
+        assert cluster.anti_entropy.sweeps == baseline + 1
+        assert cluster.divergent_keys() == {}
+
+    def test_unscheduled_cluster_never_ticks(self):
+        cluster = StorageCluster(num_nodes=3)
+        url = cluster.put(b"manual only")
+        cluster.get(url)
+        assert cluster.anti_entropy.sweeps == 0
+
+
+class TestHintShedding:
+    def crash_and_hint(self, cluster, want_hints):
+        """Crash one node, then keep writing until ``want_hints`` sloppy
+        writes actually hinted (a put only hints when the victim is a
+        natural replica for its URL, which depends on the ring)."""
+        probe = cluster.put(b"probe")
+        victim = cluster.replica_nodes(probe)[0]
+        victim.crash()
+        urls = []
+        hinted = 0
+        for i in range(40 * want_hints):
+            before = sum(len(node.hinted) for node in cluster.nodes)
+            urls.append(cluster.put(b"hinted %d" % i))
+            hinted += sum(len(node.hinted) for node in cluster.nodes) - before
+            if hinted >= want_hints:
+                return victim, urls
+        raise AssertionError("ring never made the victim a natural replica")
+
+    def holders(self, cluster):
+        return [node for node in cluster.nodes if node.hinted]
+
+    def test_cap_drops_oldest_first(self):
+        obs = Observability()
+        with use_observer(obs):
+            cluster = StorageCluster(num_nodes=4, max_hints_per_node=1)
+            probe = cluster.put(b"probe")
+            victim = cluster.replica_nodes(probe)[0]
+            victim.crash()
+            # Write until some holder was forced over its one-hint cap.
+            for i in range(200):
+                cluster.put(b"hinted %d" % i)
+                counters = obs.registry.counters
+                if "cluster.hinted_handoff.dropped" in counters:
+                    break
+        dropped = obs.registry.counters["cluster.hinted_handoff.dropped"].value
+        assert dropped >= 1
+        for node in cluster.nodes:
+            assert len(node.hinted) <= 1
+        drop_events = [
+            event for node in cluster.nodes for event in node.events
+            if event[0] == "hint-drop"
+        ]
+        assert len(drop_events) == dropped
+
+    def test_ttl_expires_aged_hints(self):
+        clock = SimClock()
+        cluster = StorageCluster(num_nodes=4, clock=clock, hint_ttl_s=30.0)
+        victim, urls = self.crash_and_hint(cluster, 2)
+        held = sum(len(node.hinted) for node in cluster.nodes)
+        assert held >= 2
+        clock.advance(31.0)
+        assert cluster.expire_hints() == held
+        assert not self.holders(cluster)
+        # The blobs themselves were dropped with the hints...
+        victim.recover()
+        assert cluster.recover(victim.name) == 0
+        # ...but anti-entropy still re-homes them from the write-quorum
+        # replicas that acknowledged the original puts.
+        cluster.anti_entropy.run_until_converged()
+        assert cluster.divergent_keys() == {}
+        for i, url in enumerate(urls):
+            assert cluster.get(url) == b"hinted %d" % i
+
+    def test_young_hints_survive_a_sweep(self):
+        clock = SimClock()
+        cluster = StorageCluster(num_nodes=4, clock=clock, hint_ttl_s=30.0)
+        self.crash_and_hint(cluster, 2)
+        clock.advance(5.0)
+        assert cluster.expire_hints() == 0
+        assert self.holders(cluster)
+
+
+class TestDegradedReads:
+    def build(self, **kwargs):
+        cluster = StorageCluster(
+            num_nodes=3, replication=3, write_quorum=2, read_quorum=2, **kwargs
+        )
+        url = cluster.put(b"still reachable")
+        return cluster, url
+
+    def test_quorum_loss_then_degraded_serve(self):
+        cluster, url = self.build()
+        cluster.crash("dhc-n0")
+        cluster.crash("dhc-n1")
+        with pytest.raises(TransientStorageError):
+            cluster.get(url)
+        assert cluster.get_degraded(url) == b"still reachable"
+        assert cluster.degraded_read_count == 1
+        assert url in cluster._pending_repairs
+
+    def test_pending_repair_flushes_at_full_quorum(self):
+        cluster, url = self.build()
+        cluster.crash("dhc-n0")
+        cluster.crash("dhc-n1")
+        cluster.get_degraded(url)
+        assert cluster.flush_pending_repairs() == 0  # quorum still down
+        assert url in cluster._pending_repairs
+        cluster.recover("dhc-n0")
+        cluster.recover("dhc-n1")
+        assert cluster.flush_pending_repairs() == 1
+        assert cluster._pending_repairs == set()
+
+    def test_degraded_read_of_deleted_object_still_404s(self):
+        cluster, url = self.build()
+        cluster.delete(url)
+        cluster.crash("dhc-n0")
+        cluster.crash("dhc-n1")
+        with pytest.raises(StorageError):
+            cluster.get_degraded(url)
+        assert cluster.degraded_read_count == 0
+
+    def test_resilient_client_falls_back_on_exhausted_retries(self):
+        clock = SimClock()
+        cluster, url = self.build(clock=clock)
+        cluster.crash("dhc-n0")
+        cluster.crash("dhc-n1")
+        client = ResilientStorageClient(
+            cluster,
+            retry=RetryPolicy(max_attempts=2, clock=clock),
+            degraded_reads=True,
+        )
+        assert client.get(url) == b"still reachable"
+        assert client.stale_risk_reads == 1
+        # Without the flag the same failure surfaces unchanged.
+        strict = ResilientStorageClient(
+            cluster, retry=RetryPolicy(max_attempts=2, clock=clock)
+        )
+        with pytest.raises(TransientStorageError):
+            strict.get(url)
+
+    def test_resilient_client_falls_back_on_open_circuit(self):
+        clock = SimClock()
+        cluster, url = self.build(clock=clock)
+        cluster.crash("dhc-n0")
+        cluster.crash("dhc-n1")
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        client = ResilientStorageClient(
+            cluster,
+            retry=RetryPolicy(max_attempts=2, clock=clock),
+            breaker=breaker,
+            degraded_reads=True,
+        )
+        assert client.get(url) == b"still reachable"  # trips the breaker
+        assert client.get(url) == b"still reachable"  # serves past it
+        assert client.stale_risk_reads == 2

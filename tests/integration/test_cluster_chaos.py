@@ -201,6 +201,119 @@ class TestRepairConvergence:
         )
 
 
+class _Killed(Exception):
+    """The simulated crash the retract-saga chaos hook raises."""
+
+
+class TestRetractSaga:
+    """Kill-between-phases chaos for the two-phase retract.
+
+    The invariant: whatever phase the client died in, after
+    ``recover_retracts`` neither plane holds an orphan — the SP has no
+    registration (prepared or live) for the puzzle, and no live DH
+    replica of the blob survives anywhere in the cluster.
+    """
+
+    @staticmethod
+    def assert_no_orphans(platform, cluster, bob, share, url, construction):
+        backend = platform.engine.backend(construction)
+        assert backend.pending_retracts() == []
+        with pytest.raises(Exception) as excinfo:
+            platform.solve(bob, share, CONTEXT, construction=construction)
+        assert type(excinfo.value).__name__ in (
+            "UnknownPuzzleError",
+            "StorageError",
+        )
+        for node in cluster.nodes:
+            replica = node.replica(url)
+            assert replica is None or replica.tombstone, (
+                "live blob replica survived on %s" % node.name
+            )
+
+    @pytest.mark.parametrize("construction", [1, 2])
+    def test_clean_retract_removes_both_planes(self, construction):
+        platform, cluster, alice, bob = build_platform()
+        share, url = share_tracking_url(
+            platform, cluster, alice, b"retract me", construction=construction
+        )
+        assert platform.retract(alice, share, construction=construction)
+        self.assert_no_orphans(platform, cluster, bob, share, url, construction)
+
+    @pytest.mark.parametrize("construction", [1, 2])
+    @pytest.mark.parametrize("crash_stage", ["prepared", "blob-deleted"])
+    def test_crash_between_phases_then_recovery(self, construction, crash_stage):
+        platform, cluster, alice, bob = build_platform()
+        app = platform.app_c1 if construction == 1 else platform.app_c2
+        share, url = share_tracking_url(
+            platform, cluster, alice, b"crash target", construction=construction
+        )
+
+        def die_at(stage):
+            if stage == crash_stage:
+                raise _Killed(stage)
+
+        app.retract_crash_hook = die_at
+        with pytest.raises(_Killed):
+            platform.retract(alice, share, construction=construction)
+        app.retract_crash_hook = None
+        # Mid-saga the prepared registration already stopped serving.
+        backend = platform.engine.backend(construction)
+        assert share.puzzle_id in backend.pending_retracts()
+        assert platform.recover_retracts(construction=construction) == 1
+        self.assert_no_orphans(platform, cluster, bob, share, url, construction)
+
+    @pytest.mark.parametrize("construction", [1, 2])
+    def test_dh_failure_aborts_and_share_stays_live(self, construction):
+        # Bury the DH write quorum before phase 2: the saga must roll the
+        # SP plane back and leave the share fully accessible afterwards.
+        platform, cluster, alice, bob = build_platform()
+        share, url = share_tracking_url(
+            platform, cluster, alice, b"survives the abort", construction=construction
+        )
+        for node in cluster.nodes:
+            if not node.has_value(url):
+                node.crash()
+        down = [node.name for node in cluster.nodes if not node.up]
+        if len(cluster.nodes) - len(down) < cluster.write_quorum:
+            with pytest.raises(TransientStorageError):
+                platform.retract(alice, share, construction=construction)
+        else:
+            # Every node held a replica; force the quorum loss instead.
+            for node in cluster.replica_nodes(url)[1:]:
+                node.crash()
+            with pytest.raises(TransientStorageError):
+                platform.retract(alice, share, construction=construction)
+        backend = platform.engine.backend(construction)
+        assert backend.pending_retracts() == []
+        for name in [node.name for node in cluster.nodes if not node.up]:
+            cluster.recover(name)
+        result = platform.solve(bob, share, CONTEXT, construction=construction)
+        assert result.plaintext == b"survives the abort"
+
+    def test_recovery_is_idempotent_and_reproducible(self):
+        def run():
+            platform, cluster, alice, bob = build_platform()
+            share, url = share_tracking_url(platform, cluster, alice, b"rep")
+            platform.app_c1.retract_crash_hook = lambda stage: (_ for _ in ()).throw(
+                _Killed(stage)
+            ) if stage == "prepared" else None
+            with pytest.raises(_Killed):
+                platform.retract(alice, share)
+            platform.app_c1.retract_crash_hook = None
+            assert platform.recover_retracts() == 1
+            assert platform.recover_retracts() == 0  # nothing left to re-drive
+            return (
+                platform.engine.backend(1).pending_retracts(),
+                sorted(
+                    node.replica(url).version
+                    for node in cluster.nodes
+                    if node.replica(url) is not None
+                ),
+            )
+
+        assert run() == run()
+
+
 class TestSeededClusterChaos:
     def test_flaky_nodes_with_retries_always_succeed(self):
         clock = SimClock()
