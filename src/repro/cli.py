@@ -13,6 +13,7 @@ Commands:
 * ``solve``      — solve a puzzle from a persistent world file.
 * ``trace``      — run seeded journeys and print their closed span trees.
 * ``stats``      — run seeded journeys and print the metrics registry.
+* ``serve``      — serve the protocol engine over TCP (see docs/DEPLOYMENT.md).
 
 The CLI only drives the library; all logic lives in the packages.
 """
@@ -44,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the quickstart share/solve flow")
     demo.add_argument("--params", default="small", help="pairing preset (toy/small/default)")
     demo.add_argument("--construction", type=int, default=1, choices=(1, 2))
+    demo.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="run the flow against a running `repro serve` instead of "
+        "in-process (client-side crypto, every SP/DH step a round trip)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a Figure 10 panel")
     figure.add_argument("panel", choices=("10a", "10b", "10c", "10d"))
@@ -102,6 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--construction", type=int, default=1, choices=(1, 2))
     solve.add_argument("--seed", type=int, default=None, help="display-subset seed (C1)")
+
+    serve = sub.add_parser(
+        "serve", help="serve the protocol engine over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; the bound address is printed)",
+    )
+    serve.add_argument("--params", default="small", help="pairing preset")
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="per-connection pipelining window (backpressure beyond it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="dispatch threads shared by all connections",
+    )
+    serve.add_argument(
+        "--cluster-nodes", type=int, default=None, metavar="N",
+        help="back the DH with an N-node quorum storage cluster",
+    )
 
     for name, help_text, default_journeys in (
         ("trace", "run seeded journeys and print their span trees", 1),
@@ -193,7 +221,36 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _parse_address(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"error: --connect wants HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_demo_remote(args) -> int:
+    """The demo flow against a running ``repro serve``: the crypto runs
+    here, every SP/DH interaction is a framed round trip."""
+    from repro.serve import RemoteProtocolClient, TcpTransport, run_remote_journey
+
+    host, port = _parse_address(args.connect)
+    with RemoteProtocolClient(TcpTransport(host, port)) as client:
+        report = run_remote_journey(
+            client, construction=args.construction, params_name=args.params
+        )
+    print(
+        f"shared puzzle #{report.puzzle_id} over tcp://{host}:{port} "
+        f"(construction {report.construction})"
+    )
+    print(f"bob solved it: {report.recovered!r}")
+    print(f"carol denied the post: {report.acl_denied}")
+    print(f"carol denied by the puzzle: {report.answers_denied}")
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args) -> int:
+    if args.connect is not None:
+        return _cmd_demo_remote(args)
     params = get_params(args.params)
     platform = SocialPuzzlePlatform(params=params)
     alice = platform.join("alice")
@@ -511,8 +568,50 @@ def _cmd_stats(args) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_serve(args) -> int:
+    """Boot a TCP smart server around a fresh platform and block.
+
+    Prints the bound address on a line of its own (flushed) so scripts —
+    and the serve-smoke CI job — can parse it, then serves until
+    interrupted; the per-connection metrics summary prints on the way
+    out.
+    """
+    import threading
+
+    from repro.serve import TcpSmartServer
+
+    substrates = {}
+    if args.cluster_nodes is not None:
+        from repro.cluster import StorageCluster
+        from repro.sim.timing import SimClock
+
+        substrates["storage"] = StorageCluster(
+            num_nodes=args.cluster_nodes, clock=SimClock()
+        )
+    platform = SocialPuzzlePlatform(params=get_params(args.params), **substrates)
+    server = TcpSmartServer(
+        platform.engine,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        workers=args.workers,
+    )
+    server.start()
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print(server.metrics.summary())
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
+    "serve": _cmd_serve,
     "figure": _cmd_figure,
     "attacks": _cmd_attacks,
     "study": _cmd_study,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 import secrets
+import threading
 from dataclasses import dataclass
 
 from repro.core.context import Context, normalize_answer
@@ -283,13 +284,20 @@ class PuzzleServiceC1:
         self._puzzles: dict[int, Puzzle] = {}
         self._retracting: dict[int, Puzzle] = {}
         self._serial = 0
+        # Guards identifier allocation only: concurrent store_puzzle
+        # calls (the smart server dispatches in worker threads) must
+        # never mint the same id. Reads and single-key dict updates stay
+        # lock-free under the GIL.
+        self._serial_lock = threading.Lock()
 
     def store_puzzle(self, puzzle: Puzzle) -> int:
         """Accept an uploaded Z_O; returns its post/puzzle identifier."""
         self.audit.record(puzzle.to_bytes())
-        self._serial += 1
-        self._puzzles[self._serial] = puzzle
-        return self._serial
+        with self._serial_lock:
+            self._serial += 1
+            puzzle_id = self._serial
+        self._puzzles[puzzle_id] = puzzle
+        return puzzle_id
 
     def _puzzle(self, puzzle_id: int) -> Puzzle:
         try:

@@ -31,6 +31,7 @@ Answer hashes default to SHA-1 exactly because the paper's Implementation
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.abe.access_tree import AccessTree
@@ -378,23 +379,28 @@ class PuzzleServiceC2:
         self._records: dict[int, C2Upload] = {}
         self._retracting: dict[int, C2Upload] = {}
         self._serial = 0
+        # Guards identifier allocation under concurrent dispatch (see
+        # PuzzleServiceC1); everything else relies on GIL-atomic dict ops.
+        self._serial_lock = threading.Lock()
 
     def store_upload(self, record: C2Upload) -> int:
         self.audit.record(encode_access_tree(record.tree_perturbed))
         self.audit.record(record.pk_bytes)
         self.audit.record(record.mk_bytes)
         self.audit.record(record.url.encode())
-        self._serial += 1
+        with self._serial_lock:
+            self._serial += 1
+            puzzle_id = self._serial
         stored = C2Upload(
-            puzzle_id=self._serial,
+            puzzle_id=puzzle_id,
             tree_perturbed=record.tree_perturbed,
             pk_bytes=record.pk_bytes,
             mk_bytes=record.mk_bytes,
             url=record.url,
             sharer_name=record.sharer_name,
         )
-        self._records[self._serial] = stored
-        return self._serial
+        self._records[puzzle_id] = stored
+        return puzzle_id
 
     def _record(self, puzzle_id: int) -> C2Upload:
         try:

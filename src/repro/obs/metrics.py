@@ -17,11 +17,23 @@ A :class:`MetricsRegistry` is a get-or-create namespace of the three.
 Naming convention (see docs/OBSERVABILITY.md): dotted lowercase paths,
 ``<layer>.<component>.<measurement>``, units as a ``_s`` / ``.bytes``
 suffix — e.g. ``osn.storage.put.bytes``, ``resilience.backoff_s``.
+
+Updates and instrument creation are guarded by one module-wide lock so
+a registry shared across the smart server's worker threads
+(:mod:`repro.serve`) never loses increments to read-modify-write races;
+readers (``render``, ``summary``) are snapshot-consistent enough for
+reporting and stay lock-free.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+
+# One lock for every instrument update: increments are tiny compared to
+# the crypto they measure, and a single lock keeps the no-deadlock
+# argument trivial.
+_UPDATE_LOCK = threading.Lock()
 
 __all__ = [
     "Counter",
@@ -53,7 +65,8 @@ class Counter:
     def add(self, amount: int | float) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge for levels")
-        self.value += amount
+        with _UPDATE_LOCK:
+            self.value += amount
 
 
 @dataclass
@@ -64,9 +77,10 @@ class Gauge:
     high_water: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = value
-        if value > self.high_water:
-            self.high_water = value
+        with _UPDATE_LOCK:
+            self.value = value
+            if value > self.high_water:
+                self.high_water = value
 
 
 class LatencyHistogram:
@@ -93,13 +107,14 @@ class LatencyHistogram:
     def observe(self, value: float) -> None:
         if value < 0:
             raise ValueError("latencies are non-negative")
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self._counts[self._bucket_index(value)] += 1
+        with _UPDATE_LOCK:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._counts[self._bucket_index(value)] += 1
 
     def _bucket_index(self, value: float) -> int:
         # Binary search over the (small, fixed) bound ladder.
@@ -200,22 +215,28 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
-            self._check_unique(name, "counter")
-            self.counters[name] = Counter()
+            with _UPDATE_LOCK:
+                if name not in self.counters:
+                    self._check_unique(name, "counter")
+                    self.counters[name] = Counter()
         return self.counters[name]
 
     def gauge(self, name: str) -> Gauge:
         if name not in self.gauges:
-            self._check_unique(name, "gauge")
-            self.gauges[name] = Gauge()
+            with _UPDATE_LOCK:
+                if name not in self.gauges:
+                    self._check_unique(name, "gauge")
+                    self.gauges[name] = Gauge()
         return self.gauges[name]
 
     def histogram(
         self, name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS
     ) -> LatencyHistogram:
         if name not in self.histograms:
-            self._check_unique(name, "histogram")
-            self.histograms[name] = LatencyHistogram(bounds)
+            with _UPDATE_LOCK:
+                if name not in self.histograms:
+                    self._check_unique(name, "histogram")
+                    self.histograms[name] = LatencyHistogram(bounds)
         return self.histograms[name]
 
     def counter_total(self, prefix: str) -> float:

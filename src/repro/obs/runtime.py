@@ -13,15 +13,19 @@ This module is deliberately import-free (standard library only): it is
 imported from the lowest layers (``osn.storage``, ``osn.network``) and
 must never create an import cycle with them.
 
-Design note: a plain module-level stack rather than a ``contextvars``
-context — the simulation is single-threaded by design (the paper's
-clients are browser sessions, simulated sequentially), and a stack keeps
-activation semantics trivially debuggable. Revisit if the driver ever
-grows real concurrency.
+Design note: a *per-thread* stack rather than a ``contextvars``
+context — each thread owns its own activation stack, so the smart
+server's worker threads (:mod:`repro.serve`) can each activate a hub
+around one request without corrupting the stacks of their siblings or
+of the main thread. Within one thread the semantics are the original
+trivially-debuggable push/pop; activation never leaks across threads,
+so a thread that wants instrumentation must activate a hub itself
+(the server does this per dispatched request).
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
@@ -39,22 +43,32 @@ __all__ = [
     "maybe_span",
 ]
 
-_ACTIVE: list["Observability"] = []
+_STATE = threading.local()
+
+
+def _stack() -> list["Observability"]:
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = _STATE.stack = []
+    return stack
 
 
 def current() -> "Observability | None":
-    """The innermost activated observability hub, or ``None``."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """The innermost hub activated *by this thread*, or ``None``."""
+    stack = getattr(_STATE, "stack", None)
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def use(obs: "Observability") -> Iterator["Observability"]:
-    """Activate ``obs`` for the enclosed block (re-entrant, stack-like)."""
-    _ACTIVE.append(obs)
+    """Activate ``obs`` for the enclosed block (re-entrant, stack-like,
+    scoped to the calling thread)."""
+    stack = _stack()
+    stack.append(obs)
     try:
         yield obs
     finally:
-        popped = _ACTIVE.pop()
+        popped = stack.pop()
         assert popped is obs, "observability activation stack corrupted"
 
 

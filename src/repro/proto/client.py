@@ -36,11 +36,13 @@ from repro.proto.messages import (
     AnswerSubmission,
     BatchReply,
     BatchRequest,
+    BefriendRequest,
     DisplayPuzzleRequest,
     ErrorReply,
     FetchPostRequest,
     Message,
     PublishPostRequest,
+    RegisterUserRequest,
     RetractAbortRequest,
     RetractCommitRequest,
     RetractPrepareRequest,
@@ -279,6 +281,16 @@ class ProtocolClient:
         return reply.removed
 
     # -- OSN substrate -----------------------------------------------------------
+
+    def register_user(self, name: str, **profile: str) -> User:
+        """Create an account on the remote SP; returns the ``User``."""
+        reply = self._roundtrip(
+            "sp.register_user", RegisterUserRequest(name=name, profile=profile)
+        )
+        return reply.user
+
+    def befriend(self, a: User, b: User) -> None:
+        self._roundtrip("sp.befriend", BefriendRequest(a=a, b=b))
 
     def publish_post(
         self, author: User, content: str, audience: str | frozenset[int] = "friends"

@@ -12,6 +12,32 @@ requester plumbing and the error mapping — exactly once.
 client can do to a puzzle travels through it as a serialized message, so
 sharding, batching or moving the SP out of process later is a transport
 change, not a protocol change.
+
+Thread-safety contract
+======================
+
+``dispatch`` is **reentrant**: the smart server (:mod:`repro.serve`)
+calls it concurrently from many worker threads, one call per in-flight
+request, with no external locking. The engine upholds this by holding
+no per-request mutable state at all:
+
+* routing is a *read-only* handler table built once in ``__init__``
+  (``_route`` binds message classes to bound methods and never mutates
+  afterwards);
+* every value a request needs (decoded message, rng rebuilt from the
+  wire state, backend lookup) lives on the stack of its own
+  ``dispatch`` call;
+* ``register_backend`` is a single GIL-atomic dict store — swapping a
+  backend mid-flight is safe, with requests observing either the old or
+  the new service, never a torn mix;
+* mutable state *behind* the engine is the backends' problem, and the
+  shipped services honour it: identifier allocation in
+  ``PuzzleServiceC1`` / ``PuzzleServiceC2`` is lock-protected, the
+  metrics registry takes an update lock, and the observability runtime
+  keeps per-thread activation stacks.
+
+The regression test ``tests/proto/test_engine_reentrancy.py``
+interleaves two in-flight batches mid-member to pin this contract down.
 """
 
 from __future__ import annotations
@@ -22,6 +48,7 @@ from repro.proto.frontends import ProviderFrontend, StorageFrontend, serve, serv
 from repro.proto.messages import (
     AnswerSubmission,
     BatchRequest,
+    BefriendRequest,
     DisplayPuzzleRequest,
     DisplayReplyC1,
     DisplayReplyC2,
@@ -29,6 +56,7 @@ from repro.proto.messages import (
     GrantReply,
     Message,
     PublishPostRequest,
+    RegisterUserRequest,
     ReleaseReply,
     RetractAbortRequest,
     RetractCommitRequest,
@@ -84,6 +112,26 @@ class PuzzleProtocolEngine:
             if storage_frontend is not None
             else StorageFrontend(storage)
         )
+        # The routing table: message class -> bound handler. Built once,
+        # never mutated — concurrent dispatch calls only ever read it
+        # (the reentrancy contract in the module docstring).
+        self._route = {
+            BatchRequest: self._handle_batch,
+            StorePuzzleRequest: self._store_c1,
+            StoreUploadRequest: self._store_c2,
+            DisplayPuzzleRequest: self._display,
+            AnswerSubmission: self._verify,
+            RetractPuzzleRequest: self._retract,
+            RetractPrepareRequest: self._retract_saga,
+            RetractCommitRequest: self._retract_saga,
+            RetractAbortRequest: self._retract_saga,
+            # Substrate-bound messages route to the owning frontend, so
+            # one bus serves the SP's whole surface.
+            PublishPostRequest: self._provider_frontend.handle,
+            FetchPostRequest: self._provider_frontend.handle,
+            RegisterUserRequest: self._provider_frontend.handle,
+            BefriendRequest: self._provider_frontend.handle,
+        }
 
     # -- backend registry --------------------------------------------------------
 
@@ -112,31 +160,11 @@ class PuzzleProtocolEngine:
         return serve(request, self.handle)
 
     def handle(self, message: Message) -> Message:
-        if isinstance(message, BatchRequest):
-            return self._handle_batch(message)
-        if isinstance(message, StorePuzzleRequest):
-            return StoreReply(
-                puzzle_id=self.backend(1).store_puzzle(message.puzzle)
-            )
-        if isinstance(message, StoreUploadRequest):
-            return StoreReply(
-                puzzle_id=self.backend(2).store_upload(message.record)
-            )
-        if isinstance(message, DisplayPuzzleRequest):
-            return self._display(message)
-        if isinstance(message, AnswerSubmission):
-            return self._verify(message)
-        if isinstance(message, RetractPuzzleRequest):
-            return self._retract(message)
-        if isinstance(
-            message,
-            (RetractPrepareRequest, RetractCommitRequest, RetractAbortRequest),
-        ):
-            return self._retract_saga(message)
-        # Substrate-bound messages route to the owning frontend, so one
-        # bus serves the SP's whole surface.
-        if isinstance(message, (PublishPostRequest, FetchPostRequest)):
-            return self._provider_frontend.handle(message)
+        handler = self._route.get(type(message))
+        if handler is not None:
+            return handler(message)
+        # Everything else is storage-plane traffic (or unroutable, which
+        # the storage frontend reports with the proper taxonomy code).
         return self._storage_frontend.handle(message)
 
     def _handle_batch(self, batch: BatchRequest) -> Message:
@@ -156,6 +184,12 @@ class PuzzleProtocolEngine:
         return serve_batch(batch, self.handle)
 
     # -- puzzle state machine ----------------------------------------------------
+
+    def _store_c1(self, message: StorePuzzleRequest) -> Message:
+        return StoreReply(puzzle_id=self.backend(1).store_puzzle(message.puzzle))
+
+    def _store_c2(self, message: StoreUploadRequest) -> Message:
+        return StoreReply(puzzle_id=self.backend(2).store_upload(message.record))
 
     def _display(self, message: DisplayPuzzleRequest) -> Message:
         backend = self.backend(message.construction)

@@ -21,13 +21,16 @@ from typing import Callable
 from repro.core.errors import UnroutableMessageError
 from repro.obs.runtime import count
 from repro.proto.messages import (
+    AckReply,
     BatchReply,
     BatchRequest,
+    BefriendRequest,
     ErrorReply,
     FetchPostRequest,
     Message,
     PostReply,
     PublishPostRequest,
+    RegisterUserRequest,
     StorageBoolReply,
     StorageDeleteRequest,
     StorageExistsRequest,
@@ -35,6 +38,7 @@ from repro.proto.messages import (
     StorageGetRequest,
     StoragePutReply,
     StoragePutRequest,
+    UserReply,
     decode_message,
     encode_message,
 )
@@ -104,6 +108,13 @@ class ProviderFrontend:
             return PostReply(
                 post=self.provider.get_post(message.viewer, message.post_id)
             )
+        if isinstance(message, RegisterUserRequest):
+            return UserReply(
+                user=self.provider.register_user(message.name, dict(message.profile))
+            )
+        if isinstance(message, BefriendRequest):
+            self.provider.befriend(message.a, message.b)
+            return AckReply()
         raise UnroutableMessageError(
             "provider frontend cannot serve %s" % type(message).__name__
         )

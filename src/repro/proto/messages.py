@@ -59,6 +59,8 @@ __all__ = [
     "RetractAbortRequest",
     "PublishPostRequest",
     "FetchPostRequest",
+    "RegisterUserRequest",
+    "BefriendRequest",
     "StoragePutRequest",
     "StorageGetRequest",
     "StorageExistsRequest",
@@ -73,6 +75,8 @@ __all__ = [
     "RetractReply",
     "RetractPrepareReply",
     "PostReply",
+    "UserReply",
+    "AckReply",
     "StoragePutReply",
     "StorageGetReply",
     "StorageBoolReply",
@@ -474,6 +478,59 @@ class FetchPostRequest(Message):
 
 @_register
 @dataclass(frozen=True)
+class RegisterUserRequest(Message):
+    """Create an account on the SP — the membership verb a *remote*
+    client needs before it can publish the hyperlink post. The local
+    platform keeps calling ``provider.register_user`` directly; over the
+    wire this travels like everything else and its profile fields land
+    in the audit trail (they are public OSN profile data, never puzzle
+    answers)."""
+
+    TYPE = 0x0F
+    name: str
+    profile: dict[str, str] = field(default_factory=dict)
+
+    def encode_body(self) -> bytes:
+        body = text(self.name) + u32(len(self.profile))
+        for key in sorted(self.profile):
+            body += text(key) + text(self.profile[key])
+        return body
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RegisterUserRequest":
+        reader = Reader(body)
+        name = reader.text()
+        profile: dict[str, str] = {}
+        for _ in range(reader.u32()):
+            key = reader.text()
+            profile[key] = reader.text()
+        reader.done()
+        return cls(name=name, profile=profile)
+
+
+@_register
+@dataclass(frozen=True)
+class BefriendRequest(Message):
+    """Make two accounts friends (symmetric, per the paper's model)."""
+
+    TYPE = 0x10
+    a: User
+    b: User
+
+    def encode_body(self) -> bytes:
+        return _encode_user(self.a) + _encode_user(self.b)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "BefriendRequest":
+        reader = Reader(body)
+        a = _decode_user(reader)
+        b = _decode_user(reader)
+        reader.done()
+        return cls(a=a, b=b)
+
+
+@_register
+@dataclass(frozen=True)
 class StoragePutRequest(Message):
     TYPE = 0x08
     data: bytes
@@ -743,6 +800,45 @@ class PostReply(Message):
         post = _decode_post(reader)
         reader.done()
         return cls(post=post)
+
+
+@_register
+@dataclass(frozen=True)
+class UserReply(Message):
+    """The freshly registered account."""
+
+    TYPE = 0x4B
+    user: User
+
+    def encode_body(self) -> bytes:
+        return _encode_user(self.user)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "UserReply":
+        reader = Reader(body)
+        user = _decode_user(reader)
+        reader.done()
+        return cls(user=user)
+
+
+@_register
+@dataclass(frozen=True)
+class AckReply(Message):
+    """A bare success acknowledgement (befriend and friends).
+
+    Failures never travel as a negative ack — they cross the wire as
+    :class:`ErrorReply` with their taxonomy code, like everywhere else.
+    """
+
+    TYPE = 0x4C
+
+    def encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "AckReply":
+        Reader(body).done()
+        return cls()
 
 
 @_register

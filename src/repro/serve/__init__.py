@@ -1,0 +1,76 @@
+"""Serving plane: the protocol engine behind real connections.
+
+Everything below :mod:`repro.proto` treats the SP as a library — one
+synchronous ``dispatch(bytes) -> bytes`` call on an in-process
+:class:`~repro.proto.bus.MessageBus`. This package promotes the same
+engine to a *served* protocol:
+
+* :mod:`repro.serve.framing` — length-prefixed SPW frames over byte
+  streams (partial reads, short writes, oversize rejection);
+* :mod:`repro.serve.transport` — pluggable client transports: in-memory
+  socketpairs for tests, TCP for deployment, and a
+  :class:`~repro.osn.network.NetworkLink`-charging wrapper for chaos
+  and cost-model runs;
+* :mod:`repro.serve.server` — a concurrent smart server: per-connection
+  framing, pipelining of many in-flight requests with in-order replies,
+  bounded backpressure and clean teardown;
+* :mod:`repro.serve.remote` — :class:`RemoteProtocolClient`, a
+  connection-oriented drop-in beneath the existing
+  :class:`~repro.proto.client.ProtocolClient` stack, plus a
+  storage-faced adapter :class:`RemoteStorageHost` that a
+  :class:`~repro.osn.resilience.ResilientStorageClient` can wrap;
+* :mod:`repro.serve.journey` — a full share→solve→access journey driven
+  entirely over a connection (the ``repro demo --connect`` flow and the
+  serve-smoke CI job).
+
+See docs/DEPLOYMENT.md for the operator's view.
+"""
+
+from repro.serve.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_HEADER_BYTES,
+    FramingError,
+    FrameTooLargeError,
+    TruncatedFrameError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.journey import JourneyReport, run_pipelined_probe, run_remote_journey
+from repro.serve.remote import ConnectionBus, RemoteProtocolClient, RemoteStorageHost
+from repro.serve.server import ConnectionStats, ServerMetrics, SmartServer, TcpSmartServer
+from repro.serve.transport import (
+    Connection,
+    InMemoryPipeTransport,
+    LinkChargedTransport,
+    SocketConnection,
+    TcpTransport,
+    Transport,
+)
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FRAME_HEADER_BYTES",
+    "FramingError",
+    "FrameTooLargeError",
+    "TruncatedFrameError",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "Connection",
+    "SocketConnection",
+    "Transport",
+    "TcpTransport",
+    "InMemoryPipeTransport",
+    "LinkChargedTransport",
+    "SmartServer",
+    "TcpSmartServer",
+    "ServerMetrics",
+    "ConnectionStats",
+    "ConnectionBus",
+    "RemoteProtocolClient",
+    "RemoteStorageHost",
+    "JourneyReport",
+    "run_remote_journey",
+    "run_pipelined_probe",
+]

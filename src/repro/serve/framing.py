@@ -1,0 +1,158 @@
+"""Length-prefixed framing of SPW envelopes over stream transports.
+
+The SPW envelope (:mod:`repro.proto.envelope`) is self-validating but
+not self-delimiting from a *stream*: a TCP receiver needs to know where
+one frame ends before it can hand the bytes to ``open_envelope``. The
+stream framing adds exactly one field in front:
+
+    +----------------+--------------------------------------+
+    | length  (u32)  | one SPW envelope (``length`` bytes)  |
+    +----------------+--------------------------------------+
+
+``length`` is big-endian, counts only the envelope bytes, and must be
+at least the envelope overhead (13 bytes) and at most the connection's
+``max_frame_bytes`` — a prefix outside that window is a framing error
+and tears the connection down, because after a bad length nothing on
+the stream can be trusted again. Corruption *inside* a frame is the
+envelope CRC's job and costs one request, not the connection.
+
+The helpers here speak to plain callables (``send(bytes) -> int``,
+``recv(n) -> bytes``) so unit tests can exercise partial reads and
+short writes without a real socket; :mod:`repro.serve.transport` binds
+them to sockets.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.proto.envelope import ENVELOPE_OVERHEAD
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FramingError",
+    "FrameTooLargeError",
+    "TruncatedFrameError",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+]
+
+FRAME_HEADER_BYTES = 4
+
+# Generous for this protocol: the largest legitimate frames are batched
+# CP-ABE ciphertext fetches, far below this. A 16 MiB cap means a bogus
+# length prefix cannot make a connection allocate unbounded memory.
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FramingError(ConnectionError):
+    """The stream framing itself broke; the connection is unusable."""
+
+
+class FrameTooLargeError(FramingError):
+    """A length prefix exceeded the connection's ``max_frame_bytes``."""
+
+
+class TruncatedFrameError(FramingError):
+    """The peer vanished mid-frame (EOF after a partial header/body)."""
+
+
+def encode_frame(payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Prefix one SPW envelope with its length; validates the size window."""
+    if len(payload) < ENVELOPE_OVERHEAD:
+        raise FramingError(
+            "frame payload of %d bytes is shorter than an SPW envelope"
+            % len(payload)
+        )
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            "frame of %d bytes exceeds the %d-byte limit"
+            % (len(payload), max_frame_bytes)
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+def send_frame(
+    send: Callable[[bytes], int],
+    payload: bytes,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> int:
+    """Write one frame through ``send``, looping over short writes.
+
+    ``send`` follows ``socket.send`` semantics: it may accept fewer
+    bytes than offered and returns how many it took. Returns the total
+    bytes written (header + payload). A ``send`` that reports zero
+    progress means the peer is gone mid-write and raises
+    :class:`TruncatedFrameError`.
+    """
+    data = encode_frame(payload, max_frame_bytes)
+    view = memoryview(data)
+    written = 0
+    while written < len(data):
+        sent = send(view[written:])
+        if sent is None:  # file-like .write() APIs return None for "all"
+            written = len(data)
+            break
+        if sent <= 0:
+            raise TruncatedFrameError(
+                "peer stopped accepting bytes after %d of %d" % (written, len(data))
+            )
+        written += sent
+    return len(data)
+
+
+def _recv_exact(recv: Callable[[int], bytes], n: int, what: str) -> bytes | None:
+    """Read exactly ``n`` bytes, tolerating arbitrarily short reads.
+
+    Returns ``None`` on EOF *before the first byte* (the caller decides
+    whether that is a clean close); raises :class:`TruncatedFrameError`
+    on EOF after partial data — a peer must never vanish mid-``what``.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise TruncatedFrameError(
+                "connection closed mid-%s after %d of %d bytes" % (what, got, n)
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    recv: Callable[[int], bytes],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes | None:
+    """Read one frame through ``recv``; ``None`` means clean EOF.
+
+    Clean means the stream ended exactly on a frame boundary. EOF
+    anywhere inside a frame raises :class:`TruncatedFrameError`; a
+    length prefix outside the legal window raises
+    :class:`FrameTooLargeError` / :class:`FramingError` without reading
+    (or allocating) the advertised body.
+    """
+    header = _recv_exact(recv, FRAME_HEADER_BYTES, "frame header")
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            "peer announced a %d-byte frame, limit is %d" % (length, max_frame_bytes)
+        )
+    if length < ENVELOPE_OVERHEAD:
+        raise FramingError(
+            "peer announced a %d-byte frame, shorter than an SPW envelope" % length
+        )
+    body = _recv_exact(recv, length, "frame body")
+    if body is None:  # EOF immediately after the header is still mid-frame
+        raise TruncatedFrameError(
+            "connection closed between frame header and body"
+        )
+    return body

@@ -1,0 +1,191 @@
+"""Fully remote user journeys, driven over one served connection.
+
+Everything the demo does in-process — register, befriend, share, post,
+solve, deny — here travels as SPW frames through a
+:class:`~repro.serve.remote.RemoteProtocolClient`: the sharer's and
+receiver's cryptography runs on the *client* side (as the paper's
+browser/Qt implementations do) and every SP and DH interaction is a
+round trip. This is the ``repro demo --connect`` flow, the serve-smoke
+CI job, and the integration tests' golden path, so it deliberately
+exercises both the happy path and the two denial gates (static ACL,
+wrong puzzle answers).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.core.context import Context
+from repro.core.construction1 import ReceiverC1, SharerC1
+from repro.core.construction2 import ReceiverC2, SharerC2
+from repro.core.errors import AccessDeniedError
+from repro.crypto.params import get_params
+from repro.osn.provider import OsnError
+from repro.proto.client import ProtocolClient
+from repro.serve.remote import RemoteStorageHost
+
+__all__ = ["JourneyReport", "run_remote_journey", "run_pipelined_probe"]
+
+_CONTEXT = {
+    "Where was the party held?": "Lake Tahoe",
+    "Who brought the cake?": "Marguerite",
+    "Which song closed the night?": "Wonderwall",
+}
+
+
+@dataclass(frozen=True)
+class JourneyReport:
+    """What a remote share→solve→deny journey established."""
+
+    construction: int
+    puzzle_id: int
+    post_id: int
+    recovered: bytes
+    acl_denied: bool  # the stranger could not even read the post
+    answers_denied: bool  # wrong answers did not release the object
+
+    @property
+    def ok(self) -> bool:
+        return self.acl_denied and self.answers_denied
+
+
+def run_remote_journey(
+    client: ProtocolClient,
+    construction: int = 1,
+    params_name: str = "small",
+    seed: int = 5,
+    plaintext: bytes = b"party photos",
+) -> JourneyReport:
+    """Run the full journey through ``client``; raises on any deviation.
+
+    Works over any ``dispatch``-shaped bus the client wraps — in-process,
+    in-memory pipe, or TCP — because nothing here knows a transport
+    exists. Returns a :class:`JourneyReport` with ``ok=True`` when both
+    denial gates held.
+    """
+    storage = RemoteStorageHost(client)
+    context = Context.from_mapping(_CONTEXT)
+
+    # Accounts and the social graph, entirely over the wire.
+    alice = client.register_user("alice")
+    bob = client.register_user("bob")
+    carol = client.register_user("carol")
+    client.befriend(alice, bob)
+
+    # Alice shares: client-side crypto, blob to the DH, puzzle to the SP.
+    if construction == 1:
+        sharer = SharerC1(alice.name, storage)
+        puzzle = sharer.upload(plaintext, context, k=2, n=len(context))
+        puzzle_id = client.store_puzzle(puzzle)
+    elif construction == 2:
+        sharer = SharerC2(alice.name, storage, get_params(params_name))
+        record, _ct_bytes = sharer.upload(plaintext, context, k=2)
+        puzzle_id = client.store_upload(record)
+    else:
+        raise ValueError("construction must be 1 or 2, got %r" % construction)
+    post = client.publish_post(
+        alice,
+        "[social-puzzle] %s shared a protected object — solve puzzle #%d"
+        % (alice.name, puzzle_id),
+    )
+
+    # Gate 1, the static ACL: carol never befriended alice, so the SP
+    # refuses her the post itself.
+    acl_denied = False
+    try:
+        client.get_post(carol, post.post_id)
+    except OsnError:
+        acl_denied = True
+
+    # Bob follows the hyperlink and solves.
+    assert client.get_post(bob, post.post_id).post_id == post.post_id
+    if construction == 1:
+        receiver = ReceiverC1(bob.name, storage)
+        displayed = client.display_puzzle_c1(puzzle_id, rng=random.Random(seed))
+        answers = receiver.answer_puzzle(displayed, context)
+        release = client.submit_answers_c1(answers, bob.name)
+        recovered = receiver.access(release, displayed, context)
+    else:
+        receiver = ReceiverC2(bob.name, storage, get_params(params_name))
+        displayed = client.display_puzzle_c2(puzzle_id)
+        answers = receiver.answer_puzzle(displayed, context)
+        grant = client.submit_answers_c2(answers, bob.name)
+        recovered = receiver.access(grant, context)
+    if recovered != plaintext:
+        raise AssertionError("recovered %r, expected %r" % (recovered, plaintext))
+
+    # Gate 2, the puzzle: carol guesses wrong and stays locked out, even
+    # with the AccessDeniedError having crossed the wire as a typed frame.
+    wrong = Context.from_mapping(
+        {"Where was the party held?": "Las Vegas",
+         "Who brought the cake?": "Gordon"}
+    )
+    answers_denied = False
+    try:
+        if construction == 1:
+            stranger = ReceiverC1(carol.name, storage)
+            shown = client.display_puzzle_c1(puzzle_id, rng=random.Random(seed))
+            client.submit_answers_c1(
+                stranger.answer_puzzle(shown, wrong), carol.name
+            )
+        else:
+            stranger = ReceiverC2(carol.name, storage, get_params(params_name))
+            shown = client.display_puzzle_c2(puzzle_id)
+            client.submit_answers_c2(
+                stranger.answer_puzzle(shown, wrong), carol.name
+            )
+    except AccessDeniedError:
+        answers_denied = True
+
+    return JourneyReport(
+        construction=construction,
+        puzzle_id=puzzle_id,
+        post_id=post.post_id,
+        recovered=recovered,
+        acl_denied=acl_denied,
+        answers_denied=answers_denied,
+    )
+
+
+def run_pipelined_probe(client: ProtocolClient, requests: int = 8) -> int:
+    """Exercise pipelining on ``client``'s connection; returns the number
+    of round trips that completed.
+
+    Three shapes at once: a burst of puts fired by concurrent threads
+    (many frames in flight on one connection), one ``BatchRequest``
+    carrying all the gets (one big frame), and a read-back verification.
+    Raises if any reply is wrong — which, given the FIFO reply contract,
+    would mean frames were matched out of order.
+    """
+    blobs = {i: b"probe-blob-%d" % i for i in range(requests)}
+    urls: dict[int, str] = {}
+    url_lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def put_one(i: int) -> None:
+        try:
+            url = client.storage_put(blobs[i])
+            with url_lock:
+                urls[i] = url
+        except BaseException as exc:  # re-raised below, with context
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=put_one, args=(i,), name="probe-put-%d" % i)
+        for i in blobs
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+    ordered = [urls[i] for i in sorted(urls)]
+    fetched = client.storage_get_many(ordered)
+    for i, data in zip(sorted(urls), fetched):
+        if data != blobs[i]:
+            raise AssertionError("pipelined reply mismatch for blob %d" % i)
+    return len(blobs) * 2  # one put + one (batched) get each

@@ -1,0 +1,215 @@
+"""Connection-oriented clients for the served protocol.
+
+:class:`ConnectionBus` gives a live connection the same
+``dispatch(bytes) -> bytes`` face as the in-process
+:class:`~repro.proto.bus.MessageBus`, which is the whole trick: the
+typed :class:`~repro.proto.client.ProtocolClient`, the retry policies
+and the resilience stack all plug in unchanged — moving the SP out of
+process is a constructor argument, not a rewrite.
+
+The bus **pipelines**. ``dispatch`` appends a waiter, writes the frame,
+and blocks only its *own* caller; a dedicated receiver thread fulfils
+waiters strictly FIFO, matching the server's in-order reply guarantee.
+Many application threads can therefore share one connection and keep
+many requests in flight at once — the closed-loop benchmark drives the
+server exactly this way.
+
+Transport failures surface as
+:class:`~repro.core.errors.TransientNetworkError` (the retryable
+taxonomy code), and a failed connection is torn down wholesale: every
+in-flight waiter fails, because once the stream breaks reply positions
+can no longer be trusted. The next ``dispatch`` transparently opens a
+fresh connection, so a retry policy around the client gets natural
+reconnect-and-retry behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import TYPE_CHECKING
+
+from repro.core.errors import TransientNetworkError
+from repro.proto.client import ProtocolClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.transport import Connection, Transport
+
+__all__ = ["ConnectionBus", "RemoteProtocolClient", "RemoteStorageHost"]
+
+
+class ConnectionBus:
+    """A pipelining ``dispatch(bytes) -> bytes`` over one connection."""
+
+    def __init__(
+        self,
+        transport: "Transport",
+        timeout_s: float | None = 30.0,
+        reconnect: bool = True,
+    ):
+        self.transport = transport
+        self.timeout_s = timeout_s
+        self.reconnect = reconnect
+        # Two locks, deliberately: _send_lock serializes whole
+        # append-waiter-then-send sequences (so FIFO positions match the
+        # wire order), while _lock guards the shared state and is only
+        # ever held for quick bookkeeping. The receiver thread needs
+        # _lock but never _send_lock — so a sender blocked mid-write by
+        # server backpressure cannot stop replies from draining, which
+        # is exactly what un-wedges that sender.
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()  # guards _conn, _pending, _generation
+        self._conn: "Connection | None" = None
+        self._pending: "deque[Future]" = deque()
+        self._receiver: threading.Thread | None = None
+        self._generation = 0  # bumped on every teardown; receivers check it
+        self._closed = False
+
+    # -- the dispatch face -------------------------------------------------------
+
+    def dispatch(self, request: bytes) -> bytes:
+        """Send one frame, return its reply; safe from many threads."""
+        with self._send_lock:
+            with self._lock:
+                if self._closed:
+                    raise TransientNetworkError("connection bus is closed")
+                conn = self._ensure_connected_locked()
+                waiter: Future = Future()
+                self._pending.append(waiter)
+            try:
+                conn.send(request)
+            except (ConnectionError, OSError) as exc:
+                with self._lock:
+                    self._fail_locked("send failed: %s" % exc)
+                raise TransientNetworkError("send failed: %s" % exc) from exc
+        try:
+            return waiter.result(timeout=self.timeout_s)
+        except FutureTimeoutError:
+            # Past a timeout the FIFO positions are unrecoverable: kill
+            # the connection so no later reply is mis-matched.
+            with self._lock:
+                self._fail_locked("reply timed out after %ss" % self.timeout_s)
+            raise TransientNetworkError(
+                "reply timed out after %ss" % self.timeout_s
+            ) from None
+
+    # -- connection management ---------------------------------------------------
+
+    def _ensure_connected_locked(self) -> "Connection":
+        if self._conn is None:
+            if self._receiver is not None and not self.reconnect:
+                raise TransientNetworkError(
+                    "connection lost and reconnect is disabled"
+                )
+            conn = self.transport.connect()
+            self._conn = conn
+            self._receiver = threading.Thread(
+                target=self._receive_loop,
+                args=(conn, self._generation),
+                name="spw-recv-%s" % conn.peer,
+                daemon=True,
+            )
+            self._receiver.start()
+        return self._conn
+
+    def _receive_loop(self, conn: "Connection", generation: int) -> None:
+        """Fulfil pending waiters FIFO until the stream ends."""
+        while True:
+            try:
+                payload = conn.recv()
+            except (ConnectionError, OSError) as exc:
+                reason = "connection broke: %s" % exc
+                payload = None
+            else:
+                reason = "connection closed by server"
+            with self._lock:
+                if generation != self._generation:
+                    return  # a newer connection took over; stand down
+                if payload is None:
+                    self._fail_locked(reason)
+                    return
+                if not self._pending:
+                    # A reply nobody asked for: the stream is desynced.
+                    self._fail_locked("unsolicited reply frame")
+                    return
+                self._pending.popleft().set_result(payload)
+
+    def _fail_locked(self, reason: str) -> None:
+        """Tear the connection down and fail every in-flight waiter."""
+        self._generation += 1
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        while self._pending:
+            waiter = self._pending.popleft()
+            if not waiter.done():
+                waiter.set_exception(TransientNetworkError(reason))
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._fail_locked("connection bus closed")
+
+    def __enter__(self) -> "ConnectionBus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteProtocolClient(ProtocolClient):
+    """The full typed protocol surface over a served connection.
+
+    Everything :class:`~repro.proto.client.ProtocolClient` offers —
+    stores, displays, verifies, retract sagas, batches, posts, storage
+    verbs — works verbatim; only the bus underneath changed. Close it
+    (or use it as a context manager) to release the connection.
+    """
+
+    def __init__(
+        self,
+        transport: "Transport",
+        retry=None,
+        timeout_s: float | None = 30.0,
+        reconnect: bool = True,
+    ):
+        super().__init__(
+            ConnectionBus(transport, timeout_s=timeout_s, reconnect=reconnect),
+            retry=retry,
+        )
+
+    def close(self) -> None:
+        self.bus.close()
+
+    def __enter__(self) -> "RemoteProtocolClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteStorageHost:
+    """The storage-host face of a remote client.
+
+    Sharer/receiver crypto flows and the resilience stack
+    (:class:`~repro.osn.resilience.ResilientStorageClient`) expect an
+    object with ``put/get/exists/delete``; this adapter lets them run
+    against a served DH without knowing a connection exists.
+    """
+
+    def __init__(self, client: ProtocolClient):
+        self.client = client
+
+    def put(self, data: bytes) -> str:
+        return self.client.storage_put(data)
+
+    def get(self, url: str) -> bytes:
+        return self.client.storage_get(url)
+
+    def exists(self, url: str) -> bool:
+        return self.client.storage_exists(url)
+
+    def delete(self, url: str) -> bool:
+        return self.client.storage_delete(url)

@@ -1,0 +1,210 @@
+"""Pluggable client transports for the served SPW protocol.
+
+A :class:`Transport` knows how to open a framed, bidirectional
+:class:`Connection` to a smart server. The protocol code above
+(:class:`~repro.serve.remote.ConnectionBus`) is transport-agnostic; the
+three shipped transports cover the three deployment shapes:
+
+* :class:`InMemoryPipeTransport` — a ``socketpair`` whose server end is
+  served by a :class:`~repro.serve.server.SmartServer` thread in this
+  process. Tests get the *entire* real connection path (framing,
+  pipelining, backpressure) with no port, no latency, no flakiness.
+* :class:`TcpTransport` — real TCP sockets to a
+  :class:`~repro.serve.server.TcpSmartServer` (or anything speaking the
+  framing in :mod:`repro.serve.framing`).
+* :class:`LinkChargedTransport` — wraps another transport and charges
+  every frame against a simulated
+  :class:`~repro.osn.network.NetworkLink`, so chaos/cost-model runs
+  keep their deterministic byte accounting while exercising the real
+  served path.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import TYPE_CHECKING
+
+from repro.serve.framing import DEFAULT_MAX_FRAME_BYTES, recv_frame, send_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.osn.network import NetworkLink
+    from repro.serve.server import SmartServer
+
+__all__ = [
+    "Connection",
+    "SocketConnection",
+    "Transport",
+    "TcpTransport",
+    "InMemoryPipeTransport",
+    "LinkChargedTransport",
+]
+
+
+class Connection:
+    """One framed, bidirectional stream to a peer.
+
+    ``send``/``recv`` move whole SPW envelopes; ``recv`` returns
+    ``None`` on clean EOF. Implementations need not be thread-safe per
+    method pair — the pipelining client serializes sends under its own
+    lock and dedicates one thread to receives.
+    """
+
+    peer = "?"
+
+    def send(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> bytes | None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SocketConnection(Connection):
+    """Framing bound to a connected stream socket."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        peer: str | None = None,
+    ):
+        self._sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        if peer is None:
+            try:
+                peer = "%s:%d" % sock.getpeername()[:2]
+            except OSError:
+                peer = "?"
+        self.peer = peer
+
+    def send(self, payload: bytes) -> None:
+        send_frame(self._sock.send, payload, self.max_frame_bytes)
+
+    def recv(self) -> bytes | None:
+        return recv_frame(self._sock.recv, self.max_frame_bytes)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already closed by the peer
+        self._sock.close()
+
+
+class Transport:
+    """Factory of :class:`Connection` objects to one server."""
+
+    def connect(self) -> Connection:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class TcpTransport(Transport):
+    """Connect over real TCP. ``NODELAY`` is set: the protocol is
+    request/response and Nagle only adds latency to pipelined frames."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout_s: float = 10.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.max_frame_bytes = max_frame_bytes
+
+    def connect(self) -> Connection:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout_s
+        )
+        if sock.getsockname() == sock.getpeername():
+            # TCP simultaneous open: when no server listens and the
+            # target port falls in the ephemeral range, the kernel can
+            # connect the socket to *itself*. Bytes would echo straight
+            # back, so treat it as the refusal it really is.
+            sock.close()
+            raise ConnectionRefusedError(
+                "self-connection to %s:%d — no server listening"
+                % (self.host, self.port)
+            )
+        sock.settimeout(None)  # blocking I/O; the client owns its pacing
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return SocketConnection(sock, self.max_frame_bytes)
+
+    def describe(self) -> str:
+        return "tcp://%s:%d" % (self.host, self.port)
+
+
+class InMemoryPipeTransport(Transport):
+    """Serve each connection from an in-process thread over a socketpair.
+
+    The client end is returned; the server end is handed to
+    ``server.spawn_connection`` which runs the full per-connection
+    protocol loop in a daemon thread — identical code to TCP serving,
+    minus the listener.
+    """
+
+    def __init__(self, server: "SmartServer"):
+        self.server = server
+
+    def connect(self) -> Connection:
+        client_end, server_end = socket.socketpair()
+        self.server.spawn_connection(
+            SocketConnection(
+                server_end, self.server.max_frame_bytes, peer="pipe-client"
+            )
+        )
+        return SocketConnection(
+            client_end, self.server.max_frame_bytes, peer="pipe-server"
+        )
+
+    def describe(self) -> str:
+        return "pipe://in-memory"
+
+
+class _LinkChargedConnection(Connection):
+    """Charge a simulated link for every frame crossing the wrapped
+    connection. Upload = client→server, download = server→client,
+    matching :class:`~repro.proto.bus.MessageBus` conventions."""
+
+    def __init__(self, inner: Connection, link: "NetworkLink"):
+        self._inner = inner
+        self.link = link
+        self.peer = inner.peer
+
+    def send(self, payload: bytes) -> None:
+        from repro.proto.bus import wire_summary
+
+        self.link.upload(len(payload), wire_summary(payload))
+        self._inner.send(payload)
+
+    def recv(self) -> bytes | None:
+        payload = self._inner.recv()
+        if payload is not None:
+            from repro.proto.bus import wire_summary
+
+            self.link.download(len(payload), wire_summary(payload))
+        return payload
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class LinkChargedTransport(Transport):
+    """Wrap any transport so its frames are charged to a ``NetworkLink``."""
+
+    def __init__(self, inner: Transport, link: "NetworkLink"):
+        self.inner = inner
+        self.link = link
+
+    def connect(self) -> Connection:
+        return _LinkChargedConnection(self.inner.connect(), self.link)
+
+    def describe(self) -> str:
+        return "%s over %s" % (self.inner.describe(), self.link.name)

@@ -1,0 +1,91 @@
+"""The operator surface: ``repro serve`` + ``repro demo --connect``.
+
+Real processes, a real port, a real SIGINT — the same two-terminal flow
+README.md walks through and the serve-smoke CI job drives.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import RemoteProtocolClient, TcpTransport, run_remote_journey
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+@pytest.fixture()
+def serve_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--params", "small"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.match(r"listening on (\S+):(\d+)", line)
+        assert match, "server did not announce its address: %r" % line
+        yield process, match.group(1), int(match.group(2)), env
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def test_serve_announces_and_serves_a_full_journey(serve_process):
+    process, host, port, _env = serve_process
+    with RemoteProtocolClient(TcpTransport(host, port)) as client:
+        report = run_remote_journey(client, construction=1)
+    assert report.ok
+    assert report.recovered == b"party photos"
+
+    process.send_signal(signal.SIGINT)
+    out, _ = process.communicate(timeout=60)
+    assert process.returncode == 0
+    # The shutdown summary reports the connection we just used.
+    assert "connections: total=1" in out
+    assert re.search(r"frames: in=\d+ out=\d+", out)
+
+
+def test_demo_connect_drives_the_served_instance(serve_process):
+    _process, host, port, env = serve_process
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "demo",
+            "--connect", "%s:%d" % (host, port),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "bob solved it: b'party photos'" in result.stdout
+    assert "carol denied the post: True" in result.stdout
+    assert "carol denied by the puzzle: True" in result.stdout
+
+
+def test_demo_connect_rejects_malformed_address():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "demo", "--connect", "nonsense"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=60,
+    )
+    assert result.returncode != 0
+    assert "HOST:PORT" in result.stderr

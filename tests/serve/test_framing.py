@@ -1,0 +1,126 @@
+"""Stream framing: partial reads, short writes, oversize, truncation."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.proto.envelope import ENVELOPE_OVERHEAD, seal
+from repro.serve.framing import (
+    FRAME_HEADER_BYTES,
+    FrameTooLargeError,
+    FramingError,
+    TruncatedFrameError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+PAYLOAD = seal(0x01, b"the party photos")
+
+
+class StreamReader:
+    """A recv callable fed from a byte string, with a chunk-size cap to
+    simulate arbitrarily fragmented TCP reads."""
+
+    def __init__(self, data: bytes, chunk: int | None = None):
+        self.data = data
+        self.pos = 0
+        self.chunk = chunk
+
+    def __call__(self, n: int) -> bytes:
+        if self.chunk is not None:
+            n = min(n, self.chunk)
+        piece = self.data[self.pos : self.pos + n]
+        self.pos += len(piece)
+        return piece
+
+
+def test_encode_prefixes_big_endian_length():
+    frame = encode_frame(PAYLOAD)
+    assert frame[:FRAME_HEADER_BYTES] == struct.pack(">I", len(PAYLOAD))
+    assert frame[FRAME_HEADER_BYTES:] == PAYLOAD
+
+
+def test_encode_rejects_sub_envelope_payloads():
+    with pytest.raises(FramingError):
+        encode_frame(b"x" * (ENVELOPE_OVERHEAD - 1))
+
+
+def test_encode_rejects_oversized_payloads():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame(PAYLOAD, max_frame_bytes=len(PAYLOAD) - 1)
+
+
+def test_roundtrip_survives_one_byte_reads():
+    reader = StreamReader(encode_frame(PAYLOAD), chunk=1)
+    assert recv_frame(reader) == PAYLOAD
+    assert recv_frame(reader) is None  # clean EOF on the boundary
+
+
+def test_roundtrip_survives_short_writes():
+    written = bytearray()
+
+    def trickle(view) -> int:  # accepts at most 3 bytes per call
+        taken = bytes(view[:3])
+        written.extend(taken)
+        return len(taken)
+
+    send_frame(trickle, PAYLOAD)
+    assert recv_frame(StreamReader(bytes(written))) == PAYLOAD
+
+
+def test_send_detects_stalled_peer():
+    with pytest.raises(TruncatedFrameError):
+        send_frame(lambda view: 0, PAYLOAD)
+
+
+def test_send_accepts_write_all_apis():
+    chunks: list[bytes] = []
+
+    def write(view) -> None:  # file-like .write returning None
+        chunks.append(bytes(view))
+
+    send_frame(write, PAYLOAD)
+    assert b"".join(chunks) == encode_frame(PAYLOAD)
+
+
+def test_recv_rejects_oversized_announcement_without_reading_body():
+    reader = StreamReader(struct.pack(">I", 2**31) + b"junk")
+    with pytest.raises(FrameTooLargeError):
+        recv_frame(reader, max_frame_bytes=1024)
+    # Only the header was consumed; the bogus body was never allocated.
+    assert reader.pos == FRAME_HEADER_BYTES
+
+
+def test_recv_rejects_sub_envelope_announcement():
+    reader = StreamReader(struct.pack(">I", ENVELOPE_OVERHEAD - 1))
+    with pytest.raises(FramingError):
+        recv_frame(reader)
+
+
+def test_eof_mid_header_is_truncation():
+    reader = StreamReader(encode_frame(PAYLOAD)[:2])
+    with pytest.raises(TruncatedFrameError):
+        recv_frame(reader)
+
+
+def test_eof_between_header_and_body_is_truncation():
+    reader = StreamReader(encode_frame(PAYLOAD)[:FRAME_HEADER_BYTES])
+    with pytest.raises(TruncatedFrameError):
+        recv_frame(reader)
+
+
+def test_eof_mid_body_is_truncation():
+    reader = StreamReader(encode_frame(PAYLOAD)[:-1])
+    with pytest.raises(TruncatedFrameError):
+        recv_frame(reader)
+
+
+def test_back_to_back_frames_stay_delimited():
+    second = seal(0x02, b"and the guest list")
+    reader = StreamReader(encode_frame(PAYLOAD) + encode_frame(second), chunk=5)
+    assert recv_frame(reader) == PAYLOAD
+    assert recv_frame(reader) == second
+    assert recv_frame(reader) is None

@@ -1,0 +1,112 @@
+"""Transports: socketpair pipes, TCP, and link-charged wrappers."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.osn.network import NetworkLink
+from repro.osn.provider import ServiceProvider
+from repro.osn.storage import StorageHost
+from repro.proto.engine import PuzzleProtocolEngine
+from repro.proto.messages import (
+    StoragePutRequest,
+    decode_message,
+    encode_message,
+)
+from repro.serve import (
+    InMemoryPipeTransport,
+    LinkChargedTransport,
+    SmartServer,
+    TcpSmartServer,
+    TcpTransport,
+)
+
+
+def make_engine() -> PuzzleProtocolEngine:
+    return PuzzleProtocolEngine(ServiceProvider(), StorageHost())
+
+
+def roundtrip_one(conn) -> None:
+    request = encode_message(StoragePutRequest(data=b"over the wire"))
+    conn.send(request)
+    reply = decode_message(conn.recv())
+    assert reply.url.startswith("dh://")
+
+
+def test_in_memory_pipe_serves_full_protocol():
+    with SmartServer(make_engine()) as server:
+        conn = InMemoryPipeTransport(server).connect()
+        try:
+            roundtrip_one(conn)
+        finally:
+            conn.close()
+
+
+def test_tcp_transport_serves_full_protocol():
+    with TcpSmartServer(make_engine()) as server:
+        host, port = server.address
+        transport = TcpTransport(host, port)
+        assert transport.describe() == "tcp://%s:%d" % (host, port)
+        conn = transport.connect()
+        try:
+            roundtrip_one(conn)
+        finally:
+            conn.close()
+
+
+def test_each_connect_gets_an_independent_connection():
+    with SmartServer(make_engine()) as server:
+        transport = InMemoryPipeTransport(server)
+        first, second = transport.connect(), transport.connect()
+        try:
+            roundtrip_one(first)
+            roundtrip_one(second)
+        finally:
+            first.close()
+            second.close()
+    assert server.metrics.connections_total == 2
+
+
+def test_link_charged_transport_meters_both_directions():
+    link = NetworkLink(
+        name="dsl", rtt_s=0.05, uplink_bps=1e6, downlink_bps=8e6
+    )
+    with SmartServer(make_engine()) as server:
+        transport = LinkChargedTransport(InMemoryPipeTransport(server), link)
+        conn = transport.connect()
+        try:
+            request = encode_message(StoragePutRequest(data=b"charged bytes"))
+            conn.send(request)
+            reply_payload = conn.recv()
+        finally:
+            conn.close()
+    directions = [(t.direction, t.num_bytes) for t in link.log]
+    assert directions == [("up", len(request)), ("down", len(reply_payload))]
+    # The charge descriptions carry the wire summary, not the contents.
+    assert "StoragePutRequest" in link.log[0].description
+    assert b"charged bytes" not in link.log[0].description.encode()
+
+
+def test_link_charged_transport_describe_names_both_parts():
+    link = NetworkLink(name="lte", rtt_s=0.07, uplink_bps=1e6, downlink_bps=4e6)
+    with SmartServer(make_engine()) as server:
+        transport = LinkChargedTransport(InMemoryPipeTransport(server), link)
+        assert "pipe://in-memory" in transport.describe()
+        assert "lte" in transport.describe()
+
+
+def test_tcp_transport_refuses_dead_port():
+    # A bound-but-never-listening socket reserves the port (nothing
+    # else on the machine can grab it mid-test) while refusing every
+    # connect — unlike a stopped server's freed ephemeral port, which
+    # any other process may legitimately claim.
+    blocker = socket.socket()
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        host, port = blocker.getsockname()
+        with pytest.raises(OSError):
+            TcpTransport(host, port, connect_timeout_s=2.0).connect()
+    finally:
+        blocker.close()

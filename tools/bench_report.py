@@ -11,13 +11,16 @@ pin the structural claim (2k+1 final exponentiations collapse to 1).
 It also runs the self-healing availability scenario (one node of a
 3-node R=3 cluster down, every read served through the degraded
 fallback) and records served/failed/stale-risk counts next to the
-crypto numbers.
+crypto numbers, plus a closed-loop throughput run against a real TCP
+smart server — serial (one request in flight) vs pipelined (eight
+client threads sharing one connection) — recording requests/second and
+the server-observed in-flight high-water mark.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python tools/bench_report.py [output.json]
 
-The default output is ``BENCH_PR6.json`` in the current directory.
+The default output is ``BENCH_PR7.json`` in the current directory.
 Wall-clock numbers vary per machine; the checked-in file documents one
 reference run, while the ``speedup``/op-count/availability fields are
 the quantities CI asserts on (see ``benchmarks/test_hotpath_speedup.py``
@@ -169,8 +172,61 @@ def bench_degraded_reads() -> dict:
     }
 
 
+def bench_serve_throughput() -> dict:
+    """Closed-loop load against a TCP smart server on localhost.
+
+    The serial loop holds one request in flight (latency-bound); the
+    pipelined loop shares the same single connection between eight
+    closed-loop client threads, so up to eight requests ride the wire
+    at once. The gap between the two is what the smart server's
+    pipelining buys; ``max_in_flight_seen`` proves the overlap was real.
+    """
+    import threading
+
+    from repro.apps.platform import SocialPuzzlePlatform
+    from repro.crypto.params import get_params
+    from repro.serve import RemoteProtocolClient, TcpSmartServer, TcpTransport
+
+    requests, clients, payload = 240, 8, b"x" * 512
+    platform = SocialPuzzlePlatform(params=get_params("small"))
+    with TcpSmartServer(platform.engine, max_in_flight=16, workers=8) as server:
+        host, port = server.address
+        with RemoteProtocolClient(TcpTransport(host, port)) as client:
+            client.storage_put(b"warm the connection")
+
+            start = time.perf_counter()
+            for _ in range(requests):
+                client.storage_put(payload)
+            serial_s = time.perf_counter() - start
+
+            def closed_loop() -> None:
+                for _ in range(requests // clients):
+                    client.storage_put(payload)
+
+            threads = [
+                threading.Thread(target=closed_loop) for _ in range(clients)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            pipelined_s = time.perf_counter() - start
+        observed = server.metrics.as_dict()
+    return {
+        "requests": requests,
+        "client_threads": clients,
+        "payload_bytes": len(payload),
+        "serial_rps": requests / serial_s,
+        "pipelined_rps": requests / pipelined_s,
+        "speedup": serial_s / pipelined_s,
+        "max_in_flight_seen": observed["max_in_flight_seen"],
+        "server_frames_in": observed["frames_in"],
+    }
+
+
 def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_PR6.json"
+    out_path = argv[1] if len(argv) > 1 else "BENCH_PR7.json"
     rng = random.Random(5)
     pairing = Pairing(SMALL)
     report = {
@@ -181,6 +237,7 @@ def main(argv: list[str]) -> int:
         "batch_modinv": bench_batch_modinv(rng),
         "cpabe_decrypt_k5": bench_decrypt(),
         "degraded_reads": bench_degraded_reads(),
+        "serve_throughput": bench_serve_throughput(),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -18,11 +18,16 @@ import re
 import sys
 from pathlib import Path
 
-# Inline [text](target) links and ![alt](target) images. Reference-style
-# links are rare in this repo; add them here if they ever appear.
+# Inline [text](target) links and ![alt](target) images, plus
+# reference-style [text][label] usages resolved through their
+# [label]: target definition lines (labels are case-insensitive;
+# [text][] collapses the text into the label, per CommonMark).
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REF_USE = re.compile(r"!?\[([^\]]+)\]\[([^\]]*)\]")
+_REF_DEF = re.compile(r"^ {0,3}\[([^\]]+)\]:\s*(\S+)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 _CODE_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
 
 
 def _slugify(heading: str) -> str:
@@ -47,7 +52,8 @@ def _anchors(path: Path) -> set[str]:
     return anchors
 
 
-def _iter_links(path: Path):
+def _prose_lines(path: Path):
+    """The file's lines outside code fences, with line numbers."""
     in_fence = False
     for lineno, line in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
@@ -57,13 +63,46 @@ def _iter_links(path: Path):
             continue
         if in_fence:
             continue
+        # Inline code spans are literal text, not links.
+        yield lineno, _CODE_SPAN.sub("``", line)
+
+
+def _iter_links(path: Path):
+    """Yield ``(lineno, target)`` for every checkable link in ``path``.
+
+    A reference use whose label has no definition yields a
+    ``(lineno, ("undefined", label))`` sentinel instead, so
+    ``check_file`` reports it in line order with the broken targets."""
+    definitions: dict[str, str] = {}
+    for _lineno, line in _prose_lines(path):
+        match = _REF_DEF.match(line)
+        if match:
+            definitions[match.group(1).lower()] = match.group(2)
+    for lineno, line in _prose_lines(path):
+        if _REF_DEF.match(line):
+            # The definition's own target is checked where it is used;
+            # check it here too so an unused-but-broken one still fails.
+            yield lineno, _REF_DEF.match(line).group(2)
+            continue
         for match in _LINK.finditer(line):
             yield lineno, match.group(1)
+        for match in _REF_USE.finditer(line):
+            label = (match.group(2) or match.group(1)).lower()
+            if label not in definitions:
+                yield lineno, ("undefined", match.group(2) or match.group(1))
+        # Resolved reference uses point at their definition's target,
+        # which the definition line above already yielded once.
 
 
 def check_file(path: Path, root: Path) -> list[str]:
     errors: list[str] = []
     for lineno, target in _iter_links(path):
+        if isinstance(target, tuple):
+            errors.append(
+                "%s:%d: undefined link reference [%s]"
+                % (path, lineno, target[1])
+            )
+            continue
         if target.startswith(("http://", "https://", "mailto:")):
             continue
         base, _, fragment = target.partition("#")
