@@ -8,7 +8,8 @@ The paper's Implementation 2 drives Bethencourt's cpabe toolkit, whose
 This module provides the same surface for our CP-ABE: :func:`parse_policy`
 turns a policy string into an :class:`~repro.abe.access_tree.AccessTree`,
 and :func:`format_policy` renders a tree back to canonical text (a
-round-trip tested property).
+round-trip tested property: ``parse_policy(format_policy(t)) == t`` for
+every valid tree).
 
 Grammar (case-insensitive keywords)::
 
@@ -19,23 +20,80 @@ Grammar (case-insensitive keywords)::
               | '(' policy ')'
               | NUMBER OF '(' policy ( ',' policy )* ')'
 
-Attributes are bare words (letters, digits, ``_:.#|-``) or single-quoted
-strings (which may contain spaces and the social-puzzle separator).
-``k of (...)`` is a threshold gate; AND / OR are n-of-n / 1-of-n gates
-and consecutive operators of the same kind are flattened.
+Attributes are bare words (letters, digits, ``_:./#|-`` — the ``/``
+admits scope labels like ``scope:group/trip``) or single-quoted strings
+(which may contain spaces and the social-puzzle separator). ``k of
+(...)`` is a threshold gate; AND / OR are n-of-n / 1-of-n gates and
+consecutive operators of the same kind are flattened. Attributes that
+collide with a keyword or start with a digit are rendered quoted so the
+formatter never emits text the parser would read as an operator or a
+threshold count.
+
+Syntax errors — from the tokenizer *and* the parser — carry the
+offending position and a caret-annotated excerpt of the policy string::
+
+    >>> parse_policy("a and (b or c")  # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+    PolicySyntaxError: ...
 """
 
 from __future__ import annotations
 
 import re
+from typing import NamedTuple
 
 from repro.abe.access_tree import AccessTree, AttributeLeaf, Node, ThresholdGate
 
 __all__ = ["parse_policy", "format_policy", "PolicySyntaxError"]
 
+_EXCERPT_RADIUS = 24
+
 
 class PolicySyntaxError(ValueError):
-    """Raised on malformed policy strings."""
+    """Raised on malformed policy strings.
+
+    When the offending location is known, ``position`` holds the
+    0-based character offset into the original policy text and the
+    message ends with a caret-annotated excerpt::
+
+        expected ')', got ',' at position 9
+            2 of (a, b, c
+                   ^
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        text: str | None = None,
+        position: int | None = None,
+    ):
+        self.position = position
+        self.text = text
+        if text is not None and position is not None:
+            message = "%s at position %d\n%s" % (
+                message,
+                position,
+                _excerpt(text, position),
+            )
+        super().__init__(message)
+
+
+def _excerpt(text: str, position: int) -> str:
+    """Render a window of ``text`` around ``position`` with a caret."""
+    position = max(0, min(position, len(text)))
+    start = max(0, position - _EXCERPT_RADIUS)
+    end = min(len(text), position + _EXCERPT_RADIUS)
+    head = "... " if start > 0 else ""
+    tail = " ..." if end < len(text) else ""
+    window = text[start:end].replace("\n", " ").replace("\x1f", " ")
+    caret_at = len(head) + (position - start)
+    return "    %s%s%s\n    %s^" % (head, window, tail, " " * caret_at)
+
+
+class _Token(NamedTuple):
+    text: str
+    position: int
 
 
 _TOKEN_RE = re.compile(
@@ -45,7 +103,7 @@ _TOKEN_RE = re.compile(
         (?P<rparen>\)) |
         (?P<comma>,) |
         (?P<quoted>'(?:[^'\\]|\\.)*') |
-        (?P<word>[\w:.#|\x1f-]+)
+        (?P<word>[\w:./#|\x1f-]+)
     )
     """,
     re.VERBOSE,
@@ -54,56 +112,71 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {"and", "or", "of"}
 
 
-def _tokenize(text: str) -> list[str]:
-    tokens: list[str] = []
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            remainder = text[position:].strip()
-            if not remainder:
+            remainder = text[position:]
+            stripped = remainder.lstrip()
+            if not stripped:
                 break
+            at = position + (len(remainder) - len(stripped))
             raise PolicySyntaxError(
-                "unexpected character %r at position %d" % (remainder[0], position)
+                "unexpected character %r" % stripped[0], text=text, position=at
             )
+        start = match.start(1)
         position = match.end()
         if match.group("quoted"):
             raw = match.group("quoted")[1:-1]
-            tokens.append("'" + raw.replace("\\'", "'").replace("\\\\", "\\"))
+            tokens.append(
+                _Token("'" + raw.replace("\\'", "'").replace("\\\\", "\\"), start)
+            )
         else:
-            tokens.append(match.group(1))
-    if text[position:].strip():
-        raise PolicySyntaxError("trailing garbage: %r" % text[position:])
+            tokens.append(_Token(match.group(1), start))
     return tokens
 
 
 class _Parser:
-    def __init__(self, tokens: list[str]):
+    def __init__(self, tokens: list[_Token], text: str):
         self.tokens = tokens
+        self.text = text
         self.position = 0
+
+    def _fail(self, message: str, at: int | None = None) -> PolicySyntaxError:
+        if at is None:
+            if self.position < len(self.tokens):
+                at = self.tokens[self.position].position
+            else:
+                at = len(self.text)
+        return PolicySyntaxError(message, text=self.text, position=at)
 
     def peek(self) -> str | None:
         if self.position < len(self.tokens):
-            return self.tokens[self.position]
+            return self.tokens[self.position].text
         return None
 
     def take(self) -> str:
         token = self.peek()
         if token is None:
-            raise PolicySyntaxError("unexpected end of policy")
+            raise self._fail("unexpected end of policy")
         self.position += 1
         return token
 
     def expect(self, token: str) -> None:
+        here = self.position
         got = self.take()
         if got != token:
-            raise PolicySyntaxError("expected %r, got %r" % (token, got))
+            raise self._fail(
+                "expected %r, got %r" % (token, got), at=self.tokens[here].position
+            )
 
     # policy := or_expr
     def parse(self) -> Node:
         node = self._or_expr()
         if self.peek() is not None:
-            raise PolicySyntaxError("unexpected token %r" % self.peek())
+            raise self._fail("unexpected token %r" % self.peek())
         return node
 
     def _or_expr(self) -> Node:
@@ -131,7 +204,8 @@ class _Parser:
     def _atom(self) -> Node:
         token = self.peek()
         if token is None:
-            raise PolicySyntaxError("unexpected end of policy")
+            raise self._fail("unexpected end of policy")
+        here = self.position
         if token == "(":
             self.take()
             node = self._or_expr()
@@ -151,18 +225,24 @@ class _Parser:
                 children.append(self._or_expr())
             self.expect(")")
             if not 1 <= threshold <= len(children):
-                raise PolicySyntaxError(
+                raise self._fail(
                     "threshold %d out of range for %d alternatives"
-                    % (threshold, len(children))
+                    % (threshold, len(children)),
+                    at=self.tokens[here].position,
                 )
             return ThresholdGate(threshold, tuple(children))
         token = self.take()
         if token in (")", ","):
-            raise PolicySyntaxError("unexpected %r" % token)
+            raise self._fail(
+                "unexpected %r" % token, at=self.tokens[here].position
+            )
         if token.startswith("'"):
             return AttributeLeaf(token[1:])
         if token.lower() in _KEYWORDS:
-            raise PolicySyntaxError("keyword %r cannot be an attribute" % token)
+            raise self._fail(
+                "keyword %r cannot be an attribute" % token,
+                at=self.tokens[here].position,
+            )
         return AttributeLeaf(token)
 
 
@@ -170,14 +250,18 @@ def parse_policy(text: str) -> AccessTree:
     """Parse a cpabe-style policy string into an access tree."""
     if not text.strip():
         raise PolicySyntaxError("empty policy")
-    return AccessTree(_Parser(_tokenize(text)).parse())
+    return AccessTree(_Parser(_tokenize(text), text).parse())
 
 
-_BARE_RE = re.compile(r"^[\w:.#|-]+$")
+_BARE_RE = re.compile(r"^[\w:./#|-]+$")
 
 
 def _quote(attribute: str) -> str:
-    if _BARE_RE.match(attribute) and attribute.lower() not in _KEYWORDS:
+    if (
+        _BARE_RE.match(attribute)
+        and attribute.lower() not in _KEYWORDS
+        and not attribute[0].isdigit()
+    ):
         return attribute
     return "'" + attribute.replace("\\", "\\\\").replace("'", "\\'") + "'"
 
@@ -190,8 +274,9 @@ def _format_node(node: Node) -> str:
         return "(" + " and ".join(children) + ")"
     if node.threshold == 1 and len(children) > 1:
         return "(" + " or ".join(children) + ")"
-    if len(children) == 1:
-        return children[0]
+    # A single-child gate must stay a gate in the rendering — collapsing
+    # it to the bare child would lose the node on the way back through
+    # parse_policy and break the round-trip property.
     return "%d of (%s)" % (node.threshold, ", ".join(children))
 
 

@@ -54,6 +54,7 @@ from repro.osn.provider import Post, ServiceProvider, User
 from repro.osn.resilience import RetryPolicy
 from repro.osn.securechannel import ChannelClient, ChannelServer
 from repro.osn.storage import StorageHost
+from repro.policy import Explanation, PuzzlePolicy
 from repro.proto.bus import MessageBus
 from repro.proto.client import ProtocolClient
 from repro.proto.engine import PuzzleProtocolEngine
@@ -409,6 +410,38 @@ class _PuzzleAppBase:
             raise ShareFailedError("share rolled back: %s" % exc) from exc
         return puzzle_id, post
 
+    # -- the policy plane ----------------------------------------------------------
+
+    @staticmethod
+    def _resolve_policy(
+        policy: "str | PuzzlePolicy | None",
+    ) -> PuzzlePolicy | None:
+        """Normalize the ``policy=`` argument of :meth:`share`.
+
+        A string is parsed as a policy expression; a ready-made
+        :class:`~repro.policy.PuzzlePolicy` passes through. ``None``
+        keeps the classic flat k-of-n path (a flat threshold *is* the
+        degenerate policy ``k of (q_1, ..., q_n)`` — the explicit
+        argument exists for gates the flat form cannot express).
+        """
+        if policy is None:
+            return None
+        if isinstance(policy, PuzzlePolicy):
+            return policy
+        return PuzzlePolicy.from_text(policy)
+
+    def _attach_policy(
+        self, puzzle_id: int, policy: PuzzlePolicy, meter: CostMeter, overhead: int
+    ) -> None:
+        """Ship the canonical policy text to the SP (SharePolicy verb) so
+        Explain replies echo the sharer's own rendering. Runs inside the
+        atomic-publish window: a failure rolls the whole share back."""
+        self.client.share_policy(self.construction, puzzle_id, policy.text)
+        meter.charge_upload(
+            "attach policy text (SharePolicy)",
+            len(policy.text.encode("utf-8")) + overhead,
+        )
+
     # -- device / sizing models --------------------------------------------------
 
     def _check_device(self, device: DeviceProfile) -> None:
@@ -473,16 +506,34 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
         user: User,
         obj: bytes,
         context: Context,
-        k: int,
+        k: int | None = None,
         n: int | None = None,
         device: DeviceProfile = PC,
         link: NetworkLink | None = None,
         audience: str = "friends",
+        policy: "str | PuzzlePolicy | None" = None,
     ) -> ShareResult:
-        """The sharer flow: client-side crypto, upload, hyperlink post."""
+        """The sharer flow: client-side crypto, upload, hyperlink post.
+
+        Access structure: either the classic flat threshold ``k`` (of
+        ``n`` questions drawn from ``context``) or a nested ``policy``
+        expression / :class:`~repro.policy.PuzzlePolicy` — a flat ``k``
+        is exactly the degenerate policy ``k of (q_1, ..., q_n)``.
+        Nested shares additionally register the canonical policy text
+        with the SP (the SharePolicy verb) so Explain can echo it.
+        """
+        nested = self._resolve_policy(policy)
+        if (nested is None) == (k is None):
+            raise PuzzleParameterError("share() needs exactly one of k= or policy=")
         n = len(context) if n is None else n
         with ExitStack() as scope:
-            root = _enter_journey(self.obs, scope, "c1.share", k=k, n=n)
+            root = _enter_journey(
+                self.obs,
+                scope,
+                "c1.share",
+                k=k if k is not None else nested.root_threshold,
+                n=n,
+            )
             meter = _meter(device, link)
             overhead = self.transport.open_session(meter) if self.transport else 0
             sharer = self._sharer_for(user)
@@ -490,7 +541,10 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
             with maybe_span("sharer.crypto"), meter.measure(
                 "sharer crypto (secret, shares, hashes, AES)"
             ):
-                puzzle = sharer.upload(obj, context, k, n)
+                if nested is not None:
+                    puzzle = sharer.upload_policy(obj, context, nested)
+                else:
+                    puzzle = sharer.upload(obj, context, k, n)
 
             # The encrypted blob is on the DH now. From here on the share is
             # atomic: any failure before the profile post lands rolls back
@@ -503,7 +557,10 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
                 meter.charge_upload(
                     "upload puzzle Z_O to SP", puzzle.byte_size() + overhead
                 )
-                return self.client.store_puzzle(puzzle)
+                puzzle_id = self.client.store_puzzle(puzzle)
+                if nested is not None:
+                    self._attach_policy(puzzle_id, nested, meter, overhead)
+                return puzzle_id
 
             puzzle_id, post = self._publish_atomically(
                 user, puzzle.url, audience, meter, overhead, store
@@ -553,6 +610,27 @@ class SocialPuzzleAppC1(_PuzzleAppBase):
             ):
                 plaintext = receiver.access(release, displayed, knowledge)
             return AccessResult(plaintext=plaintext, timing=meter.report())
+
+    def explain_access(
+        self,
+        viewer: User,
+        puzzle_id: int,
+        knowledge: Context,
+        rng: random.Random | None = None,
+    ) -> Explanation:
+        """Ask the SP *why* this knowledge grants or denies — without
+        receiving shares. Runs the display + answer steps exactly like
+        :meth:`attempt_access`, then submits the hashed evidence on the
+        Explain verb; a deny returns (never raises) so the receiver can
+        read which gates failed. Throttled services charge denied
+        explains against the shared verify budget.
+        """
+        with ExitStack() as scope:
+            _enter_journey(self.obs, scope, "c1.explain", puzzle_id=puzzle_id)
+            receiver = ReceiverC1(viewer.name, self.storage, bls=self.bls)
+            displayed = self.client.display_puzzle_c1(puzzle_id, rng=rng)
+            answers = receiver.answer_puzzle(displayed, knowledge)
+            return self.client.explain_c1(answers, viewer.name)
 
     def attempt_access_batched(
         self,
@@ -661,15 +739,27 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
         user: User,
         obj: bytes,
         context: Context,
-        k: int,
+        k: int | None = None,
         n: int | None = None,
         device: DeviceProfile = PC,
         link: NetworkLink | None = None,
         audience: str = "friends",
+        policy: "str | PuzzlePolicy | None" = None,
     ) -> ShareResult:
+        """The sharer flow; ``policy=`` compiles a nested expression into
+        the CP-ABE access tree (see :meth:`SocialPuzzleAppC1.share` for
+        the flat-vs-nested contract, which is identical)."""
+        nested = self._resolve_policy(policy)
+        if (nested is None) == (k is None):
+            raise PuzzleParameterError("share() needs exactly one of k= or policy=")
         self._check_device(device)
         with ExitStack() as scope:
-            root = _enter_journey(self.obs, scope, "c2.share", k=k)
+            root = _enter_journey(
+                self.obs,
+                scope,
+                "c2.share",
+                k=k if k is not None else nested.root_threshold,
+            )
             meter = _meter(device, link)
             overhead = self.transport.open_session(meter) if self.transport else 0
             sharer = SharerC2(
@@ -683,7 +773,10 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
             with maybe_span("sharer.crypto"), meter.measure(
                 "sharer crypto (cpabe setup, encrypt, perturb)"
             ):
-                record, ct_bytes = sharer.upload(obj, context, k, n)
+                if nested is not None:
+                    record, ct_bytes = sharer.upload_policy(obj, context, nested)
+                else:
+                    record, ct_bytes = sharer.upload(obj, context, k, n)
 
             # The ciphertext is on the DH now; publish fully or roll back.
             def store() -> int:
@@ -705,7 +798,10 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
                     "upload message.txt.cpabe",
                     self._file_size("message.txt.cpabe", len(ct_bytes)) + overhead,
                 )
-                return self.client.store_upload(record)
+                puzzle_id = self.client.store_upload(record)
+                if nested is not None:
+                    self._attach_policy(puzzle_id, nested, meter, overhead)
+                return puzzle_id
 
             puzzle_id, post = self._publish_atomically(
                 user, record.url, audience, meter, overhead, store
@@ -764,6 +860,23 @@ class SocialPuzzleAppC2(_PuzzleAppBase):
             ):
                 plaintext = receiver.access(grant, knowledge)
             return AccessResult(plaintext=plaintext, timing=meter.report())
+
+    def explain_access(
+        self,
+        viewer: User,
+        puzzle_id: int,
+        knowledge: Context,
+    ) -> Explanation:
+        """The C2 Explain flow; same contract as
+        :meth:`SocialPuzzleAppC1.explain_access`."""
+        with ExitStack() as scope:
+            _enter_journey(self.obs, scope, "c2.explain", puzzle_id=puzzle_id)
+            receiver = ReceiverC2(
+                viewer.name, self.storage, self.params, digestmod=self.digestmod
+            )
+            displayed = self.client.display_puzzle_c2(puzzle_id)
+            answers = receiver.answer_puzzle(displayed, knowledge)
+            return self.client.explain_c2(answers, viewer.name)
 
     def attempt_access_batched(
         self,

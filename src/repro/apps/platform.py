@@ -173,16 +173,28 @@ class SocialPuzzlePlatform:
         user: User,
         obj: bytes,
         context: Context,
-        k: int,
+        k: int | None = None,
         n: int | None = None,
         construction: int = 1,
         device: DeviceProfile = PC,
         link: NetworkLink | None = None,
         audience: str = "friends",
+        policy: str | None = None,
     ) -> ShareResult:
+        """Share under a flat threshold ``k`` or a nested ``policy``
+        expression (exactly one of the two; a flat ``k`` is the
+        degenerate policy ``k of (q_1, ..., q_n)``)."""
         app = self._app(construction)
         return app.share(
-            user, obj, context, k, n=n, device=device, link=link, audience=audience
+            user,
+            obj,
+            context,
+            k,
+            n=n,
+            device=device,
+            link=link,
+            audience=audience,
+            policy=policy,
         )
 
     def solve(
@@ -235,6 +247,24 @@ class SocialPuzzlePlatform:
         return app.attempt_access_batched(
             viewer, share.puzzle_id, knowledge, device=device, link=link
         )
+
+    def explain(
+        self,
+        viewer: User,
+        share: ShareResult,
+        knowledge: Context,
+        construction: int = 1,
+        rng: random.Random | None = None,
+    ):
+        """Ask the SP why ``knowledge`` grants or denies ``share`` —
+        the gate-by-gate derivation, never shares or answer material.
+        The static ACL gate applies exactly as it does for
+        :meth:`solve`."""
+        self._acl_gate(viewer, share)
+        app = self._app(construction)
+        if construction == 1:
+            return app.explain_access(viewer, share.puzzle_id, knowledge, rng=rng)
+        return app.explain_access(viewer, share.puzzle_id, knowledge)
 
     def retract(
         self, user: User, share: ShareResult, construction: int = 1

@@ -9,6 +9,7 @@ Commands:
 * ``simulate``   — run the system-level deployment simulation.
 * ``recommend``  — list recommended context questions for an event kind.
 * ``audit``      — strength-audit a context JSON file before sharing.
+* ``policy``     — parse, canonicalize and dry-run a nested puzzle policy.
 * ``share``      — share an object into a persistent world file.
 * ``solve``      — solve a puzzle from a persistent world file.
 * ``trace``      — run seeded journeys and print their closed span trees.
@@ -82,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser("audit", help="strength-audit a context JSON file")
     audit.add_argument("path", help='JSON file: {"k": 2, "context": {"Q?": "A", ...}}')
+
+    policy = sub.add_parser(
+        "policy", help="parse, canonicalize and dry-run a puzzle policy"
+    )
+    policy.add_argument(
+        "expression",
+        help="policy text, e.g. \"scope:group/trip and (2 of (a, b, c) or"
+        " attr:escrow)\"",
+    )
+    policy.add_argument(
+        "--known", default=None, metavar="Q1,Q2,...",
+        help="comma-separated requirement labels to treat as proved; prints"
+        " the grant/deny derivation (exit 0 grant, 1 deny)",
+    )
 
     share = sub.add_parser(
         "share", help="share an object into a persistent world file"
@@ -419,6 +434,48 @@ def _cmd_audit(args) -> int:
     return 1
 
 
+def _cmd_policy(args) -> int:
+    """Parse ``expression``; optionally evaluate it against ``--known``.
+
+    Without ``--known`` this is a lint: the canonical rendering, the
+    question list and the tree depth, or a caret-annotated syntax error.
+    With ``--known`` it additionally runs the same gate-by-gate evaluator
+    the SP's Explain verb uses (locally — no answers are involved, only
+    which labels count as proved).
+    """
+    from repro.abe.policy import PolicySyntaxError
+    from repro.policy import PolicyError, PuzzlePolicy, explain_tree
+
+    try:
+        policy = PuzzlePolicy.from_text(args.expression)
+    except (PolicySyntaxError, PolicyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shape = "flat" if policy.is_flat() else "nested"
+    print(f"canonical: {policy.text}")
+    print(f"shape: {shape}, depth {policy.depth()}, "
+          f"{len(policy.questions)} requirement(s)")
+    for question in policy.questions:
+        print(f"  - {question}")
+    scopes = policy.scope_labels()
+    if scopes:
+        print("scope gates: " + ", ".join(scopes))
+    if args.known is None:
+        return 0
+    known = {label.strip() for label in args.known.split(",") if label.strip()}
+    unknown = known - set(policy.questions)
+    if unknown:
+        print(
+            "warning: not in the policy: " + ", ".join(sorted(unknown)),
+            file=sys.stderr,
+        )
+    explanation = explain_tree(
+        policy.tree, known, construction=0, puzzle_id=0, policy_text=policy.text
+    )
+    print(explanation.render())
+    return 0 if explanation.granted else 1
+
+
 def format_self_healing(registry) -> str:
     """One-line summary of the cluster's self-healing counters.
 
@@ -618,6 +675,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "recommend": _cmd_recommend,
     "audit": _cmd_audit,
+    "policy": _cmd_policy,
     "share": _cmd_share,
     "solve": _cmd_solve,
     "trace": _cmd_trace,

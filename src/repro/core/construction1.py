@@ -30,6 +30,7 @@ import secrets
 import threading
 from dataclasses import dataclass
 
+from repro.abe.access_tree import AccessTree
 from repro.core.context import Context, normalize_answer
 from repro.core.errors import (
     AccessDeniedError,
@@ -45,6 +46,9 @@ from repro.crypto.hashes import sha3_256
 from repro.crypto.polynomial import Polynomial
 from repro.crypto.shamir import Share, reconstruct_secret
 from repro.osn.storage import AuditTrail, StorageHost
+from repro.policy.compile import encode_shape, share_plan, shape_tree, solve_shape
+from repro.policy.explain import Explanation, explain_tree
+from repro.policy.model import PuzzlePolicy
 from repro.util.codec import Reader, blob, text, u32
 
 __all__ = [
@@ -141,16 +145,28 @@ class ReleasedShare:
 
 @dataclass(frozen=True)
 class ShareRelease:
-    """The SP's reply when >= k answers verified: blinded shares of the
-    correctly answered questions plus URL_O."""
+    """The SP's reply when the puzzle policy is satisfied: blinded shares
+    of the correctly answered questions plus URL_O.
+
+    For a flat puzzle "satisfied" means >= k hashes matched; for a
+    nested-policy puzzle the released entries satisfied the gate shape,
+    which rides along in ``policy_shape`` so the receiver can run the
+    share-of-shares reconstruction (entry indices identify shape leaves).
+    """
 
     puzzle_id: int
     k: int
     url: str
     shares: tuple[ReleasedShare, ...]
+    policy_shape: bytes = b""
 
     def to_bytes(self) -> bytes:
-        body = u32(self.puzzle_id) + u32(self.k) + text(self.url)
+        body = (
+            u32(self.puzzle_id)
+            + u32(self.k)
+            + text(self.url)
+            + blob(self.policy_shape)
+        )
         for released in self.shares:
             body += (
                 text(released.question)
@@ -166,6 +182,7 @@ class ShareRelease:
         puzzle_id = reader.u32()
         k = reader.u32()
         url = reader.text()
+        policy_shape = reader.blob()
         shares = []
         while reader.remaining():
             shares.append(
@@ -176,7 +193,13 @@ class ShareRelease:
                     blinded_share=reader.blob(),
                 )
             )
-        return cls(puzzle_id=puzzle_id, k=k, url=url, shares=tuple(shares))
+        return cls(
+            puzzle_id=puzzle_id,
+            k=k,
+            url=url,
+            shares=tuple(shares),
+            policy_shape=policy_shape,
+        )
 
     def byte_size(self) -> int:
         return len(self.to_bytes())
@@ -274,6 +297,65 @@ class SharerC1:
             puzzle = puzzle.sign(self.bls, self.keys.secret, self.keys.public)
         return puzzle
 
+    def upload_policy(
+        self, obj: bytes, context: Context, policy: PuzzlePolicy
+    ) -> Puzzle:
+        """Upload under an arbitrary nested policy (the policy plane's
+        share-of-shares compiler).
+
+        The flat ``k of (q_1..q_n)`` policy degenerates to the classic
+        :meth:`upload` artifact — same byte encoding, no shape blob — so
+        existing receivers and golden vectors are untouched. A nested
+        policy deals shares down the gate tree (fresh polynomial per
+        gate, child position as x), blinds each leaf share under its
+        question's answer exactly like a flat entry, and records the
+        label-free gate shape in the puzzle.
+        """
+        policy.require_answerable(context)
+        if policy.is_flat():
+            flat_context = Context.from_mapping(
+                {q: context.answer_for(q) for q in policy.questions}
+            )
+            return self.upload(
+                obj,
+                flat_context,
+                policy.root_threshold,
+                len(policy.questions),
+            )
+
+        secret_m = secrets.randbelow(self.field.p)
+        object_key = _object_key(secret_m)
+        encrypted = gibberish.encrypt(obj, object_key)
+        url = self.storage.put(encrypted)
+        puzzle_key = secrets.token_bytes(16)
+
+        plan = share_plan(policy.tree, self.field, secret_m)
+        entries = []
+        for index, (question, share) in enumerate(zip(policy.questions, plan)):
+            answer = normalize_answer(context.answer_for(question)).encode()
+            entries.append(
+                PuzzleEntry(
+                    question=question,
+                    answer_digest=Puzzle.response_digest(answer, puzzle_key),
+                    share_x=share.x,
+                    blinded_share=blind_share(
+                        share, self.field, answer, puzzle_key, index
+                    ),
+                )
+            )
+
+        puzzle = Puzzle(
+            entries=tuple(entries),
+            k=policy.root_threshold,
+            puzzle_key=puzzle_key,
+            url=url,
+            sharer_name=self.name,
+            policy_shape=encode_shape(policy.tree),
+        )
+        if self.bls and self.keys:
+            puzzle = puzzle.sign(self.bls, self.keys.secret, self.keys.public)
+        return puzzle
+
 
 class PuzzleServiceC1:
     """The SP-side access-control service: stores puzzles, displays
@@ -283,6 +365,7 @@ class PuzzleServiceC1:
         self.audit = audit if audit is not None else AuditTrail()
         self._puzzles: dict[int, Puzzle] = {}
         self._retracting: dict[int, Puzzle] = {}
+        self._policy_texts: dict[int, str] = {}
         self._serial = 0
         # Guards identifier allocation only: concurrent store_puzzle
         # calls (the smart server dispatches in worker threads) must
@@ -313,7 +396,60 @@ class PuzzleServiceC1:
         returns whether anything was removed. Identifiers are never
         reused, so a rolled-back registration leaves no trace."""
         prepared = self._retracting.pop(puzzle_id, None) is not None
+        self._policy_texts.pop(puzzle_id, None)
         return self._puzzles.pop(puzzle_id, None) is not None or prepared
+
+    # -- the policy plane ----------------------------------------------------------
+
+    def attach_policy(self, puzzle_id: int, policy_text: str) -> None:
+        """Record the sharer's canonical policy expression for a stored
+        puzzle (the SharePolicy verb). Question-level only — the text
+        must never contain answers, and the SP uses it purely to echo a
+        faithful rendering in explain replies."""
+        self._puzzle(puzzle_id)  # raises UnknownPuzzleError
+        self._policy_texts[puzzle_id] = policy_text
+
+    def policy_text(self, puzzle_id: int) -> str | None:
+        """The attached policy expression, if the sharer registered one."""
+        return self._policy_texts.get(puzzle_id)
+
+    def question_tree(self, puzzle_id: int) -> AccessTree:
+        """The question-level policy tree of a stored puzzle: the gate
+        shape re-labeled with the questions (nested), or the implicit
+        height-1 ``k of (questions)`` gate (flat)."""
+        puzzle = self._puzzle(puzzle_id)
+        if puzzle.policy_shape:
+            return shape_tree(puzzle.policy_shape, puzzle.questions)
+        return AccessTree.k_of_n(puzzle.k, puzzle.questions)
+
+    def _matched_questions(self, answers: PuzzleAnswers) -> set[str]:
+        puzzle = self._puzzle(answers.puzzle_id)
+        matched: set[str] = set()
+        for question, digest in answers.digests.items():
+            try:
+                entry = puzzle.entry_for(question)
+            except KeyError:
+                continue
+            if entry.answer_digest == digest:
+                matched.add(question)
+        return matched
+
+    def explain(self, answers: PuzzleAnswers) -> Explanation:
+        """The audit-grade derivation for one verification attempt.
+
+        Evaluates the question-level tree over the *matched* leaves and
+        traces every gate — grant and deny alike (no exception on deny:
+        the whole point is explaining the failure). Only questions and
+        gate arithmetic enter the trace; never a hash, answer or share.
+        """
+        matched = self._matched_questions(answers)
+        return explain_tree(
+            self.question_tree(answers.puzzle_id),
+            matched,
+            construction=1,
+            puzzle_id=answers.puzzle_id,
+            policy_text=self._policy_texts.get(answers.puzzle_id),
+        )
 
     # -- the two-phase retract saga ----------------------------------------------
 
@@ -333,7 +469,10 @@ class PuzzleServiceC1:
     def commit_retract(self, puzzle_id: int) -> bool:
         """Saga phase 2: discard the prepared registration for good;
         returns whether a prepared retract existed (idempotent)."""
-        return self._retracting.pop(puzzle_id, None) is not None
+        committed = self._retracting.pop(puzzle_id, None) is not None
+        if committed:
+            self._policy_texts.pop(puzzle_id, None)
+        return committed
 
     def abort_retract(self, puzzle_id: int) -> bool:
         """Saga rollback: restore a prepared registration, exactly as it
@@ -351,10 +490,16 @@ class PuzzleServiceC1:
     def display_puzzle(
         self, puzzle_id: int, rng: random.Random | None = None
     ) -> DisplayedPuzzle:
-        """DisplayPuzzle(Z_O): random r in [k, n], permutation sigma."""
+        """DisplayPuzzle(Z_O): random r in [k, n], permutation sigma.
+
+        Nested-policy puzzles display every question (permuted): the
+        paper's r-sampling is a flat-threshold notion, and withholding a
+        leaf could make a satisfiable branch (e.g. the escrow arm of an
+        OR) unanswerable.
+        """
         puzzle = self._puzzle(puzzle_id)
         rng = rng or random.Random(secrets.randbits(64))
-        r = rng.randint(puzzle.k, puzzle.n)
+        r = puzzle.n if puzzle.policy_shape else rng.randint(puzzle.k, puzzle.n)
         questions = rng.sample(puzzle.questions, r)
         return DisplayedPuzzle(
             puzzle_id=puzzle_id,
@@ -364,10 +509,13 @@ class PuzzleServiceC1:
         )
 
     def verify(self, answers: PuzzleAnswers) -> ShareRelease:
-        """Verify(u, h_1..h_r): release blinded shares iff >= k hashes match.
+        """Verify(u, h_1..h_r): release blinded shares iff the policy holds.
 
-        Raises :class:`AccessDeniedError` with no partial information when
-        fewer than k verify (the paper: "SP does not send anything").
+        Flat puzzles keep the paper's rule — >= k hashes match. A puzzle
+        carrying a policy shape instead evaluates the gate tree over the
+        matched questions (still hashes only). Either way a failure
+        raises :class:`AccessDeniedError` with no partial information
+        (the paper: "SP does not send anything").
         """
         puzzle = self._puzzle(answers.puzzle_id)
         self.audit.record(
@@ -388,7 +536,14 @@ class PuzzleServiceC1:
                         blinded_share=entry.blinded_share,
                     )
                 )
-        if len(released) < puzzle.k:
+        if puzzle.policy_shape:
+            tree = shape_tree(puzzle.policy_shape, puzzle.questions)
+            if not tree.satisfied_by({r.question for r in released}):
+                raise AccessDeniedError(
+                    "the %d verified answers do not satisfy the puzzle policy"
+                    % len(released)
+                )
+        elif len(released) < puzzle.k:
             raise AccessDeniedError(
                 "only %d of the required %d answers verified"
                 % (len(released), puzzle.k)
@@ -398,6 +553,7 @@ class PuzzleServiceC1:
             k=puzzle.k,
             url=puzzle.url,
             shares=tuple(released),
+            policy_shape=puzzle.policy_shape,
         )
 
 
@@ -450,6 +606,32 @@ class ReceiverC1:
                 raise PuzzleParameterError("no BLS scheme configured for verification")
             if not expected_signature.verify_signature(self.bls):
                 raise TamperDetectedError("puzzle signature verification failed")
+
+        if release.policy_shape:
+            # Nested policy: unblind every released share and run the
+            # share-of-shares recursion over the gate shape (entry index
+            # identifies the shape leaf, share_x its position under its
+            # parent gate).
+            leaf_values: dict[int, int] = {}
+            for released in release.shares:
+                answer = normalize_answer(
+                    knowledge.answer_for(released.question)
+                ).encode()
+                share = unblind_share(
+                    released.share_x,
+                    released.blinded_share,
+                    self.field,
+                    answer,
+                    displayed.puzzle_key,
+                    released.entry_index,
+                )
+                leaf_values[released.entry_index] = share.y
+            secret = solve_shape(release.policy_shape, leaf_values, self.field)
+            if secret is None:
+                raise AccessDeniedError(
+                    "released shares do not satisfy the puzzle policy"
+                )
+            return secret
 
         if len(release.shares) < release.k:
             raise AccessDeniedError(

@@ -369,6 +369,25 @@ class SharerC2:
         )
         return record, ct_bytes
 
+    def upload_policy(
+        self, obj: bytes, context: Context, policy
+    ) -> tuple[C2Upload, bytes]:
+        """Upload under a :class:`~repro.policy.model.PuzzlePolicy`.
+
+        C2's compiler is a relabeling: every requirement leaf becomes a
+        (question, answer) attribute and the nested tree goes straight
+        into CP-ABE ``Encrypt``. The flat degenerate case keeps the
+        paper's (1, 1) fidelity restriction from :meth:`build_tree`.
+        """
+        from repro.policy.compile import compile_tree_c2
+
+        if policy.is_flat() and (
+            policy.root_threshold,
+            len(policy.questions),
+        ) == (1, 1):
+            raise PuzzleParameterError("CP-ABE does not support a (1, 1) threshold")
+        return self.upload_tree(obj, compile_tree_c2(policy, context))
+
 
 class PuzzleServiceC2:
     """SP-side service for Construction 2: holds tau', PK, MK and URL_O."""
@@ -378,6 +397,7 @@ class PuzzleServiceC2:
         self.digestmod = digestmod
         self._records: dict[int, C2Upload] = {}
         self._retracting: dict[int, C2Upload] = {}
+        self._policy_texts: dict[int, str] = {}
         self._serial = 0
         # Guards identifier allocation under concurrent dispatch (see
         # PuzzleServiceC1); everything else relies on GIL-atomic dict ops.
@@ -415,7 +435,53 @@ class PuzzleServiceC2:
         """Unregister an upload (sharer retraction or publish rollback);
         returns whether anything was removed."""
         prepared = self._retracting.pop(puzzle_id, None) is not None
+        self._policy_texts.pop(puzzle_id, None)
         return self._records.pop(puzzle_id, None) is not None or prepared
+
+    # -- the policy plane ----------------------------------------------------------
+
+    def attach_policy(self, puzzle_id: int, policy_text: str) -> None:
+        """Record the sharer's canonical policy expression (SharePolicy
+        verb); used only to echo a faithful rendering in explain replies."""
+        self._record(puzzle_id)  # raises UnknownPuzzleError
+        self._policy_texts[puzzle_id] = policy_text
+
+    def policy_text(self, puzzle_id: int) -> str | None:
+        """The attached policy expression, if the sharer registered one."""
+        return self._policy_texts.get(puzzle_id)
+
+    def question_tree(self, puzzle_id: int) -> AccessTree:
+        """tau' with every leaf reduced to its question — the policy
+        structure an explain trace may legitimately reveal."""
+        record = self._record(puzzle_id)
+        return record.tree_perturbed.relabel(
+            lambda attribute: split_attribute(attribute)[0]
+        )
+
+    def _matched_questions(self, answers: PuzzleAnswersC2) -> set[str]:
+        record = self._record(answers.puzzle_id)
+        matched: set[str] = set()
+        for attribute in record.tree_perturbed.attributes():
+            question, rest = split_attribute(attribute)
+            if not rest.startswith(_HASH_PREFIX):
+                continue
+            if answers.digests.get(question) == rest[len(_HASH_PREFIX) :]:
+                matched.add(question)
+        return matched
+
+    def explain(self, answers: PuzzleAnswersC2):
+        """Gate-by-gate grant/deny derivation over hashed answers only
+        (see :meth:`PuzzleServiceC1.explain` — identical contract)."""
+        from repro.policy.explain import explain_tree
+
+        matched = self._matched_questions(answers)
+        return explain_tree(
+            self.question_tree(answers.puzzle_id),
+            matched,
+            construction=2,
+            puzzle_id=answers.puzzle_id,
+            policy_text=self._policy_texts.get(answers.puzzle_id),
+        )
 
     # -- the two-phase retract saga ----------------------------------------------
 
@@ -434,7 +500,10 @@ class PuzzleServiceC2:
     def commit_retract(self, puzzle_id: int) -> bool:
         """Saga phase 2: discard the prepared record for good; returns
         whether a prepared retract existed (idempotent)."""
-        return self._retracting.pop(puzzle_id, None) is not None
+        committed = self._retracting.pop(puzzle_id, None) is not None
+        if committed:
+            self._policy_texts.pop(puzzle_id, None)
+        return committed
 
     def abort_retract(self, puzzle_id: int) -> bool:
         """Saga rollback: restore a prepared record unchanged; returns

@@ -23,6 +23,14 @@ y-values).
 
 A puzzle may be *signed* (BLS over every component, section VI's
 countermeasure) so receivers can detect SP tampering.
+
+**Nested policies.** A puzzle whose shares were dealt by the policy
+plane's share-of-shares compiler (:mod:`repro.policy.compile`) carries
+the label-free gate shape in ``policy_shape``; entries map to shape
+leaves in order, and ``k`` is the root gate's threshold. Flat puzzles
+leave the field empty and their byte encoding (and therefore their BLS
+signature) is unchanged from the classic artifact — the shape blob is
+appended only when present, and it is signature-covered when it is.
 """
 
 from __future__ import annotations
@@ -115,6 +123,7 @@ class Puzzle:
     sharer_name: str = ""
     signature: bytes = b""  # BLS point encoding; empty = unsigned
     signer_public: bytes = b""  # BLS public key point encoding
+    policy_shape: bytes = b""  # encoded gate shape; empty = flat k-of-n
 
     def __post_init__(self) -> None:
         if not self.entries:
@@ -154,13 +163,25 @@ class Puzzle:
 
     # -- signatures (section VI countermeasure) --------------------------------------
 
-    def signed_payload(self) -> bytes:
-        """Every SP-tamperable component, canonically encoded."""
+    def _base_payload(self) -> bytes:
         out = u32(self.k) + blob(self.puzzle_key) + text(self.url)
         out += text(self.sharer_name)
         out += u32(len(self.entries))
         for entry in self.entries:
             out += entry.to_bytes()
+        return out
+
+    def signed_payload(self) -> bytes:
+        """Every SP-tamperable component, canonically encoded.
+
+        The policy shape joins the payload only when present so flat
+        puzzles keep their classic signature bytes; when present it is
+        covered — an SP rewriting gate thresholds is tampering exactly
+        like rewriting k.
+        """
+        out = self._base_payload()
+        if self.policy_shape:
+            out += blob(self.policy_shape)
         return out
 
     def sign(self, scheme: BlsScheme, secret: int, public: Point) -> "Puzzle":
@@ -186,9 +207,12 @@ class Puzzle:
     # -- wire encoding ------------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        return (
-            self.signed_payload() + blob(self.signature) + blob(self.signer_public)
+        out = (
+            self._base_payload() + blob(self.signature) + blob(self.signer_public)
         )
+        if self.policy_shape:
+            out += blob(self.policy_shape)
+        return out
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Puzzle":
@@ -201,6 +225,9 @@ class Puzzle:
         entries = tuple(PuzzleEntry.read_from(reader) for _ in range(count))
         signature = reader.blob()
         signer_public = reader.blob()
+        # Optional trailing shape: absent in (and byte-compatible with)
+        # every flat puzzle ever encoded.
+        policy_shape = reader.blob() if reader.remaining() else b""
         reader.done()
         return cls(
             entries=entries,
@@ -210,6 +237,7 @@ class Puzzle:
             sharer_name=sharer_name,
             signature=signature,
             signer_public=signer_public,
+            policy_shape=policy_shape,
         )
 
     def byte_size(self) -> int:

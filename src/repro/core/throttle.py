@@ -151,6 +151,18 @@ class ThrottledPuzzleServiceC1(_ThrottleMixin, PuzzleServiceC1):
         self.throttle.record_success(answers.puzzle_id, requester)
         return release
 
+    def explain(self, answers: PuzzleAnswers, requester: str = ""):
+        """Explain shares the verify budget: a denied explanation is an
+        answer-probing attempt and charges a failure, so Explain cannot
+        be used as an unthrottled guessing oracle."""
+        self.throttle.check(answers.puzzle_id, requester)
+        explanation = super().explain(answers)
+        if explanation.granted:
+            self.throttle.record_success(answers.puzzle_id, requester)
+        else:
+            self.throttle.record_failure(answers.puzzle_id, requester)
+        return explanation
+
 
 class ThrottledPuzzleServiceC2(_ThrottleMixin, PuzzleServiceC2):
     """A PuzzleServiceC2 that bounds failed verifications per requester."""
@@ -170,3 +182,13 @@ class ThrottledPuzzleServiceC2(_ThrottleMixin, PuzzleServiceC2):
             raise
         self.throttle.record_success(answers.puzzle_id, requester)
         return grant
+
+    def explain(self, answers: PuzzleAnswersC2, requester: str = ""):
+        """Same explain/verify shared budget as the C1 service."""
+        self.throttle.check(answers.puzzle_id, requester)
+        explanation = super().explain(answers)
+        if explanation.granted:
+            self.throttle.record_success(answers.puzzle_id, requester)
+        else:
+            self.throttle.record_failure(answers.puzzle_id, requester)
+        return explanation

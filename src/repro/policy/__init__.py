@@ -1,0 +1,62 @@
+"""The explainable policy plane: nested S-A-O-C puzzle policies.
+
+Three pieces, stacked:
+
+* :mod:`repro.policy.model` — the IR. :class:`PuzzlePolicy` is an
+  arbitrary monotone AND/OR/k-of-N tree over requirement labels
+  (questions, ``scope:org|group|thread/...`` gates, escrow attributes);
+  :class:`AccessRequest` normalizes who-does-what-to-which-with-what-
+  knowledge into one Subject-Action-Object-Context quadruple.
+* :mod:`repro.policy.compile` — two compilers from the one IR:
+  share-of-shares Shamir recursion for Construction 1, leaf relabeling
+  into CP-ABE attributes for Construction 2, plus the label-free gate
+  *shape* codec both the wire and the SP-side evaluator use.
+* :mod:`repro.policy.explain` — the audit-grade evaluator: given which
+  leaves a viewer proved, report the gate-by-gate grant/deny derivation
+  without ever shipping answer material.
+
+See the "Policy plane" section of ``docs/ARCHITECTURE.md`` for the
+end-to-end walk-through.
+"""
+
+from repro.policy.compile import (
+    compile_tree_c2,
+    decode_shape,
+    encode_shape,
+    shape_leaf_count,
+    shape_tree,
+    share_plan,
+    solve_shape,
+)
+from repro.policy.explain import Explanation, NodeTrace, explain_tree
+from repro.policy.model import (
+    ACTIONS,
+    SCOPE_KINDS,
+    AccessRequest,
+    PolicyError,
+    PuzzlePolicy,
+    is_scope_label,
+    scope_label,
+    split_scope_label,
+)
+
+__all__ = [
+    "ACTIONS",
+    "SCOPE_KINDS",
+    "AccessRequest",
+    "Explanation",
+    "NodeTrace",
+    "PolicyError",
+    "PuzzlePolicy",
+    "compile_tree_c2",
+    "decode_shape",
+    "encode_shape",
+    "explain_tree",
+    "is_scope_label",
+    "scope_label",
+    "shape_leaf_count",
+    "shape_tree",
+    "share_plan",
+    "solve_shape",
+    "split_scope_label",
+]

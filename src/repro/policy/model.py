@@ -1,0 +1,246 @@
+"""The normalized policy model: S-A-O-C requests and nested puzzle policies.
+
+Everything the policy plane reasons about is normalized into two values:
+
+* an :class:`AccessRequest` — **S**ubject (who asks), **A**ction (what they
+  want to do), **O**bject (which puzzle/post) and **C**ontext (the
+  question/answer knowledge they claim) — the openedx-authz-style
+  enforcer quadruple; and
+* a :class:`PuzzlePolicy` — one intermediate representation for *what must
+  be known*: an arbitrary monotone AND/OR/k-of-N tree whose leaves are
+  **requirement labels**. A label is simply a question; a *scope gate*
+  (``scope:org/acme``, ``scope:group/trip``, ``scope:thread/42``) is a
+  question whose answer is the scope's membership secret, and an escrow
+  branch (``attr:escrow``) is a question whose answer is the escrow
+  agent's credential. Uniformity is the point: both compilers
+  (:mod:`repro.policy.compile`) treat every leaf identically, so group
+  puzzles, escrowed recovery and scope-boxed access are policies, not
+  code paths.
+
+The paper's flat puzzle is the degenerate policy ``k of (q_1, ..., q_n)``
+— :meth:`PuzzlePolicy.from_k_of_n` builds exactly that, and
+:meth:`PuzzlePolicy.is_flat` detects it so the compilers can emit the
+byte-identical classic artifacts for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abe.access_tree import AccessTree, AttributeLeaf, Node, ThresholdGate
+from repro.abe.policy import format_policy, parse_policy
+from repro.core.context import Context
+from repro.core.errors import PuzzleParameterError
+
+__all__ = [
+    "ACTIONS",
+    "SCOPE_KINDS",
+    "PolicyError",
+    "PuzzlePolicy",
+    "AccessRequest",
+    "scope_label",
+    "is_scope_label",
+    "split_scope_label",
+]
+
+#: Actions a normalized request may name, mirroring the app verbs.
+ACTIONS = ("share", "access", "explain", "retract")
+
+#: Scope namespaces recognized by :func:`scope_label`.
+SCOPE_KINDS = ("org", "group", "thread")
+
+_SCOPE_PREFIX = "scope:"
+_SEP = "\x1f"  # construction 2's question/answer separator
+
+
+class PolicyError(PuzzleParameterError):
+    """An invalid policy or policy request.
+
+    Subclasses :class:`PuzzleParameterError`, so it crosses the wire
+    under the existing ``puzzle-parameter`` taxonomy code.
+    """
+
+
+def scope_label(kind: str, name: str) -> str:
+    """The requirement label of a scope gate: ``scope:<kind>/<name>``.
+
+    The label is an ordinary puzzle question whose answer is the scope's
+    membership secret (distributed to members out of band), so scope
+    gates need no new verification machinery in either construction.
+    """
+    if kind not in SCOPE_KINDS:
+        raise PolicyError(
+            "unknown scope kind %r (expected one of %s)"
+            % (kind, ", ".join(SCOPE_KINDS))
+        )
+    if not name or "/" in name or any(c.isspace() for c in name):
+        raise PolicyError("scope name must be a non-empty word, got %r" % name)
+    return "%s%s/%s" % (_SCOPE_PREFIX, kind, name)
+
+
+def is_scope_label(label: str) -> bool:
+    """Whether a requirement label names a scope gate."""
+    if not label.startswith(_SCOPE_PREFIX):
+        return False
+    rest = label[len(_SCOPE_PREFIX) :]
+    kind, slash, name = rest.partition("/")
+    return bool(slash) and kind in SCOPE_KINDS and bool(name)
+
+
+def split_scope_label(label: str) -> tuple[str, str]:
+    """``(kind, name)`` of a scope label; raises on non-scope labels."""
+    if not is_scope_label(label):
+        raise PolicyError("not a scope label: %r" % label)
+    kind, _, name = label[len(_SCOPE_PREFIX) :].partition("/")
+    return kind, name
+
+
+@dataclass(frozen=True)
+class PuzzlePolicy:
+    """The policy IR: an access tree over requirement labels.
+
+    The root is always a gate (a single-leaf policy is normalized to the
+    ``1 of (leaf)`` gate), leaf labels are distinct and separator-free,
+    so one policy compiles cleanly to both constructions:
+
+    * **C1** — a recursive share-of-shares split of the object secret
+      (:func:`repro.policy.compile.share_plan`).
+    * **C2** — leaf labels become (question, answer) CP-ABE attributes
+      and the tree goes straight into ``Encrypt``.
+    """
+
+    tree: AccessTree
+
+    def __post_init__(self) -> None:
+        root = self.tree.root
+        if isinstance(root, AttributeLeaf):
+            # Normalize: the compilers, wire shape and explain traces all
+            # assume a gate at the root; 1-of-1 is the same policy.
+            root = ThresholdGate(1, (root,))
+            object.__setattr__(self, "tree", AccessTree(root))
+        labels = self.tree.attributes()
+        if len(set(labels)) != len(labels):
+            raise PolicyError(
+                "policy requirement labels must be distinct, got %s" % labels
+            )
+        for label in labels:
+            if _SEP in label:
+                raise PolicyError(
+                    "requirement label %r contains the reserved separator" % label
+                )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "PuzzlePolicy":
+        """Parse a cpabe-style policy expression into the IR."""
+        return cls(parse_policy(text))
+
+    @classmethod
+    def from_k_of_n(cls, k: int, questions: list[str] | tuple[str, ...]) -> "PuzzlePolicy":
+        """The degenerate flat policy: the paper's ``k of (q_1..q_n)``."""
+        if not 0 < k <= len(questions):
+            raise PolicyError(
+                "need 0 < k <= n, got k=%d n=%d" % (k, len(questions))
+            )
+        return cls(AccessTree.k_of_n(k, list(questions)))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """Canonical policy expression (parses back to the same tree)."""
+        return format_policy(self.tree)
+
+    @property
+    def questions(self) -> tuple[str, ...]:
+        """All requirement labels in depth-first leaf order."""
+        return tuple(self.tree.attributes())
+
+    @property
+    def root_threshold(self) -> int:
+        return self.tree.root.threshold
+
+    def depth(self) -> int:
+        """Height of the tree counting the root gate (flat policy = 1)."""
+
+        def walk(node: Node) -> int:
+            if isinstance(node, AttributeLeaf):
+                return 0
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self.tree.root)
+
+    def is_flat(self) -> bool:
+        """True for the paper's degenerate k-of-n shape (all leaves at
+        the root gate) — the case the compilers map to the classic
+        flat-puzzle artifacts."""
+        return all(
+            isinstance(child, AttributeLeaf) for child in self.tree.root.children
+        )
+
+    def scope_labels(self) -> tuple[str, ...]:
+        """Scope gates appearing in this policy, in leaf order."""
+        return tuple(q for q in self.questions if is_scope_label(q))
+
+    def satisfied_by(self, known_questions: set[str] | frozenset[str]) -> bool:
+        """Would a viewer who proves knowledge of exactly these
+        requirement labels be granted?"""
+        return self.tree.satisfied_by(known_questions)
+
+    def missing_from(self, context: Context) -> tuple[str, ...]:
+        """Requirement labels the context holds no answer for."""
+        return tuple(q for q in self.questions if not context.knows(q))
+
+    def require_answerable(self, context: Context) -> None:
+        """Sharer-side check: the sharer must know every answer to
+        compile the policy (both constructions bind answers into the
+        artifact)."""
+        missing = self.missing_from(context)
+        if missing:
+            raise PolicyError(
+                "context has no answer for policy requirement(s): %s"
+                % ", ".join(repr(q) for q in missing)
+            )
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """A normalized Subject-Action-Object-Context policy request.
+
+    The single shape every policy decision is phrased in: *subject* asks
+    to perform *action* on *object_id*, claiming the knowledge in
+    *context*. Normalization (strip + casefold the action, reject
+    unknown verbs and blank subjects) happens at construction, so
+    downstream code never re-validates.
+    """
+
+    subject: str
+    action: str
+    object_id: int | None = None
+    context: Context | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        subject = self.subject.strip()
+        if not subject:
+            raise PolicyError("access request needs a non-empty subject")
+        action = self.action.strip().casefold()
+        if action not in ACTIONS:
+            raise PolicyError(
+                "unknown action %r (expected one of %s)"
+                % (self.action, ", ".join(ACTIONS))
+            )
+        object.__setattr__(self, "subject", subject)
+        object.__setattr__(self, "action", action)
+
+    def claimed_questions(self, policy: PuzzlePolicy) -> frozenset[str]:
+        """Policy requirements the request's context claims to answer.
+
+        Claimed, not proven — only the verifier (matching keyed hashes
+        in C1, answer hashes in C2) can promote a claim to a match.
+        """
+        if self.context is None:
+            return frozenset()
+        return frozenset(
+            q for q in policy.questions if self.context.knows(q)
+        )

@@ -39,6 +39,7 @@ from repro.proto.messages import (
     BefriendRequest,
     DisplayPuzzleRequest,
     ErrorReply,
+    ExplainRequest,
     FetchPostRequest,
     Message,
     PublishPostRequest,
@@ -47,6 +48,7 @@ from repro.proto.messages import (
     RetractCommitRequest,
     RetractPrepareRequest,
     RetractPuzzleRequest,
+    SharePolicyRequest,
     StoragePutRequest,
     StorageDeleteRequest,
     StorageExistsRequest,
@@ -248,6 +250,48 @@ class ProtocolClient:
             ),
         )
         return reply.grant
+
+    def share_policy(
+        self, construction: int, puzzle_id: int, policy_text: str
+    ) -> None:
+        """Attach the canonical policy text to a stored registration so
+        later Explain replies echo the sharer's own rendering."""
+        self._roundtrip(
+            "sp.share_policy",
+            SharePolicyRequest(
+                construction=construction,
+                puzzle_id=puzzle_id,
+                policy_text=policy_text,
+            ),
+        )
+
+    def explain_c1(self, answers: PuzzleAnswers, requester: str):
+        """Ask for the grant/deny derivation under the C1 evidence."""
+        reply = self._roundtrip(
+            "sp.explain",
+            ExplainRequest(
+                construction=1,
+                puzzle_id=answers.puzzle_id,
+                requester=requester,
+                digests=dict(answers.digests),
+            ),
+        )
+        return reply.explanation
+
+    def explain_c2(self, answers: PuzzleAnswersC2, requester: str):
+        """Ask for the grant/deny derivation under the C2 evidence."""
+        reply = self._roundtrip(
+            "sp.explain",
+            ExplainRequest(
+                construction=2,
+                puzzle_id=answers.puzzle_id,
+                requester=requester,
+                digests={
+                    q: d.encode("ascii") for q, d in answers.digests.items()
+                },
+            ),
+        )
+        return reply.explanation
 
     def retract(self, construction: int, puzzle_id: int) -> bool:
         reply = self._roundtrip(

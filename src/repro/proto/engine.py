@@ -49,9 +49,12 @@ from repro.proto.messages import (
     AnswerSubmission,
     BatchRequest,
     BefriendRequest,
+    AckReply,
     DisplayPuzzleRequest,
     DisplayReplyC1,
     DisplayReplyC2,
+    ExplainReply,
+    ExplainRequest,
     FetchPostRequest,
     GrantReply,
     Message,
@@ -64,6 +67,7 @@ from repro.proto.messages import (
     RetractPrepareRequest,
     RetractPuzzleRequest,
     RetractReply,
+    SharePolicyRequest,
     StorageDeleteRequest,
     StorageExistsRequest,
     StorageGetRequest,
@@ -121,6 +125,8 @@ class PuzzleProtocolEngine:
             StoreUploadRequest: self._store_c2,
             DisplayPuzzleRequest: self._display,
             AnswerSubmission: self._verify,
+            SharePolicyRequest: self._share_policy,
+            ExplainRequest: self._explain,
             RetractPuzzleRequest: self._retract,
             RetractPrepareRequest: self._retract_saga,
             RetractCommitRequest: self._retract_saga,
@@ -217,6 +223,33 @@ class PuzzleProtocolEngine:
         else:
             grant = backend.verify(answers)
         return GrantReply(grant=grant)
+
+    def _share_policy(self, message: SharePolicyRequest) -> Message:
+        self.backend(message.construction).attach_policy(
+            message.puzzle_id, message.policy_text
+        )
+        return AckReply()
+
+    def _explain(self, message: ExplainRequest) -> Message:
+        """Serve the grant/deny derivation for the submitted evidence.
+
+        Explains share the verify throttle budget, so the requester
+        travels exactly as it does for :class:`AnswerSubmission`.
+        """
+        backend = self.backend(message.construction)
+        throttled = isinstance(
+            _unwrap(backend), (ThrottledPuzzleServiceC1, ThrottledPuzzleServiceC2)
+        )
+        answers = (
+            message.to_answers_c1()
+            if message.construction == 1
+            else message.to_answers_c2()
+        )
+        if throttled:
+            explanation = backend.explain(answers, requester=message.requester)
+        else:
+            explanation = backend.explain(answers)
+        return ExplainReply(explanation=explanation)
 
     def _retract(self, message: RetractPuzzleRequest) -> Message:
         backend = self.backend(message.construction)

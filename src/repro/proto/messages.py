@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.construction1 import DisplayedPuzzle, PuzzleAnswers, ShareRelease
 from repro.core.construction2 import AccessGrantC2, C2Upload, DisplayedPuzzleC2
@@ -43,6 +44,9 @@ from repro.osn.storage import StorageError
 from repro.proto.envelope import WireFormatError, open_envelope, seal
 from repro.util.codec import CodecError, Reader, blob, text, u8, u32
 
+if TYPE_CHECKING:  # the policy plane is a runtime-lazy import (reply decode)
+    from repro.policy.explain import Explanation
+
 __all__ = [
     "Message",
     "MESSAGE_TYPES",
@@ -61,6 +65,8 @@ __all__ = [
     "FetchPostRequest",
     "RegisterUserRequest",
     "BefriendRequest",
+    "SharePolicyRequest",
+    "ExplainRequest",
     "StoragePutRequest",
     "StorageGetRequest",
     "StorageExistsRequest",
@@ -77,6 +83,7 @@ __all__ = [
     "PostReply",
     "UserReply",
     "AckReply",
+    "ExplainReply",
     "StoragePutReply",
     "StorageGetReply",
     "StorageBoolReply",
@@ -531,6 +538,93 @@ class BefriendRequest(Message):
 
 @_register
 @dataclass(frozen=True)
+class SharePolicyRequest(Message):
+    """Attach the canonical policy text to a stored registration.
+
+    The sharer sends this right after Store when the puzzle was compiled
+    from a nested policy, so later Explain replies can echo the policy
+    the *sharer* wrote rather than a reconstruction. The text contains
+    only questions and gate structure — the same strings DisplayPuzzle
+    already serves — never answers.
+    """
+
+    TYPE = 0x11
+    construction: int
+    puzzle_id: int
+    policy_text: str
+
+    def encode_body(self) -> bytes:
+        return u8(self.construction) + u32(self.puzzle_id) + text(self.policy_text)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "SharePolicyRequest":
+        reader = Reader(body)
+        construction = reader.u8()
+        puzzle_id = reader.u32()
+        policy_text = reader.text()
+        reader.done()
+        return cls(
+            construction=construction,
+            puzzle_id=puzzle_id,
+            policy_text=policy_text,
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class ExplainRequest(Message):
+    """Explain: the same hashed evidence as Verify, answered with the
+    gate-by-gate derivation instead of (never in addition to) the
+    release. A deny explains without raising; throttled services charge
+    denied explains against the shared Verify budget.
+    """
+
+    TYPE = 0x12
+    construction: int
+    puzzle_id: int
+    requester: str
+    digests: dict[str, bytes] = field(default_factory=dict)
+
+    def encode_body(self) -> bytes:
+        body = u8(self.construction) + u32(self.puzzle_id) + text(self.requester)
+        body += u32(len(self.digests))
+        for question, digest in self.digests.items():
+            body += text(question) + blob(digest)
+        return body
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "ExplainRequest":
+        reader = Reader(body)
+        construction = reader.u8()
+        puzzle_id = reader.u32()
+        requester = reader.text()
+        digests: dict[str, bytes] = {}
+        for _ in range(reader.u32()):
+            question = reader.text()
+            digests[question] = reader.blob()
+        reader.done()
+        return cls(
+            construction=construction,
+            puzzle_id=puzzle_id,
+            requester=requester,
+            digests=digests,
+        )
+
+    def to_answers_c1(self) -> PuzzleAnswers:
+        return PuzzleAnswers(puzzle_id=self.puzzle_id, digests=dict(self.digests))
+
+    def to_answers_c2(self):
+        from repro.core.construction2 import PuzzleAnswersC2
+
+        try:
+            digests = {q: d.decode("ascii") for q, d in self.digests.items()}
+        except UnicodeDecodeError as exc:
+            raise CodecError("C2 digest is not hex text") from exc
+        return PuzzleAnswersC2(puzzle_id=self.puzzle_id, digests=digests)
+
+
+@_register
+@dataclass(frozen=True)
 class StoragePutRequest(Message):
     TYPE = 0x08
     data: bytes
@@ -839,6 +933,29 @@ class AckReply(Message):
     def decode_body(cls, body: bytes) -> "AckReply":
         Reader(body).done()
         return cls()
+
+
+@_register
+@dataclass(frozen=True)
+class ExplainReply(Message):
+    """The grant/deny derivation for one Explain request.
+
+    Carries :class:`repro.policy.explain.Explanation` in its canonical
+    encoding — questions and gate arithmetic only, no answer material
+    (the curious-SP test pins this byte-for-byte).
+    """
+
+    TYPE = 0x4D
+    explanation: "Explanation"
+
+    def encode_body(self) -> bytes:
+        return self.explanation.to_bytes()
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "ExplainReply":
+        from repro.policy.explain import Explanation
+
+        return cls(explanation=Explanation.from_bytes(body))
 
 
 @_register

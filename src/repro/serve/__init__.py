@@ -36,7 +36,13 @@ from repro.serve.framing import (
     recv_frame,
     send_frame,
 )
-from repro.serve.journey import JourneyReport, run_pipelined_probe, run_remote_journey
+from repro.serve.journey import (
+    JourneyReport,
+    PolicyJourneyReport,
+    run_pipelined_probe,
+    run_policy_journey,
+    run_remote_journey,
+)
 from repro.serve.remote import ConnectionBus, RemoteProtocolClient, RemoteStorageHost
 from repro.serve.server import ConnectionStats, ServerMetrics, SmartServer, TcpSmartServer
 from repro.serve.transport import (
@@ -71,6 +77,8 @@ __all__ = [
     "RemoteProtocolClient",
     "RemoteStorageHost",
     "JourneyReport",
+    "PolicyJourneyReport",
     "run_remote_journey",
+    "run_policy_journey",
     "run_pipelined_probe",
 ]

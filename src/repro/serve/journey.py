@@ -23,10 +23,17 @@ from repro.core.construction2 import ReceiverC2, SharerC2
 from repro.core.errors import AccessDeniedError
 from repro.crypto.params import get_params
 from repro.osn.provider import OsnError
+from repro.policy import PuzzlePolicy
 from repro.proto.client import ProtocolClient
 from repro.serve.remote import RemoteStorageHost
 
-__all__ = ["JourneyReport", "run_remote_journey", "run_pipelined_probe"]
+__all__ = [
+    "JourneyReport",
+    "PolicyJourneyReport",
+    "run_remote_journey",
+    "run_policy_journey",
+    "run_pipelined_probe",
+]
 
 _CONTEXT = {
     "Where was the party held?": "Lake Tahoe",
@@ -146,6 +153,153 @@ def run_remote_journey(
         recovered=recovered,
         acl_denied=acl_denied,
         answers_denied=answers_denied,
+    )
+
+
+# The nested-policy journey: the trip group's puzzle sits inside an AND
+# with a membership scope gate, and an escrow credential forms an OR
+# branch around the context threshold — exactly the depth-3 shape the
+# flat k-of-n form cannot express.
+_POLICY_TEXT = "scope:group/trip and (2 of (ctx_a, ctx_b, ctx_c) or attr:escrow)"
+_POLICY_CONTEXT = {
+    "scope:group/trip": "trip-roster-secret",
+    "ctx_a": "alpha",
+    "ctx_b": "beta",
+    "ctx_c": "gamma",
+    "attr:escrow": "escrow-credential",
+}
+
+
+@dataclass(frozen=True)
+class PolicyJourneyReport:
+    """What a remote nested-policy share→grant→deny→explain run proved."""
+
+    construction: int
+    puzzle_id: int
+    granted_context: bytes  # recovered via scope + 2 context answers
+    granted_escrow: bytes  # recovered via scope + escrow branch
+    denied: bool  # context answers without the scope gate stayed out
+    explain_grant_ok: bool  # grant derivation names the satisfied leaves
+    explain_deny_ok: bool  # deny derivation names the failed gate
+    leak_free: bool  # no answer material in either explanation's bytes
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.denied
+            and self.explain_grant_ok
+            and self.explain_deny_ok
+            and self.leak_free
+        )
+
+
+def run_policy_journey(
+    client: ProtocolClient,
+    construction: int = 1,
+    params_name: str = "small",
+    seed: int = 5,
+    plaintext: bytes = b"trip photos",
+) -> PolicyJourneyReport:
+    """Run the nested-policy journey through ``client``, fully remote.
+
+    Shares under :data:`_POLICY_TEXT`, then exercises every outcome the
+    tree allows: a group member with two context answers (bob), a group
+    member holding the escrow credential (carol), and an outsider who
+    knows trip trivia but not the scope secret (dave) — plus the Explain
+    verb for both a grant and a deny, asserting the derivations never
+    carry answer material.
+    """
+    storage = RemoteStorageHost(client)
+    policy = PuzzlePolicy.from_text(_POLICY_TEXT)
+    context = Context.from_mapping(_POLICY_CONTEXT)
+
+    alice = client.register_user("p-alice")
+    bob = client.register_user("p-bob")
+
+    if construction == 1:
+        sharer = SharerC1(alice.name, storage)
+        puzzle = sharer.upload_policy(plaintext, context, policy)
+        puzzle_id = client.store_puzzle(puzzle)
+    elif construction == 2:
+        sharer = SharerC2(alice.name, storage, get_params(params_name))
+        record, _ct_bytes = sharer.upload_policy(plaintext, context, policy)
+        puzzle_id = client.store_upload(record)
+    else:
+        raise ValueError("construction must be 1 or 2, got %r" % construction)
+    client.share_policy(construction, puzzle_id, policy.text)
+
+    def solve(name: str, known: dict) -> bytes:
+        knowledge = Context.from_mapping(known)
+        if construction == 1:
+            receiver = ReceiverC1(name, storage)
+            displayed = client.display_puzzle_c1(puzzle_id, rng=random.Random(seed))
+            answers = receiver.answer_puzzle(displayed, knowledge)
+            release = client.submit_answers_c1(answers, name)
+            return receiver.access(release, displayed, knowledge)
+        receiver = ReceiverC2(name, storage, get_params(params_name))
+        displayed = client.display_puzzle_c2(puzzle_id)
+        answers = receiver.answer_puzzle(displayed, knowledge)
+        grant = client.submit_answers_c2(answers, name)
+        return receiver.access(grant, knowledge)
+
+    def explain(name: str, known: dict):
+        knowledge = Context.from_mapping(known)
+        if construction == 1:
+            receiver = ReceiverC1(name, storage)
+            displayed = client.display_puzzle_c1(puzzle_id, rng=random.Random(seed))
+            answers = receiver.answer_puzzle(displayed, knowledge)
+            return client.explain_c1(answers, name)
+        receiver = ReceiverC2(name, storage, get_params(params_name))
+        displayed = client.display_puzzle_c2(puzzle_id)
+        answers = receiver.answer_puzzle(displayed, knowledge)
+        return client.explain_c2(answers, name)
+
+    member = {
+        "scope:group/trip": "trip-roster-secret",
+        "ctx_a": "alpha",
+        "ctx_b": "beta",
+    }
+    escrowed = {
+        "scope:group/trip": "trip-roster-secret",
+        "attr:escrow": "escrow-credential",
+    }
+    outsider = {"ctx_a": "alpha", "ctx_b": "beta", "ctx_c": "gamma"}
+
+    granted_context = solve(bob.name, member)
+    granted_escrow = solve("p-carol", escrowed)
+    denied = False
+    try:
+        solve("p-dave", outsider)
+    except AccessDeniedError:
+        denied = True
+
+    grant_exp = explain(bob.name, member)
+    deny_exp = explain("p-dave", outsider)
+    explain_grant_ok = (
+        grant_exp.granted
+        and set(grant_exp.satisfied_leaves())
+        == {"scope:group/trip", "ctx_a", "ctx_b"}
+        and "0" in grant_exp.passed_gates()
+    )
+    explain_deny_ok = (
+        not deny_exp.granted
+        and "scope:group/trip" in deny_exp.failed_leaves()
+        and "0" not in deny_exp.passed_gates()
+    )
+    wire = grant_exp.to_bytes() + deny_exp.to_bytes()
+    leak_free = not any(
+        answer.encode("utf-8") in wire for answer in _POLICY_CONTEXT.values()
+    )
+
+    return PolicyJourneyReport(
+        construction=construction,
+        puzzle_id=puzzle_id,
+        granted_context=granted_context,
+        granted_escrow=granted_escrow,
+        denied=denied,
+        explain_grant_ok=explain_grant_ok,
+        explain_deny_ok=explain_deny_ok,
+        leak_free=leak_free,
     )
 
 

@@ -143,6 +143,78 @@ class TestFormatRoundTrip:
         tree = AccessTree(root)
         assert parse_policy(format_policy(tree)) == tree
 
+    # The adversarial alphabet: keyword-colliding names, digit-leading
+    # names, scope labels with slashes, spaces — everything format_policy
+    # must quote to stay re-parseable — plus single-child gates (which
+    # must render as "1 of (x)", never collapse into their child).
+    adversarial_attribute = st.one_of(
+        st.sampled_from(["and", "or", "of", "AND", "Of", "2fast", "42", "0"]),
+        st.text(
+            alphabet="abz019_:.|-/ '", min_size=1, max_size=10
+        ).filter(lambda s: s.strip() == s and s != ""),
+    )
+
+    @given(
+        st.recursive(
+            adversarial_attribute.map(AttributeLeaf),
+            lambda children: st.builds(
+                lambda kids, k: ThresholdGate(max(1, min(k, len(kids))), tuple(kids)),
+                st.lists(children, min_size=1, max_size=4),
+                st.integers(1, 4),
+            ),
+            max_leaves=8,
+        )
+    )
+    def test_adversarial_trees_roundtrip(self, root):
+        """format_policy output re-parses to the identical tree even for
+        keyword / digit-leading / quoted attributes and 1-child gates."""
+        tree = AccessTree(root)
+        assert parse_policy(format_policy(tree)) == tree
+
+    def test_keyword_and_digit_attributes_are_quoted(self):
+        assert format_policy(AccessTree.single("and")) == "'and'"
+        assert format_policy(AccessTree.single("2fast")) == "'2fast'"
+
+    def test_single_child_gate_never_collapses(self):
+        tree = AccessTree(ThresholdGate(1, (AttributeLeaf("x"),)))
+        assert format_policy(tree) == "1 of (x)"
+        assert parse_policy(format_policy(tree)) == tree
+
+
+class TestErrorDiagnostics:
+    """PR 8 satellite: syntax errors carry position + caret excerpt."""
+
+    def test_unexpected_end_position(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse_policy("a and (b or")
+        err = excinfo.value
+        assert err.position == 11
+        assert "at position 11" in str(err)
+
+    def test_caret_marks_the_offending_character(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse_policy("a ! b")
+        message = str(excinfo.value)
+        assert excinfo.value.position == 2
+        excerpt, caret = message.splitlines()[-2:]
+        assert excerpt[caret.index("^")] == "!"
+
+    def test_long_input_excerpt_is_windowed(self):
+        text = "a and " * 30 + "!"
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse_policy(text)
+        err = excinfo.value
+        assert err.position == 180
+        message = str(excinfo.value)
+        assert "..." in message  # truncation marker, not the whole text
+        assert len(max(message.splitlines(), key=len)) < len(text)
+
+    def test_error_carries_source_text(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse_policy("2 of ()")
+        assert excinfo.value.text == "2 of ()"
+        assert excinfo.value.position == 6
+
 
 class TestEndToEndWithCpabe:
     def test_policy_string_encrypts(self, toy_params):

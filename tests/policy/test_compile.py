@@ -1,0 +1,122 @@
+"""The two compilers and the label-free shape codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import Context
+from repro.crypto.field import PrimeField
+from repro.policy import (
+    PolicyError,
+    PuzzlePolicy,
+    compile_tree_c2,
+    decode_shape,
+    encode_shape,
+    shape_leaf_count,
+    shape_tree,
+    share_plan,
+    solve_shape,
+)
+from repro.util.codec import CodecError
+
+DEPTH3 = "scope:group/trip and (2 of (ctx_a, ctx_b, ctx_c) or attr:escrow)"
+FIELD = PrimeField(2**61 - 1)
+
+
+def depth3_policy() -> PuzzlePolicy:
+    return PuzzlePolicy.from_text(DEPTH3)
+
+
+class TestShapeCodec:
+    def test_round_trip_preserves_structure(self):
+        policy = depth3_policy()
+        shape = encode_shape(policy.tree)
+        rebuilt = shape_tree(shape, policy.questions)
+        assert rebuilt == policy.tree
+
+    def test_shape_is_label_free(self):
+        policy = depth3_policy()
+        shape = encode_shape(policy.tree)
+        for question in policy.questions:
+            assert question.encode("utf-8") not in shape
+
+    def test_leaf_count(self):
+        assert shape_leaf_count(encode_shape(depth3_policy().tree)) == 5
+
+    def test_label_count_mismatch_rejected(self):
+        shape = encode_shape(depth3_policy().tree)
+        with pytest.raises(PolicyError):
+            shape_tree(shape, ("just", "two"))
+
+    def test_garbage_shape_rejected(self):
+        with pytest.raises(CodecError):
+            decode_shape(b"\x07")
+
+    def test_truncated_shape_rejected(self):
+        shape = encode_shape(depth3_policy().tree)
+        with pytest.raises(CodecError):
+            decode_shape(shape[:-1])
+
+
+class TestSharePlan:
+    def test_one_share_per_leaf_with_positional_x(self):
+        policy = depth3_policy()
+        plan = share_plan(policy.tree, FIELD, secret=1234)
+        assert len(plan) == len(policy.questions)
+        # x-coordinates are 1-based child positions within each gate.
+        assert [s.x for s in plan] == [1, 1, 2, 3, 2]
+
+    def test_solve_recovers_secret_via_each_branch(self):
+        policy = depth3_policy()
+        secret = 987654321
+        plan = share_plan(policy.tree, FIELD, secret)
+        shape = encode_shape(policy.tree)
+        by_index = {i: s.y for i, s in enumerate(plan)}
+        q_index = {q: i for i, q in enumerate(policy.questions)}
+
+        def leaves(*questions):
+            return {q_index[q]: by_index[q_index[q]] for q in questions}
+
+        assert solve_shape(
+            shape, leaves("scope:group/trip", "ctx_a", "ctx_b"), FIELD
+        ) == secret
+        assert solve_shape(
+            shape, leaves("scope:group/trip", "attr:escrow"), FIELD
+        ) == secret
+
+    def test_solve_denies_below_any_gate(self):
+        policy = depth3_policy()
+        plan = share_plan(policy.tree, FIELD, 42)
+        shape = encode_shape(policy.tree)
+        # All three context answers but no scope: the root AND fails.
+        assert solve_shape(
+            shape, {1: plan[1].y, 2: plan[2].y, 3: plan[3].y}, FIELD
+        ) is None
+        # Scope + one context answer: the 2-of-3 fails and escrow absent.
+        assert solve_shape(shape, {0: plan[0].y, 1: plan[1].y}, FIELD) is None
+
+    def test_fresh_polynomials_per_call(self):
+        policy = depth3_policy()
+        a = share_plan(policy.tree, FIELD, 42)
+        b = share_plan(policy.tree, FIELD, 42)
+        assert [s.y for s in a] != [s.y for s in b]
+
+
+class TestCompileC2:
+    def test_relabels_to_answer_attributes(self):
+        from repro.core.construction2 import leaf_attribute
+
+        policy = depth3_policy()
+        ctx = Context.from_mapping(
+            {q: "answer-%d" % i for i, q in enumerate(policy.questions)}
+        )
+        tree = compile_tree_c2(policy, ctx)
+        expected = {
+            leaf_attribute(q, ctx.answer_for(q)) for q in policy.questions
+        }
+        assert set(tree.attributes()) == expected
+
+    def test_missing_answer_rejected(self):
+        policy = depth3_policy()
+        with pytest.raises(PolicyError):
+            compile_tree_c2(policy, Context.from_mapping({"ctx_a": "alpha"}))

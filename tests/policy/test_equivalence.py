@@ -1,0 +1,138 @@
+"""Cross-construction equivalence: one policy IR, two compilers.
+
+The same nested policy and the same proved-leaf set must produce the
+same grant/deny decision — and the same explanation trace — whether the
+puzzle was compiled to C1 (share-of-shares Shamir recursion) or to C2
+(CP-ABE leaf relabeling). This is the contract that makes the policy
+plane a *plane* rather than two dialects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction1 import PuzzleServiceC1, ReceiverC1, SharerC1
+from repro.core.construction2 import PuzzleServiceC2, ReceiverC2, SharerC2
+from repro.core.context import Context
+from repro.core.errors import AccessDeniedError
+from repro.crypto.params import TOY
+from repro.osn.storage import StorageHost
+from repro.policy import PuzzlePolicy
+
+DEPTH3 = "scope:group/trip and (2 of (ctx_a, ctx_b, ctx_c) or attr:escrow)"
+
+ANSWERS = {
+    "scope:group/trip": "trip-roster-secret",
+    "ctx_a": "alpha-answer",
+    "ctx_b": "beta-answer",
+    "ctx_c": "gamma-answer",
+    "attr:escrow": "escrow-credential",
+}
+
+# (case id, questions answered correctly, expected grant?)
+CASES = [
+    ("ctx-branch", {"scope:group/trip", "ctx_a", "ctx_b"}, True),
+    ("ctx-branch-other-pair", {"scope:group/trip", "ctx_b", "ctx_c"}, True),
+    ("escrow-branch", {"scope:group/trip", "attr:escrow"}, True),
+    ("everything", set(ANSWERS), True),
+    ("ctx-without-scope", {"ctx_a", "ctx_b", "ctx_c"}, False),
+    ("scope-plus-one-ctx", {"scope:group/trip", "ctx_a"}, False),
+    ("escrow-without-scope", {"attr:escrow"}, False),
+    ("nothing-right", set(), False),
+]
+
+
+def knowledge_for(correct: set[str]) -> Context:
+    """Correct answers for ``correct``, a confidently wrong answer for
+    everything else — a wrong answer must behave exactly like none."""
+    return Context.from_mapping(
+        {
+            q: (a if q in correct else "wrong-" + q)
+            for q, a in ANSWERS.items()
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def c1_world():
+    storage = StorageHost()
+    sharer = SharerC1("alice", storage)
+    service = PuzzleServiceC1()
+    policy = PuzzlePolicy.from_text(DEPTH3)
+    puzzle = sharer.upload_policy(
+        b"equivalence object", Context.from_mapping(ANSWERS), policy
+    )
+    puzzle_id = service.store_puzzle(puzzle)
+    service.attach_policy(puzzle_id, policy.text)
+    displayed = service.display_puzzle(puzzle_id)
+    receiver = ReceiverC1("bob", storage)
+
+    def outcome(correct):
+        knowledge = knowledge_for(correct)
+        answers = receiver.answer_puzzle(displayed, knowledge)
+        explanation = service.explain(answers)
+        try:
+            release = service.verify(answers)
+        except AccessDeniedError:
+            return False, None, explanation
+        secret = receiver.recover_object_secret(release, displayed, knowledge)
+        return True, secret, explanation
+
+    return outcome
+
+
+@pytest.fixture(scope="module")
+def c2_world():
+    storage = StorageHost()
+    sharer = SharerC2("alice", storage, TOY)
+    service = PuzzleServiceC2()
+    policy = PuzzlePolicy.from_text(DEPTH3)
+    record, _secret = sharer.upload_policy(
+        b"equivalence object", Context.from_mapping(ANSWERS), policy
+    )
+    puzzle_id = service.store_upload(record)
+    service.attach_policy(puzzle_id, policy.text)
+    displayed = service.display_puzzle(puzzle_id)
+    receiver = ReceiverC2("bob", storage, TOY)
+
+    def outcome(correct):
+        knowledge = knowledge_for(correct)
+        answers = receiver.answer_puzzle(displayed, knowledge)
+        explanation = service.explain(answers)
+        try:
+            grant = service.verify(answers)
+        except AccessDeniedError:
+            return False, None, explanation
+        return True, receiver.access(grant, knowledge), explanation
+
+    return outcome
+
+
+@pytest.mark.parametrize(
+    "correct,expected", [(c, e) for _, c, e in CASES], ids=[c[0] for c in CASES]
+)
+def test_same_decision_under_both_constructions(
+    c1_world, c2_world, correct, expected
+):
+    granted_c1, payload_c1, exp_c1 = c1_world(correct)
+    granted_c2, payload_c2, exp_c2 = c2_world(correct)
+    assert granted_c1 == granted_c2 == expected
+    if expected:
+        assert payload_c1 is not None  # the recovered M_O
+        assert payload_c2 == b"equivalence object"
+    # The explanations agree on everything but the construction tag.
+    assert exp_c1.granted == exp_c2.granted == expected
+    assert exp_c1.satisfied_leaves() == exp_c2.satisfied_leaves()
+    assert exp_c1.failed_leaves() == exp_c2.failed_leaves()
+    assert exp_c1.passed_gates() == exp_c2.passed_gates()
+    assert [n.path for n in exp_c1.nodes] == [n.path for n in exp_c2.nodes]
+    assert exp_c1.construction == 1 and exp_c2.construction == 2
+
+
+def test_grants_recover_the_same_plaintext_everywhere(c2_world):
+    # Both grant branches decrypt to the identical object bytes in C2
+    # (C1 recovers the Shamir secret M_O; its plaintext equality is the
+    # apps-layer's job and covered in tests/apps).
+    _, via_ctx, _ = c2_world({"scope:group/trip", "ctx_a", "ctx_c"})
+    _, via_escrow, _ = c2_world({"scope:group/trip", "attr:escrow"})
+    assert via_ctx == via_escrow == b"equivalence object"

@@ -1,0 +1,121 @@
+"""The policy IR: normalization, scope labels, S-A-O-C requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abe.access_tree import AccessTree, AttributeLeaf, ThresholdGate
+from repro.core.context import Context
+from repro.core.errors import PuzzleParameterError
+from repro.policy import (
+    AccessRequest,
+    PolicyError,
+    PuzzlePolicy,
+    is_scope_label,
+    scope_label,
+    split_scope_label,
+)
+
+DEPTH3 = "scope:group/trip and (2 of (ctx_a, ctx_b, ctx_c) or attr:escrow)"
+
+
+class TestPuzzlePolicy:
+    def test_from_text_depth_and_questions(self):
+        policy = PuzzlePolicy.from_text(DEPTH3)
+        assert policy.depth() == 3
+        assert not policy.is_flat()
+        assert policy.questions == (
+            "scope:group/trip", "ctx_a", "ctx_b", "ctx_c", "attr:escrow",
+        )
+
+    def test_flat_k_of_n(self):
+        policy = PuzzlePolicy.from_k_of_n(2, ("q1", "q2", "q3"))
+        assert policy.is_flat()
+        assert policy.depth() == 1
+        assert policy.root_threshold == 2
+
+    def test_from_k_of_n_validates(self):
+        with pytest.raises(PolicyError):
+            PuzzlePolicy.from_k_of_n(4, ("q1", "q2"))
+        with pytest.raises(PolicyError):
+            PuzzlePolicy.from_k_of_n(0, ("q1",))
+
+    def test_bare_leaf_normalized_to_gate(self):
+        policy = PuzzlePolicy(AccessTree(AttributeLeaf("only")))
+        assert isinstance(policy.tree.root, ThresholdGate)
+        assert policy.root_threshold == 1
+        assert policy.questions == ("only",)
+
+    def test_duplicate_labels_rejected(self):
+        tree = AccessTree(
+            ThresholdGate(1, (AttributeLeaf("q"), AttributeLeaf("q")))
+        )
+        with pytest.raises(PolicyError):
+            PuzzlePolicy(tree)
+
+    def test_policy_error_is_a_puzzle_parameter_error(self):
+        # The wire taxonomy maps PolicyError onto the existing
+        # "puzzle-parameter" code via this subclassing.
+        assert issubclass(PolicyError, PuzzleParameterError)
+
+    def test_canonical_text_round_trips(self):
+        policy = PuzzlePolicy.from_text(DEPTH3)
+        assert PuzzlePolicy.from_text(policy.text).tree == policy.tree
+
+    def test_satisfied_by(self):
+        policy = PuzzlePolicy.from_text(DEPTH3)
+        assert policy.satisfied_by({"scope:group/trip", "ctx_a", "ctx_b"})
+        assert policy.satisfied_by({"scope:group/trip", "attr:escrow"})
+        assert not policy.satisfied_by({"ctx_a", "ctx_b", "ctx_c"})
+
+    def test_missing_from_and_require_answerable(self):
+        policy = PuzzlePolicy.from_text("q1 and q2")
+        partial = Context.from_mapping({"q1": "a1"})
+        assert policy.missing_from(partial) == ("q2",)
+        with pytest.raises(PolicyError):
+            policy.require_answerable(partial)
+        full = Context.from_mapping({"q1": "a1", "q2": "a2"})
+        policy.require_answerable(full)  # does not raise
+
+    def test_scope_labels_collected(self):
+        policy = PuzzlePolicy.from_text(DEPTH3)
+        assert policy.scope_labels() == ("scope:group/trip",)
+
+
+class TestScopeLabels:
+    def test_round_trip(self):
+        label = scope_label("group", "trip")
+        assert label == "scope:group/trip"
+        assert is_scope_label(label)
+        assert split_scope_label(label) == ("group", "trip")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(PolicyError):
+            scope_label("tribe", "trip")
+
+    def test_non_scope_labels(self):
+        assert not is_scope_label("ctx_a")
+        assert not is_scope_label("attr:escrow")
+
+
+class TestAccessRequest:
+    def test_normalization(self):
+        # The subject keeps its case (user names are case-sensitive);
+        # only the action is casefolded.
+        req = AccessRequest(subject="  Bob ", action="ACCESS", object_id=7)
+        assert req.subject == "Bob"
+        assert req.action == "access"
+
+    def test_blank_subject_rejected(self):
+        with pytest.raises(PolicyError):
+            AccessRequest(subject="   ", action="access")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(PolicyError):
+            AccessRequest(subject="bob", action="borrow")
+
+    def test_claimed_questions_intersects_policy(self):
+        policy = PuzzlePolicy.from_text("q1 and q2")
+        ctx = Context.from_mapping({"q1": "a1", "q3": "a3"})
+        req = AccessRequest(subject="bob", action="access", context=ctx)
+        assert req.claimed_questions(policy) == frozenset({"q1"})

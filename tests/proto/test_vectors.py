@@ -19,17 +19,21 @@ from pathlib import Path
 import pytest
 
 from repro.osn.provider import Post, User
+from repro.policy.explain import Explanation, NodeTrace
 from repro.proto.messages import (
     AnswerSubmission,
     BatchReply,
     BatchRequest,
     DisplayPuzzleRequest,
     ErrorReply,
+    ExplainReply,
+    ExplainRequest,
     FetchPostRequest,
     PostReply,
     PublishPostRequest,
     RetractPuzzleRequest,
     RetractReply,
+    SharePolicyRequest,
     StorageGetReply,
     StorageGetRequest,
     StoragePutRequest,
@@ -79,6 +83,45 @@ GOLDEN = {
     "error_reply": ErrorReply(
         code="transient-provider", message="injected post-publish failure",
         transient=True,
+    ),
+    # The policy-plane verbs (PR 8): sharer-attached policy text, the
+    # explain evidence submission, and the derivation reply.
+    "share_policy": SharePolicyRequest(
+        construction=1,
+        puzzle_id=3,
+        policy_text="scope:group/trip and (2 of (ctx_a, ctx_b, ctx_c)"
+        " or attr:escrow)",
+    ),
+    "explain_request": ExplainRequest(
+        construction=1,
+        puzzle_id=3,
+        requester="bob",
+        digests={
+            "scope:group/trip": bytes(range(32)),
+            "ctx_a": bytes(range(32, 64)),
+        },
+    ),
+    "explain_reply": ExplainReply(
+        explanation=Explanation(
+            construction=1,
+            puzzle_id=3,
+            granted=False,
+            policy_text="(scope:group/trip and ctx_a)",
+            nodes=(
+                NodeTrace(
+                    path="0", kind="gate", label="and", threshold=2,
+                    child_count=2, satisfied=1, passed=False,
+                ),
+                NodeTrace(
+                    path="0.1", kind="leaf", label="scope:group/trip",
+                    threshold=1, child_count=0, satisfied=1, passed=True,
+                ),
+                NodeTrace(
+                    path="0.2", kind="leaf", label="ctx_a", threshold=1,
+                    child_count=0, satisfied=0, passed=False,
+                ),
+            ),
+        )
     ),
     # Batch envelopes carry fully-enveloped member frames, so their
     # vectors pin down the nested framing too.

@@ -22,6 +22,7 @@ from repro.serve import (
     TcpSmartServer,
     TcpTransport,
     run_pipelined_probe,
+    run_policy_journey,
     run_remote_journey,
 )
 
@@ -60,6 +61,24 @@ def test_full_journey_over_served_transport(served_transport, construction):
     # every connection thread) before reading the final snapshot.
     server.close()
     assert server.metrics.error_replies >= 2
+
+
+@pytest.mark.parametrize("construction", [1, 2])
+def test_policy_journey_over_served_transport(served_transport, construction):
+    """The depth-3 nested policy grants, denies and explains identically
+    under both constructions, fully remote — ISSUE 8's acceptance bar."""
+    transport, _server = served_transport
+    with RemoteProtocolClient(transport) as client:
+        report = run_policy_journey(
+            client, construction=construction, params_name="small"
+        )
+    assert report.granted_context == b"trip photos"
+    assert report.granted_escrow == b"trip photos"
+    assert report.denied, "the outsider got in without the scope gate"
+    assert report.explain_grant_ok
+    assert report.explain_deny_ok
+    assert report.leak_free, "answer material crossed the wire in an explanation"
+    assert report.ok
 
 
 def test_pipelined_probe_matches_every_reply(served_transport):

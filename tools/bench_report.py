@@ -20,7 +20,11 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python tools/bench_report.py [output.json]
 
-The default output is ``BENCH_PR7.json`` in the current directory.
+It also measures the policy plane: share and access latency for both
+constructions under the flat depth-1 threshold versus the nested
+depth-3 scope/escrow policy, compiled from the same ``PuzzlePolicy``.
+
+The default output is ``BENCH_PR8.json`` in the current directory.
 Wall-clock numbers vary per machine; the checked-in file documents one
 reference run, while the ``speedup``/op-count/availability fields are
 the quantities CI asserts on (see ``benchmarks/test_hotpath_speedup.py``
@@ -172,6 +176,103 @@ def bench_degraded_reads() -> dict:
     }
 
 
+def bench_policy_depth() -> dict:
+    """Share/access cost as the policy tree deepens (the PR 8 plane).
+
+    Depth 1 is the paper's flat threshold (``2 of (ctx_a..ctx_c)``);
+    depth 3 nests a scope gate and an escrow OR around it. Both compile
+    through the same ``PuzzlePolicy`` IR into both constructions; the
+    delta between the rows is the price of the share-of-shares recursion
+    (C1) and the bigger access tree (C2), share-side and access-side.
+    """
+    from repro.core.construction1 import PuzzleServiceC1, ReceiverC1, SharerC1
+    from repro.core.construction2 import PuzzleServiceC2, ReceiverC2, SharerC2
+    from repro.core.context import Context
+    from repro.osn.storage import StorageHost
+    from repro.policy import PuzzlePolicy
+
+    answers = {
+        "scope:group/trip": "trip-roster-secret",
+        "ctx_a": "alpha-answer",
+        "ctx_b": "beta-answer",
+        "ctx_c": "gamma-answer",
+        "attr:escrow": "escrow-credential",
+    }
+    cases = {
+        "depth1": (
+            "2 of (ctx_a, ctx_b, ctx_c)",
+            {"ctx_a", "ctx_b"},
+        ),
+        "depth3": (
+            "scope:group/trip and"
+            " (2 of (ctx_a, ctx_b, ctx_c) or attr:escrow)",
+            {"scope:group/trip", "ctx_a", "ctx_b"},
+        ),
+    }
+    obj = b"policy depth benchmark object"
+    context = Context.from_mapping(answers)
+    report: dict = {}
+    for name, (text, known) in cases.items():
+        policy = PuzzlePolicy.from_text(text)
+        sharer_context = Context.from_mapping(
+            {q: answers[q] for q in policy.questions}
+        )
+        knowledge = Context.from_mapping({q: answers[q] for q in known})
+        row = {"questions": len(policy.questions), "depth": policy.depth()}
+
+        storage = StorageHost()
+        sharer1 = SharerC1("alice", storage)
+        service1 = PuzzleServiceC1()
+        row["c1_share_ms"] = (
+            _timed(lambda: sharer1.upload_policy(obj, sharer_context, policy))
+            * 1e3
+        )
+        puzzle_id = service1.store_puzzle(
+            sharer1.upload_policy(obj, sharer_context, policy)
+        )
+        displayed = service1.display_puzzle(puzzle_id)
+        receiver1 = ReceiverC1("bob", storage)
+
+        def c1_access():
+            submitted = receiver1.answer_puzzle(displayed, knowledge)
+            release = service1.verify(submitted)
+            return receiver1.recover_object_secret(
+                release, displayed, knowledge
+            )
+
+        row["c1_access_ms"] = _timed(c1_access) * 1e3
+
+        sharer2 = SharerC2("alice", storage, SMALL)
+        service2 = PuzzleServiceC2()
+        row["c2_share_ms"] = (
+            _timed(
+                lambda: sharer2.upload_policy(obj, sharer_context, policy),
+                rounds=3,
+            )
+            * 1e3
+        )
+        record, _ = sharer2.upload_policy(obj, sharer_context, policy)
+        puzzle_id = service2.store_upload(record)
+        displayed2 = service2.display_puzzle(puzzle_id)
+        receiver2 = ReceiverC2("bob", storage, SMALL)
+
+        def c2_access():
+            submitted = receiver2.answer_puzzle(displayed2, knowledge)
+            grant = service2.verify(submitted)
+            return receiver2.access(grant, knowledge)
+
+        row["c2_access_ms"] = _timed(c2_access, rounds=3) * 1e3
+        report[name] = row
+
+    for construction in ("c1", "c2"):
+        for op in ("share", "access"):
+            key = "%s_%s_ms" % (construction, op)
+            report["%s_depth3_over_depth1_%s" % (construction, op)] = (
+                report["depth3"][key] / report["depth1"][key]
+            )
+    return report
+
+
 def bench_serve_throughput() -> dict:
     """Closed-loop load against a TCP smart server on localhost.
 
@@ -226,7 +327,7 @@ def bench_serve_throughput() -> dict:
 
 
 def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_PR7.json"
+    out_path = argv[1] if len(argv) > 1 else "BENCH_PR8.json"
     rng = random.Random(5)
     pairing = Pairing(SMALL)
     report = {
@@ -238,6 +339,7 @@ def main(argv: list[str]) -> int:
         "cpabe_decrypt_k5": bench_decrypt(),
         "degraded_reads": bench_degraded_reads(),
         "serve_throughput": bench_serve_throughput(),
+        "policy_depth": bench_policy_depth(),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -253,6 +355,15 @@ def main(argv: list[str]) -> int:
                     section,
                     100 * values["availability"],
                     values["stale_risk_reads"],
+                )
+            )
+        elif section == "policy_depth":
+            print(
+                "  %-18s depth-3/depth-1 access: c1 %.2fx, c2 %.2fx"
+                % (
+                    section,
+                    values["c1_depth3_over_depth1_access"],
+                    values["c2_depth3_over_depth1_access"],
                 )
             )
     return 0
