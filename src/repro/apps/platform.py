@@ -64,6 +64,9 @@ class SocialPuzzlePlatform:
     with a ``ring`` attribute gets the cluster wire frontend. The
     platform's ``cluster`` attribute exposes the cluster (or ``None``)
     for chaos control: ``platform.cluster.crash("dhc-n2")``.
+    ``storage_engine="segment"`` puts the log-structured blob store
+    (:mod:`repro.store`) under every cluster node instead of the dict
+    reference engine — same wire plane, real durability.
     """
 
     def __init__(
@@ -81,15 +84,21 @@ class SocialPuzzlePlatform:
         observability: Observability | None = None,
         cluster_nodes: int | None = None,
         degraded_reads: bool = False,
+        storage_engine: str = "dict",
     ):
         self.obs = observability
         self.provider = provider if provider is not None else ServiceProvider()
         if cluster_nodes is not None and storage is not None:
             raise ValueError("pass either storage or cluster_nodes, not both")
+        if storage_engine != "dict" and cluster_nodes is None:
+            raise ValueError(
+                "storage_engine selects the per-node blob engine and needs "
+                "cluster_nodes (a single StorageHost has no engines)"
+            )
         if cluster_nodes is not None:
             from repro.cluster import StorageCluster
 
-            storage = StorageCluster(num_nodes=cluster_nodes)
+            storage = StorageCluster(num_nodes=cluster_nodes, engine=storage_engine)
         base_storage = storage if storage is not None else StorageHost()
         self.cluster = base_storage if hasattr(base_storage, "ring") else None
         self.retry = retry_policy

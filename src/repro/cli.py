@@ -145,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster-nodes", type=int, default=None, metavar="N",
         help="back the DH with an N-node quorum storage cluster",
     )
+    serve.add_argument(
+        "--storage-engine", default="dict", metavar="ENGINE",
+        help="per-node blob engine under the cluster "
+        "(dict=in-memory reference, segment=log-structured store)",
+    )
 
     for name, help_text, default_journeys in (
         ("trace", "run seeded journeys and print their span trees", 1),
@@ -166,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--cluster-nodes", type=int, default=None, metavar="N",
             help="back the DH with an N-node quorum storage cluster "
             "(cluster.* metrics appear in the output)",
+        )
+        observed.add_argument(
+            "--storage-engine", default="dict", metavar="ENGINE",
+            help="per-node blob engine under the cluster "
+            "(dict=in-memory reference, segment=log-structured store)",
         )
 
     return parser
@@ -506,12 +516,43 @@ def format_self_healing(registry) -> str:
     )
 
 
+def format_storage_engine(stats) -> str:
+    """One-line summary of the cluster's storage-engine counters.
+
+    Takes the aggregate :class:`~repro.store.interface.StoreStats` from
+    ``StorageCluster.storage_stats()`` — segments and live/dead bytes
+    describe the log right now; compactions and reclaimed bytes are
+    lifetime totals.
+
+    >>> from repro.store.interface import StoreStats
+    >>> format_storage_engine(StoreStats(
+    ...     engine="segment", segments=3, live_bytes=2048, dead_bytes=512,
+    ...     physical_bytes=900, payload_bytes=1500, objects=12,
+    ...     tombstones=1, compactions=2, bytes_reclaimed=4096))
+    'storage: engine=segment segments=3 live=2048B dead=512B physical=900B | compactions=2 reclaimed=4096B'
+    """
+    return (
+        "storage: engine=%s segments=%d live=%dB dead=%dB physical=%dB"
+        " | compactions=%d reclaimed=%dB"
+        % (
+            stats.engine,
+            stats.segments,
+            stats.live_bytes,
+            stats.dead_bytes,
+            stats.physical_bytes,
+            stats.compactions,
+            stats.bytes_reclaimed,
+        )
+    )
+
+
 def _observed_journeys(args):
     """Run seeded share+solve journeys under an Observability hub.
 
-    Returns ``(obs, completed, failed)``. With ``--fault-rate`` the
-    platform runs on flaky substrates behind a retry policy, so the
-    traces and metrics show retries, backoff and (possibly) give-ups.
+    Returns ``(obs, completed, failed, cluster-or-None)``. With
+    ``--fault-rate`` the platform runs on flaky substrates behind a
+    retry policy, so the traces and metrics show retries, backoff and
+    (possibly) give-ups.
     """
     from repro.core.errors import SocialPuzzleError
     from repro.obs import Observability
@@ -540,15 +581,18 @@ def _observed_journeys(args):
     if cluster_nodes is not None:
         from repro.cluster import StorageCluster, flaky_node_factory
 
+        engine = getattr(args, "storage_engine", "dict")
         factory = None
         if args.fault_rate > 0:
             factory = flaky_node_factory(
                 store_failure_rate=args.fault_rate,
                 fetch_failure_rate=args.fault_rate,
                 seed=args.seed + 1,
+                engine=engine,
             )
         substrates["storage"] = StorageCluster(
-            num_nodes=cluster_nodes, clock=clock, node_factory=factory
+            num_nodes=cluster_nodes, clock=clock, node_factory=factory,
+            engine=engine,
         )
     retry = RetryPolicy(
         clock=clock, seed=args.seed, metrics=ResilienceMetrics(registry=obs.registry)
@@ -586,19 +630,23 @@ def _observed_journeys(args):
             completed += 1
         except SocialPuzzleError:
             failed += 1
-    if cluster_nodes is not None:
-        # Close out the run the way a real deployment's background task
+    cluster = substrates.get("storage") if cluster_nodes is not None else None
+    if cluster is not None:
+        # Close out the run the way a real deployment's background tasks
         # would: one anti-entropy sweep so divergence the journeys left
-        # behind (flaky stores, shed hints) heals before we report.
+        # behind (flaky stores, shed hints) heals before we report, then
+        # one compaction round so the storage gauges describe a settled
+        # log rather than mid-churn garbage.
         from repro.obs.runtime import use as use_observer
 
         with use_observer(obs):
-            substrates["storage"].run_anti_entropy()
-    return obs, completed, failed
+            cluster.run_anti_entropy()
+            cluster.run_compaction(min_garbage=0.0)
+    return obs, completed, failed, cluster
 
 
 def _cmd_trace(args) -> int:
-    obs, completed, failed = _observed_journeys(args)
+    obs, completed, failed, _ = _observed_journeys(args)
     obs.tracer.assert_quiescent()  # every journey left a *closed* tree
     for root in obs.tracer.finished:
         print(obs.tracer.format_tree(root))
@@ -612,11 +660,12 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    obs, completed, failed = _observed_journeys(args)
+    obs, completed, failed, cluster = _observed_journeys(args)
     print(obs.registry.render())
-    if getattr(args, "cluster_nodes", None) is not None:
+    if cluster is not None:
         print()
         print(format_self_healing(obs.registry))
+        print(format_storage_engine(cluster.storage_stats()))
     print(
         f"\n{completed} journey(s) completed, {failed} failed "
         f"(construction {args.construction}); "
@@ -643,7 +692,8 @@ def _cmd_serve(args) -> int:
         from repro.sim.timing import SimClock
 
         substrates["storage"] = StorageCluster(
-            num_nodes=args.cluster_nodes, clock=SimClock()
+            num_nodes=args.cluster_nodes, clock=SimClock(),
+            engine=args.storage_engine,
         )
     platform = SocialPuzzlePlatform(params=get_params(args.params), **substrates)
     server = TcpSmartServer(

@@ -22,6 +22,9 @@ wire protocol, resilience layer) already speaks:
   shed hints, recovered crashes) without any client read.
 * :mod:`repro.cluster.faults` — seeded flaky nodes for the chaos
   harness.
+* :mod:`repro.store` (sibling package) — the pluggable blob engines
+  under every node: the ``dict`` reference and the log-structured
+  ``segment`` store with compaction-as-GC and snapshot/restore.
 
 Everything runs on the repository's simulated substrate — ``SimClock``,
 ``NetworkLink`` cost model, seeded RNGs — so cluster chaos journeys are
@@ -34,6 +37,7 @@ from repro.cluster.faults import FlakyClusterNode, flaky_node_factory
 from repro.cluster.frontend import ClusterStorageFrontend
 from repro.cluster.node import ClusterNode, NodeDownError, VersionedBlob
 from repro.cluster.ring import HashRing
+from repro.store.interface import ENGINES, BlobStore, StoreStats, make_store
 
 __all__ = [
     "HashRing",
@@ -47,4 +51,8 @@ __all__ = [
     "AntiEntropySynchronizer",
     "FlakyClusterNode",
     "flaky_node_factory",
+    "BlobStore",
+    "StoreStats",
+    "ENGINES",
+    "make_store",
 ]

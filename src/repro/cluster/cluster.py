@@ -47,11 +47,12 @@ import itertools
 from repro.cluster.anti_entropy import AntiEntropySynchronizer
 from repro.cluster.node import ClusterNode, VersionedBlob
 from repro.cluster.ring import HashRing
-from repro.obs.runtime import count, emit_event, maybe_span, observe
+from repro.obs.runtime import count, emit_event, maybe_span, observe, set_gauge
 from repro.osn.faults import TransientStorageError
 from repro.osn.network import NetworkLink
 from repro.osn.storage import StorageError
 from repro.sim.timing import SimClock
+from repro.store.interface import StoreStats
 
 __all__ = ["StorageCluster", "ClusterAuditView", "REPLICA_RPC_OVERHEAD"]
 
@@ -101,6 +102,9 @@ class StorageCluster:
         anti_entropy_interval_s: float | None = None,
         anti_entropy_buckets: int = 64,
         anti_entropy_fanout: int = 4,
+        engine: str = "dict",
+        compaction_interval_s: float | None = None,
+        compaction_min_garbage: float = 0.25,
     ):
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -137,9 +141,12 @@ class StorageCluster:
         self.read_quorum = read_quorum
         self.clock = clock
         self.link = link
+        self.storage_engine = engine
         if node_factory is None:
             def node_factory(node_name: str) -> ClusterNode:
-                return ClusterNode(node_name, max_audit_entries=max_audit_entries)
+                return ClusterNode(
+                    node_name, max_audit_entries=max_audit_entries, engine=engine
+                )
         self._node_factory = node_factory
         self._nodes: dict[str, ClusterNode] = {}
         self.ring = HashRing(vnodes=vnodes)
@@ -161,6 +168,14 @@ class StorageCluster:
         # flush or anti-entropy sweep re-reads them at full quorum.
         self._pending_repairs: set[str] = set()
         self.degraded_read_count = 0
+        # Background compaction, scheduled from SimClock ticks exactly
+        # like anti-entropy: each client op nudges it, it fires once per
+        # interval, and a reentrancy guard keeps a compaction from
+        # scheduling itself.
+        self.compaction_interval_s = compaction_interval_s
+        self.compaction_min_garbage = compaction_min_garbage
+        self._last_compaction = self._now() if clock is not None else 0.0
+        self._compacting = False
 
     def _admit(self, node_name: str) -> ClusterNode:
         node = self._node_factory(node_name)
@@ -197,6 +212,24 @@ class StorageCluster:
         self.node(node_name).crash()
         count("cluster.crashes")
 
+    def kill(self, node_name: str) -> None:
+        """Power loss on one node: down AND volatile state gone. What
+        comes back on :meth:`restore` is only what the node's engine
+        wrote through to durable media — nothing, for the dict engine."""
+        self.node(node_name).kill()
+        count("cluster.kills")
+        emit_event("cluster.node_killed", node=node_name)
+
+    def restore(self, node_name: str, image: bytes | None = None) -> int:
+        """Bring a killed node back from its surviving media (or an
+        explicit snapshot ``image``), then run the normal recovery path
+        (hint replay from the peers that covered for it). Returns the
+        number of keys the engine recovered from media."""
+        recovered = self.node(node_name).restore(image)
+        self.recover(node_name)
+        emit_event("cluster.node_restored", node=node_name, keys=recovered)
+        return recovered
+
     def recover(self, node_name: str) -> int:
         """Bring a node back and replay every hint held for it elsewhere.
 
@@ -222,6 +255,7 @@ class StorageCluster:
         :class:`~repro.osn.faults.TransientStorageError` when the quorum
         is unreachable."""
         self.anti_entropy.tick()
+        self.compaction_tick()
         with maybe_span("cluster.put", num_bytes=len(data)):
             url = "dh://%s/%d" % (self.name, next(self._serial))
             blob = VersionedBlob(next(self._versions), bytes(data))
@@ -244,6 +278,7 @@ class StorageCluster:
         quorum is a transient one.
         """
         self.anti_entropy.tick()
+        self.compaction_tick()
         with maybe_span("cluster.get"):
             winner, delays = self._quorum_read(url, charge_payload=True)
             if winner is None or winner.tombstone:
@@ -267,6 +302,7 @@ class StorageCluster:
         one missing key cannot fail its siblings.
         """
         self.anti_entropy.tick()
+        self.compaction_tick()
         with maybe_span("cluster.get_many", num_keys=len(urls)):
             results: list = []
             per_node_bytes: dict[str, int] = {}
@@ -305,6 +341,7 @@ class StorageCluster:
 
     def exists(self, url: str) -> bool:
         self.anti_entropy.tick()
+        self.compaction_tick()
         with maybe_span("cluster.exists"):
             count("cluster.exists.calls")
             winner, delays = self._quorum_read(url, charge_payload=False)
@@ -317,6 +354,7 @@ class StorageCluster:
         this). A replica that was down for the delete learns of it from
         the tombstone during read repair or hint replay."""
         self.anti_entropy.tick()
+        self.compaction_tick()
         with maybe_span("cluster.delete"):
             count("cluster.delete.calls")
             winner, _ = self._quorum_read(url, charge_payload=False)
@@ -517,6 +555,108 @@ class StorageCluster:
             if stale:
                 out[key] = stale
         return out
+
+    # -- storage engine surface ----------------------------------------------------
+
+    def purgeable_tombstones(self) -> frozenset[str]:
+        """The tombstone-GC watermark: keys whose delete has provably
+        converged, so compaction may drop their tombstones for good.
+
+        A key qualifies only when **every** replica of it anywhere in
+        the cluster — natural home, stand-in, straggler — is a
+        tombstone, no node holds a hint for it, and it is not queued for
+        async read repair. Anything less and a purged tombstone could be
+        resurrected by the very machinery (anti-entropy, hint replay,
+        read repair) that exists to spread it. A killed node's media is
+        unreadable, so while one exists nothing is provable and the
+        watermark is empty.
+        """
+        if any(not node.engine.is_open for node in self.nodes):
+            return frozenset()
+        converged: dict[str, bool] = {}
+        for node in self.nodes:
+            for key in node.keys():
+                blob = node.replica(key)
+                converged[key] = converged.get(key, True) and blob.tombstone
+            for key in node.hinted:
+                converged[key] = False
+        for key in self._pending_repairs:
+            converged[key] = False
+        return frozenset(key for key, ok in converged.items() if ok)
+
+    def run_compaction(self, min_garbage: float | None = None) -> int:
+        """One cluster-wide compaction round: compute the purge
+        watermark once, then let every live node's engine rewrite its
+        live records and drop garbage plus purgeable tombstones.
+        Compaction *is* the tombstone GC. Returns total bytes reclaimed.
+        """
+        if min_garbage is None:
+            min_garbage = self.compaction_min_garbage
+        purge = self.purgeable_tombstones()
+        reclaimed = 0
+        nodes_compacted = 0
+        tombstones_purged = 0
+        for node in self.live_nodes():
+            result = node.compact(purge=purge, min_garbage=min_garbage)
+            if result:
+                nodes_compacted += 1
+                reclaimed += max(0, result.bytes_reclaimed)
+                tombstones_purged += result.tombstones_purged
+        if nodes_compacted:
+            emit_event(
+                "cluster.compaction",
+                nodes=nodes_compacted,
+                bytes_reclaimed=reclaimed,
+                tombstones_purged=tombstones_purged,
+            )
+        self.publish_storage_gauges()
+        return reclaimed
+
+    def compaction_tick(self) -> int:
+        """Fire :meth:`run_compaction` when ``compaction_interval_s`` of
+        simulated time has passed since the last round (no-op without a
+        clock or interval). Client operations nudge this, mirroring the
+        anti-entropy scheduler."""
+        if (
+            self.compaction_interval_s is None
+            or self.clock is None
+            or self._compacting
+        ):
+            return 0
+        now = self._now()
+        if now - self._last_compaction < self.compaction_interval_s:
+            return 0
+        self._compacting = True
+        try:
+            self._last_compaction = now
+            return self.run_compaction()
+        finally:
+            self._compacting = False
+
+    def storage_stats(self) -> StoreStats:
+        """Cluster-wide aggregate of every open engine's counters."""
+        engines: set[str] = set()
+        totals = dict(
+            segments=0, live_bytes=0, dead_bytes=0, physical_bytes=0,
+            payload_bytes=0, objects=0, tombstones=0, compactions=0,
+            bytes_reclaimed=0,
+        )
+        for node in self.nodes:
+            if not node.engine.is_open:
+                continue
+            stats = node.storage_stats()
+            engines.add(stats.engine)
+            for field in totals:
+                totals[field] += getattr(stats, field)
+        return StoreStats(engine="+".join(sorted(engines)) or "none", **totals)
+
+    def publish_storage_gauges(self) -> StoreStats:
+        """Refresh the ``store.*`` gauges from the aggregate stats."""
+        stats = self.storage_stats()
+        set_gauge("store.segments", stats.segments)
+        set_gauge("store.live_bytes", stats.live_bytes)
+        set_gauge("store.dead_bytes", stats.dead_bytes)
+        return stats
 
     # -- replication & quorum internals --------------------------------------------
 

@@ -35,8 +35,9 @@ class FlakyClusterNode(ClusterNode):
         fetch_failure_rate: float = 0.0,
         seed: int = 0,
         max_audit_entries: int | None = None,
+        engine: str = "dict",
     ):
-        super().__init__(name, max_audit_entries=max_audit_entries)
+        super().__init__(name, max_audit_entries=max_audit_entries, engine=engine)
         for rate in (store_failure_rate, fetch_failure_rate):
             if not 0 <= rate <= 1:
                 raise ValueError("failure rates must be in [0, 1]")
@@ -77,11 +78,14 @@ def flaky_node_factory(
     fetch_failure_rate: float = 0.0,
     seed: int = 0,
     max_audit_entries: int | None = None,
+    engine: str = "dict",
 ):
     """A ``node_factory`` for :class:`~repro.cluster.cluster.StorageCluster`
     building seeded flaky nodes; each node's RNG is derived from the base
     seed and its name, so membership order cannot perturb the fault
-    sequence."""
+    sequence. ``engine`` picks the storage engine under every flaky
+    node, so fault injection runs identically against the dict reference
+    and the log-structured segment store."""
 
     def factory(name: str) -> FlakyClusterNode:
         return FlakyClusterNode(
@@ -90,6 +94,7 @@ def flaky_node_factory(
             fetch_failure_rate=fetch_failure_rate,
             seed=seed ^ (ring_hash(name) & 0x7FFFFFFF),
             max_audit_entries=max_audit_entries,
+            engine=engine,
         )
 
     return factory

@@ -12,38 +12,31 @@ Replicas are :class:`VersionedBlob` records: the coordinator stamps a
 monotonically increasing version on every logical write, which is what
 lets read repair order divergent replicas and lets tombstones win over
 the values they deleted.
+
+The node owns replica *semantics*; the bytes live in a pluggable
+:class:`~repro.store.interface.BlobStore` engine chosen per node
+(``engine="dict"`` keeps the historical in-memory behaviour,
+``engine="segment"`` is the log-structured store with real durability).
+:meth:`crash`/:meth:`recover` model a partition — state intact, node
+unreachable. :meth:`kill`/:meth:`restore` model power loss — volatile
+state (the engine's index and caches, this node's hint bookkeeping) is
+gone and only what the engine wrote through to durable media comes
+back. The audit trail deliberately survives a kill: it is the *test
+instrument* measuring what the node observed, not node state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.obs.runtime import count
 from repro.osn.faults import TransientStorageError
 from repro.osn.storage import AuditTrail, StorageError
+from repro.store.interface import StoreStats, VersionedBlob, make_store
 
 __all__ = ["VersionedBlob", "ClusterNode", "NodeDownError"]
 
 
 class NodeDownError(TransientStorageError):
     """The node is crashed/partitioned: transient, the quorum routes on."""
-
-
-@dataclass(frozen=True)
-class VersionedBlob:
-    """One replica: coordinator-stamped version + payload.
-
-    ``data is None`` marks a tombstone — the versioned record of a
-    delete, kept so a replica that missed the delete cannot resurrect
-    the object during read repair.
-    """
-
-    version: int
-    data: bytes | None
-
-    @property
-    def tombstone(self) -> bool:
-        return self.data is None
 
 
 class ClusterNode:
@@ -54,13 +47,18 @@ class ClusterNode:
     and clears them when the peer recovers.
     """
 
-    def __init__(self, name: str, max_audit_entries: int | None = None):
+    def __init__(
+        self,
+        name: str,
+        max_audit_entries: int | None = None,
+        engine: str = "dict",
+    ):
         self.name = name
         self.audit = AuditTrail(max_entries=max_audit_entries)
         self.up = True
         self.hinted: dict[str, str] = {}
         self.hint_stored_at: dict[str, float] = {}
-        self._blobs: dict[str, VersionedBlob] = {}
+        self.engine = make_store(engine)
         self.stores = 0
         self.fetches = 0
         # Per-node background-traffic log: (kind, key) tuples for hint
@@ -68,13 +66,43 @@ class ClusterNode:
         # account for every byte a member handled off the client path.
         self.events: list[tuple[str, str]] = []
 
+    @property
+    def engine_name(self) -> str:
+        return self.engine.engine_name
+
     # -- failure control ---------------------------------------------------------
 
     def crash(self) -> None:
+        """Partition/process pause: unreachable, state intact."""
         self.up = False
 
     def recover(self) -> None:
         self.up = True
+
+    def kill(self) -> None:
+        """Power loss: crash AND lose all volatile state. The engine
+        keeps only its durable media (nothing, for the dict engine);
+        hint bookkeeping is coordinator-volatile and dies with RAM."""
+        self.crash()
+        self.engine.crash_volatile()
+        self.hinted.clear()
+        self.hint_stored_at.clear()
+
+    def snapshot(self) -> bytes:
+        """Image this node's durable media (the engine's, verbatim)."""
+        return self.engine.snapshot()
+
+    def restore(self, image: bytes | None = None) -> int:
+        """Bring a killed node back: reopen the surviving media (or
+        ``image``, a :meth:`snapshot` from elsewhere) and mark the node
+        up. Returns the number of keys recovered."""
+        if image is None:
+            recovered = self.engine.reopen()
+        else:
+            recovered = self.engine.restore(image)
+        self.recover()
+        count("cluster.node.%s.restores" % self.name)
+        return recovered
 
     def _require_up(self, verb: str) -> None:
         if not self.up:
@@ -104,7 +132,7 @@ class ClusterNode:
         natural replica would.
         """
         self._require_up("store")
-        current = self._blobs.get(key)
+        current = self.engine.get(key)
         if current is not None:
             if force:
                 if current.version > blob.version or current == blob:
@@ -113,7 +141,7 @@ class ClusterNode:
                 return False
         if blob.data is not None:
             self.audit.record(blob.data)
-        self._blobs[key] = blob
+        self.engine.put(key, blob)
         if hint_for is not None:
             self.hinted[key] = hint_for
             self.hint_stored_at[key] = now
@@ -136,13 +164,15 @@ class ClusterNode:
         self.fetches += 1
         count("cluster.node.fetch")
         count("cluster.node.%s.fetches" % self.name)
-        return self._blobs.get(key)
+        return self.engine.get(key)
 
     def discard(self, key: str) -> None:
         """Drop a replica outright (handoff completion, rebalance moves,
         or a simulated disk loss in tests) — not a logical delete, which
-        is a tombstone written through :meth:`store`."""
-        self._blobs.pop(key, None)
+        is a tombstone written through :meth:`store`. Durable: on the
+        segment engine a purge marker rides the log, so the key stays
+        gone across :meth:`kill` + :meth:`restore`."""
+        self.engine.discard(key)
         self.hinted.pop(key, None)
         self.hint_stored_at.pop(key, None)
 
@@ -167,7 +197,7 @@ class ClusterNode:
         keys = [k for k, holder_for in self.hinted.items() if holder_for == target]
         taken: list[tuple[str, VersionedBlob]] = []
         for key in keys:
-            blob = self._blobs.get(key)
+            blob = self.engine.get(key)
             if blob is not None:
                 taken.append((key, blob))
             self.discard(key)
@@ -179,29 +209,45 @@ class ClusterNode:
         """Section VI-B malicious action: swap the payload in place,
         keeping the version — exactly the divergence read repair must
         detect by value, not by version."""
-        current = self._blobs.get(key)
+        current = self.engine.get(key)
         if current is None or current.tombstone:
             raise StorageError("node %s holds no object at %s" % (self.name, key))
-        self._blobs[key] = VersionedBlob(current.version, bytes(new_data))
+        self.engine.put(key, VersionedBlob(current.version, bytes(new_data)))
+
+    # -- maintenance -------------------------------------------------------------
+
+    def compact(self, purge: "frozenset[str] | set[str]" = frozenset(),
+                min_garbage: float = 0.0):
+        """Run one engine compaction round (the cluster drives this from
+        clock ticks with the purge watermark it computed)."""
+        return self.engine.compact(purge=purge, min_garbage=min_garbage)
 
     # -- accounting --------------------------------------------------------------
+    #
+    # Peeks work on *crashed* nodes (partition: state intact) but see
+    # nothing on a *killed* one until restore — you cannot read a
+    # powered-off disk.
 
     def keys(self) -> list[str]:
-        return sorted(self._blobs)
+        return sorted(self.engine.keys()) if self.engine.is_open else []
 
     def has_value(self, key: str) -> bool:
         """Whether this node holds a live (non-tombstone) replica,
         regardless of up/down state — test/rebalance introspection, not
         a quorum read."""
-        blob = self._blobs.get(key)
+        blob = self.replica(key)
         return blob is not None and not blob.tombstone
 
     def replica(self, key: str) -> VersionedBlob | None:
         """Direct replica peek for tests and rebalancing (no up check)."""
-        return self._blobs.get(key)
+        return self.engine.get(key) if self.engine.is_open else None
 
     def object_count(self) -> int:
-        return sum(1 for b in self._blobs.values() if not b.tombstone)
+        return self.engine.object_count() if self.engine.is_open else 0
 
     def stored_bytes(self) -> int:
-        return sum(len(b.data) for b in self._blobs.values() if b.data is not None)
+        return self.engine.payload_bytes() if self.engine.is_open else 0
+
+    def storage_stats(self) -> StoreStats:
+        """This node's engine counters (``repro stats`` / ``repro.obs``)."""
+        return self.engine.stats()

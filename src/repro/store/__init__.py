@@ -1,0 +1,67 @@
+"""``repro.store`` — pluggable blob storage engines for the puzzle cluster.
+
+The cluster's replica semantics (versions, quorums, hints, audits) live
+in :mod:`repro.cluster`; the bytes live here, behind the
+:class:`BlobStore` seam. Two engines register at import time:
+
+* ``dict`` — the in-memory reference engine every node used before
+  this package existed. Volatile by contract.
+* ``segment`` — the log-structured engine: append-only segments of
+  group-compressed records, compaction-as-GC, and real
+  ``snapshot()``/``restore()`` durability.
+
+``make_store(name)`` is the only construction path the cluster,
+platform, and CLI use.
+"""
+
+from repro.store import dict_engine as _dict_engine  # registers "dict"
+from repro.store import engine as _segment_engine  # registers "segment"
+from repro.store.dict_engine import DictBlobStore
+from repro.store.engine import SegmentBlobStore
+from repro.store.groupcompress import apply_delta, basis_index, make_delta
+from repro.store.interface import (
+    ENGINES,
+    BlobStore,
+    CompactionResult,
+    StoreStats,
+    VersionedBlob,
+    make_store,
+    register_engine,
+)
+from repro.store.segment import (
+    FLAG_DELTA,
+    FLAG_PURGE,
+    FLAG_TOMBSTONE,
+    RecordEntry,
+    SealedSegment,
+    SegmentFormatError,
+    SegmentWriter,
+    entry_overhead,
+    scan_stream,
+)
+
+del _dict_engine, _segment_engine
+
+__all__ = [
+    "BlobStore",
+    "CompactionResult",
+    "DictBlobStore",
+    "ENGINES",
+    "FLAG_DELTA",
+    "FLAG_PURGE",
+    "FLAG_TOMBSTONE",
+    "RecordEntry",
+    "SealedSegment",
+    "SegmentBlobStore",
+    "SegmentFormatError",
+    "SegmentWriter",
+    "StoreStats",
+    "VersionedBlob",
+    "apply_delta",
+    "basis_index",
+    "entry_overhead",
+    "make_delta",
+    "make_store",
+    "register_engine",
+    "scan_stream",
+]

@@ -1,0 +1,122 @@
+"""The reference engine: a plain dict, honest about its volatility.
+
+This is exactly the storage every ``ClusterNode`` had before the
+log-structured engine existed, factored behind :class:`BlobStore` so it
+stays the always-tested reference implementation. Its durability story
+is deliberately bleak: nothing is ever written through to media, so a
+``crash_volatile()`` loses everything and ``reopen()``/``snapshot()``
+recover nothing — which is precisely the amnesia the segment engine's
+chaos tests contrast against.
+
+Accounting uses the same per-record framing formula as the segment
+engine's raw stream (:func:`repro.store.segment.entry_overhead`), so
+"bytes a naive uncompressed dump would occupy" is directly comparable
+between the two engines in benchmarks and ``repro stats``.
+"""
+
+from __future__ import annotations
+
+from repro.store.interface import (
+    BlobStore,
+    CompactionResult,
+    StoreStats,
+    VersionedBlob,
+    register_engine,
+)
+from repro.store.segment import entry_overhead
+
+__all__ = ["DictBlobStore"]
+
+
+class DictBlobStore(BlobStore):
+    """In-memory key -> :class:`VersionedBlob` map; volatile by contract."""
+
+    engine_name = "dict"
+
+    def __init__(self):
+        self._blobs: dict[str, VersionedBlob] = {}
+
+    # -- the data path -----------------------------------------------------------
+
+    def put(self, key: str, blob: VersionedBlob) -> None:
+        self._blobs[key] = blob
+
+    def get(self, key: str) -> VersionedBlob | None:
+        return self._blobs.get(key)
+
+    def discard(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def keys(self):
+        return self._blobs.keys()
+
+    # -- accounting --------------------------------------------------------------
+
+    def object_count(self) -> int:
+        return sum(1 for b in self._blobs.values() if not b.tombstone)
+
+    def payload_bytes(self) -> int:
+        return sum(len(b.data) for b in self._blobs.values() if b.data is not None)
+
+    def _serialized_bytes(self) -> int:
+        """What a naive one-record-per-blob dump would occupy."""
+        return sum(
+            entry_overhead(key) + (len(blob.data) if blob.data is not None else 0)
+            for key, blob in self._blobs.items()
+        )
+
+    def stats(self) -> StoreStats:
+        serialized = self._serialized_bytes()
+        return StoreStats(
+            engine=self.engine_name,
+            segments=0,
+            live_bytes=serialized,
+            dead_bytes=0,
+            physical_bytes=serialized,
+            payload_bytes=self.payload_bytes(),
+            objects=self.object_count(),
+            tombstones=sum(1 for b in self._blobs.values() if b.tombstone),
+            compactions=0,
+            bytes_reclaimed=0,
+        )
+
+    # -- maintenance -------------------------------------------------------------
+
+    def compact(
+        self, purge: "frozenset[str] | set[str]" = frozenset(), min_garbage: float = 0.0
+    ) -> CompactionResult:
+        """No log to rewrite; purging a converged tombstone still drops
+        the dict entry, so tombstone GC behaves identically on both
+        engines."""
+        del min_garbage
+        purged = 0
+        for key in sorted(purge):
+            blob = self._blobs.get(key)
+            if blob is not None and blob.tombstone:
+                del self._blobs[key]
+                purged += 1
+        return CompactionResult(
+            segments_rewritten=0, bytes_reclaimed=0, tombstones_purged=purged
+        )
+
+    # -- durability --------------------------------------------------------------
+
+    def crash_volatile(self) -> None:
+        self._blobs.clear()
+
+    def reopen(self) -> int:
+        return 0  # nothing was ever durable
+
+    def snapshot(self) -> bytes:
+        return b""  # the disk of a memory-only engine is empty
+
+    def restore(self, image: bytes) -> int:
+        if image:
+            raise ValueError(
+                "the dict engine writes nothing durable; a non-empty image "
+                "belongs to another engine"
+            )
+        return 0
+
+
+register_engine("dict", DictBlobStore)

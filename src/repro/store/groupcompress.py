@@ -1,0 +1,169 @@
+"""Group-compression delta codec: copy/insert instructions vs a basis.
+
+The segment store (:mod:`repro.store.engine`) batches many blobs into
+one *segment* and compresses them as a group, the way bzrlib's
+``groupcompress.py`` / ``knit.py`` versioned files do: the first record
+of a segment is the **basis**, stored literally; every later record is
+encoded as a stream of *copy* instructions (ranges of the basis) and
+*insert* instructions (bytes the basis lacks), and the whole encoded
+block is zlib-deflated once at seal time.
+
+For this repository's workload — many near-identical CP-ABE ciphertext
+blobs whose access-tree framing, attribute labels and key schedules
+repeat verbatim while only the random group elements differ — the delta
+pass collapses the repeated structure to a handful of copy ops before
+zlib ever runs, and zlib then squeezes what little literal residue is
+left alongside the other records in the block.
+
+The matcher is deliberately simple and deterministic: the basis is
+indexed by fixed-width seeds at every offset, each target position
+greedily extends the longest seed hit, and matches shorter than
+``_MIN_COPY`` are not worth a copy instruction's framing. No wall
+clocks, no randomness — identical inputs always produce identical
+deltas (snapshots must be byte-stable).
+
+Wire format of a delta body (all integers unsigned big-endian)::
+
+    instruction*  where
+      0x01 | u32 basis-offset | u32 length          copy
+      0x00 | u32 length | bytes                     insert
+
+``make_delta`` refuses to "win" dishonestly: if the encoded delta is no
+smaller than the raw text it returns ``None`` and the caller stores the
+record literally — a segment never pays for a delta that did not help.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["make_delta", "apply_delta", "basis_index"]
+
+# Seed width for the basis index: long enough that hits are usually
+# real shared runs, short enough to catch repeated framing fields.
+_SEED = 8
+
+# A copy instruction costs 9 bytes of framing; shorter matches encode
+# smaller as literal inserts.
+_MIN_COPY = 12
+
+_COPY = 0x01
+_INSERT = 0x00
+
+_U32 = struct.Struct(">I")
+
+
+def _basis_index(basis: bytes) -> dict[bytes, list[int]]:
+    """Every offset of every ``_SEED``-wide window of ``basis``.
+
+    Offsets are appended in order, so matching prefers the earliest
+    (deterministic) occurrence.
+    """
+    index: dict[bytes, list[int]] = {}
+    for offset in range(len(basis) - _SEED + 1):
+        index.setdefault(basis[offset : offset + _SEED], []).append(offset)
+    return index
+
+
+def _extend(basis: bytes, b_at: int, target: bytes, t_at: int) -> int:
+    """Length of the common run of ``basis[b_at:]`` and ``target[t_at:]``."""
+    length = 0
+    b_len, t_len = len(basis), len(target)
+    while (
+        b_at + length < b_len
+        and t_at + length < t_len
+        and basis[b_at + length] == target[t_at + length]
+    ):
+        length += 1
+    return length
+
+
+def make_delta(
+    basis: bytes,
+    target: bytes,
+    index: dict[bytes, list[int]] | None = None,
+) -> bytes | None:
+    """Encode ``target`` as copy/insert instructions against ``basis``.
+
+    Returns ``None`` when the delta would not be smaller than the raw
+    target (the caller then stores a literal). Pass a prebuilt ``index``
+    (:func:`basis_index` of the same basis) to amortize indexing across
+    the many records of one segment.
+    """
+    if index is None:
+        index = _basis_index(basis)
+    out = bytearray()
+    literal = bytearray()
+    position = 0
+    t_len = len(target)
+
+    def flush_literal() -> None:
+        if literal:
+            out.append(_INSERT)
+            out.extend(_U32.pack(len(literal)))
+            out.extend(literal)
+            literal.clear()
+
+    while position < t_len:
+        best_len = 0
+        best_off = 0
+        if position + _SEED <= t_len:
+            for b_off in index.get(target[position : position + _SEED], ()):
+                run = _SEED + _extend(
+                    basis, b_off + _SEED, target, position + _SEED
+                )
+                if run > best_len:
+                    best_len, best_off = run, b_off
+        if best_len >= _MIN_COPY:
+            flush_literal()
+            out.append(_COPY)
+            out += _U32.pack(best_off)
+            out += _U32.pack(best_len)
+            position += best_len
+        else:
+            literal.append(target[position])
+            position += 1
+    flush_literal()
+    if len(out) >= t_len:
+        return None
+    return bytes(out)
+
+
+def basis_index(basis: bytes) -> dict[bytes, list[int]]:
+    """Prebuild the seed index of ``basis`` for repeated :func:`make_delta`
+    calls within one segment."""
+    return _basis_index(basis)
+
+
+def apply_delta(basis: bytes, delta: bytes) -> bytes:
+    """Reconstruct the target a :func:`make_delta` delta describes."""
+    out = bytearray()
+    position = 0
+    end = len(delta)
+    while position < end:
+        op = delta[position]
+        position += 1
+        if op == _COPY:
+            if position + 8 > end:
+                raise ValueError("truncated copy instruction")
+            offset = _U32.unpack_from(delta, position)[0]
+            length = _U32.unpack_from(delta, position + 4)[0]
+            position += 8
+            if offset + length > len(basis):
+                raise ValueError(
+                    "copy [%d:%d] overruns a %d-byte basis"
+                    % (offset, offset + length, len(basis))
+                )
+            out += basis[offset : offset + length]
+        elif op == _INSERT:
+            if position + 4 > end:
+                raise ValueError("truncated insert instruction")
+            length = _U32.unpack_from(delta, position)[0]
+            position += 4
+            if position + length > end:
+                raise ValueError("truncated insert payload")
+            out += delta[position : position + length]
+            position += length
+        else:
+            raise ValueError("unknown delta instruction 0x%02x" % op)
+    return bytes(out)

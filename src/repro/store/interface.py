@@ -1,0 +1,213 @@
+"""The ``BlobStore`` contract: what a cluster node asks of its engine.
+
+:class:`~repro.cluster.node.ClusterNode` owns replica *semantics* —
+version ordering, hints, audits, up/down state. The engine underneath
+owns replica *bytes*. This interface is the seam between the two, so
+the dict-backed reference engine and the log-structured segment engine
+are interchangeable per node (and the chaos harness can run the same
+journey against both).
+
+The durability model is explicit and is what the amnesia tests probe:
+
+* ``crash_volatile()`` is a power loss — everything held in volatile
+  memory (indexes, caches, the dict engine's entire map) is gone;
+  whatever the engine wrote through to durable media survives.
+* ``reopen()`` is the restart path: rebuild the in-memory index by
+  scanning surviving media. The dict engine recovers nothing — that is
+  its documented contract, not a bug.
+* ``snapshot()`` images the durable media (NOT the RAM) to bytes;
+  ``restore(image)`` replaces the store's contents from such an image.
+  A dict engine's disk is empty, so its snapshot is too.
+
+Engines register in :data:`ENGINES`; :func:`make_store` is the factory
+every node-building path (cluster, platform, CLI ``--storage-engine``)
+goes through.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "VersionedBlob",
+    "BlobStore",
+    "StoreStats",
+    "CompactionResult",
+    "ENGINES",
+    "make_store",
+    "register_engine",
+]
+
+
+@dataclass(frozen=True)
+class VersionedBlob:
+    """One replica: coordinator-stamped version + payload.
+
+    ``data is None`` marks a tombstone — the versioned record of a
+    delete, kept so a replica that missed the delete cannot resurrect
+    the object during read repair. Defined here (the lowest storage
+    layer) and re-exported by :mod:`repro.cluster.node`, its historical
+    home, so both the engines and the cluster can speak it without an
+    import cycle.
+    """
+
+    version: int
+    data: bytes | None
+
+    @property
+    def tombstone(self) -> bool:
+        return self.data is None
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time accounting for one engine instance.
+
+    ``live_bytes``/``dead_bytes`` are raw record-stream bytes (framing
+    included); ``physical_bytes`` is what the durable media actually
+    occupies (deflated, for the segment engine); ``payload_bytes`` is
+    the logical sum of live blob payloads.
+    """
+
+    engine: str
+    segments: int
+    live_bytes: int
+    dead_bytes: int
+    physical_bytes: int
+    payload_bytes: int
+    objects: int
+    tombstones: int
+    compactions: int
+    bytes_reclaimed: int
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one compaction round did."""
+
+    segments_rewritten: int
+    bytes_reclaimed: int
+    tombstones_purged: int
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.segments_rewritten or self.bytes_reclaimed or self.tombstones_purged
+        )
+
+
+class BlobStore(ABC):
+    """Key -> :class:`~repro.cluster.node.VersionedBlob` storage engine."""
+
+    #: The registry name of this engine ("dict", "segment", ...).
+    engine_name: str = "?"
+
+    @property
+    def is_open(self) -> bool:
+        """False between ``crash_volatile()`` and ``reopen()``/``restore()``
+        for engines that refuse reads while crashed. You cannot read a
+        powered-off disk; cluster introspection skips closed engines."""
+        return True
+
+    # -- the data path -----------------------------------------------------------
+
+    @abstractmethod
+    def put(self, key: str, blob: VersionedBlob) -> None:
+        """Unconditionally record ``blob`` as the replica for ``key``.
+
+        Ordering policy (newer-version-wins, forced repair) lives in the
+        node; by the time an engine sees a put it is final.
+        """
+
+    @abstractmethod
+    def get(self, key: str) -> VersionedBlob | None:
+        """The current replica for ``key``, or ``None``."""
+
+    @abstractmethod
+    def discard(self, key: str) -> None:
+        """Physically un-index ``key`` (handoff completion, rebalance) —
+        not a logical delete, which is a tombstone written via
+        :meth:`put`. Must be durable: a discarded key stays gone across
+        ``crash_volatile()`` + ``reopen()``."""
+
+    @abstractmethod
+    def keys(self) -> Iterable[str]:
+        """Every indexed key, tombstones included."""
+
+    # -- accounting --------------------------------------------------------------
+
+    @abstractmethod
+    def object_count(self) -> int:
+        """Live (non-tombstone) keys."""
+
+    @abstractmethod
+    def payload_bytes(self) -> int:
+        """Logical bytes of live payloads."""
+
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """Engine counters for ``repro.obs`` / ``repro stats``."""
+
+    # -- maintenance -------------------------------------------------------------
+
+    @abstractmethod
+    def compact(
+        self, purge: "frozenset[str] | set[str]" = frozenset(), min_garbage: float = 0.0
+    ) -> CompactionResult:
+        """Rewrite live records, dropping dead bytes and the tombstones
+        named in ``purge`` (keys whose delete the cluster has proven
+        fully converged — the quorum watermark). ``min_garbage`` skips
+        the rewrite when the dead fraction is below it and nothing is
+        purgeable. The reference engine has nothing to rewrite and
+        returns an empty result (purged tombstones excepted)."""
+
+    # -- durability --------------------------------------------------------------
+
+    @abstractmethod
+    def crash_volatile(self) -> None:
+        """Power loss: drop all volatile state, keep durable media."""
+
+    @abstractmethod
+    def reopen(self) -> int:
+        """Rebuild the in-memory index from surviving media; returns the
+        number of keys recovered."""
+
+    @abstractmethod
+    def snapshot(self) -> bytes:
+        """Serialize the durable media (what a disk image would hold)."""
+
+    @abstractmethod
+    def restore(self, image: bytes) -> int:
+        """Replace contents from a :meth:`snapshot` image; returns the
+        number of keys recovered."""
+
+
+#: name -> zero-argument-callable engine factory registry.
+ENGINES: dict[str, Callable[[], BlobStore]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], BlobStore]) -> None:
+    ENGINES[name] = factory
+
+
+def make_store(engine: str = "dict") -> BlobStore:
+    """Build a fresh engine by registry name.
+
+    >>> make_store("dict").engine_name
+    'dict'
+    >>> make_store("segment").engine_name
+    'segment'
+    >>> make_store("papyrus")
+    Traceback (most recent call last):
+      ...
+    ValueError: unknown storage engine 'papyrus' (have: dict, segment)
+    """
+    try:
+        factory = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            "unknown storage engine %r (have: %s)"
+            % (engine, ", ".join(sorted(ENGINES)))
+        ) from None
+    return factory()

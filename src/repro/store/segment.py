@@ -1,0 +1,336 @@
+"""Append-only segment encoding for the log-structured blob store.
+
+A *segment* is one group-compressed unit of the log. While it is the
+active tail it is a raw, self-framing record stream (what a real engine
+would have on disk after write-through appends); when it reaches its
+target size the engine *seals* it — the whole stream is deflated with
+zlib and prefixed with a parsed-ahead index, so re-opening a store can
+rebuild its in-memory key map without inflating a single block.
+
+Record stream framing (all integers unsigned big-endian)::
+
+    u8  flags        bit0 TOMBSTONE   logical delete (body empty)
+                     bit1 DELTA       body is a groupcompress delta
+                                      against the segment basis
+                     bit2 PURGE       physical un-index marker (body
+                                      empty; see ClusterNode.discard)
+    u64 version      coordinator-stamped blob version
+    u16 key length   | key (utf-8)
+    u32 payload length   logical bytes (0 for tombstone/purge)
+    u32 body length      stored bytes (delta-encoded records differ)
+    body
+
+Sealed segment layout::
+
+    b"SPSG" | u8 format | u32 entries | index entries... |
+    u32 basis offset | u32 basis length |
+    u32 raw length | u32 deflated length | deflated record stream
+
+    index entry: u8 flags | u64 version | u16 key length | key |
+                 u32 offset | u32 payload length | u32 body length
+
+The **basis** is the first value record appended to the segment, always
+stored literally; every later value record is delta-encoded against it
+when the delta is smaller (:mod:`repro.store.groupcompress`). Offsets
+in the index address record *bodies* within the raw stream.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.store.groupcompress import apply_delta, basis_index, make_delta
+
+__all__ = [
+    "FLAG_TOMBSTONE",
+    "FLAG_DELTA",
+    "FLAG_PURGE",
+    "RecordEntry",
+    "SegmentWriter",
+    "SealedSegment",
+    "SegmentFormatError",
+    "entry_overhead",
+    "decode_body",
+    "scan_stream",
+]
+
+FLAG_TOMBSTONE = 0x01
+FLAG_DELTA = 0x02
+FLAG_PURGE = 0x04
+
+_MAGIC = b"SPSG"
+_FORMAT = 1
+
+_HEAD = struct.Struct(">BQH")  # flags, version, key length
+_LENS = struct.Struct(">II")  # payload length, body length
+_U32 = struct.Struct(">I")
+
+
+class SegmentFormatError(ValueError):
+    """A sealed segment or record stream failed to parse."""
+
+
+def entry_overhead(key: str) -> int:
+    """Framing bytes one record of ``key`` costs beyond its body."""
+    return _HEAD.size + len(key.encode("utf-8")) + _LENS.size
+
+
+@dataclass(frozen=True)
+class RecordEntry:
+    """One record's index row: where its body lives in the raw stream."""
+
+    key: str
+    version: int
+    flags: int
+    offset: int
+    payload_length: int
+    body_length: int
+
+    @property
+    def tombstone(self) -> bool:
+        return bool(self.flags & FLAG_TOMBSTONE)
+
+    @property
+    def purge(self) -> bool:
+        return bool(self.flags & FLAG_PURGE)
+
+    @property
+    def stored_length(self) -> int:
+        """Raw-stream bytes this record occupies (framing + body)."""
+        return entry_overhead(self.key) + self.body_length
+
+
+class SegmentWriter:
+    """The active tail: an append-only raw record stream plus its index.
+
+    The writer owns the segment's delta basis (the first value record,
+    kept literal) and chooses literal-vs-delta per append. ``raw``
+    is the durable media image — everything needed to rebuild the
+    index survives in it, which is what :meth:`scan` proves.
+    """
+
+    def __init__(self, segment_id: int):
+        self.segment_id = segment_id
+        self.raw = bytearray()
+        self.entries: list[RecordEntry] = []
+        self._basis: bytes | None = None
+        self._basis_offset = 0
+        self._basis_index: dict[bytes, list[int]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    @property
+    def raw_length(self) -> int:
+        return len(self.raw)
+
+    @classmethod
+    def from_raw(cls, segment_id: int, raw: bytes) -> "SegmentWriter":
+        """Recover a tail writer from its surviving raw stream: rescan
+        the records, re-establish the basis, and keep appending."""
+        writer = cls(segment_id)
+        writer.raw = bytearray(raw)
+        writer.entries = scan_stream(bytes(raw))
+        for entry in writer.entries:
+            if entry.flags & (FLAG_TOMBSTONE | FLAG_PURGE):
+                continue
+            if entry.flags & FLAG_DELTA:
+                continue  # a delta can never precede the basis
+            writer._basis = bytes(raw[entry.offset : entry.offset + entry.body_length])
+            writer._basis_offset = entry.offset
+            writer._basis_index = basis_index(writer._basis)
+            break
+        return writer
+
+    def append(self, key: str, version: int, payload: bytes | None, flags: int = 0) -> RecordEntry:
+        """Append one record; returns its index entry.
+
+        ``payload is None`` with ``FLAG_TOMBSTONE`` (or ``FLAG_PURGE``)
+        writes a marker record. Value payloads are delta-compressed
+        against the segment basis when that is a win.
+        """
+        body = b"" if payload is None else bytes(payload)
+        payload_length = len(body)
+        is_basis = False
+        if payload is not None and self._basis is None:
+            self._basis = body
+            self._basis_index = basis_index(body)
+            is_basis = True
+        elif payload is not None and self._basis:
+            delta = make_delta(self._basis, body, self._basis_index)
+            if delta is not None:
+                body = delta
+                flags |= FLAG_DELTA
+        key_bytes = key.encode("utf-8")
+        offset = len(self.raw) + _HEAD.size + len(key_bytes) + _LENS.size
+        self.raw += _HEAD.pack(flags, version, len(key_bytes))
+        self.raw += key_bytes
+        self.raw += _LENS.pack(payload_length, len(body))
+        self.raw += body
+        if is_basis:
+            self._basis_offset = offset
+        entry = RecordEntry(
+            key=key,
+            version=version,
+            flags=flags,
+            offset=offset,
+            payload_length=payload_length,
+            body_length=len(body),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def read_body(self, entry: RecordEntry) -> bytes:
+        """The decoded payload of ``entry`` (delta applied if needed)."""
+        return decode_body(bytes(self.raw), entry, self._basis_span())
+
+    def _basis_span(self) -> tuple[int, int]:
+        if self._basis is None:
+            return (0, 0)
+        return (self._basis_offset, len(self._basis))
+
+    def seal(self) -> "SealedSegment":
+        """Deflate the stream and freeze it with its parsed-ahead index."""
+        raw = bytes(self.raw)
+        deflated = zlib.compress(raw, 6)
+        basis_offset, basis_length = self._basis_span()
+        return SealedSegment(
+            segment_id=self.segment_id,
+            entries=tuple(self.entries),
+            basis_offset=basis_offset,
+            basis_length=basis_length,
+            raw_length=len(raw),
+            deflated=deflated,
+        )
+
+
+@dataclass(frozen=True)
+class SealedSegment:
+    """An immutable, deflated segment plus its index."""
+
+    segment_id: int
+    entries: tuple[RecordEntry, ...]
+    basis_offset: int
+    basis_length: int
+    raw_length: int
+    deflated: bytes
+
+    @property
+    def physical_length(self) -> int:
+        """On-media bytes: the deflated stream plus the stored index."""
+        return len(self.encode())
+
+    def inflate(self) -> bytes:
+        raw = zlib.decompress(self.deflated)
+        if len(raw) != self.raw_length:
+            raise SegmentFormatError(
+                "segment %d inflated to %d bytes, header says %d"
+                % (self.segment_id, len(raw), self.raw_length)
+            )
+        return raw
+
+    def encode(self) -> bytes:
+        """The durable byte form: magic, index, then the deflated stream."""
+        out = bytearray()
+        out += _MAGIC
+        out.append(_FORMAT)
+        out += _U32.pack(len(self.entries))
+        for entry in self.entries:
+            key_bytes = entry.key.encode("utf-8")
+            out += _HEAD.pack(entry.flags, entry.version, len(key_bytes))
+            out += key_bytes
+            out += _U32.pack(entry.offset)
+            out += _LENS.pack(entry.payload_length, entry.body_length)
+        out += _U32.pack(self.basis_offset)
+        out += _U32.pack(self.basis_length)
+        out += _U32.pack(self.raw_length)
+        out += _U32.pack(len(self.deflated))
+        out += self.deflated
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, segment_id: int) -> "SealedSegment":
+        """Parse the durable form — the index alone, no inflation."""
+        if data[:4] != _MAGIC:
+            raise SegmentFormatError("bad segment magic %r" % data[:4])
+        if data[4] != _FORMAT:
+            raise SegmentFormatError("unknown segment format %d" % data[4])
+        position = 5
+        try:
+            (count,) = _U32.unpack_from(data, position)
+            position += 4
+            entries = []
+            for _ in range(count):
+                flags, version, key_length = _HEAD.unpack_from(data, position)
+                position += _HEAD.size
+                key = data[position : position + key_length].decode("utf-8")
+                position += key_length
+                (offset,) = _U32.unpack_from(data, position)
+                position += 4
+                payload_length, body_length = _LENS.unpack_from(data, position)
+                position += _LENS.size
+                entries.append(
+                    RecordEntry(key, version, flags, offset, payload_length, body_length)
+                )
+            (basis_offset,) = _U32.unpack_from(data, position)
+            (basis_length,) = _U32.unpack_from(data, position + 4)
+            (raw_length,) = _U32.unpack_from(data, position + 8)
+            (deflated_length,) = _U32.unpack_from(data, position + 12)
+            position += 16
+            deflated = data[position : position + deflated_length]
+        except struct.error as exc:
+            raise SegmentFormatError("truncated segment header") from exc
+        if len(deflated) != deflated_length:
+            raise SegmentFormatError("truncated segment payload")
+        return cls(
+            segment_id=segment_id,
+            entries=tuple(entries),
+            basis_offset=basis_offset,
+            basis_length=basis_length,
+            raw_length=raw_length,
+            deflated=deflated,
+        )
+
+
+def decode_body(raw: bytes, entry: RecordEntry, basis_span: tuple[int, int]) -> bytes:
+    """Decode one record body out of a raw stream."""
+    body = raw[entry.offset : entry.offset + entry.body_length]
+    if len(body) != entry.body_length:
+        raise SegmentFormatError(
+            "record %r body truncated (%d of %d bytes)"
+            % (entry.key, len(body), entry.body_length)
+        )
+    if entry.flags & FLAG_DELTA:
+        basis_offset, basis_length = basis_span
+        basis = raw[basis_offset : basis_offset + basis_length]
+        return apply_delta(basis, body)
+    return bytes(body)
+
+
+def scan_stream(raw: bytes) -> list[RecordEntry]:
+    """Rebuild the index of a raw record stream (tail recovery path)."""
+    entries: list[RecordEntry] = []
+    position = 0
+    end = len(raw)
+    while position < end:
+        try:
+            flags, version, key_length = _HEAD.unpack_from(raw, position)
+        except struct.error as exc:
+            raise SegmentFormatError("truncated record header") from exc
+        position += _HEAD.size
+        key = raw[position : position + key_length].decode("utf-8")
+        position += key_length
+        try:
+            payload_length, body_length = _LENS.unpack_from(raw, position)
+        except struct.error as exc:
+            raise SegmentFormatError("truncated record lengths") from exc
+        position += _LENS.size
+        if position + body_length > end:
+            raise SegmentFormatError("truncated record body for %r" % key)
+        entries.append(
+            RecordEntry(key, version, flags, position, payload_length, body_length)
+        )
+        position += body_length
+    return entries

@@ -17,6 +17,13 @@ The tentpole's three proofs, as seeded end-to-end journeys on
 
 Everything is seeded and clocked on :class:`SimClock`; a failure
 reproduces byte-identically.
+
+The proofs are engine-agnostic: every journey class that touches
+replica placement or repair is parametrized over both registered blob
+engines (the dict reference and the log-structured segment store), so
+the whole chaos envelope holds whichever engine sits under the nodes.
+What only one engine can promise — surviving a power loss — lives in
+:class:`TestStorageEngineDurability`, which asserts the *difference*.
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ from repro.osn.resilience import RetryPolicy
 from repro.sim.timing import SimClock
 
 NUM_NODES = 5
+
+# Every engine-sensitive journey runs against both.
+ENGINES = ("dict", "segment")
 
 CONTEXT = Context.from_mapping(
     {
@@ -85,11 +95,12 @@ def assert_per_node_surveillance(cluster, *objects):
 
 
 class TestQuorumAvailabilityC1:
-    def test_share_access_survives_every_n_minus_w_crash_combo(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_share_access_survives_every_n_minus_w_crash_combo(self, engine):
         combos = crashable(StorageCluster(num_nodes=NUM_NODES))
         assert len(combos) == 10  # C(5, 3): the whole envelope, not a sample
         for index, down in enumerate(combos):
-            platform, cluster, alice, bob = build_platform()
+            platform, cluster, alice, bob = build_platform(engine=engine)
             secret = b"c1 secret %d" % index
             for name in down:
                 cluster.crash(name)
@@ -125,10 +136,11 @@ class TestQuorumAvailabilityC1:
 
 
 class TestQuorumAvailabilityC2:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("combo_index", [0, 4, 9])
-    def test_share_access_with_n_minus_w_down(self, combo_index):
+    def test_share_access_with_n_minus_w_down(self, combo_index, engine):
         down = crashable(StorageCluster(num_nodes=NUM_NODES))[combo_index]
-        platform, cluster, alice, bob = build_platform()
+        platform, cluster, alice, bob = build_platform(engine=engine)
         for name in down:
             cluster.crash(name)
         secret = b"c2 secret %d" % combo_index
@@ -139,11 +151,12 @@ class TestQuorumAvailabilityC2:
 
 
 class TestRepairConvergence:
-    def test_read_repair_heals_a_tampered_replica_mid_journey(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_read_repair_heals_a_tampered_replica_mid_journey(self, engine):
         # R = replication: the read sees all three replicas, outvotes
         # the rogue one 2:1, and the journey still decrypts.
         platform, cluster, alice, bob = build_platform(
-            read_quorum=3, write_quorum=3
+            read_quorum=3, write_quorum=3, engine=engine
         )
         secret = b"tamper target"
         share, url = share_tracking_url(platform, cluster, alice, secret)
@@ -159,9 +172,10 @@ class TestRepairConvergence:
         assert len(blobs) == 1
         assert_per_node_surveillance(cluster, secret)
 
-    def test_read_repair_restores_a_lost_replica(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_read_repair_restores_a_lost_replica(self, engine):
         platform, cluster, alice, bob = build_platform(
-            read_quorum=3, write_quorum=3
+            read_quorum=3, write_quorum=3, engine=engine
         )
         share, url = share_tracking_url(platform, cluster, alice, b"lost and found")
         victim = cluster.replica_nodes(url)[0]
@@ -170,10 +184,11 @@ class TestRepairConvergence:
         assert result.plaintext == b"lost and found"
         assert victim.replica(url) is not None
 
-    def test_partitioned_node_reconciles_on_recovery(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_partitioned_node_reconciles_on_recovery(self, engine):
         # A node down during the share misses the write; hinted handoff
         # holds its replica elsewhere and recovery replays it home.
-        platform, cluster, alice, bob = build_platform()
+        platform, cluster, alice, bob = build_platform(engine=engine)
         victim = cluster.nodes[0]
         cluster.crash(victim.name)
         shares = []
@@ -230,19 +245,23 @@ class TestRetractSaga:
                 "live blob replica survived on %s" % node.name
             )
 
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("construction", [1, 2])
-    def test_clean_retract_removes_both_planes(self, construction):
-        platform, cluster, alice, bob = build_platform()
+    def test_clean_retract_removes_both_planes(self, construction, engine):
+        platform, cluster, alice, bob = build_platform(engine=engine)
         share, url = share_tracking_url(
             platform, cluster, alice, b"retract me", construction=construction
         )
         assert platform.retract(alice, share, construction=construction)
         self.assert_no_orphans(platform, cluster, bob, share, url, construction)
 
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("construction", [1, 2])
     @pytest.mark.parametrize("crash_stage", ["prepared", "blob-deleted"])
-    def test_crash_between_phases_then_recovery(self, construction, crash_stage):
-        platform, cluster, alice, bob = build_platform()
+    def test_crash_between_phases_then_recovery(
+        self, construction, crash_stage, engine
+    ):
+        platform, cluster, alice, bob = build_platform(engine=engine)
         app = platform.app_c1 if construction == 1 else platform.app_c2
         share, url = share_tracking_url(
             platform, cluster, alice, b"crash target", construction=construction
@@ -315,13 +334,15 @@ class TestRetractSaga:
 
 
 class TestSeededClusterChaos:
-    def test_flaky_nodes_with_retries_always_succeed(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_flaky_nodes_with_retries_always_succeed(self, engine):
         clock = SimClock()
         cluster = StorageCluster(
             num_nodes=NUM_NODES,
             clock=clock,
             node_factory=flaky_node_factory(
-                store_failure_rate=0.25, fetch_failure_rate=0.25, seed=424
+                store_failure_rate=0.25, fetch_failure_rate=0.25, seed=424,
+                engine=engine,
             ),
         )
         platform = SocialPuzzlePlatform(
@@ -343,6 +364,241 @@ class TestSeededClusterChaos:
         assert injected > 0, "chaos config injected no faults"
         assert_per_node_surveillance(cluster, *secrets)
 
+class TestStorageEngineDurability:
+    """What only the segment engine promises: surviving power loss.
+
+    ``kill()`` is a power loss (volatile state gone, durable media
+    kept), not the ``crash()`` partition the availability tests use.
+    The same journey runs against both engines and the assertions
+    *differ* — that asymmetry is the durability claim.
+    """
+
+    def test_segment_cluster_survives_whole_cluster_power_loss(self):
+        platform, cluster, alice, bob = build_platform(engine="segment")
+        secret = b"survives the blackout"
+        share, url = share_tracking_url(platform, cluster, alice, secret)
+        for node in cluster.nodes:
+            cluster.kill(node.name)
+        with pytest.raises(TransientStorageError):
+            platform.solve(bob, share, CONTEXT)  # everything is down
+        recovered = sum(cluster.restore(node.name) for node in cluster.nodes)
+        assert recovered >= cluster.replication  # every replica came back
+        result = platform.solve(bob, share, CONTEXT)
+        assert result.plaintext == secret
+        assert_per_node_surveillance(cluster, secret)
+
+    def test_dict_cluster_has_amnesia_after_the_same_journey(self):
+        # The contrast test: byte-for-byte the same journey, and the
+        # reference engine provably loses the object — a permanent
+        # not-found, because every node answered and none remembers.
+        platform, cluster, alice, bob = build_platform(engine="dict")
+        share, url = share_tracking_url(platform, cluster, alice, b"forgotten")
+        for node in cluster.nodes:
+            cluster.kill(node.name)
+        for node in cluster.nodes:
+            assert cluster.restore(node.name) == 0
+        with pytest.raises(Exception) as excinfo:
+            platform.solve(bob, share, CONTEXT)
+        assert type(excinfo.value).__name__ in ("StorageError", "UnknownPuzzleError")
+
+    def test_partial_power_loss_heals_from_surviving_quorum(self):
+        # Kill one replica holder; the quorum serves reads meanwhile and
+        # the restored node comes back with its own media intact.
+        platform, cluster, alice, bob = build_platform(engine="segment")
+        secret = b"partial blackout"
+        share, url = share_tracking_url(platform, cluster, alice, secret)
+        victim = cluster.replica_nodes(url)[0]
+        before = victim.storage_stats().objects
+        cluster.kill(victim.name)
+        assert platform.solve(bob, share, CONTEXT).plaintext == secret
+        cluster.restore(victim.name)
+        assert victim.storage_stats().objects == before
+        assert victim.replica(url) is not None
+
+    @pytest.mark.parametrize("construction", [1, 2])
+    def test_anti_entropy_repairs_land_durably(self, construction):
+        # A node misses writes during a partition, the hints that
+        # covered for it are shed, and Merkle anti-entropy re-homes the
+        # data — *through the segment store*, so the repaired records
+        # survive a subsequent power loss of the repaired node.
+        platform, cluster, alice, bob = build_platform(engine="segment")
+        victim = cluster.nodes[0]
+        cluster.crash(victim.name)
+        shares = []
+        for i in range(10):
+            share, url = share_tracking_url(
+                platform, cluster, alice, b"ae blob %d" % i,
+                construction=construction,
+            )
+            shares.append((share, url))
+        missed = [
+            url for _, url in shares
+            if victim.name in cluster.ring.preference_list(url, cluster.replication)
+        ]
+        assert missed, "no share landed on the partitioned node's range"
+        # Shed every hint: recovery replay cannot heal, anti-entropy must.
+        for node in cluster.nodes:
+            for key in list(node.hinted):
+                node.drop_hint(key)
+        victim.recover()
+        for _ in range(8):
+            cluster.run_anti_entropy()
+            if not cluster.divergent_keys():
+                break
+        assert cluster.divergent_keys() == {}
+        for url in missed:
+            assert victim.replica(url) is not None, url
+        # The repairs went through the log: power-cycle the victim and
+        # the repaired replicas must still be there.
+        cluster.kill(victim.name)
+        cluster.restore(victim.name)
+        for url in missed:
+            assert victim.replica(url) is not None, "repair lost on restore: %s" % url
+        for share, _ in shares:
+            platform.solve(bob, share, CONTEXT, construction=construction)
+        assert_per_node_surveillance(
+            cluster, *[b"ae blob %d" % i for i in range(10)]
+        )
+
+
+class TestCompactionUnderChaos:
+    """Compaction-as-GC riding the SimClock, with quorum traffic live."""
+
+    def build(self, **kwargs):
+        clock = SimClock()
+        platform, cluster, alice, bob = build_platform(
+            engine="segment",
+            clock=clock,
+            anti_entropy_interval_s=20.0,
+            compaction_interval_s=60.0,
+            compaction_min_garbage=0.0,
+            **kwargs,
+        )
+        return clock, platform, cluster, alice, bob
+
+    def test_seeded_churn_reclaims_bytes_and_purges_tombstones(self):
+        clock, platform, cluster, alice, bob = self.build()
+        kept, retired = [], []
+        for i in range(18):
+            share, url = share_tracking_url(
+                platform, cluster, alice, b"churn object %d" % i
+            )
+            (kept if i % 3 == 0 else retired).append((share, url))
+        for share, _ in retired:
+            assert platform.retract(alice, share)
+        peak = cluster.storage_stats()
+        assert peak.dead_bytes > 0 and peak.tombstones > 0
+        # Converge the deletes, then let the scheduled compaction fire.
+        cluster.run_anti_entropy()
+        clock.advance(120.0)
+        platform.solve(bob, kept[0][0], CONTEXT)  # any op nudges the tick
+        after = cluster.storage_stats()
+        assert after.compactions > 0, "the SimClock tick never compacted"
+        assert after.bytes_reclaimed > 0
+        assert after.dead_bytes < peak.dead_bytes
+        assert after.tombstones == 0, "converged tombstones must be GCed"
+        # GC broke nothing: survivors decrypt, retracted objects stay gone.
+        for i, (share, _) in enumerate(kept):
+            result = platform.solve(bob, share, CONTEXT)
+            assert result.plaintext == b"churn object %d" % (i * 3)
+        for share, _ in retired[:3]:
+            with pytest.raises(Exception):
+                platform.solve(bob, share, CONTEXT)
+        # And the purge is durable: a power-cycled node cannot resurrect.
+        victim = cluster.nodes[0]
+        cluster.kill(victim.name)
+        cluster.restore(victim.name)
+        for _, url in retired:
+            replica = victim.replica(url)
+            assert replica is None or replica.tombstone
+
+    def test_unconverged_tombstone_is_never_purged(self):
+        # A replica that missed the delete vetoes the GC watermark:
+        # purging early would let that stale replica resurrect the
+        # object through the very repair machinery that spreads deletes.
+        clock, platform, cluster, alice, bob = self.build()
+        share, url = share_tracking_url(platform, cluster, alice, b"sticky delete")
+        straggler = cluster.replica_nodes(url)[0]
+        cluster.crash(straggler.name)
+        platform.retract(alice, share)  # straggler misses the tombstone
+        assert url not in cluster.purgeable_tombstones()
+        cluster.run_compaction(min_garbage=0.0)
+        survivors = [
+            node for node in cluster.nodes
+            if node.up and node.replica(url) is not None
+        ]
+        assert survivors, "tombstone must survive until the delete converges"
+        assert all(node.replica(url).tombstone for node in survivors)
+        # Heal the straggler; once every replica is a tombstone the
+        # watermark admits the key and compaction collects it for good.
+        cluster.recover(straggler.name)
+        for _ in range(8):
+            cluster.run_anti_entropy()
+            if url in cluster.purgeable_tombstones():
+                break
+        assert url in cluster.purgeable_tombstones()
+        cluster.run_compaction(min_garbage=0.0)
+        assert all(node.replica(url) is None for node in cluster.nodes)
+        cluster.run_anti_entropy()  # and nothing resurrects it
+        assert all(node.replica(url) is None for node in cluster.nodes)
+
+    def test_compaction_preserves_hints_and_retract_saga(self):
+        # Hinted replicas are never GC fodder, and a mid-saga crash
+        # recovers identically with compaction ticking away.
+        clock, platform, cluster, alice, bob = self.build()
+        victim = cluster.nodes[0]
+        cluster.crash(victim.name)
+        shares = []
+        for i in range(8):
+            share, url = share_tracking_url(
+                platform, cluster, alice, b"hinted %d" % i
+            )
+            shares.append((share, url))
+        hinted_keys = {
+            key for node in cluster.nodes for key in node.hinted
+        }
+        assert hinted_keys, "no write slid to a stand-in"
+        clock.advance(120.0)
+        platform.solve(bob, shares[0][0], CONTEXT)  # tick: compaction runs
+        assert cluster._last_compaction >= 120.0, "the scheduled round never fired"
+        still_hinted = {key for node in cluster.nodes for key in node.hinted}
+        assert still_hinted == hinted_keys, "compaction must not eat hints"
+        cluster.recover(victim.name)
+        for _, url in shares:
+            if victim.name in cluster.ring.preference_list(url, cluster.replication):
+                assert victim.replica(url) is not None
+        # Retract saga with compaction enabled: kill between phases,
+        # recover, both planes clean.
+        share, url = share_tracking_url(platform, cluster, alice, b"saga target")
+        app = platform.app_c1
+        app.retract_crash_hook = lambda stage: (_ for _ in ()).throw(
+            _Killed(stage)
+        ) if stage == "prepared" else None
+        with pytest.raises(_Killed):
+            platform.retract(alice, share)
+        app.retract_crash_hook = None
+        clock.advance(120.0)
+        assert platform.recover_retracts() == 1
+        backend = platform.engine.backend(1)
+        assert backend.pending_retracts() == []
+        for node in cluster.nodes:
+            replica = node.replica(url)
+            assert replica is None or replica.tombstone
+
+    def test_degraded_reads_veto_purge_until_flushed(self):
+        # A key queued for async read repair is off the GC watermark
+        # even when every visible replica is a tombstone.
+        clock, platform, cluster, alice, bob = self.build()
+        share, url = share_tracking_url(platform, cluster, alice, b"queued")
+        platform.retract(alice, share)
+        cluster.run_anti_entropy()  # tombstone fully converged
+        cluster._pending_repairs.add(url)  # a degraded read queued it
+        assert url not in cluster.purgeable_tombstones()
+        cluster.flush_pending_repairs()
+        assert url in cluster.purgeable_tombstones()
+
+
+class TestSeededClusterChaosReproducibility:
     def test_chaos_is_reproducible(self):
         def run():
             clock = SimClock()

@@ -1,0 +1,124 @@
+"""ClusterNode over both engines: same semantics, different durability."""
+
+import pytest
+
+from repro.cluster.node import ClusterNode, NodeDownError, VersionedBlob
+
+BLOB = b"encrypted-object|" + bytes(range(100))
+
+
+@pytest.fixture(params=["dict", "segment"])
+def node(request):
+    return ClusterNode("n0", engine=request.param)
+
+
+class TestSemanticsAcrossEngines:
+    def test_engine_name_surface(self, node):
+        assert node.engine_name in ("dict", "segment")
+
+    def test_version_ordering(self, node):
+        assert node.store("k", VersionedBlob(2, b"new"))
+        assert not node.store("k", VersionedBlob(1, b"old"))
+        assert node.fetch("k").version == 2
+
+    def test_force_repair_equal_version(self, node):
+        node.store("k", VersionedBlob(1, b"tampered"))
+        assert node.store("k", VersionedBlob(1, b"true"), force=True)
+        assert node.fetch("k").data == b"true"
+
+    def test_tombstone_wins(self, node):
+        node.store("k", VersionedBlob(1, BLOB))
+        node.store("k", VersionedBlob(2, None))
+        assert node.fetch("k").tombstone
+        assert node.object_count() == 0
+
+    def test_tamper_keeps_version(self, node):
+        node.store("k", VersionedBlob(7, BLOB))
+        node.tamper("k", b"evil")
+        assert node.replica("k") == VersionedBlob(7, b"evil")
+
+    def test_hints_flow(self, node):
+        node.store("k", VersionedBlob(1, BLOB), hint_for="n9", now=5.0)
+        assert node.hinted == {"k": "n9"}
+        taken = node.take_hints("n9")
+        assert taken == [("k", VersionedBlob(1, BLOB))]
+        assert node.replica("k") is None
+
+    def test_audit_sees_stored_bytes(self, node):
+        node.store("k", VersionedBlob(1, BLOB))
+        assert node.audit.saw(BLOB)
+
+    def test_crash_is_partition_not_power_loss(self, node):
+        node.store("k", VersionedBlob(1, BLOB))
+        node.crash()
+        with pytest.raises(NodeDownError):
+            node.fetch("k")
+        assert node.replica("k") is not None  # state intact, peekable
+        node.recover()
+        assert node.fetch("k").data == BLOB
+
+    def test_storage_stats_surface(self, node):
+        node.store("k", VersionedBlob(1, BLOB))
+        stats = node.storage_stats()
+        assert stats.objects == 1
+        assert stats.payload_bytes == len(BLOB)
+
+
+class TestKillRestoreDivergence:
+    """The durability contrast the two engines are *supposed* to show."""
+
+    def fill(self, node):
+        for i in range(10):
+            node.store("k%d" % i, VersionedBlob(i + 1, BLOB + b"|%d" % i))
+
+    def test_segment_node_survives_power_loss(self):
+        node = ClusterNode("n0", engine="segment")
+        self.fill(node)
+        node.kill()
+        assert not node.up
+        assert node.replica("k3") is None  # powered-off disk: no peeks
+        assert node.keys() == [] and node.object_count() == 0
+        recovered = node.restore()
+        assert recovered == 10
+        assert node.fetch("k3").data == BLOB + b"|3"
+
+    def test_dict_node_has_amnesia(self):
+        node = ClusterNode("n0", engine="dict")
+        self.fill(node)
+        node.kill()
+        assert node.restore() == 0
+        assert node.fetch("k3") is None
+        assert node.object_count() == 0
+
+    def test_kill_clears_hint_bookkeeping_on_both(self):
+        for engine in ("dict", "segment"):
+            node = ClusterNode("n0", engine=engine)
+            node.store("k", VersionedBlob(1, BLOB), hint_for="n9", now=1.0)
+            node.kill()
+            assert node.hinted == {} and node.hint_stored_at == {}
+
+    def test_audit_trail_survives_kill(self):
+        # The audit is the test instrument (what did this node observe),
+        # not node state: a reboot must not launder surveillance.
+        for engine in ("dict", "segment"):
+            node = ClusterNode("n0", engine=engine)
+            node.store("k", VersionedBlob(1, BLOB))
+            node.kill()
+            node.restore()
+            assert node.audit.saw(BLOB), engine
+
+    def test_restore_from_foreign_snapshot(self):
+        donor = ClusterNode("n0", engine="segment")
+        self.fill(donor)
+        heir = ClusterNode("n1", engine="segment")
+        heir.kill()
+        assert heir.restore(donor.snapshot()) == 10
+        assert heir.fetch("k7").data == BLOB + b"|7"
+
+    def test_discard_is_durable_on_segment(self):
+        node = ClusterNode("n0", engine="segment")
+        self.fill(node)
+        node.discard("k5")
+        node.kill()
+        node.restore()
+        assert node.replica("k5") is None, "discarded key must not resurrect"

@@ -1,0 +1,109 @@
+"""Segment framing: the raw stream, sealing, and both recovery scans."""
+
+import pytest
+
+from repro.store.segment import (
+    FLAG_DELTA,
+    FLAG_PURGE,
+    FLAG_TOMBSTONE,
+    SealedSegment,
+    SegmentFormatError,
+    SegmentWriter,
+    entry_overhead,
+    scan_stream,
+)
+
+BLOB = b"ciphertext|" + bytes(range(128)) * 2
+
+
+def filled_writer() -> SegmentWriter:
+    w = SegmentWriter(0)
+    for i in range(8):
+        w.append("obj-%d" % i, i + 1, BLOB + b"|elem:%d" % i)
+    w.append("obj-0", 100, None, FLAG_TOMBSTONE)
+    w.append("obj-3", 0, None, FLAG_PURGE)
+    return w
+
+
+class TestWriter:
+    def test_first_value_record_is_literal_basis(self):
+        w = filled_writer()
+        assert not w.entries[0].flags & FLAG_DELTA
+        assert w.entries[0].body_length == len(BLOB + b"|elem:0")
+
+    def test_later_records_delta_compress(self):
+        w = filled_writer()
+        deltas = [e for e in w.entries[1:8] if e.flags & FLAG_DELTA]
+        assert deltas, "near-identical blobs should delta against the basis"
+        for e in deltas:
+            assert e.body_length < e.payload_length
+
+    def test_read_body_reverses_delta(self):
+        w = filled_writer()
+        for i, e in enumerate(w.entries[:8]):
+            assert w.read_body(e) == BLOB + b"|elem:%d" % i
+
+    def test_markers_have_empty_bodies(self):
+        w = filled_writer()
+        assert w.entries[8].tombstone and w.entries[8].body_length == 0
+        assert w.entries[9].purge and w.entries[9].body_length == 0
+
+    def test_stored_length_accounts_framing(self):
+        w = filled_writer()
+        assert sum(e.stored_length for e in w.entries) == w.raw_length
+        assert w.entries[8].stored_length == entry_overhead("obj-0")
+
+    def test_tombstone_first_writer_takes_next_value_as_basis(self):
+        w = SegmentWriter(0)
+        w.append("gone", 1, None, FLAG_TOMBSTONE)
+        w.append("kept", 2, BLOB)
+        w.append("kept2", 3, BLOB + b"x")
+        assert not w.entries[1].flags & FLAG_DELTA  # the basis itself
+        assert w.entries[2].flags & FLAG_DELTA
+        assert w.read_body(w.entries[2]) == BLOB + b"x"
+
+
+class TestScanStream:
+    def test_scan_equals_live_index(self):
+        w = filled_writer()
+        assert scan_stream(bytes(w.raw)) == w.entries
+
+    def test_from_raw_recovers_basis_and_appends(self):
+        w = filled_writer()
+        recovered = SegmentWriter.from_raw(0, bytes(w.raw))
+        assert recovered.entries == w.entries
+        e = recovered.append("obj-9", 9, BLOB + b"|elem:9")
+        assert e.flags & FLAG_DELTA  # basis was re-established
+        assert recovered.read_body(e) == BLOB + b"|elem:9"
+
+    def test_truncated_stream_raises(self):
+        w = filled_writer()
+        with pytest.raises(SegmentFormatError):
+            scan_stream(bytes(w.raw)[:-3])
+
+
+class TestSealedSegment:
+    def test_encode_decode_round_trip(self):
+        sealed = filled_writer().seal()
+        decoded = SealedSegment.decode(sealed.encode(), sealed.segment_id)
+        assert decoded == sealed
+
+    def test_inflate_restores_raw(self):
+        w = filled_writer()
+        assert w.seal().inflate() == bytes(w.raw)
+
+    def test_sealing_compresses(self):
+        sealed = filled_writer().seal()
+        assert len(sealed.encode()) < sealed.raw_length
+
+    def test_decode_rejects_bad_magic(self):
+        with pytest.raises(SegmentFormatError):
+            SealedSegment.decode(b"NOPE" + b"\x00" * 32, 0)
+
+    def test_decode_rejects_truncation(self):
+        encoded = filled_writer().seal().encode()
+        with pytest.raises(SegmentFormatError):
+            SealedSegment.decode(encoded[:-5], 0)
+
+    def test_deterministic_encoding(self):
+        assert filled_writer().seal().encode() == filled_writer().seal().encode()

@@ -24,7 +24,12 @@ It also measures the policy plane: share and access latency for both
 constructions under the flat depth-1 threshold versus the nested
 depth-3 scope/escrow policy, compiled from the same ``PuzzlePolicy``.
 
-The default output is ``BENCH_PR8.json`` in the current directory.
+The storage section loads 1k near-identical CP-ABE uploads into both
+blob-store engines and records bytes/blob for each, the compression
+ratio the segment engine's groupcompress pass achieves, and how long
+``reopen()`` takes to rebuild the index after a power-loss crash.
+
+The default output is ``BENCH_PR9.json`` in the current directory.
 Wall-clock numbers vary per machine; the checked-in file documents one
 reference run, while the ``speedup``/op-count/availability fields are
 the quantities CI asserts on (see ``benchmarks/test_hotpath_speedup.py``
@@ -273,6 +278,48 @@ def bench_policy_depth() -> dict:
     return report
 
 
+def bench_storage_engine() -> dict:
+    """Bytes/blob for near-identical CP-ABE uploads, both engines.
+
+    Loads one sharer's hybrid ciphertexts into the dict engine (the
+    serialized baseline) and the segment engine (groupcompress + sealed
+    zlib blocks), then power-cycles the segment store to time index
+    recovery. The ``compression_ratio`` field is the quantity the
+    ``benchmarks/test_storage_engine.py`` regression floor asserts on.
+    """
+    from benchmarks.test_storage_engine import SEGMENT_TARGET, generate_blobs
+    from repro.store import DictBlobStore, SegmentBlobStore, VersionedBlob
+
+    count = 1000
+    blobs = generate_blobs(count)
+
+    dict_store = DictBlobStore()
+    segment_store = SegmentBlobStore(segment_target_bytes=SEGMENT_TARGET)
+    for store in (dict_store, segment_store):
+        for i, ciphertext in enumerate(blobs):
+            store.put("obj-%04d" % i, VersionedBlob(i + 1, ciphertext))
+    segment_store.flush()
+
+    dict_bytes = dict_store.stats().physical_bytes
+    segment_bytes = segment_store.stats().physical_bytes
+
+    segment_store.crash_volatile()
+    start = time.perf_counter()
+    recovered = segment_store.reopen()
+    recovery_s = time.perf_counter() - start
+
+    return {
+        "blobs": count,
+        "blob_bytes": len(blobs[0]),
+        "dict_bytes_per_blob": dict_bytes / count,
+        "segment_bytes_per_blob": segment_bytes / count,
+        "compression_ratio": dict_bytes / segment_bytes,
+        "segments": segment_store.stats().segments,
+        "recovery_ms": recovery_s * 1e3,
+        "recovered": recovered,
+    }
+
+
 def bench_serve_throughput() -> dict:
     """Closed-loop load against a TCP smart server on localhost.
 
@@ -327,7 +374,7 @@ def bench_serve_throughput() -> dict:
 
 
 def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_PR8.json"
+    out_path = argv[1] if len(argv) > 1 else "BENCH_PR9.json"
     rng = random.Random(5)
     pairing = Pairing(SMALL)
     report = {
@@ -340,6 +387,7 @@ def main(argv: list[str]) -> int:
         "degraded_reads": bench_degraded_reads(),
         "serve_throughput": bench_serve_throughput(),
         "policy_depth": bench_policy_depth(),
+        "storage_engine": bench_storage_engine(),
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -355,6 +403,15 @@ def main(argv: list[str]) -> int:
                     section,
                     100 * values["availability"],
                     values["stale_risk_reads"],
+                )
+            )
+        elif section == "storage_engine":
+            print(
+                "  %-18s %5.2fx fewer bytes/blob, %.1fms recovery"
+                % (
+                    section,
+                    values["compression_ratio"],
+                    values["recovery_ms"],
                 )
             )
         elif section == "policy_depth":
