@@ -34,6 +34,7 @@ from repro.crypto.kdf import hkdf
 from repro.crypto.modes import seal, unseal
 from repro.crypto.fixedbase import FixedBaseMult
 from repro.crypto.pairing import Pairing
+from repro.crypto.parallel import PairingPool
 from repro.crypto.polynomial import Polynomial, lagrange_coefficients_at_zero
 from repro.obs.profile import profiled
 
@@ -141,10 +142,19 @@ class CPABE:
     should leave it off (the default).
     """
 
-    def __init__(self, params: CurveParams, precompute_fixed_bases: bool = False):
+    def __init__(
+        self,
+        params: CurveParams,
+        precompute_fixed_bases: bool = False,
+        pairing_pool: "PairingPool | None" = None,
+    ):
         self.params = params
         self.pairing = Pairing(params)
         self.zr = PrimeField(params.r, check_prime=False)
+        # Optional repro.crypto.parallel.PairingPool: fused decryption
+        # fans its per-leaf Miller states (and decrypt_elements its
+        # independent ciphertexts) across worker processes.
+        self.pairing_pool = pairing_pool
         self._precompute = precompute_fixed_bases
         self._fixed_cache: dict[bytes, FixedBaseMult] = {}
         # hash_to_g0 is deterministic and dominated by cofactor clearing;
@@ -315,16 +325,52 @@ class CPABE:
             # A = e(g,g)^(r s); e(C, D) = e(g,g)^(s (alpha + r)).
             e_c_d = self.pairing.pair(ct.c, sk.d)
             return ct.c_tilde * (e_c_d * a.inverse()).inverse()
+        pairs = self._fused_pairs(sk, ct, chosen)
+        # M = C~ * A / e(C, D), all under one final exponentiation (per
+        # chunk, when a pairing pool splits the product across workers).
+        if self.pairing_pool is not None:
+            return ct.c_tilde * self.pairing_pool.pair_product(self.pairing, pairs)
+        return ct.c_tilde * self.pairing.pair_product(pairs)
+
+    def decrypt_elements(
+        self,
+        pk: PublicKey,
+        sk: SecretKey,
+        cts: "list[Ciphertext]",
+    ) -> "list[Fq2]":
+        """Decrypt many ciphertexts under one key.
+
+        Each ciphertext is an independent fused multi-pairing, so with a
+        :class:`~repro.crypto.parallel.PairingPool` attached the whole
+        batch fans out one job per ciphertext; without one it is a plain
+        loop over :meth:`decrypt_element`.
+        """
+        if self.pairing_pool is None or len(cts) <= 1:
+            return [self.decrypt_element(pk, sk, ct) for ct in cts]
+        jobs = []
+        for ct in cts:
+            chosen = ct.tree.minimal_satisfying_leaves(sk.attributes)
+            if chosen is None:
+                raise PolicyNotSatisfiedError(
+                    "key attributes do not satisfy the ciphertext policy"
+                )
+            jobs.append(self._fused_pairs(sk, ct, chosen))
+        products = self.pairing_pool.pair_products(self.pairing, jobs)
+        return [ct.c_tilde * value for ct, value in zip(cts, products)]
+
+    def _fused_pairs(
+        self, sk: SecretKey, ct: Ciphertext, chosen: "frozenset[int] | set[int]"
+    ) -> "list[tuple[Point, Point, int]]":
+        """The (P, Q, e) list whose product (times C~) is the message."""
         terms = self._gather_terms(sk, ct, ct.tree.root, 0, set(chosen))[1]
         if terms is None:
             raise PolicyNotSatisfiedError("decryption failed despite satisfiability")
-        # M = C~ * A / e(C, D), all under one final exponentiation.
         pairs: list[tuple[Point, Point, int]] = []
         for d_j, c_y, d_j_prime, c_y_prime, weight in terms:
             pairs.append((d_j, c_y, weight))
             pairs.append((d_j_prime, c_y_prime, -weight))
         pairs.append((ct.c, sk.d, -1))
-        return ct.c_tilde * self.pairing.pair_product(pairs)
+        return pairs
 
     def _gather_terms(
         self,

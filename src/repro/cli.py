@@ -150,6 +150,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-node blob engine under the cluster "
         "(dict=in-memory reference, segment=log-structured store)",
     )
+    serve.add_argument(
+        "--crypto-tier", default=None, choices=("auto", "pure", "compiled"),
+        help="force the crypto acceleration tier "
+        "(default: REPRO_CRYPTO_TIER, else probe compiled, fall back pure)",
+    )
+    serve.add_argument(
+        "--pairing-workers", type=int, default=None, metavar="N",
+        help="fan receiver-side multi-pairings across N worker processes "
+        "(0/1 = serial; default: no pool)",
+    )
 
     for name, help_text, default_journeys in (
         ("trace", "run seeded journeys and print their span trees", 1),
@@ -176,6 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--storage-engine", default="dict", metavar="ENGINE",
             help="per-node blob engine under the cluster "
             "(dict=in-memory reference, segment=log-structured store)",
+        )
+        observed.add_argument(
+            "--crypto-tier", default=None, choices=("auto", "pure", "compiled"),
+            help="force the crypto acceleration tier "
+            "(default: REPRO_CRYPTO_TIER, else probe compiled, fall back pure)",
+        )
+        observed.add_argument(
+            "--pairing-workers", type=int, default=None, metavar="N",
+            help="fan receiver-side multi-pairings across N worker processes "
+            "(0/1 = serial; default: no pool)",
         )
 
     return parser
@@ -516,6 +536,36 @@ def format_self_healing(registry) -> str:
     )
 
 
+def format_crypto_tier(tier, pool=None) -> str:
+    """One-line summary of the crypto acceleration tier and pairing pool.
+
+    Takes :func:`repro.crypto.accel.describe` output (and optionally
+    :meth:`~repro.crypto.parallel.PairingPool.describe` when a pool is
+    attached); shown by ``repro stats`` and the ``repro serve`` banner.
+
+    >>> format_crypto_tier(
+    ...     {"tier": "compiled", "requested": "auto",
+    ...      "library": "/tmp/spxaccel.so", "reason": None,
+    ...      "field_mulmod": "native"},
+    ...     {"workers": 4, "mode": "parallel"})
+    'crypto: tier=compiled requested=auto field-mul=native | pool=parallel workers=4'
+    >>> format_crypto_tier(
+    ...     {"tier": "pure", "requested": "pure", "library": None,
+    ...      "reason": "pure tier requested", "field_mulmod": "native"})
+    'crypto: tier=pure requested=pure field-mul=native | pool=off'
+    """
+    if pool is None:
+        pool_part = "pool=off"
+    else:
+        pool_part = "pool=%s workers=%d" % (pool["mode"], pool["workers"])
+    return "crypto: tier=%s requested=%s field-mul=%s | %s" % (
+        tier["tier"],
+        tier["requested"],
+        tier["field_mulmod"],
+        pool_part,
+    )
+
+
 def format_storage_engine(stats) -> str:
     """One-line summary of the cluster's storage-engine counters.
 
@@ -597,10 +647,15 @@ def _observed_journeys(args):
     retry = RetryPolicy(
         clock=clock, seed=args.seed, metrics=ResilienceMetrics(registry=obs.registry)
     )
+    if getattr(args, "crypto_tier", None):
+        from repro.crypto import accel
+
+        accel.set_tier(args.crypto_tier)
     platform = SocialPuzzlePlatform(
         params=get_params(args.params),
         retry_policy=retry,
         observability=obs,
+        pairing_workers=getattr(args, "pairing_workers", None),
         **substrates,
     )
     alice = platform.join("alice")
@@ -642,11 +697,13 @@ def _observed_journeys(args):
         with use_observer(obs):
             cluster.run_anti_entropy()
             cluster.run_compaction(min_garbage=0.0)
-    return obs, completed, failed, cluster
+    if platform.pairing_pool is not None:
+        platform.pairing_pool.close()  # journeys done; stats survive close
+    return obs, completed, failed, cluster, platform
 
 
 def _cmd_trace(args) -> int:
-    obs, completed, failed, _ = _observed_journeys(args)
+    obs, completed, failed, _, _ = _observed_journeys(args)
     obs.tracer.assert_quiescent()  # every journey left a *closed* tree
     for root in obs.tracer.finished:
         print(obs.tracer.format_tree(root))
@@ -660,10 +717,18 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    obs, completed, failed, cluster = _observed_journeys(args)
+    from repro.crypto import accel
+
+    obs, completed, failed, cluster, platform = _observed_journeys(args)
     print(obs.registry.render())
+    print()
+    pool = platform.pairing_pool
+    print(
+        format_crypto_tier(
+            accel.describe(), pool.describe() if pool is not None else None
+        )
+    )
     if cluster is not None:
-        print()
         print(format_self_healing(obs.registry))
         print(format_storage_engine(cluster.storage_stats()))
     print(
@@ -684,6 +749,7 @@ def _cmd_serve(args) -> int:
     """
     import threading
 
+    from repro.crypto import accel
     from repro.serve import TcpSmartServer
 
     substrates = {}
@@ -695,7 +761,13 @@ def _cmd_serve(args) -> int:
             num_nodes=args.cluster_nodes, clock=SimClock(),
             engine=args.storage_engine,
         )
-    platform = SocialPuzzlePlatform(params=get_params(args.params), **substrates)
+    if args.crypto_tier:
+        accel.set_tier(args.crypto_tier)
+    platform = SocialPuzzlePlatform(
+        params=get_params(args.params),
+        pairing_workers=args.pairing_workers,
+        **substrates,
+    )
     server = TcpSmartServer(
         platform.engine,
         host=args.host,
@@ -705,7 +777,16 @@ def _cmd_serve(args) -> int:
     )
     server.start()
     host, port = server.address
+    # The bound address stays the FIRST line (scripts and the serve-smoke
+    # CI job grep for it); the crypto banner follows.
     print(f"listening on {host}:{port}", flush=True)
+    pool = platform.pairing_pool
+    print(
+        format_crypto_tier(
+            accel.describe(), pool.describe() if pool is not None else None
+        ),
+        flush=True,
+    )
     try:
         threading.Event().wait()  # serve until interrupted
     except KeyboardInterrupt:

@@ -18,6 +18,11 @@ Layout:
   (paper section III-A).
 * :mod:`repro.crypto.bls` — BLS signatures for the tamper-detection
   countermeasures of the paper's security analysis (section VI).
+* :mod:`repro.crypto.accel` — acceleration-tier selection (compiled GMP
+  kernels with the pure-Python path as the always-tested reference,
+  ``REPRO_CRYPTO_TIER=pure|compiled|auto``).
+* :mod:`repro.crypto.parallel` — multiprocessing pool for embarrassingly
+  parallel pairing work.
 """
 
 from repro.crypto.ec import CurveParams, Point
@@ -26,6 +31,12 @@ from repro.crypto.pairing import Pairing
 from repro.crypto.params import DEFAULT, SMALL, TOY, generate_type_a_params, get_params
 from repro.crypto.schnorr import SchnorrKeyPair, SchnorrScheme, SchnorrSignature
 from repro.crypto.shamir import Share, ShamirDealer, reconstruct_secret, split_secret
+
+# Probe and install the acceleration tier exactly once, at import: after
+# the submodules above exist, before any caller can hit a hot path.
+from repro.crypto import accel as _accel
+
+_accel.initialize()
 
 __all__ = [
     "CurveParams",

@@ -1,0 +1,485 @@
+/* Compiled crypto kernels for the hot-path primitives.
+ *
+ * Built at probe time by repro.crypto.accel._compiled (gcc -O2 -shared
+ * -lgmp) and loaded through ctypes.  Every function speaks the same
+ * marshalling convention: big integers travel as fixed-width big-endian
+ * byte strings (the width of the field modulus), so the Python side is
+ * one int.to_bytes()/int.from_bytes() per value and the C side is one
+ * mpz_import/mpz_export.  All arithmetic is exact modular arithmetic,
+ * which is what makes the compiled tier bit-for-bit equivalent to the
+ * pure-Python reference tier: there is no algorithmic freedom that
+ * could change a result, only the speed at which it is produced.
+ *
+ * Return conventions:
+ *   0   success
+ *  -1   a denominator/value had no inverse (callers raise ZeroDivisionError)
+ *  -2   malformed input (callers raise ValueError)
+ *  >=0  (spx_batch_modinv only) index of the first non-invertible element
+ */
+
+#include <gmp.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* -- marshalling ---------------------------------------------------------- */
+
+static void import_be(mpz_t z, const uint8_t *buf, size_t width) {
+    mpz_import(z, width, 1, 1, 1, 0, buf);
+}
+
+static void export_be(uint8_t *buf, size_t width, const mpz_t z) {
+    size_t bytes = (mpz_sizeinbase(z, 2) + 7) / 8;
+    memset(buf, 0, width);
+    if (mpz_sgn(z) == 0 || bytes > width)
+        return; /* caller guarantees z < 2^(8*width); zero exports nothing */
+    mpz_export(buf + (width - bytes), NULL, 1, 1, 1, 0, z);
+}
+
+/* -- GF(q^2) helpers ------------------------------------------------------ */
+
+/* (ra, rb) = (aa + ab*i) * (ba + bb*i) mod q.  Result operands must not
+ * alias the inputs; callers pass dedicated temporaries. */
+static void fq2_mul(mpz_t ra, mpz_t rb, const mpz_t aa, const mpz_t ab,
+                    const mpz_t ba, const mpz_t bb, const mpz_t q,
+                    mpz_t t1, mpz_t t2) {
+    mpz_mul(t1, aa, ba);        /* t1 = aa*ba           */
+    mpz_mul(t2, ab, bb);        /* t2 = ab*bb           */
+    mpz_mul(rb, aa, bb);        /* rb = aa*bb           */
+    mpz_addmul(rb, ab, ba);     /* rb = aa*bb + ab*ba   */
+    mpz_sub(ra, t1, t2);        /* ra = aa*ba - ab*bb   */
+    mpz_mod(ra, ra, q);
+    mpz_mod(rb, rb, q);
+}
+
+/* (ra, rb) = (aa + ab*i)^2 mod q.  No-alias, as above. */
+static void fq2_sqr(mpz_t ra, mpz_t rb, const mpz_t aa, const mpz_t ab,
+                    const mpz_t q, mpz_t t1, mpz_t t2) {
+    mpz_sub(t1, aa, ab);
+    mpz_add(t2, aa, ab);
+    mpz_mul(ra, t1, t2);        /* (a - b)(a + b) */
+    mpz_mul(rb, aa, ab);
+    mpz_mul_2exp(rb, rb, 1);    /* 2ab */
+    mpz_mod(ra, ra, q);
+    mpz_mod(rb, rb, q);
+}
+
+/* -- scalar primitives ---------------------------------------------------- */
+
+int spx_mulmod(const uint8_t *mod_buf, size_t width, const uint8_t *a_buf,
+               const uint8_t *b_buf, uint8_t *out_buf) {
+    mpz_t m, a, b;
+    mpz_inits(m, a, b, NULL);
+    import_be(m, mod_buf, width);
+    import_be(a, a_buf, width);
+    import_be(b, b_buf, width);
+    mpz_mul(a, a, b);
+    mpz_mod(a, a, m);
+    export_be(out_buf, width, a);
+    mpz_clears(m, a, b, NULL);
+    return 0;
+}
+
+int spx_powmod(const uint8_t *mod_buf, size_t width, const uint8_t *base_buf,
+               const uint8_t *exp_buf, size_t exp_width, uint8_t *out_buf) {
+    mpz_t m, base, e;
+    mpz_inits(m, base, e, NULL);
+    import_be(m, mod_buf, width);
+    import_be(base, base_buf, width);
+    import_be(e, exp_buf, exp_width);
+    mpz_powm(base, base, e, m);
+    export_be(out_buf, width, base);
+    mpz_clears(m, base, e, NULL);
+    return 0;
+}
+
+int spx_modinv(const uint8_t *mod_buf, size_t width, const uint8_t *a_buf,
+               uint8_t *out_buf) {
+    mpz_t m, a;
+    int ok;
+    mpz_inits(m, a, NULL);
+    import_be(m, mod_buf, width);
+    import_be(a, a_buf, width);
+    ok = mpz_invert(a, a, m);
+    if (ok)
+        export_be(out_buf, width, a);
+    mpz_clears(m, a, NULL);
+    return ok ? 0 : -1;
+}
+
+/* Montgomery batch inversion: one mpz_invert plus 3(n-1) multiplications.
+ * Returns -1 on success; otherwise the index of the FIRST element (in
+ * input order) that is zero or shares a factor with the modulus, so the
+ * Python wrapper can raise the same error the pure tier raises. */
+long spx_batch_modinv(const uint8_t *mod_buf, size_t width,
+                      const uint8_t *values_buf, size_t count,
+                      uint8_t *out_buf) {
+    mpz_t m, inv, t, g;
+    mpz_t *vals, *prefix;
+    size_t i;
+    long bad = -1;
+
+    if (count == 0)
+        return -1;
+    vals = malloc(count * sizeof(mpz_t));
+    prefix = malloc(count * sizeof(mpz_t));
+    if (!vals || !prefix) {
+        free(vals);
+        free(prefix);
+        return -2;
+    }
+    mpz_inits(m, inv, t, g, NULL);
+    import_be(m, mod_buf, width);
+    for (i = 0; i < count; i++) {
+        mpz_inits(vals[i], prefix[i], NULL);
+        import_be(vals[i], values_buf + i * width, width);
+        mpz_mod(vals[i], vals[i], m);
+    }
+    mpz_set_ui(t, 1);
+    for (i = 0; i < count && bad < 0; i++) {
+        if (mpz_sgn(vals[i]) == 0)
+            bad = (long)i;
+        else {
+            mpz_mul(t, t, vals[i]);
+            mpz_mod(t, t, m);
+            mpz_set(prefix[i], t);
+        }
+    }
+    if (bad < 0 && !mpz_invert(inv, prefix[count - 1], m)) {
+        /* Some element shares a factor with m; report the first. */
+        for (i = 0; i < count; i++) {
+            mpz_gcd(g, vals[i], m);
+            if (mpz_cmp_ui(g, 1) != 0) {
+                bad = (long)i;
+                break;
+            }
+        }
+        if (bad < 0)
+            bad = -2; /* cannot happen: product not invertible, parts are */
+    }
+    if (bad < 0) {
+        for (i = count - 1; i > 0; i--) {
+            mpz_mul(t, prefix[i - 1], inv);
+            mpz_mod(t, t, m);
+            export_be(out_buf + i * width, width, t);
+            mpz_mul(inv, inv, vals[i]);
+            mpz_mod(inv, inv, m);
+        }
+        export_be(out_buf, width, inv);
+    }
+    for (i = 0; i < count; i++)
+        mpz_clears(vals[i], prefix[i], NULL);
+    free(vals);
+    free(prefix);
+    mpz_clears(m, inv, t, g, NULL);
+    return bad;
+}
+
+/* -- GF(q^2) exponentiation ------------------------------------------------ */
+
+int spx_fq2_pow(const uint8_t *mod_buf, size_t width, const uint8_t *a_buf,
+                const uint8_t *b_buf, const uint8_t *exp_buf, size_t exp_width,
+                uint8_t *out_buf) {
+    mpz_t q, ba, bb, ra, rb, e, t1, t2, na, nb;
+    long bit;
+    mpz_inits(q, ba, bb, ra, rb, e, t1, t2, na, nb, NULL);
+    import_be(q, mod_buf, width);
+    import_be(ba, a_buf, width);
+    import_be(bb, b_buf, width);
+    import_be(e, exp_buf, exp_width);
+    mpz_set_ui(ra, 1);
+    mpz_set_ui(rb, 0);
+    if (mpz_sgn(e) != 0) {
+        for (bit = (long)mpz_sizeinbase(e, 2) - 1; bit >= 0; bit--) {
+            fq2_sqr(na, nb, ra, rb, q, t1, t2);
+            mpz_swap(ra, na);
+            mpz_swap(rb, nb);
+            if (mpz_tstbit(e, (mp_bitcnt_t)bit)) {
+                fq2_mul(na, nb, ra, rb, ba, bb, q, t1, t2);
+                mpz_swap(ra, na);
+                mpz_swap(rb, nb);
+            }
+        }
+    }
+    export_be(out_buf, width, ra);
+    export_be(out_buf + width, width, rb);
+    mpz_clears(q, ba, bb, ra, rb, e, t1, t2, na, nb, NULL);
+    return 0;
+}
+
+/* Simultaneous multi-exponentiation in GF(q^2) (Shamir's trick): one
+ * shared squaring chain, multiplying in every base whose exponent has
+ * the current bit set.  Bases are (a, b) pairs laid out consecutively;
+ * exponents are exp_width-byte big-endian values, one per base. */
+int spx_fq2_multi_exp(const uint8_t *mod_buf, size_t width, size_t count,
+                      const uint8_t *bases_buf, const uint8_t *exps_buf,
+                      size_t exp_width, uint8_t *out_buf) {
+    mpz_t q, ra, rb, t1, t2, na, nb;
+    mpz_t *ba, *bb, *es;
+    size_t i, maxbits = 0;
+    long bit;
+
+    ba = malloc(count * sizeof(mpz_t));
+    bb = malloc(count * sizeof(mpz_t));
+    es = malloc(count * sizeof(mpz_t));
+    if (!ba || !bb || !es) {
+        free(ba);
+        free(bb);
+        free(es);
+        return -2;
+    }
+    mpz_inits(q, ra, rb, t1, t2, na, nb, NULL);
+    import_be(q, mod_buf, width);
+    for (i = 0; i < count; i++) {
+        mpz_inits(ba[i], bb[i], es[i], NULL);
+        import_be(ba[i], bases_buf + i * 2 * width, width);
+        import_be(bb[i], bases_buf + i * 2 * width + width, width);
+        import_be(es[i], exps_buf + i * exp_width, exp_width);
+        if (mpz_sgn(es[i]) != 0 && mpz_sizeinbase(es[i], 2) > maxbits)
+            maxbits = mpz_sizeinbase(es[i], 2);
+    }
+    mpz_set_ui(ra, 1);
+    mpz_set_ui(rb, 0);
+    for (bit = (long)maxbits - 1; bit >= 0; bit--) {
+        fq2_sqr(na, nb, ra, rb, q, t1, t2);
+        mpz_swap(ra, na);
+        mpz_swap(rb, nb);
+        for (i = 0; i < count; i++) {
+            if (mpz_tstbit(es[i], (mp_bitcnt_t)bit)) {
+                fq2_mul(na, nb, ra, rb, ba[i], bb[i], q, t1, t2);
+                mpz_swap(ra, na);
+                mpz_swap(rb, nb);
+            }
+        }
+    }
+    export_be(out_buf, width, ra);
+    export_be(out_buf + width, width, rb);
+    for (i = 0; i < count; i++)
+        mpz_clears(ba[i], bb[i], es[i], NULL);
+    free(ba);
+    free(bb);
+    free(es);
+    mpz_clears(q, ra, rb, t1, t2, na, nb, NULL);
+    return 0;
+}
+
+/* -- merged Miller loop ---------------------------------------------------- */
+
+/* Per-state mutable data, mirroring the pure tier's
+ * [tx, ty, px, py, xq, yq, group, done] rows exactly. */
+typedef struct {
+    mpz_t tx, ty, px, py, xq, yq;
+    int32_t group;
+    int done;
+} miller_state;
+
+/* Run every Miller loop of a pair_product in lockstep, one accumulator
+ * per exponent group — the compiled twin of Pairing._merged_miller.
+ *
+ * states_buf holds n_states rows of six width-byte values
+ * (tx, ty, px, py, xq, yq); group_of maps each state to its group.
+ * r_bits is the binary expansion of the group order as an ASCII
+ * '0'/'1' string; the loop walks r_bits[1:], exactly like the pure
+ * tier.  out_buf receives n_groups (a, b) accumulator pairs.
+ *
+ * The doubling-step slope uses one modular inversion per live state
+ * (mpz_invert is cheap here; the pure tier batches them with Montgomery's
+ * trick for the same mathematical result). Vertical chords in the
+ * addition step (T == -P) mark the state done, matching the reference. */
+int spx_miller_merged(const uint8_t *mod_buf, size_t width,
+                      const char *r_bits, const uint8_t *states_buf,
+                      const int32_t *group_of, size_t n_states,
+                      size_t n_groups, uint8_t *out_buf) {
+    mpz_t q, slope, inv, t1, t2, t3, na, nb;
+    mpz_t *acc_a, *acc_b, *line_a, *line_b;
+    int *line_has;
+    miller_state *st;
+    size_t i, g, bitlen;
+    size_t bi;
+    int rc = 0;
+
+    st = malloc(n_states * sizeof(miller_state));
+    acc_a = malloc(n_groups * sizeof(mpz_t));
+    acc_b = malloc(n_groups * sizeof(mpz_t));
+    line_a = malloc(n_groups * sizeof(mpz_t));
+    line_b = malloc(n_groups * sizeof(mpz_t));
+    line_has = malloc(n_groups * sizeof(int));
+    if (!st || !acc_a || !acc_b || !line_a || !line_b || !line_has) {
+        free(st); free(acc_a); free(acc_b);
+        free(line_a); free(line_b); free(line_has);
+        return -2;
+    }
+    mpz_inits(q, slope, inv, t1, t2, t3, na, nb, NULL);
+    import_be(q, mod_buf, width);
+    for (i = 0; i < n_states; i++) {
+        const uint8_t *row = states_buf + i * 6 * width;
+        mpz_inits(st[i].tx, st[i].ty, st[i].px, st[i].py, st[i].xq,
+                  st[i].yq, NULL);
+        import_be(st[i].tx, row, width);
+        import_be(st[i].ty, row + width, width);
+        import_be(st[i].px, row + 2 * width, width);
+        import_be(st[i].py, row + 3 * width, width);
+        import_be(st[i].xq, row + 4 * width, width);
+        import_be(st[i].yq, row + 5 * width, width);
+        st[i].group = group_of[i];
+        st[i].done = 0;
+    }
+    for (g = 0; g < n_groups; g++) {
+        mpz_inits(acc_a[g], acc_b[g], line_a[g], line_b[g], NULL);
+        mpz_set_ui(acc_a[g], 1);
+        line_has[g] = 0;
+    }
+
+    bitlen = strlen(r_bits);
+    for (bi = 1; bi < bitlen && rc == 0; bi++) {
+        /* Doubling step for every live state. */
+        for (g = 0; g < n_groups; g++)
+            line_has[g] = 0;
+        for (i = 0; i < n_states; i++) {
+            miller_state *s = &st[i];
+            if (s->done)
+                continue;
+            mpz_mul_2exp(t1, s->ty, 1);          /* 2*ty */
+            mpz_mod(t1, t1, q);
+            if (!mpz_invert(inv, t1, q)) {
+                rc = -1; /* odd-order point cannot double to O mid-loop */
+                break;
+            }
+            mpz_mul(slope, s->tx, s->tx);
+            mpz_mul_ui(slope, slope, 3);
+            mpz_add_ui(slope, slope, 1);         /* 3*tx^2 + 1 */
+            mpz_mul(slope, slope, inv);
+            mpz_mod(slope, slope, q);
+            /* line value at phi(Q): (-(slope*(xq - tx) + ty)) + yq*i */
+            mpz_sub(t1, s->xq, s->tx);
+            mpz_mul(t1, t1, slope);
+            mpz_add(t1, t1, s->ty);
+            mpz_neg(t1, t1);
+            mpz_mod(t1, t1, q);
+            g = (size_t)s->group;
+            if (line_has[g]) {
+                fq2_mul(na, nb, line_a[g], line_b[g], t1, s->yq, q, t2, t3);
+                mpz_swap(line_a[g], na);
+                mpz_swap(line_b[g], nb);
+            } else {
+                mpz_set(line_a[g], t1);
+                mpz_mod(line_b[g], s->yq, q);
+                line_has[g] = 1;
+            }
+            /* T = 2T */
+            mpz_mul(t1, slope, slope);
+            mpz_submul_ui(t1, s->tx, 2);         /* x3 = slope^2 - 2*tx */
+            mpz_mod(t1, t1, q);
+            mpz_sub(t2, s->tx, t1);
+            mpz_mul(t2, t2, slope);
+            mpz_sub(t2, t2, s->ty);
+            mpz_mod(s->ty, t2, q);
+            mpz_set(s->tx, t1);
+        }
+        if (rc != 0)
+            break;
+        for (g = 0; g < n_groups; g++) {
+            fq2_sqr(na, nb, acc_a[g], acc_b[g], q, t1, t2);
+            mpz_swap(acc_a[g], na);
+            mpz_swap(acc_b[g], nb);
+            if (line_has[g]) {
+                fq2_mul(na, nb, acc_a[g], acc_b[g], line_a[g], line_b[g], q,
+                        t1, t2);
+                mpz_swap(acc_a[g], na);
+                mpz_swap(acc_b[g], nb);
+            }
+        }
+
+        if (r_bits[bi] != '1')
+            continue;
+
+        /* Addition step. */
+        for (g = 0; g < n_groups; g++)
+            line_has[g] = 0;
+        for (i = 0; i < n_states; i++) {
+            miller_state *s = &st[i];
+            if (s->done)
+                continue;
+            if (mpz_cmp(s->tx, s->px) == 0) {
+                mpz_add(t1, s->ty, s->py);
+                mpz_mod(t1, t1, q);
+                if (mpz_sgn(t1) == 0) {
+                    /* T == -P: vertical chord, erased by the final
+                     * exponentiation; T becomes O (loop-end only). */
+                    s->done = 1;
+                    continue;
+                }
+                mpz_mul_2exp(t1, s->ty, 1);      /* tangent: T == P */
+                mpz_mod(t1, t1, q);
+                if (!mpz_invert(inv, t1, q)) {
+                    rc = -1;
+                    break;
+                }
+                mpz_mul(slope, s->tx, s->tx);
+                mpz_mul_ui(slope, slope, 3);
+                mpz_add_ui(slope, slope, 1);
+            } else {
+                mpz_sub(t1, s->px, s->tx);
+                mpz_mod(t1, t1, q);
+                if (!mpz_invert(inv, t1, q)) {
+                    rc = -1;
+                    break;
+                }
+                mpz_sub(slope, s->py, s->ty);
+            }
+            mpz_mul(slope, slope, inv);
+            mpz_mod(slope, slope, q);
+            mpz_sub(t1, s->xq, s->tx);
+            mpz_mul(t1, t1, slope);
+            mpz_add(t1, t1, s->ty);
+            mpz_neg(t1, t1);
+            mpz_mod(t1, t1, q);
+            g = (size_t)s->group;
+            if (line_has[g]) {
+                fq2_mul(na, nb, line_a[g], line_b[g], t1, s->yq, q, t2, t3);
+                mpz_swap(line_a[g], na);
+                mpz_swap(line_b[g], nb);
+            } else {
+                mpz_set(line_a[g], t1);
+                mpz_mod(line_b[g], s->yq, q);
+                line_has[g] = 1;
+            }
+            /* T = T + P */
+            mpz_mul(t1, slope, slope);
+            mpz_sub(t1, t1, s->tx);
+            mpz_sub(t1, t1, s->px);              /* x3 */
+            mpz_mod(t1, t1, q);
+            mpz_sub(t2, s->tx, t1);
+            mpz_mul(t2, t2, slope);
+            mpz_sub(t2, t2, s->ty);
+            mpz_mod(s->ty, t2, q);
+            mpz_set(s->tx, t1);
+        }
+        if (rc != 0)
+            break;
+        for (g = 0; g < n_groups; g++) {
+            if (line_has[g]) {
+                fq2_mul(na, nb, acc_a[g], acc_b[g], line_a[g], line_b[g], q,
+                        t1, t2);
+                mpz_swap(acc_a[g], na);
+                mpz_swap(acc_b[g], nb);
+            }
+        }
+    }
+
+    if (rc == 0) {
+        for (g = 0; g < n_groups; g++) {
+            export_be(out_buf + g * 2 * width, width, acc_a[g]);
+            export_be(out_buf + g * 2 * width + width, width, acc_b[g]);
+        }
+    }
+    for (i = 0; i < n_states; i++)
+        mpz_clears(st[i].tx, st[i].ty, st[i].px, st[i].py, st[i].xq,
+                   st[i].yq, NULL);
+    for (g = 0; g < n_groups; g++)
+        mpz_clears(acc_a[g], acc_b[g], line_a[g], line_b[g], NULL);
+    free(st); free(acc_a); free(acc_b);
+    free(line_a); free(line_b); free(line_has);
+    mpz_clears(q, slope, inv, t1, t2, t3, na, nb, NULL);
+    return rc;
+}

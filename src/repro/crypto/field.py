@@ -17,6 +17,11 @@ from repro.crypto.numbers import is_prime, modinv, sqrt_mod
 
 __all__ = ["PrimeField", "FieldElement"]
 
+# Optional compiled mulmod installed by repro.crypto.accel when its
+# calibration finds the FFI crossing cheaper than native ``a*b % p``
+# (``None`` otherwise — the common case for ≤512-bit moduli).
+_MULMOD = None
+
 
 class PrimeField:
     """The finite field of integers modulo a prime ``p``."""
@@ -131,6 +136,8 @@ class FieldElement:
         o = self._coerce(other)
         if o is NotImplemented:
             return NotImplemented
+        if _MULMOD is not None:
+            return FieldElement(self.field, _MULMOD(self.value, o.value, self.field.p))
         return FieldElement(self.field, self.value * o.value)
 
     __rmul__ = __mul__

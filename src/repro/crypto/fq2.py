@@ -15,6 +15,14 @@ from repro.crypto.numbers import modinv
 
 __all__ = ["Fq2"]
 
+# Compiled kernel table installed by repro.crypto.accel (None = pure
+# tier).  Only long power chains are routed through it: a single mul or
+# square is cheaper on native ints than across the FFI boundary.
+_BACKEND = None
+
+# Exponents at least this many bits long go to the compiled kernel.
+_POW_KERNEL_BITS = 16
+
 
 class Fq2:
     """An immutable element a + b*i of GF(q^2)."""
@@ -102,6 +110,9 @@ class Fq2:
     def __pow__(self, exponent: int) -> "Fq2":
         if exponent < 0:
             return self.inverse() ** (-exponent)
+        if _BACKEND is not None and exponent.bit_length() >= _POW_KERNEL_BITS:
+            a, b = _BACKEND.fq2_pow(self.q, self.a, self.b, exponent)
+            return Fq2(self.q, a, b)
         result = Fq2.one(self.q)
         base = self
         while exponent:

@@ -18,6 +18,7 @@ __all__ = [
     "egcd",
     "modinv",
     "batch_modinv",
+    "raise_not_invertible",
     "is_prime",
     "next_prime",
     "random_prime",
@@ -25,6 +26,12 @@ __all__ = [
     "legendre_symbol",
     "PrimalityError",
 ]
+
+# Active compiled backend for the hot primitives (installed by
+# :mod:`repro.crypto.accel`); ``None`` means the pure-Python tier.  The
+# pure implementations below stay the always-tested reference — the
+# backend must agree with them bit for bit (see tests/crypto/test_accel).
+_BACKEND = None
 
 # Primes below 100, used for cheap trial division before Miller-Rabin.
 _SMALL_PRIMES = (
@@ -58,18 +65,77 @@ def egcd(a: int, b: int) -> tuple[int, int, int]:
     return old_r, old_s, old_t
 
 
+def raise_not_invertible(a: int, m: int, index: "int | None" = None) -> None:
+    """Raise the canonical :class:`ZeroDivisionError` for a non-invertible
+    value.
+
+    Both tiers funnel their failures through here so the error text is
+    byte-identical whether the pure Montgomery chain or the compiled GMP
+    kernel detected the problem.  ``index`` attributes the failure to a
+    position in a batch (the first offending element).
+    """
+    a %= m
+    if a == 0:
+        if index is None:
+            raise ZeroDivisionError("0 has no inverse modulo %d" % m)
+        raise ZeroDivisionError("0 has no inverse modulo %d (element %d)" % (m, index))
+    g = egcd(a, m)[0]
+    if index is None:
+        raise ZeroDivisionError("%d has no inverse modulo %d (gcd=%d)" % (a, m, g))
+    raise ZeroDivisionError(
+        "%d has no inverse modulo %d (gcd=%d, element %d)" % (a, m, g, index)
+    )
+
+
+def _modinv_pure(a: int, m: int) -> int:
+    """Reference-tier extended-Euclid inverse."""
+    a %= m
+    if a == 0:
+        raise_not_invertible(0, m)
+    g, x, _ = egcd(a, m)
+    if g != 1:
+        raise_not_invertible(a, m)
+    return x % m
+
+
 def modinv(a: int, m: int) -> int:
     """Multiplicative inverse of ``a`` modulo ``m``.
 
     Raises :class:`ZeroDivisionError` when ``gcd(a, m) != 1``.
     """
-    a %= m
-    if a == 0:
-        raise ZeroDivisionError("0 has no inverse modulo %d" % m)
-    g, x, _ = egcd(a, m)
-    if g != 1:
-        raise ZeroDivisionError("%d has no inverse modulo %d (gcd=%d)" % (a, m, g))
-    return x % m
+    if _BACKEND is not None:
+        return _BACKEND.modinv(a, m)
+    return _modinv_pure(a, m)
+
+
+def _batch_modinv_pure(values: "list[int] | tuple[int, ...]", m: int) -> list[int]:
+    """Reference-tier Montgomery batch inversion."""
+    reduced = [v % m for v in values]
+    if not reduced:
+        return []
+    prefix = [0] * len(reduced)
+    acc = 1
+    for i, v in enumerate(reduced):
+        if v == 0:
+            raise_not_invertible(0, m, index=i)
+        acc = acc * v % m
+        prefix[i] = acc
+    # One egcd for the whole batch.  A non-coprime element poisons the
+    # product, so on failure rescan for the *first* offender and raise
+    # with its index instead of blaming the opaque prefix product.
+    try:
+        inv = _modinv_pure(acc, m)
+    except ZeroDivisionError:
+        for i, v in enumerate(reduced):
+            if egcd(v, m)[0] != 1:
+                raise_not_invertible(v, m, index=i)
+        raise
+    out = [0] * len(reduced)
+    for i in range(len(reduced) - 1, 0, -1):
+        out[i] = prefix[i - 1] * inv % m
+        inv = inv * reduced[i] % m
+    out[0] = inv
+    return out
 
 
 def batch_modinv(values: "list[int] | tuple[int, ...]", m: int) -> list[int]:
@@ -81,27 +147,14 @@ def batch_modinv(values: "list[int] | tuple[int, ...]", m: int) -> list[int]:
     otherwise dominate the hot path.
 
     Element-wise equivalent to ``[modinv(v, m) for v in values]``: raises
-    :class:`ZeroDivisionError` if any element is not invertible.
+    :class:`ZeroDivisionError` if any element is zero or shares a factor
+    with ``m``, attributing the failure to the first offending index —
+    never a garbage prefix-product result.  Both tiers raise the same
+    error through :func:`raise_not_invertible`.
     """
-    reduced = [v % m for v in values]
-    if not reduced:
-        return []
-    prefix = [0] * len(reduced)
-    acc = 1
-    for i, v in enumerate(reduced):
-        if v == 0:
-            raise ZeroDivisionError("0 has no inverse modulo %d (element %d)" % (m, i))
-        acc = acc * v % m
-        prefix[i] = acc
-    # One egcd for the whole batch; non-coprime elements surface here with
-    # the same error type the scalar path raises.
-    inv = modinv(acc, m)
-    out = [0] * len(reduced)
-    for i in range(len(reduced) - 1, 0, -1):
-        out[i] = prefix[i - 1] * inv % m
-        inv = inv * reduced[i] % m
-    out[0] = inv
-    return out
+    if _BACKEND is not None:
+        return _BACKEND.batch_modinv(values, m)
+    return _batch_modinv_pure(values, m)
 
 
 def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:

@@ -45,6 +45,11 @@ __all__ = ["Pairing"]
 # precomputes 2^_STRAUS_CHUNK - 1 subset products.
 _STRAUS_CHUNK = 4
 
+# Compiled kernel table installed by repro.crypto.accel (None = pure
+# tier).  The kernels replace the arithmetic only; op_counts tick in the
+# Python wrappers either way, so counter contracts are tier-invariant.
+_KERNELS = None
+
 
 class Pairing:
     """Tate pairing engine for a fixed :class:`CurveParams`."""
@@ -187,6 +192,11 @@ class Pairing:
         a single square chain over the longest exponent interleaves the
         chunk lookups.
         """
+        if _KERNELS is not None:
+            a, b = _KERNELS.fq2_multi_exp(
+                self.q, [(base.a, base.b) for base in bases], exponents
+            )
+            return Fq2(self.q, a, b)
         one = Fq2.one(self.q)
         chunks: list[tuple[list[Fq2], list[int]]] = []
         for start in range(0, len(bases), _STRAUS_CHUNK):
@@ -223,11 +233,17 @@ class Pairing:
         xq = (-q_point.x) % mod  # x-coordinate of phi(Q), in GF(q)
         yq = q_point.y           # imaginary part of phi(Q)'s y-coordinate
 
+        self.op_counts["miller_loops"] += 1
+        self.op_counts["miller_states"] += 1
+        if _KERNELS is not None:
+            ((a, b),) = _KERNELS.miller_merged(
+                mod, self._r_bits, [(p.x, p.y, p.x, p.y, xq, yq, 0)], 1
+            )
+            return Fq2(mod, a, b)
+
         # Current multiple T = (tx, ty) of P, tracked in affine coordinates.
         tx, ty = p.x, p.y
         f = Fq2.one(mod)
-        self.op_counts["miller_loops"] += 1
-        self.op_counts["miller_states"] += 1
 
         def line_value(slope: int, px: int, py: int) -> Fq2:
             # Line through (px, py) with given slope, evaluated at phi(Q):
@@ -285,6 +301,14 @@ class Pairing:
                 states.append([p.x, p.y, p.x, p.y, xq, yq, group_index, 0])
         self.op_counts["miller_loops"] += 1
         self.op_counts["miller_states"] += len(states)
+        if _KERNELS is not None:
+            values = _KERNELS.miller_merged(
+                mod,
+                self._r_bits,
+                [tuple(state[:7]) for state in states],
+                len(groups),
+            )
+            return [Fq2(mod, a, b) for a, b in values]
 
         accumulators = [Fq2.one(mod)] * len(groups)
         for bit in self._r_bits[1:]:

@@ -1,0 +1,285 @@
+"""A multiprocessing pool for embarrassingly parallel pairing work.
+
+The pairing hot paths contain two natural fan-out points:
+
+* a fused ``pair_product`` is a product of independent Miller loops —
+  because the final exponentiation is multiplicative
+  (``FE(a·b) = FE(a)·FE(b)``), the pair list can be split into chunks,
+  each chunk evaluated (Miller loop **and** final exponentiation) in a
+  separate process, and the finalized partials multiplied in the parent;
+* the members of a wire-level ``BatchRequest`` — and equally the
+  per-ciphertext decryptions of a C2 feed fetch — are fully independent
+  pairing computations.
+
+:class:`PairingPool` serves both.  Job descriptors are **plain-integer
+tuples** (curve parameters and affine coordinates), never ``Point`` /
+``Fq2`` objects: the crypto value types are immutable ``__slots__``
+classes whose ``__setattr__`` raises, which breaks default pickling —
+and flat ints keep the fork/pickle cost per job negligible anyway.
+Workers rebuild the points, run their own :class:`Pairing` (inheriting
+the process-wide acceleration tier), and return ``(a, b)`` coefficient
+pairs.
+
+Dispatch is chunked (at most one chunk per worker), and everything
+degrades to an in-process serial computation when the pool is
+unavailable — pool creation failed, the pool was closed, the job is too
+small to amortize the round trip, or ``workers <= 1``.  The
+``REPRO_PAIRING_WORKERS`` environment variable sets the default size
+(``0``/``1`` mean serial; unset means ``os.cpu_count()``).
+
+Note on operation counters: the parent's ``op_counts`` are kept
+tier-invariant by ticking them before dispatch, but a *split* product
+performs one final exponentiation per chunk (in the workers) rather than
+one overall — the documented, measured trade for wall-clock parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterable, Sequence
+
+from repro.crypto.ec import CurveParams, Point
+from repro.crypto.fq2 import Fq2
+from repro.crypto.pairing import Pairing
+
+__all__ = ["PairingPool", "default_workers", "encode_pairs"]
+
+# A product smaller than this many pairs is never worth a round trip.
+_MIN_SPLIT_PAIRS = 4
+
+# (q, r, h, name) — enough to rebuild CurveParams in a worker.
+_ParamsWire = "tuple[int, int, int, str]"
+
+# (px, py, qx, qy, exponent) per surviving pair.
+_PairWire = "tuple[int, int, int, int, int]"
+
+
+def default_workers() -> int:
+    """Pool size from ``REPRO_PAIRING_WORKERS``, else ``os.cpu_count()``."""
+    raw = os.environ.get("REPRO_PAIRING_WORKERS")
+    if raw is not None:
+        try:
+            return max(0, int(raw))
+        except ValueError as exc:
+            raise ValueError(
+                "REPRO_PAIRING_WORKERS must be an integer, got %r" % raw
+            ) from exc
+    return os.cpu_count() or 1
+
+
+def encode_pairs(
+    params: CurveParams,
+    pairs: Iterable["tuple[Point, Point] | tuple[Point, Point, int]"],
+) -> "list[tuple[int, int, int, int, int]]":
+    """Flatten pairing entries to picklable int tuples.
+
+    Validates curve membership (matching :meth:`Pairing.pair_product`)
+    and drops identity contributions (zero exponent / infinity points) so
+    workers only ever see live states.
+    """
+    wire: list[tuple[int, int, int, int, int]] = []
+    for entry in pairs:
+        if len(entry) == 2:
+            p, q_point = entry
+            exponent = 1
+        else:
+            p, q_point, exponent = entry
+        if p.curve != params or q_point.curve != params:
+            raise ValueError("points do not belong to this pairing's curve")
+        exponent %= params.r
+        if exponent == 0 or p.infinity or q_point.infinity:
+            continue
+        wire.append((p.x, p.y, q_point.x, q_point.y, exponent))
+    return wire
+
+
+def _decode_pairs(
+    params: CurveParams, wire: Sequence["tuple[int, int, int, int, int]"]
+) -> "list[tuple[Point, Point, int]]":
+    return [
+        (Point(params, px, py), Point(params, qx, qy), exponent)
+        for px, py, qx, qy, exponent in wire
+    ]
+
+
+# One Pairing engine per (worker process, params) — rebuilt lazily so the
+# job payload stays flat ints.
+_WORKER_ENGINES: "dict[tuple[int, int, int, str], Pairing]" = {}
+
+
+def _worker_engine(params_wire: "tuple[int, int, int, str]") -> Pairing:
+    engine = _WORKER_ENGINES.get(params_wire)
+    if engine is None:
+        q, r, h, name = params_wire
+        engine = Pairing(CurveParams(q=q, r=r, h=h, name=name))
+        _WORKER_ENGINES[params_wire] = engine
+    return engine
+
+
+def _run_pair_product(
+    job: "tuple[tuple[int, int, int, str], list[tuple[int, int, int, int, int]]]",
+) -> "tuple[int, int]":
+    """Worker entry point: one finalized chunk product, as (a, b)."""
+    params_wire, wire_pairs = job
+    engine = _worker_engine(params_wire)
+    value = engine.pair_product(_decode_pairs(engine.params, wire_pairs))
+    return value.a, value.b
+
+
+class PairingPool:
+    """Fan pairing work across processes, with automatic serial fallback.
+
+    ``workers=None`` takes :func:`default_workers`; ``workers <= 1``
+    never forks and runs everything inline (still a correct, if serial,
+    implementation of the same API).  The pool is lazy: no process is
+    spawned until the first job large enough to split arrives.
+    """
+
+    def __init__(self, workers: "int | None" = None):
+        self.workers = default_workers() if workers is None else max(0, workers)
+        self._pool: "multiprocessing.pool.Pool | None" = None
+        self._closed = False
+        self._broken = False
+        self.stats = {
+            "parallel_products": 0,
+            "serial_products": 0,
+            "chunks_dispatched": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool | None":
+        if self._closed or self._broken or self.workers <= 1:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = multiprocessing.get_context("fork").Pool(self.workers)
+            except (OSError, ValueError):
+                # No fork support / process limits: permanent serial mode.
+                self._broken = True
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PairingPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def describe(self) -> dict:
+        """Plain-dict view for stats/banner lines."""
+        return {
+            "workers": self.workers,
+            "mode": "serial" if (self.workers <= 1 or self._broken) else "parallel",
+            **self.stats,
+        }
+
+    # -- work ------------------------------------------------------------------
+
+    def _chunk(self, items: Sequence, n_chunks: int) -> "list[list]":
+        size, extra = divmod(len(items), n_chunks)
+        chunks, start = [], 0
+        for i in range(n_chunks):
+            end = start + size + (1 if i < extra else 0)
+            if end > start:
+                chunks.append(list(items[start:end]))
+            start = end
+        return chunks
+
+    def pair_product(
+        self,
+        pairing: Pairing,
+        pairs: Iterable["tuple[Point, Point] | tuple[Point, Point, int]"],
+    ) -> Fq2:
+        """Drop-in parallel :meth:`Pairing.pair_product`.
+
+        Splits the surviving pairs into up to ``workers`` chunks, runs
+        each chunk's Miller loops + final exponentiation in a worker, and
+        multiplies the finalized partials (valid because the final
+        exponentiation is multiplicative).  Falls back to the serial
+        engine when splitting cannot pay for itself.
+        """
+        wire = encode_pairs(pairing.params, pairs)
+        pool = self._ensure_pool() if len(wire) >= _MIN_SPLIT_PAIRS else None
+        if pool is None:
+            self.stats["serial_products"] += 1
+            return pairing.pair_product(_decode_pairs(pairing.params, wire))
+        params_wire = (
+            pairing.params.q,
+            pairing.params.r,
+            pairing.params.h,
+            pairing.params.name,
+        )
+        chunks = self._chunk(wire, min(self.workers, len(wire)))
+        try:
+            partials = pool.map(
+                _run_pair_product, [(params_wire, chunk) for chunk in chunks]
+            )
+        except (OSError, multiprocessing.ProcessError):
+            self._broken = True
+            self.stats["serial_products"] += 1
+            return pairing.pair_product(_decode_pairs(pairing.params, wire))
+        self.stats["parallel_products"] += 1
+        self.stats["chunks_dispatched"] += len(chunks)
+        # Parent-side counters: one product, one loop per chunk, all
+        # states advanced, one final exp per chunk (see module docstring).
+        pairing.op_counts["pair_products"] += 1
+        pairing.op_counts["miller_loops"] += len(chunks)
+        pairing.op_counts["miller_states"] += len(wire)
+        pairing.op_counts["final_exps"] += len(chunks)
+        result = Fq2.one(pairing.q)
+        for a, b in partials:
+            result = result * Fq2(pairing.q, a, b)
+        return result
+
+    def pair_products(
+        self,
+        pairing: Pairing,
+        jobs: Sequence[
+            Iterable["tuple[Point, Point] | tuple[Point, Point, int]"]
+        ],
+    ) -> "list[Fq2]":
+        """Evaluate many independent products — one per batch member or
+        ciphertext — across the pool, one job per chunk slot."""
+        encoded = [encode_pairs(pairing.params, job) for job in jobs]
+        pool = self._ensure_pool() if len(encoded) > 1 else None
+        if pool is None:
+            self.stats["serial_products"] += len(encoded)
+            return [
+                pairing.pair_product(_decode_pairs(pairing.params, wire))
+                for wire in encoded
+            ]
+        params_wire = (
+            pairing.params.q,
+            pairing.params.r,
+            pairing.params.h,
+            pairing.params.name,
+        )
+        try:
+            results = pool.map(
+                _run_pair_product, [(params_wire, wire) for wire in encoded]
+            )
+        except (OSError, multiprocessing.ProcessError):
+            self._broken = True
+            self.stats["serial_products"] += len(encoded)
+            return [
+                pairing.pair_product(_decode_pairs(pairing.params, wire))
+                for wire in encoded
+            ]
+        self.stats["parallel_products"] += len(encoded)
+        self.stats["chunks_dispatched"] += len(encoded)
+        for wire in encoded:
+            pairing.op_counts["pair_products"] += 1
+            pairing.op_counts["miller_loops"] += 1 if wire else 0
+            pairing.op_counts["miller_states"] += len(wire)
+            pairing.op_counts["final_exps"] += 1 if wire else 0
+        return [Fq2(pairing.q, a, b) for a, b in results]

@@ -1,0 +1,283 @@
+"""Acceleration-tier layer: probe, selection, kernels, error paths.
+
+Kernel-level equivalence drives the compiled :class:`GmpKernels` and the
+pure :class:`PureKernels` through the same harness on seeded random
+inputs and demands bit-for-bit agreement per primitive; tier-selection
+tests cover ``REPRO_CRYPTO_TIER`` semantics, runtime ``set_tier``, and
+backend installation into the consumer modules.  The ``batch_modinv``
+error contract (zero and non-coprime inputs, first-offender
+attribution, identical messages) is asserted in both tiers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import accel
+from repro.crypto import field as field_mod
+from repro.crypto import fq2 as fq2_mod
+from repro.crypto import numbers
+from repro.crypto import pairing as pairing_mod
+from repro.crypto.accel import CompiledBackendUnavailable, PureKernels
+from repro.crypto.fq2 import Fq2
+from repro.crypto.params import SMALL, TOY
+
+
+def _compiled_kernels():
+    try:
+        return accel._probe_compiled()
+    except CompiledBackendUnavailable:
+        return None
+
+
+COMPILED = _compiled_kernels()
+needs_compiled = pytest.mark.skipif(
+    COMPILED is None, reason="compiled tier unavailable on this machine"
+)
+
+BACKENDS = [PureKernels()] + ([COMPILED] if COMPILED is not None else [])
+BACKEND_IDS = ["pure"] + (["compiled"] if COMPILED is not None else [])
+
+
+@pytest.fixture(autouse=True)
+def restore_tier():
+    prior = accel.active().requested
+    yield
+    accel.set_tier(prior)
+
+
+@pytest.fixture(params=BACKENDS, ids=BACKEND_IDS)
+def backend(request):
+    return request.param
+
+
+class TestKernelEquivalence:
+    """Each backend must match plain-Python ground truth exactly."""
+
+    MODULI = [TOY.q, SMALL.q, 10_007]
+
+    @pytest.mark.parametrize("m", MODULI)
+    def test_mulmod(self, backend, m):
+        rng = random.Random(m)
+        for _ in range(20):
+            a, b = rng.randrange(m), rng.randrange(m)
+            assert backend.mulmod(a, b, m) == a * b % m
+
+    @pytest.mark.parametrize("m", MODULI)
+    def test_powmod(self, backend, m):
+        rng = random.Random(m + 1)
+        for _ in range(10):
+            a, e = rng.randrange(1, m), rng.randrange(1 << 64)
+            assert backend.powmod(a, e, m) == pow(a, e, m)
+        assert backend.powmod(7, 0, m) == 1
+
+    @pytest.mark.parametrize("m", MODULI)
+    def test_modinv(self, backend, m):
+        rng = random.Random(m + 2)
+        for _ in range(10):
+            a = rng.randrange(1, m)
+            inv = backend.modinv(a, m)
+            assert a * inv % m == 1
+
+    @pytest.mark.parametrize("m", MODULI)
+    @pytest.mark.parametrize("count", [1, 2, 7, 40])
+    def test_batch_modinv(self, backend, m, count):
+        rng = random.Random(m + count)
+        values = [rng.randrange(1, m) for _ in range(count)]
+        out = backend.batch_modinv(values, m)
+        assert out == [numbers._modinv_pure(v, m) for v in values]
+
+    def test_batch_modinv_empty(self, backend):
+        assert backend.batch_modinv([], TOY.q) == []
+
+    @pytest.mark.parametrize("q", [TOY.q, SMALL.q])
+    def test_fq2_pow(self, backend, q):
+        rng = random.Random(q)
+        for _ in range(5):
+            a, b = rng.randrange(q), rng.randrange(q)
+            e = rng.randrange(1 << 80)
+            expected = Fq2(q, a, b) ** e
+            assert backend.fq2_pow(q, a, b, e) == (expected.a, expected.b)
+        assert backend.fq2_pow(q, 3, 4, 0) == (1, 0)
+
+    @pytest.mark.parametrize("q", [TOY.q, SMALL.q])
+    @pytest.mark.parametrize("count", [1, 3, 5, 9])
+    def test_fq2_multi_exp(self, backend, q, count):
+        rng = random.Random(q + count)
+        bases = [(rng.randrange(q), rng.randrange(q)) for _ in range(count)]
+        exponents = [rng.randrange(1, 1 << 64) for _ in range(count)]
+        expected = Fq2.one(q)
+        for (a, b), e in zip(bases, exponents):
+            expected = expected * (Fq2(q, a, b) ** e)
+        assert backend.fq2_multi_exp(q, bases, exponents) == (
+            expected.a,
+            expected.b,
+        )
+
+    @pytest.mark.parametrize("params", [TOY, SMALL], ids=lambda p: p.name)
+    @pytest.mark.parametrize("layout", [[1], [3], [2, 2], [1, 2, 3]])
+    def test_miller_merged_matches_reference(self, backend, params, layout):
+        """Kernel output == the pure Pairing's merged loop, group by group."""
+        accel.set_tier("pure")
+        pairing = pairing_mod.Pairing(params)
+        rng = random.Random(sum(layout))
+        base = params.random_g0()
+        groups, rows = [], []
+        for g, size in enumerate(layout):
+            entries = []
+            for _ in range(size):
+                p = base * rng.randrange(1, params.r)
+                q_pt = base * rng.randrange(1, params.r)
+                sign = rng.choice([1, -1])
+                entries.append((p, q_pt, sign))
+                xq = (-q_pt.x) % params.q
+                yq = q_pt.y % params.q if sign >= 0 else (-q_pt.y) % params.q
+                rows.append((p.x, p.y, p.x, p.y, xq, yq, g))
+            groups.append(entries)
+        expected = pairing._merged_miller(groups)
+        got = backend.miller_merged(
+            params.q, bin(params.r)[2:], rows, len(layout)
+        )
+        assert got == [(v.a, v.b) for v in expected]
+
+    def test_miller_merged_degenerate_state_raises(self, backend):
+        with pytest.raises(ZeroDivisionError):
+            backend.miller_merged(TOY.q, "101", [(5, 0, 5, 1, 2, 3, 0)], 1)
+
+
+class TestBatchModinvErrorPath:
+    """Satellite fix: documented, attributed errors in both tiers."""
+
+    COMPOSITE = 3 * 5 * 7 * 11 * 13 * 17 * 19 * 23 + 1  # odd, composite
+
+    def _tiers(self):
+        return ["pure"] + (["compiled"] if COMPILED is not None else [])
+
+    @pytest.mark.parametrize("m", [11, 10_007])
+    def test_zero_raises_with_index(self, m):
+        for tier in self._tiers():
+            accel.set_tier(tier)
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                numbers.batch_modinv([3, 7, 0, 5], m)
+            assert "element 2" in str(excinfo.value), tier
+
+    def test_non_coprime_raises_first_offender(self):
+        m = 3 * 10_007  # composite modulus: multiples of 3 not invertible
+        for tier in self._tiers():
+            accel.set_tier(tier)
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                numbers.batch_modinv([2, 5, 9, 6, 4], m)
+            # 9 (index 2) is the first element sharing a factor with m.
+            assert "element 2" in str(excinfo.value), tier
+            assert "gcd=3" in str(excinfo.value), tier
+
+    def test_error_messages_identical_across_tiers(self):
+        if COMPILED is None:
+            pytest.skip("compiled tier unavailable")
+        m = 3 * 10_007
+        messages = {}
+        for tier in ("pure", "compiled"):
+            accel.set_tier(tier)
+            for values in ([1, 0], [2, 21], [0]):
+                try:
+                    numbers.batch_modinv(values, m)
+                except ZeroDivisionError as exc:
+                    messages.setdefault(tuple(values), set()).add(str(exc))
+                else:  # pragma: no cover - inputs are all non-invertible
+                    pytest.fail("expected ZeroDivisionError for %r" % (values,))
+        for values, texts in messages.items():
+            assert len(texts) == 1, (values, texts)
+
+    def test_scalar_modinv_messages(self):
+        for tier in self._tiers():
+            accel.set_tier(tier)
+            with pytest.raises(ZeroDivisionError, match="0 has no inverse"):
+                numbers.modinv(0, 11)
+            with pytest.raises(ZeroDivisionError, match="gcd=3"):
+                numbers.modinv(9, 3 * 10_007)
+
+    def test_no_garbage_on_failure(self):
+        """A failing batch must raise, never return a poisoned prefix
+        product (the pre-fix behaviour surfaced the error but blamed the
+        opaque product value; sanity-check the result when it succeeds)."""
+        m = 3 * 10_007
+        for tier in self._tiers():
+            accel.set_tier(tier)
+            good = [2, 5, 4, 10_006]
+            out = numbers.batch_modinv(good, m)
+            assert all(v * inv % m == 1 for v, inv in zip(good, out))
+
+
+class TestTierSelection:
+    def test_pure_tier_uninstalls_backends(self):
+        accel.set_tier("pure")
+        assert numbers._BACKEND is None
+        assert fq2_mod._BACKEND is None
+        assert pairing_mod._KERNELS is None
+        assert field_mod._MULMOD is None
+        state = accel.active()
+        assert state.active == "pure"
+        assert state.library is None
+
+    @needs_compiled
+    def test_compiled_tier_installs_backends(self):
+        state = accel.set_tier("compiled")
+        assert state.active == "compiled"
+        assert state.library and state.library.endswith(".so")
+        assert numbers._BACKEND is COMPILED
+        assert fq2_mod._BACKEND is COMPILED
+        assert pairing_mod._KERNELS is COMPILED
+
+    @needs_compiled
+    def test_auto_prefers_compiled(self):
+        state = accel.set_tier("auto")
+        assert state.active == "compiled"
+        assert state.reason is None
+
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(ValueError, match="REPRO_CRYPTO_TIER"):
+            accel.set_tier("turbo")
+
+    def test_describe_shape(self):
+        info = accel.describe()
+        assert set(info) == {
+            "tier",
+            "requested",
+            "library",
+            "reason",
+            "field_mulmod",
+        }
+        assert info["tier"] in ("pure", "compiled")
+
+    def test_env_override_pure(self):
+        """REPRO_CRYPTO_TIER=pure in a fresh process selects pure at import."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.crypto import accel; s = accel.active(); "
+            "assert s.active == 'pure' and s.requested == 'pure', s; "
+            "print('ok')"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "REPRO_CRYPTO_TIER": "pure"},
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "ok"
+
+    @needs_compiled
+    def test_fq2_pow_routes_through_kernel(self):
+        accel.set_tier("compiled")
+        x = Fq2(TOY.q, 1234, 5678)
+        accel.set_tier("pure")
+        expected = x ** (TOY.r - 3)
+        accel.set_tier("compiled")
+        assert x ** (TOY.r - 3) == expected
+        # Small exponents stay on the native path but must agree too.
+        assert x ** 5 == (x * x * x * x * x)

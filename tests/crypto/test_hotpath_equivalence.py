@@ -10,6 +10,15 @@ composition it replaces:
 * cached Lagrange coefficients == freshly computed ones;
 * fused CP-ABE decryption == the recursive reference path.
 
+Since the acceleration-tier layer landed, the whole module doubles as
+the **cross-tier equivalence suite**: every test here runs once per
+*available* tier (always ``pure``; ``compiled`` wherever the GMP kernels
+probe successfully) via the autouse ``crypto_tier`` fixture, and
+:class:`TestCrossTier` additionally pins pure and compiled results
+against each other bit-for-bit within a single test.  The op-counter
+contracts are asserted under both tiers — counters tick in the Python
+wrappers, so they are tier-invariant by design.
+
 All randomness is seeded so a failure replays deterministically.
 """
 
@@ -21,6 +30,8 @@ import pytest
 
 from repro.abe.access_tree import AccessTree
 from repro.abe.cpabe import CPABE
+from repro.crypto import accel
+from repro.crypto.accel import CompiledBackendUnavailable
 from repro.crypto.field import PrimeField
 from repro.crypto.numbers import batch_modinv, modinv
 from repro.crypto.pairing import Pairing
@@ -29,6 +40,29 @@ from repro.crypto.polynomial import lagrange_coefficients_at_zero
 
 PAIRING = Pairing(TOY)
 R = TOY.r
+
+
+def _available_tiers() -> list[str]:
+    tiers = ["pure"]
+    try:
+        accel._probe_compiled()
+    except CompiledBackendUnavailable:
+        pass
+    else:
+        tiers.append("compiled")
+    return tiers
+
+
+TIERS = _available_tiers()
+
+
+@pytest.fixture(autouse=True, params=TIERS)
+def crypto_tier(request):
+    """Run every test in this module under each available tier."""
+    prior = accel.active().requested
+    accel.set_tier(request.param)
+    yield request.param
+    accel.set_tier(prior)
 
 
 def _seeded_points(seed: int, count: int):
@@ -237,3 +271,77 @@ class TestFusedDecrypt:
         abe.pairing.reset_op_counts()
         assert abe.decrypt_element(pk, sk, ct) == message
         assert abe.pairing.op_counts["final_exps"] == 1
+
+
+@pytest.mark.skipif(len(TIERS) < 2, reason="compiled tier unavailable")
+class TestCrossTier:
+    """Pure and compiled tiers must agree bit-for-bit on the same inputs.
+
+    The autouse fixture already runs the whole module under each tier;
+    these tests additionally hold the inputs fixed and flip the tier
+    *within* one test, comparing results and op-counters directly.
+    """
+
+    def _both_tiers(self, compute):
+        accel.set_tier("pure")
+        pure = compute()
+        accel.set_tier("compiled")
+        compiled = compute()
+        return pure, compiled
+
+    @pytest.mark.parametrize("seed", [60, 61, 62])
+    def test_pair_product_agrees(self, seed):
+        rng = random.Random(seed)
+        points = _seeded_points(seed, 10)
+        pairs = [
+            (points[i], points[i + 5], rng.randrange(-R + 1, R))
+            for i in range(5)
+        ]
+        pure, compiled = self._both_tiers(lambda: PAIRING.pair_product(pairs))
+        assert pure == compiled
+
+    @pytest.mark.parametrize("seed", [63, 64])
+    def test_gt_multi_exp_agrees(self, seed):
+        rng = random.Random(seed)
+        points = _seeded_points(seed, 6)
+        bases = [PAIRING.pair(points[i], points[i + 3]) for i in range(3)]
+        exponents = [rng.randrange(-R + 1, R) for _ in range(3)]
+        pure, compiled = self._both_tiers(
+            lambda: PAIRING.gt_multi_exp(bases, exponents)
+        )
+        assert pure == compiled
+
+    @pytest.mark.parametrize("seed", [65, 66])
+    def test_batch_modinv_agrees(self, seed):
+        rng = random.Random(seed)
+        values = [rng.randrange(1, TOY.q) for _ in range(23)]
+        pure, compiled = self._both_tiers(lambda: batch_modinv(values, TOY.q))
+        assert pure == compiled
+
+    def test_fused_decrypt_agrees(self):
+        abe = CPABE(TOY)
+        pk, mk = abe.setup()
+        message = abe._random_gt(pk)
+        tree = AccessTree.k_of_n(2, ["a", "b", "c"])
+        ct = abe.encrypt_element(pk, message, tree)
+        sk = abe.keygen(pk, mk, {"a", "b"})
+        pure, compiled = self._both_tiers(
+            lambda: abe.decrypt_element(pk, sk, ct)
+        )
+        assert pure == compiled == message
+
+    def test_op_counts_tier_invariant(self):
+        points = _seeded_points(70, 8)
+        pairs = list(zip(points[:4], points[4:]))
+
+        def run():
+            pairing = Pairing(TOY)
+            pairing.pair_product(pairs)
+            pairing.pair(points[0], points[1])
+            pairing.gt_multi_exp(
+                [pairing.pair(points[2], points[3])], [12345]
+            )
+            return dict(pairing.op_counts)
+
+        pure, compiled = self._both_tiers(run)
+        assert pure == compiled

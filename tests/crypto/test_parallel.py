@@ -1,0 +1,215 @@
+"""The parallel pairing pool: correctness, fallback, and wiring.
+
+Every parallel result is pinned against the serial engine bit-for-bit
+(the split is only valid because the final exponentiation is
+multiplicative — these tests are the proof-by-construction).  Fallback
+paths (no pool, tiny jobs, workers<=1, closed pool) must produce the
+same values through the serial engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.abe.access_tree import AccessTree
+from repro.abe.cpabe import CPABE
+from repro.crypto.pairing import Pairing
+from repro.crypto.parallel import PairingPool, default_workers, encode_pairs
+from repro.crypto.params import TOY
+
+R = TOY.r
+
+
+def _seeded_pairs(seed: int, count: int, signed: bool = True):
+    rng = random.Random(seed)
+    base = TOY.random_g0()
+    low = -R + 1 if signed else 1
+    return [
+        (
+            base * rng.randrange(1, R),
+            base * rng.randrange(1, R),
+            rng.randrange(low, R),
+        )
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with PairingPool(workers=2) as p:
+        yield p
+
+
+class TestPairProduct:
+    @pytest.mark.parametrize("seed,count", [(1, 4), (2, 7), (3, 11)])
+    def test_matches_serial(self, pool, seed, count):
+        pairs = _seeded_pairs(seed, count)
+        serial = Pairing(TOY)
+        parallel = Pairing(TOY)
+        expected = serial.pair_product(pairs)
+        assert pool.pair_product(parallel, pairs) == expected
+
+    def test_small_jobs_run_serial(self, pool):
+        pairs = _seeded_pairs(4, 2)
+        before = pool.stats["serial_products"]
+        assert pool.pair_product(Pairing(TOY), pairs) == Pairing(
+            TOY
+        ).pair_product(pairs)
+        assert pool.stats["serial_products"] == before + 1
+
+    def test_identity_entries_dropped(self, pool):
+        pairs = _seeded_pairs(5, 4)
+        p, q, _ = pairs[0]
+        infinity = p + (-p)
+        padded = pairs + [(p, q, 0), (infinity, q, 3)]
+        assert pool.pair_product(Pairing(TOY), padded) == Pairing(
+            TOY
+        ).pair_product(pairs)
+
+    def test_empty_product_is_identity(self, pool):
+        assert pool.pair_product(Pairing(TOY), []).is_one()
+
+    def test_foreign_curve_rejected(self, pool):
+        from repro.crypto.params import SMALL
+
+        other = SMALL.random_g0()
+        with pytest.raises(ValueError):
+            pool.pair_product(Pairing(TOY), [(other, other)])
+
+    def test_parent_op_counts_cover_parallel_path(self, pool):
+        pairs = _seeded_pairs(6, 8)
+        pairing = Pairing(TOY)
+        pairing.reset_op_counts()
+        pool.pair_product(pairing, pairs)
+        assert pairing.op_counts["pair_products"] == 1
+        assert pairing.op_counts["miller_states"] == 8
+        # One final exp per chunk — the documented parallel trade-off.
+        assert pairing.op_counts["final_exps"] >= 1
+
+
+class TestPairProducts:
+    def test_many_independent_products(self, pool):
+        jobs = [_seeded_pairs(seed, 5) for seed in (10, 11, 12, 13)]
+        serial = Pairing(TOY)
+        expected = [serial.pair_product(job) for job in jobs]
+        assert pool.pair_products(Pairing(TOY), jobs) == expected
+
+    def test_empty_member_contributes_identity(self, pool):
+        jobs = [_seeded_pairs(14, 3), []]
+        results = pool.pair_products(Pairing(TOY), jobs)
+        assert results[0] == Pairing(TOY).pair_product(jobs[0])
+        assert results[1].is_one()
+
+    def test_single_member_runs_serial(self, pool):
+        before = pool.stats["serial_products"]
+        jobs = [_seeded_pairs(15, 4)]
+        pool.pair_products(Pairing(TOY), jobs)
+        assert pool.stats["serial_products"] == before + 1
+
+
+class TestFallback:
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_serial_pool_never_forks(self, workers):
+        with PairingPool(workers=workers) as pool:
+            pairs = _seeded_pairs(20, 6)
+            assert pool.pair_product(Pairing(TOY), pairs) == Pairing(
+                TOY
+            ).pair_product(pairs)
+            assert pool._pool is None
+            assert pool.describe()["mode"] == "serial"
+
+    def test_closed_pool_falls_back_serial(self):
+        pool = PairingPool(workers=2)
+        pairs = _seeded_pairs(21, 6)
+        expected = Pairing(TOY).pair_product(pairs)
+        assert pool.pair_product(Pairing(TOY), pairs) == expected
+        pool.close()
+        assert pool.pair_product(Pairing(TOY), pairs) == expected
+        assert pool.stats["serial_products"] >= 1
+
+    def test_close_is_idempotent(self):
+        pool = PairingPool(workers=2)
+        pool.close()
+        pool.close()
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAIRING_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_PAIRING_WORKERS", "bogus")
+        with pytest.raises(ValueError):
+            default_workers()
+        monkeypatch.delenv("REPRO_PAIRING_WORKERS")
+        assert default_workers() >= 1
+
+
+class TestEncodePairs:
+    def test_flat_ints_only(self):
+        pairs = _seeded_pairs(30, 3)
+        wire = encode_pairs(TOY, pairs)
+        assert all(
+            isinstance(v, int) for entry in wire for v in entry
+        )
+        assert all(len(entry) == 5 for entry in wire)
+
+    def test_exponents_reduced(self):
+        p, q, _ = _seeded_pairs(31, 1)[0]
+        wire = encode_pairs(TOY, [(p, q, -1), (p, q, R + 5)])
+        assert wire[0][4] == R - 1
+        assert wire[1][4] == 5
+
+
+class TestDecryptIntegration:
+    @pytest.fixture(scope="class")
+    def abe_with_pool(self):
+        with PairingPool(workers=2) as pool:
+            yield CPABE(TOY, pairing_pool=pool)
+
+    def test_pooled_decrypt_matches_plain(self, abe_with_pool):
+        abe = abe_with_pool
+        pk, mk = abe.setup()
+        message = abe._random_gt(pk)
+        tree = AccessTree.k_of_n(2, ["a", "b", "c"])
+        ct = abe.encrypt_element(pk, message, tree)
+        sk = abe.keygen(pk, mk, {"a", "b", "c"})
+        assert abe.decrypt_element(pk, sk, ct) == message
+
+    def test_decrypt_elements_batch(self, abe_with_pool):
+        abe = abe_with_pool
+        pk, mk = abe.setup()
+        tree = AccessTree.k_of_n(2, ["a", "b", "c"])
+        sk = abe.keygen(pk, mk, {"a", "b", "c"})
+        messages = [abe._random_gt(pk) for _ in range(4)]
+        cts = [abe.encrypt_element(pk, m, tree) for m in messages]
+        assert abe.decrypt_elements(pk, sk, cts) == messages
+
+    def test_decrypt_elements_without_pool_loops(self):
+        abe = CPABE(TOY)
+        pk, mk = abe.setup()
+        tree = AccessTree.k_of_n(2, ["a", "b"])
+        sk = abe.keygen(pk, mk, {"a", "b"})
+        messages = [abe._random_gt(pk) for _ in range(2)]
+        cts = [abe.encrypt_element(pk, m, tree) for m in messages]
+        assert abe.decrypt_elements(pk, sk, cts) == messages
+
+    def test_decrypt_elements_unsatisfied_raises(self, abe_with_pool):
+        from repro.abe.cpabe import PolicyNotSatisfiedError
+
+        abe = abe_with_pool
+        pk, mk = abe.setup()
+        tree = AccessTree.k_of_n(2, ["a", "b"])
+        sk = abe.keygen(pk, mk, {"a"})
+        ct = abe.encrypt_element(pk, abe._random_gt(pk), tree)
+        with pytest.raises(PolicyNotSatisfiedError):
+            abe.decrypt_elements(pk, sk, [ct, ct])
+
+    def test_platform_pairing_workers_knob(self):
+        from repro.apps.platform import SocialPuzzlePlatform
+
+        platform = SocialPuzzlePlatform(params=TOY, pairing_workers=0)
+        assert platform.pairing_pool is not None
+        assert platform.pairing_pool.describe()["mode"] == "serial"
+        assert platform.app_c2.pairing_pool is platform.pairing_pool
+        default = SocialPuzzlePlatform(params=TOY)
+        assert default.pairing_pool is None

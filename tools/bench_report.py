@@ -19,6 +19,8 @@ the server-observed in-flight high-water mark.
 Usage (from the repo root)::
 
     PYTHONPATH=src python tools/bench_report.py [output.json]
+    PYTHONPATH=src python tools/bench_report.py out.json --compare BENCH_PR9.json
+    PYTHONPATH=src python tools/bench_report.py out.json --sections crypto_tier
 
 It also measures the policy plane: share and access latency for both
 constructions under the flat depth-1 threshold versus the nested
@@ -29,7 +31,20 @@ blob-store engines and records bytes/blob for each, the compression
 ratio the segment engine's groupcompress pass achieves, and how long
 ``reopen()`` takes to rebuild the index after a power-loss crash.
 
-The default output is ``BENCH_PR9.json`` in the current directory.
+The ``crypto_tier`` section times every accelerated primitive under the
+pure tier and (when the GMP kernel builds) the compiled tier, plus the
+parallel pairing pool against the serial engine on an 8-member batch —
+the measured shape of the acceleration layer described in
+``docs/PERFORMANCE.md``.
+
+``--compare PREV.json`` turns the tool into a trajectory gate: every
+``speedup`` / ``compression_ratio`` / ``availability`` field in the
+prior report is a floor, and the run fails (exit 1) if the fresh report
+regresses any of them by more than ``--tolerance`` (default 20%).
+``--sections`` restricts the run to a comma-separated subset — CI uses
+it to gate the crypto sections without paying for the full report.
+
+The default output is ``BENCH_PR10.json`` in the current directory.
 Wall-clock numbers vary per machine; the checked-in file documents one
 reference run, while the ``speedup``/op-count/availability fields are
 the quantities CI asserts on (see ``benchmarks/test_hotpath_speedup.py``
@@ -38,6 +53,7 @@ and ``benchmarks/test_degraded_reads.py``).
 
 from __future__ import annotations
 
+import argparse
 import json
 import random
 import sys
@@ -373,32 +389,186 @@ def bench_serve_throughput() -> dict:
     }
 
 
-def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_PR9.json"
-    rng = random.Random(5)
-    pairing = Pairing(SMALL)
-    report = {
-        "params": {"r_bits": SMALL.r.bit_length(), "q_bits": SMALL.q.bit_length()},
-        "rounds": ROUNDS,
-        "pair_product": bench_pair_product(pairing, rng),
-        "gt_multi_exp": bench_gt_multi_exp(pairing, rng),
-        "batch_modinv": bench_batch_modinv(rng),
-        "cpabe_decrypt_k5": bench_decrypt(),
-        "degraded_reads": bench_degraded_reads(),
-        "serve_throughput": bench_serve_throughput(),
-        "policy_depth": bench_policy_depth(),
-        "storage_engine": bench_storage_engine(),
+def bench_crypto_tiers() -> dict:
+    """Per-primitive timings across acceleration tiers (the PR 10 plane).
+
+    Each hot primitive runs on the same seeded inputs under the pure
+    tier and, when the GMP kernel probes, the compiled tier; ``speedup``
+    is compiled-over-pure (1.0 when only the pure tier is available).
+    The ``parallel`` block fans an 8-member multi-pairing batch through
+    the :class:`~repro.crypto.parallel.PairingPool` at the default
+    worker count and compares against the serial loop — on a single-core
+    box the pool declines to fork and the honest answer is ~1.0x with
+    ``mode: serial``.
+    """
+    from repro.crypto import accel
+    from repro.crypto.accel import CompiledBackendUnavailable
+    from repro.crypto.parallel import PairingPool, default_workers
+
+    prior = accel.active().requested
+    tiers = ["pure"]
+    try:
+        accel._probe_compiled()
+        tiers.append("compiled")
+    except CompiledBackendUnavailable:
+        pass
+
+    rng = random.Random(10)
+    base = SMALL.random_g0()
+    pairs = [
+        (base * rng.randrange(1, SMALL.r), base * rng.randrange(1, SMALL.r))
+        for _ in range(2 * K + 1)
+    ]
+    inv_values = [rng.randrange(1, SMALL.q) for _ in range(64)]
+    gt_exponent = rng.randrange(1, SMALL.r)
+    me_exponents = [rng.randrange(1, SMALL.r) for _ in range(8)]
+
+    attributes = ["ctx-%d" % i for i in range(K)]
+    tree = AccessTree.k_of_n(K, attributes)
+    abe = CPABE(SMALL)
+    pk, mk = abe.setup()
+    ct = abe.encrypt_element(pk, abe._random_gt(pk), tree)
+    sk = abe.keygen(pk, mk, set(attributes))
+
+    primitives: dict[str, dict] = {}
+    try:
+        for tier in tiers:
+            accel.set_tier(tier)
+            pairing = Pairing(SMALL)
+            gt = pairing.pair(*pairs[0])
+            me_bases = [pairing.pair(p, q) for p, q in pairs[:8]]
+            rows = {
+                "pair_product_11": lambda: pairing.pair_product(pairs),
+                "gt_exp": lambda: pairing.gt_exp(gt, gt_exponent),
+                "gt_multi_exp_8": lambda: pairing.gt_multi_exp(
+                    me_bases, me_exponents
+                ),
+                "batch_modinv_64": lambda: batch_modinv(inv_values, SMALL.q),
+                "cpabe_decrypt_k5_fused": lambda: abe.decrypt_element(
+                    pk, sk, ct
+                ),
+            }
+            for name, fn in rows.items():
+                primitives.setdefault(name, {})["%s_ms" % tier] = (
+                    _timed(fn) * 1e3
+                )
+        for row in primitives.values():
+            row["speedup"] = (
+                row["pure_ms"] / row["compiled_ms"]
+                if "compiled_ms" in row
+                else 1.0
+            )
+
+        jobs = [
+            [
+                (
+                    base * rng.randrange(1, SMALL.r),
+                    base * rng.randrange(1, SMALL.r),
+                    rng.randrange(1, SMALL.r),
+                )
+                for _ in range(K)
+            ]
+            for _ in range(8)
+        ]
+        accel.set_tier(tiers[-1])
+        pairing = Pairing(SMALL)
+        serial_s = _timed(
+            lambda: [pairing.pair_product(job) for job in jobs], rounds=3
+        )
+        with PairingPool() as pool:
+            pool_s = _timed(
+                lambda: pool.pair_products(pairing, jobs), rounds=3
+            )
+            mode = pool.describe()["mode"]
+        parallel = {
+            "members": len(jobs),
+            "pairs_per_member": K,
+            "workers": default_workers(),
+            "mode": mode,
+            "serial_ms": serial_s * 1e3,
+            "pool_ms": pool_s * 1e3,
+            "speedup": serial_s / pool_s,
+        }
+    finally:
+        accel.set_tier(prior)
+
+    return {
+        "tiers": tiers,
+        "active_default": accel.describe()["tier"],
+        "primitives": primitives,
+        "parallel": parallel,
     }
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print("wrote %s" % out_path)
+
+
+SECTIONS = {
+    "pair_product": None,
+    "gt_multi_exp": None,
+    "batch_modinv": None,
+    "cpabe_decrypt_k5": bench_decrypt,
+    "crypto_tier": bench_crypto_tiers,
+    "degraded_reads": bench_degraded_reads,
+    "serve_throughput": bench_serve_throughput,
+    "policy_depth": bench_policy_depth,
+    "storage_engine": bench_storage_engine,
+}
+
+# Prior-report fields treated as regression floors by --compare.
+FLOOR_FIELDS = ("speedup", "compression_ratio", "availability")
+
+
+def _collect_floors(node: object, path: tuple = ()) -> dict:
+    floors: dict = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in FLOOR_FIELDS and isinstance(value, (int, float)):
+                floors[path + (key,)] = float(value)
+            else:
+                floors.update(_collect_floors(value, path + (key,)))
+    return floors
+
+
+def compare_reports(
+    current: dict, prior: dict, tolerance: float
+) -> tuple[list, list]:
+    """Every floor field in ``prior`` must be held to within ``tolerance``.
+
+    Returns ``(failures, skipped)`` where failures are
+    ``(path, prior, current)`` triples and skipped are prior floors whose
+    section is absent from the current report (e.g. under --sections).
+    """
+    failures, skipped = [], []
+    for path, floor in sorted(_collect_floors(prior).items()):
+        node: object = current
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                node = None
+                break
+            node = node[key]
+        if not isinstance(node, (int, float)):
+            skipped.append(path)
+            continue
+        if node < floor * (1.0 - tolerance):
+            failures.append((path, floor, float(node)))
+    return failures, skipped
+
+
+def _print_summary(report: dict) -> None:
     for section, values in report.items():
-        if isinstance(values, dict) and "speedup" in values:
-            print("  %-18s %5.2fx" % (section, values["speedup"]))
-        elif isinstance(values, dict) and "availability" in values:
+        if not isinstance(values, dict):
+            continue
+        if section == "crypto_tier":
+            for name, row in values["primitives"].items():
+                print("  %-22s %5.2fx compiled/pure" % (name, row["speedup"]))
+            par = values["parallel"]
             print(
-                "  %-18s %5.0f%% available, %d stale-risk"
+                "  %-22s %5.2fx pool/serial (%d workers, %s)"
+                % ("parallel_batch_8", par["speedup"], par["workers"], par["mode"])
+            )
+        elif "speedup" in values:
+            print("  %-22s %5.2fx" % (section, values["speedup"]))
+        elif "availability" in values:
+            print(
+                "  %-22s %5.0f%% available, %d stale-risk"
                 % (
                     section,
                     100 * values["availability"],
@@ -407,22 +577,100 @@ def main(argv: list[str]) -> int:
             )
         elif section == "storage_engine":
             print(
-                "  %-18s %5.2fx fewer bytes/blob, %.1fms recovery"
-                % (
-                    section,
-                    values["compression_ratio"],
-                    values["recovery_ms"],
-                )
+                "  %-22s %5.2fx fewer bytes/blob, %.1fms recovery"
+                % (section, values["compression_ratio"], values["recovery_ms"])
             )
         elif section == "policy_depth":
             print(
-                "  %-18s depth-3/depth-1 access: c1 %.2fx, c2 %.2fx"
+                "  %-22s depth-3/depth-1 access: c1 %.2fx, c2 %.2fx"
                 % (
                     section,
                     values["c1_depth3_over_depth1_access"],
                     values["c2_depth3_over_depth1_access"],
                 )
             )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the hot paths and write a JSON report."
+    )
+    parser.add_argument("output", nargs="?", default="BENCH_PR10.json")
+    parser.add_argument(
+        "--compare",
+        metavar="PREV.json",
+        help="fail if any floor field in PREV.json regresses",
+    )
+    parser.add_argument(
+        "--sections",
+        help="comma-separated subset of sections to run (default: all)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression per floor (default 0.2)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    selected = list(SECTIONS)
+    if args.sections:
+        selected = [name.strip() for name in args.sections.split(",")]
+        unknown = [name for name in selected if name not in SECTIONS]
+        if unknown:
+            parser.error(
+                "unknown sections %r (choose from %s)"
+                % (unknown, ", ".join(SECTIONS))
+            )
+
+    rng = random.Random(5)
+    pairing = Pairing(SMALL)
+    report: dict = {
+        "params": {"r_bits": SMALL.r.bit_length(), "q_bits": SMALL.q.bit_length()},
+        "rounds": ROUNDS,
+    }
+    for name in selected:
+        if name == "pair_product":
+            report[name] = bench_pair_product(pairing, rng)
+        elif name == "gt_multi_exp":
+            report[name] = bench_gt_multi_exp(pairing, rng)
+        elif name == "batch_modinv":
+            report[name] = bench_batch_modinv(rng)
+        else:
+            report[name] = SECTIONS[name]()
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % args.output)
+    _print_summary(report)
+
+    if args.compare:
+        with open(args.compare) as fh:
+            prior = json.load(fh)
+        failures, skipped = compare_reports(report, prior, args.tolerance)
+        for path in skipped:
+            print("compare: skipped %s (not in this run)" % ".".join(path))
+        for path, floor, now in failures:
+            print(
+                "REGRESSION %s: %.3f -> %.3f (floor %.3f)"
+                % (
+                    ".".join(path),
+                    floor,
+                    now,
+                    floor * (1.0 - args.tolerance),
+                )
+            )
+        if failures:
+            return 1
+        print(
+            "compare: held %d floor(s) from %s within %.0f%%"
+            % (
+                len(_collect_floors(prior)) - len(skipped),
+                args.compare,
+                100 * args.tolerance,
+            )
+        )
     return 0
 
 
